@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "charz/figure.hpp"
+#include "charz/plan.hpp"
+#include "common/env.hpp"
+
+namespace simra::bench_common {
+
+/// Prints the standard bench banner: which plan is in use and how to run
+/// the paper-scale version.
+inline charz::Plan announced_plan(const std::string& what) {
+  const charz::Plan plan = charz::Plan::from_env();
+  std::cout << "=== " << what << " ===\n";
+  std::cout << (full_scale_run()
+                    ? "plan: paper-scale (SIMRA_FULL=1)"
+                    : "plan: quick (set SIMRA_FULL=1 for the paper-scale run)")
+            << " — " << plan.instance_count()
+            << " (chip, bank, subarray) instances, " << plan.groups_per_size
+            << " row groups per size, " << plan.trials << " trials\n\n";
+  return plan;
+}
+
+/// Kebab-case slug of a figure title for CSV file names.
+inline std::string title_slug(const std::string& title) {
+  std::string slug;
+  for (char c : title) {
+    if (std::isalnum(static_cast<unsigned char>(c)))
+      slug.push_back(static_cast<char>(std::tolower(c)));
+    else if (!slug.empty() && slug.back() != '-')
+      slug.push_back('-');
+  }
+  while (!slug.empty() && slug.back() == '-') slug.pop_back();
+  return slug;
+}
+
+/// Prints the figure table; when SIMRA_CSV_DIR is set, also writes the
+/// series as CSV there (for plotting scripts).
+inline void print_figure(const charz::FigureData& figure) {
+  std::cout << figure.title << "\n" << figure.to_table().to_text() << "\n";
+  if (const char* dir = std::getenv("SIMRA_CSV_DIR")) {
+    const std::string path =
+        std::string(dir) + "/" + title_slug(figure.title) + ".csv";
+    write_file(path, figure.to_table().to_csv());
+    std::cout << "(csv written to " << path << ")\n";
+  }
+}
+
+/// One paper-reported reference value, printed next to our measurement.
+inline void compare(const std::string& label, double paper_pct,
+                    double measured_fraction) {
+  std::cout << label << ": paper " << Table::num(paper_pct, 2)
+            << "% — measured " << Table::num(measured_fraction * 100.0, 2)
+            << "%\n";
+}
+
+}  // namespace simra::bench_common

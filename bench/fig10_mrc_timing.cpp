@@ -1,0 +1,27 @@
+// Reproduces Fig 10: Multi-RowCopy success rate vs (t1, t2) and the
+// number of destination rows (Obs. 14/15).
+#include "bench_common.hpp"
+#include "charz/figures.hpp"
+
+int main() {
+  using namespace simra;
+  const charz::Plan plan = bench_common::announced_plan(
+      "Fig 10: Multi-RowCopy success rate vs APA timing");
+  const charz::FigureData figure = charz::fig10_mrc_timing(plan);
+  bench_common::print_figure(figure);
+
+  std::cout << "Paper reference points @ (t1=36, t2=3) (Obs. 14):\n";
+  bench_common::compare("  1 dest", 99.996, figure.mean_at({"36", "3", "1"}));
+  bench_common::compare("  3 dests", 99.989, figure.mean_at({"36", "3", "3"}));
+  bench_common::compare("  7 dests", 99.998, figure.mean_at({"36", "3", "7"}));
+  bench_common::compare("  15 dests", 99.999,
+                        figure.mean_at({"36", "3", "15"}));
+  bench_common::compare("  31 dests", 99.982,
+                        figure.mean_at({"36", "3", "31"}));
+  const double low = figure.mean_at({"1.5", "3", "31"});
+  const double second_worst = figure.mean_at({"6", "3", "31"});
+  std::cout << "  t1=1.5 below second-worst (Obs. 15): paper -49.79% — "
+               "measured "
+            << Table::num((low - second_worst) * 100.0, 2) << "%\n";
+  return 0;
+}

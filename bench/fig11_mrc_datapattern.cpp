@@ -1,0 +1,19 @@
+// Reproduces Fig 11: Multi-RowCopy data-pattern dependence (Obs. 16).
+#include "bench_common.hpp"
+#include "charz/figures.hpp"
+
+int main() {
+  using namespace simra;
+  const charz::Plan plan = bench_common::announced_plan(
+      "Fig 11: Multi-RowCopy success rate vs source data pattern");
+  const charz::FigureData figure = charz::fig11_mrc_datapattern(plan);
+  bench_common::print_figure(figure);
+
+  std::cout << "Paper reference (Obs. 16): copying all-1s to 31 rows is "
+               "~0.79% below the other patterns.\n";
+  const double ones = figure.mean_at({"all-1s", "31"});
+  const double zeros = figure.mean_at({"all-0s", "31"});
+  std::cout << "  measured all-1s vs all-0s @ 31 dests: "
+            << Table::num((ones - zeros) * 100.0, 3) << "%\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces Fig 16: execution-time speedup of seven arithmetic & logic
+// microbenchmarks using the new MAJX operations (MAJ5/7/9) over the
+// MAJ3-with-4-row-activation state of the art (§8.1).
+#include <iostream>
+
+#include "common/env.hpp"
+#include "common/table.hpp"
+#include "majsynth/microbench.hpp"
+
+int main() {
+  using namespace simra;
+  using namespace simra::majsynth;
+
+  const std::size_t groups = full_scale_run() ? 48 : 12;
+  std::cout << "=== Fig 16: microbenchmark speedup from MAJ5/7/9 ===\n";
+  std::cout << "row groups sampled per capability point: " << groups << "\n\n";
+
+  for (const auto& profile :
+       {dram::VendorProfile::hynix_m(), dram::VendorProfile::micron_e()}) {
+    const VendorCapability cap = measure_capability(profile, 0xcafe, groups);
+    std::cout << profile.manufacturer
+              << " — best-group success: baseline MAJ3@4-row "
+              << Table::pct(cap.baseline_maj3_4row);
+    for (const auto& [x, s] : cap.best_success_32row)
+      std::cout << ", MAJ" << x << "@32-row " << Table::pct(s);
+    std::cout << "\n";
+
+    Table table({"microbenchmark", "baseline_us", "MAJ5 speedup",
+                 "MAJ7 speedup", "MAJ9 speedup"});
+    double sum5 = 0.0, sum7 = 0.0;
+    std::size_t n_benches = 0;
+    const auto results = run_microbenchmarks(cap);
+    for (const auto& r : results) {
+      auto cell = [&](unsigned x) {
+        if (!r.majx_ns.count(x)) return std::string("n/a");
+        return Table::num(r.speedup(x), 2) + "x";
+      };
+      table.add_row({r.name, Table::num(r.baseline_ns / 1000.0, 1), cell(5),
+                     cell(7), cell(9)});
+      sum5 += r.speedup(5);
+      sum7 += r.speedup(7);
+      ++n_benches;
+    }
+    table.print(std::cout);
+    const double avg5 = sum5 / static_cast<double>(n_benches);
+    const double avg7 = sum7 / static_cast<double>(n_benches);
+    std::cout << "average MAJ5 speedup: " << Table::num(avg5, 2)
+              << "x, MAJ7: " << Table::num(avg7, 2) << "x\n";
+    std::cout << "paper: new MAJX ops average +"
+              << (profile.short_name == "M" ? "121.61" : "46.54")
+              << "% over the MAJ3 baseline"
+              << (profile.short_name == "H"
+                      ? "; MAJ9 degrades performance (poor success rate)"
+                      : "")
+              << "\n\n";
+  }
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Reproduces Fig 3: success-rate distribution of simultaneous many-row
+// activation for every (t1, t2) timing pair and activation size.
+#include "bench_common.hpp"
+#include "charz/figures.hpp"
+
+int main() {
+  using namespace simra;
+  const charz::Plan plan = bench_common::announced_plan(
+      "Fig 3: SiMRA success rate vs APA timing (t1, t2)");
+  const charz::FigureData figure = charz::fig3_smra_timing(plan);
+  bench_common::print_figure(figure);
+
+  std::cout << "Paper reference points (Obs. 1/2):\n";
+  bench_common::compare("  2-row @ (3,3)", 99.99,
+                        figure.mean_at({"3", "3", "2"}));
+  bench_common::compare("  16-row @ (3,3)", 99.99,
+                        figure.mean_at({"3", "3", "16"}));
+  bench_common::compare("  32-row @ (3,3)", 99.85,
+                        figure.mean_at({"3", "3", "32"}));
+  const double best8 = figure.mean_at({"1.5", "3", "8"});
+  const double low8 = figure.mean_at({"1.5", "1.5", "8"});
+  std::cout << "  8-row (1.5,1.5) vs (1.5,3): paper -21.74% — measured "
+            << Table::num((low8 - best8) * 100.0, 2) << "%\n";
+  return 0;
+}

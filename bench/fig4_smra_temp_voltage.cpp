@@ -1,0 +1,25 @@
+// Reproduces Fig 4: average SiMRA success rate under (a) temperature
+// 50-90 C and (b) wordline voltage 2.5-2.1 V.
+#include "bench_common.hpp"
+#include "charz/figures.hpp"
+
+int main() {
+  using namespace simra;
+  const charz::Plan plan = bench_common::announced_plan(
+      "Fig 4: SiMRA success rate vs temperature and VPP");
+
+  const charz::FigureData temp = charz::fig4a_smra_temperature(plan);
+  bench_common::print_figure(temp);
+  const charz::FigureData vpp = charz::fig4b_smra_voltage(plan);
+  bench_common::print_figure(vpp);
+
+  std::cout << "Paper reference points (Obs. 3/4):\n";
+  const double d_temp =
+      temp.mean_at({"50", "32"}) - temp.mean_at({"90", "32"});
+  std::cout << "  32-row, 50C vs 90C: paper ~0.07% decrease — measured "
+            << Table::num(d_temp * 100.0, 3) << "%\n";
+  const double d_vpp = vpp.mean_at({"2.5", "32"}) - vpp.mean_at({"2.1", "32"});
+  std::cout << "  32-row, 2.5V vs 2.1V: paper <=0.41% decrease — measured "
+            << Table::num(d_vpp * 100.0, 3) << "%\n";
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Reproduces Fig 6: MAJ3 success rate for every (t1, t2) pair and
+// activation size, showing the input-replication effect (Obs. 6/7).
+#include "bench_common.hpp"
+#include "charz/figures.hpp"
+
+int main() {
+  using namespace simra;
+  const charz::Plan plan = bench_common::announced_plan(
+      "Fig 6: MAJ3 success rate vs APA timing and activation size");
+  const charz::FigureData figure = charz::fig6_maj3_timing(plan);
+  bench_common::print_figure(figure);
+
+  std::cout << "Paper reference points:\n";
+  bench_common::compare("  MAJ3 @ 32-row, (1.5,3)", 99.00,
+                        figure.mean_at({"1.5", "3", "32"}));
+  bench_common::compare("  MAJ3 @ 4-row,  (1.5,3)", 68.19,
+                        figure.mean_at({"1.5", "3", "4"}));
+  const double delta = figure.mean_at({"1.5", "3", "32"}) -
+                       figure.mean_at({"1.5", "3", "4"});
+  std::cout << "  replication gain (Obs. 6): paper +30.81% — measured +"
+            << Table::num(delta * 100.0, 2) << "%\n";
+  const double second = figure.mean_at({"3", "3", "32"});
+  std::cout << "  (3,3) vs (1.5,3) @ 32-row (Obs. 7): paper -45.50% — measured "
+            << Table::num((second - figure.mean_at({"1.5", "3", "32"})) * 100.0,
+                          2)
+            << "%\n";
+  return 0;
+}

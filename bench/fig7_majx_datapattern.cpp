@@ -1,0 +1,33 @@
+// Reproduces Fig 7: MAJ3/5/7/9 success rates across data patterns
+// (random and four fixed byte patterns).
+#include "bench_common.hpp"
+#include "charz/figures.hpp"
+
+int main() {
+  using namespace simra;
+  const charz::Plan plan = bench_common::announced_plan(
+      "Fig 7: MAJX success rate vs data pattern");
+  const charz::FigureData figure = charz::fig7_majx_datapattern(plan);
+  bench_common::print_figure(figure);
+
+  std::cout << "Paper reference points (Obs. 8/9) @ 32-row, random:\n";
+  bench_common::compare("  MAJ3", 99.00,
+                        figure.mean_at({"MAJ3", "32", "random"}));
+  bench_common::compare("  MAJ5", 79.64,
+                        figure.mean_at({"MAJ5", "32", "random"}));
+  bench_common::compare("  MAJ7", 33.87,
+                        figure.mean_at({"MAJ7", "32", "random"}));
+  bench_common::compare("  MAJ9", 5.91,
+                        figure.mean_at({"MAJ9", "32", "random"}));
+  const double maj7_fixed = figure.mean_at({"MAJ7", "32", "0x00/0xFF"});
+  const double maj7_rand = figure.mean_at({"MAJ7", "32", "random"});
+  std::cout << "  MAJ7 random vs 0x00/0xFF: paper -32.56% — measured "
+            << Table::num((maj7_rand - maj7_fixed) * 100.0, 2) << "%\n\n";
+
+  const charz::FigureData vendors = charz::fig7_majx_by_vendor(plan);
+  bench_common::print_figure(vendors);
+  std::cout << "Paper (fn. 11): MAJ9+ unusable on Mfr. M, MAJ11+ on Mfr. H.\n";
+  bench_common::compare("  Mfr. M MAJ9 (see EXPERIMENTS.md deviation note)", 1.0, vendors.mean_at({"M", "MAJ9"}));
+  bench_common::compare("  Mfr. H MAJ9", 5.91, vendors.mean_at({"H", "MAJ9"}));
+  return 0;
+}

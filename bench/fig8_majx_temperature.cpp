@@ -1,0 +1,24 @@
+// Reproduces Fig 8: MAJX success rate at 50-90 C (Obs. 11/12).
+#include "bench_common.hpp"
+#include "charz/figures.hpp"
+
+int main() {
+  using namespace simra;
+  const charz::Plan plan = bench_common::announced_plan(
+      "Fig 8: MAJX success rate vs temperature");
+  const charz::FigureData figure = charz::fig8_majx_temperature(plan);
+  bench_common::print_figure(figure);
+
+  std::cout << "Paper reference points:\n";
+  const double maj3_4_50 = figure.mean_at({"MAJ3", "4", "50"});
+  const double maj3_4_90 = figure.mean_at({"MAJ3", "4", "90"});
+  std::cout << "  MAJ3 @ 4-row 50->90C variation: paper up to 15.20% — "
+               "measured "
+            << Table::num((maj3_4_90 - maj3_4_50) * 100.0, 2) << "%\n";
+  const double maj3_32_50 = figure.mean_at({"MAJ3", "32", "50"});
+  const double maj3_32_90 = figure.mean_at({"MAJ3", "32", "90"});
+  std::cout << "  MAJ3 @ 32-row 50->90C variation: paper up to 1.65% — "
+               "measured "
+            << Table::num((maj3_32_90 - maj3_32_50) * 100.0, 2) << "%\n";
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Reproduces Fig 9: MAJX success rate under VPP underscaling (Obs. 13).
+#include "bench_common.hpp"
+#include "charz/figures.hpp"
+
+int main() {
+  using namespace simra;
+  const charz::Plan plan = bench_common::announced_plan(
+      "Fig 9: MAJX success rate vs wordline voltage");
+  const charz::FigureData figure = charz::fig9_majx_voltage(plan);
+  bench_common::print_figure(figure);
+
+  std::cout << "Paper reference (Obs. 13): ~1.10% average variation across "
+               "operations for 2.5V -> 2.1V.\nMeasured average variation: ";
+  double total = 0.0;
+  std::size_t count = 0;
+  for (const auto& [x, n] : charz::majx_points()) {
+    const std::string op = "MAJ" + std::to_string(x);
+    const auto* at_25 = figure.find({op, std::to_string(n), "2.5"});
+    const auto* at_21 = figure.find({op, std::to_string(n), "2.1"});
+    if (at_25 == nullptr || at_21 == nullptr) continue;
+    total += std::abs(at_25->mean - at_21->mean);
+    ++count;
+  }
+  std::cout << Table::num(count ? total / count * 100.0 : 0.0, 2) << "%\n";
+  return 0;
+}

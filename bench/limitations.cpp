@@ -1,0 +1,31 @@
+// Reproduces the §9 limitation analyses: (1) Mfr. S gates violated
+// timings — no PUD operations observed; (3) PUD operations cause no
+// bitflips outside the simultaneously activated row group.
+#include "bench_common.hpp"
+#include "charz/limitations.hpp"
+
+int main() {
+  using namespace simra;
+  charz::Plan plan = bench_common::announced_plan(
+      "Limitations 1 & 3: vendor gating and disturbance check");
+  // Vendor comparison only needs one module per vendor.
+  plan.modules = {{dram::VendorProfile::hynix_m(), 1},
+                  {dram::VendorProfile::micron_e(), 1}};
+
+  const charz::FigureData vendors = charz::limitation1_vendor_support(plan);
+  bench_common::print_figure(vendors);
+  std::cout << "Paper (Limitation 1): Mfr. S shows no simultaneous "
+               "activation of more than one row.\n";
+  bench_common::compare("  Mfr. S @ 32-row (expected ~1/32)", 3.1,
+                        vendors.mean_at({"S", "32"}));
+  bench_common::compare("  Mfr. H @ 32-row", 99.85,
+                        vendors.mean_at({"H", "32"}));
+
+  const auto disturbance = charz::limitation3_disturbance(plan, 10);
+  std::cout << "\nLimitation 3 (paper: no errors outside the activated "
+               "group across 10000 trials):\n  "
+            << disturbance.trials << " operation trials, "
+            << disturbance.cells_checked << " outside-group cells checked, "
+            << disturbance.bitflips_outside_group << " bitflips observed\n";
+  return disturbance.bitflips_outside_group == 0 ? 0 : 1;
+}

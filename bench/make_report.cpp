@@ -1,0 +1,81 @@
+// Regenerates the entire evaluation in one run and writes a Markdown
+// report (plus per-figure CSVs when SIMRA_CSV_DIR is set). This is the
+// programmatic version of EXPERIMENTS.md's measured column.
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "casestudy/content_destruction.hpp"
+#include "charz/figures.hpp"
+#include "charz/limitations.hpp"
+#include "common/env.hpp"
+#include "dram/power_model.hpp"
+#include "spice/montecarlo.hpp"
+
+namespace {
+
+using namespace simra;
+
+void section(std::ostringstream& md, const charz::FigureData& figure) {
+  md << "## " << figure.title << "\n\n```\n"
+     << figure.to_table().to_text() << "```\n\n";
+  simra::bench_common::print_figure(figure);
+}
+
+}  // namespace
+
+int main() {
+  const charz::Plan plan = bench_common::announced_plan(
+      "Full evaluation report (all figures)");
+  std::ostringstream md;
+  md << "# SiMRA-DRAM — generated evaluation report\n\n";
+  md << "Plan: " << plan.instance_count() << " instances, "
+     << plan.groups_per_size << " groups/size, " << plan.trials
+     << " trials" << (full_scale_run() ? " (paper scale)" : " (quick)")
+     << ".\n\n";
+
+  section(md, charz::fig3_smra_timing(plan));
+  section(md, charz::fig4a_smra_temperature(plan));
+  section(md, charz::fig4b_smra_voltage(plan));
+  section(md, charz::fig6_maj3_timing(plan));
+  section(md, charz::fig7_majx_datapattern(plan));
+  section(md, charz::fig7_majx_by_vendor(plan));
+  section(md, charz::fig8_majx_temperature(plan));
+  section(md, charz::fig9_majx_voltage(plan));
+  section(md, charz::fig10_mrc_timing(plan));
+  section(md, charz::fig11_mrc_datapattern(plan));
+  section(md, charz::fig12a_mrc_temperature(plan));
+  section(md, charz::fig12b_mrc_voltage(plan));
+  section(md, charz::limitation1_vendor_support(plan));
+
+  // Fig 5 (power) and Fig 17 (content destruction) are analytic tables.
+  md << "## Fig 5: power (fraction of REF)\n\n```\n";
+  for (std::size_t n : {2u, 4u, 8u, 16u, 32u}) {
+    md << n << "-row ACT: "
+       << Table::num(dram::PowerModel::apa_vs_ref_fraction(n), 3) << "\n";
+  }
+  md << "```\n\n## Fig 17: content destruction speedups\n\n```\n";
+  const auto profile = dram::VendorProfile::hynix_m();
+  for (const auto& c : casestudy::compare_destruction_methods(
+           profile.geometry, profile.timings)) {
+    md << c.label << ": " << Table::num(c.speedup_vs_rowclone, 2) << "x\n";
+  }
+  md << "```\n\n## Fig 15: SPICE Monte-Carlo (selected points)\n\n```\n";
+  for (double variation : {0.0, 0.4}) {
+    for (unsigned n : {4u, 32u}) {
+      spice::MonteCarloConfig cfg;
+      cfg.n_rows = n;
+      cfg.variation_fraction = variation;
+      cfg.iterations = full_scale_run() ? 10000 : 1000;
+      const auto r = spice::run_maj3_monte_carlo(cfg);
+      md << "variation " << variation * 100 << "% N=" << n
+         << ": success " << Table::pct(r.success_rate) << ", deviation "
+         << Table::num(r.deviation.mean * 1000, 1) << " mV\n";
+    }
+  }
+  md << "```\n";
+
+  const std::string path = "simra_report.md";
+  write_file(path, md.str());
+  std::cout << "\nreport written to " << path << "\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// google-benchmark timings of the simulator's core operations: how fast
+// the substitute testbed itself executes PUD programs (useful when sizing
+// paper-scale characterization runs).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "dram/chip.hpp"
+#include "pud/engine.hpp"
+#include "pud/patterns.hpp"
+#include "pud/success.hpp"
+
+namespace {
+
+using namespace simra;
+
+struct Fixture {
+  dram::Chip chip{dram::VendorProfile::hynix_m(), 42};
+  pud::Engine engine{&chip};
+  Rng rng{7};
+};
+
+void BM_WriteRow(benchmark::State& state) {
+  Fixture f;
+  BitVec row(f.chip.profile().geometry.columns);
+  row.randomize(f.rng);
+  dram::RowAddr addr = 0;
+  for (auto _ : state) {
+    f.engine.write_row(0, addr, row);
+    addr = (addr + 1) % 512;
+  }
+}
+BENCHMARK(BM_WriteRow);
+
+void BM_RowClone(benchmark::State& state) {
+  Fixture f;
+  BitVec row(f.chip.profile().geometry.columns);
+  row.randomize(f.rng);
+  f.engine.write_row(0, 0, row);
+  for (auto _ : state) f.engine.rowclone(0, 0, 1);
+}
+BENCHMARK(BM_RowClone);
+
+void BM_MultiRowCopy(benchmark::State& state) {
+  Fixture f;
+  const auto group = pud::sample_group(f.chip.layout(),
+                                       static_cast<std::size_t>(state.range(0)),
+                                       f.rng);
+  for (auto _ : state) f.engine.multi_row_copy(0, 1, group);
+}
+BENCHMARK(BM_MultiRowCopy)->Arg(4)->Arg(32);
+
+void BM_Majx(benchmark::State& state) {
+  Fixture f;
+  const auto x = static_cast<unsigned>(state.range(0));
+  const auto group = pud::sample_group(f.chip.layout(), 32, f.rng);
+  pud::MajxConfig cfg;
+  cfg.x = x;
+  cfg.operands = pud::make_pattern_rows(dram::DataPattern::kRandom,
+                                        f.chip.profile().geometry.columns, x,
+                                        f.rng);
+  for (auto _ : state) benchmark::DoNotOptimize(f.engine.majx(0, 1, group, cfg));
+}
+BENCHMARK(BM_Majx)->Arg(3)->Arg(9);
+
+void BM_MeasureSmra32(benchmark::State& state) {
+  Fixture f;
+  const auto group = pud::sample_group(f.chip.layout(), 32, f.rng);
+  pud::MeasureConfig cfg;
+  cfg.trials = 3;
+  cfg.timings = pud::ApaTimings::best_for_smra();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        pud::measure_smra(f.engine, 0, 1, group, cfg, f.rng));
+}
+BENCHMARK(BM_MeasureSmra32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,34 @@
+// Reproduces Tables 1 and 2: the tested DDR4 chip/module inventory.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "dram/vendor.hpp"
+
+int main() {
+  using namespace simra;
+  using dram::VendorProfile;
+
+  std::cout << "=== Table 1/2: tested DDR4 DRAM modules ===\n\n";
+  Table table({"DRAM Mfr.", "module vendor", "module id", "chip id",
+               "#modules", "#chips", "die", "density", "org", "MT/s",
+               "subarray"});
+  int modules = 0;
+  int chips = 0;
+  for (const VendorProfile& p : VendorProfile::all_tested()) {
+    table.add_row({p.manufacturer, p.module_vendor, p.module_identifier,
+                   p.chip_identifier, std::to_string(p.modules_tested),
+                   std::to_string(p.chips_tested()),
+                   std::string(1, p.die_revision), p.density,
+                   "x" + std::to_string(p.org_width),
+                   std::to_string(p.freq_mts),
+                   std::to_string(p.geometry.rows_per_subarray)});
+    modules += p.modules_tested;
+    chips += p.chips_tested();
+  }
+  table.print(std::cout);
+  std::cout << "\ntotals: " << modules << " modules, " << chips
+            << " chips (paper: 18 modules, 120 chips)\n";
+  std::cout << "note: the SK Hynix M-die population includes 640-row "
+               "subarray variants (Table 1: \"512 or 640\").\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// A miniature version of the paper's entire characterization methodology
+// against one module: reverse engineer the subarray geometry with
+// RowClone (§3.1), then measure SiMRA, MAJX, and Multi-RowCopy success
+// rates (§3.2-3.4) — all through the testbed command interface.
+#include <cstdio>
+
+#include "bender/testbed.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "pud/engine.hpp"
+#include "pud/subarray_mapper.hpp"
+#include "pud/success.hpp"
+
+int main() {
+  using namespace simra;
+
+  auto module_ptr =
+      std::make_unique<dram::Module>(dram::VendorProfile::hynix_m(), 777,
+                                     /*chip_count=*/1);
+  bender::Testbed testbed(std::move(module_ptr));
+  testbed.temperature().set_target(Celsius{50.0});
+  testbed.vpp_supply().set_vpp(Volts{2.5});
+
+  dram::Chip& chip = testbed.module().chip(0);
+  pud::Engine engine(&chip);
+  Rng rng(42);
+
+  std::printf("module under test: %s %s (%s, die %c)\n",
+              chip.profile().module_vendor.c_str(),
+              chip.profile().module_identifier.c_str(),
+              chip.profile().density.c_str(), chip.profile().die_revision);
+
+  // 1. Find the subarray size via RowClone (the device is a black box to
+  //    the mapper: it only issues commands).
+  pud::SubarrayMapper mapper(&engine, &rng);
+  const std::size_t subarray_rows = mapper.infer_subarray_size(0);
+  std::printf("reverse-engineered subarray size: %zu rows\n\n", subarray_rows);
+
+  // 2. Success-rate spot checks at the best timings.
+  Table table({"operation", "config", "success"});
+  auto measure_n = [&](std::size_t n) {
+    pud::MeasureConfig cfg;
+    cfg.timings = pud::ApaTimings::best_for_smra();
+    const auto group = pud::sample_group(chip.layout(), n, rng);
+    return pud::measure_smra(engine, 0, 1, group, cfg, rng);
+  };
+  for (std::size_t n : {2u, 8u, 32u})
+    table.add_row({"SiMRA", std::to_string(n) + "-row",
+                   Table::pct(measure_n(n))});
+
+  for (unsigned x : {3u, 5u, 7u, 9u}) {
+    pud::MeasureConfig cfg;
+    cfg.timings = pud::ApaTimings::best_for_majx();
+    const auto group = pud::sample_group(chip.layout(), 32, rng);
+    table.add_row({"MAJ" + std::to_string(x), "32-row",
+                   Table::pct(pud::measure_majx(engine, 0, 1, group, x, cfg,
+                                                rng))});
+  }
+  for (std::size_t dests : {7u, 31u}) {
+    pud::MeasureConfig cfg;
+    cfg.timings = pud::ApaTimings::best_for_multi_row_copy();
+    const auto group = pud::sample_group(chip.layout(), dests + 1, rng);
+    table.add_row({"Multi-RowCopy", std::to_string(dests) + " dests",
+                   Table::pct(pud::measure_mrc(engine, 0, 1, group, cfg,
+                                               rng))});
+  }
+  std::printf("%s", table.to_text().c_str());
+  std::printf("\n(averages over 120 chips are produced by the bench "
+              "binaries; see bench/)\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// The paper's Fig 14 walk-through, executable: how interrupting a PRE
+// leaves the pre-decoder latches set so that a second ACT opens the
+// cartesian product of both addresses' digits.
+#include <cstdio>
+
+#include "dram/predecoder.hpp"
+
+namespace {
+
+using simra::dram::DecoderLatches;
+using simra::dram::PredecoderLayout;
+using simra::dram::RowAddr;
+
+void print_latches(const PredecoderLayout& layout,
+                   const DecoderLatches& latches, const char* moment) {
+  std::printf("%s\n", moment);
+  const auto rows = latches.asserted_rows();
+  std::printf("  asserted local wordlines (%zu):", rows.size());
+  for (RowAddr r : rows) std::printf(" %u", r);
+  std::printf("\n");
+  (void)layout;
+}
+
+void print_digits(const PredecoderLayout& layout, RowAddr row) {
+  static const char kField[] = {'A', 'B', 'C', 'D', 'E'};
+  const auto digits = layout.digits(row);
+  std::printf("  row %3u pre-decodes to:", row);
+  for (std::size_t f = 0; f < digits.size(); ++f)
+    std::printf(" P_%c%u", kField[f % 5], digits[f]);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const auto layout = PredecoderLayout::for_subarray_rows(512);
+  std::printf("hypothetical row decoder of a 512-row subarray (paper §7.1):\n"
+              "five pre-decoders A(RA[0]), B(RA[1:2]), C(RA[3:4]), "
+              "D(RA[5:6]), E(RA[7:8])\n\n");
+
+  std::printf("=== Fig 14: ACT 0 -> PRE (interrupted) -> ACT 7 ===\n");
+  print_digits(layout, 0);
+  print_digits(layout, 7);
+
+  DecoderLatches latches(&layout);
+  print_latches(layout, latches, "\n(1) bank precharged, nothing latched");
+
+  latches.latch(0);
+  print_latches(layout, latches,
+                "\n(2) ACT 0: P_A0 and P_B0 latch, LWL_0 asserts");
+
+  std::printf("\n(c) PRE issued, but (d) the next ACT arrives within 3 ns: "
+              "the latches are NOT cleared\n");
+
+  latches.latch(7);
+  print_latches(layout, latches,
+                "\n(3) ACT 7: P_A1 and P_B3 latch as well -> the decoder tree "
+                "asserts the cartesian product");
+
+  std::printf("\n=== scaling up: ACT 127 -> PRE -> ACT 128 flips all five "
+              "pre-decoders ===\n");
+  print_digits(layout, 127);
+  print_digits(layout, 128);
+  DecoderLatches wide(&layout);
+  wide.latch(127);
+  wide.latch(128);
+  std::printf("  simultaneously asserted wordlines: %zu (2^5)\n",
+              wide.asserted_count());
+
+  std::printf("\na completed PRE clears every latch:\n");
+  wide.clear();
+  std::printf("  asserted wordlines after clear: %zu\n",
+              wide.asserted_count());
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Quickstart: open a simulated DDR4 chip, simultaneously activate 32 rows
+// with one timing-violating APA command pair, and perform an in-DRAM
+// majority-of-three with input replication — the paper's §3.3 flow in a
+// few lines of the public API.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "dram/chip.hpp"
+#include "pud/engine.hpp"
+#include "pud/patterns.hpp"
+#include "pud/row_group.hpp"
+
+int main() {
+  using namespace simra;
+
+  // 1. A chip under test: SK Hynix 4Gb M-die (Table 1). The seed fixes
+  //    the chip's process variation (its stable/unstable cell map).
+  dram::Chip chip(dram::VendorProfile::hynix_m(), /*seed=*/2024);
+  pud::Engine engine(&chip);
+  Rng rng(1);
+
+  // 2. Pick a row group: ACT(R_F) -> PRE -> ACT(R_S) with violated
+  //    timings opens the cartesian product of the two rows' pre-decoder
+  //    digits (§7.1) — here 32 rows at once.
+  const pud::RowGroup group = pud::sample_group(chip.layout(), 32, rng);
+  std::printf("APA pair (R_F=%u, R_S=%u) simultaneously activates %zu rows:\n ",
+              group.row_first, group.row_second, group.size());
+  for (dram::RowAddr r : group.rows) std::printf(" %u", r);
+  std::printf("\n\n");
+
+  // 3. MAJ3 with input replication: each operand is stored 10x across the
+  //    32 activated rows (Takeaway 4: replication boosts reliability).
+  const std::size_t columns = chip.profile().geometry.columns;
+  pud::MajxConfig maj;
+  maj.x = 3;
+  maj.operands =
+      pud::make_pattern_rows(dram::DataPattern::kRandom, columns, 3, rng);
+  const BitVec result = engine.majx(/*bank=*/0, /*subarray=*/1, group, maj);
+
+  // 4. Compare with the reference majority.
+  std::vector<const BitVec*> refs;
+  for (const BitVec& op : maj.operands) refs.push_back(&op);
+  const BitVec expected = BitVec::majority(refs);
+  const double success =
+      static_cast<double>(result.matches(expected)) / columns;
+  std::printf("in-DRAM MAJ3 @ 32-row activation: %.2f%% of %zu bitlines "
+              "computed the correct majority\n",
+              success * 100.0, columns);
+  std::printf("(the paper reports 99.00%% on average across 120 chips)\n");
+  return 0;
+}

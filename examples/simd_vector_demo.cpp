@@ -1,0 +1,70 @@
+// Bit-serial SIMD computing entirely inside one subarray: vectors live in
+// DRAM rows (vertical layout), every gate is an in-DRAM majority, and the
+// result never visits the host until the final load — SIMDRAM-style
+// execution on top of simultaneous many-row activation.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "dram/chip.hpp"
+#include "pud/engine.hpp"
+#include "pud/reliability_map.hpp"
+#include "pud/vector_unit.hpp"
+
+int main() {
+  using namespace simra;
+  using namespace simra::pud;
+
+  dram::Chip chip(dram::VendorProfile::hynix_m(), 4242);
+  Engine engine(&chip);
+  Rng rng(1);
+
+  // Profile a few candidate compute groups and keep the best (the §8.1
+  // "highest throughput group" selection).
+  ReliabilityMap profiler(&engine, &rng);
+  std::vector<RowGroup> candidates;
+  for (int i = 0; i < 4; ++i)
+    candidates.push_back(sample_group(chip.layout(), 32, rng));
+  const std::size_t best = profiler.best_group(0, 1, candidates, 3);
+  const double usable = ReliabilityMap::usable_fraction(
+      profiler.stable_majx_columns(0, 1, candidates[best], 3));
+  std::printf("profiled %zu candidate groups; best group has %.1f%% stable "
+              "bitlines for MAJ3\n",
+              candidates.size(), usable * 100.0);
+
+  VectorUnit unit(&engine, /*bank=*/0, /*subarray=*/1, &rng);
+  std::printf("vector unit: %zu SIMD lanes (one per bitline)\n\n",
+              unit.lanes());
+
+  // c = a + b over 8192 lanes of 8-bit values.
+  const auto a = unit.alloc(8);
+  const auto b = unit.alloc(8);
+  const auto c = unit.alloc(8);
+  std::vector<std::uint32_t> a_vals(257);
+  std::vector<std::uint32_t> b_vals(257);
+  for (std::size_t i = 0; i < a_vals.size(); ++i) {
+    a_vals[i] = static_cast<std::uint32_t>(rng.below(256));
+    b_vals[i] = static_cast<std::uint32_t>(rng.below(256));
+  }
+  unit.store(a, a_vals);
+  unit.store(b, b_vals);
+  unit.add(a, b, c);
+
+  const auto results = unit.load(c);
+  std::size_t exact = 0;
+  for (std::size_t lane = 0; lane < results.size(); ++lane) {
+    const std::uint32_t expect =
+        (a_vals[lane % a_vals.size()] + b_vals[lane % b_vals.size()]) & 0xFF;
+    if (results[lane] == expect) ++exact;
+  }
+  const auto& stats = unit.stats();
+  std::printf("8-bit add over %zu lanes: %zu exact (%.2f%%)\n",
+              results.size(), exact,
+              100.0 * static_cast<double>(exact) /
+                  static_cast<double>(results.size()));
+  std::printf("in-DRAM operations: %zu MAJ, %zu RowClone, %zu inverted "
+              "copies\n",
+              stats.maj_ops, stats.rowclone_ops, stats.not_ops);
+  std::printf("sample lane 0: %u + %u = %u (expected %u)\n", a_vals[0],
+              b_vals[0], results[0], (a_vals[0] + b_vals[0]) & 0xFF);
+  return 0;
+}

@@ -1,0 +1,184 @@
+#include "bender/assembler.hpp"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace simra::bender {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw std::invalid_argument("line " + std::to_string(line) + ": " + message);
+}
+
+/// key=value operand list.
+std::map<std::string, std::string> parse_operands(std::istringstream& in,
+                                                  std::size_t line) {
+  std::map<std::string, std::string> out;
+  std::string token;
+  while (in >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= token.size())
+      fail(line, "malformed operand '" + token + "' (expected key=value)");
+    out[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  return out;
+}
+
+std::uint64_t parse_number(const std::string& value, std::size_t line) {
+  try {
+    std::size_t used = 0;
+    const std::uint64_t parsed = std::stoull(value, &used, 0);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    fail(line, "bad number '" + value + "'");
+  }
+}
+
+std::uint64_t require(const std::map<std::string, std::string>& operands,
+                      const std::string& key, std::size_t line) {
+  const auto it = operands.find(key);
+  if (it == operands.end()) fail(line, "missing operand '" + key + "'");
+  return parse_number(it->second, line);
+}
+
+int hex_digit(char c, std::size_t line) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  fail(line, std::string("bad hex digit '") + c + "'");
+}
+
+BitVec parse_payload(const std::map<std::string, std::string>& operands,
+                     std::size_t line) {
+  const auto hex = operands.find("hex");
+  if (hex != operands.end()) {
+    const std::string& digits = hex->second;
+    BitVec data(digits.size() * 4);
+    for (std::size_t i = 0; i < digits.size(); ++i) {
+      const int nibble = hex_digit(digits[i], line);
+      for (int b = 0; b < 4; ++b)
+        if ((nibble >> b) & 1) data.set(i * 4 + b, true);
+    }
+    return data;
+  }
+  const auto pattern = operands.find("pattern");
+  if (pattern != operands.end()) {
+    const auto bits = require(operands, "bits", line);
+    BitVec data(bits);
+    data.fill_byte(static_cast<std::uint8_t>(
+        parse_number(pattern->second, line) & 0xFF));
+    return data;
+  }
+  fail(line, "WR needs a 'hex=' or 'pattern= bits=' payload");
+}
+
+std::string payload_to_hex(const BitVec& data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve((data.size() + 3) / 4);
+  for (std::size_t i = 0; i < data.size(); i += 4) {
+    int nibble = 0;
+    for (std::size_t b = 0; b < 4 && i + b < data.size(); ++b)
+      if (data.get(i + b)) nibble |= 1 << b;
+    out.push_back(kDigits[nibble]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Program Assembler::assemble(const std::string& text) {
+  Program program;
+  std::istringstream lines(text);
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(lines, raw)) {
+    ++line_no;
+    const std::size_t comment = raw.find('#');
+    if (comment != std::string::npos) raw.erase(comment);
+    std::istringstream in(raw);
+    std::string mnemonic;
+    if (!(in >> mnemonic)) continue;  // blank line.
+
+    if (mnemonic == "DELAY" || mnemonic == "WAIT") {
+      double ns = 0.0;
+      if (!(in >> ns)) fail(line_no, mnemonic + " needs a duration in ns");
+      try {
+        if (mnemonic == "DELAY")
+          program.delay(Nanoseconds{ns});
+        else
+          program.delay_at_least(Nanoseconds{ns});
+      } catch (const std::exception& e) {
+        fail(line_no, e.what());
+      }
+      continue;
+    }
+
+    const auto operands = parse_operands(in, line_no);
+    if (mnemonic == "ACT") {
+      program.act(static_cast<dram::BankId>(require(operands, "bank", line_no)),
+                  static_cast<dram::RowAddr>(require(operands, "row", line_no)));
+    } else if (mnemonic == "PRE") {
+      program.pre(static_cast<dram::BankId>(require(operands, "bank", line_no)));
+    } else if (mnemonic == "RD") {
+      program.rd(static_cast<dram::BankId>(require(operands, "bank", line_no)),
+                 static_cast<dram::ColAddr>(require(operands, "col", line_no)),
+                 require(operands, "bits", line_no));
+    } else if (mnemonic == "WR") {
+      program.wr(static_cast<dram::BankId>(require(operands, "bank", line_no)),
+                 static_cast<dram::ColAddr>(require(operands, "col", line_no)),
+                 parse_payload(operands, line_no));
+    } else if (mnemonic == "REF") {
+      program.ref();
+    } else {
+      fail(line_no, "unknown mnemonic '" + mnemonic + "'");
+    }
+  }
+  return program;
+}
+
+std::string Assembler::disassemble(const Program& program) {
+  std::ostringstream out;
+  std::uint64_t prev_slot = 0;
+  bool first = true;
+  for (const TimedCommand& cmd : program.commands()) {
+    if (first) {
+      // Preserve an initial idle offset exactly.
+      if (cmd.slot > 0)
+        out << "DELAY " << static_cast<double>(cmd.slot) * kSlotNs << "\n";
+    } else {
+      const std::uint64_t gap = cmd.slot - prev_slot;
+      if (gap > 1)
+        out << "DELAY " << static_cast<double>(gap) * kSlotNs << "\n";
+    }
+    switch (cmd.kind) {
+      case CommandKind::kAct:
+        out << "ACT bank=" << static_cast<int>(cmd.bank) << " row=" << cmd.row;
+        break;
+      case CommandKind::kPre:
+        out << "PRE bank=" << static_cast<int>(cmd.bank);
+        break;
+      case CommandKind::kRd:
+        out << "RD bank=" << static_cast<int>(cmd.bank) << " col=" << cmd.col
+            << " bits=" << cmd.nbits;
+        break;
+      case CommandKind::kWr:
+        out << "WR bank=" << static_cast<int>(cmd.bank) << " col=" << cmd.col
+            << " hex=" << payload_to_hex(cmd.data);
+        break;
+      case CommandKind::kRef:
+        out << "REF";
+        break;
+    }
+    out << "\n";
+    prev_slot = cmd.slot;
+    first = false;
+  }
+  return out.str();
+}
+
+}  // namespace simra::bender

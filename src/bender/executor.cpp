@@ -1,0 +1,80 @@
+#include "bender/executor.hpp"
+
+#include <stdexcept>
+
+namespace simra::bender {
+
+namespace {
+
+using dram::PowerOp;
+
+double command_energy(const TimedCommand& cmd, const dram::Chip& chip,
+                      double n_open_rows) {
+  // Rough per-command energy from the average-power model; command
+  // durations follow the nominal timings.
+  const auto& t = chip.profile().timings;
+  switch (cmd.kind) {
+    case CommandKind::kAct:
+      return dram::PowerModel::energy_pj(
+          PowerOp::kManyRowActivation, Nanoseconds{t.tRCD.value},
+          static_cast<std::size_t>(n_open_rows > 0 ? n_open_rows : 1));
+    case CommandKind::kPre:
+      return dram::PowerModel::energy_pj(PowerOp::kActPre,
+                                         Nanoseconds{t.tRP.value}) *
+             0.5;
+    case CommandKind::kWr:
+      return dram::PowerModel::energy_pj(PowerOp::kWrite,
+                                         Nanoseconds{t.tCCD.value});
+    case CommandKind::kRd:
+      return dram::PowerModel::energy_pj(PowerOp::kRead,
+                                         Nanoseconds{t.tCCD.value});
+    case CommandKind::kRef:
+      return dram::PowerModel::energy_pj(PowerOp::kRefresh,
+                                         Nanoseconds{t.tRFC.value});
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Executor::Executor(dram::Chip* chip) : chip_(chip) {
+  if (chip_ == nullptr) throw std::invalid_argument("executor needs a chip");
+}
+
+ExecutionResult Executor::run(const Program& program) {
+  ExecutionResult result;
+  for (const TimedCommand& cmd : program.commands()) {
+    const double t = clock_ns_ + cmd.time_ns();
+    dram::Bank& bank = chip_->bank(cmd.bank);
+    switch (cmd.kind) {
+      case CommandKind::kAct:
+        bank.act(cmd.row, t);
+        break;
+      case CommandKind::kPre:
+        bank.pre(t);
+        break;
+      case CommandKind::kWr:
+        bank.write(cmd.col, cmd.data, t);
+        break;
+      case CommandKind::kRd:
+        result.reads.push_back(bank.read(cmd.col, cmd.nbits, t));
+        break;
+      case CommandKind::kRef:
+        for (std::size_t b = 0; b < chip_->bank_count(); ++b)
+          chip_->bank(static_cast<dram::BankId>(b)).refresh(t);
+        break;
+    }
+    result.energy_pj += command_energy(
+        cmd, *chip_, static_cast<double>(bank.open_rows().size()));
+  }
+  result.duration_ns = program.duration_ns();
+  clock_ns_ += result.duration_ns;
+  return result;
+}
+
+void Executor::idle(Nanoseconds gap) {
+  if (gap.value < 0.0) throw std::invalid_argument("idle gap must be >= 0");
+  clock_ns_ += gap.value;
+}
+
+}  // namespace simra::bender

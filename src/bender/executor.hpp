@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bender/program.hpp"
+#include "common/bitvec.hpp"
+#include "dram/chip.hpp"
+#include "dram/power_model.hpp"
+
+namespace simra::bender {
+
+/// Result of one program execution against one chip: the RD payloads in
+/// command order, plus energy bookkeeping from the power model.
+struct ExecutionResult {
+  std::vector<BitVec> reads;
+  double duration_ns = 0.0;
+  double energy_pj = 0.0;
+
+  double average_power_mw() const {
+    return duration_ns > 0.0 ? energy_pj / duration_ns : 0.0;
+  }
+};
+
+/// The FPGA-side program executor (the substitute for DRAM Bender's
+/// hardware engine): replays a command program against a chip with
+/// absolute nanosecond timestamps. The executor owns a monotonically
+/// advancing clock, so successive programs see strictly increasing time —
+/// matching a real testbed session.
+class Executor {
+ public:
+  explicit Executor(dram::Chip* chip);
+
+  ExecutionResult run(const Program& program);
+
+  /// Inserts an idle gap (e.g. "wait out tRP before the next test").
+  void idle(Nanoseconds gap);
+
+  double clock_ns() const noexcept { return clock_ns_; }
+  dram::Chip& chip() noexcept { return *chip_; }
+
+ private:
+  dram::Chip* chip_;
+  double clock_ns_ = 0.0;
+};
+
+}  // namespace simra::bender

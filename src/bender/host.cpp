@@ -1,0 +1,73 @@
+#include "bender/host.hpp"
+
+#include <stdexcept>
+
+namespace simra::bender {
+
+Host::Host(Executor* executor) : executor_(executor) {
+  if (executor_ == nullptr) throw std::invalid_argument("host needs an executor");
+}
+
+Program Host::row_program(dram::BankId bank, dram::RowAddr row,
+                          dram::ColAddr start_bit, const BitVec* write_data,
+                          std::size_t read_bits) const {
+  const auto& t = executor_->chip().profile().timings;
+  if (start_bit % kBurstBits != 0)
+    throw std::invalid_argument("burst access must be 64-bit aligned");
+
+  Program p;
+  p.act(bank, row).delay_at_least(t.tRCD);
+  if (write_data != nullptr) {
+    for (std::size_t offset = 0; offset < write_data->size();
+         offset += kBurstBits) {
+      const std::size_t len =
+          std::min(kBurstBits, write_data->size() - offset);
+      p.wr(bank, start_bit + static_cast<dram::ColAddr>(offset),
+           write_data->slice(offset, len));
+      p.delay_at_least(t.tCCD);
+    }
+    p.delay_at_least(t.tWR);
+  } else {
+    for (std::size_t offset = 0; offset < read_bits; offset += kBurstBits) {
+      const std::size_t len = std::min(kBurstBits, read_bits - offset);
+      p.rd(bank, start_bit + static_cast<dram::ColAddr>(offset), len);
+      p.delay_at_least(t.tCCD);
+    }
+  }
+  p.pre(bank).delay_at_least(t.tRP);
+  return p;
+}
+
+void Host::write_row(dram::BankId bank, dram::RowAddr row,
+                     const BitVec& data) {
+  executor_->run(row_program(bank, row, 0, &data, 0));
+}
+
+void Host::write_bursts(dram::BankId bank, dram::RowAddr row,
+                        dram::ColAddr start_bit, const BitVec& data) {
+  executor_->run(row_program(bank, row, start_bit, &data, 0));
+}
+
+BitVec Host::read_row(dram::BankId bank, dram::RowAddr row,
+                      std::size_t columns) {
+  const ExecutionResult result =
+      executor_->run(row_program(bank, row, 0, nullptr, columns));
+  BitVec out(columns);
+  std::size_t offset = 0;
+  for (const BitVec& burst : result.reads) {
+    out.assign_range(offset, burst);
+    offset += burst.size();
+  }
+  return out;
+}
+
+Nanoseconds Host::row_write_duration(std::size_t columns) const {
+  BitVec dummy(columns);
+  return Nanoseconds{row_program(0, 0, 0, &dummy, 0).duration_ns()};
+}
+
+Nanoseconds Host::row_read_duration(std::size_t columns) const {
+  return Nanoseconds{row_program(0, 0, 0, nullptr, columns).duration_ns()};
+}
+
+}  // namespace simra::bender

@@ -1,0 +1,43 @@
+#pragma once
+
+#include "bender/executor.hpp"
+#include "common/bitvec.hpp"
+#include "dram/types.hpp"
+
+namespace simra::bender {
+
+/// Burst-granular host data path. The Engine's row-level WR/RD commands
+/// abstract a whole row into one command; a real DDR4 host moves data in
+/// BL8 bursts (64 bits per x8 chip per CAS command). This host issues the
+/// faithful burst sequences — useful when modelling data-movement time or
+/// when an experiment needs partial-row access patterns.
+class Host {
+ public:
+  static constexpr std::size_t kBurstBits = 64;
+
+  explicit Host(Executor* executor);
+
+  /// Writes a full row as back-to-back WR bursts at tCCD spacing
+  /// (ACT, tRCD, bursts..., tWR, PRE, tRP).
+  void write_row(dram::BankId bank, dram::RowAddr row, const BitVec& data);
+
+  /// Reads a full row as back-to-back RD bursts.
+  BitVec read_row(dram::BankId bank, dram::RowAddr row, std::size_t columns);
+
+  /// Writes an arbitrary burst-aligned slice of an open-row-sized vector.
+  void write_bursts(dram::BankId bank, dram::RowAddr row,
+                    dram::ColAddr start_bit, const BitVec& data);
+
+  /// Duration of a full-row write/read program (for throughput models).
+  Nanoseconds row_write_duration(std::size_t columns) const;
+  Nanoseconds row_read_duration(std::size_t columns) const;
+
+ private:
+  Program row_program(dram::BankId bank, dram::RowAddr row,
+                      dram::ColAddr start_bit, const BitVec* write_data,
+                      std::size_t read_bits) const;
+
+  Executor* executor_;
+};
+
+}  // namespace simra::bender

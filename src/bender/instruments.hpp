@@ -1,0 +1,68 @@
+#pragma once
+
+#include <stdexcept>
+
+#include "common/units.hpp"
+#include "dram/module.hpp"
+
+namespace simra::bender {
+
+/// Substitute for the MaxWell FT20X temperature controller (§3.1): rubber
+/// heaters clamp the module and hold the chips at a target temperature.
+class TemperatureController {
+ public:
+  explicit TemperatureController(dram::Module* module) : module_(module) {
+    if (module_ == nullptr)
+      throw std::invalid_argument("controller needs a module");
+  }
+
+  /// Supported range of the instrument.
+  static constexpr double kMinC = 20.0;
+  static constexpr double kMaxC = 95.0;
+
+  void set_target(Celsius target) {
+    if (target.value < kMinC || target.value > kMaxC)
+      throw std::out_of_range("target temperature outside controller range");
+    target_ = target;
+    module_->set_temperature(target);
+  }
+
+  Celsius target() const noexcept { return target_; }
+
+ private:
+  dram::Module* module_;
+  Celsius target_{50.0};
+};
+
+/// Substitute for the TTi PL068-P supply driving the wordline rail (VPP)
+/// at +-1 mV precision (§3.1 footnote 1).
+class PowerSupply {
+ public:
+  explicit PowerSupply(dram::Module* module) : module_(module) {
+    if (module_ == nullptr)
+      throw std::invalid_argument("power supply needs a module");
+  }
+
+  static constexpr double kMinV = 1.8;
+  static constexpr double kMaxV = 2.6;
+  static constexpr double kPrecisionV = 0.001;
+
+  void set_vpp(Volts vpp) {
+    if (vpp.value < kMinV || vpp.value > kMaxV)
+      throw std::out_of_range("VPP outside supply range");
+    // Quantize to the instrument's 1 mV precision.
+    const double quantized =
+        kPrecisionV *
+        static_cast<long long>(vpp.value / kPrecisionV + 0.5);
+    vpp_ = Volts{quantized};
+    module_->set_vpp(vpp_);
+  }
+
+  Volts vpp() const noexcept { return vpp_; }
+
+ private:
+  dram::Module* module_;
+  Volts vpp_{2.5};
+};
+
+}  // namespace simra::bender

@@ -1,0 +1,126 @@
+#include "bender/program.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace simra::bender {
+
+std::string to_string(CommandKind kind) {
+  switch (kind) {
+    case CommandKind::kAct:
+      return "ACT";
+    case CommandKind::kPre:
+      return "PRE";
+    case CommandKind::kWr:
+      return "WR";
+    case CommandKind::kRd:
+      return "RD";
+    case CommandKind::kRef:
+      return "REF";
+  }
+  return "?";
+}
+
+Program& Program::push(TimedCommand cmd) {
+  if (cursor_occupied_) ++cursor_;  // one command per slot.
+  cmd.slot = cursor_;
+  cursor_occupied_ = true;
+  commands_.push_back(std::move(cmd));
+  return *this;
+}
+
+Program& Program::act(dram::BankId bank, dram::RowAddr row) {
+  TimedCommand c;
+  c.kind = CommandKind::kAct;
+  c.bank = bank;
+  c.row = row;
+  return push(std::move(c));
+}
+
+Program& Program::pre(dram::BankId bank) {
+  TimedCommand c;
+  c.kind = CommandKind::kPre;
+  c.bank = bank;
+  return push(std::move(c));
+}
+
+Program& Program::wr(dram::BankId bank, dram::ColAddr col, BitVec data) {
+  TimedCommand c;
+  c.kind = CommandKind::kWr;
+  c.bank = bank;
+  c.col = col;
+  c.data = std::move(data);
+  return push(std::move(c));
+}
+
+Program& Program::rd(dram::BankId bank, dram::ColAddr col, std::size_t nbits) {
+  TimedCommand c;
+  c.kind = CommandKind::kRd;
+  c.bank = bank;
+  c.col = col;
+  c.nbits = nbits;
+  return push(std::move(c));
+}
+
+Program& Program::ref() {
+  TimedCommand c;
+  c.kind = CommandKind::kRef;
+  return push(std::move(c));
+}
+
+Program& Program::delay(Nanoseconds delay) {
+  const double slots_exact = delay.value / kSlotNs;
+  const double rounded = std::round(slots_exact);
+  if (delay.value <= 0.0 || std::abs(slots_exact - rounded) > 1e-9)
+    throw std::invalid_argument(
+        "delay must be a positive multiple of the 1.5 ns command slot");
+  cursor_ += static_cast<std::uint64_t>(rounded);
+  cursor_occupied_ = false;
+  return *this;
+}
+
+Program& Program::delay_at_least(Nanoseconds delay) {
+  if (delay.value <= 0.0) throw std::invalid_argument("delay must be positive");
+  const auto slots =
+      static_cast<std::uint64_t>(std::ceil(delay.value / kSlotNs - 1e-9));
+  cursor_ += slots > 0 ? slots : 1;
+  cursor_occupied_ = false;
+  return *this;
+}
+
+double Program::duration_ns() const {
+  if (commands_.empty()) return 0.0;
+  const std::uint64_t last =
+      cursor_occupied_ ? cursor_ + 1 : cursor_;
+  return static_cast<double>(last) * kSlotNs;
+}
+
+std::string Program::to_string() const {
+  std::ostringstream os;
+  for (const TimedCommand& c : commands_) {
+    os << c.time_ns() << "ns\t" << bender::to_string(c.kind);
+    switch (c.kind) {
+      case CommandKind::kAct:
+        os << " bank=" << static_cast<int>(c.bank) << " row=" << c.row;
+        break;
+      case CommandKind::kPre:
+        os << " bank=" << static_cast<int>(c.bank);
+        break;
+      case CommandKind::kWr:
+        os << " bank=" << static_cast<int>(c.bank) << " col=" << c.col
+           << " bits=" << c.data.size();
+        break;
+      case CommandKind::kRd:
+        os << " bank=" << static_cast<int>(c.bank) << " col=" << c.col
+           << " bits=" << c.nbits;
+        break;
+      case CommandKind::kRef:
+        break;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace simra::bender

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "common/units.hpp"
+#include "dram/types.hpp"
+
+namespace simra::bender {
+
+/// The testbed can issue one DRAM command per FPGA command slot; slots are
+/// 1.5 ns apart (the DRAM Bender limitation discussed in §9 Limitation 2 —
+/// finer-grained control, e.g. 0.1 ns, is not possible).
+inline constexpr double kSlotNs = 1.5;
+
+enum class CommandKind : std::uint8_t {
+  kAct,
+  kPre,
+  kWr,
+  kRd,
+  kRef,
+};
+
+std::string to_string(CommandKind kind);
+
+/// One DRAM command scheduled at an absolute slot index within a program.
+struct TimedCommand {
+  std::uint64_t slot = 0;
+  CommandKind kind = CommandKind::kAct;
+  dram::BankId bank = 0;
+  dram::RowAddr row = 0;
+  dram::ColAddr col = 0;       ///< bit offset for WR/RD.
+  std::size_t nbits = 0;       ///< read length for RD.
+  BitVec data;                 ///< payload for WR.
+
+  double time_ns() const { return static_cast<double>(slot) * kSlotNs; }
+};
+
+/// A DRAM Bender-style command program: a time-annotated command sequence
+/// built with an explicit cursor. Delays between commands are expressed in
+/// nanoseconds and must be positive multiples of the 1.5 ns slot.
+///
+/// Example — the APA sequence of §3.2 with t1 = 3 ns, t2 = 3 ns:
+///
+///   Program p;
+///   p.act(bank, row_first).delay(Nanoseconds{3})
+///    .pre(bank).delay(Nanoseconds{3})
+///    .act(bank, row_second);
+class Program {
+ public:
+  Program& act(dram::BankId bank, dram::RowAddr row);
+  Program& pre(dram::BankId bank);
+  /// Writes `data` at bit offset `col` of the open row.
+  Program& wr(dram::BankId bank, dram::ColAddr col, BitVec data);
+  /// Reads `nbits` at bit offset `col`; results are collected by the
+  /// executor in command order.
+  Program& rd(dram::BankId bank, dram::ColAddr col, std::size_t nbits);
+  Program& ref();
+
+  /// Advances the cursor. `delay` must be a positive multiple of 1.5 ns;
+  /// anything else throws (the hardware cannot schedule it).
+  Program& delay(Nanoseconds delay);
+
+  /// Advances the cursor to at least the standard-timing distance for the
+  /// given delay (rounded up to the next slot). Use for "respect nominal
+  /// timing" gaps where exact slot alignment is irrelevant.
+  Program& delay_at_least(Nanoseconds delay);
+
+  const std::vector<TimedCommand>& commands() const noexcept { return commands_; }
+  std::uint64_t cursor_slot() const noexcept { return cursor_; }
+  double duration_ns() const;
+  bool empty() const noexcept { return commands_.empty(); }
+
+  /// Human-readable listing (debugging aid, mirrors the Bender trace view).
+  std::string to_string() const;
+
+ private:
+  Program& push(TimedCommand cmd);
+
+  std::vector<TimedCommand> commands_;
+  std::uint64_t cursor_ = 0;
+  bool cursor_occupied_ = false;  ///< a command sits at the cursor slot.
+};
+
+}  // namespace simra::bender

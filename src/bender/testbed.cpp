@@ -1,0 +1,29 @@
+#include "bender/testbed.hpp"
+
+#include <stdexcept>
+
+namespace simra::bender {
+
+Testbed::Testbed(std::unique_ptr<dram::Module> module)
+    : module_(std::move(module)),
+      temperature_(module_.get()),
+      vpp_(module_.get()) {
+  executors_.reserve(module_->chip_count());
+  for (std::size_t i = 0; i < module_->chip_count(); ++i)
+    executors_.emplace_back(&module_->chip(i));
+}
+
+Executor& Testbed::executor(std::size_t chip_index) {
+  if (chip_index >= executors_.size())
+    throw std::out_of_range("chip index out of range");
+  return executors_[chip_index];
+}
+
+std::vector<ExecutionResult> Testbed::run_all(const Program& program) {
+  std::vector<ExecutionResult> results;
+  results.reserve(executors_.size());
+  for (Executor& e : executors_) results.push_back(e.run(program));
+  return results;
+}
+
+}  // namespace simra::bender

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bender/executor.hpp"
+#include "bender/instruments.hpp"
+#include "dram/module.hpp"
+
+namespace simra::bender {
+
+/// The complete experimental setup of Fig 2: a module under test on the
+/// FPGA board, rubber-heater temperature control, and the external VPP
+/// supply. One executor per chip (the chips share the command bus, so
+/// programs are replayed identically on each chip — lockstep).
+class Testbed {
+ public:
+  explicit Testbed(std::unique_ptr<dram::Module> module);
+
+  dram::Module& module() noexcept { return *module_; }
+  const dram::Module& module() const noexcept { return *module_; }
+
+  TemperatureController& temperature() noexcept { return temperature_; }
+  PowerSupply& vpp_supply() noexcept { return vpp_; }
+
+  std::size_t chip_count() const noexcept { return executors_.size(); }
+  Executor& executor(std::size_t chip_index);
+
+  /// Replays `program` on every chip in lockstep; returns per-chip results.
+  std::vector<ExecutionResult> run_all(const Program& program);
+
+ private:
+  std::unique_ptr<dram::Module> module_;
+  TemperatureController temperature_;
+  PowerSupply vpp_;
+  std::vector<Executor> executors_;
+};
+
+}  // namespace simra::bender

@@ -1,0 +1,102 @@
+#include "casestudy/content_destruction.hpp"
+
+#include <stdexcept>
+
+namespace simra::casestudy {
+
+namespace {
+
+/// Program durations (ns) of the primitive operations, mirroring
+/// pud::Engine's command sequences.
+struct OpDurations {
+  double write_row;
+  double rowclone;
+  double frac;
+  double mrc;
+
+  explicit OpDurations(const dram::TimingParams& t)
+      : write_row(t.tRCD.value + t.tWR.value + t.tRP.value),
+        rowclone(t.tRAS.value + 6.0 + t.tRAS.value + t.tRP.value),
+        // Reliable Frac needs FracDRAM's doubled ACT->PRE sequence.
+        frac(2.0 * (1.5 + t.tRP.value)),
+        mrc(36.0 + 3.0 + t.tRAS.value + t.tRP.value) {}
+};
+
+}  // namespace
+
+std::string to_string(DestructionMethod method) {
+  switch (method) {
+    case DestructionMethod::kRowClone:
+      return "RowClone";
+    case DestructionMethod::kFrac:
+      return "Frac";
+    case DestructionMethod::kMultiRowCopy:
+      return "Multi-RowCopy";
+  }
+  return "?";
+}
+
+DestructionCost destruction_cost(const DestructionPlan& plan,
+                                 const dram::Geometry& geometry,
+                                 const dram::TimingParams& timings) {
+  const OpDurations ops(timings);
+  const std::size_t rows = geometry.rows_per_bank;
+  const std::size_t subarrays = geometry.subarrays_per_bank();
+  const std::size_t rows_per_subarray = geometry.rows_per_subarray;
+
+  DestructionCost cost;
+  switch (plan.method) {
+    case DestructionMethod::kRowClone: {
+      // One seed WR per subarray (RowClone is intra-subarray), then clone
+      // into every other row.
+      cost.operations = subarrays * rows_per_subarray;  // = rows.
+      cost.total_ns = static_cast<double>(subarrays) * ops.write_row +
+                      static_cast<double>(rows - subarrays) * ops.rowclone;
+      break;
+    }
+    case DestructionMethod::kFrac: {
+      cost.operations = rows;
+      cost.total_ns = static_cast<double>(rows) * ops.frac;
+      break;
+    }
+    case DestructionMethod::kMultiRowCopy: {
+      if (plan.rows_per_group < 2 || plan.rows_per_group > 32)
+        throw std::invalid_argument("Multi-RowCopy group size must be 2..32");
+      // Per subarray: one seed WR, then each APA destroys
+      // (rows_per_group - 1) fresh rows (the source is re-used).
+      const std::size_t fresh = plan.rows_per_group - 1;
+      const std::size_t ops_per_subarray =
+          (rows_per_subarray - 1 + fresh - 1) / fresh;
+      cost.operations = subarrays * (1 + ops_per_subarray);
+      cost.total_ns =
+          static_cast<double>(subarrays) *
+          (ops.write_row + static_cast<double>(ops_per_subarray) * ops.mrc);
+      break;
+    }
+  }
+  return cost;
+}
+
+std::vector<DestructionComparison> compare_destruction_methods(
+    const dram::Geometry& geometry, const dram::TimingParams& timings) {
+  std::vector<DestructionComparison> out;
+  const DestructionCost baseline = destruction_cost(
+      {DestructionMethod::kRowClone, 2}, geometry, timings);
+
+  auto add = [&](const std::string& label, const DestructionPlan& plan) {
+    DestructionComparison c;
+    c.label = label;
+    c.cost = destruction_cost(plan, geometry, timings);
+    c.speedup_vs_rowclone = baseline.total_ns / c.cost.total_ns;
+    out.push_back(std::move(c));
+  };
+
+  add("RowClone", {DestructionMethod::kRowClone, 2});
+  add("Frac", {DestructionMethod::kFrac, 2});
+  for (std::size_t n : {2, 4, 8, 16, 32})
+    add("Multi-RowCopy-" + std::to_string(n),
+        {DestructionMethod::kMultiRowCopy, n});
+  return out;
+}
+
+}  // namespace simra::casestudy

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dram/timing.hpp"
+#include "dram/types.hpp"
+
+namespace simra::casestudy {
+
+/// Cold-boot-attack prevention by rapid in-DRAM content destruction
+/// (§8.2): overwrite every row of a bank as fast as possible during
+/// power-off/on so a hot-swapped chip holds nothing readable.
+enum class DestructionMethod {
+  kRowClone,      ///< WR a pattern once, RowClone it row by row.
+  kFrac,          ///< Frac every row to VDD/2.
+  kMultiRowCopy,  ///< WR once, Multi-RowCopy in groups of N.
+};
+
+std::string to_string(DestructionMethod method);
+
+struct DestructionPlan {
+  DestructionMethod method = DestructionMethod::kRowClone;
+  std::size_t rows_per_group = 2;  ///< Multi-RowCopy activation size (2..32).
+};
+
+/// Analytic execution-time model over one bank, built from the command
+/// program durations of the underlying operations.
+struct DestructionCost {
+  std::size_t operations = 0;
+  double total_ns = 0.0;
+};
+
+/// Cost of wiping one bank with the given plan. `geometry` supplies row
+/// and subarray counts; timings supply the program durations.
+DestructionCost destruction_cost(const DestructionPlan& plan,
+                                 const dram::Geometry& geometry,
+                                 const dram::TimingParams& timings);
+
+/// Speedup of each method/size over the RowClone baseline (Fig 17's bars).
+struct DestructionComparison {
+  std::string label;
+  DestructionCost cost;
+  double speedup_vs_rowclone = 1.0;
+};
+
+std::vector<DestructionComparison> compare_destruction_methods(
+    const dram::Geometry& geometry, const dram::TimingParams& timings);
+
+}  // namespace simra::casestudy

@@ -1,0 +1,55 @@
+#include "casestudy/data_movement.hpp"
+
+#include <stdexcept>
+
+#include "dram/power_model.hpp"
+#include "majsynth/cost_model.hpp"
+#include "majsynth/synth.hpp"
+
+namespace simra::casestudy {
+
+BulkBitwiseComparison compare_bulk_and(const dram::VendorProfile& profile,
+                                       std::size_t operands) {
+  if (operands < 2) throw std::invalid_argument("need >= 2 operand rows");
+  const auto& t = profile.timings;
+  using dram::PowerModel;
+  using dram::PowerOp;
+
+  BulkBitwiseComparison out;
+  out.operand_rows = operands;
+  out.row_bits = profile.geometry.columns;
+
+  // --- Processor path: burst transfers over the data bus. ---
+  const double bursts_per_row =
+      static_cast<double>(out.row_bits) / 64.0;
+  const double row_transfer_ns =
+      t.tRCD.value + bursts_per_row * t.tCCD.value + t.tRP.value;
+  const double transfers = static_cast<double>(operands) + 1.0;  // k in, 1 out.
+  out.cpu_time_ns = transfers * row_transfer_ns;
+  out.cpu_energy_pj =
+      static_cast<double>(operands) *
+          PowerModel::energy_pj(PowerOp::kRead, Nanoseconds{row_transfer_ns}) +
+      PowerModel::energy_pj(PowerOp::kWrite, Nanoseconds{row_transfer_ns});
+
+  // --- PUD path: MAJ3 AND tree (operands - 1 gates) in place. ---
+  const majsynth::NetworkCost cost =
+      majsynth::synth::bitwise_and_network(static_cast<unsigned>(operands), 3)
+          .cost();
+  const majsynth::OpLatencies ops = majsynth::OpLatencies::from_timings(t);
+  double pud_ns = 0.0;
+  double pud_pj = 0.0;
+  for (const auto& [fanin, count] : cost.maj_by_fanin) {
+    const double gate_ns = majsynth::maj_gate_latency_ns(
+        fanin, 4, profile.supports_frac, ops);
+    pud_ns += static_cast<double>(count) * gate_ns;
+    pud_pj += static_cast<double>(count) *
+              PowerModel::energy_pj(PowerOp::kManyRowActivation,
+                                    Nanoseconds{gate_ns}, 4);
+    out.pud_operations += count;
+  }
+  out.pud_time_ns = pud_ns;
+  out.pud_energy_pj = pud_pj;
+  return out;
+}
+
+}  // namespace simra::casestudy

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+
+#include "dram/vendor.hpp"
+
+namespace simra::casestudy {
+
+/// The paper's §1 motivation, quantified with this repository's own
+/// models: bulk bitwise work either moves every operand row over the
+/// memory bus to the CPU and the result back, or executes in place with
+/// majority operations. Both sides are derived from the same command
+/// timings and power model — no external constants.
+struct BulkBitwiseComparison {
+  std::size_t operand_rows = 0;   ///< k input rows reduced into one.
+  std::size_t row_bits = 0;
+
+  // Processor path: k row reads + 1 row write over the bus (compute
+  // itself is bandwidth-hidden).
+  double cpu_time_ns = 0.0;
+  double cpu_energy_pj = 0.0;
+
+  // PUD path: MAJ3 AND-tree executed in-DRAM (gate staging + APA +
+  // result copy per gate).
+  std::size_t pud_operations = 0;
+  double pud_time_ns = 0.0;
+  double pud_energy_pj = 0.0;
+
+  double speedup() const { return cpu_time_ns / pud_time_ns; }
+  double energy_reduction() const { return cpu_energy_pj / pud_energy_pj; }
+};
+
+/// Compares a k-operand bitwise AND reduction over full rows.
+BulkBitwiseComparison compare_bulk_and(const dram::VendorProfile& profile,
+                                       std::size_t operands);
+
+}  // namespace simra::casestudy

@@ -1,0 +1,56 @@
+#include "casestudy/tmr.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "pud/row_group.hpp"
+
+namespace simra::casestudy {
+
+MajorityVoter::MajorityVoter(pud::Engine* engine, dram::BankId bank,
+                             dram::SubarrayId sa)
+    : engine_(engine), bank_(bank), sa_(sa) {
+  if (engine_ == nullptr) throw std::invalid_argument("voter needs an engine");
+}
+
+BitVec MajorityVoter::vote(const BitVec& payload, unsigned copies,
+                           unsigned faulty_copies, std::size_t fault_bits,
+                           Rng& rng) {
+  if (copies % 2 == 0 || copies < 3)
+    throw std::invalid_argument("copy count must be odd and >= 3");
+  if (faulty_copies > copies)
+    throw std::invalid_argument("more faulty copies than copies");
+
+  // Build the (possibly corrupted) replicas.
+  std::vector<BitVec> replicas(copies, payload);
+  for (unsigned f = 0; f < faulty_copies; ++f) {
+    for (std::size_t k = 0; k < fault_bits; ++k)
+      replicas[f].flip(rng.below(payload.size()));
+  }
+
+  pud::MajxConfig config;
+  config.x = copies;
+  config.operands = std::move(replicas);
+  config.timings = pud::ApaTimings::best_for_majx();
+  const pud::RowGroup group =
+      pud::sample_group(engine_->layout(), 32, rng);
+  return engine_->majx(bank_, sa_, group, config);
+}
+
+double MajorityVoter::recovery_rate(unsigned copies, unsigned faulty_copies,
+                                    std::size_t fault_bits, unsigned runs,
+                                    Rng& rng) {
+  const std::size_t columns = engine_->chip().profile().geometry.columns;
+  std::size_t correct = 0;
+  std::size_t total = 0;
+  for (unsigned r = 0; r < runs; ++r) {
+    BitVec payload(columns);
+    payload.randomize(rng);
+    const BitVec voted = vote(payload, copies, faulty_copies, fault_bits, rng);
+    correct += voted.matches(payload);
+    total += columns;
+  }
+  return total == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(total);
+}
+
+}  // namespace simra::casestudy

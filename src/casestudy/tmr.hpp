@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+
+#include "common/bitvec.hpp"
+#include "dram/types.hpp"
+#include "pud/engine.hpp"
+
+namespace simra {
+class Rng;
+}
+
+namespace simra::casestudy {
+
+/// In-DRAM majority voting for modular redundancy (§8.1, "Majority-based
+/// Error Correction Operations"): R copies of a payload are stored in a
+/// subarray and corrected with one in-DRAM MAJX operation. MAJ3 masks one
+/// faulty copy (classic TMR); MAJ(2k+1) masks k.
+class MajorityVoter {
+ public:
+  MajorityVoter(pud::Engine* engine, dram::BankId bank, dram::SubarrayId sa);
+
+  /// Stores `copies` replicas of `payload`, flips `faulty_copies` of them
+  /// in `fault_bits` random positions each (single-event-upset model),
+  /// then votes in-DRAM with MAJ(copies) and returns the voted payload.
+  BitVec vote(const BitVec& payload, unsigned copies, unsigned faulty_copies,
+              std::size_t fault_bits, Rng& rng);
+
+  /// Fraction of payload bits recovered correctly by an in-DRAM vote under
+  /// the given fault injection, averaged over `runs`.
+  double recovery_rate(unsigned copies, unsigned faulty_copies,
+                       std::size_t fault_bits, unsigned runs, Rng& rng);
+
+ private:
+  pud::Engine* engine_;
+  dram::BankId bank_;
+  dram::SubarrayId sa_;
+};
+
+}  // namespace simra::casestudy

@@ -1,0 +1,54 @@
+#include "casestudy/trng.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace simra::casestudy {
+
+SimraTrng::SimraTrng(pud::Engine* engine, dram::BankId bank, dram::RowAddr row)
+    : engine_(engine), bank_(bank), row_(row) {
+  if (engine_ == nullptr) throw std::invalid_argument("trng needs an engine");
+}
+
+BitVec SimraTrng::raw_sample() {
+  engine_->frac(bank_, row_);
+  return engine_->read_row(bank_, row_);
+}
+
+std::vector<bool> SimraTrng::random_bits(std::size_t min_bits) {
+  std::vector<bool> bits;
+  bits.reserve(min_bits);
+  while (bits.size() < min_bits) {
+    const BitVec a = raw_sample();
+    const BitVec b = raw_sample();
+    for (std::size_t i = 0; i < a.size() && bits.size() < min_bits; ++i) {
+      const bool x = a.get(i);
+      const bool y = b.get(i);
+      if (x != y) bits.push_back(x);  // von Neumann: 10 -> 1, 01 -> 0.
+    }
+  }
+  return bits;
+}
+
+double SimraTrng::monobit_bias(const std::vector<bool>& bits) {
+  if (bits.empty()) return 0.0;
+  std::size_t ones = 0;
+  for (bool b : bits) ones += b ? 1u : 0u;
+  return std::abs(static_cast<double>(ones) / static_cast<double>(bits.size()) -
+                  0.5);
+}
+
+double SimraTrng::raw_throughput_bits_per_s() const {
+  const auto& t = engine_->chip().profile().timings;
+  const double columns =
+      static_cast<double>(engine_->chip().profile().geometry.columns);
+  // Frac program, then reading the whole row as 64-bit bursts over the
+  // data bus (the dominant cost: columns/64 bursts at tCCD each).
+  const double bursts = columns / 64.0;
+  const double sample_ns = (1.5 + t.tRP.value) +
+                           (t.tRCD.value + bursts * t.tCCD.value +
+                            t.tRP.value);
+  return columns / (sample_ns * 1e-9);
+}
+
+}  // namespace simra::casestudy

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "dram/types.hpp"
+#include "pud/engine.hpp"
+
+namespace simra::casestudy {
+
+/// True-random-number generation from DRAM sense-amplifier metastability
+/// (the QUAC-TRNG direction §10.1 suggests SiMRA can extend): a Frac'd
+/// row holds ~VDD/2 on every bitline, so re-activating it makes each SA
+/// resolve from its offset plus thermal noise. Cells with a strong offset
+/// are biased; von Neumann extraction over consecutive samples removes
+/// the bias.
+class SimraTrng {
+ public:
+  SimraTrng(pud::Engine* engine, dram::BankId bank, dram::RowAddr row);
+
+  /// One raw sample: Frac the row, re-activate, read it back.
+  BitVec raw_sample();
+
+  /// Von-Neumann-extracted random bits (pairs of raw samples; 01 -> 0,
+  /// 10 -> 1, 00/11 discarded). Returns at least `min_bits` bits.
+  std::vector<bool> random_bits(std::size_t min_bits);
+
+  /// Monobit statistic of a bit sequence: |#ones/#bits - 0.5| (0 = ideal).
+  static double monobit_bias(const std::vector<bool>& bits);
+
+  /// Raw throughput estimate in bits per second (columns per sample over
+  /// the sample program duration), before extraction.
+  double raw_throughput_bits_per_s() const;
+
+ private:
+  pud::Engine* engine_;
+  dram::BankId bank_;
+  dram::RowAddr row_;
+};
+
+}  // namespace simra::casestudy

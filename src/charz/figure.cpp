@@ -1,0 +1,53 @@
+#include "charz/figure.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace simra::charz {
+
+Table FigureData::to_table() const {
+  std::vector<std::string> headers = key_columns;
+  for (const char* h : {"min%", "q1%", "median%", "q3%", "max%", "mean%",
+                        "samples"})
+    headers.emplace_back(h);
+  Table table(std::move(headers));
+  for (const Row& row : rows) {
+    std::vector<std::string> cells = row.keys;
+    cells.push_back(Table::num(row.stats.min * 100.0, 3));
+    cells.push_back(Table::num(row.stats.q1 * 100.0, 3));
+    cells.push_back(Table::num(row.stats.median * 100.0, 3));
+    cells.push_back(Table::num(row.stats.q3 * 100.0, 3));
+    cells.push_back(Table::num(row.stats.max * 100.0, 3));
+    cells.push_back(Table::num(row.stats.mean * 100.0, 3));
+    cells.push_back(std::to_string(row.stats.count));
+    table.add_row(std::move(cells));
+  }
+  return table;
+}
+
+const BoxStats* FigureData::find(const std::vector<std::string>& keys) const {
+  for (const Row& row : rows)
+    if (row.keys == keys) return &row.stats;
+  return nullptr;
+}
+
+double FigureData::mean_at(const std::vector<std::string>& keys) const {
+  const BoxStats* stats = find(keys);
+  if (stats == nullptr) {
+    std::string joined;
+    for (const auto& k : keys) joined += k + ",";
+    throw std::out_of_range("no figure row for keys: " + joined);
+  }
+  return stats->mean;
+}
+
+std::string format_ns(double ns) {
+  std::ostringstream os;
+  if (ns == static_cast<long long>(ns))
+    os << static_cast<long long>(ns);
+  else
+    os << ns;
+  return os.str();
+}
+
+}  // namespace simra::charz

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace simra::charz {
+
+/// Result of one figure reproduction: a keyed series of box statistics
+/// (one row per plotted box/point). Bench binaries render it with
+/// to_table(); tests assert on find().
+struct FigureData {
+  struct Row {
+    std::vector<std::string> keys;
+    BoxStats stats;
+  };
+
+  std::string title;
+  std::vector<std::string> key_columns;
+  std::vector<Row> rows;
+
+  /// Renders keys plus min/Q1/median/Q3/max/mean columns (percent).
+  Table to_table() const;
+
+  /// Stats for an exact key tuple; nullptr when absent.
+  const BoxStats* find(const std::vector<std::string>& keys) const;
+
+  /// Mean success (fraction) for an exact key tuple; throws when absent.
+  double mean_at(const std::vector<std::string>& keys) const;
+};
+
+/// Formats a timing value the way figure keys do ("1.5", "3", "36").
+std::string format_ns(double ns);
+
+}  // namespace simra::charz

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+
+#include "charz/figure.hpp"
+#include "charz/plan.hpp"
+
+namespace simra::charz {
+
+/// Reproductions of every evaluation figure/table of the paper. Each
+/// generator runs the corresponding §3 methodology over the plan's
+/// instances and returns the plotted series as box statistics.
+
+/// Fig 3: SiMRA success vs (t1, t2) and activation size (WR-overdrive
+/// test, §3.2). Keys: t1, t2, N.
+FigureData fig3_smra_timing(const Plan& plan);
+
+/// Fig 4a: SiMRA success vs temperature at best timing. Keys: temp, N.
+FigureData fig4a_smra_temperature(const Plan& plan);
+/// Fig 4b: SiMRA success vs wordline voltage (VPP). Keys: vpp, N.
+FigureData fig4b_smra_voltage(const Plan& plan);
+
+/// Fig 6: MAJ3 success vs (t1, t2) and activation size. Keys: t1, t2, N.
+FigureData fig6_maj3_timing(const Plan& plan);
+
+/// Fig 7: MAJX success vs data pattern. Keys: X, N, pattern.
+FigureData fig7_majx_datapattern(const Plan& plan);
+
+/// Per-vendor breakdown of Fig 7 at 32-row activation / random pattern —
+/// makes the §5 fn. 11 vendor cutoffs visible (Mfr. M cannot run MAJ9).
+/// Keys: vendor, op.
+FigureData fig7_majx_by_vendor(const Plan& plan);
+
+/// Fig 8: MAJX success vs temperature. Keys: X, N, temp.
+FigureData fig8_majx_temperature(const Plan& plan);
+
+/// Fig 9: MAJX success vs VPP. Keys: X, N, vpp.
+FigureData fig9_majx_voltage(const Plan& plan);
+
+/// Fig 10: Multi-RowCopy success vs (t1, t2) and destination count.
+/// Keys: t1, t2, dests.
+FigureData fig10_mrc_timing(const Plan& plan);
+
+/// Fig 11: Multi-RowCopy success vs source data pattern.
+/// Keys: pattern, dests.
+FigureData fig11_mrc_datapattern(const Plan& plan);
+
+/// Fig 12a/12b: Multi-RowCopy vs temperature / VPP. Keys: temp|vpp, dests.
+FigureData fig12a_mrc_temperature(const Plan& plan);
+FigureData fig12b_mrc_voltage(const Plan& plan);
+
+/// Activation sizes a profile's decoder supports, capped at 32.
+std::vector<std::size_t> activation_sizes();
+
+/// MAJX (X, N) combinations characterized in §5: N >= X, N in
+/// {4, 8, 16, 32}.
+std::vector<std::pair<unsigned, std::size_t>> majx_points();
+
+}  // namespace simra::charz

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstddef>
+
+#include "charz/figure.hpp"
+#include "charz/plan.hpp"
+
+namespace simra::charz {
+
+/// §9 Limitation 1: vendor support. Measures SiMRA success on chips from
+/// every manufacturer including Mfr. S, whose internal circuitry gates
+/// violated-timing commands — no simultaneous activation is observed.
+/// Keys: vendor, N.
+FigureData limitation1_vendor_support(const Plan& plan);
+
+/// §9 Limitation 3: transient-error check. Runs SiMRA / MAJX /
+/// Multi-RowCopy operations repeatedly and scans every row of the
+/// subarray *outside* the activated group for bitflips. The paper (and
+/// this model) observe none.
+struct DisturbanceResult {
+  std::size_t trials = 0;
+  std::size_t cells_checked = 0;
+  std::size_t bitflips_outside_group = 0;
+};
+
+DisturbanceResult limitation3_disturbance(const Plan& plan,
+                                          std::size_t trials_per_group);
+
+}  // namespace simra::charz

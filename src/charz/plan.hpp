@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dram/vendor.hpp"
+#include "pud/engine.hpp"
+
+namespace simra {
+class Rng;
+}
+
+namespace simra::charz {
+
+/// How many physical instances a characterization run touches. The paper
+/// tests 18 modules / 120 chips, 3 subarrays in each of 16 banks and 100
+/// row groups per activation size (§3.1); `paper_scale()` mirrors that,
+/// `quick()` is a scaled-down plan for single-machine bench runs.
+struct Plan {
+  struct ModuleSpec {
+    dram::VendorProfile profile;
+    std::size_t count = 1;
+  };
+
+  std::vector<ModuleSpec> modules;
+  std::size_t chips_per_module = 1;   ///< chips sampled per module.
+  std::size_t banks_per_chip = 1;     ///< banks sampled per chip.
+  std::size_t subarrays_per_bank = 1; ///< subarrays sampled per bank.
+  std::size_t groups_per_size = 4;    ///< row groups per activation size.
+  unsigned trials = 3;
+  std::uint64_t seed = 0x51a6;
+
+  static Plan quick();
+  static Plan paper_scale();
+  /// paper_scale() when SIMRA_FULL is set, quick() otherwise.
+  static Plan from_env();
+
+  std::size_t instance_count() const;
+};
+
+/// One sampled (chip, bank, subarray) instance handed to an experiment.
+struct Instance {
+  pud::Engine& engine;
+  dram::BankId bank;
+  dram::SubarrayId subarray;
+  const dram::VendorProfile& profile;
+  /// Deterministic per-instance stream (group sampling, data patterns).
+  Rng& rng;
+  /// Weight of this instance in vendor-balanced aggregates (the module
+  /// count it represents).
+  double weight;
+};
+
+/// Instantiates the plan's chips and calls `fn` for every sampled
+/// (chip, bank, subarray). Chips are created one at a time so memory
+/// stays bounded.
+void for_each_instance(const Plan& plan,
+                       const std::function<void(Instance&)>& fn);
+
+}  // namespace simra::charz

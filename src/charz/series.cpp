@@ -1,0 +1,37 @@
+#include "charz/series.hpp"
+
+namespace simra::charz {
+
+namespace {
+std::string join_keys(const std::vector<std::string>& keys) {
+  std::string out;
+  for (const std::string& k : keys) {
+    out += k;
+    out += '\x1f';
+  }
+  return out;
+}
+}  // namespace
+
+void SeriesAccumulator::add(std::vector<std::string> keys, double value) {
+  const std::string joined = join_keys(keys);
+  auto it = index_.find(joined);
+  if (it == index_.end()) {
+    entries_.push_back({std::move(keys), {}});
+    it = index_.emplace(joined, entries_.size() - 1).first;
+  }
+  entries_[it->second].samples.add(value);
+}
+
+FigureData SeriesAccumulator::finish(
+    std::string title, std::vector<std::string> key_columns) const {
+  FigureData data;
+  data.title = std::move(title);
+  data.key_columns = std::move(key_columns);
+  data.rows.reserve(entries_.size());
+  for (const Entry& e : entries_)
+    data.rows.push_back({e.keys, e.samples.box()});
+  return data;
+}
+
+}  // namespace simra::charz

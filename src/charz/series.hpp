@@ -1,0 +1,28 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "charz/figure.hpp"
+
+namespace simra::charz {
+
+/// Accumulates per-key samples across instances and renders them as a
+/// FigureData in first-insertion order.
+class SeriesAccumulator {
+ public:
+  void add(std::vector<std::string> keys, double value);
+  FigureData finish(std::string title,
+                    std::vector<std::string> key_columns) const;
+
+ private:
+  struct Entry {
+    std::vector<std::string> keys;
+    SampleSet samples;
+  };
+  std::vector<Entry> entries_;
+  std::map<std::string, std::size_t> index_;
+};
+
+}  // namespace simra::charz

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace simra {
+
+class Rng;
+
+/// Fixed-length vector of bits with word-parallel bulk operations.
+///
+/// Used to represent DRAM row contents (one bit per cell on a wordline) and
+/// the data operands of PUD operations. Bit i of word w holds cell index
+/// 64*w + i.
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::size_t size, bool value = false);
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  bool get(std::size_t i) const;
+  void set(std::size_t i, bool value);
+  void flip(std::size_t i);
+
+  void fill(bool value);
+  /// Fills with a repeating byte pattern, e.g. 0xAA -> 10101010...
+  void fill_byte(std::uint8_t byte);
+  /// Fills with uniformly random bits.
+  void randomize(Rng& rng);
+
+  /// Number of set bits.
+  std::size_t popcount() const noexcept;
+  /// Number of positions where *this and other differ (sizes must match).
+  std::size_t hamming_distance(const BitVec& other) const;
+  /// Number of positions where *this and other agree (sizes must match).
+  std::size_t matches(const BitVec& other) const;
+
+  BitVec operator~() const;
+  BitVec& operator&=(const BitVec& other);
+  BitVec& operator|=(const BitVec& other);
+  BitVec& operator^=(const BitVec& other);
+
+  friend BitVec operator&(BitVec a, const BitVec& b) { return a &= b; }
+  friend BitVec operator|(BitVec a, const BitVec& b) { return a |= b; }
+  friend BitVec operator^(BitVec a, const BitVec& b) { return a ^= b; }
+  bool operator==(const BitVec& other) const;
+
+  /// Bitwise majority across an odd number of equally sized vectors.
+  static BitVec majority(const std::vector<const BitVec*>& inputs);
+
+  /// Copies `len` bits starting at `pos` into a new vector.
+  BitVec slice(std::size_t pos, std::size_t len) const;
+  /// Overwrites bits [pos, pos + src.size()) with `src`.
+  void assign_range(std::size_t pos, const BitVec& src);
+  /// Overwrites bits of *this with `src` where `mask` is set (sizes equal).
+  void assign_masked(const BitVec& src, const BitVec& mask);
+
+  /// First `n` bits rendered as '0'/'1' (debugging aid).
+  std::string to_string(std::size_t n = 64) const;
+
+  const std::vector<std::uint64_t>& words() const noexcept { return words_; }
+
+ private:
+  void check_index(std::size_t i) const;
+  void check_same_size(const BitVec& other) const;
+  void clear_trailing() noexcept;
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace simra

@@ -1,0 +1,29 @@
+#include "common/env.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace simra {
+
+bool env_flag(const std::string& name) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr) return false;
+  std::string value(raw);
+  std::transform(value.begin(), value.end(), value.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return value == "1" || value == "true" || value == "yes" || value == "on";
+}
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(raw, &end, 10);
+  if (end == raw || (end != nullptr && *end != '\0')) return fallback;
+  return parsed;
+}
+
+bool full_scale_run() { return env_flag("SIMRA_FULL"); }
+
+}  // namespace simra

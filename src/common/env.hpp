@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace simra {
+
+/// True when the named environment variable is set to a truthy value
+/// ("1", "true", "yes", "on"; case-insensitive).
+bool env_flag(const std::string& name);
+
+/// Integer environment variable with a default when unset/unparsable.
+std::int64_t env_int(const std::string& name, std::int64_t fallback);
+
+/// Whether benches should run the paper-scale experiment plan
+/// (SIMRA_FULL=1) instead of the scaled-down default.
+bool full_scale_run();
+
+}  // namespace simra

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace simra {
+
+/// Deterministic, fast pseudo-random generator (xoshiro256++).
+///
+/// All stochastic behaviour in the simulator flows through this generator so
+/// that experiments are exactly reproducible from a seed. Satisfies
+/// std::uniform_random_bit_generator, so it can drive <random> distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit lanes from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x5eed'5eed'5eed'5eedULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Standard normal deviate (Marsaglia polar method, cached spare).
+  double normal() noexcept;
+
+  /// Normal deviate with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Bernoulli trial with success probability `p`.
+  bool chance(double p) noexcept;
+
+  /// Derives an independent child generator (for per-entity streams).
+  Rng fork() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double spare_normal_ = 0.0;
+  bool has_spare_ = false;
+};
+
+/// splitmix64 step; used for seeding and hashing small integer tuples.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Stateless hash of a 64-bit value (one splitmix64 round).
+std::uint64_t hash64(std::uint64_t value) noexcept;
+
+/// Combines a hash with another value (for deterministic per-entity seeds).
+std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value) noexcept;
+
+}  // namespace simra

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace simra {
+
+/// Five-number summary plus mean, as used in the paper's box-and-whisker
+/// plots: whiskers are the minimum and maximum of the observed values, the
+/// box spans the first and third quartiles (footnote 8 of the paper).
+struct BoxStats {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  std::size_t count = 0;
+
+  double iqr() const noexcept { return q3 - q1; }
+};
+
+/// Computes box statistics over a sample. Returns a zeroed summary for an
+/// empty sample. Quartiles use linear interpolation between order statistics
+/// (type-7, the numpy/R default).
+BoxStats box_stats(std::span<const double> sample);
+
+/// Streaming accumulator for mean / variance (Welford) and extrema.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  double variance() const noexcept;  ///< Sample variance (n-1 denominator).
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Quantile with linear interpolation; `q` in [0, 1]. The input must be
+/// sorted ascending.
+double sorted_quantile(std::span<const double> sorted, double q);
+
+/// Mean of a sample (0 for empty samples).
+double mean_of(std::span<const double> sample);
+
+/// Collects values and produces box statistics; convenience for experiment
+/// code that accumulates per-row-group success rates.
+class SampleSet {
+ public:
+  void add(double value) { values_.push_back(value); }
+  void reserve(std::size_t n) { values_.reserve(n); }
+  std::size_t size() const noexcept { return values_.size(); }
+  bool empty() const noexcept { return values_.empty(); }
+  const std::vector<double>& values() const noexcept { return values_; }
+
+  BoxStats box() const { return box_stats(values_); }
+  double mean() const { return mean_of(values_); }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace simra

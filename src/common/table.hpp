@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace simra {
+
+/// Column-aligned text table used by the bench harnesses to print the
+/// rows/series of each paper figure, plus CSV export for plotting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders an aligned ASCII table.
+  std::string to_text() const;
+  /// Renders RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+  /// Formats a double with `digits` places after the decimal point.
+  static std::string num(double value, int digits = 2);
+  /// Formats a percentage (value in [0,1] scaled to 0-100) with digits.
+  static std::string pct(double fraction, int digits = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes `content` to `path`, creating parent directories if needed.
+void write_file(const std::string& path, const std::string& content);
+
+}  // namespace simra

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <compare>
+
+namespace simra {
+
+/// Strongly typed physical quantities used across the DRAM model. All are
+/// thin wrappers over double with explicit construction, so that a timing
+/// delay can never be passed where a voltage is expected.
+
+struct Nanoseconds {
+  double value = 0.0;
+  constexpr Nanoseconds() = default;
+  constexpr explicit Nanoseconds(double ns) : value(ns) {}
+  constexpr auto operator<=>(const Nanoseconds&) const = default;
+  constexpr Nanoseconds operator+(Nanoseconds o) const { return Nanoseconds{value + o.value}; }
+  constexpr Nanoseconds operator-(Nanoseconds o) const { return Nanoseconds{value - o.value}; }
+  constexpr Nanoseconds operator*(double k) const { return Nanoseconds{value * k}; }
+};
+
+struct Celsius {
+  double value = 0.0;
+  constexpr Celsius() = default;
+  constexpr explicit Celsius(double c) : value(c) {}
+  constexpr auto operator<=>(const Celsius&) const = default;
+};
+
+struct Volts {
+  double value = 0.0;
+  constexpr Volts() = default;
+  constexpr explicit Volts(double v) : value(v) {}
+  constexpr auto operator<=>(const Volts&) const = default;
+};
+
+struct Milliwatts {
+  double value = 0.0;
+  constexpr Milliwatts() = default;
+  constexpr explicit Milliwatts(double mw) : value(mw) {}
+  constexpr auto operator<=>(const Milliwatts&) const = default;
+};
+
+namespace literals {
+constexpr Nanoseconds operator""_ns(long double v) { return Nanoseconds{static_cast<double>(v)}; }
+constexpr Nanoseconds operator""_ns(unsigned long long v) { return Nanoseconds{static_cast<double>(v)}; }
+constexpr Celsius operator""_C(long double v) { return Celsius{static_cast<double>(v)}; }
+constexpr Celsius operator""_C(unsigned long long v) { return Celsius{static_cast<double>(v)}; }
+constexpr Volts operator""_V(long double v) { return Volts{static_cast<double>(v)}; }
+constexpr Volts operator""_V(unsigned long long v) { return Volts{static_cast<double>(v)}; }
+}  // namespace literals
+
+}  // namespace simra

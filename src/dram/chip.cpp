@@ -1,0 +1,54 @@
+#include "dram/chip.hpp"
+
+#include <stdexcept>
+
+namespace simra::dram {
+
+Chip::Chip(VendorProfile profile, std::uint64_t seed)
+    : profile_(std::move(profile)),
+      layout_(PredecoderLayout::for_subarray_rows(
+          profile_.geometry.rows_per_subarray)),
+      variation_(seed),
+      electrical_(&profile_, &variation_),
+      rng_(hash_combine(seed, 0xc41bULL)) {
+  ChipContext ctx;
+  ctx.profile = &profile_;
+  ctx.layout = &layout_;
+  ctx.electrical = &electrical_;
+  ctx.env = &env_;
+  ctx.rng = &rng_;
+  banks_.reserve(profile_.geometry.banks);
+  for (std::size_t b = 0; b < profile_.geometry.banks; ++b) {
+    banks_.push_back(std::make_unique<Bank>(static_cast<BankId>(b), ctx));
+  }
+}
+
+Bank& Chip::bank(BankId id) {
+  if (id >= banks_.size()) throw std::out_of_range("bank id out of range");
+  return *banks_[id];
+}
+
+const Bank& Chip::bank(BankId id) const {
+  if (id >= banks_.size()) throw std::out_of_range("bank id out of range");
+  return *banks_[id];
+}
+
+CommandStats Chip::total_stats() const {
+  CommandStats total;
+  for (const auto& bank : banks_) {
+    const CommandStats& s = bank->stats();
+    total.acts += s.acts;
+    total.pres += s.pres;
+    total.writes += s.writes;
+    total.reads += s.reads;
+    total.refreshes += s.refreshes;
+    total.gated_commands += s.gated_commands;
+    total.ignored_commands += s.ignored_commands;
+    total.simultaneous_activations += s.simultaneous_activations;
+    total.consecutive_activations += s.consecutive_activations;
+    total.frac_events += s.frac_events;
+  }
+  return total;
+}
+
+}  // namespace simra::dram

@@ -1,0 +1,322 @@
+#include "dram/electrical.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "dram/calibration.hpp"
+
+namespace simra::dram {
+
+namespace {
+
+// Salts keying the independent persistent-variation fields.
+constexpr std::uint64_t kSaltMajOffset = 0x10;
+constexpr std::uint64_t kSaltMajGroup = 0x11;
+constexpr std::uint64_t kSaltMajPolarity = 0x12;
+constexpr std::uint64_t kSaltSmraOffset = 0x20;
+constexpr std::uint64_t kSaltSmraGroup = 0x21;
+constexpr std::uint64_t kSaltCopyOffset = 0x30;
+constexpr std::uint64_t kSaltCopyGroup = 0x31;
+constexpr std::uint64_t kSaltLatchRace = 0x40;
+constexpr std::uint64_t kSaltFracSense = 0x50;
+
+constexpr double kLowTimingNs = 1.6;  // "1.5 ns" slot, with float slack.
+
+double env_gain(const EnvironmentState& env) {
+  const auto& p = calib::kMajx;
+  const double temp_factor =
+      1.0 + p.temp_gain_slope * (env.temperature.value - 50.0);
+  const double vpp_factor =
+      1.0 - p.vpp_gain_slope * (2.5 - env.vpp.value);
+  return p.gain * temp_factor * vpp_factor;
+}
+
+}  // namespace
+
+namespace calib {
+
+double mrc_latch_fraction(double t1_ns) {
+  // Piecewise-linear SA latch race vs t1: nothing latched before the
+  // sense-enable point, ~everything by tRAS.
+  struct Point {
+    double t;
+    double f;
+  };
+  static constexpr Point kPoints[] = {
+      {4.0, 0.30}, {6.0, 0.995}, {12.0, 0.999}, {18.0, 0.9995}, {36.0, 1.0}};
+  if (t1_ns < kPoints[0].t) return 0.0;
+  for (std::size_t i = 1; i < std::size(kPoints); ++i) {
+    if (t1_ns <= kPoints[i].t) {
+      const auto& a = kPoints[i - 1];
+      const auto& b = kPoints[i];
+      return a.f + (b.f - a.f) * (t1_ns - a.t) / (b.t - a.t);
+    }
+  }
+  return 1.0;
+}
+
+}  // namespace calib
+
+std::span<const float> ElectricalModel::deviates(std::uint64_t salt,
+                                                 std::uint64_t k1,
+                                                 std::uint64_t k2,
+                                                 std::size_t count) const {
+  const std::uint64_t key =
+      hash_combine(hash_combine(hash_combine(salt, k1), k2), count);
+  auto it = deviate_cache_.find(key);
+  if (it == deviate_cache_.end()) {
+    if (deviate_cache_.size() > 4096) deviate_cache_.clear();  // bound memory.
+    std::vector<float> values(count);
+    for (std::size_t c = 0; c < count; ++c)
+      values[c] = static_cast<float>(variation_->normal(salt, k1, k2, c));
+    it = deviate_cache_.emplace(key, std::move(values)).first;
+  }
+  return it->second;
+}
+
+std::uint64_t group_key_of(std::span<const RowAddr> rows) {
+  std::uint64_t key = hash64(rows.size());
+  for (RowAddr r : rows) key = hash_combine(key, r);
+  return key;
+}
+
+ElectricalModel::ElectricalModel(const VendorProfile* profile,
+                                 const VariationField* variation)
+    : profile_(profile), variation_(variation) {
+  if (profile_ == nullptr || variation_ == nullptr)
+    throw std::invalid_argument("electrical model needs profile and variation");
+}
+
+ApaDecision ElectricalModel::classify_apa(Nanoseconds t1, Nanoseconds t2) const {
+  const auto& maj = calib::kMajx;
+  const auto& smra = calib::kSmra;
+  ApaDecision d;
+  d.regime = ApaRegime::kSimultaneous;
+  d.latch_fraction = calib::mrc_latch_fraction(t1.value);
+  d.sa_latched = d.latch_fraction > 0.0;
+
+  if (!d.sa_latched) {
+    // Charge-share (MAJ) regime: the longer the first row stays connected
+    // alone, the more charge it transfers relative to the second group.
+    d.first_row_extra_weight =
+        maj.asym_weight_per_ns *
+        std::max(0.0, t1.value + t2.value - maj.asym_baseline_ns);
+  }
+  if (t2.value <= kLowTimingNs) {
+    d.second_group_weight = maj.weak_t2_row_weight;
+    d.row_dropout_probability = smra.dropout_t2_low;
+    d.majx_z_penalty += maj.weak_t2_z_penalty;
+    d.smra_z_penalty += smra.penalty_t2_low;
+  }
+  if (t1.value <= kLowTimingNs) d.smra_z_penalty += smra.penalty_t1_low;
+  if (t1.value + t2.value < 4.5) d.smra_z_penalty += smra.penalty_sum_low;
+  return d;
+}
+
+double ElectricalModel::group_quality(const BitlineContext& ctx,
+                                      std::uint64_t salt) const {
+  double sigma = 0.0;
+  switch (salt) {
+    case kSaltMajGroup:
+      sigma = calib::kMajx.group_sigma;
+      break;
+    case kSaltSmraGroup:
+      sigma = calib::kSmra.group_sigma;
+      break;
+    case kSaltCopyGroup:
+      sigma = calib::kMrc.group_sigma;
+      break;
+    default:
+      throw std::logic_error("unknown group-quality salt");
+  }
+  const double deviate =
+      variation_->normal(salt, ctx.bank, ctx.subarray, ctx.group_key);
+  return std::exp(sigma * deviate);
+}
+
+double ElectricalModel::estimate_pattern_noise(
+    std::span<const ConnectedRow> rows) {
+  // Byte-periodic (fixed) data perturbs neighbouring bitlines coherently
+  // along the run and its coupling cancels; aperiodic (random) data does
+  // not. Measured as the lag-8 bit disagreement of the stored data.
+  std::size_t disagree = 0;
+  std::size_t total = 0;
+  for (const ConnectedRow& row : rows) {
+    if (row.data == nullptr) continue;
+    const BitVec& v = *row.data;
+    if (v.size() <= 8) continue;
+    // Sample every 16th position: enough to distinguish periodic from
+    // random data without a full scan.
+    for (std::size_t c = 0; c + 8 < v.size(); c += 16) {
+      disagree += (v.get(c) != v.get(c + 8)) ? 1u : 0u;
+      ++total;
+    }
+  }
+  if (total == 0) return 0.0;
+  return std::min(0.5, static_cast<double>(disagree) / static_cast<double>(total));
+}
+
+ChargeShareResult ElectricalModel::resolve_charge_share(
+    const BitlineContext& ctx, std::span<const ConnectedRow> rows,
+    double pattern_noise, const EnvironmentState& env, const ApaDecision& apa,
+    Rng& rng) const {
+  const auto& p = calib::kMajx;
+  const std::size_t columns = ctx.columns;
+  const auto n_connected = static_cast<double>(rows.size());
+
+  ChargeShareResult out;
+  out.resolved = BitVec(columns);
+  out.stable = BitVec(columns);
+
+  const double gain = env_gain(env);
+  const double g = group_quality(ctx, kSaltMajGroup);
+  const double noise_denominator = std::sqrt(1.0 + n_connected * p.cell_noise);
+  const double threshold = p.threshold + p.coupling * pattern_noise;
+  const double vendor_shift = profile_->maj_margin_shift;
+
+  // Per-column signed, weighted cell sums. Rows fall into weight classes
+  // (the first-activated row vs the rest), so the inner accumulation is a
+  // per-class popcount plus one weighted combine.
+  float total_weight = 0.0f;
+  for (const ConnectedRow& row : rows)
+    if (row.data != nullptr) total_weight += static_cast<float>(row.weight);
+  // Every column starts at "all cells discharged" (-total weight); each
+  // set bit flips its cell's contribution to +w.
+  std::vector<float> sums(columns, -total_weight);
+  for (const ConnectedRow& row : rows) {
+    if (row.data == nullptr) continue;  // Frac row: capacitance only.
+    const float twice_w = 2.0f * static_cast<float>(row.weight);
+    const auto& words = row.data->words();
+    for (std::size_t wi = 0; wi < words.size(); ++wi) {
+      std::uint64_t word = words[wi];
+      const std::size_t base = wi * 64;
+      while (word != 0) {
+        const auto bit = static_cast<std::size_t>(std::countr_zero(word));
+        word &= word - 1;
+        if (base + bit < columns) sums[base + bit] += twice_w;
+      }
+    }
+  }
+
+  const std::span<const float> zetas =
+      deviates(kSaltMajOffset, ctx.bank, ctx.subarray, columns);
+  const std::span<const float> polarities =
+      deviates(kSaltMajPolarity, ctx.bank, ctx.subarray, columns);
+
+  for (std::size_t c = 0; c < columns; ++c) {
+    const double sum = sums[c];
+    if (std::abs(sum) < 1e-9) {
+      // Perfect tie: the SA resolves metastably.
+      out.resolved.set(c, rng.chance(0.5));
+      ++out.ties;
+      continue;
+    }
+    const bool majority_one = sum > 0.0;
+    const double x =
+        gain * std::pow(std::abs(sum) / (p.cap_ratio + n_connected),
+                        p.margin_exponent);
+    const double z =
+        (x - threshold) / noise_denominator - apa.majx_z_penalty + vendor_shift;
+    if (z / g > zetas[c]) {
+      out.resolved.set(c, majority_one);
+      out.stable.set(c, true);
+    } else {
+      // Below-margin bitline: the SA falls to its persistent offset side,
+      // i.e. the cell is correct for one input polarity and wrong for the
+      // other — which is why such cells fail the all-trials metric.
+      out.resolved.set(c, polarities[c] > 0.0f);
+    }
+  }
+  return out;
+}
+
+BitVec ElectricalModel::write_overdrive_mask(const BitlineContext& ctx,
+                                             RowAddr local_row,
+                                             unsigned differing_fields,
+                                             const EnvironmentState& env,
+                                             const ApaDecision& apa) const {
+  const auto& p = calib::kSmra;
+  double z = p.z_best - apa.smra_z_penalty;
+  if (differing_fields >= 5) z -= p.penalty_full_tree;
+  z += p.temp_slope_per_degC * (env.temperature.value - 50.0);
+  z -= p.vpp_slope_per_volt * (2.5 - env.vpp.value);
+  const double g = group_quality(ctx, kSaltSmraGroup);
+  const auto z_eff = static_cast<float>(z / g);
+
+  const std::span<const float> zetas =
+      deviates(kSaltSmraOffset, ctx.bank,
+               (static_cast<std::uint64_t>(ctx.subarray) << 32) | local_row,
+               ctx.columns);
+  BitVec mask(ctx.columns);
+  for (std::size_t c = 0; c < ctx.columns; ++c) mask.set(c, zetas[c] < z_eff);
+  return mask;
+}
+
+BitVec ElectricalModel::copy_stable_mask(const BitlineContext& ctx,
+                                         RowAddr dest_row, std::size_t n_dest,
+                                         const BitVec& source,
+                                         const EnvironmentState& env) const {
+  const auto& p = calib::kMrc;
+  std::size_t bucket = 0;
+  if (n_dest > 15)
+    bucket = 4;
+  else if (n_dest > 7)
+    bucket = 3;
+  else if (n_dest > 3)
+    bucket = 2;
+  else if (n_dest > 1)
+    bucket = 1;
+  double z = p.z_by_dest[bucket];
+  z += p.temp_slope_per_degC * (env.temperature.value - 50.0);
+  z -= p.vpp_slope_per_volt * (2.5 - env.vpp.value);
+  if (bucket == 4 &&
+      source.popcount() > source.size() - source.size() / 10) {
+    // Driving ~all-ones into 31 destinations keeps every pull-up active.
+    z -= p.all_ones_31_penalty;
+  }
+  const double g = group_quality(ctx, kSaltCopyGroup);
+  const auto z_eff = static_cast<float>(z / g);
+
+  const std::span<const float> zetas =
+      deviates(kSaltCopyOffset, ctx.bank,
+               (static_cast<std::uint64_t>(ctx.subarray) << 32) | dest_row,
+               ctx.columns);
+  BitVec mask(ctx.columns);
+  for (std::size_t c = 0; c < ctx.columns; ++c) mask.set(c, zetas[c] < z_eff);
+  return mask;
+}
+
+bool ElectricalModel::bitline_latched(const BitlineContext& ctx,
+                                      std::size_t column,
+                                      const ApaDecision& apa) const {
+  if (apa.latch_fraction <= 0.0) return false;
+  if (apa.latch_fraction >= 1.0) return true;
+  // Persistent race outcome per bitline: higher latch fractions strictly
+  // grow the latched set (the threshold moves, the deviate does not).
+  const std::span<const float> race =
+      deviates(kSaltLatchRace, ctx.bank, ctx.subarray, ctx.columns);
+  return normal_cdf(race[column]) < apa.latch_fraction;
+}
+
+BitVec ElectricalModel::sense_frac_row(const BitlineContext& ctx,
+                                       Rng& rng) const {
+  BitVec out(ctx.columns);
+  if (profile_->sense_amp_bias != 0) {
+    out.fill(profile_->sense_amp_bias > 0);
+    return out;
+  }
+  // Unbiased SAs resolve from their (persistent) offset plus thermal
+  // noise: weak-offset bitlines flip trial to trial (the entropy source
+  // of SiMRA-based TRNGs).
+  const std::span<const float> offsets =
+      deviates(kSaltFracSense, ctx.bank, ctx.subarray, ctx.columns);
+  for (std::size_t c = 0; c < ctx.columns; ++c) {
+    out.set(c, offsets[c] + 0.35 * rng.normal() > 0.0);
+  }
+  return out;
+}
+
+}  // namespace simra::dram

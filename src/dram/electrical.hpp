@@ -1,0 +1,160 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "common/units.hpp"
+#include "dram/process_variation.hpp"
+#include "dram/types.hpp"
+#include "dram/vendor.hpp"
+
+namespace simra {
+class Rng;
+}
+
+namespace simra::dram {
+
+/// Operating environment of a chip, set through the testbed's temperature
+/// controller and VPP power supply (§3.1).
+struct EnvironmentState {
+  Celsius temperature{50.0};
+  Volts vpp{2.5};
+};
+
+/// What an ACT -> PRE -> ACT sequence does, decided by the two timing
+/// delays (t1 between ACT and PRE, t2 between PRE and ACT) relative to the
+/// device's internal milestones (§2.2, §3).
+enum class ApaRegime {
+  kNormal,        ///< Timings respected: plain close-then-open.
+  kConsecutive,   ///< t2 moderate: wordline swapped while SA latched (RowClone).
+  kSimultaneous,  ///< t2 <= ~3 ns: PRE interrupted, many rows open at once.
+  kGated,         ///< Vendor ignores the violated command (Mfr. S).
+};
+
+/// Quantified consequences of an APA timing choice.
+struct ApaDecision {
+  ApaRegime regime = ApaRegime::kNormal;
+  /// True when the first row's SA had latched (t1 >= sense enable): the
+  /// simultaneous activation is SA-driven (Multi-RowCopy) rather than a
+  /// charge-share (MAJ).
+  bool sa_latched = false;
+  /// Fraction of bitlines whose SA managed to latch the source value
+  /// (partial for intermediate t1; drives Obs. 15).
+  double latch_fraction = 1.0;
+  /// Extra charge-share weight of the first-activated row (Obs. 7 hyp. 1).
+  double first_row_extra_weight = 0.0;
+  /// Charge-transfer weight of the second-group rows (< 1 when t2 is too
+  /// short for the wordlines to assert fully).
+  double second_group_weight = 1.0;
+  /// Per-row probability that a second-group wordline fails to assert
+  /// (t2 = 1.5 ns weak re-latch; lower whiskers of Fig 3).
+  double row_dropout_probability = 0.0;
+  /// Normalized margin penalty applied to WR overdrive (SMRA test).
+  double smra_z_penalty = 0.0;
+  /// Normalized margin penalty applied to charge-share sensing (MAJX).
+  double majx_z_penalty = 0.0;
+};
+
+/// One row participating in a charge-share resolution.
+struct ConnectedRow {
+  RowAddr local_row = 0;
+  const BitVec* data = nullptr;  ///< nullptr = Frac row at VDD/2.
+  double weight = 1.0;           ///< charge-transfer weight.
+};
+
+/// Stable coordinates of the bitline population being resolved, used to
+/// key the persistent process-variation deviates.
+struct BitlineContext {
+  BankId bank = 0;
+  SubarrayId subarray = 0;
+  /// Hash identifying the simultaneously activated row set (group quality).
+  std::uint64_t group_key = 0;
+  std::size_t columns = 0;
+};
+
+/// Output of a charge-share resolution.
+struct ChargeShareResult {
+  BitVec resolved;       ///< value latched by each sense amplifier.
+  BitVec stable;         ///< bit set where the outcome is deterministic.
+  std::size_t ties = 0;  ///< columns with exactly zero net imbalance.
+};
+
+/// The analog behaviour model: charge sharing, sensing margins, write
+/// overdrive, and copy stability, with persistent process variation.
+///
+/// All success statistics in the characterization flow through the three
+/// resolve/stability entry points below; see calibration.hpp for the
+/// provenance of every constant.
+class ElectricalModel {
+ public:
+  ElectricalModel(const VendorProfile* profile, const VariationField* variation);
+
+  /// Classifies an APA timing pair against the vendor's milestones.
+  ApaDecision classify_apa(Nanoseconds t1, Nanoseconds t2) const;
+
+  /// Resolves the sense amplifiers for a simultaneous charge share across
+  /// `rows` (the MAJ regime). `pattern_noise` in [0, 0.5] is the
+  /// bitline-coupling activity of the stored data (see
+  /// pattern_coupling_fraction); `env` scales the charge gain. Unstable
+  /// bitlines resolve to a per-trial coin flip drawn from `rng`.
+  ChargeShareResult resolve_charge_share(const BitlineContext& ctx,
+                                         std::span<const ConnectedRow> rows,
+                                         double pattern_noise,
+                                         const EnvironmentState& env,
+                                         const ApaDecision& apa,
+                                         Rng& rng) const;
+
+  /// Per-cell stability of a WR overdrive into `group_rows` simultaneously
+  /// open rows (the §3.2 SMRA experiment). Returns, for one destination
+  /// row, the mask of cells that accept the written value.
+  BitVec write_overdrive_mask(const BitlineContext& ctx, RowAddr local_row,
+                              unsigned differing_fields,
+                              const EnvironmentState& env,
+                              const ApaDecision& apa) const;
+
+  /// Per-cell stability of an SA-driven copy into one destination row
+  /// (Multi-RowCopy / RowClone regime). `n_dest` is the total number of
+  /// destination rows in the operation; `source` is the data being driven.
+  BitVec copy_stable_mask(const BitlineContext& ctx, RowAddr dest_row,
+                          std::size_t n_dest, const BitVec& source,
+                          const EnvironmentState& env) const;
+
+  /// Whether the sense amplifier of column `c` had latched the source
+  /// value before the second ACT connected the other rows (persistent
+  /// per bitline; the fraction of latched bitlines is apa.latch_fraction).
+  bool bitline_latched(const BitlineContext& ctx, std::size_t column,
+                       const ApaDecision& apa) const;
+
+  /// Resolves sensing of a single Frac (VDD/2) row: each SA falls to its
+  /// bias/offset side. Deterministic per bitline for biased designs
+  /// (Mfr. M), a coin flip for unbiased ones.
+  BitVec sense_frac_row(const BitlineContext& ctx, Rng& rng) const;
+
+  /// Measures the coupling activity of the data about to be shared:
+  /// byte-periodic (fixed) patterns cancel along the bitline run, aperiodic
+  /// (random) data does not. Returns a value in [0, 0.5].
+  static double estimate_pattern_noise(std::span<const ConnectedRow> rows);
+
+  const VendorProfile& profile() const noexcept { return *profile_; }
+
+ private:
+  double group_quality(const BitlineContext& ctx, std::uint64_t salt) const;
+
+  /// Per-column persistent deviates for one (salt, k1, k2) entity row,
+  /// memoized: they are pure functions of the variation field, and the
+  /// characterization sweeps re-touch the same rows thousands of times.
+  std::span<const float> deviates(std::uint64_t salt, std::uint64_t k1,
+                                  std::uint64_t k2, std::size_t count) const;
+
+  const VendorProfile* profile_;
+  const VariationField* variation_;
+  mutable std::unordered_map<std::uint64_t, std::vector<float>> deviate_cache_;
+};
+
+/// Hash of a sorted activated-row set, for group-quality keying.
+std::uint64_t group_key_of(std::span<const RowAddr> rows);
+
+}  // namespace simra::dram

@@ -1,0 +1,48 @@
+#include "dram/module.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace simra::dram {
+
+Module::Module(VendorProfile profile, std::uint64_t seed, std::size_t chip_count)
+    : profile_(std::move(profile)), seed_(seed) {
+  const std::size_t n =
+      chip_count > 0 ? chip_count
+                     : static_cast<std::size_t>(profile_.chips_per_module);
+  chips_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    chips_.push_back(
+        std::make_unique<Chip>(profile_, hash_combine(seed, i + 1)));
+  }
+}
+
+std::string Module::label() const {
+  return profile_.short_name + std::string(1, profile_.die_revision) + "-" +
+         std::to_string(seed_ & 0xffff);
+}
+
+Chip& Module::chip(std::size_t i) {
+  if (i >= chips_.size()) throw std::out_of_range("chip index out of range");
+  return *chips_[i];
+}
+
+const Chip& Module::chip(std::size_t i) const {
+  if (i >= chips_.size()) throw std::out_of_range("chip index out of range");
+  return *chips_[i];
+}
+
+void Module::for_each_chip(const std::function<void(Chip&)>& fn) {
+  for (auto& chip : chips_) fn(*chip);
+}
+
+void Module::set_temperature(Celsius temperature) {
+  for (auto& chip : chips_) chip->env().temperature = temperature;
+}
+
+void Module::set_vpp(Volts vpp) {
+  for (auto& chip : chips_) chip->env().vpp = vpp;
+}
+
+}  // namespace simra::dram

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dram/chip.hpp"
+#include "dram/vendor.hpp"
+
+namespace simra::dram {
+
+/// A DRAM module (one rank): a set of chips operated in lockstep behind a
+/// 64-bit data bus (eight x8 chips or four x16 chips, Table 2). The module
+/// is the unit the testbed plugs in and the paper reports per-module
+/// instance counts against.
+class Module {
+ public:
+  /// Builds `profile.chips_per_module` chips unless `chip_count` overrides
+  /// it (characterization runs often sample fewer chips per module to
+  /// bound runtime; the experiment plans record the choice).
+  Module(VendorProfile profile, std::uint64_t seed, std::size_t chip_count = 0);
+
+  const VendorProfile& profile() const noexcept { return profile_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+  std::string label() const;
+
+  std::size_t chip_count() const noexcept { return chips_.size(); }
+  Chip& chip(std::size_t i);
+  const Chip& chip(std::size_t i) const;
+
+  /// Applies `fn` to every chip (lockstep command issue).
+  void for_each_chip(const std::function<void(Chip&)>& fn);
+
+  /// Sets the operating point on every chip (the testbed's temperature
+  /// controller and VPP supply act on the whole module).
+  void set_temperature(Celsius temperature);
+  void set_vpp(Volts vpp);
+
+ private:
+  VendorProfile profile_;
+  std::uint64_t seed_;
+  std::vector<std::unique_ptr<Chip>> chips_;
+};
+
+}  // namespace simra::dram

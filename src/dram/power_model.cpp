@@ -1,0 +1,56 @@
+#include "dram/power_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dram/calibration.hpp"
+
+namespace simra::dram {
+
+std::string to_string(PowerOp op) {
+  switch (op) {
+    case PowerOp::kRead:
+      return "RD";
+    case PowerOp::kWrite:
+      return "WR";
+    case PowerOp::kActPre:
+      return "ACT+PRE";
+    case PowerOp::kRefresh:
+      return "REF";
+    case PowerOp::kManyRowActivation:
+      return "N-row ACT";
+  }
+  return "?";
+}
+
+Milliwatts PowerModel::average_power(PowerOp op, std::size_t n_rows) {
+  const auto& p = calib::kPower;
+  switch (op) {
+    case PowerOp::kRead:
+      return Milliwatts{p.rd_mw};
+    case PowerOp::kWrite:
+      return Milliwatts{p.wr_mw};
+    case PowerOp::kActPre:
+      return Milliwatts{p.act_pre_mw};
+    case PowerOp::kRefresh:
+      return Milliwatts{p.ref_mw};
+    case PowerOp::kManyRowActivation: {
+      if (n_rows == 0) throw std::invalid_argument("n_rows must be >= 1");
+      const double log_n = std::log2(static_cast<double>(n_rows));
+      return Milliwatts{p.apa_base_mw + p.apa_log_slope_mw * (log_n / 5.0)};
+    }
+  }
+  throw std::invalid_argument("unknown power op");
+}
+
+double PowerModel::apa_vs_ref_fraction(std::size_t n_rows) {
+  return average_power(PowerOp::kManyRowActivation, n_rows).value /
+         calib::kPower.ref_mw;
+}
+
+double PowerModel::energy_pj(PowerOp op, Nanoseconds duration,
+                             std::size_t n_rows) {
+  return average_power(op, n_rows).value * duration.value;
+}
+
+}  // namespace simra::dram

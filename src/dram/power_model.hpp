@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace simra::dram {
+
+/// DRAM operation classes whose power Fig 5 compares.
+enum class PowerOp {
+  kRead,
+  kWrite,
+  kActPre,   ///< standard single-row ACT followed by PRE.
+  kRefresh,
+  kManyRowActivation,  ///< APA opening N rows (N given separately).
+};
+
+std::string to_string(PowerOp op);
+
+/// Average-power model of standard DRAM operations and of simultaneous
+/// many-row activation, calibrated to Fig 5 (see calib::PowerParams).
+class PowerModel {
+ public:
+  /// Average power in mW. `n_rows` only matters for kManyRowActivation.
+  static Milliwatts average_power(PowerOp op, std::size_t n_rows = 1);
+
+  /// Power of an N-row APA as a fraction of REF power (Obs. 5 reports
+  /// 1 - this = 21.19 % at N=32).
+  static double apa_vs_ref_fraction(std::size_t n_rows);
+
+  /// Energy (mW * ns = pJ) of one operation of the given duration.
+  static double energy_pj(PowerOp op, Nanoseconds duration,
+                          std::size_t n_rows = 1);
+};
+
+}  // namespace simra::dram

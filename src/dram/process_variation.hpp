@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+namespace simra::dram {
+
+/// Deterministic process-variation fields.
+///
+/// A real chip's per-cell capacitor mismatch and per-sense-amplifier offset
+/// are fixed at manufacturing time: the same cell misbehaves in every
+/// trial (this is what makes the paper's "success rate" metric meaningful —
+/// a cell is *stable* or *unstable*, §3.1). We reproduce that persistence
+/// without storing per-cell state by hashing the entity coordinates into a
+/// standard normal deviate: the same (seed, coordinates) always yields the
+/// same deviate.
+class VariationField {
+ public:
+  explicit VariationField(std::uint64_t seed) : seed_(seed) {}
+
+  /// Unit normal deviate for a 1-key entity.
+  double normal(std::uint64_t k0) const;
+  /// Unit normal deviate for multi-key entities (bank, subarray, column...).
+  double normal(std::uint64_t k0, std::uint64_t k1) const;
+  double normal(std::uint64_t k0, std::uint64_t k1, std::uint64_t k2) const;
+  double normal(std::uint64_t k0, std::uint64_t k1, std::uint64_t k2,
+                std::uint64_t k3) const;
+
+  /// Uniform deviate in [0, 1) for the same keying scheme.
+  double uniform(std::uint64_t k0, std::uint64_t k1, std::uint64_t k2) const;
+
+  std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// Inverse standard-normal CDF (Acklam's rational approximation, |err| <
+/// 1.15e-9). Used to map hashed uniforms to normal deviates and by the
+/// calibration tables.
+double inverse_normal_cdf(double p);
+
+/// Standard normal CDF.
+double normal_cdf(double z);
+
+}  // namespace simra::dram

@@ -1,0 +1,92 @@
+#include "dram/scrambler.hpp"
+
+#include <stdexcept>
+
+namespace simra::dram {
+
+std::string to_string(RowScrambler::Kind kind) {
+  switch (kind) {
+    case RowScrambler::Kind::kIdentity:
+      return "identity";
+    case RowScrambler::Kind::kBitReversal:
+      return "bit-reversal";
+    case RowScrambler::Kind::kXorFold:
+      return "xor-fold";
+    case RowScrambler::Kind::kBlockSwap:
+      return "block-swap";
+  }
+  return "?";
+}
+
+RowScrambler::RowScrambler(Kind kind, unsigned local_bits, unsigned parameter)
+    : kind_(kind), local_bits_(local_bits), parameter_(parameter) {
+  if (local_bits_ == 0 || local_bits_ > 16)
+    throw std::invalid_argument("local bit count out of range");
+  if (kind_ == Kind::kXorFold && (parameter_ == 0 || parameter_ >= local_bits_))
+    throw std::invalid_argument("xor-fold distance must be in [1, bits)");
+  if (kind_ == Kind::kBlockSwap &&
+      (parameter_ == 0 || parameter_ > local_bits_))
+    throw std::invalid_argument("block-swap size must be in [1, bits]");
+}
+
+RowAddr RowScrambler::map_local(RowAddr local, bool inverse) const {
+  const RowAddr mask = (RowAddr{1} << local_bits_) - 1;
+  switch (kind_) {
+    case Kind::kIdentity:
+      return local;
+    case Kind::kBitReversal: {
+      RowAddr out = 0;
+      for (unsigned b = 0; b < local_bits_; ++b)
+        if ((local >> b) & 1u) out |= RowAddr{1} << (local_bits_ - 1 - b);
+      return out;  // self-inverse.
+    }
+    case Kind::kXorFold: {
+      // forward: out_b = local_b ^ local_(b+k); the top k bits pass
+      // through unchanged, which makes the map invertible by resolving
+      // bits from the top down.
+      if (!inverse) {
+        RowAddr out = local;
+        for (unsigned b = 0; b + parameter_ < local_bits_; ++b) {
+          const RowAddr src = (local >> (b + parameter_)) & 1u;
+          out ^= src << b;
+        }
+        return out & mask;
+      }
+      RowAddr out = local;  // top k bits already correct.
+      for (unsigned b = local_bits_ - parameter_; b-- > 0;) {
+        const RowAddr src = (out >> (b + parameter_)) & 1u;
+        out = (out & ~(RowAddr{1} << b)) |
+              ((((local >> b) & 1u) ^ src) << b);
+      }
+      return out & mask;
+    }
+    case Kind::kBlockSwap: {
+      // Swap the two halves of every 2^parameter_-row block: XOR the top
+      // bit of the block index — an involution.
+      const RowAddr flip = RowAddr{1} << (parameter_ - 1);
+      return (local ^ flip) & mask;
+    }
+  }
+  return local;
+}
+
+RowAddr RowScrambler::to_internal(RowAddr local) const {
+  if (kind_ == Kind::kIdentity) return local;  // any subarray size.
+  if (local >> local_bits_)
+    throw std::out_of_range("local row exceeds scrambler domain");
+  return map_local(local, /*inverse=*/false);
+}
+
+RowAddr RowScrambler::to_logical(RowAddr internal) const {
+  if (kind_ == Kind::kIdentity) return internal;
+  if (internal >> local_bits_)
+    throw std::out_of_range("internal row exceeds scrambler domain");
+  return map_local(internal, /*inverse=*/true);
+}
+
+std::string RowScrambler::describe() const {
+  return to_string(kind_) + "(bits=" + std::to_string(local_bits_) +
+         ", k=" + std::to_string(parameter_) + ")";
+}
+
+}  // namespace simra::dram

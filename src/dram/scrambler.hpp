@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dram/types.hpp"
+
+namespace simra::dram {
+
+/// Logical-to-internal row address scrambling.
+///
+/// DRAM vendors remap the row address bits the memory controller sends
+/// into physically different wordlines (redundancy steering, anti-pattern
+/// layout, half-row swaps). PUD operations care about the *internal*
+/// address: which rows an APA opens is decided by the internal
+/// pre-decoder digits, so on a scrambled device the logical addresses of
+/// a simultaneously activated group look arbitrary. The paper's §7.1 row
+/// mapping was obtained by reverse engineering this layer (the HiRA /
+/// RowHammer-sensitivity methodology it cites); pud::AddressMapper
+/// reimplements that discovery flow against this model.
+///
+/// Mappings are bijective within a subarray: the subarray index bits
+/// (the global wordline decoder) are never scrambled, only the local
+/// (in-subarray) bits.
+class RowScrambler {
+ public:
+  enum class Kind : std::uint8_t {
+    kIdentity,     ///< logical == internal (our default profiles).
+    kBitReversal,  ///< local bits reversed (MSB-heavy striping).
+    kXorFold,      ///< bit i ^= bit (i + k) — vendor-style swizzle.
+    kBlockSwap,    ///< swap halves of every 2^k-row block.
+  };
+
+  RowScrambler() = default;
+  RowScrambler(Kind kind, unsigned local_bits, unsigned parameter = 1);
+
+  /// Maps a subarray-local logical row to the internal wordline index the
+  /// local decoder drives. `local` must be < 2^local_bits.
+  RowAddr to_internal(RowAddr local) const;
+  /// Inverse mapping (internal -> logical), same domain.
+  RowAddr to_logical(RowAddr internal) const;
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_identity() const noexcept { return kind_ == Kind::kIdentity; }
+  std::string describe() const;
+
+ private:
+  RowAddr map_local(RowAddr local, bool inverse) const;
+
+  Kind kind_ = Kind::kIdentity;
+  unsigned local_bits_ = 9;  ///< log2(rows per subarray); must be exact.
+  unsigned parameter_ = 1;
+};
+
+std::string to_string(RowScrambler::Kind kind);
+
+}  // namespace simra::dram

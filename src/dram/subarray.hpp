@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "dram/predecoder.hpp"
+#include "dram/types.hpp"
+
+namespace simra::dram {
+
+/// Charge state of a DRAM row.
+enum class RowState : std::uint8_t {
+  kValid,  ///< cells hold full-rail values (the row's BitVec).
+  kFrac,   ///< cells hold ~VDD/2 (a Frac operation destroyed the data).
+};
+
+/// Storage and local decoder latch state of one subarray: a grid of
+/// `layout.rows() x columns` cells plus the latched pre-decoder outputs.
+class Subarray {
+ public:
+  Subarray(const PredecoderLayout* layout, std::size_t columns);
+
+  std::size_t rows() const noexcept { return layout_->rows(); }
+  std::size_t columns() const noexcept { return columns_; }
+  const PredecoderLayout& layout() const noexcept { return *layout_; }
+
+  BitVec& row_data(RowAddr local_row);
+  const BitVec& row_data(RowAddr local_row) const;
+  RowState row_state(RowAddr local_row) const;
+  void set_row_state(RowAddr local_row, RowState state);
+
+  DecoderLatches& latches() noexcept { return latches_; }
+  const DecoderLatches& latches() const noexcept { return latches_; }
+
+ private:
+  const PredecoderLayout* layout_;
+  std::size_t columns_;
+  std::vector<BitVec> data_;
+  std::vector<RowState> states_;
+  DecoderLatches latches_;
+};
+
+}  // namespace simra::dram

@@ -1,0 +1,54 @@
+#include "dram/types.hpp"
+
+#include <stdexcept>
+
+namespace simra::dram {
+
+std::string to_string(DataPattern pattern) {
+  switch (pattern) {
+    case DataPattern::kRandom:
+      return "random";
+    case DataPattern::k00FF:
+      return "0x00/0xFF";
+    case DataPattern::kAA55:
+      return "0xAA/0x55";
+    case DataPattern::kCC33:
+      return "0xCC/0x33";
+    case DataPattern::k6699:
+      return "0x66/0x99";
+    case DataPattern::kAllZeros:
+      return "all-0s";
+    case DataPattern::kAllOnes:
+      return "all-1s";
+  }
+  return "?";
+}
+
+PatternBytes pattern_bytes(DataPattern pattern) {
+  switch (pattern) {
+    case DataPattern::kRandom:
+      return {0x00, 0x00};
+    case DataPattern::k00FF:
+      return {0x00, 0xFF};
+    case DataPattern::kAA55:
+      return {0x55, 0xAA};
+    case DataPattern::kCC33:
+      return {0x33, 0xCC};
+    case DataPattern::k6699:
+      return {0x66, 0x99};
+    case DataPattern::kAllZeros:
+      return {0x00, 0x00};
+    case DataPattern::kAllOnes:
+      return {0xFF, 0xFF};
+  }
+  throw std::invalid_argument("unknown data pattern");
+}
+
+double pattern_coupling_fraction(DataPattern pattern) {
+  // Byte-periodic patterns couple coherently (their aggressor activity
+  // cancels along the bitline run); random data does not. See
+  // ElectricalModel::estimate_pattern_noise for the device-side estimate.
+  return pattern == DataPattern::kRandom ? 0.5 : 0.0;
+}
+
+}  // namespace simra::dram

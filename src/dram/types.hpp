@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace simra::dram {
+
+using RowAddr = std::uint32_t;   ///< Row address within a bank.
+using ColAddr = std::uint32_t;   ///< Column (bit) index within a row.
+using BankId = std::uint8_t;     ///< Bank index within a chip.
+using SubarrayId = std::uint16_t;  ///< Subarray index within a bank.
+
+/// Physical geometry of one DRAM chip.
+struct Geometry {
+  std::size_t banks = 16;          ///< DDR4 x8/x16 devices have 16 banks.
+  std::size_t rows_per_bank = 1u << 16;
+  std::size_t rows_per_subarray = 512;
+  std::size_t columns = 8192;      ///< Cells per row (bits); 1 KiB for a x8 die.
+
+  std::size_t subarrays_per_bank() const {
+    return rows_per_bank / rows_per_subarray;
+  }
+};
+
+/// Data patterns used by the paper's characterization (§3.1). Fixed patterns
+/// fill each activated row with one byte or its complement; Random draws a
+/// fresh uniformly random row per activated row.
+enum class DataPattern : std::uint8_t {
+  kRandom,
+  k00FF,  ///< all 0x00 or all 0xFF
+  kAA55,  ///< all 0xAA or all 0x55
+  kCC33,  ///< all 0xCC or all 0x33
+  k6699,  ///< all 0x66 or all 0x99
+  kAllZeros,
+  kAllOnes,
+};
+
+std::string to_string(DataPattern pattern);
+
+/// The two bytes a fixed pattern alternates between; Random returns {0,0}.
+struct PatternBytes {
+  std::uint8_t low = 0x00;
+  std::uint8_t high = 0xFF;
+};
+PatternBytes pattern_bytes(DataPattern pattern);
+
+/// Fraction of adjacent-bitline disagreement induced by a data pattern;
+/// drives the bitline-coupling noise term of the electrical model. Fixed
+/// byte patterns perturb neighbouring bitlines coherently (0), random data
+/// flips a coin per bitline (0.5).
+double pattern_coupling_fraction(DataPattern pattern);
+
+}  // namespace simra::dram

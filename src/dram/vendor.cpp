@@ -1,0 +1,136 @@
+#include "dram/vendor.hpp"
+
+namespace simra::dram {
+
+namespace {
+
+Geometry geometry_x8(std::size_t subarray_rows) {
+  Geometry g;
+  g.banks = 16;
+  g.rows_per_bank = 1u << 16;
+  g.rows_per_subarray = subarray_rows;
+  g.columns = 8192;  // 1 KiB page per x8 chip.
+  return g;
+}
+
+Geometry geometry_x16() {
+  Geometry g;
+  g.banks = 16;
+  g.rows_per_bank = 1u << 16;
+  g.rows_per_subarray = 1024;
+  g.columns = 16384;  // 2 KiB page per x16 chip.
+  return g;
+}
+
+}  // namespace
+
+VendorProfile VendorProfile::hynix_m() {
+  VendorProfile p;
+  p.manufacturer = "Mfr. H (SK Hynix)";
+  p.short_name = "H";
+  p.die_revision = 'M';
+  p.density = "4Gb";
+  p.org_width = 8;
+  p.geometry = geometry_x8(512);
+  p.timings = TimingParams::ddr4_2666();
+  p.maj_margin_shift = +0.10;  // Mfr. H performs MAJ9 but not MAJ11 (§5).
+  p.supports_frac = true;
+  p.module_vendor = "TimeTec";
+  p.module_identifier = "TLRD44G2666HC18F-SBK";
+  p.chip_identifier = "H5AN4G8NMFR-TFC";
+  p.modules_tested = 7;
+  p.chips_per_module = 8;
+  p.freq_mts = 2666;
+  return p;
+}
+
+VendorProfile VendorProfile::hynix_m_scrambled() {
+  VendorProfile p = hynix_m();
+  p.scrambler =
+      RowScrambler(RowScrambler::Kind::kBitReversal, /*local_bits=*/9);
+  return p;
+}
+
+VendorProfile VendorProfile::hynix_m640() {
+  VendorProfile p = hynix_m();
+  p.geometry = geometry_x8(640);
+  return p;
+}
+
+VendorProfile VendorProfile::hynix_a() {
+  VendorProfile p;
+  p.manufacturer = "Mfr. H (SK Hynix)";
+  p.short_name = "H";
+  p.die_revision = 'A';
+  p.density = "4Gb";
+  p.org_width = 8;
+  p.geometry = geometry_x8(512);
+  p.timings = TimingParams::ddr4_2133();
+  p.maj_margin_shift = +0.10;
+  p.supports_frac = true;
+  p.module_vendor = "TeamGroup";
+  p.module_identifier = "76TT21NUS1R8-4G";
+  p.chip_identifier = "H5AN4G8NAFR-TFC";
+  p.modules_tested = 5;
+  p.chips_per_module = 8;
+  p.freq_mts = 2133;
+  return p;
+}
+
+VendorProfile VendorProfile::micron_e() {
+  VendorProfile p;
+  p.manufacturer = "Mfr. M (Micron)";
+  p.short_name = "M";
+  p.die_revision = 'E';
+  p.density = "16Gb";
+  p.org_width = 16;
+  p.geometry = geometry_x16();
+  p.timings = TimingParams::ddr4_3200();
+  p.maj_margin_shift = -0.20;  // Mfr. M cannot perform MAJ9 (<1%, §5 fn 11).
+  p.supports_frac = false;     // Footnote 5: Frac unsupported, SAs biased.
+  p.sense_amp_bias = +1;
+  p.module_vendor = "Micron";
+  p.module_identifier = "MTA4ATF1G64HZ-3G2E1";
+  p.chip_identifier = "MT40A1G16KD-062E:E";
+  p.modules_tested = 4;
+  p.chips_per_module = 4;
+  p.freq_mts = 3200;
+  p.mfr_date = "46-20";
+  return p;
+}
+
+VendorProfile VendorProfile::micron_b() {
+  VendorProfile p = micron_e();
+  p.die_revision = 'B';
+  p.timings = TimingParams::ddr4_2666();
+  p.module_identifier = "MTA4ATF1G64HZ-3G2B2";
+  p.chip_identifier = "MT40A1G16RC-062E:B";
+  p.modules_tested = 2;
+  p.chips_per_module = 4;
+  p.freq_mts = 2666;
+  p.mfr_date = "26-21";
+  return p;
+}
+
+VendorProfile VendorProfile::samsung() {
+  VendorProfile p;
+  p.manufacturer = "Mfr. S (Samsung)";
+  p.short_name = "S";
+  p.die_revision = '?';
+  p.density = "4Gb";
+  p.org_width = 8;
+  p.geometry = geometry_x8(512);
+  p.gates_violated_timings = true;
+  p.module_vendor = "Samsung";
+  p.module_identifier = "(extended version)";
+  p.chip_identifier = "(extended version)";
+  p.modules_tested = 8;
+  p.chips_per_module = 8;
+  return p;
+}
+
+std::vector<VendorProfile> VendorProfile::all_tested() {
+  return {hynix_m(), hynix_a(), micron_e(), micron_b()};
+}
+
+}  // namespace simra::dram

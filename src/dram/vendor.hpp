@@ -1,0 +1,75 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dram/scrambler.hpp"
+#include "dram/timing.hpp"
+#include "dram/types.hpp"
+
+namespace simra::dram {
+
+/// Per-manufacturer / per-die behaviour profile (Tables 1 and 2 of the
+/// paper). The profile captures everything the characterization found to
+/// differ across vendors: geometry, pre-decoder layout, whether violated
+/// timings are internally gated (Mfr. S), Frac support (absent in Mfr. M,
+/// footnote 5), and a small sensing-margin shift that reproduces the
+/// observed capability differences (Mfr. M cannot perform MAJ9; Mfr. H
+/// cannot perform MAJ11).
+struct VendorProfile {
+  std::string manufacturer;   ///< "Mfr. H (SK Hynix)", "Mfr. M (Micron)", "Mfr. S".
+  std::string short_name;     ///< "H", "M", "S".
+  char die_revision = '?';    ///< 'M', 'A', 'E', 'B'.
+  std::string density;        ///< e.g. "4Gb".
+  unsigned org_width = 8;     ///< x8 or x16 data pins.
+  Geometry geometry;
+  TimingParams timings = TimingParams::ddr4_2666();
+
+  /// Additive shift on the normalized MAJX sensing margin z (positive =
+  /// more capable). Calibrated so the per-vendor MAJX cutoffs match §5.
+  double maj_margin_shift = 0.0;
+
+  /// Mfr. M modules do not support the Frac operation; their sense
+  /// amplifiers are biased, so neutral rows are emulated with all-0s/1s.
+  bool supports_frac = true;
+  /// SA bias direction used for Frac-less neutral-row emulation (+1 or -1,
+  /// meaning biased toward one / zero).
+  int sense_amp_bias = 0;
+
+  /// Mfr. S chips internally gate PRE/ACT commands with greatly violated
+  /// timings (§9 Limitation 1): no simultaneous multi-row activation.
+  bool gates_violated_timings = false;
+
+  /// Logical-to-internal row mapping within a subarray. Identity on the
+  /// Table 1 profiles (whose internal mapping the paper reverse
+  /// engineered away); the *_scrambled() variants model devices whose
+  /// mapping still has to be discovered (see pud::AddressMapper).
+  RowScrambler scrambler;
+
+  // Table 2 metadata.
+  std::string module_identifier;
+  std::string chip_identifier;
+  std::string module_vendor;
+  int modules_tested = 0;
+  int chips_per_module = 0;
+  int freq_mts = 2666;
+  std::string mfr_date = "Unknown";
+
+  int chips_tested() const { return modules_tested * chips_per_module; }
+
+  static VendorProfile hynix_m();   ///< 4Gb x8, M-die, subarray 512 (or 640).
+  /// M-die variant with an undiscovered xor-fold internal row mapping
+  /// (demonstrates the reverse-engineering flow, pud::AddressMapper).
+  static VendorProfile hynix_m_scrambled();
+  static VendorProfile hynix_m640();///< M-die variant with 640-row subarrays.
+  static VendorProfile hynix_a();   ///< 4Gb x8, A-die, subarray 512.
+  static VendorProfile micron_e();  ///< 16Gb x16, E-die, subarray 1024.
+  static VendorProfile micron_b();  ///< 16Gb x16, B-die, subarray 1024.
+  static VendorProfile samsung();   ///< Gates violated timings; no PUD observed.
+
+  /// The profiles of Table 1/2 (Samsung excluded, as in the paper's main
+  /// evaluation).
+  static std::vector<VendorProfile> all_tested();
+};
+
+}  // namespace simra::dram

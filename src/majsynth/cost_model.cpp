@@ -1,0 +1,51 @@
+#include "majsynth/cost_model.hpp"
+
+#include <stdexcept>
+
+namespace simra::majsynth {
+
+OpLatencies OpLatencies::from_timings(const dram::TimingParams& t) {
+  OpLatencies ops;
+  // Program durations of the corresponding Engine command sequences.
+  ops.rowclone_ns = t.tRAS.value + 6.0 + t.tRAS.value + t.tRP.value;
+  ops.mrc_ns = 36.0 + 3.0 + t.tRAS.value + t.tRP.value;
+  ops.frac_ns = 1.5 + t.tRP.value;
+  ops.apa_ns = 1.5 + 3.0 + t.tRAS.value + t.tRP.value;
+  ops.not_ns = ops.rowclone_ns;  // inverted copy costs a RowClone.
+  return ops;
+}
+
+double maj_gate_latency_ns(unsigned x, unsigned n_rows, bool frac_neutrals,
+                           const OpLatencies& ops) {
+  if (x < 3 || x % 2 == 0) throw std::invalid_argument("fan-in must be odd >= 3");
+  if (n_rows < x) throw std::invalid_argument("activation smaller than fan-in");
+  const unsigned neutrals = n_rows % x;
+  double latency = 0.0;
+  if (n_rows / x > 1) latency += ops.mrc_ns;  // gather/replicate layout.
+  latency +=
+      static_cast<double>(neutrals) * (frac_neutrals ? ops.frac_ns
+                                                     : ops.rowclone_ns);
+  latency += ops.apa_ns;       // the MAJ itself.
+  latency += ops.rowclone_ns;  // copy the result out of the group.
+  return latency;
+}
+
+double ExecutionModel::network_time_ns(const NetworkCost& cost) const {
+  double total = 0.0;
+  for (const auto& [fanin, count] : cost.maj_by_fanin) {
+    const auto it = maj_success.find(fanin);
+    if (it == maj_success.end())
+      throw std::invalid_argument("no success rate for MAJ fan-in " +
+                                  std::to_string(fanin));
+    const double success = it->second;
+    if (success <= 0.0)
+      throw std::invalid_argument("success rate must be positive");
+    const double gate =
+        maj_gate_latency_ns(fanin, rows_for(fanin), frac_neutrals, ops);
+    total += static_cast<double>(count) * gate / success;
+  }
+  total += static_cast<double>(cost.not_gates) * ops.not_ns;
+  return total;
+}
+
+}  // namespace simra::majsynth

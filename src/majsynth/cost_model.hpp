@@ -1,0 +1,54 @@
+#pragma once
+
+#include <map>
+
+#include "dram/timing.hpp"
+#include "majsynth/network.hpp"
+
+namespace simra::majsynth {
+
+/// Latencies of the primitive in-DRAM operations a gate execution is
+/// scheduled from (ns). Derived from the command-program durations the
+/// Engine would issue; see pud::Engine latency accessors.
+struct OpLatencies {
+  double rowclone_ns = 0.0;   ///< copy one row to another (operand staging).
+  double mrc_ns = 0.0;        ///< Multi-RowCopy (input replication).
+  double frac_ns = 0.0;       ///< neutral-row initialization.
+  double apa_ns = 0.0;        ///< the MAJ APA itself (+ restore + PRE).
+  double not_ns = 0.0;        ///< inverted copy (dual-contact style NOT).
+
+  static OpLatencies from_timings(const dram::TimingParams& t);
+};
+
+/// Latency of one MAJ gate of fan-in `x` executed with `n_rows`-row
+/// activation in steady-state bit-serial SIMD dataflow. A successful APA
+/// writes its result into *all* simultaneously activated rows, so each
+/// result is pre-replicated for the next gate; per gate the schedule pays
+/// one Multi-RowCopy to gather/replicate the remaining operand layout,
+/// re-initializes the n_rows % x neutral rows, fires the APA, and copies
+/// the result out (one RowClone). This keeps the per-operation cost
+/// nearly flat in x — the regime §8.1's throughput analysis operates in.
+double maj_gate_latency_ns(unsigned x, unsigned n_rows, bool frac_neutrals,
+                           const OpLatencies& ops);
+
+/// Execution-time model of a gate network on one chip (§8.1): every gate
+/// is one in-DRAM operation; an operation with success rate s must be
+/// repeated 1/s times in expectation (the paper's throughput scaling).
+struct ExecutionModel {
+  OpLatencies ops;
+  unsigned maj3_rows = 4;     ///< activation size for MAJ3 gates.
+  unsigned majx_rows = 32;    ///< activation size for MAJ5+ gates
+                              ///< (replication maximizes success, Takeaway 4).
+  bool frac_neutrals = true;  ///< false on Frac-less vendors (Mfr. M).
+  /// Best-row-group success rate per MAJ fan-in (measured on the device,
+  /// at the activation size rows_for(fanin)).
+  std::map<unsigned, double> maj_success;
+
+  unsigned rows_for(unsigned fanin) const {
+    return fanin <= 3 ? maj3_rows : majx_rows;
+  }
+
+  double network_time_ns(const NetworkCost& cost) const;
+};
+
+}  // namespace simra::majsynth

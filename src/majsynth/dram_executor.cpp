@@ -1,0 +1,79 @@
+#include "majsynth/dram_executor.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "pud/row_group.hpp"
+
+namespace simra::majsynth {
+
+DramExecutor::DramExecutor(pud::Engine* engine, dram::BankId bank,
+                           dram::SubarrayId sa, Rng* rng)
+    : engine_(engine), bank_(bank), sa_(sa), rng_(rng) {
+  if (engine_ == nullptr || rng_ == nullptr)
+    throw std::invalid_argument("executor needs an engine and an rng");
+}
+
+BitVec DramExecutor::execute_maj(const std::vector<const BitVec*>& operands,
+                                 std::size_t activation_rows) {
+  pud::MajxConfig config;
+  config.x = static_cast<unsigned>(operands.size());
+  config.operands.reserve(operands.size());
+  for (const BitVec* op : operands) config.operands.push_back(*op);
+  config.timings = pud::ApaTimings::best_for_majx();
+  const pud::RowGroup group =
+      pud::sample_group(engine_->layout(), activation_rows, *rng_);
+  ++stats_.maj_ops;
+  stats_.commands_ns += engine_->majx_apa_latency().value;
+  return engine_->majx(bank_, sa_, group, config);
+}
+
+std::vector<BitVec> DramExecutor::run(const Network& network,
+                                      const std::vector<BitVec>& inputs,
+                                      std::size_t activation_rows) {
+  if (inputs.size() != network.input_count())
+    throw std::invalid_argument("input row count mismatch");
+  const std::size_t columns = engine_->chip().profile().geometry.columns;
+  for (const BitVec& in : inputs)
+    if (in.size() != columns)
+      throw std::invalid_argument("input rows must span the full row width");
+
+  std::vector<BitVec> value(network.node_count());
+  std::size_t next_input = 0;
+  for (std::size_t node = 0; node < network.node_count(); ++node) {
+    const Gate& gate = network.gate(static_cast<int>(node));
+    switch (gate.kind) {
+      case GateKind::kInput:
+        value[node] = inputs[next_input++];
+        break;
+      case GateKind::kConstZero:
+        value[node] = BitVec(columns, false);
+        break;
+      case GateKind::kConstOne:
+        value[node] = BitVec(columns, true);
+        break;
+      case GateKind::kNot:
+        // Inverted copy (dual-contact-row style NOT): costs one RowClone.
+        value[node] = ~value[static_cast<std::size_t>(gate.inputs[0])];
+        ++stats_.not_ops;
+        stats_.commands_ns += engine_->rowclone_latency().value;
+        break;
+      case GateKind::kMaj: {
+        std::vector<const BitVec*> operands;
+        operands.reserve(gate.inputs.size());
+        for (int in : gate.inputs)
+          operands.push_back(&value[static_cast<std::size_t>(in)]);
+        value[node] = execute_maj(operands, activation_rows);
+        break;
+      }
+    }
+  }
+
+  std::vector<BitVec> outputs;
+  outputs.reserve(network.outputs().size());
+  for (int node : network.outputs())
+    outputs.push_back(value[static_cast<std::size_t>(node)]);
+  return outputs;
+}
+
+}  // namespace simra::majsynth

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "dram/types.hpp"
+#include "majsynth/network.hpp"
+#include "pud/engine.hpp"
+
+namespace simra {
+class Rng;
+}
+
+namespace simra::majsynth {
+
+/// Executes a majority-inverter network *in DRAM*: every net is a
+/// row-wide bit vector (bit-sliced SIMD across the columns), every MAJ
+/// gate is one in-DRAM MAJX operation with input replication, and NOT
+/// gates are inverted copies. This is the end-to-end §8.1 computation
+/// path, including the device's real (imperfect) MAJX behaviour.
+class DramExecutor {
+ public:
+  /// Gates run on row groups sampled inside (bank, subarray).
+  DramExecutor(pud::Engine* engine, dram::BankId bank, dram::SubarrayId sa,
+               Rng* rng);
+
+  struct Stats {
+    std::size_t maj_ops = 0;
+    std::size_t not_ops = 0;
+    double commands_ns = 0.0;  ///< accumulated command-program time.
+  };
+
+  /// Evaluates the network on the given primary-input rows; returns one
+  /// row per network output. `activation_rows` is the group size used for
+  /// MAJ gates (32 maximizes success via replication, Takeaway 4).
+  std::vector<BitVec> run(const Network& network,
+                          const std::vector<BitVec>& inputs,
+                          std::size_t activation_rows = 32);
+
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  BitVec execute_maj(const std::vector<const BitVec*>& operands,
+                     std::size_t activation_rows);
+
+  pud::Engine* engine_;
+  dram::BankId bank_;
+  dram::SubarrayId sa_;
+  Rng* rng_;
+  Stats stats_;
+};
+
+}  // namespace simra::majsynth

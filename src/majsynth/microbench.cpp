@@ -1,0 +1,102 @@
+#include "majsynth/microbench.hpp"
+
+#include <functional>
+
+#include "common/rng.hpp"
+#include "dram/chip.hpp"
+#include "majsynth/cost_model.hpp"
+#include "majsynth/synth.hpp"
+#include "pud/engine.hpp"
+#include "pud/success.hpp"
+
+namespace simra::majsynth {
+
+namespace {
+
+double best_group_success(pud::Engine& engine, unsigned x,
+                          std::size_t group_size, std::size_t groups,
+                          Rng& rng) {
+  pud::MeasureConfig cfg;
+  // §8.1 selects the row group with the highest throughput; computation
+  // also controls its operand layout, so the favourable fixed-pattern
+  // conditions apply (random data is the characterization's worst case).
+  cfg.pattern = dram::DataPattern::k00FF;
+  cfg.trials = 3;
+  cfg.timings = pud::ApaTimings::best_for_majx();
+  double best = 0.0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    const pud::RowGroup group =
+        pud::sample_group(engine.layout(), group_size, rng);
+    const dram::BankId bank = static_cast<dram::BankId>(g % 4);
+    const dram::SubarrayId sa = static_cast<dram::SubarrayId>(1 + g % 3);
+    best = std::max(
+        best, pud::measure_majx(engine, bank, sa, group, x, cfg, rng));
+  }
+  return best;
+}
+
+}  // namespace
+
+VendorCapability measure_capability(const dram::VendorProfile& profile,
+                                    std::uint64_t seed, std::size_t groups) {
+  VendorCapability cap;
+  cap.profile = profile;
+  cap.max_x = profile.short_name == "M" ? 7u : 9u;  // §5 fn. 11.
+
+  dram::Chip chip(profile, seed);
+  pud::Engine engine(&chip);
+  Rng rng(hash_combine(seed, 0xf16));
+
+  for (unsigned x = 3; x <= cap.max_x; x += 2)
+    cap.best_success_32row[x] = best_group_success(engine, x, 32, groups, rng);
+  cap.baseline_maj3_4row = best_group_success(engine, 3, 4, groups, rng);
+  return cap;
+}
+
+std::vector<MicrobenchResult> run_microbenchmarks(
+    const VendorCapability& capability) {
+  using NetworkBuilder = std::function<Network(unsigned)>;
+  const std::vector<std::pair<std::string, NetworkBuilder>> benches = {
+      {"AND", [](unsigned f) { return synth::bitwise_and_network(16, f); }},
+      {"OR", [](unsigned f) { return synth::bitwise_or_network(16, f); }},
+      {"XOR", [](unsigned f) { return synth::bitwise_xor_network(16, f); }},
+      {"ADD", [](unsigned f) { return synth::adder_network(32, f); }},
+      {"SUB", [](unsigned f) { return synth::subtractor_network(32, f); }},
+      {"MUL", [](unsigned f) { return synth::multiplier_network(32, f); }},
+      {"DIV", [](unsigned f) { return synth::divider_network(32, f); }},
+  };
+
+  const OpLatencies ops =
+      OpLatencies::from_timings(capability.profile.timings);
+
+  // Baseline: MAJ3 with 4-row activation (FracDRAM), the paper's
+  // state-of-the-art reference.
+  ExecutionModel baseline;
+  baseline.ops = ops;
+  baseline.frac_neutrals = capability.profile.supports_frac;
+  baseline.maj_success = {{3, capability.baseline_maj3_4row}};
+
+  std::vector<MicrobenchResult> results;
+  for (const auto& [name, builder] : benches) {
+    MicrobenchResult r;
+    r.name = name;
+    r.baseline_ns = baseline.network_time_ns(builder(3).cost());
+
+    for (unsigned max_x = 5; max_x <= capability.max_x; max_x += 2) {
+      ExecutionModel model;
+      model.ops = ops;
+      model.frac_neutrals = capability.profile.supports_frac;
+      // MAJ3 gates keep the cheap 4-row activation; wider gates use
+      // 32-row activation with input replication (Takeaway 4).
+      model.maj_success[3] = capability.baseline_maj3_4row;
+      for (unsigned x = 5; x <= max_x; x += 2)
+        model.maj_success[x] = capability.best_success_32row.at(x);
+      // Networks only instantiate fan-ins <= max_x; larger entries unused.
+      r.majx_ns[max_x] = model.network_time_ns(builder(max_x).cost());
+    }
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+}  // namespace simra::majsynth

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dram/vendor.hpp"
+
+namespace simra::majsynth {
+
+/// Measured PUD capability of one vendor's chips: the best-row-group
+/// success rate per MAJX fan-in (§8.1 picks the group with the highest
+/// throughput across all tested modules).
+struct VendorCapability {
+  dram::VendorProfile profile;
+  unsigned max_x = 3;  ///< largest usable MAJX (9 for Mfr. H, 7 for Mfr. M).
+  /// Best-group success at 32-row activation per fan-in, plus fan-in 3 at
+  /// 4-row activation under key "baseline".
+  std::map<unsigned, double> best_success_32row;
+  double baseline_maj3_4row = 1.0;
+};
+
+/// Measures a vendor's capability by sampling row groups on a simulated
+/// chip and keeping the best group per fan-in.
+VendorCapability measure_capability(const dram::VendorProfile& profile,
+                                    std::uint64_t seed, std::size_t groups);
+
+/// One Fig 16 microbenchmark result: execution time of the MAJ3-only
+/// baseline (4-row activation, the FracDRAM state of the art) and of the
+/// MAJX-enhanced version at each available fan-in level.
+struct MicrobenchResult {
+  std::string name;
+  double baseline_ns = 0.0;
+  std::map<unsigned, double> majx_ns;  ///< keyed by max fan-in used.
+
+  double speedup(unsigned max_fanin) const {
+    return baseline_ns / majx_ns.at(max_fanin);
+  }
+};
+
+/// Runs the seven §8.1 microbenchmarks (AND, OR, XOR over 16 operand
+/// vectors; 32-bit ADD, SUB, MUL, DIV) against a vendor capability.
+std::vector<MicrobenchResult> run_microbenchmarks(
+    const VendorCapability& capability);
+
+}  // namespace simra::majsynth

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace simra::majsynth {
+
+/// Node kinds of a majority-inverter network. MAJ gates may repeat an
+/// input (weighting) and may reference the constant nodes — in DRAM both
+/// are free: repetition is extra copies of the same operand row, constants
+/// are preset all-0/all-1 rows.
+enum class GateKind : std::uint8_t {
+  kInput,
+  kConstZero,
+  kConstOne,
+  kMaj,  ///< odd fan-in majority.
+  kNot,
+};
+
+struct Gate {
+  GateKind kind = GateKind::kInput;
+  std::vector<int> inputs;
+};
+
+/// Gate-count summary used by the execution-time model: one entry per MAJ
+/// fan-in, plus inverter count. In PUD execution every gate is one
+/// in-DRAM operation.
+struct NetworkCost {
+  std::map<unsigned, std::size_t> maj_by_fanin;
+  std::size_t not_gates = 0;
+
+  std::size_t total_maj() const;
+  unsigned max_fanin() const;
+};
+
+/// A majority-inverter gate network (MIG) with word-parallel evaluation.
+///
+/// Evaluation packs 64 independent test vectors into each uint64_t, so a
+/// single evaluate() call checks a network against 64 input combinations —
+/// the same bit-sliced layout the in-DRAM execution uses across columns.
+class Network {
+ public:
+  /// Adds a primary input; returns its node id.
+  int add_input(std::string name = {});
+  int const_zero();
+  int const_one();
+  /// Adds a majority gate. Fan-in (inputs.size()) must be odd and >= 3.
+  int add_maj(std::vector<int> inputs);
+  int add_not(int input);
+  void mark_output(int node);
+
+  std::size_t node_count() const noexcept { return gates_.size(); }
+  std::size_t input_count() const noexcept { return inputs_.size(); }
+  const std::vector<int>& outputs() const noexcept { return outputs_; }
+  const Gate& gate(int node) const { return gates_.at(static_cast<std::size_t>(node)); }
+
+  /// Evaluates the network on 64 packed test vectors; `input_words[i]` is
+  /// the packed value of primary input i. Returns one word per output.
+  std::vector<std::uint64_t> evaluate(
+      const std::vector<std::uint64_t>& input_words) const;
+
+  NetworkCost cost() const;
+
+ private:
+  int add_gate(Gate gate);
+  void check_node(int node) const;
+
+  std::vector<Gate> gates_;
+  std::vector<int> inputs_;       ///< node ids of primary inputs.
+  std::vector<std::string> input_names_;
+  std::vector<int> outputs_;
+  int const_zero_ = -1;
+  int const_one_ = -1;
+};
+
+}  // namespace simra::majsynth

@@ -1,0 +1,414 @@
+#include "majsynth/synth.hpp"
+
+#include <stdexcept>
+
+namespace simra::majsynth::synth {
+
+namespace {
+
+void check_fanin(unsigned max_fanin) {
+  if (max_fanin < 3 || max_fanin % 2 == 0 || max_fanin > 31)
+    throw std::invalid_argument("max fan-in must be odd, 3..31");
+}
+
+/// Tree reduction where one gate combines up to (max_fanin+1)/2 inputs,
+/// padding the remaining legs with `pad` (const zero for AND, one for OR).
+int padded_reduce(Network& net, std::vector<int> inputs, unsigned max_fanin,
+                  int pad) {
+  if (inputs.empty()) throw std::invalid_argument("reduce needs inputs");
+  const unsigned width = (max_fanin + 1) / 2;  // data inputs per gate.
+  while (inputs.size() > 1) {
+    std::vector<int> next;
+    for (std::size_t i = 0; i < inputs.size(); i += width) {
+      const std::size_t take = std::min<std::size_t>(width, inputs.size() - i);
+      if (take == 1) {
+        next.push_back(inputs[i]);
+        continue;
+      }
+      // AND_m / OR_m = MAJ(2m-1)(x1..xm, pad * (m-1)).
+      std::vector<int> legs(inputs.begin() + static_cast<long>(i),
+                            inputs.begin() + static_cast<long>(i + take));
+      for (std::size_t p = 0; p + 1 < take; ++p) legs.push_back(pad);
+      next.push_back(net.add_maj(std::move(legs)));
+    }
+    inputs = std::move(next);
+  }
+  return inputs.front();
+}
+
+}  // namespace
+
+int and_reduce(Network& net, std::vector<int> inputs, unsigned max_fanin) {
+  check_fanin(max_fanin);
+  return padded_reduce(net, std::move(inputs), max_fanin, net.const_zero());
+}
+
+int or_reduce(Network& net, std::vector<int> inputs, unsigned max_fanin) {
+  check_fanin(max_fanin);
+  return padded_reduce(net, std::move(inputs), max_fanin, net.const_one());
+}
+
+int xor2(Network& net, int a, int b, unsigned max_fanin) {
+  check_fanin(max_fanin);
+  if (max_fanin >= 5) return xor3(net, a, b, net.const_zero(), max_fanin);
+  const int na = net.add_not(a);
+  const int nb = net.add_not(b);
+  const int a_and_nb = net.add_maj({a, nb, net.const_zero()});
+  const int na_and_b = net.add_maj({na, b, net.const_zero()});
+  return net.add_maj({a_and_nb, na_and_b, net.const_one()});
+}
+
+int xor3(Network& net, int a, int b, int c, unsigned max_fanin) {
+  check_fanin(max_fanin);
+  if (max_fanin >= 5) {
+    const int maj = net.add_maj({a, b, c});
+    const int nmaj = net.add_not(maj);
+    return net.add_maj({a, b, c, nmaj, nmaj});
+  }
+  return xor2(net, xor2(net, a, b, max_fanin), c, max_fanin);
+}
+
+int xor_reduce(Network& net, std::vector<int> inputs, unsigned max_fanin) {
+  check_fanin(max_fanin);
+  if (inputs.empty()) throw std::invalid_argument("reduce needs inputs");
+  while (inputs.size() > 1) {
+    std::vector<int> next;
+    std::size_t i = 0;
+    while (i < inputs.size()) {
+      if (max_fanin >= 5 && inputs.size() - i >= 3) {
+        next.push_back(
+            xor3(net, inputs[i], inputs[i + 1], inputs[i + 2], max_fanin));
+        i += 3;
+      } else if (inputs.size() - i >= 2) {
+        next.push_back(xor2(net, inputs[i], inputs[i + 1], max_fanin));
+        i += 2;
+      } else {
+        next.push_back(inputs[i]);
+        ++i;
+      }
+    }
+    inputs = std::move(next);
+  }
+  return inputs.front();
+}
+
+FullAdderOut full_adder(Network& net, int a, int b, int cin,
+                        unsigned max_fanin) {
+  check_fanin(max_fanin);
+  FullAdderOut out;
+  out.carry = net.add_maj({a, b, cin});
+  if (max_fanin >= 5) {
+    const int ncarry = net.add_not(out.carry);
+    out.sum = net.add_maj({a, b, cin, ncarry, ncarry});
+  } else {
+    // sum = MAJ3(!carry, MAJ3(a, b, !cin), cin)  [MIG full-adder identity]
+    const int ncin = net.add_not(cin);
+    const int inner = net.add_maj({a, b, ncin});
+    const int ncarry = net.add_not(out.carry);
+    out.sum = net.add_maj({ncarry, inner, cin});
+  }
+  return out;
+}
+
+WordAddOut ripple_add(Network& net, std::span<const int> a,
+                      std::span<const int> b, int carry_in,
+                      unsigned max_fanin) {
+  if (a.size() != b.size() || a.empty())
+    throw std::invalid_argument("operand widths must match and be non-zero");
+  WordAddOut out;
+  out.sum.reserve(a.size());
+  int carry = carry_in;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const FullAdderOut fa = full_adder(net, a[i], b[i], carry, max_fanin);
+    out.sum.push_back(fa.sum);
+    carry = fa.carry;
+  }
+  out.carry_out = carry;
+  return out;
+}
+
+int mux(Network& net, int sel, int a, int b, unsigned max_fanin) {
+  check_fanin(max_fanin);
+  const int nsel = net.add_not(sel);
+  const int sel_a = net.add_maj({sel, a, net.const_zero()});
+  const int nsel_b = net.add_maj({nsel, b, net.const_zero()});
+  return net.add_maj({sel_a, nsel_b, net.const_one()});
+}
+
+std::vector<int> mux_word(Network& net, int sel, std::span<const int> a,
+                          std::span<const int> b, unsigned max_fanin) {
+  check_fanin(max_fanin);
+  if (a.size() != b.size())
+    throw std::invalid_argument("mux operand widths must match");
+  const int nsel = net.add_not(sel);  // shared across the word.
+  std::vector<int> out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const int sel_a = net.add_maj({sel, a[i], net.const_zero()});
+    const int nsel_b = net.add_maj({nsel, b[i], net.const_zero()});
+    out.push_back(net.add_maj({sel_a, nsel_b, net.const_one()}));
+  }
+  return out;
+}
+
+int threshold(Network& net, std::vector<int> inputs, unsigned k,
+              unsigned max_fanin) {
+  check_fanin(max_fanin);
+  const auto n = static_cast<unsigned>(inputs.size());
+  if (n == 0) throw std::invalid_argument("threshold needs inputs");
+  if (k == 0) return net.const_one();
+  if (k > n) return net.const_zero();
+  if (n == 1) return inputs.front();  // T_1 of one input is the input.
+  if (2 * n - 1 <= max_fanin) {
+    // Single padded majority gate.
+    for (unsigned p = 0; p < n - k; ++p) inputs.push_back(net.const_one());
+    for (unsigned p = 0; p + 1 < k; ++p) inputs.push_back(net.const_zero());
+    return net.add_maj(std::move(inputs));
+  }
+  // Wide fallback: count the inputs, then compare with the constant.
+  const std::vector<int> count = popcount(net, std::move(inputs), max_fanin);
+  return geq_const(net, count, k, max_fanin);
+}
+
+std::vector<int> popcount(Network& net, std::vector<int> inputs,
+                          unsigned max_fanin) {
+  check_fanin(max_fanin);
+  if (inputs.empty()) throw std::invalid_argument("popcount needs inputs");
+  // Carry-save reduction: per weight class, 3:2-compress bits with full
+  // adders until at most one bit per weight remains.
+  std::vector<std::vector<int>> weights{std::move(inputs)};
+  bool reduced = true;
+  while (reduced) {
+    reduced = false;
+    // Index-based access throughout: growing `weights` invalidates any
+    // held bucket reference.
+    for (std::size_t w = 0; w < weights.size(); ++w) {
+      while (weights[w].size() >= 3) {
+        const int a = weights[w].back();
+        weights[w].pop_back();
+        const int b = weights[w].back();
+        weights[w].pop_back();
+        const int c = weights[w].back();
+        weights[w].pop_back();
+        const FullAdderOut fa = full_adder(net, a, b, c, max_fanin);
+        weights[w].push_back(fa.sum);
+        if (w + 1 >= weights.size()) weights.emplace_back();
+        weights[w + 1].push_back(fa.carry);
+        reduced = true;
+      }
+      if (weights[w].size() == 2) {
+        // Half adder: sum = XOR2, carry = AND2.
+        const int a = weights[w][0];
+        const int b = weights[w][1];
+        weights[w].clear();
+        weights[w].push_back(xor2(net, a, b, max_fanin));
+        if (w + 1 >= weights.size()) weights.emplace_back();
+        weights[w + 1].push_back(net.add_maj({a, b, net.const_zero()}));
+        reduced = true;
+      }
+    }
+  }
+  std::vector<int> out;
+  out.reserve(weights.size());
+  for (auto& bucket : weights)
+    out.push_back(bucket.empty() ? net.const_zero() : bucket.front());
+  return out;
+}
+
+int geq_const(Network& net, std::span<const int> a, std::uint64_t constant,
+              unsigned max_fanin) {
+  check_fanin(max_fanin);
+  if (a.empty()) throw std::invalid_argument("comparison needs a word");
+  if (a.size() < 64 && constant >= (std::uint64_t{1} << a.size()))
+    return net.const_zero();
+  if (constant == 0) return net.const_one();
+  // a >= c  <=>  a + (2^w - c) carries out of width w.
+  const std::uint64_t addend =
+      (a.size() >= 64 ? 0 : (std::uint64_t{1} << a.size())) - constant;
+  std::vector<int> addend_bits;
+  addend_bits.reserve(a.size());
+  for (std::size_t b = 0; b < a.size(); ++b)
+    addend_bits.push_back(((addend >> b) & 1ull) ? net.const_one()
+                                                 : net.const_zero());
+  const WordAddOut sum =
+      ripple_add(net, a, addend_bits, net.const_zero(), max_fanin);
+  return sum.carry_out;
+}
+
+namespace {
+
+std::vector<int> add_inputs(Network& net, unsigned count,
+                            const std::string& prefix) {
+  std::vector<int> nodes;
+  nodes.reserve(count);
+  for (unsigned i = 0; i < count; ++i)
+    nodes.push_back(net.add_input(prefix + std::to_string(i)));
+  return nodes;
+}
+
+Network reduction_network(unsigned operands, unsigned max_fanin,
+                          int (*reduce)(Network&, std::vector<int>, unsigned)) {
+  if (operands < 2) throw std::invalid_argument("need >= 2 operands");
+  Network net;
+  std::vector<int> inputs = add_inputs(net, operands, "x");
+  net.mark_output(reduce(net, std::move(inputs), max_fanin));
+  return net;
+}
+
+}  // namespace
+
+Network bitwise_and_network(unsigned operands, unsigned max_fanin) {
+  return reduction_network(operands, max_fanin, &and_reduce);
+}
+
+Network bitwise_or_network(unsigned operands, unsigned max_fanin) {
+  return reduction_network(operands, max_fanin, &or_reduce);
+}
+
+Network bitwise_xor_network(unsigned operands, unsigned max_fanin) {
+  return reduction_network(operands, max_fanin, &xor_reduce);
+}
+
+Network adder_network(unsigned bits, unsigned max_fanin) {
+  if (bits == 0) throw std::invalid_argument("width must be positive");
+  Network net;
+  const std::vector<int> a = add_inputs(net, bits, "a");
+  const std::vector<int> b = add_inputs(net, bits, "b");
+  const WordAddOut sum = ripple_add(net, a, b, net.const_zero(), max_fanin);
+  for (int node : sum.sum) net.mark_output(node);
+  net.mark_output(sum.carry_out);
+  return net;
+}
+
+Network subtractor_network(unsigned bits, unsigned max_fanin) {
+  if (bits == 0) throw std::invalid_argument("width must be positive");
+  Network net;
+  const std::vector<int> a = add_inputs(net, bits, "a");
+  const std::vector<int> b = add_inputs(net, bits, "b");
+  std::vector<int> nb;
+  nb.reserve(bits);
+  for (int node : b) nb.push_back(net.add_not(node));
+  // a - b = a + ~b + 1.
+  const WordAddOut diff = ripple_add(net, a, nb, net.const_one(), max_fanin);
+  for (int node : diff.sum) net.mark_output(node);
+  // carry_out == 1 means no borrow.
+  net.mark_output(diff.carry_out);
+  return net;
+}
+
+Network multiplier_network(unsigned bits, unsigned max_fanin) {
+  if (bits == 0) throw std::invalid_argument("width must be positive");
+  Network net;
+  const std::vector<int> a = add_inputs(net, bits, "a");
+  const std::vector<int> b = add_inputs(net, bits, "b");
+  // acc holds the low `bits` of the running sum.
+  std::vector<int> acc(bits, net.const_zero());
+  for (unsigned i = 0; i < bits; ++i) {
+    // Partial product b[i] * a, shifted left by i; only bits < width kept.
+    const unsigned width = bits - i;
+    std::vector<int> pp;
+    pp.reserve(width);
+    for (unsigned j = 0; j < width; ++j)
+      pp.push_back(net.add_maj({b[i], a[j], net.const_zero()}));  // AND2
+    const std::span<const int> acc_hi(acc.data() + i, width);
+    const WordAddOut sum =
+        ripple_add(net, acc_hi, pp, net.const_zero(), max_fanin);
+    for (unsigned j = 0; j < width; ++j) acc[i + j] = sum.sum[j];
+  }
+  for (int node : acc) net.mark_output(node);
+  return net;
+}
+
+Network divider_network(unsigned bits, unsigned max_fanin) {
+  if (bits == 0) throw std::invalid_argument("width must be positive");
+  Network net;
+  const std::vector<int> n = add_inputs(net, bits, "n");  // numerator.
+  const std::vector<int> d = add_inputs(net, bits, "d");  // divisor.
+
+  // Restoring division with a (bits + 2)-wide remainder register so the
+  // trial subtraction's sign bit is exact.
+  const unsigned w = bits + 2;
+  std::vector<int> divisor_ext(w, net.const_zero());
+  std::vector<int> ndivisor(w, 0);
+  for (unsigned j = 0; j < bits; ++j) divisor_ext[j] = d[j];
+  for (unsigned j = 0; j < w; ++j) ndivisor[j] = net.add_not(divisor_ext[j]);
+
+  std::vector<int> remainder(w, net.const_zero());
+  std::vector<int> quotient(bits, net.const_zero());
+
+  for (int i = static_cast<int>(bits) - 1; i >= 0; --i) {
+    // remainder = (remainder << 1) | n[i]  (pure wiring).
+    std::vector<int> shifted(w, net.const_zero());
+    shifted[0] = n[static_cast<unsigned>(i)];
+    for (unsigned j = 0; j + 1 < w; ++j) shifted[j + 1] = remainder[j];
+    // trial = shifted - divisor  (shifted + ~divisor + 1).
+    const WordAddOut trial =
+        ripple_add(net, shifted, ndivisor, net.const_one(), max_fanin);
+    const int sign = trial.sum[w - 1];  // 1 -> trial negative -> restore.
+    quotient[static_cast<unsigned>(i)] = net.add_not(sign);
+    remainder = mux_word(net, sign, shifted, trial.sum, max_fanin);
+  }
+  for (int node : quotient) net.mark_output(node);
+  for (unsigned j = 0; j < bits; ++j) net.mark_output(remainder[j]);
+  return net;
+}
+
+Network comparator_network(unsigned bits, unsigned max_fanin) {
+  if (bits == 0) throw std::invalid_argument("width must be positive");
+  Network net;
+  const std::vector<int> a = add_inputs(net, bits, "a");
+  const std::vector<int> b = add_inputs(net, bits, "b");
+  // a < b  <=>  a - b borrows  <=>  no carry out of a + ~b + 1.
+  std::vector<int> nb;
+  nb.reserve(bits);
+  for (int node : b) nb.push_back(net.add_not(node));
+  const WordAddOut diff = ripple_add(net, a, nb, net.const_one(), max_fanin);
+  const int lt = net.add_not(diff.carry_out);
+  // a == b  <=>  every difference bit is zero.
+  std::vector<int> zero_bits;
+  zero_bits.reserve(bits);
+  for (int node : diff.sum) zero_bits.push_back(net.add_not(node));
+  const int eq = and_reduce(net, std::move(zero_bits), max_fanin);
+  // a > b  <=>  neither of the above.
+  const int ge = diff.carry_out;
+  const int neq = net.add_not(eq);
+  const int gt = net.add_maj({ge, neq, net.const_zero()});  // AND2.
+  net.mark_output(lt);
+  net.mark_output(eq);
+  net.mark_output(gt);
+  return net;
+}
+
+Network multi_add_network(unsigned operands, unsigned bits,
+                          unsigned max_fanin) {
+  if (operands < 2 || bits == 0)
+    throw std::invalid_argument("need >= 2 operands of positive width");
+  Network net;
+  // columns[w] collects all bits of weight w (inputs, then carries).
+  std::vector<std::vector<int>> columns(bits);
+  for (unsigned op = 0; op < operands; ++op) {
+    const std::vector<int> word =
+        add_inputs(net, bits, "x" + std::to_string(op) + "_");
+    for (unsigned b = 0; b < bits; ++b) columns[b].push_back(word[b]);
+  }
+  for (unsigned w = 0; w < bits; ++w) {
+    const std::vector<int> count =
+        popcount(net, std::move(columns[w]), max_fanin);
+    net.mark_output(count[0]);  // bit of weight w of the sum.
+    for (std::size_t c = 1; c < count.size(); ++c) {
+      if (w + c < bits) columns[w + c].push_back(count[c]);
+    }
+  }
+  return net;
+}
+
+Network popcount_network(unsigned inputs, unsigned max_fanin) {
+  if (inputs == 0) throw std::invalid_argument("need >= 1 input");
+  Network net;
+  std::vector<int> in = add_inputs(net, inputs, "x");
+  for (int node : popcount(net, std::move(in), max_fanin))
+    net.mark_output(node);
+  return net;
+}
+
+}  // namespace simra::majsynth::synth

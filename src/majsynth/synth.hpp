@@ -1,0 +1,101 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "majsynth/network.hpp"
+
+namespace simra::majsynth::synth {
+
+/// Gate builders parameterized by the largest usable majority fan-in
+/// (3 for the MAJ3-only baseline, 5/7/9 when the chip supports the new
+/// MAJX operations of §5). Every builder appends gates to `net` and
+/// returns the output node id(s).
+
+/// m-input AND in one MAJ(2m-1) gate padded with m-1 zeros; wider inputs
+/// reduce through a tree.
+int and_reduce(Network& net, std::vector<int> inputs, unsigned max_fanin);
+/// m-input OR (zeros replaced by ones).
+int or_reduce(Network& net, std::vector<int> inputs, unsigned max_fanin);
+
+/// 2-input XOR. MAJ3-only: OR(AND(a, !b), AND(!a, b)) — 3 MAJ + 2 NOT.
+/// With MAJ5: MAJ5(a, b, 0, !AND(a,b), !AND(a,b)) — 2 MAJ + 1 NOT.
+int xor2(Network& net, int a, int b, unsigned max_fanin);
+/// 3-input XOR. With MAJ5 this is the full-adder sum identity:
+/// XOR3(a,b,c) = MAJ5(a, b, c, !MAJ3(a,b,c), !MAJ3(a,b,c)).
+int xor3(Network& net, int a, int b, int c, unsigned max_fanin);
+/// XOR reduction over any number of inputs.
+int xor_reduce(Network& net, std::vector<int> inputs, unsigned max_fanin);
+
+struct FullAdderOut {
+  int sum = -1;
+  int carry = -1;
+};
+/// One-bit full adder. carry = MAJ3(a,b,cin) always; sum costs
+/// 2 MAJ3 + 2 NOT at fan-in 3 and 1 MAJ5 + 1 NOT at fan-in >= 5.
+FullAdderOut full_adder(Network& net, int a, int b, int cin,
+                        unsigned max_fanin);
+
+struct WordAddOut {
+  std::vector<int> sum;  ///< LSB first.
+  int carry_out = -1;
+};
+/// Ripple-carry addition of two equal-width words (LSB first).
+WordAddOut ripple_add(Network& net, std::span<const int> a,
+                      std::span<const int> b, int carry_in,
+                      unsigned max_fanin);
+
+/// 2:1 multiplexer, sel ? a : b (3 MAJ + 1 NOT; the NOT of sel can be
+/// shared across a word via mux_word).
+int mux(Network& net, int sel, int a, int b, unsigned max_fanin);
+std::vector<int> mux_word(Network& net, int sel, std::span<const int> a,
+                          std::span<const int> b, unsigned max_fanin);
+
+/// Threshold gate T_k: 1 iff at least k of the inputs are 1. When
+/// 2n-1 <= max_fanin it is a *single* padded majority gate,
+/// MAJ(2n-1)(inputs, (n-k) ones, (k-1) zeros) — the generalization behind
+/// AND/OR being MAJ with constants. Wider inputs fall back to
+/// popcount-and-compare.
+int threshold(Network& net, std::vector<int> inputs, unsigned k,
+              unsigned max_fanin);
+
+/// Binary population count of the inputs (LSB first,
+/// ceil(log2(n+1)) outputs), built from 3:2 full-adder counters.
+std::vector<int> popcount(Network& net, std::vector<int> inputs,
+                          unsigned max_fanin);
+
+/// a >= constant, for an unsigned word (LSB first): the carry out of
+/// a + (2^w - constant).
+int geq_const(Network& net, std::span<const int> a, std::uint64_t constant,
+              unsigned max_fanin);
+
+// --- Whole-benchmark networks (the Fig 16 microbenchmarks) ---
+
+/// Reduction AND/OR/XOR over `operands` input vectors (horizontal layout:
+/// each gate processes a full row, so the network has one gate tree).
+Network bitwise_and_network(unsigned operands, unsigned max_fanin);
+Network bitwise_or_network(unsigned operands, unsigned max_fanin);
+Network bitwise_xor_network(unsigned operands, unsigned max_fanin);
+
+/// Elementwise `bits`-wide arithmetic in bit-sliced layout.
+Network adder_network(unsigned bits, unsigned max_fanin);
+Network subtractor_network(unsigned bits, unsigned max_fanin);
+/// Low `bits` of the product (shift-add).
+Network multiplier_network(unsigned bits, unsigned max_fanin);
+/// Restoring division: outputs quotient then remainder (each `bits` wide).
+Network divider_network(unsigned bits, unsigned max_fanin);
+
+/// Unsigned comparison of two `bits`-wide words; outputs lt, eq, gt.
+Network comparator_network(unsigned bits, unsigned max_fanin);
+
+/// Sum of `operands` words of `bits` width (mod 2^bits), via carry-save
+/// column compression (Wallace-style): each bit column is popcounted and
+/// the count's higher bits carry into higher columns — the multi-operand
+/// accumulation pattern of bulk in-DRAM arithmetic.
+Network multi_add_network(unsigned operands, unsigned bits,
+                          unsigned max_fanin);
+
+/// Population count of `inputs` bits; outputs the binary count LSB first.
+Network popcount_network(unsigned inputs, unsigned max_fanin);
+
+}  // namespace simra::majsynth::synth

@@ -1,0 +1,110 @@
+#include "pud/address_mapper.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "pud/row_group.hpp"
+
+namespace simra::pud {
+
+namespace {
+constexpr std::size_t kProbeBits = 64;  // enough to tell P from ~P.
+}
+
+AddressMapper::AddressMapper(Engine* engine, Rng* rng)
+    : engine_(engine), rng_(rng) {
+  if (engine_ == nullptr || rng_ == nullptr)
+    throw std::invalid_argument("mapper needs an engine and an rng");
+}
+
+void AddressMapper::ensure_initialized(dram::BankId bank,
+                                       dram::SubarrayId sa) {
+  if (initialized_ && init_bank_ == bank && init_sa_ == sa) return;
+  const std::size_t columns = engine_->chip().profile().geometry.columns;
+  base_pattern_ = BitVec(columns);
+  base_pattern_.fill_byte(0x0F);
+  marker_pattern_ = ~base_pattern_;
+  const auto rows =
+      static_cast<dram::RowAddr>(engine_->layout().rows());
+  for (dram::RowAddr r = 0; r < rows; ++r)
+    engine_->write_row(bank, engine_->global_of(sa, r), base_pattern_);
+  init_bank_ = bank;
+  init_sa_ = sa;
+  initialized_ = true;
+}
+
+std::vector<dram::RowAddr> AddressMapper::discover_group(
+    dram::BankId bank, dram::SubarrayId sa, dram::RowAddr r1_local,
+    dram::RowAddr r2_local) {
+  ensure_initialized(bank, sa);
+
+  RowGroup probe;
+  probe.row_first = r1_local;
+  probe.row_second = r2_local;
+  probe.rows = {r1_local, r2_local};  // only the APA targets matter here.
+  engine_->apa_then_write(bank, sa, probe, marker_pattern_,
+                          ApaTimings::best_for_smra());
+
+  // Scan the subarray for rows now holding the marker.
+  const auto rows = static_cast<dram::RowAddr>(engine_->layout().rows());
+  const BitVec marker_prefix = marker_pattern_.slice(0, kProbeBits);
+  std::vector<dram::RowAddr> activated;
+  for (dram::RowAddr r = 0; r < rows; ++r) {
+    const BitVec prefix =
+        engine_->read_row_prefix(bank, engine_->global_of(sa, r), kProbeBits);
+    if (prefix.matches(marker_prefix) > kProbeBits / 2) activated.push_back(r);
+  }
+  // Restore the probe state for the next discovery.
+  for (dram::RowAddr r : activated)
+    engine_->write_row(bank, engine_->global_of(sa, r), base_pattern_);
+  return activated;
+}
+
+std::vector<unsigned> AddressMapper::FieldStructure::fanouts() const {
+  std::vector<unsigned> out;
+  out.reserve(classes.size());
+  for (const auto& cls : classes)
+    out.push_back(static_cast<unsigned>(cls.size()) + 1);
+  return out;
+}
+
+std::size_t AddressMapper::FieldStructure::decoded_rows() const {
+  std::size_t rows = 1;
+  for (unsigned f : fanouts()) rows *= f;
+  return rows;
+}
+
+AddressMapper::FieldStructure AddressMapper::discover_field_structure(
+    dram::BankId bank, dram::SubarrayId sa) {
+  const auto rows = static_cast<dram::RowAddr>(engine_->layout().rows());
+
+  // Step 1: rows whose APA with row 0 opens exactly two rows differ from
+  // row 0 in exactly one internal pre-decoder field.
+  std::vector<dram::RowAddr> partners;
+  for (dram::RowAddr r = 1; r < rows; ++r) {
+    const auto group = discover_group(bank, sa, 0, r);
+    if (group.size() == 2) partners.push_back(r);
+  }
+
+  // Step 2: two such partners share a field iff their mutual APA also
+  // opens exactly two rows (they then differ only in that field's digit).
+  FieldStructure structure;
+  std::vector<bool> assigned(partners.size(), false);
+  for (std::size_t i = 0; i < partners.size(); ++i) {
+    if (assigned[i]) continue;
+    std::vector<dram::RowAddr> cls{partners[i]};
+    assigned[i] = true;
+    for (std::size_t j = i + 1; j < partners.size(); ++j) {
+      if (assigned[j]) continue;
+      const auto group = discover_group(bank, sa, partners[i], partners[j]);
+      if (group.size() == 2) {
+        cls.push_back(partners[j]);
+        assigned[j] = true;
+      }
+    }
+    structure.classes.push_back(std::move(cls));
+  }
+  return structure;
+}
+
+}  // namespace simra::pud

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dram/types.hpp"
+#include "pud/engine.hpp"
+
+namespace simra {
+class Rng;
+}
+
+namespace simra::pud {
+
+/// Reverse engineering of the internal row organization of a black-box
+/// chip through the command interface — the methodology §7.1 cites
+/// ("we carefully reuse the DRAM row adjacency reverse engineering
+/// methodology") rebuilt on SiMRA itself:
+///
+///  * which logical rows one APA pair simultaneously activates is directly
+///    observable (initialize the subarray, APA + WR a marker, read back);
+///  * a pair opening a 2-row group differs in exactly one internal
+///    pre-decoder field; pairs of those partners that again form 2-row
+///    groups share a field — yielding the pre-decoder field partition and
+///    fan-outs without any knowledge of the vendor's address scrambling.
+class AddressMapper {
+ public:
+  AddressMapper(Engine* engine, Rng* rng);
+
+  /// Logical (subarray-local) rows simultaneously activated by
+  /// ACT(r1) -> PRE -> ACT(r2) with SiMRA timings. Pure command-interface
+  /// probe; the device's scrambling is invisible to the caller.
+  std::vector<dram::RowAddr> discover_group(dram::BankId bank,
+                                            dram::SubarrayId sa,
+                                            dram::RowAddr r1_local,
+                                            dram::RowAddr r2_local);
+
+  /// The internal pre-decoder structure as seen from logical row 0.
+  struct FieldStructure {
+    /// One entry per internal pre-decoder field: the logical rows that
+    /// differ from row 0 in that field only.
+    std::vector<std::vector<dram::RowAddr>> classes;
+
+    /// Fan-out of each discovered pre-decoder (class size + 1).
+    std::vector<unsigned> fanouts() const;
+    /// Product of fan-outs — must equal the subarray size.
+    std::size_t decoded_rows() const;
+  };
+
+  /// Discovers the field partition by probing row 0 against every other
+  /// row in the subarray and classifying its 2-row-group partners.
+  FieldStructure discover_field_structure(dram::BankId bank,
+                                          dram::SubarrayId sa);
+
+ private:
+  void ensure_initialized(dram::BankId bank, dram::SubarrayId sa);
+
+  Engine* engine_;
+  Rng* rng_;
+  // Probe state: the marker rows currently written into the subarray.
+  dram::BankId init_bank_ = 0;
+  dram::SubarrayId init_sa_ = 0;
+  bool initialized_ = false;
+  BitVec base_pattern_;
+  BitVec marker_pattern_;
+};
+
+}  // namespace simra::pud

@@ -1,0 +1,268 @@
+#include "pud/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace simra::pud {
+
+using bender::Program;
+
+Engine::Engine(dram::Chip* chip) : chip_(chip), executor_(chip) {
+  if (chip_ == nullptr) throw std::invalid_argument("engine needs a chip");
+}
+
+dram::RowAddr Engine::global_of(dram::SubarrayId sa,
+                                dram::RowAddr local) const {
+  return static_cast<dram::RowAddr>(sa) *
+             static_cast<dram::RowAddr>(layout().rows()) +
+         local;
+}
+
+void Engine::write_row(dram::BankId bank, dram::RowAddr global_row,
+                       const BitVec& data) {
+  const auto& t = chip_->profile().timings;
+  Program p;
+  p.act(bank, global_row)
+      .delay_at_least(t.tRCD)
+      .wr(bank, 0, data)
+      .delay_at_least(t.tWR)
+      .pre(bank)
+      .delay_at_least(t.tRP);
+  executor_.run(p);
+}
+
+BitVec Engine::read_row(dram::BankId bank, dram::RowAddr global_row) {
+  return read_row_prefix(bank, global_row,
+                         chip_->profile().geometry.columns);
+}
+
+BitVec Engine::read_row_prefix(dram::BankId bank, dram::RowAddr global_row,
+                               std::size_t nbits) {
+  const auto& t = chip_->profile().timings;
+  Program p;
+  p.act(bank, global_row)
+      .delay_at_least(t.tRCD)
+      .rd(bank, 0, nbits)
+      .delay_at_least(t.tCCD)
+      .pre(bank)
+      .delay_at_least(t.tRP);
+  auto result = executor_.run(p);
+  return std::move(result.reads.front());
+}
+
+void Engine::frac(dram::BankId bank, dram::RowAddr global_row) {
+  const auto& t = chip_->profile().timings;
+  Program p;
+  // ACT -> PRE long before the sense amplifiers fire: the cells are left
+  // half charge-shared at ~VDD/2.
+  p.act(bank, global_row)
+      .delay(Nanoseconds{1.5})
+      .pre(bank)
+      .delay_at_least(t.tRP);
+  executor_.run(p);
+}
+
+void Engine::rowclone(dram::BankId bank, dram::RowAddr src_global,
+                      dram::RowAddr dst_global) {
+  const auto& t = chip_->profile().timings;
+  Program p;
+  // Full tRAS lets the SA latch the source; t2 = 6 ns de-asserts the
+  // source wordline but leaves the bitlines un-precharged -> the second
+  // ACT overwrites dst with the SA contents (consecutive activation).
+  p.act(bank, src_global)
+      .delay_at_least(t.tRAS)
+      .pre(bank)
+      .delay(Nanoseconds{6.0})
+      .act(bank, dst_global)
+      .delay_at_least(t.tRAS)
+      .pre(bank)
+      .delay_at_least(t.tRP);
+  executor_.run(p);
+}
+
+Program Engine::apa_program(dram::BankId bank, dram::RowAddr rf_global,
+                            dram::RowAddr rs_global, ApaTimings timings,
+                            bool read_buffer) const {
+  const auto& t = chip_->profile().timings;
+  const std::size_t columns = chip_->profile().geometry.columns;
+  Program p;
+  p.act(bank, rf_global)
+      .delay(timings.t1)
+      .pre(bank)
+      .delay(timings.t2)
+      .act(bank, rs_global)
+      .delay_at_least(t.tRAS);
+  if (read_buffer) p.rd(bank, 0, columns).delay_at_least(t.tCCD);
+  p.pre(bank).delay_at_least(t.tRP);
+  return p;
+}
+
+void Engine::multi_row_copy(dram::BankId bank, dram::SubarrayId sa,
+                            const RowGroup& group, ApaTimings timings) {
+  executor_.run(apa_program(bank, global_of(sa, group.row_first),
+                            global_of(sa, group.row_second), timings,
+                            /*read_buffer=*/false));
+}
+
+BitVec Engine::apa(dram::BankId bank, dram::SubarrayId sa,
+                   const RowGroup& group, ApaTimings timings) {
+  auto result =
+      executor_.run(apa_program(bank, global_of(sa, group.row_first),
+                                global_of(sa, group.row_second), timings,
+                                /*read_buffer=*/true));
+  return std::move(result.reads.front());
+}
+
+void Engine::apa_then_write(dram::BankId bank, dram::SubarrayId sa,
+                            const RowGroup& group, const BitVec& data,
+                            ApaTimings timings) {
+  const auto& t = chip_->profile().timings;
+  Program p;
+  p.act(bank, global_of(sa, group.row_first))
+      .delay(timings.t1)
+      .pre(bank)
+      .delay(timings.t2)
+      .act(bank, global_of(sa, group.row_second))
+      .delay_at_least(t.tRCD)
+      .wr(bank, 0, data)
+      .delay_at_least(t.tWR)
+      .pre(bank)
+      .delay_at_least(t.tRP);
+  executor_.run(p);
+}
+
+BitVec Engine::majx(dram::BankId bank, dram::SubarrayId sa,
+                    const RowGroup& group, const MajxConfig& config) {
+  if (config.x < 3 || config.x % 2 == 0)
+    throw std::invalid_argument("MAJX needs an odd operand count >= 3");
+  if (config.operands.size() != config.x)
+    throw std::invalid_argument("operand count does not match X");
+  if (group.size() < config.x)
+    throw std::invalid_argument("group smaller than the operand count");
+
+  const std::size_t replicas = group.size() / config.x;
+  const std::size_t data_rows = replicas * config.x;
+
+  // Assignment order: R_F first (it must carry data — a Frac'd R_F would
+  // be re-sensed and destroyed by the first ACT), then the rest of the
+  // group in address order.
+  std::vector<dram::RowAddr> order;
+  order.reserve(group.size());
+  order.push_back(group.row_first);
+  for (dram::RowAddr r : group.rows)
+    if (r != group.row_first) order.push_back(r);
+
+  bool neutral_toggle = false;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const dram::RowAddr global = global_of(sa, order[i]);
+    if (i < data_rows) {
+      write_row(bank, global, config.operands[i % config.x]);
+    } else if (chip_->profile().supports_frac) {
+      // True neutral rows at VDD/2.
+      frac(bank, global);
+    } else {
+      // Frac-less vendors (Mfr. M, fn. 5): emulate neutrality with
+      // alternating all-0s/all-1s rows. An odd leftover row biases the
+      // bitline by a full cell — the structural reason MAJ9 fails there.
+      BitVec fill(chip_->profile().geometry.columns, neutral_toggle);
+      neutral_toggle = !neutral_toggle;
+      write_row(bank, global, fill);
+    }
+  }
+  return apa(bank, sa, group, config.timings);
+}
+
+BitVec Engine::majx_from_rows(dram::BankId bank, dram::SubarrayId sa,
+                              const RowGroup& group,
+                              std::span<const dram::RowAddr> operand_rows,
+                              ApaTimings timings) {
+  const auto x = static_cast<unsigned>(operand_rows.size());
+  if (x < 3 || x % 2 == 0)
+    throw std::invalid_argument("MAJX needs an odd operand count >= 3");
+  if (group.size() < x)
+    throw std::invalid_argument("group smaller than the operand count");
+  const std::size_t replicas = group.size() / x;
+  const std::size_t data_rows = replicas * x;
+
+  // Staging overwrites the group rows, so operand rows inside the group
+  // would be clobbered before they are read.
+  for (dram::RowAddr op : operand_rows) {
+    if (std::binary_search(group.rows.begin(), group.rows.end(), op))
+      throw std::invalid_argument(
+          "operand rows must live outside the activation group");
+  }
+
+  std::vector<dram::RowAddr> order;
+  order.reserve(group.size());
+  order.push_back(group.row_first);
+  for (dram::RowAddr r : group.rows)
+    if (r != group.row_first) order.push_back(r);
+
+  bool neutral_toggle = false;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const dram::RowAddr global = global_of(sa, order[i]);
+    if (i < data_rows) {
+      rowclone(bank, global_of(sa, operand_rows[i % x]), global);
+    } else if (chip_->profile().supports_frac) {
+      frac(bank, global);
+    } else {
+      BitVec fill(chip_->profile().geometry.columns, neutral_toggle);
+      neutral_toggle = !neutral_toggle;
+      write_row(bank, global, fill);
+    }
+  }
+  return apa(bank, sa, group, timings);
+}
+
+BitVec Engine::in_dram_and(dram::BankId bank, dram::SubarrayId sa,
+                           const RowGroup& group, const BitVec& a,
+                           const BitVec& b) {
+  MajxConfig config;
+  config.x = 3;
+  config.operands = {a, b, BitVec(chip_->profile().geometry.columns, false)};
+  return majx(bank, sa, group, config);
+}
+
+BitVec Engine::in_dram_or(dram::BankId bank, dram::SubarrayId sa,
+                          const RowGroup& group, const BitVec& a,
+                          const BitVec& b) {
+  MajxConfig config;
+  config.x = 3;
+  config.operands = {a, b, BitVec(chip_->profile().geometry.columns, true)};
+  return majx(bank, sa, group, config);
+}
+
+Nanoseconds Engine::write_row_latency() const {
+  const auto& t = chip_->profile().timings;
+  Program p;
+  p.act(0, 0).delay_at_least(t.tRCD).wr(0, 0, BitVec(8)).delay_at_least(t.tWR)
+      .pre(0).delay_at_least(t.tRP);
+  return Nanoseconds{p.duration_ns()};
+}
+
+Nanoseconds Engine::rowclone_latency() const {
+  const auto& t = chip_->profile().timings;
+  Program p;
+  p.act(0, 0).delay_at_least(t.tRAS).pre(0).delay(Nanoseconds{6.0}).act(0, 1)
+      .delay_at_least(t.tRAS).pre(0).delay_at_least(t.tRP);
+  return Nanoseconds{p.duration_ns()};
+}
+
+Nanoseconds Engine::frac_latency() const {
+  const auto& t = chip_->profile().timings;
+  Program p;
+  p.act(0, 0).delay(Nanoseconds{1.5}).pre(0).delay_at_least(t.tRP);
+  return Nanoseconds{p.duration_ns()};
+}
+
+Nanoseconds Engine::multi_row_copy_latency(ApaTimings timings) const {
+  return Nanoseconds{
+      apa_program(0, 0, 1, timings, /*read_buffer=*/false).duration_ns()};
+}
+
+Nanoseconds Engine::majx_apa_latency(ApaTimings timings) const {
+  return Nanoseconds{
+      apa_program(0, 0, 1, timings, /*read_buffer=*/false).duration_ns()};
+}
+
+}  // namespace simra::pud

@@ -1,0 +1,69 @@
+#include "pud/patterns.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace simra::pud {
+
+BitVec make_pattern_row(dram::DataPattern pattern, std::size_t columns,
+                        Rng& rng) {
+  BitVec row(columns);
+  if (pattern == dram::DataPattern::kRandom) {
+    row.randomize(rng);
+    return row;
+  }
+  if (pattern == dram::DataPattern::kAllZeros) {
+    return row;
+  }
+  if (pattern == dram::DataPattern::kAllOnes) {
+    row.fill(true);
+    return row;
+  }
+  const dram::PatternBytes bytes = dram::pattern_bytes(pattern);
+  row.fill_byte(rng.chance(0.5) ? bytes.high : bytes.low);
+  return row;
+}
+
+std::vector<BitVec> make_pattern_rows(dram::DataPattern pattern,
+                                      std::size_t columns, std::size_t count,
+                                      Rng& rng) {
+  std::vector<BitVec> rows;
+  rows.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    rows.push_back(make_pattern_row(pattern, columns, rng));
+  return rows;
+}
+
+BitVec complement_row(const BitVec& row) { return ~row; }
+
+std::vector<BitVec> make_bare_majority_operands(dram::DataPattern pattern,
+                                                unsigned x,
+                                                std::size_t columns, Rng& rng,
+                                                bool invert) {
+  if (x < 3 || x % 2 == 0)
+    throw std::invalid_argument("operand count must be odd and >= 3");
+  BitVec base(columns);
+  switch (pattern) {
+    case dram::DataPattern::kRandom:
+      base.randomize(rng);
+      break;
+    case dram::DataPattern::kAllZeros:
+      break;
+    case dram::DataPattern::kAllOnes:
+      base.fill(true);
+      break;
+    default:
+      base.fill_byte(dram::pattern_bytes(pattern).high);
+      break;
+  }
+  if (invert) base = complement_row(base);
+  const BitVec minority = complement_row(base);
+  std::vector<BitVec> operands;
+  operands.reserve(x);
+  for (unsigned i = 0; i < (x - 1) / 2; ++i) operands.push_back(minority);
+  for (unsigned i = 0; i < (x + 1) / 2; ++i) operands.push_back(base);
+  return operands;
+}
+
+}  // namespace simra::pud

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "dram/types.hpp"
+
+namespace simra {
+class Rng;
+}
+
+namespace simra::pud {
+
+/// Builds one row worth of data for the given pattern (§3.1 "Data
+/// Patterns"): fixed patterns pick all-low-byte or all-high-byte per row
+/// (coin from `rng`); kRandom fills uniformly random bits.
+BitVec make_pattern_row(dram::DataPattern pattern, std::size_t columns,
+                        Rng& rng);
+
+/// Builds `count` independent pattern rows.
+std::vector<BitVec> make_pattern_rows(dram::DataPattern pattern,
+                                      std::size_t columns, std::size_t count,
+                                      Rng& rng);
+
+/// Builds X MAJ operands whose per-bit majority margin is exactly one —
+/// the adversarial worst case every cell eventually sees under repeated
+/// random trials: (X-1)/2 minority operands followed by (X+1)/2 majority
+/// operands. Operand 0 (the row the APA activates first) is a *minority*
+/// operand, probing the charge-share asymmetry worst case. With
+/// `invert = false` the majority value is the pattern's base row; with
+/// `invert = true` the polarity flips, so running both exercises every
+/// bitline in both directions. For fixed patterns the base row is the
+/// all-high-byte row; for kRandom it is a fresh random row.
+std::vector<BitVec> make_bare_majority_operands(dram::DataPattern pattern,
+                                                unsigned x,
+                                                std::size_t columns, Rng& rng,
+                                                bool invert = false);
+
+/// A row that differs from `row` in every bit position while honouring
+/// the same pattern family (complement).
+BitVec complement_row(const BitVec& row);
+
+}  // namespace simra::pud

@@ -1,0 +1,69 @@
+#include "pud/reliability_map.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "pud/patterns.hpp"
+
+namespace simra::pud {
+
+ReliabilityMap::ReliabilityMap(Engine* engine, Rng* rng)
+    : engine_(engine), rng_(rng) {
+  if (engine_ == nullptr || rng_ == nullptr)
+    throw std::invalid_argument("profiler needs an engine and an rng");
+}
+
+BitVec ReliabilityMap::stable_majx_columns(dram::BankId bank,
+                                           dram::SubarrayId sa,
+                                           const RowGroup& group, unsigned x,
+                                           unsigned trials) {
+  const std::size_t columns = engine_->chip().profile().geometry.columns;
+  BitVec stable(columns, true);
+  const std::vector<BitVec> adversarial =
+      make_bare_majority_operands(dram::DataPattern::kRandom, x, columns,
+                                  *rng_);
+  for (unsigned trial = 0; trial < trials; ++trial) {
+    MajxConfig config;
+    config.x = x;
+    if (trial == 0) {
+      config.operands = adversarial;
+    } else if (trial == 1) {
+      config.operands.reserve(x);
+      for (const BitVec& op : adversarial) config.operands.push_back(~op);
+    } else {
+      config.operands =
+          make_pattern_rows(dram::DataPattern::kRandom, columns, x, *rng_);
+    }
+    std::vector<const BitVec*> refs;
+    for (const BitVec& op : config.operands) refs.push_back(&op);
+    const BitVec expected = BitVec::majority(refs);
+    const BitVec result = engine_->majx(bank, sa, group, config);
+    stable &= ~(result ^ expected);
+  }
+  return stable;
+}
+
+double ReliabilityMap::usable_fraction(const BitVec& mask) {
+  return mask.empty() ? 0.0
+                      : static_cast<double>(mask.popcount()) /
+                            static_cast<double>(mask.size());
+}
+
+std::size_t ReliabilityMap::best_group(dram::BankId bank, dram::SubarrayId sa,
+                                       const std::vector<RowGroup>& candidates,
+                                       unsigned x, unsigned trials) {
+  if (candidates.empty()) throw std::invalid_argument("no candidate groups");
+  std::size_t best_index = 0;
+  std::size_t best_count = 0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const std::size_t count =
+        stable_majx_columns(bank, sa, candidates[i], x, trials).popcount();
+    if (count > best_count) {
+      best_count = count;
+      best_index = i;
+    }
+  }
+  return best_index;
+}
+
+}  // namespace simra::pud

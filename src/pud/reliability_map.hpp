@@ -1,0 +1,43 @@
+#pragma once
+
+#include "common/bitvec.hpp"
+#include "pud/engine.hpp"
+#include "pud/row_group.hpp"
+
+namespace simra {
+class Rng;
+}
+
+namespace simra::pud {
+
+/// Per-bitline stability profiling. The paper's success-rate metric
+/// divides cells into *stable* (always correct) and unstable; a deployed
+/// PUD system profiles once and then computes only on the stable columns
+/// (this is how §8.1 turns success rates into usable throughput). This
+/// profiler extracts that column mask through the command interface.
+class ReliabilityMap {
+ public:
+  ReliabilityMap(Engine* engine, Rng* rng);
+
+  /// Columns whose MAJX result was correct in every profiling trial for
+  /// this group (bare-majority adversarial inputs in both polarities plus
+  /// random trials, as in the §3.1 metric).
+  BitVec stable_majx_columns(dram::BankId bank, dram::SubarrayId sa,
+                             const RowGroup& group, unsigned x,
+                             unsigned trials = 4);
+
+  /// Fraction of stable columns (== the figure-level success rate).
+  static double usable_fraction(const BitVec& mask);
+
+  /// Of several candidate groups, returns the index whose stable-column
+  /// count is largest (the "highest throughput group" selection of §8.1).
+  std::size_t best_group(dram::BankId bank, dram::SubarrayId sa,
+                         const std::vector<RowGroup>& candidates, unsigned x,
+                         unsigned trials = 4);
+
+ private:
+  Engine* engine_;
+  Rng* rng_;
+};
+
+}  // namespace simra::pud

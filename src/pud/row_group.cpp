@@ -1,0 +1,58 @@
+#include "pud/row_group.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace simra::pud {
+
+RowGroup make_group(const dram::PredecoderLayout& layout,
+                    dram::RowAddr row_first, dram::RowAddr row_second) {
+  RowGroup g;
+  g.row_first = row_first;
+  g.row_second = row_second;
+  g.rows = layout.activation_group(row_first, row_second);
+  return g;
+}
+
+RowGroup sample_group(const dram::PredecoderLayout& layout,
+                      std::size_t group_size, Rng& rng) {
+  if (group_size == 0 || !std::has_single_bit(group_size))
+    throw std::invalid_argument("group size must be a power of two");
+  const auto k = static_cast<unsigned>(std::countr_zero(group_size));
+  if (k > layout.field_count())
+    throw std::invalid_argument("group size exceeds decoder capability");
+
+  // Pick the first row uniformly, then choose k distinct pre-decoder
+  // fields and flip each of them to a different digit for the second row.
+  const auto first = static_cast<dram::RowAddr>(rng.below(layout.rows()));
+  auto digits = layout.digits(first);
+
+  std::vector<std::size_t> fields(layout.field_count());
+  for (std::size_t i = 0; i < fields.size(); ++i) fields[i] = i;
+  // Partial Fisher-Yates: the first k entries become the flipped fields.
+  for (unsigned i = 0; i < k; ++i) {
+    const std::size_t j = i + rng.below(fields.size() - i);
+    std::swap(fields[i], fields[j]);
+  }
+  for (unsigned i = 0; i < k; ++i) {
+    const std::size_t f = fields[i];
+    const unsigned fanout = layout.fanout(f);
+    const unsigned shift = 1 + static_cast<unsigned>(rng.below(fanout - 1));
+    digits[f] = (digits[f] + shift) % fanout;
+  }
+  const dram::RowAddr second = layout.compose(digits);
+  return make_group(layout, first, second);
+}
+
+std::vector<std::size_t> supported_group_sizes(
+    const dram::PredecoderLayout& layout) {
+  std::vector<std::size_t> sizes;
+  for (std::size_t k = 1; k <= layout.field_count(); ++k)
+    sizes.push_back(std::size_t{1} << k);
+  return sizes;
+}
+
+}  // namespace simra::pud

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dram/predecoder.hpp"
+#include "dram/types.hpp"
+
+namespace simra {
+class Rng;
+}
+
+namespace simra::pud {
+
+/// A set of rows that one APA command pair simultaneously activates:
+/// the cartesian product of the two target rows' pre-decoder digits
+/// (paper §7.1). Rows are *local* to a subarray and sorted ascending.
+struct RowGroup {
+  dram::RowAddr row_first = 0;   ///< R_F of the APA sequence.
+  dram::RowAddr row_second = 0;  ///< R_S of the APA sequence.
+  std::vector<dram::RowAddr> rows;
+
+  std::size_t size() const noexcept { return rows.size(); }
+};
+
+/// Predicts the group opened by ACT(first) -> PRE -> ACT(second).
+RowGroup make_group(const dram::PredecoderLayout& layout,
+                    dram::RowAddr row_first, dram::RowAddr row_second);
+
+/// Samples a uniformly random group with exactly `group_size` rows
+/// (a power of two up to 2^field_count). Reproduces the paper's
+/// "randomly test 100 different groups ... for 2-, 4-, 8-, 16-, and
+/// 32-row activation" methodology (§3.1).
+RowGroup sample_group(const dram::PredecoderLayout& layout,
+                      std::size_t group_size, Rng& rng);
+
+/// All distinct group sizes a layout supports ({2, 4, ..., 2^fields}).
+std::vector<std::size_t> supported_group_sizes(
+    const dram::PredecoderLayout& layout);
+
+}  // namespace simra::pud

@@ -1,0 +1,70 @@
+#include "pud/subarray_mapper.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace simra::pud {
+
+SubarrayMapper::SubarrayMapper(Engine* engine, Rng* rng)
+    : engine_(engine), rng_(rng) {
+  if (engine_ == nullptr || rng_ == nullptr)
+    throw std::invalid_argument("mapper needs an engine and an rng");
+}
+
+bool SubarrayMapper::same_subarray(dram::BankId bank, dram::RowAddr src,
+                                   dram::RowAddr dst) {
+  if (src == dst) return true;
+  const std::size_t columns = engine_->chip().profile().geometry.columns;
+  BitVec marker(columns);
+  marker.randomize(*rng_);
+  const BitVec anti = ~marker;
+
+  engine_->write_row(bank, src, marker);
+  engine_->write_row(bank, dst, anti);
+  engine_->rowclone(bank, src, dst);
+  const BitVec readback = engine_->read_row(bank, dst);
+
+  // RowClone is not 100.000 % reliable even in-subarray; accept the copy
+  // if (nearly) all bits moved. A cross-subarray attempt leaves `anti`
+  // intact, which matches in ~0 bits.
+  return readback.matches(marker) > columns * 9 / 10;
+}
+
+std::size_t SubarrayMapper::infer_subarray_size(dram::BankId bank,
+                                                std::size_t max_probe) {
+  // Gallop until RowClone from row 0 fails...
+  std::size_t lo = 1;  // row 0 trivially reaches itself.
+  std::size_t hi = 2;
+  while (hi <= max_probe && same_subarray(bank, 0, static_cast<dram::RowAddr>(hi)))
+    hi *= 2;
+  if (hi > max_probe)
+    throw std::runtime_error("no subarray boundary found below max_probe");
+  lo = hi / 2;
+  // ...then bisect the first unreachable row.
+  while (lo + 1 < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (same_subarray(bank, 0, static_cast<dram::RowAddr>(mid)))
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return hi;  // first row of the next subarray == subarray size.
+}
+
+std::vector<dram::RowAddr> SubarrayMapper::find_boundaries(
+    dram::BankId bank, dram::RowAddr row_limit) {
+  std::vector<dram::RowAddr> boundaries;
+  const std::size_t size = infer_subarray_size(bank);
+  for (dram::RowAddr base = 0; base < row_limit;
+       base += static_cast<dram::RowAddr>(size)) {
+    boundaries.push_back(base);
+    // Verify the inferred period: the boundary row must not be reachable
+    // from its predecessor, and must reach its own subarray's last row.
+    if (base > 0 && same_subarray(bank, base - 1, base))
+      throw std::runtime_error("non-uniform subarray size detected");
+  }
+  return boundaries;
+}
+
+}  // namespace simra::pud

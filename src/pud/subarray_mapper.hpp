@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dram/types.hpp"
+#include "pud/engine.hpp"
+
+namespace simra {
+class Rng;
+}
+
+namespace simra::pud {
+
+/// Reverse engineering of subarray boundaries (§3.1 "Finding Subarray
+/// Boundaries"): two rows share a subarray iff RowClone between them
+/// succeeds (they share bitlines). The mapper uses only the command
+/// interface — it does not peek at the device model's geometry.
+class SubarrayMapper {
+ public:
+  explicit SubarrayMapper(Engine* engine, Rng* rng);
+
+  /// RowClone-based test: marks `src`, writes a different marker to `dst`,
+  /// clones, and checks whether `dst` now holds `src`'s marker.
+  bool same_subarray(dram::BankId bank, dram::RowAddr src, dram::RowAddr dst);
+
+  /// Size of the subarray containing row 0, found by galloping + binary
+  /// search for the first row RowClone cannot reach.
+  std::size_t infer_subarray_size(dram::BankId bank,
+                                  std::size_t max_probe = 4096);
+
+  /// Boundaries (first row of each subarray) within [0, row_limit).
+  /// Assumes uniform subarray size, verified at each boundary.
+  std::vector<dram::RowAddr> find_boundaries(dram::BankId bank,
+                                             dram::RowAddr row_limit);
+
+ private:
+  Engine* engine_;
+  Rng* rng_;
+};
+
+}  // namespace simra::pud

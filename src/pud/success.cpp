@@ -1,0 +1,120 @@
+#include "pud/success.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "pud/patterns.hpp"
+
+namespace simra::pud {
+
+namespace {
+
+double fraction_of(std::size_t hits, std::size_t total) {
+  return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+}  // namespace
+
+double measure_smra(Engine& engine, dram::BankId bank, dram::SubarrayId sa,
+                    const RowGroup& group, const MeasureConfig& config,
+                    Rng& rng) {
+  const std::size_t columns = engine.chip().profile().geometry.columns;
+  // stable[i] tracks per-cell all-trials correctness of group row i.
+  std::vector<BitVec> stable(group.size(), BitVec(columns, true));
+
+  for (unsigned trial = 0; trial < config.trials; ++trial) {
+    // Initialize the group rows with the predefined pattern...
+    const BitVec init = make_pattern_row(config.pattern, columns, rng);
+    for (dram::RowAddr local : group.rows)
+      engine.write_row(bank, engine.global_of(sa, local), init);
+    // ...then APA + WR of a different pattern (§3.2).
+    const BitVec written = complement_row(init);
+    engine.apa_then_write(bank, sa, group, written, config.timings);
+    for (std::size_t i = 0; i < group.rows.size(); ++i) {
+      const BitVec readback =
+          engine.read_row(bank, engine.global_of(sa, group.rows[i]));
+      stable[i] &= ~(readback ^ written);
+    }
+  }
+
+  std::size_t hits = 0;
+  for (const BitVec& mask : stable) hits += mask.popcount();
+  return fraction_of(hits, group.size() * columns);
+}
+
+double measure_majx(Engine& engine, dram::BankId bank, dram::SubarrayId sa,
+                    const RowGroup& group, unsigned x,
+                    const MeasureConfig& config, Rng& rng) {
+  if (group.size() < x)
+    throw std::invalid_argument("group smaller than operand count");
+  const std::size_t columns = engine.chip().profile().geometry.columns;
+  BitVec stable(columns, true);
+
+  // Trials 0 and 1 probe the adversarial bare-majority case in both
+  // polarities of the *same* base row (every bitline must resolve a
+  // margin-one input both ways); later trials redraw operands per the
+  // configured pattern.
+  const std::vector<BitVec> adversarial =
+      make_bare_majority_operands(config.pattern, x, columns, rng);
+
+  for (unsigned trial = 0; trial < config.trials; ++trial) {
+    MajxConfig op;
+    op.x = x;
+    op.timings = config.timings;
+    if (trial == 0) {
+      op.operands = adversarial;
+    } else if (trial == 1) {
+      op.operands.reserve(x);
+      for (const BitVec& v : adversarial) op.operands.push_back(~v);
+    } else {
+      op.operands = make_pattern_rows(config.pattern, columns, x, rng);
+    }
+    std::vector<const BitVec*> refs;
+    refs.reserve(x);
+    for (const BitVec& v : op.operands) refs.push_back(&v);
+    const BitVec expected = BitVec::majority(refs);
+
+    const BitVec result = engine.majx(bank, sa, group, op);
+    stable &= ~(result ^ expected);
+  }
+  return fraction_of(stable.popcount(), columns);
+}
+
+double measure_mrc(Engine& engine, dram::BankId bank, dram::SubarrayId sa,
+                   const RowGroup& group, const MeasureConfig& config,
+                   Rng& rng) {
+  if (group.size() < 2)
+    throw std::invalid_argument("Multi-RowCopy needs at least 2 rows");
+  const std::size_t columns = engine.chip().profile().geometry.columns;
+
+  std::vector<dram::RowAddr> dests;
+  for (dram::RowAddr r : group.rows)
+    if (r != group.row_first) dests.push_back(r);
+
+  std::vector<BitVec> stable(dests.size(), BitVec(columns, true));
+  BitVec dest_init(columns);
+  dest_init.fill_byte(0x55);
+  // The source data is fixed per group: copy trials replay the same copy
+  // (what varies across trials is the device, not the payload).
+  const BitVec source = make_pattern_row(config.pattern, columns, rng);
+
+  for (unsigned trial = 0; trial < config.trials; ++trial) {
+    for (dram::RowAddr d : dests)
+      engine.write_row(bank, engine.global_of(sa, d), dest_init);
+    engine.write_row(bank, engine.global_of(sa, group.row_first), source);
+
+    engine.multi_row_copy(bank, sa, group, config.timings);
+
+    for (std::size_t i = 0; i < dests.size(); ++i) {
+      const BitVec readback =
+          engine.read_row(bank, engine.global_of(sa, dests[i]));
+      stable[i] &= ~(readback ^ source);
+    }
+  }
+
+  std::size_t hits = 0;
+  for (const BitVec& mask : stable) hits += mask.popcount();
+  return fraction_of(hits, dests.size() * columns);
+}
+
+}  // namespace simra::pud

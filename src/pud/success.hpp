@@ -1,0 +1,50 @@
+#pragma once
+
+#include "dram/types.hpp"
+#include "pud/engine.hpp"
+#include "pud/row_group.hpp"
+
+namespace simra {
+class Rng;
+}
+
+namespace simra::pud {
+
+/// Shared configuration of the success-rate measurements. Following §3.1,
+/// a cell counts as successful only if it produces the correct output in
+/// *every* trial; the first trial always uses the adversarial
+/// bare-majority construction so that small trial counts already probe the
+/// worst case a long random campaign would reach.
+struct MeasureConfig {
+  dram::DataPattern pattern = dram::DataPattern::kRandom;
+  unsigned trials = 3;
+  ApaTimings timings;
+};
+
+/// Success rate of simultaneous many-row activation for one row group
+/// (§3.2): APA opens the group, a WR overdrives a fresh pattern into all
+/// open rows, and each intended row is read back at nominal timings.
+/// Returns the fraction of group cells that stored the WR data in all
+/// trials.
+double measure_smra(Engine& engine, dram::BankId bank, dram::SubarrayId sa,
+                    const RowGroup& group, const MeasureConfig& config,
+                    Rng& rng);
+
+/// Success rate of MAJX with input replication over one row group (§3.3):
+/// the fraction of row-buffer bits that match the reference majority in
+/// all trials.
+double measure_majx(Engine& engine, dram::BankId bank, dram::SubarrayId sa,
+                    const RowGroup& group, unsigned x,
+                    const MeasureConfig& config, Rng& rng);
+
+/// Success rate of Multi-RowCopy over one row group (§3.4): source =
+/// group.row_first, destinations = the rest. `config.pattern` selects the
+/// *source* pattern (Fig 11); destinations are initialized with a fixed
+/// 0x55 pattern ("a predetermined data pattern" different from the
+/// source's). Returns the fraction of destination cells holding the
+/// source data in all trials.
+double measure_mrc(Engine& engine, dram::BankId bank, dram::SubarrayId sa,
+                   const RowGroup& group, const MeasureConfig& config,
+                   Rng& rng);
+
+}  // namespace simra::pud

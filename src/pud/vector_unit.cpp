@@ -1,0 +1,159 @@
+#include "pud/vector_unit.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace simra::pud {
+
+VectorUnit::VectorUnit(Engine* engine, dram::BankId bank, dram::SubarrayId sa,
+                       Rng* rng, std::size_t group_rows)
+    : engine_(engine), bank_(bank), sa_(sa) {
+  if (engine_ == nullptr || rng == nullptr)
+    throw std::invalid_argument("vector unit needs an engine and an rng");
+  group_ = sample_group(engine_->layout(), group_rows, *rng);
+  row_used_.assign(engine_->layout().rows(), false);
+  for (dram::RowAddr r : group_.rows) row_used_[r] = true;
+
+  zero_row_ = alloc_row();
+  one_row_ = alloc_row();
+  scratch_a_ = alloc_row();
+  scratch_b_ = alloc_row();
+  scratch_c_ = alloc_row();
+  const std::size_t columns = engine_->chip().profile().geometry.columns;
+  engine_->write_row(bank_, engine_->global_of(sa_, zero_row_),
+                     BitVec(columns, false));
+  engine_->write_row(bank_, engine_->global_of(sa_, one_row_),
+                     BitVec(columns, true));
+}
+
+std::size_t VectorUnit::lanes() const {
+  return engine_->chip().profile().geometry.columns;
+}
+
+dram::RowAddr VectorUnit::alloc_row() {
+  for (dram::RowAddr r = 0; r < row_used_.size(); ++r) {
+    if (!row_used_[r]) {
+      row_used_[r] = true;
+      return r;
+    }
+  }
+  throw std::runtime_error("subarray exhausted: no free rows left");
+}
+
+VectorUnit::Vector VectorUnit::alloc(unsigned bits) {
+  if (bits == 0 || bits > 32)
+    throw std::invalid_argument("vector width must be 1..32 bits");
+  Vector v;
+  v.bit_rows.reserve(bits);
+  for (unsigned b = 0; b < bits; ++b) v.bit_rows.push_back(alloc_row());
+  return v;
+}
+
+void VectorUnit::store(const Vector& v,
+                       std::span<const std::uint32_t> values) {
+  if (values.empty()) throw std::invalid_argument("store needs values");
+  const std::size_t columns = lanes();
+  for (unsigned bit = 0; bit < v.bits(); ++bit) {
+    BitVec row(columns);
+    for (std::size_t lane = 0; lane < columns; ++lane)
+      row.set(lane, (values[lane % values.size()] >> bit) & 1u);
+    engine_->write_row(bank_, engine_->global_of(sa_, v.bit_rows[bit]), row);
+  }
+}
+
+std::vector<std::uint32_t> VectorUnit::load(const Vector& v) {
+  const std::size_t columns = lanes();
+  std::vector<std::uint32_t> values(columns, 0);
+  for (unsigned bit = 0; bit < v.bits(); ++bit) {
+    const BitVec row =
+        engine_->read_row(bank_, engine_->global_of(sa_, v.bit_rows[bit]));
+    for (std::size_t lane = 0; lane < columns; ++lane)
+      if (row.get(lane)) values[lane] |= 1u << bit;
+  }
+  return values;
+}
+
+dram::RowAddr VectorUnit::compute_maj(
+    std::span<const dram::RowAddr> operands, dram::RowAddr dest) {
+  (void)engine_->majx_from_rows(bank_, sa_, group_, operands);
+  ++stats_.maj_ops;
+  // The result sits in every group row; clone it out to the destination.
+  engine_->rowclone(bank_, engine_->global_of(sa_, group_.row_first),
+                    engine_->global_of(sa_, dest));
+  ++stats_.rowclone_ops;
+  return dest;
+}
+
+void VectorUnit::invert(dram::RowAddr src, dram::RowAddr dest) {
+  // Dual-contact-row emulation: an inverted copy through the host.
+  const BitVec data =
+      engine_->read_row(bank_, engine_->global_of(sa_, src));
+  engine_->write_row(bank_, engine_->global_of(sa_, dest), ~data);
+  ++stats_.not_ops;
+}
+
+void VectorUnit::bitwise_and(const Vector& a, const Vector& b,
+                             const Vector& out) {
+  if (a.bits() != b.bits() || a.bits() != out.bits())
+    throw std::invalid_argument("vector widths must match");
+  for (unsigned bit = 0; bit < a.bits(); ++bit) {
+    const dram::RowAddr ops[3] = {a.bit_rows[bit], b.bit_rows[bit], zero_row_};
+    compute_maj(ops, out.bit_rows[bit]);
+  }
+}
+
+void VectorUnit::bitwise_or(const Vector& a, const Vector& b,
+                            const Vector& out) {
+  if (a.bits() != b.bits() || a.bits() != out.bits())
+    throw std::invalid_argument("vector widths must match");
+  for (unsigned bit = 0; bit < a.bits(); ++bit) {
+    const dram::RowAddr ops[3] = {a.bit_rows[bit], b.bit_rows[bit], one_row_};
+    compute_maj(ops, out.bit_rows[bit]);
+  }
+}
+
+void VectorUnit::bitwise_xor(const Vector& a, const Vector& b,
+                             const Vector& out) {
+  if (a.bits() != b.bits() || a.bits() != out.bits())
+    throw std::invalid_argument("vector widths must match");
+  for (unsigned bit = 0; bit < a.bits(); ++bit) {
+    // x = (a | b) & ~(a & b): two MAJ3 ops, one inverted copy, one MAJ3.
+    const dram::RowAddr and_ops[3] = {a.bit_rows[bit], b.bit_rows[bit],
+                                      zero_row_};
+    compute_maj(and_ops, scratch_a_);
+    invert(scratch_a_, scratch_b_);
+    const dram::RowAddr or_ops[3] = {a.bit_rows[bit], b.bit_rows[bit],
+                                     one_row_};
+    compute_maj(or_ops, scratch_a_);
+    const dram::RowAddr final_ops[3] = {scratch_a_, scratch_b_, zero_row_};
+    compute_maj(final_ops, out.bit_rows[bit]);
+  }
+}
+
+void VectorUnit::add(const Vector& a, const Vector& b, const Vector& out) {
+  if (a.bits() != b.bits() || a.bits() != out.bits())
+    throw std::invalid_argument("vector widths must match");
+  // carry lives in scratch_c_; initialized to zero.
+  engine_->rowclone(bank_, engine_->global_of(sa_, zero_row_),
+                    engine_->global_of(sa_, scratch_c_));
+  ++stats_.rowclone_ops;
+  for (unsigned bit = 0; bit < a.bits(); ++bit) {
+    // carry' = MAJ3(a, b, c)  (into scratch_a_).
+    const dram::RowAddr carry_ops[3] = {a.bit_rows[bit], b.bit_rows[bit],
+                                        scratch_c_};
+    compute_maj(carry_ops, scratch_a_);
+    // sum = MAJ5(a, b, c, !carry', !carry').
+    invert(scratch_a_, scratch_b_);
+    const dram::RowAddr sum_ops[5] = {a.bit_rows[bit], b.bit_rows[bit],
+                                      scratch_c_, scratch_b_, scratch_b_};
+    compute_maj(sum_ops, out.bit_rows[bit]);
+    // carry = carry'.
+    engine_->rowclone(bank_, engine_->global_of(sa_, scratch_a_),
+                      engine_->global_of(sa_, scratch_c_));
+    ++stats_.rowclone_ops;
+  }
+}
+
+}  // namespace simra::pud

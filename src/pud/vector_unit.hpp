@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pud/engine.hpp"
+#include "pud/row_group.hpp"
+
+namespace simra {
+class Rng;
+}
+
+namespace simra::pud {
+
+/// Bit-serial SIMD arithmetic whose operands *live in DRAM rows* — the
+/// SIMDRAM-style execution model §8.1's microbenchmarks assume. Values
+/// use a vertical layout: element i occupies column i of every bit row,
+/// so one in-DRAM operation processes all 8192 elements of a row at once.
+///
+/// The unit reserves one activation group as its compute scratchpad;
+/// every gate stages its operand rows into the group with RowClone,
+/// fires the MAJ APA, and clones the result out — the host never touches
+/// the data (NOT is the one exception: an inverted copy, standing in for
+/// Ambit's dual-contact rows).
+class VectorUnit {
+ public:
+  /// `group_rows` is the activation size of the compute group (32
+  /// maximizes MAJ reliability via replication).
+  VectorUnit(Engine* engine, dram::BankId bank, dram::SubarrayId sa,
+             Rng* rng, std::size_t group_rows = 32);
+
+  /// A vertically laid out vector: bit_rows[k] holds bit k of every
+  /// element (subarray-local row addresses).
+  struct Vector {
+    std::vector<dram::RowAddr> bit_rows;
+    unsigned bits() const { return static_cast<unsigned>(bit_rows.size()); }
+  };
+
+  /// Number of elements per vector (the row width).
+  std::size_t lanes() const;
+
+  /// Allocates a `bits`-wide vector in rows outside the compute group.
+  Vector alloc(unsigned bits);
+
+  /// Stores per-lane values (values[i % values.size()] goes to lane i).
+  void store(const Vector& v, std::span<const std::uint32_t> values);
+  /// Reads the vector back into per-lane values.
+  std::vector<std::uint32_t> load(const Vector& v);
+
+  // --- Element-wise operations, all lanes in parallel ---
+
+  /// out = a & b / a | b / a ^ b (per bit row).
+  void bitwise_and(const Vector& a, const Vector& b, const Vector& out);
+  void bitwise_or(const Vector& a, const Vector& b, const Vector& out);
+  void bitwise_xor(const Vector& a, const Vector& b, const Vector& out);
+
+  /// out = a + b (mod 2^bits), ripple carry in-DRAM.
+  void add(const Vector& a, const Vector& b, const Vector& out);
+
+  struct Stats {
+    std::size_t maj_ops = 0;
+    std::size_t rowclone_ops = 0;
+    std::size_t not_ops = 0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  dram::RowAddr alloc_row();
+  /// dest = MAJ(operand rows) computed in the group; returns dest.
+  dram::RowAddr compute_maj(std::span<const dram::RowAddr> operands,
+                            dram::RowAddr dest);
+  /// dest = NOT src (inverted copy; dual-contact-row emulation).
+  void invert(dram::RowAddr src, dram::RowAddr dest);
+
+  Engine* engine_;
+  dram::BankId bank_;
+  dram::SubarrayId sa_;
+  RowGroup group_;
+  std::vector<bool> row_used_;
+  dram::RowAddr zero_row_ = 0;  ///< constant all-0s row.
+  dram::RowAddr one_row_ = 0;   ///< constant all-1s row.
+  dram::RowAddr scratch_a_ = 0;
+  dram::RowAddr scratch_b_ = 0;
+  dram::RowAddr scratch_c_ = 0;
+  Stats stats_;
+};
+
+}  // namespace simra::pud

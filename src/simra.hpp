@@ -1,0 +1,56 @@
+#pragma once
+
+/// Umbrella header for the SiMRA-DRAM library: the full public API of the
+/// reproduction (device model, testbed, PUD operations, circuit-level
+/// simulation, majority-logic synthesis, case studies, characterization).
+///
+/// Include what you need from the individual headers in deep builds; this
+/// header exists for examples, notebooks, and quick experiments.
+
+#include "bender/assembler.hpp"        // IWYU pragma: export
+#include "bender/command_encoding.hpp" // IWYU pragma: export
+#include "bender/executor.hpp"    // IWYU pragma: export
+#include "bender/host.hpp"        // IWYU pragma: export
+#include "bender/instruments.hpp" // IWYU pragma: export
+#include "bender/program.hpp"     // IWYU pragma: export
+#include "bender/testbed.hpp"     // IWYU pragma: export
+
+#include "casestudy/content_destruction.hpp"
+#include "casestudy/data_movement.hpp" // IWYU pragma: export
+#include "casestudy/tmr.hpp"                 // IWYU pragma: export
+#include "casestudy/trng.hpp"                // IWYU pragma: export
+
+#include "charz/figures.hpp"     // IWYU pragma: export
+#include "charz/limitations.hpp" // IWYU pragma: export
+#include "charz/plan.hpp"        // IWYU pragma: export
+
+#include "common/bitvec.hpp" // IWYU pragma: export
+#include "common/rng.hpp"    // IWYU pragma: export
+#include "common/stats.hpp"  // IWYU pragma: export
+#include "common/table.hpp"  // IWYU pragma: export
+#include "common/units.hpp"  // IWYU pragma: export
+
+#include "dram/chip.hpp"        // IWYU pragma: export
+#include "dram/module.hpp"      // IWYU pragma: export
+#include "dram/power_model.hpp" // IWYU pragma: export
+#include "dram/scrambler.hpp"   // IWYU pragma: export
+#include "dram/vendor.hpp"      // IWYU pragma: export
+
+#include "majsynth/cost_model.hpp"    // IWYU pragma: export
+#include "majsynth/dram_executor.hpp" // IWYU pragma: export
+#include "majsynth/microbench.hpp"    // IWYU pragma: export
+#include "majsynth/network.hpp"       // IWYU pragma: export
+#include "majsynth/synth.hpp"         // IWYU pragma: export
+
+#include "pud/address_mapper.hpp"  // IWYU pragma: export
+#include "pud/bulk_engine.hpp"     // IWYU pragma: export
+#include "pud/engine.hpp"          // IWYU pragma: export
+#include "pud/patterns.hpp"        // IWYU pragma: export
+#include "pud/reliability_map.hpp" // IWYU pragma: export
+#include "pud/row_group.hpp"       // IWYU pragma: export
+#include "pud/subarray_mapper.hpp" // IWYU pragma: export
+#include "pud/vector_unit.hpp"     // IWYU pragma: export
+#include "pud/success.hpp"         // IWYU pragma: export
+
+#include "spice/circuit.hpp"    // IWYU pragma: export
+#include "spice/montecarlo.hpp" // IWYU pragma: export

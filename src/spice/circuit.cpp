@@ -1,0 +1,51 @@
+#include "spice/circuit.hpp"
+
+#include <stdexcept>
+
+namespace simra::spice {
+
+double BitlineCircuit::equilibrium_bitline_voltage() const {
+  double charge = bitline_capacitance_f * bitline_initial_voltage;
+  double capacitance = bitline_capacitance_f;
+  for (const Cell& cell : cells) {
+    charge += cell.capacitance_f * cell.initial_voltage;
+    capacitance += cell.capacitance_f;
+  }
+  return charge / capacitance;
+}
+
+TransientResult simulate_charge_share(const BitlineCircuit& circuit,
+                                      double duration_s, double dt_s) {
+  if (duration_s <= 0.0 || dt_s <= 0.0)
+    throw std::invalid_argument("duration and dt must be positive");
+  // Forward Euler is stable when dt is well below the smallest RC time
+  // constant; guard against misuse.
+  for (const Cell& cell : circuit.cells) {
+    if (dt_s > 0.2 * cell.on_resistance_ohm * cell.capacitance_f)
+      throw std::invalid_argument("dt too large for cell RC constant");
+  }
+
+  TransientResult out;
+  out.bitline_voltage = circuit.bitline_initial_voltage;
+  out.cell_voltages.reserve(circuit.cells.size());
+  for (const Cell& cell : circuit.cells)
+    out.cell_voltages.push_back(cell.initial_voltage);
+
+  const auto steps = static_cast<std::size_t>(duration_s / dt_s);
+  for (std::size_t s = 0; s < steps; ++s) {
+    double bitline_current = 0.0;  // into the bitline.
+    for (std::size_t i = 0; i < circuit.cells.size(); ++i) {
+      const Cell& cell = circuit.cells[i];
+      const double current =
+          (out.cell_voltages[i] - out.bitline_voltage) / cell.on_resistance_ohm;
+      bitline_current += current;
+      out.cell_voltages[i] -= current * dt_s / cell.capacitance_f;
+    }
+    out.bitline_voltage +=
+        bitline_current * dt_s / circuit.bitline_capacitance_f;
+  }
+  out.steps = steps;
+  return out;
+}
+
+}  // namespace simra::spice

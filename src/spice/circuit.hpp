@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace simra::spice {
+
+/// One DRAM cell hanging off the bitline: storage capacitor behind an
+/// access transistor (modelled as its on-resistance while the wordline is
+/// asserted).
+struct Cell {
+  double capacitance_f = 24e-15;   ///< storage capacitor (farads).
+  double on_resistance_ohm = 15e3; ///< access-transistor channel.
+  double initial_voltage = 0.0;    ///< VDD, 0, or ~VDD/2 for a Frac cell.
+};
+
+/// Bitline + N connected cells, the §3.5 simulation circuit. Values follow
+/// the Rambus 55 nm reference model scaled to 22 nm (ITRS/PTM), as in the
+/// paper's methodology.
+struct BitlineCircuit {
+  double vdd = 1.2;
+  double bitline_capacitance_f = 150e-15;  ///< Cb; Cb/Cs ~ 6.
+  double bitline_initial_voltage = 0.6;    ///< precharged to VDD/2.
+  std::vector<Cell> cells;
+
+  /// Analytic charge-conservation endpoint of the share phase (all nodes
+  /// equalized); the transient solver converges to this for long windows.
+  double equilibrium_bitline_voltage() const;
+};
+
+/// State trajectory of a transient run.
+struct TransientResult {
+  double bitline_voltage = 0.0;
+  std::vector<double> cell_voltages;
+  std::size_t steps = 0;
+
+  /// Deviation from the VDD/2 precharge level right before sensing —
+  /// the quantity Fig 15a reports.
+  double deviation(double vdd) const { return bitline_voltage - vdd / 2.0; }
+};
+
+/// Forward-Euler transient solve of the charge-share phase: every cell is
+/// connected at t = 0 (the simultaneous activation) and shares charge with
+/// the bitline for `duration_s`.
+///
+/// dVi/dt = (Vbl - Vi) / (Ri * Ci);   Cb dVbl/dt = sum_i (Vi - Vbl) / Ri
+TransientResult simulate_charge_share(const BitlineCircuit& circuit,
+                                      double duration_s, double dt_s = 5e-12);
+
+/// Latch-type sense-amplifier decision: the SA resolves the bitline
+/// deviation correctly when it exceeds the reliable sensing margin plus
+/// the amplifier's offset. (The ~55 mV margin is the differential a
+/// modern latch SA needs to flip deterministically.)
+struct SenseAmp {
+  double margin_v = 0.055;
+  double offset_v = 0.0;  ///< per-instance mismatch (Monte-Carlo varied).
+
+  /// True when a positive-majority deviation is sensed as one / negative
+  /// as zero, reliably.
+  bool senses_correctly(double deviation_v, bool majority_one) const {
+    const double signed_dev = majority_one ? deviation_v : -deviation_v;
+    return signed_dev - offset_v > margin_v;
+  }
+};
+
+}  // namespace simra::spice

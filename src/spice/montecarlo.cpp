@@ -1,0 +1,92 @@
+#include "spice/montecarlo.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace simra::spice {
+
+std::vector<Cell> make_maj3_cells(unsigned n_rows, double vdd) {
+  std::vector<Cell> cells;
+  if (n_rows == 1) {
+    Cell c;
+    c.initial_voltage = vdd;  // single charged cell: plain activation.
+    cells.push_back(c);
+    return cells;
+  }
+  if (n_rows < 3) throw std::invalid_argument("MAJ3 needs >= 3 rows");
+  const unsigned replicas = n_rows / 3;
+  const unsigned neutrals = n_rows % 3;
+  for (unsigned r = 0; r < replicas; ++r) {
+    for (unsigned operand = 0; operand < 3; ++operand) {
+      Cell c;
+      // MAJ3(1, 1, 0): two charged operands, one discharged.
+      c.initial_voltage = operand < 2 ? vdd : 0.0;
+      cells.push_back(c);
+    }
+  }
+  for (unsigned k = 0; k < neutrals; ++k) {
+    Cell c;
+    c.initial_voltage = vdd / 2.0;  // Frac neutral.
+    cells.push_back(c);
+  }
+  return cells;
+}
+
+MonteCarloResult run_maj3_monte_carlo(const MonteCarloConfig& config) {
+  if (config.variation_fraction < 0.0 || config.variation_fraction > 0.9)
+    throw std::invalid_argument("variation fraction out of range");
+  Rng rng(config.seed);
+
+  MonteCarloResult out;
+  SampleSet deviations;
+  deviations.reserve(config.iterations);
+  std::size_t successes = 0;
+
+  const BitlineCircuit nominal_template = [] {
+    BitlineCircuit c;
+    return c;
+  }();
+
+  for (std::size_t it = 0; it < config.iterations; ++it) {
+    BitlineCircuit circuit = nominal_template;
+    circuit.cells = make_maj3_cells(config.n_rows, circuit.vdd);
+    // Uniform +-variation on every capacitor and transistor parameter
+    // (the paper's Monte-Carlo methodology).
+    auto vary = [&](double nominal) {
+      return nominal * (1.0 + config.variation_fraction *
+                                  rng.uniform(-1.0, 1.0));
+    };
+    circuit.bitline_capacitance_f = vary(circuit.bitline_capacitance_f);
+    for (Cell& cell : circuit.cells) {
+      cell.capacitance_f = vary(cell.capacitance_f);
+      cell.on_resistance_ohm = vary(cell.on_resistance_ohm);
+      if (cell.initial_voltage > 0.0 && cell.initial_voltage < circuit.vdd) {
+        // The stored Frac level itself varies with process.
+        cell.initial_voltage = vary(cell.initial_voltage);
+      }
+    }
+
+    const TransientResult t =
+        simulate_charge_share(circuit, config.share_window_s);
+    const double deviation = t.deviation(circuit.vdd);
+    deviations.add(deviation);
+
+    if (config.n_rows >= 3) {
+      SenseAmp sa;
+      sa.offset_v = rng.normal(
+          0.0, config.sa_offset_per_variation_v * config.variation_fraction);
+      if (sa.senses_correctly(deviation, /*majority_one=*/true)) ++successes;
+    }
+  }
+
+  out.deviation = deviations.box();
+  out.success_rate =
+      config.iterations > 0
+          ? static_cast<double>(successes) / static_cast<double>(config.iterations)
+          : 0.0;
+  out.iterations = config.iterations;
+  return out;
+}
+
+}  // namespace simra::spice

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "spice/circuit.hpp"
+
+namespace simra::spice {
+
+/// Monte-Carlo study of MAJ3(1,1,0) under N-row activation and process
+/// variation — the §3.5 / Fig 15 experiment. Capacitor and transistor
+/// parameters are varied uniformly within +-`variation_fraction` of
+/// nominal per instance; the sense-amplifier offset mismatch grows
+/// linearly with the same variation knob.
+struct MonteCarloConfig {
+  unsigned n_rows = 4;               ///< 1 (single-row ref.) or 4/8/16/32.
+  double variation_fraction = 0.2;   ///< 0.0 .. 0.4 (the paper's 0-40 %).
+  std::size_t iterations = 1000;     ///< cell sets per point (paper: 1e4).
+  double share_window_s = 4.5e-9;    ///< t1 + t2 of the best MAJ timing.
+  std::uint64_t seed = 1;
+
+  /// SA offset sigma per unit variation fraction (volts). At 40 %
+  /// variation the offset sigma is ~29 mV, which reproduces the Fig 15b
+  /// success collapse of 4-row activation.
+  double sa_offset_per_variation_v = 0.0725;
+};
+
+struct MonteCarloResult {
+  BoxStats deviation;       ///< bitline deviation before sensing (Fig 15a).
+  double success_rate = 0;  ///< MAJ3 sensed correctly (Fig 15b).
+  std::size_t iterations = 0;
+};
+
+/// Builds the MAJ3(1,1,0) cell population for N-row activation: the three
+/// operands replicated floor(N/3) times (two charged, one discharged per
+/// replica) plus N%3 neutral cells at ~VDD/2. `n_rows == 1` models the
+/// single-row activation reference (one charged cell).
+std::vector<Cell> make_maj3_cells(unsigned n_rows, double vdd);
+
+/// Runs the Monte-Carlo experiment for one (N, variation) point.
+MonteCarloResult run_maj3_monte_carlo(const MonteCarloConfig& config);
+
+}  // namespace simra::spice

@@ -1,0 +1,45 @@
+#include "spice/sense_amp.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace simra::spice {
+
+LatchSenseAmp::SenseResult LatchSenseAmp::sense_transient(
+    double initial_differential_v, double window_s, double dt_s) const {
+  if (window_s <= 0.0 || dt_s <= 0.0)
+    throw std::invalid_argument("window and dt must be positive");
+  const double tau = regeneration_tau_s();
+  if (dt_s > 0.2 * tau)
+    throw std::invalid_argument("dt too large for the regeneration tau");
+
+  SenseResult result;
+  double dv = initial_differential_v - offset_v;
+  const auto steps = static_cast<std::size_t>(window_s / dt_s);
+  for (std::size_t s = 0; s < steps; ++s) {
+    if (std::abs(dv) >= full_swing_v) {
+      result.settled = true;
+      result.settle_time_s = static_cast<double>(s) * dt_s;
+      break;
+    }
+    dv += (dv / tau) * dt_s;
+  }
+  if (!result.settled) {
+    result.settle_time_s = std::abs(dv) > 0.0
+                               ? tau * std::log(full_swing_v / std::abs(dv)) +
+                                     window_s
+                               : std::numeric_limits<double>::infinity();
+  }
+  result.final_differential_v =
+      std::min(std::abs(dv), full_swing_v) * (dv < 0.0 ? -1.0 : 1.0);
+  result.resolved_one = dv > 0.0;
+  return result;
+}
+
+double LatchSenseAmp::required_margin_v(double window_s) const {
+  // |dV0| * exp(window / tau) >= Vswing.
+  return full_swing_v * std::exp(-window_s / regeneration_tau_s());
+}
+
+}  // namespace simra::spice

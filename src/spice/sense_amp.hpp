@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+
+namespace simra::spice {
+
+/// Transient model of a latch-type (cross-coupled inverter) sense
+/// amplifier: once enabled, the differential grows regeneratively,
+///     d(dV)/dt = (gm / C) * dV,
+/// so the time to full swing is (C/gm) * ln(Vswing / |dV0|). A bitline
+/// whose initial differential is too small does not reach full swing
+/// within the sensing window — the dynamic origin of the "reliable
+/// sensing margin" the paper's §7.2 argues about (the static margin of
+/// SenseAmp in circuit.hpp is this model's closed form).
+struct LatchSenseAmp {
+  double transconductance_s = 6.2e-5;  ///< gm (siemens).
+  double node_capacitance_f = 5.0e-15; ///< per-node parasitic C.
+  double full_swing_v = 1.2;           ///< rail-to-rail differential.
+  double offset_v = 0.0;               ///< input-referred mismatch.
+
+  double regeneration_tau_s() const {
+    return node_capacitance_f / transconductance_s;
+  }
+
+  struct SenseResult {
+    bool resolved_one = false;  ///< sign of the final differential.
+    bool settled = false;       ///< reached full swing within the window.
+    double settle_time_s = 0.0; ///< time to full swing (inf if never).
+    double final_differential_v = 0.0;
+  };
+
+  /// Forward-Euler transient of the regenerative phase from the initial
+  /// bitline differential, over `window_s`.
+  SenseResult sense_transient(double initial_differential_v, double window_s,
+                              double dt_s = 1e-12) const;
+
+  /// Closed-form equivalent margin: the smallest initial differential
+  /// that settles within `window_s`. Used to cross-check the transient.
+  double required_margin_v(double window_s) const;
+};
+
+}  // namespace simra::spice

@@ -1,0 +1,122 @@
+#include "bender/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bender/executor.hpp"
+#include "common/rng.hpp"
+#include "dram/chip.hpp"
+
+namespace simra::bender {
+namespace {
+
+TEST(Assembler, ParsesTheApaSequence) {
+  const Program p = Assembler::assemble(R"(
+# MAJ APA at (t1 = 1.5, t2 = 3)
+ACT bank=0 row=127
+DELAY 1.5
+PRE bank=0
+DELAY 3
+ACT bank=0 row=128
+)");
+  ASSERT_EQ(p.commands().size(), 3u);
+  EXPECT_EQ(p.commands()[0].kind, CommandKind::kAct);
+  EXPECT_EQ(p.commands()[0].row, 127u);
+  EXPECT_EQ(p.commands()[1].kind, CommandKind::kPre);
+  EXPECT_DOUBLE_EQ(p.commands()[1].time_ns(), 1.5);
+  EXPECT_DOUBLE_EQ(p.commands()[2].time_ns(), 4.5);
+}
+
+TEST(Assembler, ParsesPayloads) {
+  const Program p = Assembler::assemble(
+      "WR bank=2 col=64 bits=16 pattern=0xAA\n"
+      "WR bank=2 col=128 hex=f0\n"
+      "RD bank=2 col=0 bits=8192\n"
+      "REF\n");
+  const auto& cmds = p.commands();
+  ASSERT_EQ(cmds.size(), 4u);
+  EXPECT_EQ(cmds[0].data.size(), 16u);
+  EXPECT_EQ(cmds[0].data.popcount(), 8u);  // 0xAA twice.
+  EXPECT_EQ(cmds[1].data.size(), 8u);
+  // hex=f0: nibble 'f' = bits 0..3, nibble '0' = bits 4..7.
+  EXPECT_TRUE(cmds[1].data.get(0));
+  EXPECT_TRUE(cmds[1].data.get(3));
+  EXPECT_FALSE(cmds[1].data.get(4));
+  EXPECT_EQ(cmds[2].nbits, 8192u);
+  EXPECT_EQ(cmds[3].kind, CommandKind::kRef);
+}
+
+TEST(Assembler, WaitRoundsUpLikeDelayAtLeast) {
+  const Program p = Assembler::assemble("ACT bank=0 row=0\nWAIT 13.5\nPRE bank=0\n");
+  EXPECT_EQ(p.commands()[1].slot, 9u);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  try {
+    Assembler::assemble("ACT bank=0 row=0\nBOGUS\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  EXPECT_THROW(Assembler::assemble("ACT bank=0\n"), std::invalid_argument);
+  EXPECT_THROW(Assembler::assemble("DELAY 2.0\n"), std::invalid_argument);
+  EXPECT_THROW(Assembler::assemble("WR bank=0 col=0\n"), std::invalid_argument);
+  EXPECT_THROW(Assembler::assemble("ACT bank=zz row=0\n"),
+               std::invalid_argument);
+}
+
+TEST(Assembler, DisassembleRoundTrip) {
+  Program original;
+  Rng rng(5);
+  BitVec payload(128);
+  payload.randomize(rng);
+  original.act(3, 1234)
+      .delay(Nanoseconds{36.0})
+      .pre(3)
+      .delay(Nanoseconds{3.0})
+      .act(3, 77)
+      .delay_at_least(Nanoseconds{13.5})
+      .wr(3, 64, payload)
+      .delay_at_least(Nanoseconds{15.0})
+      .rd(3, 0, 512)
+      .delay(Nanoseconds{1.5})
+      .ref();
+
+  const std::string text = Assembler::disassemble(original);
+  const Program parsed = Assembler::assemble(text);
+  ASSERT_EQ(parsed.commands().size(), original.commands().size());
+  for (std::size_t i = 0; i < parsed.commands().size(); ++i) {
+    const TimedCommand& a = original.commands()[i];
+    const TimedCommand& b = parsed.commands()[i];
+    EXPECT_EQ(a.slot, b.slot) << i;
+    EXPECT_EQ(a.kind, b.kind) << i;
+    EXPECT_EQ(a.bank, b.bank) << i;
+    EXPECT_EQ(a.row, b.row) << i;
+    EXPECT_EQ(a.col, b.col) << i;
+    EXPECT_EQ(a.nbits, b.nbits) << i;
+    EXPECT_EQ(a.data, b.data) << i;
+  }
+}
+
+TEST(Assembler, AssembledProgramRunsOnAChip) {
+  // End to end: text -> program -> executor -> device.
+  dram::Chip chip(dram::VendorProfile::hynix_m(), 55);
+  Executor exec(&chip);
+  const Program p = Assembler::assemble(R"(
+ACT bank=0 row=0
+DELAY 3
+PRE bank=0
+DELAY 3
+ACT bank=0 row=7
+WAIT 36
+RD bank=0 col=0 bits=64
+WAIT 5
+PRE bank=0
+WAIT 13.5
+)");
+  const auto result = exec.run(p);
+  ASSERT_EQ(result.reads.size(), 1u);
+  EXPECT_EQ(chip.bank(0).stats().simultaneous_activations, 1u);
+}
+
+}  // namespace
+}  // namespace simra::bender

@@ -1,0 +1,131 @@
+#include "bender/command_encoding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace simra::bender {
+namespace {
+
+using Decoded = CommandEncoder::Decoded;
+
+TEST(CommandEncoding, ActivateCarriesFullRowAddress) {
+  TimedCommand cmd;
+  cmd.kind = CommandKind::kAct;
+  cmd.bank = 13;
+  cmd.row = 0x1ABCD;  // needs A16..A14 on the strobe pins.
+  const PinState pins = CommandEncoder::encode(cmd);
+  EXPECT_FALSE(pins.cs_n);
+  EXPECT_FALSE(pins.act_n);
+  const Decoded d = CommandEncoder::decode(pins);
+  EXPECT_EQ(d.kind, Decoded::Kind::kActivate);
+  EXPECT_EQ(d.bank, 13);
+  EXPECT_EQ(d.row, 0x1ABCDu);
+}
+
+TEST(CommandEncoding, TruthTableStrobes) {
+  TimedCommand pre;
+  pre.kind = CommandKind::kPre;
+  const PinState pre_pins = CommandEncoder::encode(pre);
+  EXPECT_TRUE(pre_pins.act_n);
+  EXPECT_FALSE(pre_pins.ras_n);
+  EXPECT_TRUE(pre_pins.cas_n);
+  EXPECT_FALSE(pre_pins.we_n);
+
+  TimedCommand rd;
+  rd.kind = CommandKind::kRd;
+  const PinState rd_pins = CommandEncoder::encode(rd);
+  EXPECT_TRUE(rd_pins.ras_n);
+  EXPECT_FALSE(rd_pins.cas_n);
+  EXPECT_TRUE(rd_pins.we_n);
+
+  TimedCommand ref;
+  ref.kind = CommandKind::kRef;
+  const PinState ref_pins = CommandEncoder::encode(ref);
+  EXPECT_FALSE(ref_pins.ras_n);
+  EXPECT_FALSE(ref_pins.cas_n);
+  EXPECT_TRUE(ref_pins.we_n);
+}
+
+TEST(CommandEncoding, ColumnsEncodeAtBurstGranularity) {
+  TimedCommand wr;
+  wr.kind = CommandKind::kWr;
+  wr.col = 64 * 37;  // burst 37.
+  const Decoded d = CommandEncoder::decode(CommandEncoder::encode(wr));
+  EXPECT_EQ(d.kind, Decoded::Kind::kWrite);
+  EXPECT_EQ(d.column, 37u);
+}
+
+TEST(CommandEncoding, BankGroupSplit) {
+  EXPECT_EQ(CommandEncoder::bank_group_of(13), 3);
+  EXPECT_EQ(CommandEncoder::bank_address_of(13), 1);
+  for (dram::BankId b = 0; b < 16; ++b) {
+    TimedCommand cmd;
+    cmd.kind = CommandKind::kPre;
+    cmd.bank = b;
+    EXPECT_EQ(CommandEncoder::decode(CommandEncoder::encode(cmd)).bank, b);
+  }
+}
+
+TEST(CommandEncoding, DeselectWhenChipNotSelected) {
+  PinState pins;  // default: CS# high.
+  EXPECT_EQ(CommandEncoder::decode(pins).kind, Decoded::Kind::kDeselect);
+}
+
+TEST(CommandEncoding, PrechargeAllViaA10) {
+  TimedCommand pre;
+  pre.kind = CommandKind::kPre;
+  PinState pins = CommandEncoder::encode(pre);
+  pins.address |= CommandEncoder::kA10;
+  EXPECT_EQ(CommandEncoder::decode(pins).kind, Decoded::Kind::kPrechargeAll);
+}
+
+TEST(CommandEncoding, RoundTripFuzz) {
+  Rng rng(321);
+  for (int i = 0; i < 2000; ++i) {
+    TimedCommand cmd;
+    const CommandKind kinds[] = {CommandKind::kAct, CommandKind::kPre,
+                                 CommandKind::kRd, CommandKind::kWr,
+                                 CommandKind::kRef};
+    cmd.kind = kinds[rng.below(std::size(kinds))];
+    cmd.bank = static_cast<dram::BankId>(rng.below(16));
+    cmd.row = static_cast<dram::RowAddr>(rng.below(1u << 17));
+    cmd.col = static_cast<dram::ColAddr>(rng.below(128)) * 64;
+    const Decoded d = CommandEncoder::decode(CommandEncoder::encode(cmd));
+    switch (cmd.kind) {
+      case CommandKind::kAct:
+        ASSERT_EQ(d.kind, Decoded::Kind::kActivate);
+        ASSERT_EQ(d.row, cmd.row);
+        break;
+      case CommandKind::kPre:
+        ASSERT_EQ(d.kind, Decoded::Kind::kPrecharge);
+        break;
+      case CommandKind::kRd:
+        ASSERT_EQ(d.kind, Decoded::Kind::kRead);
+        ASSERT_EQ(d.column, cmd.col / 64);
+        break;
+      case CommandKind::kWr:
+        ASSERT_EQ(d.kind, Decoded::Kind::kWrite);
+        ASSERT_EQ(d.column, cmd.col / 64);
+        break;
+      case CommandKind::kRef:
+        ASSERT_EQ(d.kind, Decoded::Kind::kRefresh);
+        break;
+    }
+    ASSERT_EQ(d.bank, cmd.bank);
+  }
+}
+
+TEST(CommandEncoding, PinStateRendering) {
+  TimedCommand act;
+  act.kind = CommandKind::kAct;
+  act.bank = 5;
+  act.row = 255;
+  const std::string line = CommandEncoder::encode(act).to_string();
+  EXPECT_NE(line.find("CS#L"), std::string::npos);
+  EXPECT_NE(line.find("ACT#L"), std::string::npos);
+  EXPECT_NE(line.find("A=0xff"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace simra::bender

@@ -1,0 +1,105 @@
+#include "bender/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bender/testbed.hpp"
+#include "common/rng.hpp"
+
+namespace simra::bender {
+namespace {
+
+using simra::Nanoseconds;
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  dram::Chip chip_{dram::VendorProfile::hynix_m(), 3};
+  Executor exec_{&chip_};
+};
+
+TEST_F(ExecutorTest, RunsWriteThenReadBack) {
+  BitVec data(chip_.profile().geometry.columns);
+  Rng rng(1);
+  data.randomize(rng);
+
+  Program p;
+  p.act(0, 7)
+      .delay_at_least(Nanoseconds{13.5})
+      .wr(0, 0, data)
+      .delay_at_least(Nanoseconds{15.0})
+      .rd(0, 0, data.size())
+      .delay_at_least(Nanoseconds{5.0})
+      .pre(0)
+      .delay_at_least(Nanoseconds{13.5});
+  const ExecutionResult result = exec_.run(p);
+  ASSERT_EQ(result.reads.size(), 1u);
+  EXPECT_EQ(result.reads[0], data);
+  EXPECT_GT(result.duration_ns, 0.0);
+  EXPECT_GT(result.energy_pj, 0.0);
+  EXPECT_GT(result.average_power_mw(), 0.0);
+}
+
+TEST_F(ExecutorTest, ClockAdvancesAcrossPrograms) {
+  Program p;
+  p.act(0, 1).delay_at_least(Nanoseconds{50.0}).pre(0).delay_at_least(
+      Nanoseconds{13.5});
+  exec_.run(p);
+  const double after_first = exec_.clock_ns();
+  EXPECT_GT(after_first, 0.0);
+  exec_.idle(Nanoseconds{100.0});
+  EXPECT_DOUBLE_EQ(exec_.clock_ns(), after_first + 100.0);
+  // A second program starts later in absolute time: the bank accepts it.
+  EXPECT_NO_THROW(exec_.run(p));
+}
+
+TEST_F(ExecutorTest, IdleRejectsNegative) {
+  EXPECT_THROW(exec_.idle(Nanoseconds{-1.0}), std::invalid_argument);
+}
+
+TEST_F(ExecutorTest, RefReachesAllBanks) {
+  Program p;
+  p.ref();
+  exec_.run(p);
+  EXPECT_EQ(chip_.total_stats().refreshes, chip_.bank_count());
+}
+
+TEST(Testbed, LockstepRunOnAllChips) {
+  auto module =
+      std::make_unique<dram::Module>(dram::VendorProfile::hynix_m(), 9, 3);
+  Testbed testbed(std::move(module));
+  EXPECT_EQ(testbed.chip_count(), 3u);
+
+  Program p;
+  p.act(0, 5).delay_at_least(Nanoseconds{50.0}).pre(0).delay_at_least(
+      Nanoseconds{13.5});
+  const auto results = testbed.run_all(p);
+  EXPECT_EQ(results.size(), 3u);
+  for (std::size_t i = 0; i < testbed.chip_count(); ++i)
+    EXPECT_EQ(testbed.module().chip(i).total_stats().acts, 1u);
+  EXPECT_THROW((void)testbed.executor(3), std::out_of_range);
+}
+
+TEST(Instruments, TemperatureControllerRangeAndPropagation) {
+  auto module =
+      std::make_unique<dram::Module>(dram::VendorProfile::hynix_m(), 9, 2);
+  Testbed testbed(std::move(module));
+  testbed.temperature().set_target(Celsius{90.0});
+  EXPECT_DOUBLE_EQ(testbed.module().chip(0).env().temperature.value, 90.0);
+  EXPECT_DOUBLE_EQ(testbed.module().chip(1).env().temperature.value, 90.0);
+  EXPECT_THROW(testbed.temperature().set_target(Celsius{150.0}),
+               std::out_of_range);
+}
+
+TEST(Instruments, PowerSupplyQuantizesToMillivolt) {
+  auto module =
+      std::make_unique<dram::Module>(dram::VendorProfile::hynix_m(), 9, 1);
+  Testbed testbed(std::move(module));
+  testbed.vpp_supply().set_vpp(Volts{2.34567});
+  EXPECT_NEAR(testbed.vpp_supply().vpp().value, 2.346, 1e-9);
+  EXPECT_NEAR(testbed.module().chip(0).env().vpp.value, 2.346, 1e-9);
+  EXPECT_THROW(testbed.vpp_supply().set_vpp(Volts{1.0}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace simra::bender

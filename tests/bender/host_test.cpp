@@ -1,0 +1,70 @@
+#include "bender/host.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace simra::bender {
+namespace {
+
+class HostTest : public ::testing::Test {
+ protected:
+  dram::Chip chip_{dram::VendorProfile::hynix_m(), 17};
+  Executor exec_{&chip_};
+  Host host_{&exec_};
+  Rng rng_{19};
+
+  std::size_t columns() const { return chip_.profile().geometry.columns; }
+};
+
+TEST_F(HostTest, BurstRowWriteReadRoundtrip) {
+  BitVec data(columns());
+  data.randomize(rng_);
+  host_.write_row(0, 33, data);
+  EXPECT_EQ(host_.read_row(0, 33, columns()), data);
+}
+
+TEST_F(HostTest, BurstWritesMatchRowLevelWrites) {
+  // The burst path and the abstract row-level path must leave identical
+  // cell contents.
+  BitVec data(columns());
+  data.randomize(rng_);
+  host_.write_row(0, 10, data);
+  EXPECT_EQ(chip_.bank(0).backdoor_row(10), data);
+}
+
+TEST_F(HostTest, PartialBurstWrite) {
+  BitVec init(columns(), false);
+  host_.write_row(0, 5, init);
+  BitVec patch(128, true);
+  host_.write_bursts(0, 5, 256, patch);
+  const BitVec row = host_.read_row(0, 5, columns());
+  EXPECT_EQ(row.popcount(), 128u);
+  EXPECT_TRUE(row.get(256));
+  EXPECT_TRUE(row.get(383));
+  EXPECT_FALSE(row.get(255));
+  EXPECT_FALSE(row.get(384));
+}
+
+TEST_F(HostTest, UnalignedBurstRejected) {
+  BitVec patch(64);
+  EXPECT_THROW(host_.write_bursts(0, 5, 13, patch), std::invalid_argument);
+}
+
+TEST_F(HostTest, RowTransferDurationsScaleWithBursts) {
+  // A full 8192-bit row is 128 bursts at tCCD spacing: the data transfer
+  // dominates the program duration.
+  const double write_ns = host_.row_write_duration(columns()).value;
+  const double read_ns = host_.row_read_duration(columns()).value;
+  const double burst_floor =
+      (static_cast<double>(columns()) / Host::kBurstBits) *
+      chip_.profile().timings.tCCD.value;
+  EXPECT_GT(write_ns, burst_floor);
+  EXPECT_GT(read_ns, burst_floor);
+  // Fixed overhead (tRCD + tRP) plus per-burst slot rounding (tCCD = 5 ns
+  // rounds up to 6 ns of 1.5 ns slots) stays bounded.
+  EXPECT_LT(read_ns, burst_floor * 1.25 + 60.0);
+}
+
+}  // namespace
+}  // namespace simra::bender

@@ -1,0 +1,85 @@
+#include "bender/program.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simra::bender {
+namespace {
+
+using simra::Nanoseconds;
+
+TEST(Program, CommandsLandOnCursorSlots) {
+  Program p;
+  p.act(0, 5).delay(Nanoseconds{3.0}).pre(0).delay(Nanoseconds{1.5}).act(0, 9);
+  const auto& cmds = p.commands();
+  ASSERT_EQ(cmds.size(), 3u);
+  EXPECT_EQ(cmds[0].slot, 0u);
+  EXPECT_EQ(cmds[1].slot, 2u);  // 3 ns = 2 slots.
+  EXPECT_EQ(cmds[2].slot, 3u);  // +1.5 ns.
+  EXPECT_DOUBLE_EQ(cmds[1].time_ns(), 3.0);
+  EXPECT_DOUBLE_EQ(cmds[2].time_ns(), 4.5);
+}
+
+TEST(Program, BackToBackCommandsAutoAdvanceOneSlot) {
+  Program p;
+  p.act(0, 1);
+  p.act(1, 2);  // no explicit delay: next slot.
+  EXPECT_EQ(p.commands()[1].slot, 1u);
+}
+
+TEST(Program, DelayMustBeSlotMultiple) {
+  Program p;
+  EXPECT_THROW(p.delay(Nanoseconds{2.0}), std::invalid_argument);
+  EXPECT_THROW(p.delay(Nanoseconds{0.0}), std::invalid_argument);
+  EXPECT_THROW(p.delay(Nanoseconds{-1.5}), std::invalid_argument);
+  EXPECT_NO_THROW(p.delay(Nanoseconds{36.0}));
+}
+
+TEST(Program, DelayAtLeastRoundsUp) {
+  Program p;
+  p.act(0, 0).delay_at_least(Nanoseconds{13.5}).pre(0);
+  EXPECT_EQ(p.commands()[1].slot, 9u);  // ceil(13.5 / 1.5) = 9.
+  Program q;
+  q.act(0, 0).delay_at_least(Nanoseconds{13.6}).pre(0);
+  EXPECT_EQ(q.commands()[1].slot, 10u);
+}
+
+TEST(Program, DurationCoversLastSlot) {
+  Program p;
+  EXPECT_DOUBLE_EQ(p.duration_ns(), 0.0);
+  p.act(0, 0);
+  EXPECT_DOUBLE_EQ(p.duration_ns(), 1.5);
+  p.delay(Nanoseconds{3.0}).pre(0);
+  EXPECT_DOUBLE_EQ(p.duration_ns(), 4.5);
+}
+
+TEST(Program, PayloadCommands) {
+  Program p;
+  BitVec data(16);
+  data.fill_byte(0xFF);
+  p.wr(2, 5, data).delay(Nanoseconds{1.5}).rd(2, 5, 16).ref();
+  const auto& cmds = p.commands();
+  EXPECT_EQ(cmds[0].kind, CommandKind::kWr);
+  EXPECT_EQ(cmds[0].bank, 2);
+  EXPECT_EQ(cmds[0].col, 5u);
+  EXPECT_EQ(cmds[0].data.popcount(), 16u);
+  EXPECT_EQ(cmds[1].kind, CommandKind::kRd);
+  EXPECT_EQ(cmds[1].nbits, 16u);
+  EXPECT_EQ(cmds[2].kind, CommandKind::kRef);
+}
+
+TEST(Program, ListingContainsTimesAndMnemonics) {
+  Program p;
+  p.act(1, 42).delay(Nanoseconds{3.0}).pre(1);
+  const std::string listing = p.to_string();
+  EXPECT_NE(listing.find("ACT"), std::string::npos);
+  EXPECT_NE(listing.find("row=42"), std::string::npos);
+  EXPECT_NE(listing.find("3ns\tPRE"), std::string::npos);
+}
+
+TEST(CommandKind, Names) {
+  EXPECT_EQ(to_string(CommandKind::kAct), "ACT");
+  EXPECT_EQ(to_string(CommandKind::kRef), "REF");
+}
+
+}  // namespace
+}  // namespace simra::bender

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "casestudy/content_destruction.hpp"
+#include "casestudy/tmr.hpp"
+#include "casestudy/trng.hpp"
+#include "common/rng.hpp"
+#include "dram/chip.hpp"
+
+namespace simra::casestudy {
+namespace {
+
+TEST(ContentDestruction, RowCloneBaselineCoversEveryRow) {
+  const auto profile = dram::VendorProfile::hynix_m();
+  const DestructionCost cost = destruction_cost(
+      {DestructionMethod::kRowClone, 2}, profile.geometry, profile.timings);
+  EXPECT_EQ(cost.operations, profile.geometry.rows_per_bank);
+  EXPECT_GT(cost.total_ns, 0.0);
+}
+
+TEST(ContentDestruction, MrcSpeedupGrowsWithGroupSize) {
+  const auto profile = dram::VendorProfile::hynix_m();
+  double prev = 0.0;
+  for (std::size_t n : {2u, 4u, 8u, 16u, 32u}) {
+    const DestructionCost cost =
+        destruction_cost({DestructionMethod::kMultiRowCopy, n},
+                         profile.geometry, profile.timings);
+    const DestructionCost baseline = destruction_cost(
+        {DestructionMethod::kRowClone, 2}, profile.geometry, profile.timings);
+    const double speedup = baseline.total_ns / cost.total_ns;
+    EXPECT_GT(speedup, prev) << n;
+    prev = speedup;
+  }
+  EXPECT_GT(prev, 10.0);  // 32-row activation wipes >10x faster.
+}
+
+TEST(ContentDestruction, FracFasterThanRowCloneButSlowerThanMrc32) {
+  const auto profile = dram::VendorProfile::hynix_m();
+  const auto comparisons =
+      compare_destruction_methods(profile.geometry, profile.timings);
+  double rowclone = 0.0, frac = 0.0, mrc32 = 0.0;
+  for (const auto& c : comparisons) {
+    if (c.label == "RowClone") rowclone = c.speedup_vs_rowclone;
+    if (c.label == "Frac") frac = c.speedup_vs_rowclone;
+    if (c.label == "Multi-RowCopy-32") mrc32 = c.speedup_vs_rowclone;
+  }
+  EXPECT_DOUBLE_EQ(rowclone, 1.0);
+  EXPECT_GT(frac, 1.0);
+  EXPECT_GT(mrc32, frac);
+}
+
+TEST(ContentDestruction, RejectsBadGroupSize) {
+  const auto profile = dram::VendorProfile::hynix_m();
+  EXPECT_THROW(destruction_cost({DestructionMethod::kMultiRowCopy, 1},
+                                profile.geometry, profile.timings),
+               std::invalid_argument);
+  EXPECT_THROW(destruction_cost({DestructionMethod::kMultiRowCopy, 64},
+                                profile.geometry, profile.timings),
+               std::invalid_argument);
+}
+
+TEST(ContentDestruction, MethodNames) {
+  EXPECT_EQ(to_string(DestructionMethod::kRowClone), "RowClone");
+  EXPECT_EQ(to_string(DestructionMethod::kFrac), "Frac");
+  EXPECT_EQ(to_string(DestructionMethod::kMultiRowCopy), "Multi-RowCopy");
+}
+
+class TmrTest : public ::testing::Test {
+ protected:
+  dram::Chip chip_{dram::VendorProfile::hynix_m(), 61};
+  pud::Engine engine_{&chip_};
+  Rng rng_{62};
+  MajorityVoter voter_{&engine_, 0, 1};
+};
+
+TEST_F(TmrTest, Maj3VotingMasksOneFaultyCopy) {
+  const double rate = voter_.recovery_rate(/*copies=*/3, /*faulty=*/1,
+                                           /*fault_bits=*/64, /*runs=*/3,
+                                           rng_);
+  EXPECT_GT(rate, 0.98);
+}
+
+TEST_F(TmrTest, Maj9VotingMasksThreeFaultyCopies) {
+  const double rate = voter_.recovery_rate(/*copies=*/9, /*faulty=*/3,
+                                           /*fault_bits=*/64, /*runs=*/3,
+                                           rng_);
+  // MAJ9's own in-DRAM success rate is poor, but the voted payload still
+  // beats an unprotected copy hit by the same upsets.
+  EXPECT_GT(rate, 0.5);
+}
+
+TEST_F(TmrTest, VoteValidatesArguments) {
+  BitVec payload(chip_.profile().geometry.columns);
+  EXPECT_THROW((void)voter_.vote(payload, 4, 1, 4, rng_),
+               std::invalid_argument);
+  EXPECT_THROW((void)voter_.vote(payload, 3, 4, 4, rng_),
+               std::invalid_argument);
+}
+
+class TrngTest : public ::testing::Test {
+ protected:
+  dram::Chip chip_{dram::VendorProfile::hynix_m(), 71};
+  pud::Engine engine_{&chip_};
+  SimraTrng trng_{&engine_, 0, 5};
+};
+
+TEST_F(TrngTest, RawSamplesVaryAcrossTrials) {
+  const BitVec a = trng_.raw_sample();
+  const BitVec b = trng_.raw_sample();
+  EXPECT_GT(a.hamming_distance(b), 0u);  // metastable cells flip.
+}
+
+TEST_F(TrngTest, ExtractedBitsAreBalanced) {
+  const auto bits = trng_.random_bits(4096);
+  EXPECT_GE(bits.size(), 4096u);
+  EXPECT_LT(SimraTrng::monobit_bias(bits), 0.03);
+}
+
+TEST_F(TrngTest, ThroughputPositive) {
+  EXPECT_GT(trng_.raw_throughput_bits_per_s(), 1e6);
+}
+
+TEST(TrngStatic, MonobitBias) {
+  EXPECT_DOUBLE_EQ(SimraTrng::monobit_bias({}), 0.0);
+  EXPECT_DOUBLE_EQ(SimraTrng::monobit_bias({true, true, true, true}), 0.5);
+  EXPECT_DOUBLE_EQ(SimraTrng::monobit_bias({true, false}), 0.0);
+}
+
+}  // namespace
+}  // namespace simra::casestudy

@@ -1,0 +1,37 @@
+#include "casestudy/data_movement.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simra::casestudy {
+namespace {
+
+TEST(DataMovement, PudWinsOnWideRows) {
+  // The whole point of PUD (§1): avoiding the bus beats moving 8 KiB rows.
+  const auto cmp = compare_bulk_and(dram::VendorProfile::hynix_m(), 8);
+  EXPECT_GT(cmp.speedup(), 2.0);
+  EXPECT_GT(cmp.energy_reduction(), 1.0);
+  EXPECT_EQ(cmp.pud_operations, 7u);  // AND-tree of 8 operands at fan-in 3.
+}
+
+TEST(DataMovement, CpuCostScalesWithOperands) {
+  const auto small = compare_bulk_and(dram::VendorProfile::hynix_m(), 2);
+  const auto large = compare_bulk_and(dram::VendorProfile::hynix_m(), 16);
+  EXPECT_GT(large.cpu_time_ns, small.cpu_time_ns * 5.0);
+  EXPECT_GT(large.pud_time_ns, small.pud_time_ns);
+}
+
+TEST(DataMovement, WiderRowsFavourPudMore) {
+  // Micron x16 rows are 16 Kib: twice the bus traffic per row, same
+  // constant-time in-DRAM operation.
+  const auto x8 = compare_bulk_and(dram::VendorProfile::hynix_m(), 8);
+  const auto x16 = compare_bulk_and(dram::VendorProfile::micron_e(), 8);
+  EXPECT_GT(x16.speedup(), x8.speedup());
+}
+
+TEST(DataMovement, RejectsDegenerateInput) {
+  EXPECT_THROW((void)compare_bulk_and(dram::VendorProfile::hynix_m(), 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace simra::casestudy

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "charz/figures.hpp"
+#include "charz/limitations.hpp"
+#include "charz/series.hpp"
+
+namespace simra::charz {
+namespace {
+
+Plan tiny_plan() {
+  Plan p;
+  p.modules = {{dram::VendorProfile::hynix_m(), 1}};
+  p.chips_per_module = 1;
+  p.banks_per_chip = 1;
+  p.subarrays_per_bank = 1;
+  p.groups_per_size = 1;
+  p.trials = 2;
+  p.seed = 9;
+  return p;
+}
+
+TEST(Plan, InstanceCounts) {
+  EXPECT_EQ(tiny_plan().instance_count(), 1u);
+  const Plan q = Plan::quick();
+  EXPECT_EQ(q.instance_count(),
+            4u * q.chips_per_module * q.banks_per_chip * q.subarrays_per_bank);
+  const Plan paper = Plan::paper_scale();
+  EXPECT_EQ(paper.instance_count(), 18u * 4 * 16 * 3);
+  EXPECT_EQ(paper.groups_per_size, 100u);
+}
+
+TEST(Plan, ForEachInstanceVisitsExactly) {
+  Plan p = tiny_plan();
+  p.banks_per_chip = 2;
+  p.subarrays_per_bank = 3;
+  int visits = 0;
+  for_each_instance(p, [&](Instance& inst) {
+    ++visits;
+    EXPECT_LT(inst.bank, 2);
+    EXPECT_LT(inst.subarray,
+              inst.profile.geometry.subarrays_per_bank());
+  });
+  EXPECT_EQ(visits, 6);
+}
+
+TEST(Series, AccumulatesByKeyInInsertionOrder) {
+  SeriesAccumulator acc;
+  acc.add({"a", "1"}, 0.5);
+  acc.add({"b", "2"}, 0.25);
+  acc.add({"a", "1"}, 1.0);
+  const FigureData data = acc.finish("t", {"k1", "k2"});
+  ASSERT_EQ(data.rows.size(), 2u);
+  EXPECT_EQ(data.rows[0].keys, (std::vector<std::string>{"a", "1"}));
+  EXPECT_EQ(data.rows[0].stats.count, 2u);
+  EXPECT_DOUBLE_EQ(data.rows[0].stats.mean, 0.75);
+  EXPECT_DOUBLE_EQ(data.mean_at({"b", "2"}), 0.25);
+  EXPECT_EQ(data.find({"c", "3"}), nullptr);
+  EXPECT_THROW((void)data.mean_at({"c", "3"}), std::out_of_range);
+}
+
+TEST(Figure, TableRendering) {
+  SeriesAccumulator acc;
+  acc.add({"x"}, 0.5);
+  const FigureData data = acc.finish("title", {"key"});
+  const Table table = data.to_table();
+  const std::string text = table.to_text();
+  EXPECT_NE(text.find("mean%"), std::string::npos);
+  EXPECT_NE(text.find("50.000"), std::string::npos);
+}
+
+TEST(Figure, FormatNs) {
+  EXPECT_EQ(format_ns(1.5), "1.5");
+  EXPECT_EQ(format_ns(3.0), "3");
+  EXPECT_EQ(format_ns(36.0), "36");
+}
+
+TEST(Figures, MajxPointsRespectOperandCounts) {
+  for (const auto& [x, n] : majx_points()) {
+    EXPECT_GE(n, x);
+    EXPECT_TRUE(n == 4 || n == 8 || n == 16 || n == 32);
+  }
+}
+
+TEST(Figures, Fig6OrderingsHoldOnTinyPlan) {
+  Plan p = tiny_plan();
+  p.groups_per_size = 2;
+  const FigureData fig = fig6_maj3_timing(p);
+  // Best timing (1.5, 3) with replication beats 4-row activation...
+  EXPECT_GT(fig.mean_at({"1.5", "3", "32"}), fig.mean_at({"1.5", "3", "4"}));
+  // ...and beats the longer-t1 configuration (charge-share asymmetry).
+  EXPECT_GT(fig.mean_at({"1.5", "3", "32"}), fig.mean_at({"3", "3", "32"}));
+}
+
+TEST(Figures, DeterministicForFixedPlanAndSeed) {
+  // Figure generation must be exactly reproducible: same plan (and thus
+  // seeds) -> bit-identical statistics.
+  const Plan p = tiny_plan();
+  const FigureData a = fig6_maj3_timing(p);
+  const FigureData b = fig6_maj3_timing(p);
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    EXPECT_EQ(a.rows[i].keys, b.rows[i].keys);
+    EXPECT_DOUBLE_EQ(a.rows[i].stats.mean, b.rows[i].stats.mean);
+    EXPECT_DOUBLE_EQ(a.rows[i].stats.min, b.rows[i].stats.min);
+  }
+}
+
+TEST(Figures, VendorBreakdownShowsMicronMaj9Cutoff) {
+  Plan p = tiny_plan();
+  p.modules = {{dram::VendorProfile::hynix_m(), 1},
+               {dram::VendorProfile::micron_e(), 1}};
+  p.groups_per_size = 2;
+  const FigureData fig = fig7_majx_by_vendor(p);
+  // Mfr. M's MAJ9 is structurally handicapped (odd emulated-neutral
+  // bias); the mean stays low but the lognormal group-quality tail lets
+  // occasional groups exceed the paper's <1 % cutoff (see EXPERIMENTS.md).
+  EXPECT_LT(fig.mean_at({"M", "MAJ9"}), 0.20);
+  EXPECT_GT(fig.mean_at({"H", "MAJ3"}), 0.9);
+  EXPECT_LT(fig.mean_at({"M", "MAJ7"}), fig.mean_at({"H", "MAJ7"}));
+}
+
+TEST(Figures, Fig10OrderingsHoldOnTinyPlan) {
+  const FigureData fig = fig10_mrc_timing(tiny_plan());
+  EXPECT_GT(fig.mean_at({"36", "3", "31"}), 0.999);
+  EXPECT_LT(fig.mean_at({"1.5", "3", "31"}), 0.6);
+}
+
+TEST(Figures, Fig3OrderingsHoldOnTinyPlan) {
+  const FigureData fig = fig3_smra_timing(tiny_plan());
+  // Best timing near-perfect; weak t2 drastically lower; t2 = 6 ns falls
+  // into the consecutive regime (~1/N success for the SiMRA test).
+  EXPECT_GT(fig.mean_at({"3", "3", "8"}), 0.999);
+  EXPECT_LT(fig.mean_at({"1.5", "1.5", "8"}), 0.95);
+  EXPECT_LT(fig.mean_at({"3", "6", "32"}), 0.10);
+}
+
+TEST(Figures, Fig7PatternOrderingHoldsOnTinyPlan) {
+  Plan p = tiny_plan();
+  p.groups_per_size = 2;
+  const FigureData fig = fig7_majx_datapattern(p);
+  // Random data is the worst case for mid-margin operations (Obs. 9).
+  EXPECT_LT(fig.mean_at({"MAJ7", "32", "random"}),
+            fig.mean_at({"MAJ7", "32", "0x00/0xFF"}));
+  // Replication helps within each MAJX (Obs. 10).
+  EXPECT_LT(fig.mean_at({"MAJ5", "8", "random"}),
+            fig.mean_at({"MAJ5", "32", "random"}));
+}
+
+TEST(Figures, Fig11And12SeriesArePresent) {
+  const Plan p = tiny_plan();
+  const FigureData pattern = fig11_mrc_datapattern(p);
+  EXPECT_NE(pattern.find({"all-1s", "31"}), nullptr);
+  EXPECT_NE(pattern.find({"random", "1"}), nullptr);
+  const FigureData temp = fig12a_mrc_temperature(p);
+  EXPECT_NE(temp.find({"90", "31"}), nullptr);
+  EXPECT_GT(temp.mean_at({"50", "31"}), 0.99);
+  const FigureData vpp = fig12b_mrc_voltage(p);
+  // Lower VPP can only hurt (possibly immeasurably on a tiny plan).
+  EXPECT_LE(vpp.mean_at({"2.1", "31"}), vpp.mean_at({"2.5", "31"}) + 1e-6);
+}
+
+TEST(Limitations, SamsungShowsNoSimultaneousActivation) {
+  Plan p = tiny_plan();
+  p.modules = {{dram::VendorProfile::samsung(), 1}};
+  const FigureData fig = limitation1_vendor_support(p);
+  // The WR lands only in the one open row: success ~ 1/N.
+  EXPECT_LT(fig.mean_at({"S", "32"}), 0.05);
+  EXPECT_LT(fig.mean_at({"S", "2"}), 0.60);
+}
+
+TEST(Limitations, NoDisturbanceOutsideTheGroup) {
+  Plan p = tiny_plan();
+  const DisturbanceResult r = limitation3_disturbance(p, 3);
+  EXPECT_GT(r.trials, 0u);
+  EXPECT_GT(r.cells_checked, 100000u);
+  EXPECT_EQ(r.bitflips_outside_group, 0u);
+}
+
+}  // namespace
+}  // namespace simra::charz

@@ -1,0 +1,35 @@
+#include "common/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace simra {
+namespace {
+
+TEST(Env, FlagParsing) {
+  ::setenv("SIMRA_TEST_FLAG", "1", 1);
+  EXPECT_TRUE(env_flag("SIMRA_TEST_FLAG"));
+  ::setenv("SIMRA_TEST_FLAG", "TRUE", 1);
+  EXPECT_TRUE(env_flag("SIMRA_TEST_FLAG"));
+  ::setenv("SIMRA_TEST_FLAG", "on", 1);
+  EXPECT_TRUE(env_flag("SIMRA_TEST_FLAG"));
+  ::setenv("SIMRA_TEST_FLAG", "0", 1);
+  EXPECT_FALSE(env_flag("SIMRA_TEST_FLAG"));
+  ::unsetenv("SIMRA_TEST_FLAG");
+  EXPECT_FALSE(env_flag("SIMRA_TEST_FLAG"));
+}
+
+TEST(Env, IntParsing) {
+  ::setenv("SIMRA_TEST_INT", "42", 1);
+  EXPECT_EQ(env_int("SIMRA_TEST_INT", 7), 42);
+  ::setenv("SIMRA_TEST_INT", "-3", 1);
+  EXPECT_EQ(env_int("SIMRA_TEST_INT", 7), -3);
+  ::setenv("SIMRA_TEST_INT", "abc", 1);
+  EXPECT_EQ(env_int("SIMRA_TEST_INT", 7), 7);
+  ::unsetenv("SIMRA_TEST_INT");
+  EXPECT_EQ(env_int("SIMRA_TEST_INT", 7), 7);
+}
+
+}  // namespace
+}  // namespace simra

@@ -1,0 +1,111 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace simra {
+namespace {
+
+TEST(BoxStats, EmptySampleIsZeroed) {
+  const BoxStats box = box_stats({});
+  EXPECT_EQ(box.count, 0u);
+  EXPECT_EQ(box.mean, 0.0);
+}
+
+TEST(BoxStats, SingleValue) {
+  const std::vector<double> v{3.5};
+  const BoxStats box = box_stats(v);
+  EXPECT_EQ(box.min, 3.5);
+  EXPECT_EQ(box.max, 3.5);
+  EXPECT_EQ(box.median, 3.5);
+  EXPECT_EQ(box.q1, 3.5);
+  EXPECT_EQ(box.q3, 3.5);
+}
+
+TEST(BoxStats, KnownQuartiles) {
+  // numpy.percentile([1..5], [25, 50, 75]) == [2, 3, 4].
+  const std::vector<double> v{5, 4, 3, 2, 1};
+  const BoxStats box = box_stats(v);
+  EXPECT_DOUBLE_EQ(box.min, 1.0);
+  EXPECT_DOUBLE_EQ(box.q1, 2.0);
+  EXPECT_DOUBLE_EQ(box.median, 3.0);
+  EXPECT_DOUBLE_EQ(box.q3, 4.0);
+  EXPECT_DOUBLE_EQ(box.max, 5.0);
+  EXPECT_DOUBLE_EQ(box.mean, 3.0);
+  EXPECT_DOUBLE_EQ(box.iqr(), 2.0);
+}
+
+TEST(BoxStats, InterpolatedQuartiles) {
+  // numpy.percentile([1,2,3,4], 25) == 1.75.
+  const std::vector<double> v{1, 2, 3, 4};
+  const BoxStats box = box_stats(v);
+  EXPECT_DOUBLE_EQ(box.q1, 1.75);
+  EXPECT_DOUBLE_EQ(box.median, 2.5);
+  EXPECT_DOUBLE_EQ(box.q3, 3.25);
+}
+
+TEST(SortedQuantile, Clamps) {
+  const std::vector<double> v{1, 2, 3};
+  EXPECT_DOUBLE_EQ(sorted_quantile(v, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(sorted_quantile(v, 1.5), 3.0);
+}
+
+TEST(SortedQuantile, Empty) { EXPECT_DOUBLE_EQ(sorted_quantile({}, 0.5), 0.0); }
+
+TEST(MeanOf, Basic) {
+  const std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean_of(v), 2.5);
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+}
+
+TEST(RunningStats, MatchesBatch) {
+  RunningStats rs;
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double x : v) rs.add(x);
+  EXPECT_EQ(rs.count(), v.size());
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_NEAR(rs.stddev(), 2.138, 1e-3);  // sample stddev.
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEquivalentToSequential) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.37 - 3.0;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(SampleSet, CollectsAndSummarizes) {
+  SampleSet s;
+  EXPECT_TRUE(s.empty());
+  for (int i = 1; i <= 5; ++i) s.add(i);
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.box().median, 3.0);
+}
+
+}  // namespace
+}  // namespace simra

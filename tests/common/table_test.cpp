@@ -1,0 +1,60 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace simra {
+namespace {
+
+TEST(Table, RequiresColumns) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RowWidthChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, TextAlignment) {
+  Table t({"name", "v"});
+  t.add_row({"x", "1234"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("name  v"), std::string::npos);
+  EXPECT_NE(text.find("x     1234"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"a", "b"});
+  t.add_row({"plain", "has,comma"});
+  t.add_row({"has\"quote", "ok"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::pct(0.9985, 2), "99.85%");
+}
+
+TEST(WriteFile, CreatesParentDirs) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "simra_table_test";
+  std::filesystem::remove_all(dir);
+  const std::string path = (dir / "sub" / "out.txt").string();
+  write_file(path, "hello");
+  std::ifstream in(path);
+  std::string content;
+  std::getline(in, content);
+  EXPECT_EQ(content, "hello");
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace simra

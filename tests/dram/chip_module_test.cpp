@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "dram/chip.hpp"
+#include "dram/module.hpp"
+
+namespace simra::dram {
+namespace {
+
+TEST(Chip, ConstructsBanksPerGeometry) {
+  Chip chip(VendorProfile::hynix_m(), 1);
+  EXPECT_EQ(chip.bank_count(), 16u);
+  EXPECT_EQ(chip.layout().rows(), 512u);
+  EXPECT_THROW((void)chip.bank(16), std::out_of_range);
+}
+
+TEST(Chip, MicronUses1024RowLayout) {
+  Chip chip(VendorProfile::micron_e(), 1);
+  EXPECT_EQ(chip.layout().rows(), 1024u);
+  EXPECT_EQ(chip.profile().geometry.columns, 16384u);
+}
+
+TEST(Chip, SeedControlsVariation) {
+  // Two chips with different seeds have different unstable-cell maps;
+  // same seed -> identical behaviour.
+  auto frac_pattern = [](std::uint64_t seed) {
+    Chip chip(VendorProfile::hynix_m(), seed);
+    Bank& b = chip.bank(0);
+    b.act(1, 0.0);
+    b.pre(1.5);
+    b.act(2, 100.0);  // fracs row 1.
+    b.pre(200.0);
+    b.act(1, 300.0);  // senses the frac row -> offset-coloured data.
+    return b.row_buffer();
+  };
+  EXPECT_EQ(frac_pattern(5).size(), 8192u);
+  EXPECT_NE(frac_pattern(5).hamming_distance(frac_pattern(6)), 0u);
+}
+
+TEST(Chip, EnvironmentDefaults) {
+  Chip chip(VendorProfile::hynix_a(), 1);
+  EXPECT_DOUBLE_EQ(chip.env().temperature.value, 50.0);
+  EXPECT_DOUBLE_EQ(chip.env().vpp.value, 2.5);
+}
+
+TEST(Chip, TotalStatsAggregatesBanks) {
+  Chip chip(VendorProfile::hynix_m(), 1);
+  chip.bank(0).act(0, 0.0);
+  chip.bank(1).act(0, 0.0);
+  chip.bank(1).pre(50.0);
+  const CommandStats stats = chip.total_stats();
+  EXPECT_EQ(stats.acts, 2u);
+  EXPECT_EQ(stats.pres, 1u);
+}
+
+TEST(Module, BuildsProfileChipCount) {
+  Module module(VendorProfile::micron_e(), 9);
+  EXPECT_EQ(module.chip_count(), 4u);  // x16 modules carry 4 chips.
+  Module hynix(VendorProfile::hynix_m(), 9);
+  EXPECT_EQ(hynix.chip_count(), 8u);
+  Module sampled(VendorProfile::hynix_m(), 9, 2);
+  EXPECT_EQ(sampled.chip_count(), 2u);
+  EXPECT_THROW((void)sampled.chip(2), std::out_of_range);
+}
+
+TEST(Module, ChipsHaveDistinctSeeds) {
+  Module module(VendorProfile::hynix_m(), 1234, 3);
+  EXPECT_NE(module.chip(0).seed(), module.chip(1).seed());
+  EXPECT_NE(module.chip(1).seed(), module.chip(2).seed());
+}
+
+TEST(Module, EnvironmentPropagatesToAllChips) {
+  Module module(VendorProfile::hynix_m(), 1, 2);
+  module.set_temperature(Celsius{80.0});
+  module.set_vpp(Volts{2.2});
+  for (std::size_t i = 0; i < module.chip_count(); ++i) {
+    EXPECT_DOUBLE_EQ(module.chip(i).env().temperature.value, 80.0);
+    EXPECT_DOUBLE_EQ(module.chip(i).env().vpp.value, 2.2);
+  }
+}
+
+TEST(Module, ForEachChipVisitsAll) {
+  Module module(VendorProfile::hynix_a(), 1, 4);
+  int visits = 0;
+  module.for_each_chip([&](Chip&) { ++visits; });
+  EXPECT_EQ(visits, 4);
+}
+
+TEST(Module, LabelEncodesVendorAndDie) {
+  Module module(VendorProfile::hynix_m(), 0x1234);
+  EXPECT_EQ(module.label().substr(0, 2), "HM");
+}
+
+}  // namespace
+}  // namespace simra::dram

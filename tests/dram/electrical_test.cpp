@@ -1,0 +1,201 @@
+#include "dram/electrical.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "dram/calibration.hpp"
+
+namespace simra::dram {
+namespace {
+
+class ElectricalTest : public ::testing::Test {
+ protected:
+  VendorProfile profile_ = VendorProfile::hynix_m();
+  VariationField variation_{42};
+  ElectricalModel model_{&profile_, &variation_};
+  Rng rng_{7};
+
+  BitlineContext ctx(std::uint64_t group_key = 1) const {
+    BitlineContext c;
+    c.bank = 0;
+    c.subarray = 1;
+    c.group_key = group_key;
+    c.columns = profile_.geometry.columns;
+    return c;
+  }
+};
+
+TEST_F(ElectricalTest, ClassifyBestMajTiming) {
+  const ApaDecision d =
+      model_.classify_apa(Nanoseconds{1.5}, Nanoseconds{3.0});
+  EXPECT_FALSE(d.sa_latched);
+  EXPECT_DOUBLE_EQ(d.latch_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(d.first_row_extra_weight, 0.0);  // t1+t2 == baseline.
+  EXPECT_DOUBLE_EQ(d.second_group_weight, 1.0);
+  EXPECT_DOUBLE_EQ(d.row_dropout_probability, 0.0);
+}
+
+TEST_F(ElectricalTest, ClassifyLongerT1AddsAsymmetry) {
+  const ApaDecision d = model_.classify_apa(Nanoseconds{3.0}, Nanoseconds{3.0});
+  EXPECT_FALSE(d.sa_latched);
+  EXPECT_GT(d.first_row_extra_weight, 0.0);
+}
+
+TEST_F(ElectricalTest, ClassifyCopyTiming) {
+  const ApaDecision d =
+      model_.classify_apa(Nanoseconds{36.0}, Nanoseconds{3.0});
+  EXPECT_TRUE(d.sa_latched);
+  EXPECT_DOUBLE_EQ(d.latch_fraction, 1.0);
+}
+
+TEST_F(ElectricalTest, ClassifyWeakT2) {
+  const ApaDecision d =
+      model_.classify_apa(Nanoseconds{1.5}, Nanoseconds{1.5});
+  EXPECT_LT(d.second_group_weight, 1.0);
+  EXPECT_GT(d.row_dropout_probability, 0.0);
+  EXPECT_GT(d.smra_z_penalty, calib::kSmra.penalty_t2_low);  // + sum + t1.
+}
+
+TEST_F(ElectricalTest, LatchFractionMonotoneInT1) {
+  double prev = -1.0;
+  for (double t1 : {1.5, 3.0, 4.0, 6.0, 12.0, 18.0, 36.0, 50.0}) {
+    const double f = calib::mrc_latch_fraction(t1);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+  EXPECT_DOUBLE_EQ(calib::mrc_latch_fraction(1.5), 0.0);
+  EXPECT_DOUBLE_EQ(calib::mrc_latch_fraction(36.0), 1.0);
+}
+
+TEST_F(ElectricalTest, UnanimousChargeShareIsStable) {
+  // All 32 cells agree: the margin is enormous, every bitline resolves
+  // correctly and stably.
+  const std::size_t columns = profile_.geometry.columns;
+  BitVec ones(columns, true);
+  std::vector<ConnectedRow> rows(32);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    rows[i].local_row = static_cast<RowAddr>(i);
+    rows[i].data = &ones;
+    rows[i].weight = 1.0;
+  }
+  const ApaDecision apa =
+      model_.classify_apa(Nanoseconds{1.5}, Nanoseconds{3.0});
+  const ChargeShareResult r = model_.resolve_charge_share(
+      ctx(), rows, 0.0, EnvironmentState{}, apa, rng_);
+  EXPECT_EQ(r.resolved.popcount(), columns);
+  EXPECT_EQ(r.stable.popcount(), columns);
+  EXPECT_EQ(r.ties, 0u);
+}
+
+TEST_F(ElectricalTest, TieResolvesMetastably) {
+  const std::size_t columns = profile_.geometry.columns;
+  BitVec ones(columns, true);
+  BitVec zeros(columns, false);
+  std::vector<ConnectedRow> rows(2);
+  rows[0] = {0, &ones, 1.0};
+  rows[1] = {1, &zeros, 1.0};
+  const ApaDecision apa =
+      model_.classify_apa(Nanoseconds{1.5}, Nanoseconds{3.0});
+  const ChargeShareResult r = model_.resolve_charge_share(
+      ctx(), rows, 0.0, EnvironmentState{}, apa, rng_);
+  EXPECT_EQ(r.ties, columns);
+  EXPECT_EQ(r.stable.popcount(), 0u);
+  // Roughly half the metastable bitlines fall each way.
+  EXPECT_NEAR(static_cast<double>(r.resolved.popcount()),
+              columns / 2.0, columns * 0.05);
+}
+
+TEST_F(ElectricalTest, PatternNoiseDistinguishesFixedFromRandom) {
+  const std::size_t columns = 4096;
+  BitVec fixed(columns);
+  fixed.fill_byte(0xAA);
+  BitVec random(columns);
+  random.randomize(rng_);
+  std::vector<ConnectedRow> fixed_rows{{0, &fixed, 1.0}};
+  std::vector<ConnectedRow> random_rows{{0, &random, 1.0}};
+  EXPECT_DOUBLE_EQ(ElectricalModel::estimate_pattern_noise(fixed_rows), 0.0);
+  EXPECT_NEAR(ElectricalModel::estimate_pattern_noise(random_rows), 0.5, 0.1);
+}
+
+TEST_F(ElectricalTest, FracRowsContributeOnlyCapacitance) {
+  // 3 charged cells + 29 Frac cells: the majority must still be ones.
+  const std::size_t columns = profile_.geometry.columns;
+  BitVec ones(columns, true);
+  std::vector<ConnectedRow> rows;
+  for (int i = 0; i < 3; ++i) rows.push_back({static_cast<RowAddr>(i), &ones, 1.0});
+  for (int i = 3; i < 32; ++i)
+    rows.push_back({static_cast<RowAddr>(i), nullptr, 1.0});
+  const ApaDecision apa =
+      model_.classify_apa(Nanoseconds{1.5}, Nanoseconds{3.0});
+  const ChargeShareResult r = model_.resolve_charge_share(
+      ctx(), rows, 0.0, EnvironmentState{}, apa, rng_);
+  EXPECT_EQ(r.ties, 0u);
+  // m = 3 with N = 32: low margin -> partially stable, but stable bits
+  // must all be the majority value (ones).
+  EXPECT_EQ((r.stable & ~r.resolved).popcount(), 0u);
+}
+
+TEST_F(ElectricalTest, WriteMaskNearlyFullAtBestTiming) {
+  const ApaDecision apa = model_.classify_apa(Nanoseconds{3.0}, Nanoseconds{3.0});
+  const BitVec mask =
+      model_.write_overdrive_mask(ctx(), 5, 3, EnvironmentState{}, apa);
+  EXPECT_GT(mask.popcount(), profile_.geometry.columns * 999 / 1000);
+}
+
+TEST_F(ElectricalTest, WriteMaskDegradesAtWeakTiming) {
+  const ApaDecision best = model_.classify_apa(Nanoseconds{3.0}, Nanoseconds{3.0});
+  const ApaDecision weak = model_.classify_apa(Nanoseconds{1.5}, Nanoseconds{1.5});
+  const BitVec best_mask =
+      model_.write_overdrive_mask(ctx(), 5, 3, EnvironmentState{}, best);
+  const BitVec weak_mask =
+      model_.write_overdrive_mask(ctx(), 5, 3, EnvironmentState{}, weak);
+  EXPECT_LT(weak_mask.popcount(), best_mask.popcount());
+}
+
+TEST_F(ElectricalTest, CopyStableMaskNearPerfect) {
+  BitVec source(profile_.geometry.columns);
+  source.randomize(rng_);
+  const BitVec mask =
+      model_.copy_stable_mask(ctx(), 3, 31, source, EnvironmentState{});
+  EXPECT_GT(static_cast<double>(mask.popcount()),
+            profile_.geometry.columns * 0.995);
+}
+
+TEST_F(ElectricalTest, AllOnesCopyTo31DestsWeaker) {
+  BitVec random(profile_.geometry.columns);
+  random.randomize(rng_);
+  BitVec ones(profile_.geometry.columns, true);
+  const BitVec random_mask =
+      model_.copy_stable_mask(ctx(), 3, 31, random, EnvironmentState{});
+  const BitVec ones_mask =
+      model_.copy_stable_mask(ctx(), 3, 31, ones, EnvironmentState{});
+  EXPECT_LT(ones_mask.popcount(), random_mask.popcount());
+}
+
+TEST_F(ElectricalTest, FracSenseBiasedForMicron) {
+  VendorProfile micron = VendorProfile::micron_e();
+  VariationField var(1);
+  ElectricalModel model(&micron, &var);
+  BitlineContext c;
+  c.columns = micron.geometry.columns;
+  const BitVec sensed = model.sense_frac_row(c, rng_);
+  EXPECT_EQ(sensed.popcount(), micron.geometry.columns);  // biased to one.
+}
+
+TEST_F(ElectricalTest, FracSenseMixedForUnbiased) {
+  const BitVec sensed = model_.sense_frac_row(ctx(), rng_);
+  const double frac =
+      static_cast<double>(sensed.popcount()) / profile_.geometry.columns;
+  EXPECT_GT(frac, 0.3);
+  EXPECT_LT(frac, 0.7);
+}
+
+TEST_F(ElectricalTest, GroupKeyOrderIndependentOfContent) {
+  const std::vector<RowAddr> a{1, 2, 3};
+  const std::vector<RowAddr> b{1, 2, 4};
+  EXPECT_EQ(group_key_of(a), group_key_of(a));
+  EXPECT_NE(group_key_of(a), group_key_of(b));
+}
+
+}  // namespace
+}  // namespace simra::dram

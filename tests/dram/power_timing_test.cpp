@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "dram/power_model.hpp"
+#include "dram/timing.hpp"
+
+namespace simra::dram {
+namespace {
+
+TEST(PowerModel, RefIsMostExpensiveStandardOp) {
+  const double ref = PowerModel::average_power(PowerOp::kRefresh).value;
+  for (PowerOp op : {PowerOp::kRead, PowerOp::kWrite, PowerOp::kActPre}) {
+    EXPECT_LT(PowerModel::average_power(op).value, ref);
+  }
+}
+
+TEST(PowerModel, ApaPowerMonotoneInRows) {
+  double prev = 0.0;
+  for (std::size_t n : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const double p =
+        PowerModel::average_power(PowerOp::kManyRowActivation, n).value;
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(PowerModel, ThirtyTwoRowActivationBelowRefByPaperMargin) {
+  // Obs. 5: 21.19 % below REF power.
+  EXPECT_NEAR(1.0 - PowerModel::apa_vs_ref_fraction(32), 0.2119, 0.002);
+}
+
+TEST(PowerModel, EnergyScalesWithDuration) {
+  const double e1 = PowerModel::energy_pj(PowerOp::kRead, Nanoseconds{10.0});
+  const double e2 = PowerModel::energy_pj(PowerOp::kRead, Nanoseconds{20.0});
+  EXPECT_DOUBLE_EQ(e2, 2.0 * e1);
+}
+
+TEST(PowerModel, RejectsZeroRows) {
+  EXPECT_THROW(
+      (void)PowerModel::average_power(PowerOp::kManyRowActivation, 0),
+      std::invalid_argument);
+}
+
+TEST(PowerModel, OpNames) {
+  EXPECT_EQ(to_string(PowerOp::kRefresh), "REF");
+  EXPECT_EQ(to_string(PowerOp::kActPre), "ACT+PRE");
+}
+
+TEST(TimingParams, SpeedGradesDiffer) {
+  const TimingParams t2666 = TimingParams::ddr4_2666();
+  const TimingParams t2133 = TimingParams::ddr4_2133();
+  const TimingParams t3200 = TimingParams::ddr4_3200();
+  EXPECT_LT(t3200.tCK.value, t2666.tCK.value);
+  EXPECT_LT(t2666.tCK.value, t2133.tCK.value);
+  EXPECT_GT(t2133.tRCD.value, t3200.tRCD.value);
+}
+
+TEST(TimingParams, RowCycleIsActivatePlusPrecharge) {
+  const TimingParams t = TimingParams::ddr4_2666();
+  EXPECT_DOUBLE_EQ(t.tRC().value, t.tRAS.value + t.tRP.value);
+}
+
+TEST(Units, LiteralsAndArithmetic) {
+  using namespace simra::literals;
+  const Nanoseconds a = 1.5_ns;
+  const Nanoseconds b = 3_ns;
+  EXPECT_DOUBLE_EQ((a + b).value, 4.5);
+  EXPECT_DOUBLE_EQ((b - a).value, 1.5);
+  EXPECT_DOUBLE_EQ((a * 2.0).value, 3.0);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(Celsius{50.0}, 50_C);
+  EXPECT_EQ(Volts{2.5}, 2.5_V);
+}
+
+}  // namespace
+}  // namespace simra::dram

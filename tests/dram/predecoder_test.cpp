@@ -1,0 +1,144 @@
+#include "dram/predecoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace simra::dram {
+namespace {
+
+TEST(PredecoderLayout, SupportedSubarraySizes) {
+  EXPECT_EQ(PredecoderLayout::for_subarray_rows(512).rows(), 512u);
+  EXPECT_EQ(PredecoderLayout::for_subarray_rows(640).rows(), 640u);
+  EXPECT_EQ(PredecoderLayout::for_subarray_rows(1024).rows(), 1024u);
+  EXPECT_THROW(PredecoderLayout::for_subarray_rows(256), std::invalid_argument);
+}
+
+TEST(PredecoderLayout, RejectsBadFanouts) {
+  EXPECT_THROW(PredecoderLayout({}), std::invalid_argument);
+  EXPECT_THROW(PredecoderLayout({2, 1}), std::invalid_argument);
+}
+
+TEST(PredecoderLayout, PaperExampleRowZeroAndSeven) {
+  // §7.1 / Fig 14: row 0 asserts P_A0, P_B0; row 7 asserts P_A1, P_B3.
+  const auto layout = PredecoderLayout::for_subarray_rows(512);
+  const auto d0 = layout.digits(0);
+  const auto d7 = layout.digits(7);
+  EXPECT_EQ(d0[0], 0u);
+  EXPECT_EQ(d0[1], 0u);
+  EXPECT_EQ(d7[0], 1u);  // A = RA[0] = 1.
+  EXPECT_EQ(d7[1], 3u);  // B = RA[1:2] = 3.
+  // ACT 0 -> PRE -> ACT 7 activates rows {0, 1, 6, 7} (Fig 14).
+  const auto group = layout.activation_group(0, 7);
+  EXPECT_EQ(group, (std::vector<RowAddr>{0, 1, 6, 7}));
+}
+
+TEST(PredecoderLayout, PaperExample127To128Activates32Rows) {
+  // §7.1: "to activate 32 rows ... e.g., ACT 127 -> PRE -> ACT 128".
+  const auto layout = PredecoderLayout::for_subarray_rows(512);
+  EXPECT_EQ(layout.differing_fields(127, 128), 5u);
+  EXPECT_EQ(layout.activation_group(127, 128).size(), 32u);
+}
+
+class LayoutParamTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LayoutParamTest, DigitsComposeRoundtripAllRows) {
+  const auto layout = PredecoderLayout::for_subarray_rows(GetParam());
+  for (RowAddr row = 0; row < layout.rows(); ++row) {
+    const auto digits = layout.digits(row);
+    EXPECT_EQ(layout.compose(digits), row);
+  }
+}
+
+TEST_P(LayoutParamTest, GroupPropertiesHoldForRandomPairs) {
+  const auto layout = PredecoderLayout::for_subarray_rows(GetParam());
+  Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    const auto a = static_cast<RowAddr>(rng.below(layout.rows()));
+    const auto b = static_cast<RowAddr>(rng.below(layout.rows()));
+    const auto group = layout.activation_group(a, b);
+    const unsigned k = layout.differing_fields(a, b);
+    // Size is exactly 2^k.
+    ASSERT_EQ(group.size(), std::size_t{1} << k);
+    // Both APA targets are activated; rows are sorted and unique.
+    ASSERT_TRUE(std::binary_search(group.begin(), group.end(), a));
+    ASSERT_TRUE(std::binary_search(group.begin(), group.end(), b));
+    ASSERT_TRUE(std::is_sorted(group.begin(), group.end()));
+    ASSERT_EQ(std::set<RowAddr>(group.begin(), group.end()).size(),
+              group.size());
+    // Symmetry: the group does not depend on ACT order.
+    ASSERT_EQ(group, layout.activation_group(b, a));
+  }
+}
+
+TEST_P(LayoutParamTest, PartnerProducesRequestedGroupSize) {
+  const auto layout = PredecoderLayout::for_subarray_rows(GetParam());
+  Rng rng(7);
+  for (std::size_t size = 2; size <= 32; size *= 2) {
+    for (int i = 0; i < 50; ++i) {
+      const auto first = static_cast<RowAddr>(rng.below(layout.rows()));
+      const RowAddr partner = layout.partner_for_group_size(first, size);
+      EXPECT_EQ(layout.activation_group(first, partner).size(), size);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSubarraySizes, LayoutParamTest,
+                         ::testing::Values(512, 640, 1024));
+
+TEST(PredecoderLayout, PartnerRejectsBadSizes) {
+  const auto layout = PredecoderLayout::for_subarray_rows(512);
+  EXPECT_THROW((void)layout.partner_for_group_size(0, 3),
+               std::invalid_argument);
+  EXPECT_THROW((void)layout.partner_for_group_size(0, 64),
+               std::invalid_argument);
+}
+
+TEST(DecoderLatches, LatchAccumulatesUntilCleared) {
+  const auto layout = PredecoderLayout::for_subarray_rows(512);
+  DecoderLatches latches(&layout);
+  EXPECT_FALSE(latches.any_latched());
+  EXPECT_TRUE(latches.asserted_rows().empty());
+
+  latches.latch(0);
+  EXPECT_EQ(latches.asserted_rows(), (std::vector<RowAddr>{0}));
+  EXPECT_EQ(latches.asserted_count(), 1u);
+
+  latches.latch(7);
+  EXPECT_EQ(latches.asserted_rows(), (std::vector<RowAddr>{0, 1, 6, 7}));
+  EXPECT_EQ(latches.asserted_count(), 4u);
+
+  latches.clear();
+  EXPECT_FALSE(latches.any_latched());
+  EXPECT_EQ(latches.asserted_count(), 0u);
+}
+
+TEST(DecoderLatches, MatchesActivationGroupForPairs) {
+  const auto layout = PredecoderLayout::for_subarray_rows(1024);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const auto a = static_cast<RowAddr>(rng.below(layout.rows()));
+    const auto b = static_cast<RowAddr>(rng.below(layout.rows()));
+    DecoderLatches latches(&layout);
+    latches.latch(a);
+    latches.latch(b);
+    EXPECT_EQ(latches.asserted_rows(), layout.activation_group(a, b));
+  }
+}
+
+TEST(DecoderLatches, ThreeLatchedAddressesFormCartesianProduct) {
+  // Latching a third address grows the set to the full cartesian product —
+  // the reason chained APAs can open even more rows.
+  const auto layout = PredecoderLayout::for_subarray_rows(512);
+  DecoderLatches latches(&layout);
+  latches.latch(0);
+  latches.latch(1);
+  latches.latch(2);  // digits A:{0,1}, B:{0,1}.
+  EXPECT_EQ(latches.asserted_count(), 4u);
+}
+
+}  // namespace
+}  // namespace simra::dram

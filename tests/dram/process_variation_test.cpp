@@ -1,0 +1,70 @@
+#include "dram/process_variation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace simra::dram {
+namespace {
+
+TEST(InverseNormalCdf, KnownValues) {
+  EXPECT_NEAR(inverse_normal_cdf(0.5), 0.0, 1e-8);
+  EXPECT_NEAR(inverse_normal_cdf(0.8413447), 1.0, 1e-4);
+  EXPECT_NEAR(inverse_normal_cdf(0.0227501), -2.0, 1e-4);
+  EXPECT_NEAR(inverse_normal_cdf(0.9986501), 3.0, 1e-4);
+}
+
+TEST(InverseNormalCdf, RoundtripWithCdf) {
+  for (double z : {-3.5, -1.0, -0.1, 0.0, 0.7, 2.2, 4.0}) {
+    EXPECT_NEAR(inverse_normal_cdf(normal_cdf(z)), z, 1e-6) << z;
+  }
+}
+
+TEST(NormalCdf, Symmetry) {
+  for (double z : {0.3, 1.1, 2.4}) {
+    EXPECT_NEAR(normal_cdf(z) + normal_cdf(-z), 1.0, 1e-12);
+  }
+}
+
+TEST(VariationField, Deterministic) {
+  VariationField a(42);
+  VariationField b(42);
+  EXPECT_DOUBLE_EQ(a.normal(1, 2, 3), b.normal(1, 2, 3));
+  EXPECT_DOUBLE_EQ(a.normal(1, 2, 3, 4), b.normal(1, 2, 3, 4));
+  EXPECT_DOUBLE_EQ(a.uniform(1, 2, 3), b.uniform(1, 2, 3));
+}
+
+TEST(VariationField, SeedChangesField) {
+  VariationField a(1);
+  VariationField b(2);
+  EXPECT_NE(a.normal(0, 0, 0), b.normal(0, 0, 0));
+}
+
+TEST(VariationField, KeysAreIndependent) {
+  VariationField f(7);
+  EXPECT_NE(f.normal(1, 2, 3), f.normal(3, 2, 1));
+  EXPECT_NE(f.normal(1), f.normal(1, 0));
+}
+
+TEST(VariationField, NormalDeviatesHaveUnitMoments) {
+  VariationField f(11);
+  RunningStats stats;
+  for (std::uint64_t i = 0; i < 50000; ++i) stats.add(f.normal(i, 1, 2));
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(VariationField, UniformIsUniform) {
+  VariationField f(13);
+  RunningStats stats;
+  for (std::uint64_t i = 0; i < 50000; ++i) {
+    const double u = f.uniform(i, 0, 0);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    stats.add(u);
+  }
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace simra::dram

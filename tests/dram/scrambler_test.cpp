@@ -1,0 +1,79 @@
+#include "dram/scrambler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace simra::dram {
+namespace {
+
+using Kind = RowScrambler::Kind;
+
+class ScramblerKindTest : public ::testing::TestWithParam<Kind> {};
+
+TEST_P(ScramblerKindTest, BijectiveAndInvertibleOverFullDomain) {
+  const RowScrambler s(GetParam(), /*local_bits=*/9, /*parameter=*/3);
+  std::set<RowAddr> images;
+  for (RowAddr r = 0; r < 512; ++r) {
+    const RowAddr internal = s.to_internal(r);
+    ASSERT_LT(internal, 512u);
+    images.insert(internal);
+    ASSERT_EQ(s.to_logical(internal), r) << "row " << r;
+  }
+  EXPECT_EQ(images.size(), 512u);  // bijection.
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, ScramblerKindTest,
+                         ::testing::Values(Kind::kIdentity, Kind::kBitReversal,
+                                           Kind::kXorFold, Kind::kBlockSwap));
+
+TEST(Scrambler, IdentityPassesThrough) {
+  const RowScrambler s;
+  EXPECT_TRUE(s.is_identity());
+  EXPECT_EQ(s.to_internal(639), 639u);  // works beyond 2^bits (640-row SAs).
+  EXPECT_EQ(s.to_logical(639), 639u);
+}
+
+TEST(Scrambler, BitReversalKnownValues) {
+  const RowScrambler s(Kind::kBitReversal, 9);
+  EXPECT_EQ(s.to_internal(0), 0u);
+  EXPECT_EQ(s.to_internal(1), 256u);   // bit 0 -> bit 8.
+  EXPECT_EQ(s.to_internal(256), 1u);
+  EXPECT_EQ(s.to_internal(511), 511u);
+}
+
+TEST(Scrambler, XorFoldChangesMostAddresses) {
+  const RowScrambler s(Kind::kXorFold, 9, 3);
+  int moved = 0;
+  for (RowAddr r = 0; r < 512; ++r) moved += (s.to_internal(r) != r) ? 1 : 0;
+  EXPECT_GT(moved, 256);
+}
+
+TEST(Scrambler, BlockSwapSwapsHalves) {
+  const RowScrambler s(Kind::kBlockSwap, 9, 3);  // swap halves of 8-row blocks.
+  EXPECT_EQ(s.to_internal(0), 4u);
+  EXPECT_EQ(s.to_internal(4), 0u);
+  EXPECT_EQ(s.to_internal(11), 15u);
+}
+
+TEST(Scrambler, DomainChecked) {
+  const RowScrambler s(Kind::kBitReversal, 9);
+  EXPECT_THROW((void)s.to_internal(512), std::out_of_range);
+  EXPECT_THROW((void)s.to_logical(1024), std::out_of_range);
+}
+
+TEST(Scrambler, ParameterValidation) {
+  EXPECT_THROW(RowScrambler(Kind::kXorFold, 9, 0), std::invalid_argument);
+  EXPECT_THROW(RowScrambler(Kind::kXorFold, 9, 9), std::invalid_argument);
+  EXPECT_THROW(RowScrambler(Kind::kBlockSwap, 9, 0), std::invalid_argument);
+  EXPECT_THROW(RowScrambler(Kind::kIdentity, 0), std::invalid_argument);
+}
+
+TEST(Scrambler, Describe) {
+  const RowScrambler s(Kind::kXorFold, 9, 3);
+  EXPECT_EQ(s.describe(), "xor-fold(bits=9, k=3)");
+  EXPECT_EQ(to_string(Kind::kBlockSwap), "block-swap");
+}
+
+}  // namespace
+}  // namespace simra::dram

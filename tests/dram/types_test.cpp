@@ -1,0 +1,42 @@
+#include "dram/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simra::dram {
+namespace {
+
+TEST(Geometry, SubarrayCount) {
+  Geometry g;
+  g.rows_per_bank = 1u << 16;
+  g.rows_per_subarray = 512;
+  EXPECT_EQ(g.subarrays_per_bank(), 128u);
+  g.rows_per_subarray = 1024;
+  EXPECT_EQ(g.subarrays_per_bank(), 64u);
+}
+
+TEST(DataPattern, Names) {
+  EXPECT_EQ(to_string(DataPattern::kRandom), "random");
+  EXPECT_EQ(to_string(DataPattern::k00FF), "0x00/0xFF");
+  EXPECT_EQ(to_string(DataPattern::kAllOnes), "all-1s");
+}
+
+TEST(DataPattern, BytePairsAreComplements) {
+  for (DataPattern p : {DataPattern::k00FF, DataPattern::kAA55,
+                        DataPattern::kCC33, DataPattern::k6699}) {
+    const PatternBytes bytes = pattern_bytes(p);
+    EXPECT_EQ(static_cast<std::uint8_t>(~bytes.low), bytes.high)
+        << to_string(p);
+  }
+}
+
+TEST(DataPattern, CouplingFractionOnlyForRandom) {
+  EXPECT_DOUBLE_EQ(pattern_coupling_fraction(DataPattern::kRandom), 0.5);
+  for (DataPattern p : {DataPattern::k00FF, DataPattern::kAA55,
+                        DataPattern::kCC33, DataPattern::k6699,
+                        DataPattern::kAllZeros, DataPattern::kAllOnes}) {
+    EXPECT_DOUBLE_EQ(pattern_coupling_fraction(p), 0.0) << to_string(p);
+  }
+}
+
+}  // namespace
+}  // namespace simra::dram

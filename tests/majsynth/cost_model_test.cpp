@@ -1,0 +1,84 @@
+#include "majsynth/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "majsynth/synth.hpp"
+
+namespace simra::majsynth {
+namespace {
+
+TEST(OpLatencies, DerivedFromTimings) {
+  const OpLatencies ops =
+      OpLatencies::from_timings(dram::TimingParams::ddr4_2666());
+  EXPECT_GT(ops.rowclone_ns, 0.0);
+  EXPECT_GT(ops.mrc_ns, 0.0);
+  EXPECT_GT(ops.apa_ns, 0.0);
+  EXPECT_LT(ops.frac_ns, ops.rowclone_ns);
+  EXPECT_DOUBLE_EQ(ops.not_ns, ops.rowclone_ns);
+}
+
+TEST(GateLatency, NearlyFlatInFanin) {
+  const OpLatencies ops =
+      OpLatencies::from_timings(dram::TimingParams::ddr4_2666());
+  const double maj3 = maj_gate_latency_ns(3, 32, true, ops);
+  const double maj9 = maj_gate_latency_ns(9, 32, true, ops);
+  EXPECT_GT(maj9, maj3 * 0.9);
+  EXPECT_LT(maj9, maj3 * 1.5);  // only the neutral-row re-init differs.
+}
+
+TEST(GateLatency, SmallActivationSkipsReplication) {
+  const OpLatencies ops =
+      OpLatencies::from_timings(dram::TimingParams::ddr4_2666());
+  // At 4-row MAJ3 there is a single replica: no Multi-RowCopy needed.
+  EXPECT_LT(maj_gate_latency_ns(3, 4, true, ops),
+            maj_gate_latency_ns(3, 32, true, ops));
+}
+
+TEST(GateLatency, FracLessNeutralsCostMore) {
+  const OpLatencies ops =
+      OpLatencies::from_timings(dram::TimingParams::ddr4_2666());
+  EXPECT_GT(maj_gate_latency_ns(9, 32, false, ops),
+            maj_gate_latency_ns(9, 32, true, ops));
+}
+
+TEST(GateLatency, RejectsBadArguments) {
+  const OpLatencies ops =
+      OpLatencies::from_timings(dram::TimingParams::ddr4_2666());
+  EXPECT_THROW((void)maj_gate_latency_ns(4, 32, true, ops),
+               std::invalid_argument);
+  EXPECT_THROW((void)maj_gate_latency_ns(9, 8, true, ops),
+               std::invalid_argument);
+}
+
+TEST(ExecutionModel, RetriesScaleInverselyWithSuccess) {
+  ExecutionModel model;
+  model.ops = OpLatencies::from_timings(dram::TimingParams::ddr4_2666());
+  model.maj_success = {{3, 1.0}};
+  const NetworkCost cost = synth::adder_network(8, 3).cost();
+  const double at_full = model.network_time_ns(cost);
+  model.maj_success[3] = 0.5;
+  const double at_half = model.network_time_ns(cost);
+  // MAJ time doubles; NOT gates are unaffected.
+  EXPECT_GT(at_half, at_full * 1.5);
+  EXPECT_LT(at_half, at_full * 2.0);
+}
+
+TEST(ExecutionModel, MissingSuccessRateThrows) {
+  ExecutionModel model;
+  model.ops = OpLatencies::from_timings(dram::TimingParams::ddr4_2666());
+  model.maj_success = {{3, 1.0}};  // no entry for fan-in 5.
+  const NetworkCost cost = synth::adder_network(8, 5).cost();
+  EXPECT_THROW((void)model.network_time_ns(cost), std::invalid_argument);
+  model.maj_success[5] = 0.0;
+  EXPECT_THROW((void)model.network_time_ns(cost), std::invalid_argument);
+}
+
+TEST(ExecutionModel, RowsForFanin) {
+  ExecutionModel model;
+  EXPECT_EQ(model.rows_for(3), 4u);
+  EXPECT_EQ(model.rows_for(5), 32u);
+  EXPECT_EQ(model.rows_for(9), 32u);
+}
+
+}  // namespace
+}  // namespace simra::majsynth

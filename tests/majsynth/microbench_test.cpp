@@ -1,0 +1,81 @@
+#include "majsynth/microbench.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simra::majsynth {
+namespace {
+
+class MicrobenchTest : public ::testing::Test {
+ protected:
+  static const VendorCapability& hynix() {
+    static const VendorCapability cap =
+        measure_capability(dram::VendorProfile::hynix_m(), 101, 6);
+    return cap;
+  }
+  static const VendorCapability& micron() {
+    static const VendorCapability cap =
+        measure_capability(dram::VendorProfile::micron_e(), 102, 6);
+    return cap;
+  }
+};
+
+TEST_F(MicrobenchTest, CapabilityRespectsVendorCutoffs) {
+  EXPECT_EQ(hynix().max_x, 9u);   // Mfr. H performs up to MAJ9.
+  EXPECT_EQ(micron().max_x, 7u);  // Mfr. M cannot perform MAJ9 (fn. 11).
+  EXPECT_EQ(hynix().best_success_32row.size(), 4u);
+  EXPECT_EQ(micron().best_success_32row.size(), 3u);
+}
+
+TEST_F(MicrobenchTest, SuccessDecreasesWithFanin) {
+  double prev = 1.1;
+  for (const auto& [x, s] : hynix().best_success_32row) {
+    EXPECT_LE(s, prev) << "MAJ" << x;
+    EXPECT_GT(s, 0.0);
+    prev = s;
+  }
+}
+
+TEST_F(MicrobenchTest, RunsSevenBenchmarks) {
+  const auto results = run_microbenchmarks(hynix());
+  ASSERT_EQ(results.size(), 7u);
+  EXPECT_EQ(results[0].name, "AND");
+  EXPECT_EQ(results[6].name, "DIV");
+  for (const auto& r : results) {
+    EXPECT_GT(r.baseline_ns, 0.0);
+    EXPECT_EQ(r.majx_ns.count(5), 1u);
+    EXPECT_EQ(r.majx_ns.count(9), 1u);  // Mfr. H reaches MAJ9.
+  }
+}
+
+TEST_F(MicrobenchTest, MicronStopsAtMaj7) {
+  const auto results = run_microbenchmarks(micron());
+  for (const auto& r : results) {
+    EXPECT_EQ(r.majx_ns.count(7), 1u);
+    EXPECT_EQ(r.majx_ns.count(9), 0u);
+  }
+}
+
+TEST_F(MicrobenchTest, NewMajxOpsSpeedUpOnAverage) {
+  // The paper's headline: MAJ5+ improve over the MAJ3@4-row baseline.
+  for (const auto* cap : {&hynix(), &micron()}) {
+    const auto results = run_microbenchmarks(*cap);
+    double total_speedup = 0.0;
+    for (const auto& r : results) total_speedup += r.speedup(5);
+    EXPECT_GT(total_speedup / results.size(), 1.0)
+        << cap->profile.manufacturer;
+  }
+}
+
+TEST_F(MicrobenchTest, Maj9DegradesReductionBenchesOnHynix) {
+  // Obs. (Fig 16): MAJ9's poor success rate makes it slower than MAJ7
+  // where it is actually used (the AND/OR reductions).
+  const auto results = run_microbenchmarks(hynix());
+  for (const auto& r : results) {
+    if (r.name == "AND" || r.name == "OR") {
+      EXPECT_LT(r.speedup(9), r.speedup(7)) << r.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace simra::majsynth

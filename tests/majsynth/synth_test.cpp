@@ -1,0 +1,198 @@
+#include "majsynth/synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace simra::majsynth {
+namespace {
+
+/// Packs `bits`-wide reference values into word-parallel input vectors:
+/// test case k occupies bit k of every word.
+std::vector<std::uint64_t> pack_operand(const std::vector<std::uint64_t>& values,
+                                        unsigned bits) {
+  std::vector<std::uint64_t> words(bits, 0);
+  for (std::size_t k = 0; k < values.size(); ++k) {
+    for (unsigned bit = 0; bit < bits; ++bit) {
+      if ((values[k] >> bit) & 1ull) words[bit] |= 1ull << k;
+    }
+  }
+  return words;
+}
+
+std::uint64_t unpack_case(const std::vector<std::uint64_t>& outputs,
+                          std::size_t k, unsigned bits) {
+  std::uint64_t value = 0;
+  for (unsigned bit = 0; bit < bits && bit < outputs.size(); ++bit)
+    value |= ((outputs[bit] >> k) & 1ull) << bit;
+  return value;
+}
+
+class FaninTest : public ::testing::TestWithParam<unsigned> {
+ protected:
+  unsigned fanin() const { return GetParam(); }
+};
+
+TEST_P(FaninTest, AndOrXorReductionsMatchReference) {
+  Rng rng(41);
+  for (unsigned operands : {2u, 3u, 5u, 16u}) {
+    Network and_net = synth::bitwise_and_network(operands, fanin());
+    Network or_net = synth::bitwise_or_network(operands, fanin());
+    Network xor_net = synth::bitwise_xor_network(operands, fanin());
+    std::vector<std::uint64_t> inputs(operands);
+    for (auto& w : inputs) w = rng();
+    std::uint64_t expect_and = ~0ull;
+    std::uint64_t expect_or = 0;
+    std::uint64_t expect_xor = 0;
+    for (std::uint64_t w : inputs) {
+      expect_and &= w;
+      expect_or |= w;
+      expect_xor ^= w;
+    }
+    EXPECT_EQ(and_net.evaluate(inputs)[0], expect_and) << operands;
+    EXPECT_EQ(or_net.evaluate(inputs)[0], expect_or) << operands;
+    EXPECT_EQ(xor_net.evaluate(inputs)[0], expect_xor) << operands;
+  }
+}
+
+TEST_P(FaninTest, FullAdderTruthTable) {
+  Network net;
+  const int a = net.add_input();
+  const int b = net.add_input();
+  const int c = net.add_input();
+  const auto fa = synth::full_adder(net, a, b, c, fanin());
+  net.mark_output(fa.sum);
+  net.mark_output(fa.carry);
+  const std::uint64_t wa = 0b10101010;
+  const std::uint64_t wb = 0b11001100;
+  const std::uint64_t wc = 0b11110000;
+  const auto out = net.evaluate({wa, wb, wc});
+  EXPECT_EQ(out[0] & 0xFF, (wa ^ wb ^ wc) & 0xFF);               // sum.
+  EXPECT_EQ(out[1] & 0xFF,
+            ((wa & wb) | (wa & wc) | (wb & wc)) & 0xFF);          // carry.
+}
+
+TEST_P(FaninTest, AdderMatchesIntegerAddition) {
+  constexpr unsigned kBits = 8;
+  Network net = synth::adder_network(kBits, fanin());
+  Rng rng(43);
+  std::vector<std::uint64_t> a_vals(64);
+  std::vector<std::uint64_t> b_vals(64);
+  for (int k = 0; k < 64; ++k) {
+    a_vals[k] = rng.below(256);
+    b_vals[k] = rng.below(256);
+  }
+  auto inputs = pack_operand(a_vals, kBits);
+  const auto b_words = pack_operand(b_vals, kBits);
+  inputs.insert(inputs.end(), b_words.begin(), b_words.end());
+  const auto out = net.evaluate(inputs);
+  for (int k = 0; k < 64; ++k) {
+    const std::uint64_t got = unpack_case(out, k, kBits + 1);
+    EXPECT_EQ(got, a_vals[k] + b_vals[k]) << "case " << k;
+  }
+}
+
+TEST_P(FaninTest, SubtractorMatchesIntegerSubtraction) {
+  constexpr unsigned kBits = 8;
+  Network net = synth::subtractor_network(kBits, fanin());
+  Rng rng(47);
+  for (int trial = 0; trial < 3; ++trial) {
+    std::vector<std::uint64_t> a_vals(64);
+    std::vector<std::uint64_t> b_vals(64);
+    for (int k = 0; k < 64; ++k) {
+      a_vals[k] = rng.below(256);
+      b_vals[k] = rng.below(256);
+    }
+    auto inputs = pack_operand(a_vals, kBits);
+    const auto b_words = pack_operand(b_vals, kBits);
+    inputs.insert(inputs.end(), b_words.begin(), b_words.end());
+    const auto out = net.evaluate(inputs);
+    for (int k = 0; k < 64; ++k) {
+      const std::uint64_t got = unpack_case(out, k, kBits);
+      EXPECT_EQ(got, (a_vals[k] - b_vals[k]) & 0xFF) << "case " << k;
+    }
+  }
+}
+
+TEST_P(FaninTest, MultiplierMatchesLowProduct) {
+  constexpr unsigned kBits = 8;
+  Network net = synth::multiplier_network(kBits, fanin());
+  Rng rng(53);
+  std::vector<std::uint64_t> a_vals(64);
+  std::vector<std::uint64_t> b_vals(64);
+  for (int k = 0; k < 64; ++k) {
+    a_vals[k] = rng.below(256);
+    b_vals[k] = rng.below(256);
+  }
+  auto inputs = pack_operand(a_vals, kBits);
+  const auto b_words = pack_operand(b_vals, kBits);
+  inputs.insert(inputs.end(), b_words.begin(), b_words.end());
+  const auto out = net.evaluate(inputs);
+  for (int k = 0; k < 64; ++k) {
+    const std::uint64_t got = unpack_case(out, k, kBits);
+    EXPECT_EQ(got, (a_vals[k] * b_vals[k]) & 0xFF) << "case " << k;
+  }
+}
+
+TEST_P(FaninTest, DividerMatchesIntegerDivision) {
+  constexpr unsigned kBits = 6;
+  Network net = synth::divider_network(kBits, fanin());
+  Rng rng(59);
+  std::vector<std::uint64_t> n_vals(64);
+  std::vector<std::uint64_t> d_vals(64);
+  for (int k = 0; k < 64; ++k) {
+    n_vals[k] = rng.below(64);
+    d_vals[k] = 1 + rng.below(63);  // avoid division by zero.
+  }
+  auto inputs = pack_operand(n_vals, kBits);
+  const auto d_words = pack_operand(d_vals, kBits);
+  inputs.insert(inputs.end(), d_words.begin(), d_words.end());
+  const auto out = net.evaluate(inputs);
+  for (int k = 0; k < 64; ++k) {
+    const std::uint64_t quotient = unpack_case(out, k, kBits);
+    std::uint64_t remainder = 0;
+    for (unsigned bit = 0; bit < kBits; ++bit)
+      remainder |= ((out[kBits + bit] >> k) & 1ull) << bit;
+    EXPECT_EQ(quotient, n_vals[k] / d_vals[k]) << "case " << k;
+    EXPECT_EQ(remainder, n_vals[k] % d_vals[k]) << "case " << k;
+  }
+}
+
+TEST_P(FaninTest, MuxSelects) {
+  Network net;
+  const int s = net.add_input();
+  const int a = net.add_input();
+  const int b = net.add_input();
+  net.mark_output(synth::mux(net, s, a, b, fanin()));
+  const std::uint64_t ws = 0b10101010;
+  const std::uint64_t wa = 0b11001100;
+  const std::uint64_t wb = 0b11110000;
+  const auto out = net.evaluate({ws, wa, wb});
+  EXPECT_EQ(out[0] & 0xFF, ((ws & wa) | (~ws & wb)) & 0xFF);
+}
+
+INSTANTIATE_TEST_SUITE_P(MaxFanins, FaninTest, ::testing::Values(3, 5, 7, 9));
+
+TEST(SynthCost, HigherFaninReducesGateCount) {
+  const auto maj3 = synth::bitwise_and_network(16, 3).cost();
+  const auto maj9 = synth::bitwise_and_network(16, 9).cost();
+  EXPECT_LT(maj9.total_maj(), maj3.total_maj());
+  EXPECT_EQ(maj3.max_fanin(), 3u);
+  EXPECT_GE(maj9.max_fanin(), 7u);
+
+  const auto fa3 = synth::adder_network(32, 3).cost();
+  const auto fa5 = synth::adder_network(32, 5).cost();
+  EXPECT_LT(fa5.total_maj() + fa5.not_gates,
+            fa3.total_maj() + fa3.not_gates);
+}
+
+TEST(Synth, RejectsInvalidArguments) {
+  Network net;
+  EXPECT_THROW((void)synth::and_reduce(net, {}, 3), std::invalid_argument);
+  EXPECT_THROW((void)synth::bitwise_and_network(16, 4), std::invalid_argument);
+  EXPECT_THROW((void)synth::adder_network(0, 3), std::invalid_argument);
+  EXPECT_THROW((void)synth::bitwise_xor_network(1, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace simra::majsynth

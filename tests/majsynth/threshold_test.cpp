@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "common/rng.hpp"
+#include "majsynth/synth.hpp"
+
+namespace simra::majsynth {
+namespace {
+
+class ThresholdFaninTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ThresholdFaninTest, MatchesCountingForAllSmallCases) {
+  const unsigned fanin = GetParam();
+  for (unsigned n : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    for (unsigned k = 0; k <= n + 1; ++k) {
+      Network net;
+      std::vector<int> inputs;
+      for (unsigned i = 0; i < n; ++i) inputs.push_back(net.add_input());
+      net.mark_output(synth::threshold(net, inputs, k, fanin));
+      // Enumerate all 2^n input combinations, one per packed bit.
+      std::vector<std::uint64_t> words(n, 0);
+      const unsigned cases = 1u << n;
+      for (unsigned c = 0; c < cases; ++c)
+        for (unsigned i = 0; i < n; ++i)
+          if ((c >> i) & 1u) words[i] |= 1ull << c;
+      const auto out = net.evaluate(words);
+      for (unsigned c = 0; c < cases; ++c) {
+        const bool expect = std::popcount(c) >= static_cast<int>(k);
+        ASSERT_EQ((out[0] >> c) & 1ull, expect ? 1ull : 0ull)
+            << "n=" << n << " k=" << k << " case=" << c << " fanin=" << fanin;
+      }
+    }
+  }
+}
+
+TEST_P(ThresholdFaninTest, PopcountMatchesBuiltin) {
+  const unsigned fanin = GetParam();
+  for (unsigned n : {1u, 3u, 7u, 12u}) {
+    Network net = synth::popcount_network(n, fanin);
+    Rng rng(7 + n);
+    std::vector<std::uint64_t> words(n);
+    for (auto& w : words) w = rng();
+    const auto out = net.evaluate(words);
+    for (int c = 0; c < 64; ++c) {
+      unsigned expect = 0;
+      for (unsigned i = 0; i < n; ++i) expect += (words[i] >> c) & 1ull;
+      unsigned got = 0;
+      for (std::size_t b = 0; b < out.size(); ++b)
+        got |= static_cast<unsigned>((out[b] >> c) & 1ull) << b;
+      ASSERT_EQ(got, expect) << "n=" << n << " case=" << c;
+    }
+  }
+}
+
+TEST_P(ThresholdFaninTest, ComparatorMatchesReference) {
+  const unsigned fanin = GetParam();
+  constexpr unsigned kBits = 8;
+  Network net = synth::comparator_network(kBits, fanin);
+  Rng rng(11);
+  std::vector<std::uint64_t> a_vals(64);
+  std::vector<std::uint64_t> b_vals(64);
+  std::vector<std::uint64_t> words(2 * kBits, 0);
+  for (int c = 0; c < 64; ++c) {
+    a_vals[c] = rng.below(256);
+    // Force some equal pairs so the eq output is exercised.
+    b_vals[c] = (c % 5 == 0) ? a_vals[c] : rng.below(256);
+    for (unsigned bit = 0; bit < kBits; ++bit) {
+      words[bit] |= ((a_vals[c] >> bit) & 1ull) << c;
+      words[kBits + bit] |= ((b_vals[c] >> bit) & 1ull) << c;
+    }
+  }
+  const auto out = net.evaluate(words);
+  for (int c = 0; c < 64; ++c) {
+    EXPECT_EQ((out[0] >> c) & 1ull, a_vals[c] < b_vals[c] ? 1ull : 0ull);
+    EXPECT_EQ((out[1] >> c) & 1ull, a_vals[c] == b_vals[c] ? 1ull : 0ull);
+    EXPECT_EQ((out[2] >> c) & 1ull, a_vals[c] > b_vals[c] ? 1ull : 0ull);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MaxFanins, ThresholdFaninTest,
+                         ::testing::Values(3, 5, 7, 9));
+
+TEST(Threshold, SingleGateWhenFaninAllows) {
+  // T_2 of 4 inputs needs MAJ7: exactly one gate at fan-in >= 7.
+  Network net;
+  std::vector<int> inputs;
+  for (int i = 0; i < 4; ++i) inputs.push_back(net.add_input());
+  net.mark_output(synth::threshold(net, inputs, 2, 7));
+  const NetworkCost cost = net.cost();
+  EXPECT_EQ(cost.total_maj(), 1u);
+  EXPECT_EQ(cost.maj_by_fanin.at(7), 1u);
+}
+
+TEST(Threshold, FallsBackToPopcountForWideInputs) {
+  Network net;
+  std::vector<int> inputs;
+  for (int i = 0; i < 12; ++i) inputs.push_back(net.add_input());
+  net.mark_output(synth::threshold(net, inputs, 6, 3));
+  EXPECT_GT(net.cost().total_maj(), 1u);  // popcount + compare network.
+}
+
+TEST(Threshold, ConstantEdgeCases) {
+  Network net;
+  std::vector<int> inputs{net.add_input(), net.add_input()};
+  EXPECT_EQ(synth::threshold(net, inputs, 0, 3), net.const_one());
+  EXPECT_EQ(synth::threshold(net, inputs, 3, 3), net.const_zero());
+}
+
+TEST_P(ThresholdFaninTest, MultiAddMatchesReferenceSum) {
+  const unsigned fanin = GetParam();
+  constexpr unsigned kBits = 6;
+  for (unsigned operands : {2u, 3u, 5u, 8u}) {
+    Network net = synth::multi_add_network(operands, kBits, fanin);
+    Rng rng(17 + operands);
+    // 64 packed cases; operand o's word i holds bit i of all cases.
+    std::vector<std::vector<std::uint64_t>> vals(
+        operands, std::vector<std::uint64_t>(64));
+    std::vector<std::uint64_t> words;
+    for (unsigned o = 0; o < operands; ++o) {
+      std::vector<std::uint64_t> packed(kBits, 0);
+      for (int c = 0; c < 64; ++c) {
+        vals[o][static_cast<std::size_t>(c)] = rng.below(64);
+        for (unsigned b = 0; b < kBits; ++b)
+          packed[b] |=
+              ((vals[o][static_cast<std::size_t>(c)] >> b) & 1ull) << c;
+      }
+      words.insert(words.end(), packed.begin(), packed.end());
+    }
+    const auto out = net.evaluate(words);
+    ASSERT_EQ(out.size(), kBits);
+    for (int c = 0; c < 64; ++c) {
+      std::uint64_t expect = 0;
+      for (unsigned o = 0; o < operands; ++o)
+        expect += vals[o][static_cast<std::size_t>(c)];
+      expect &= (1ull << kBits) - 1;
+      std::uint64_t got = 0;
+      for (unsigned b = 0; b < kBits; ++b)
+        got |= ((out[b] >> c) & 1ull) << b;
+      ASSERT_EQ(got, expect) << "operands=" << operands << " case=" << c;
+    }
+  }
+}
+
+TEST(MultiAdd, RejectsDegenerateShapes) {
+  EXPECT_THROW((void)synth::multi_add_network(1, 8, 3),
+               std::invalid_argument);
+  EXPECT_THROW((void)synth::multi_add_network(4, 0, 3),
+               std::invalid_argument);
+}
+
+TEST(GeqConst, EdgeValues) {
+  Network net;
+  std::vector<int> word{net.add_input(), net.add_input(), net.add_input()};
+  EXPECT_EQ(synth::geq_const(net, word, 0, 3), net.const_one());
+  EXPECT_EQ(synth::geq_const(net, word, 9, 3), net.const_zero());  // > 2^3-1.
+}
+
+}  // namespace
+}  // namespace simra::majsynth

@@ -1,0 +1,138 @@
+// Cross-module property sweeps: randomized invariants that tie the
+// layers together (gtest TEST_P over seeds).
+#include <gtest/gtest.h>
+
+#include "bender/assembler.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "dram/chip.hpp"
+#include "pud/engine.hpp"
+#include "pud/success.hpp"
+
+namespace simra {
+namespace {
+
+class PropertySeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PropertySeedTest, BitVecBooleanAlgebraLaws) {
+  Rng rng(GetParam());
+  BitVec a(777), b(777), c(777);
+  a.randomize(rng);
+  b.randomize(rng);
+  c.randomize(rng);
+  // De Morgan.
+  EXPECT_EQ(~(a & b), (~a | ~b));
+  EXPECT_EQ(~(a | b), (~a & ~b));
+  // XOR involution and identity.
+  EXPECT_EQ((a ^ b) ^ b, a);
+  EXPECT_EQ(a ^ a, BitVec(777, false));
+  // Distribution.
+  EXPECT_EQ(a & (b | c), (a & b) | (a & c));
+  // Popcount additivity: |a| + |b| = |a^b| + 2|a&b|.
+  EXPECT_EQ(a.popcount() + b.popcount(),
+            (a ^ b).popcount() + 2 * (a & b).popcount());
+  // Hamming distance is a metric (triangle inequality).
+  EXPECT_LE(a.hamming_distance(c),
+            a.hamming_distance(b) + b.hamming_distance(c));
+}
+
+TEST_P(PropertySeedTest, QuantilesAreMonotoneAndBounded) {
+  Rng rng(GetParam());
+  std::vector<double> sample(101);
+  for (auto& v : sample) v = rng.normal(5.0, 2.0);
+  std::sort(sample.begin(), sample.end());
+  double prev = sample.front();
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double value = sorted_quantile(sample, q);
+    EXPECT_GE(value, prev - 1e-12);
+    EXPECT_GE(value, sample.front());
+    EXPECT_LE(value, sample.back());
+    prev = value;
+  }
+  const BoxStats box = box_stats(sample);
+  EXPECT_LE(box.min, box.q1);
+  EXPECT_LE(box.q1, box.median);
+  EXPECT_LE(box.median, box.q3);
+  EXPECT_LE(box.q3, box.max);
+}
+
+TEST_P(PropertySeedTest, AssemblerRoundTripsRandomPrograms) {
+  Rng rng(GetParam());
+  bender::Program p;
+  bool open = false;
+  for (int i = 0; i < 30; ++i) {
+    switch (rng.below(5)) {
+      case 0:
+        p.act(static_cast<dram::BankId>(rng.below(16)),
+              static_cast<dram::RowAddr>(rng.below(65536)));
+        open = true;
+        break;
+      case 1:
+        p.pre(static_cast<dram::BankId>(rng.below(16)));
+        break;
+      case 2: {
+        BitVec data(64 * (1 + rng.below(4)));
+        data.randomize(rng);
+        p.wr(static_cast<dram::BankId>(rng.below(16)),
+             static_cast<dram::ColAddr>(rng.below(64)) * 64, std::move(data));
+        break;
+      }
+      case 3:
+        p.rd(static_cast<dram::BankId>(rng.below(16)),
+             static_cast<dram::ColAddr>(rng.below(64)) * 64,
+             64 * (1 + rng.below(4)));
+        break;
+      case 4:
+        p.delay(Nanoseconds{1.5 * static_cast<double>(1 + rng.below(24))});
+        break;
+    }
+  }
+  (void)open;
+  const bender::Program parsed =
+      bender::Assembler::assemble(bender::Assembler::disassemble(p));
+  ASSERT_EQ(parsed.commands().size(), p.commands().size());
+  for (std::size_t i = 0; i < p.commands().size(); ++i) {
+    EXPECT_EQ(parsed.commands()[i].slot, p.commands()[i].slot);
+    EXPECT_EQ(parsed.commands()[i].kind, p.commands()[i].kind);
+    EXPECT_EQ(parsed.commands()[i].data, p.commands()[i].data);
+  }
+}
+
+TEST_P(PropertySeedTest, SuccessRatesAreValidFractions) {
+  dram::Chip chip(GetParam() % 2 ? dram::VendorProfile::hynix_a()
+                                 : dram::VendorProfile::micron_b(),
+                  GetParam());
+  pud::Engine engine(&chip);
+  Rng rng(hash_combine(GetParam(), 77));
+  pud::MeasureConfig cfg;
+  cfg.trials = 2;
+  cfg.timings = pud::ApaTimings::best_for_majx();
+  for (std::size_t n : {4u, 32u}) {
+    const pud::RowGroup group = pud::sample_group(engine.layout(), n, rng);
+    const double s = pud::measure_majx(engine, 0, 1, group, 3, cfg, rng);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST_P(PropertySeedTest, RowGroupsPartitionConsistently) {
+  // Groups generated from any member pair reproduce the same row set.
+  dram::Chip chip(dram::VendorProfile::hynix_m(), 1);
+  Rng rng(GetParam());
+  const auto& layout = chip.layout();
+  const pud::RowGroup g = pud::sample_group(layout, 16, rng);
+  for (int i = 0; i < 5; ++i) {
+    const dram::RowAddr a = g.rows[rng.below(g.rows.size())];
+    const dram::RowAddr b = g.rows[rng.below(g.rows.size())];
+    const auto sub = layout.activation_group(a, b);
+    // Any pair's group is a subset of the full group's rows.
+    for (dram::RowAddr r : sub)
+      EXPECT_TRUE(std::binary_search(g.rows.begin(), g.rows.end(), r));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySeedTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace simra

@@ -1,0 +1,65 @@
+#include "pud/address_mapper.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace simra::pud {
+namespace {
+
+TEST(AddressMapper, DiscoversGroupOnUnscrambledChip) {
+  dram::Chip chip(dram::VendorProfile::hynix_m(), 5);
+  Engine engine(&chip);
+  Rng rng(6);
+  AddressMapper mapper(&engine, &rng);
+  // Identity mapping: the activated logical rows equal the decoder group.
+  const auto group = mapper.discover_group(0, 1, 0, 7);
+  EXPECT_EQ(group, (std::vector<dram::RowAddr>{0, 1, 6, 7}));
+}
+
+TEST(AddressMapper, ScrambledChipActivatesScatteredLogicalRows) {
+  dram::Chip chip(dram::VendorProfile::hynix_m_scrambled(), 5);
+  Engine engine(&chip);
+  Rng rng(6);
+  AddressMapper mapper(&engine, &rng);
+  const auto group = mapper.discover_group(0, 1, 0, 7);
+  // Still a power-of-two group containing both APA targets...
+  EXPECT_EQ(group.size(), 4u);
+  EXPECT_TRUE(std::binary_search(group.begin(), group.end(), 0u));
+  EXPECT_TRUE(std::binary_search(group.begin(), group.end(), 7u));
+  // ...but no longer the identity-layout rows.
+  EXPECT_NE(group, (std::vector<dram::RowAddr>{0, 1, 6, 7}));
+}
+
+TEST(AddressMapper, RecoversFieldStructureThroughScrambling) {
+  // The discovery flow must find five pre-decoders with fan-outs
+  // {2, 4, 4, 4, 4} purely via the command interface, despite the
+  // xor-fold logical-to-internal mapping.
+  dram::Chip chip(dram::VendorProfile::hynix_m_scrambled(), 9);
+  Engine engine(&chip);
+  Rng rng(10);
+  AddressMapper mapper(&engine, &rng);
+
+  const auto structure = mapper.discover_field_structure(0, 1);
+  ASSERT_EQ(structure.classes.size(), 5u);
+  auto fanouts = structure.fanouts();
+  std::sort(fanouts.begin(), fanouts.end());
+  EXPECT_EQ(fanouts, (std::vector<unsigned>{2, 4, 4, 4, 4}));
+  EXPECT_EQ(structure.decoded_rows(), 512u);
+}
+
+TEST(AddressMapper, RecoversMicronStructure) {
+  dram::Chip chip(dram::VendorProfile::micron_e(), 11);
+  Engine engine(&chip);
+  Rng rng(12);
+  AddressMapper mapper(&engine, &rng);
+  const auto structure = mapper.discover_field_structure(0, 2);
+  ASSERT_EQ(structure.classes.size(), 5u);
+  for (unsigned f : structure.fanouts()) EXPECT_EQ(f, 4u);
+  EXPECT_EQ(structure.decoded_rows(), 1024u);
+}
+
+}  // namespace
+}  // namespace simra::pud

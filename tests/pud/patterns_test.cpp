@@ -1,0 +1,102 @@
+#include "pud/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace simra::pud {
+namespace {
+
+TEST(Patterns, FixedPatternRowsUseOneOfTheTwoBytes) {
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const BitVec row = make_pattern_row(dram::DataPattern::kAA55, 64, rng);
+    // Either 0xAA everywhere (32 ones) or 0x55 everywhere (32 ones) —
+    // both have exactly half the bits set and byte periodicity 8.
+    EXPECT_EQ(row.popcount(), 32u);
+    for (std::size_t c = 0; c + 8 < 64; ++c)
+      ASSERT_EQ(row.get(c), row.get(c + 8));
+  }
+}
+
+TEST(Patterns, AllZerosAllOnes) {
+  Rng rng(2);
+  EXPECT_EQ(make_pattern_row(dram::DataPattern::kAllZeros, 128, rng).popcount(),
+            0u);
+  EXPECT_EQ(make_pattern_row(dram::DataPattern::kAllOnes, 128, rng).popcount(),
+            128u);
+}
+
+TEST(Patterns, RandomRowsDiffer) {
+  Rng rng(3);
+  const BitVec a = make_pattern_row(dram::DataPattern::kRandom, 512, rng);
+  const BitVec b = make_pattern_row(dram::DataPattern::kRandom, 512, rng);
+  EXPECT_GT(a.hamming_distance(b), 150u);
+}
+
+TEST(Patterns, MakeRowsCount) {
+  Rng rng(4);
+  const auto rows = make_pattern_rows(dram::DataPattern::kRandom, 64, 5, rng);
+  EXPECT_EQ(rows.size(), 5u);
+}
+
+class BareMajorityTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BareMajorityTest, EveryBitHasMarginExactlyOne) {
+  const unsigned x = GetParam();
+  Rng rng(5);
+  const auto ops =
+      make_bare_majority_operands(dram::DataPattern::kRandom, x, 256, rng);
+  ASSERT_EQ(ops.size(), x);
+  for (std::size_t c = 0; c < 256; ++c) {
+    int sum = 0;
+    for (const BitVec& op : ops) sum += op.get(c) ? 1 : -1;
+    ASSERT_EQ(std::abs(sum), 1) << "bit " << c;
+  }
+}
+
+TEST_P(BareMajorityTest, FirstOperandIsAlwaysMinority) {
+  // Operand 0 lands on the first-activated row; it must carry the
+  // minority value so the charge-share asymmetry worst case is probed.
+  const unsigned x = GetParam();
+  Rng rng(6);
+  const auto ops =
+      make_bare_majority_operands(dram::DataPattern::kRandom, x, 256, rng);
+  std::vector<const BitVec*> refs;
+  for (const BitVec& op : ops) refs.push_back(&op);
+  const BitVec maj = BitVec::majority(refs);
+  EXPECT_EQ(ops.front().hamming_distance(maj), 256u);
+}
+
+TEST_P(BareMajorityTest, InvertFlipsEveryOperand) {
+  const unsigned x = GetParam();
+  Rng rng_a(7);
+  Rng rng_b(7);
+  const auto normal = make_bare_majority_operands(dram::DataPattern::k00FF, x,
+                                                  128, rng_a, false);
+  const auto inverted = make_bare_majority_operands(dram::DataPattern::k00FF,
+                                                    x, 128, rng_b, true);
+  for (unsigned i = 0; i < x; ++i)
+    EXPECT_EQ(normal[i], ~inverted[i]) << "operand " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(OperandCounts, BareMajorityTest,
+                         ::testing::Values(3, 5, 7, 9));
+
+TEST(BareMajority, RejectsEvenCounts) {
+  Rng rng(8);
+  EXPECT_THROW(
+      (void)make_bare_majority_operands(dram::DataPattern::kRandom, 4, 64, rng),
+      std::invalid_argument);
+}
+
+TEST(Patterns, ComplementRow) {
+  Rng rng(9);
+  BitVec v(100);
+  v.randomize(rng);
+  const BitVec c = complement_row(v);
+  EXPECT_EQ(v.hamming_distance(c), 100u);
+}
+
+}  // namespace
+}  // namespace simra::pud

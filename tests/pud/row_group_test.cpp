@@ -1,0 +1,68 @@
+#include "pud/row_group.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace simra::pud {
+namespace {
+
+TEST(RowGroup, MakeGroupWrapsLayout) {
+  const auto layout = dram::PredecoderLayout::for_subarray_rows(512);
+  const RowGroup g = make_group(layout, 0, 7);
+  EXPECT_EQ(g.row_first, 0u);
+  EXPECT_EQ(g.row_second, 7u);
+  EXPECT_EQ(g.rows, (std::vector<dram::RowAddr>{0, 1, 6, 7}));
+  EXPECT_EQ(g.size(), 4u);
+}
+
+TEST(RowGroup, SupportedSizesArePowersOfTwo) {
+  const auto layout = dram::PredecoderLayout::for_subarray_rows(512);
+  EXPECT_EQ(supported_group_sizes(layout),
+            (std::vector<std::size_t>{2, 4, 8, 16, 32}));
+}
+
+class SampleGroupTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(SampleGroupTest, SampledGroupsHaveExactSizeAndContainTargets) {
+  const auto [subarray_rows, group_size] = GetParam();
+  const auto layout = dram::PredecoderLayout::for_subarray_rows(subarray_rows);
+  Rng rng(1234);
+  for (int i = 0; i < 200; ++i) {
+    const RowGroup g = sample_group(layout, group_size, rng);
+    ASSERT_EQ(g.size(), group_size);
+    ASSERT_NE(g.row_first, g.row_second);
+    ASSERT_TRUE(std::binary_search(g.rows.begin(), g.rows.end(), g.row_first));
+    ASSERT_TRUE(
+        std::binary_search(g.rows.begin(), g.rows.end(), g.row_second));
+    for (dram::RowAddr r : g.rows) ASSERT_LT(r, layout.rows());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndLayouts, SampleGroupTest,
+    ::testing::Combine(::testing::Values(512, 640, 1024),
+                       ::testing::Values(2, 4, 8, 16, 32)));
+
+TEST(SampleGroup, CoversDifferentFirstRows) {
+  const auto layout = dram::PredecoderLayout::for_subarray_rows(512);
+  Rng rng(5);
+  std::set<dram::RowAddr> firsts;
+  for (int i = 0; i < 100; ++i)
+    firsts.insert(sample_group(layout, 4, rng).row_first);
+  EXPECT_GT(firsts.size(), 50u);  // random sampling, not a fixed pattern.
+}
+
+TEST(SampleGroup, RejectsBadSizes) {
+  const auto layout = dram::PredecoderLayout::for_subarray_rows(512);
+  Rng rng(5);
+  EXPECT_THROW((void)sample_group(layout, 3, rng), std::invalid_argument);
+  EXPECT_THROW((void)sample_group(layout, 0, rng), std::invalid_argument);
+  EXPECT_THROW((void)sample_group(layout, 64, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace simra::pud

@@ -1,0 +1,50 @@
+#include "pud/subarray_mapper.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace simra::pud {
+namespace {
+
+class MapperTest : public ::testing::Test {
+ protected:
+  dram::Chip chip_{dram::VendorProfile::hynix_m(), 31};
+  Engine engine_{&chip_};
+  Rng rng_{33};
+  SubarrayMapper mapper_{&engine_, &rng_};
+};
+
+TEST_F(MapperTest, SameSubarrayDetected) {
+  EXPECT_TRUE(mapper_.same_subarray(0, 3, 200));
+  EXPECT_TRUE(mapper_.same_subarray(0, 511, 0));
+  EXPECT_TRUE(mapper_.same_subarray(0, 7, 7));
+}
+
+TEST_F(MapperTest, CrossSubarrayDetected) {
+  EXPECT_FALSE(mapper_.same_subarray(0, 3, 512 + 3));
+  EXPECT_FALSE(mapper_.same_subarray(0, 511, 512));
+}
+
+TEST_F(MapperTest, InfersSubarraySizeViaRowClone) {
+  // The mapper uses only the command interface; it must rediscover the
+  // geometry the model was built with (§3.1 methodology).
+  EXPECT_EQ(mapper_.infer_subarray_size(0), 512u);
+}
+
+TEST_F(MapperTest, InfersMicronSubarraySize) {
+  dram::Chip micron(dram::VendorProfile::micron_e(), 5);
+  Engine engine(&micron);
+  Rng rng(6);
+  SubarrayMapper mapper(&engine, &rng);
+  EXPECT_EQ(mapper.infer_subarray_size(0, 8192), 1024u);
+}
+
+TEST_F(MapperTest, FindsUniformBoundaries) {
+  const auto boundaries = mapper_.find_boundaries(0, 2048);
+  EXPECT_EQ(boundaries,
+            (std::vector<dram::RowAddr>{0, 512, 1024, 1536}));
+}
+
+}  // namespace
+}  // namespace simra::pud

@@ -1,0 +1,139 @@
+#include "pud/success.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace simra::pud {
+namespace {
+
+class SuccessTest : public ::testing::Test {
+ protected:
+  dram::Chip chip_{dram::VendorProfile::hynix_m(), 21};
+  Engine engine_{&chip_};
+  Rng rng_{23};
+
+  RowGroup group(std::size_t size) {
+    return sample_group(engine_.layout(), size, rng_);
+  }
+};
+
+TEST_F(SuccessTest, SmraNearPerfectAtBestTiming) {
+  MeasureConfig cfg;
+  cfg.timings = ApaTimings::best_for_smra();
+  const double s = measure_smra(engine_, 0, 1, group(8), cfg, rng_);
+  EXPECT_GT(s, 0.999);
+  EXPECT_LE(s, 1.0);
+}
+
+TEST_F(SuccessTest, SmraConsecutiveRegimeOnlyWritesOneRow) {
+  // t2 = 6 ns: consecutive activation, not simultaneous — only the second
+  // row receives the WR data, so success collapses to ~1/N.
+  MeasureConfig cfg;
+  cfg.timings = {Nanoseconds{3.0}, Nanoseconds{6.0}};
+  const double s = measure_smra(engine_, 0, 1, group(8), cfg, rng_);
+  EXPECT_LT(s, 0.2);
+}
+
+TEST_F(SuccessTest, SmraDegradesAtWeakT2) {
+  MeasureConfig best;
+  best.timings = ApaTimings::best_for_smra();
+  MeasureConfig weak;
+  weak.timings = {Nanoseconds{1.5}, Nanoseconds{1.5}};
+  const RowGroup g = group(8);
+  const double s_best = measure_smra(engine_, 0, 1, g, best, rng_);
+  const double s_weak = measure_smra(engine_, 0, 1, g, weak, rng_);
+  EXPECT_LT(s_weak, s_best - 0.05);
+}
+
+TEST_F(SuccessTest, MajxHighAtFullReplication) {
+  MeasureConfig cfg;
+  cfg.timings = ApaTimings::best_for_majx();
+  const double s = measure_majx(engine_, 0, 1, group(32), 3, cfg, rng_);
+  EXPECT_GT(s, 0.85);
+}
+
+TEST_F(SuccessTest, MajxReplicationImprovesSuccess) {
+  // Obs. 6/10: more replication -> higher success. Compare 4-row vs
+  // 32-row MAJ3 averaged over a few groups.
+  MeasureConfig cfg;
+  cfg.timings = ApaTimings::best_for_majx();
+  double s4 = 0.0;
+  double s32 = 0.0;
+  constexpr int kGroups = 5;
+  for (int i = 0; i < kGroups; ++i) {
+    s4 += measure_majx(engine_, 0, 1, group(4), 3, cfg, rng_);
+    s32 += measure_majx(engine_, 0, 1, group(32), 3, cfg, rng_);
+  }
+  EXPECT_GT(s32 / kGroups, s4 / kGroups + 0.1);
+}
+
+TEST_F(SuccessTest, MajxHigherXHasLowerSuccess) {
+  MeasureConfig cfg;
+  cfg.timings = ApaTimings::best_for_majx();
+  double s3 = 0.0;
+  double s9 = 0.0;
+  constexpr int kGroups = 5;
+  for (int i = 0; i < kGroups; ++i) {
+    s3 += measure_majx(engine_, 0, 1, group(32), 3, cfg, rng_);
+    s9 += measure_majx(engine_, 0, 1, group(32), 9, cfg, rng_);
+  }
+  EXPECT_GT(s3, s9 + 0.5 * kGroups);
+}
+
+TEST_F(SuccessTest, MajxFixedPatternBeatsRandom) {
+  MeasureConfig random_cfg;
+  random_cfg.timings = ApaTimings::best_for_majx();
+  random_cfg.pattern = dram::DataPattern::kRandom;
+  MeasureConfig fixed_cfg = random_cfg;
+  fixed_cfg.pattern = dram::DataPattern::k00FF;
+  double s_random = 0.0;
+  double s_fixed = 0.0;
+  constexpr int kGroups = 5;
+  for (int i = 0; i < kGroups; ++i) {
+    const RowGroup g = group(32);
+    s_random += measure_majx(engine_, 0, 1, g, 7, random_cfg, rng_);
+    s_fixed += measure_majx(engine_, 0, 1, g, 7, fixed_cfg, rng_);
+  }
+  EXPECT_GT(s_fixed, s_random + 0.1 * kGroups);
+}
+
+TEST_F(SuccessTest, MrcNearPerfectAtBestTiming) {
+  MeasureConfig cfg;
+  cfg.timings = ApaTimings::best_for_multi_row_copy();
+  const double s = measure_mrc(engine_, 0, 1, group(32), cfg, rng_);
+  EXPECT_GT(s, 0.999);
+}
+
+TEST_F(SuccessTest, MrcCollapsesToChanceAtLowT1) {
+  MeasureConfig cfg;
+  cfg.timings = {Nanoseconds{1.5}, Nanoseconds{3.0}};
+  const double s = measure_mrc(engine_, 0, 1, group(32), cfg, rng_);
+  EXPECT_NEAR(s, 0.5, 0.05);  // random source vs unmoved destination data.
+}
+
+TEST_F(SuccessTest, RejectsDegenerateGroups) {
+  MeasureConfig cfg;
+  RowGroup g;
+  g.rows = {0};
+  EXPECT_THROW((void)measure_mrc(engine_, 0, 1, g, cfg, rng_),
+               std::invalid_argument);
+  EXPECT_THROW((void)measure_majx(engine_, 0, 1, g, 3, cfg, rng_),
+               std::invalid_argument);
+}
+
+TEST_F(SuccessTest, DeterministicUnderSameSeeds) {
+  MeasureConfig cfg;
+  cfg.timings = ApaTimings::best_for_majx();
+  auto run = [&]() {
+    dram::Chip chip(dram::VendorProfile::hynix_m(), 77);
+    Engine engine(&chip);
+    Rng rng(78);
+    const RowGroup g = sample_group(engine.layout(), 32, rng);
+    return measure_majx(engine, 0, 1, g, 5, cfg, rng);
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace simra::pud

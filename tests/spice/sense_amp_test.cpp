@@ -1,0 +1,79 @@
+#include "spice/sense_amp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/circuit.hpp"
+
+namespace simra::spice {
+namespace {
+
+constexpr double kWindow = 0.25e-9;  // sensing window before WR/RD.
+
+TEST(LatchSenseAmp, LargeDifferentialSettlesFast) {
+  LatchSenseAmp sa;
+  const auto r = sa.sense_transient(0.2, kWindow);
+  EXPECT_TRUE(r.settled);
+  EXPECT_TRUE(r.resolved_one);
+  EXPECT_LT(r.settle_time_s, kWindow);
+  EXPECT_DOUBLE_EQ(r.final_differential_v, sa.full_swing_v);
+}
+
+TEST(LatchSenseAmp, SignDeterminesDirection) {
+  LatchSenseAmp sa;
+  EXPECT_TRUE(sa.sense_transient(0.1, kWindow).resolved_one);
+  EXPECT_FALSE(sa.sense_transient(-0.1, kWindow).resolved_one);
+}
+
+TEST(LatchSenseAmp, TinyDifferentialIsMetastable) {
+  LatchSenseAmp sa;
+  const auto r = sa.sense_transient(1e-4, kWindow);
+  EXPECT_FALSE(r.settled);  // below the window's margin.
+  EXPECT_LT(std::abs(r.final_differential_v), sa.full_swing_v);
+}
+
+TEST(LatchSenseAmp, SettleTimeMatchesClosedForm) {
+  LatchSenseAmp sa;
+  const double dv0 = 0.08;
+  const auto r = sa.sense_transient(dv0, 2e-9, 0.5e-12);
+  ASSERT_TRUE(r.settled);
+  const double expected =
+      sa.regeneration_tau_s() * std::log(sa.full_swing_v / dv0);
+  EXPECT_NEAR(r.settle_time_s, expected, expected * 0.05);
+}
+
+TEST(LatchSenseAmp, OffsetShiftsTheDecision) {
+  LatchSenseAmp sa;
+  sa.offset_v = 0.05;
+  // A +30 mV majority signal loses to a +50 mV offset.
+  EXPECT_FALSE(sa.sense_transient(0.03, kWindow).resolved_one);
+  EXPECT_TRUE(sa.sense_transient(0.08, kWindow).resolved_one);
+}
+
+TEST(LatchSenseAmp, RequiredMarginIsTheDecisionBoundary) {
+  LatchSenseAmp sa;
+  const double margin = sa.required_margin_v(kWindow);
+  EXPECT_GT(margin, 0.0);
+  EXPECT_LT(margin, sa.full_swing_v);
+  EXPECT_TRUE(sa.sense_transient(margin * 1.15, kWindow).settled);
+  EXPECT_FALSE(sa.sense_transient(margin * 0.85, kWindow).settled);
+}
+
+TEST(LatchSenseAmp, ClosedFormMatchesStaticSenseAmpMargin) {
+  // The static SenseAmp margin (55 mV) used by the Fig 15 Monte-Carlo is
+  // the closed form of this transient at the nominal sensing window.
+  LatchSenseAmp latch;
+  SenseAmp static_model;
+  EXPECT_NEAR(latch.required_margin_v(kWindow), static_model.margin_v, 0.01);
+}
+
+TEST(LatchSenseAmp, RejectsBadStep) {
+  LatchSenseAmp sa;
+  EXPECT_THROW((void)sa.sense_transient(0.1, kWindow, 1e-9),
+               std::invalid_argument);
+  EXPECT_THROW((void)sa.sense_transient(0.1, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace simra::spice

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "spice/circuit.hpp"
+#include "spice/montecarlo.hpp"
+
+namespace simra::spice {
+namespace {
+
+TEST(Circuit, EquilibriumMatchesChargeConservation) {
+  BitlineCircuit c;
+  c.cells = make_maj3_cells(4, c.vdd);
+  // Hand computation: Q = Cb*0.6 + Cs*(1.2 + 1.2 + 0 + 0.6).
+  const double cs = c.cells[0].capacitance_f;
+  const double expected =
+      (c.bitline_capacitance_f * 0.6 + cs * (1.2 + 1.2 + 0.0 + 0.6)) /
+      (c.bitline_capacitance_f + 4 * cs);
+  EXPECT_NEAR(c.equilibrium_bitline_voltage(), expected, 1e-12);
+}
+
+TEST(Circuit, TransientConvergesToEquilibrium) {
+  BitlineCircuit c;
+  c.cells = make_maj3_cells(8, c.vdd);
+  const TransientResult r = simulate_charge_share(c, 20e-9);
+  EXPECT_NEAR(r.bitline_voltage, c.equilibrium_bitline_voltage(), 1e-4);
+  // Cell voltages converge to the same node voltage.
+  for (double v : r.cell_voltages)
+    EXPECT_NEAR(v, r.bitline_voltage, 1e-3);
+}
+
+TEST(Circuit, ShortWindowSharesOnlyPartially) {
+  BitlineCircuit c;
+  c.cells = make_maj3_cells(4, c.vdd);
+  const double eq_dev = c.equilibrium_bitline_voltage() - 0.6;
+  const TransientResult partial = simulate_charge_share(c, 0.2e-9);
+  EXPECT_GT(partial.deviation(c.vdd), 0.0);
+  EXPECT_LT(partial.deviation(c.vdd), eq_dev);
+}
+
+TEST(Circuit, MajorityOneDeviatesPositive) {
+  BitlineCircuit c;
+  c.cells = make_maj3_cells(32, c.vdd);  // MAJ3(1,1,0): majority one.
+  const TransientResult r = simulate_charge_share(c, 4.5e-9);
+  EXPECT_GT(r.deviation(c.vdd), 0.05);
+}
+
+TEST(Circuit, GuardsAgainstUnstableTimestep) {
+  BitlineCircuit c;
+  c.cells = make_maj3_cells(4, c.vdd);
+  EXPECT_THROW((void)simulate_charge_share(c, 1e-9, 1e-9),
+               std::invalid_argument);
+  EXPECT_THROW((void)simulate_charge_share(c, -1.0), std::invalid_argument);
+}
+
+TEST(SenseAmp, MarginAndOffsetLogic) {
+  SenseAmp sa;
+  sa.margin_v = 0.055;
+  sa.offset_v = 0.0;
+  EXPECT_TRUE(sa.senses_correctly(0.06, true));
+  EXPECT_FALSE(sa.senses_correctly(0.05, true));
+  EXPECT_TRUE(sa.senses_correctly(-0.06, false));
+  EXPECT_FALSE(sa.senses_correctly(0.06, false));
+  sa.offset_v = 0.02;
+  EXPECT_FALSE(sa.senses_correctly(0.06, true));
+}
+
+TEST(MonteCarlo, Maj3CellComposition) {
+  const auto cells32 = make_maj3_cells(32, 1.2);
+  ASSERT_EQ(cells32.size(), 32u);
+  int charged = 0;
+  int discharged = 0;
+  int neutral = 0;
+  for (const Cell& c : cells32) {
+    if (c.initial_voltage == 1.2)
+      ++charged;
+    else if (c.initial_voltage == 0.0)
+      ++discharged;
+    else
+      ++neutral;
+  }
+  EXPECT_EQ(charged, 20);     // 10 replicas x 2 charged operands.
+  EXPECT_EQ(discharged, 10);  // 10 replicas x 1 discharged operand.
+  EXPECT_EQ(neutral, 2);      // 32 % 3.
+  EXPECT_EQ(make_maj3_cells(1, 1.2).size(), 1u);
+  EXPECT_THROW((void)make_maj3_cells(2, 1.2), std::invalid_argument);
+}
+
+TEST(MonteCarlo, DeviationGrowsWithReplication) {
+  double prev = 0.0;
+  for (unsigned n : {4u, 8u, 16u, 32u}) {
+    MonteCarloConfig cfg;
+    cfg.n_rows = n;
+    cfg.variation_fraction = 0.1;
+    cfg.iterations = 200;
+    const MonteCarloResult r = run_maj3_monte_carlo(cfg);
+    EXPECT_GT(r.deviation.mean, prev) << "n = " << n;
+    prev = r.deviation.mean;
+  }
+}
+
+TEST(MonteCarlo, ReplicationProtectsAgainstVariation) {
+  // Fig 15b: at 40 % variation, 4-row activation collapses while 32-row
+  // stays essentially perfect.
+  MonteCarloConfig cfg4;
+  cfg4.n_rows = 4;
+  cfg4.variation_fraction = 0.4;
+  cfg4.iterations = 500;
+  MonteCarloConfig cfg32 = cfg4;
+  cfg32.n_rows = 32;
+  const double s4 = run_maj3_monte_carlo(cfg4).success_rate;
+  const double s32 = run_maj3_monte_carlo(cfg32).success_rate;
+  EXPECT_LT(s4, 0.8);
+  EXPECT_GT(s32, 0.98);
+}
+
+TEST(MonteCarlo, NoVariationIsPerfect) {
+  MonteCarloConfig cfg;
+  cfg.n_rows = 4;
+  cfg.variation_fraction = 0.0;
+  cfg.iterations = 100;
+  EXPECT_DOUBLE_EQ(run_maj3_monte_carlo(cfg).success_rate, 1.0);
+}
+
+TEST(MonteCarlo, Deterministic) {
+  MonteCarloConfig cfg;
+  cfg.n_rows = 8;
+  cfg.variation_fraction = 0.3;
+  cfg.iterations = 100;
+  cfg.seed = 5;
+  const MonteCarloResult a = run_maj3_monte_carlo(cfg);
+  const MonteCarloResult b = run_maj3_monte_carlo(cfg);
+  EXPECT_DOUBLE_EQ(a.success_rate, b.success_rate);
+  EXPECT_DOUBLE_EQ(a.deviation.mean, b.deviation.mean);
+}
+
+TEST(MonteCarlo, RejectsBadConfig) {
+  MonteCarloConfig cfg;
+  cfg.variation_fraction = 1.5;
+  EXPECT_THROW((void)run_maj3_monte_carlo(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace simra::spice
