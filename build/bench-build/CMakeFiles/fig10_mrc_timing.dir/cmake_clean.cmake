@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_mrc_timing"
+  "../bench/fig10_mrc_timing.pdb"
+  "CMakeFiles/fig10_mrc_timing.dir/fig10_mrc_timing.cpp.o"
+  "CMakeFiles/fig10_mrc_timing.dir/fig10_mrc_timing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_mrc_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

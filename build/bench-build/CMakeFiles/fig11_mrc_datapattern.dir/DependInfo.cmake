@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11_mrc_datapattern.cpp" "bench-build/CMakeFiles/fig11_mrc_datapattern.dir/fig11_mrc_datapattern.cpp.o" "gcc" "bench-build/CMakeFiles/fig11_mrc_datapattern.dir/fig11_mrc_datapattern.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/charz/CMakeFiles/simra_charz.dir/DependInfo.cmake"
+  "/root/repo/build/src/pud/CMakeFiles/simra_pud.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/simra_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/simra_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/majsynth/CMakeFiles/simra_majsynth.dir/DependInfo.cmake"
+  "/root/repo/build/src/casestudy/CMakeFiles/simra_casestudy.dir/DependInfo.cmake"
+  "/root/repo/build/src/bender/CMakeFiles/simra_bender.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/simra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_mrc_datapattern"
+  "../bench/fig11_mrc_datapattern.pdb"
+  "CMakeFiles/fig11_mrc_datapattern.dir/fig11_mrc_datapattern.cpp.o"
+  "CMakeFiles/fig11_mrc_datapattern.dir/fig11_mrc_datapattern.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_mrc_datapattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

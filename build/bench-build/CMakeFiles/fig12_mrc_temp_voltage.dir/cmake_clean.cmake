@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_mrc_temp_voltage"
+  "../bench/fig12_mrc_temp_voltage.pdb"
+  "CMakeFiles/fig12_mrc_temp_voltage.dir/fig12_mrc_temp_voltage.cpp.o"
+  "CMakeFiles/fig12_mrc_temp_voltage.dir/fig12_mrc_temp_voltage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_mrc_temp_voltage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

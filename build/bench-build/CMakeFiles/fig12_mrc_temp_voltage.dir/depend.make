@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_mrc_temp_voltage.
+# This may be replaced when dependencies are built.

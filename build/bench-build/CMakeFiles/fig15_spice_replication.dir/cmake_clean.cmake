@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_spice_replication"
+  "../bench/fig15_spice_replication.pdb"
+  "CMakeFiles/fig15_spice_replication.dir/fig15_spice_replication.cpp.o"
+  "CMakeFiles/fig15_spice_replication.dir/fig15_spice_replication.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_spice_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

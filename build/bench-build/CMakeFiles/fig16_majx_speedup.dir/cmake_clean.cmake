@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_majx_speedup"
+  "../bench/fig16_majx_speedup.pdb"
+  "CMakeFiles/fig16_majx_speedup.dir/fig16_majx_speedup.cpp.o"
+  "CMakeFiles/fig16_majx_speedup.dir/fig16_majx_speedup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_majx_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

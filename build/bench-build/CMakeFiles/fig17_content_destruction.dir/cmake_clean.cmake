@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_content_destruction"
+  "../bench/fig17_content_destruction.pdb"
+  "CMakeFiles/fig17_content_destruction.dir/fig17_content_destruction.cpp.o"
+  "CMakeFiles/fig17_content_destruction.dir/fig17_content_destruction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_content_destruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

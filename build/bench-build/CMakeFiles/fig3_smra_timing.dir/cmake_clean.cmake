@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_smra_timing"
+  "../bench/fig3_smra_timing.pdb"
+  "CMakeFiles/fig3_smra_timing.dir/fig3_smra_timing.cpp.o"
+  "CMakeFiles/fig3_smra_timing.dir/fig3_smra_timing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_smra_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

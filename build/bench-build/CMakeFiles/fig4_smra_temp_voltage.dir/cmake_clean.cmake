@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_smra_temp_voltage"
+  "../bench/fig4_smra_temp_voltage.pdb"
+  "CMakeFiles/fig4_smra_temp_voltage.dir/fig4_smra_temp_voltage.cpp.o"
+  "CMakeFiles/fig4_smra_temp_voltage.dir/fig4_smra_temp_voltage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_smra_temp_voltage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

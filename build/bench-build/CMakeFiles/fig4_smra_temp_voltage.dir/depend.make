@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_smra_temp_voltage.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_power"
+  "../bench/fig5_power.pdb"
+  "CMakeFiles/fig5_power.dir/fig5_power.cpp.o"
+  "CMakeFiles/fig5_power.dir/fig5_power.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_maj3_timing"
+  "../bench/fig6_maj3_timing.pdb"
+  "CMakeFiles/fig6_maj3_timing.dir/fig6_maj3_timing.cpp.o"
+  "CMakeFiles/fig6_maj3_timing.dir/fig6_maj3_timing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_maj3_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

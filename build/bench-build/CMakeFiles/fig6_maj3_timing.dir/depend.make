@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_maj3_timing.
+# This may be replaced when dependencies are built.

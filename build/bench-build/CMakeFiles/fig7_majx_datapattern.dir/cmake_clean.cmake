@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_majx_datapattern"
+  "../bench/fig7_majx_datapattern.pdb"
+  "CMakeFiles/fig7_majx_datapattern.dir/fig7_majx_datapattern.cpp.o"
+  "CMakeFiles/fig7_majx_datapattern.dir/fig7_majx_datapattern.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_majx_datapattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_majx_datapattern.
+# This may be replaced when dependencies are built.

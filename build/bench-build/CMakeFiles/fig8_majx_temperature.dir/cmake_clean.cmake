@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_majx_temperature"
+  "../bench/fig8_majx_temperature.pdb"
+  "CMakeFiles/fig8_majx_temperature.dir/fig8_majx_temperature.cpp.o"
+  "CMakeFiles/fig8_majx_temperature.dir/fig8_majx_temperature.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_majx_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

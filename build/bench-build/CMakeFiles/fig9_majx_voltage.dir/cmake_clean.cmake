@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_majx_voltage"
+  "../bench/fig9_majx_voltage.pdb"
+  "CMakeFiles/fig9_majx_voltage.dir/fig9_majx_voltage.cpp.o"
+  "CMakeFiles/fig9_majx_voltage.dir/fig9_majx_voltage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_majx_voltage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/limitations"
+  "../bench/limitations.pdb"
+  "CMakeFiles/limitations.dir/limitations.cpp.o"
+  "CMakeFiles/limitations.dir/limitations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limitations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

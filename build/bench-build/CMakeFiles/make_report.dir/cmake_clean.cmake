@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/make_report"
+  "../bench/make_report.pdb"
+  "CMakeFiles/make_report.dir/make_report.cpp.o"
+  "CMakeFiles/make_report.dir/make_report.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/make_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ops_microbench"
+  "../bench/ops_microbench.pdb"
+  "CMakeFiles/ops_microbench.dir/ops_microbench.cpp.o"
+  "CMakeFiles/ops_microbench.dir/ops_microbench.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_modules"
+  "../bench/table1_modules.pdb"
+  "CMakeFiles/table1_modules.dir/table1_modules.cpp.o"
+  "CMakeFiles/table1_modules.dir/table1_modules.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

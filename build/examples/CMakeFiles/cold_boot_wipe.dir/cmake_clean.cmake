@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cold_boot_wipe.dir/cold_boot_wipe.cpp.o"
+  "CMakeFiles/cold_boot_wipe.dir/cold_boot_wipe.cpp.o.d"
+  "cold_boot_wipe"
+  "cold_boot_wipe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cold_boot_wipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

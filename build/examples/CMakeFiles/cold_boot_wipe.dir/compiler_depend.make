@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cold_boot_wipe.
+# This may be replaced when dependencies are built.

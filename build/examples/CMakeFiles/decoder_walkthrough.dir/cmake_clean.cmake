@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decoder_walkthrough.dir/decoder_walkthrough.cpp.o"
+  "CMakeFiles/decoder_walkthrough.dir/decoder_walkthrough.cpp.o.d"
+  "decoder_walkthrough"
+  "decoder_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decoder_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

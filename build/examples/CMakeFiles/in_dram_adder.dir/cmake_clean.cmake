@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/in_dram_adder.dir/in_dram_adder.cpp.o"
+  "CMakeFiles/in_dram_adder.dir/in_dram_adder.cpp.o.d"
+  "in_dram_adder"
+  "in_dram_adder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/in_dram_adder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for in_dram_adder.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simd_vector_demo.dir/simd_vector_demo.cpp.o"
+  "CMakeFiles/simd_vector_demo.dir/simd_vector_demo.cpp.o.d"
+  "simd_vector_demo"
+  "simd_vector_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simd_vector_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trng_demo.dir/trng_demo.cpp.o"
+  "CMakeFiles/trng_demo.dir/trng_demo.cpp.o.d"
+  "trng_demo"
+  "trng_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trng_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

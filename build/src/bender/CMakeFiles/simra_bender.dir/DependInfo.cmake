@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bender/assembler.cpp" "src/bender/CMakeFiles/simra_bender.dir/assembler.cpp.o" "gcc" "src/bender/CMakeFiles/simra_bender.dir/assembler.cpp.o.d"
+  "/root/repo/src/bender/command_encoding.cpp" "src/bender/CMakeFiles/simra_bender.dir/command_encoding.cpp.o" "gcc" "src/bender/CMakeFiles/simra_bender.dir/command_encoding.cpp.o.d"
+  "/root/repo/src/bender/executor.cpp" "src/bender/CMakeFiles/simra_bender.dir/executor.cpp.o" "gcc" "src/bender/CMakeFiles/simra_bender.dir/executor.cpp.o.d"
+  "/root/repo/src/bender/host.cpp" "src/bender/CMakeFiles/simra_bender.dir/host.cpp.o" "gcc" "src/bender/CMakeFiles/simra_bender.dir/host.cpp.o.d"
+  "/root/repo/src/bender/program.cpp" "src/bender/CMakeFiles/simra_bender.dir/program.cpp.o" "gcc" "src/bender/CMakeFiles/simra_bender.dir/program.cpp.o.d"
+  "/root/repo/src/bender/testbed.cpp" "src/bender/CMakeFiles/simra_bender.dir/testbed.cpp.o" "gcc" "src/bender/CMakeFiles/simra_bender.dir/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dram/CMakeFiles/simra_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/simra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simra_bender.dir/assembler.cpp.o"
+  "CMakeFiles/simra_bender.dir/assembler.cpp.o.d"
+  "CMakeFiles/simra_bender.dir/command_encoding.cpp.o"
+  "CMakeFiles/simra_bender.dir/command_encoding.cpp.o.d"
+  "CMakeFiles/simra_bender.dir/executor.cpp.o"
+  "CMakeFiles/simra_bender.dir/executor.cpp.o.d"
+  "CMakeFiles/simra_bender.dir/host.cpp.o"
+  "CMakeFiles/simra_bender.dir/host.cpp.o.d"
+  "CMakeFiles/simra_bender.dir/program.cpp.o"
+  "CMakeFiles/simra_bender.dir/program.cpp.o.d"
+  "CMakeFiles/simra_bender.dir/testbed.cpp.o"
+  "CMakeFiles/simra_bender.dir/testbed.cpp.o.d"
+  "libsimra_bender.a"
+  "libsimra_bender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simra_bender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/casestudy/content_destruction.cpp" "src/casestudy/CMakeFiles/simra_casestudy.dir/content_destruction.cpp.o" "gcc" "src/casestudy/CMakeFiles/simra_casestudy.dir/content_destruction.cpp.o.d"
+  "/root/repo/src/casestudy/data_movement.cpp" "src/casestudy/CMakeFiles/simra_casestudy.dir/data_movement.cpp.o" "gcc" "src/casestudy/CMakeFiles/simra_casestudy.dir/data_movement.cpp.o.d"
+  "/root/repo/src/casestudy/tmr.cpp" "src/casestudy/CMakeFiles/simra_casestudy.dir/tmr.cpp.o" "gcc" "src/casestudy/CMakeFiles/simra_casestudy.dir/tmr.cpp.o.d"
+  "/root/repo/src/casestudy/trng.cpp" "src/casestudy/CMakeFiles/simra_casestudy.dir/trng.cpp.o" "gcc" "src/casestudy/CMakeFiles/simra_casestudy.dir/trng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pud/CMakeFiles/simra_pud.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/simra_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/bender/CMakeFiles/simra_bender.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/simra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simra_casestudy.dir/content_destruction.cpp.o"
+  "CMakeFiles/simra_casestudy.dir/content_destruction.cpp.o.d"
+  "CMakeFiles/simra_casestudy.dir/data_movement.cpp.o"
+  "CMakeFiles/simra_casestudy.dir/data_movement.cpp.o.d"
+  "CMakeFiles/simra_casestudy.dir/tmr.cpp.o"
+  "CMakeFiles/simra_casestudy.dir/tmr.cpp.o.d"
+  "CMakeFiles/simra_casestudy.dir/trng.cpp.o"
+  "CMakeFiles/simra_casestudy.dir/trng.cpp.o.d"
+  "libsimra_casestudy.a"
+  "libsimra_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simra_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

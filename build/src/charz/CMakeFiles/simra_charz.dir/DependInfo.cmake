@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/charz/figure.cpp" "src/charz/CMakeFiles/simra_charz.dir/figure.cpp.o" "gcc" "src/charz/CMakeFiles/simra_charz.dir/figure.cpp.o.d"
+  "/root/repo/src/charz/figures_majx.cpp" "src/charz/CMakeFiles/simra_charz.dir/figures_majx.cpp.o" "gcc" "src/charz/CMakeFiles/simra_charz.dir/figures_majx.cpp.o.d"
+  "/root/repo/src/charz/figures_mrc.cpp" "src/charz/CMakeFiles/simra_charz.dir/figures_mrc.cpp.o" "gcc" "src/charz/CMakeFiles/simra_charz.dir/figures_mrc.cpp.o.d"
+  "/root/repo/src/charz/figures_smra.cpp" "src/charz/CMakeFiles/simra_charz.dir/figures_smra.cpp.o" "gcc" "src/charz/CMakeFiles/simra_charz.dir/figures_smra.cpp.o.d"
+  "/root/repo/src/charz/limitations.cpp" "src/charz/CMakeFiles/simra_charz.dir/limitations.cpp.o" "gcc" "src/charz/CMakeFiles/simra_charz.dir/limitations.cpp.o.d"
+  "/root/repo/src/charz/plan.cpp" "src/charz/CMakeFiles/simra_charz.dir/plan.cpp.o" "gcc" "src/charz/CMakeFiles/simra_charz.dir/plan.cpp.o.d"
+  "/root/repo/src/charz/series.cpp" "src/charz/CMakeFiles/simra_charz.dir/series.cpp.o" "gcc" "src/charz/CMakeFiles/simra_charz.dir/series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pud/CMakeFiles/simra_pud.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/simra_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/bender/CMakeFiles/simra_bender.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/simra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simra_charz.dir/figure.cpp.o"
+  "CMakeFiles/simra_charz.dir/figure.cpp.o.d"
+  "CMakeFiles/simra_charz.dir/figures_majx.cpp.o"
+  "CMakeFiles/simra_charz.dir/figures_majx.cpp.o.d"
+  "CMakeFiles/simra_charz.dir/figures_mrc.cpp.o"
+  "CMakeFiles/simra_charz.dir/figures_mrc.cpp.o.d"
+  "CMakeFiles/simra_charz.dir/figures_smra.cpp.o"
+  "CMakeFiles/simra_charz.dir/figures_smra.cpp.o.d"
+  "CMakeFiles/simra_charz.dir/limitations.cpp.o"
+  "CMakeFiles/simra_charz.dir/limitations.cpp.o.d"
+  "CMakeFiles/simra_charz.dir/plan.cpp.o"
+  "CMakeFiles/simra_charz.dir/plan.cpp.o.d"
+  "CMakeFiles/simra_charz.dir/series.cpp.o"
+  "CMakeFiles/simra_charz.dir/series.cpp.o.d"
+  "libsimra_charz.a"
+  "libsimra_charz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simra_charz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

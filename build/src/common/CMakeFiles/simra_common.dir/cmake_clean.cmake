@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simra_common.dir/bitvec.cpp.o"
+  "CMakeFiles/simra_common.dir/bitvec.cpp.o.d"
+  "CMakeFiles/simra_common.dir/env.cpp.o"
+  "CMakeFiles/simra_common.dir/env.cpp.o.d"
+  "CMakeFiles/simra_common.dir/rng.cpp.o"
+  "CMakeFiles/simra_common.dir/rng.cpp.o.d"
+  "CMakeFiles/simra_common.dir/stats.cpp.o"
+  "CMakeFiles/simra_common.dir/stats.cpp.o.d"
+  "CMakeFiles/simra_common.dir/table.cpp.o"
+  "CMakeFiles/simra_common.dir/table.cpp.o.d"
+  "libsimra_common.a"
+  "libsimra_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simra_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/bank.cpp" "src/dram/CMakeFiles/simra_dram.dir/bank.cpp.o" "gcc" "src/dram/CMakeFiles/simra_dram.dir/bank.cpp.o.d"
+  "/root/repo/src/dram/chip.cpp" "src/dram/CMakeFiles/simra_dram.dir/chip.cpp.o" "gcc" "src/dram/CMakeFiles/simra_dram.dir/chip.cpp.o.d"
+  "/root/repo/src/dram/electrical.cpp" "src/dram/CMakeFiles/simra_dram.dir/electrical.cpp.o" "gcc" "src/dram/CMakeFiles/simra_dram.dir/electrical.cpp.o.d"
+  "/root/repo/src/dram/module.cpp" "src/dram/CMakeFiles/simra_dram.dir/module.cpp.o" "gcc" "src/dram/CMakeFiles/simra_dram.dir/module.cpp.o.d"
+  "/root/repo/src/dram/power_model.cpp" "src/dram/CMakeFiles/simra_dram.dir/power_model.cpp.o" "gcc" "src/dram/CMakeFiles/simra_dram.dir/power_model.cpp.o.d"
+  "/root/repo/src/dram/predecoder.cpp" "src/dram/CMakeFiles/simra_dram.dir/predecoder.cpp.o" "gcc" "src/dram/CMakeFiles/simra_dram.dir/predecoder.cpp.o.d"
+  "/root/repo/src/dram/process_variation.cpp" "src/dram/CMakeFiles/simra_dram.dir/process_variation.cpp.o" "gcc" "src/dram/CMakeFiles/simra_dram.dir/process_variation.cpp.o.d"
+  "/root/repo/src/dram/scrambler.cpp" "src/dram/CMakeFiles/simra_dram.dir/scrambler.cpp.o" "gcc" "src/dram/CMakeFiles/simra_dram.dir/scrambler.cpp.o.d"
+  "/root/repo/src/dram/subarray.cpp" "src/dram/CMakeFiles/simra_dram.dir/subarray.cpp.o" "gcc" "src/dram/CMakeFiles/simra_dram.dir/subarray.cpp.o.d"
+  "/root/repo/src/dram/timing.cpp" "src/dram/CMakeFiles/simra_dram.dir/timing.cpp.o" "gcc" "src/dram/CMakeFiles/simra_dram.dir/timing.cpp.o.d"
+  "/root/repo/src/dram/types.cpp" "src/dram/CMakeFiles/simra_dram.dir/types.cpp.o" "gcc" "src/dram/CMakeFiles/simra_dram.dir/types.cpp.o.d"
+  "/root/repo/src/dram/vendor.cpp" "src/dram/CMakeFiles/simra_dram.dir/vendor.cpp.o" "gcc" "src/dram/CMakeFiles/simra_dram.dir/vendor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/simra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

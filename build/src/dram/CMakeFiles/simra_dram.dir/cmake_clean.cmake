@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simra_dram.dir/bank.cpp.o"
+  "CMakeFiles/simra_dram.dir/bank.cpp.o.d"
+  "CMakeFiles/simra_dram.dir/chip.cpp.o"
+  "CMakeFiles/simra_dram.dir/chip.cpp.o.d"
+  "CMakeFiles/simra_dram.dir/electrical.cpp.o"
+  "CMakeFiles/simra_dram.dir/electrical.cpp.o.d"
+  "CMakeFiles/simra_dram.dir/module.cpp.o"
+  "CMakeFiles/simra_dram.dir/module.cpp.o.d"
+  "CMakeFiles/simra_dram.dir/power_model.cpp.o"
+  "CMakeFiles/simra_dram.dir/power_model.cpp.o.d"
+  "CMakeFiles/simra_dram.dir/predecoder.cpp.o"
+  "CMakeFiles/simra_dram.dir/predecoder.cpp.o.d"
+  "CMakeFiles/simra_dram.dir/process_variation.cpp.o"
+  "CMakeFiles/simra_dram.dir/process_variation.cpp.o.d"
+  "CMakeFiles/simra_dram.dir/scrambler.cpp.o"
+  "CMakeFiles/simra_dram.dir/scrambler.cpp.o.d"
+  "CMakeFiles/simra_dram.dir/subarray.cpp.o"
+  "CMakeFiles/simra_dram.dir/subarray.cpp.o.d"
+  "CMakeFiles/simra_dram.dir/timing.cpp.o"
+  "CMakeFiles/simra_dram.dir/timing.cpp.o.d"
+  "CMakeFiles/simra_dram.dir/types.cpp.o"
+  "CMakeFiles/simra_dram.dir/types.cpp.o.d"
+  "CMakeFiles/simra_dram.dir/vendor.cpp.o"
+  "CMakeFiles/simra_dram.dir/vendor.cpp.o.d"
+  "libsimra_dram.a"
+  "libsimra_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simra_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/majsynth/cost_model.cpp" "src/majsynth/CMakeFiles/simra_majsynth.dir/cost_model.cpp.o" "gcc" "src/majsynth/CMakeFiles/simra_majsynth.dir/cost_model.cpp.o.d"
+  "/root/repo/src/majsynth/dram_executor.cpp" "src/majsynth/CMakeFiles/simra_majsynth.dir/dram_executor.cpp.o" "gcc" "src/majsynth/CMakeFiles/simra_majsynth.dir/dram_executor.cpp.o.d"
+  "/root/repo/src/majsynth/microbench.cpp" "src/majsynth/CMakeFiles/simra_majsynth.dir/microbench.cpp.o" "gcc" "src/majsynth/CMakeFiles/simra_majsynth.dir/microbench.cpp.o.d"
+  "/root/repo/src/majsynth/network.cpp" "src/majsynth/CMakeFiles/simra_majsynth.dir/network.cpp.o" "gcc" "src/majsynth/CMakeFiles/simra_majsynth.dir/network.cpp.o.d"
+  "/root/repo/src/majsynth/synth.cpp" "src/majsynth/CMakeFiles/simra_majsynth.dir/synth.cpp.o" "gcc" "src/majsynth/CMakeFiles/simra_majsynth.dir/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pud/CMakeFiles/simra_pud.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/simra_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/bender/CMakeFiles/simra_bender.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/simra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simra_majsynth.dir/cost_model.cpp.o"
+  "CMakeFiles/simra_majsynth.dir/cost_model.cpp.o.d"
+  "CMakeFiles/simra_majsynth.dir/dram_executor.cpp.o"
+  "CMakeFiles/simra_majsynth.dir/dram_executor.cpp.o.d"
+  "CMakeFiles/simra_majsynth.dir/microbench.cpp.o"
+  "CMakeFiles/simra_majsynth.dir/microbench.cpp.o.d"
+  "CMakeFiles/simra_majsynth.dir/network.cpp.o"
+  "CMakeFiles/simra_majsynth.dir/network.cpp.o.d"
+  "CMakeFiles/simra_majsynth.dir/synth.cpp.o"
+  "CMakeFiles/simra_majsynth.dir/synth.cpp.o.d"
+  "libsimra_majsynth.a"
+  "libsimra_majsynth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simra_majsynth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

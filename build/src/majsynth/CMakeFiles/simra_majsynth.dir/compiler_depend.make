@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for simra_majsynth.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pud/address_mapper.cpp" "src/pud/CMakeFiles/simra_pud.dir/address_mapper.cpp.o" "gcc" "src/pud/CMakeFiles/simra_pud.dir/address_mapper.cpp.o.d"
+  "/root/repo/src/pud/bulk_engine.cpp" "src/pud/CMakeFiles/simra_pud.dir/bulk_engine.cpp.o" "gcc" "src/pud/CMakeFiles/simra_pud.dir/bulk_engine.cpp.o.d"
+  "/root/repo/src/pud/engine.cpp" "src/pud/CMakeFiles/simra_pud.dir/engine.cpp.o" "gcc" "src/pud/CMakeFiles/simra_pud.dir/engine.cpp.o.d"
+  "/root/repo/src/pud/patterns.cpp" "src/pud/CMakeFiles/simra_pud.dir/patterns.cpp.o" "gcc" "src/pud/CMakeFiles/simra_pud.dir/patterns.cpp.o.d"
+  "/root/repo/src/pud/reliability_map.cpp" "src/pud/CMakeFiles/simra_pud.dir/reliability_map.cpp.o" "gcc" "src/pud/CMakeFiles/simra_pud.dir/reliability_map.cpp.o.d"
+  "/root/repo/src/pud/row_group.cpp" "src/pud/CMakeFiles/simra_pud.dir/row_group.cpp.o" "gcc" "src/pud/CMakeFiles/simra_pud.dir/row_group.cpp.o.d"
+  "/root/repo/src/pud/subarray_mapper.cpp" "src/pud/CMakeFiles/simra_pud.dir/subarray_mapper.cpp.o" "gcc" "src/pud/CMakeFiles/simra_pud.dir/subarray_mapper.cpp.o.d"
+  "/root/repo/src/pud/success.cpp" "src/pud/CMakeFiles/simra_pud.dir/success.cpp.o" "gcc" "src/pud/CMakeFiles/simra_pud.dir/success.cpp.o.d"
+  "/root/repo/src/pud/vector_unit.cpp" "src/pud/CMakeFiles/simra_pud.dir/vector_unit.cpp.o" "gcc" "src/pud/CMakeFiles/simra_pud.dir/vector_unit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bender/CMakeFiles/simra_bender.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/simra_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/simra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

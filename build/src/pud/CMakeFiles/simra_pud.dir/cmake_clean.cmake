@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simra_pud.dir/address_mapper.cpp.o"
+  "CMakeFiles/simra_pud.dir/address_mapper.cpp.o.d"
+  "CMakeFiles/simra_pud.dir/bulk_engine.cpp.o"
+  "CMakeFiles/simra_pud.dir/bulk_engine.cpp.o.d"
+  "CMakeFiles/simra_pud.dir/engine.cpp.o"
+  "CMakeFiles/simra_pud.dir/engine.cpp.o.d"
+  "CMakeFiles/simra_pud.dir/patterns.cpp.o"
+  "CMakeFiles/simra_pud.dir/patterns.cpp.o.d"
+  "CMakeFiles/simra_pud.dir/reliability_map.cpp.o"
+  "CMakeFiles/simra_pud.dir/reliability_map.cpp.o.d"
+  "CMakeFiles/simra_pud.dir/row_group.cpp.o"
+  "CMakeFiles/simra_pud.dir/row_group.cpp.o.d"
+  "CMakeFiles/simra_pud.dir/subarray_mapper.cpp.o"
+  "CMakeFiles/simra_pud.dir/subarray_mapper.cpp.o.d"
+  "CMakeFiles/simra_pud.dir/success.cpp.o"
+  "CMakeFiles/simra_pud.dir/success.cpp.o.d"
+  "CMakeFiles/simra_pud.dir/vector_unit.cpp.o"
+  "CMakeFiles/simra_pud.dir/vector_unit.cpp.o.d"
+  "libsimra_pud.a"
+  "libsimra_pud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simra_pud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

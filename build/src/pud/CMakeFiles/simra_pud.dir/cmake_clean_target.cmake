@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsimra_pud.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/circuit.cpp" "src/spice/CMakeFiles/simra_spice.dir/circuit.cpp.o" "gcc" "src/spice/CMakeFiles/simra_spice.dir/circuit.cpp.o.d"
+  "/root/repo/src/spice/montecarlo.cpp" "src/spice/CMakeFiles/simra_spice.dir/montecarlo.cpp.o" "gcc" "src/spice/CMakeFiles/simra_spice.dir/montecarlo.cpp.o.d"
+  "/root/repo/src/spice/sense_amp.cpp" "src/spice/CMakeFiles/simra_spice.dir/sense_amp.cpp.o" "gcc" "src/spice/CMakeFiles/simra_spice.dir/sense_amp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/simra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simra_spice.dir/circuit.cpp.o"
+  "CMakeFiles/simra_spice.dir/circuit.cpp.o.d"
+  "CMakeFiles/simra_spice.dir/montecarlo.cpp.o"
+  "CMakeFiles/simra_spice.dir/montecarlo.cpp.o.d"
+  "CMakeFiles/simra_spice.dir/sense_amp.cpp.o"
+  "CMakeFiles/simra_spice.dir/sense_amp.cpp.o.d"
+  "libsimra_spice.a"
+  "libsimra_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simra_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bender_test.dir/bender/assembler_test.cpp.o"
+  "CMakeFiles/bender_test.dir/bender/assembler_test.cpp.o.d"
+  "CMakeFiles/bender_test.dir/bender/command_encoding_test.cpp.o"
+  "CMakeFiles/bender_test.dir/bender/command_encoding_test.cpp.o.d"
+  "CMakeFiles/bender_test.dir/bender/executor_test.cpp.o"
+  "CMakeFiles/bender_test.dir/bender/executor_test.cpp.o.d"
+  "CMakeFiles/bender_test.dir/bender/host_test.cpp.o"
+  "CMakeFiles/bender_test.dir/bender/host_test.cpp.o.d"
+  "CMakeFiles/bender_test.dir/bender/program_test.cpp.o"
+  "CMakeFiles/bender_test.dir/bender/program_test.cpp.o.d"
+  "bender_test"
+  "bender_test.pdb"
+  "bender_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bender_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/casestudy/casestudy_test.cpp" "tests/CMakeFiles/casestudy_test.dir/casestudy/casestudy_test.cpp.o" "gcc" "tests/CMakeFiles/casestudy_test.dir/casestudy/casestudy_test.cpp.o.d"
+  "/root/repo/tests/casestudy/data_movement_test.cpp" "tests/CMakeFiles/casestudy_test.dir/casestudy/data_movement_test.cpp.o" "gcc" "tests/CMakeFiles/casestudy_test.dir/casestudy/data_movement_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/charz/CMakeFiles/simra_charz.dir/DependInfo.cmake"
+  "/root/repo/build/src/casestudy/CMakeFiles/simra_casestudy.dir/DependInfo.cmake"
+  "/root/repo/build/src/majsynth/CMakeFiles/simra_majsynth.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/simra_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/pud/CMakeFiles/simra_pud.dir/DependInfo.cmake"
+  "/root/repo/build/src/bender/CMakeFiles/simra_bender.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/simra_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/simra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casestudy_test.dir/casestudy/casestudy_test.cpp.o"
+  "CMakeFiles/casestudy_test.dir/casestudy/casestudy_test.cpp.o.d"
+  "CMakeFiles/casestudy_test.dir/casestudy/data_movement_test.cpp.o"
+  "CMakeFiles/casestudy_test.dir/casestudy/data_movement_test.cpp.o.d"
+  "casestudy_test"
+  "casestudy_test.pdb"
+  "casestudy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casestudy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

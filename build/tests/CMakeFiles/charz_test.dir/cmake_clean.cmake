@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charz_test.dir/charz/charz_test.cpp.o"
+  "CMakeFiles/charz_test.dir/charz/charz_test.cpp.o.d"
+  "charz_test"
+  "charz_test.pdb"
+  "charz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dram/bank_fuzz_test.cpp" "tests/CMakeFiles/dram_test.dir/dram/bank_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/dram_test.dir/dram/bank_fuzz_test.cpp.o.d"
+  "/root/repo/tests/dram/bank_test.cpp" "tests/CMakeFiles/dram_test.dir/dram/bank_test.cpp.o" "gcc" "tests/CMakeFiles/dram_test.dir/dram/bank_test.cpp.o.d"
+  "/root/repo/tests/dram/chip_module_test.cpp" "tests/CMakeFiles/dram_test.dir/dram/chip_module_test.cpp.o" "gcc" "tests/CMakeFiles/dram_test.dir/dram/chip_module_test.cpp.o.d"
+  "/root/repo/tests/dram/electrical_property_test.cpp" "tests/CMakeFiles/dram_test.dir/dram/electrical_property_test.cpp.o" "gcc" "tests/CMakeFiles/dram_test.dir/dram/electrical_property_test.cpp.o.d"
+  "/root/repo/tests/dram/electrical_test.cpp" "tests/CMakeFiles/dram_test.dir/dram/electrical_test.cpp.o" "gcc" "tests/CMakeFiles/dram_test.dir/dram/electrical_test.cpp.o.d"
+  "/root/repo/tests/dram/power_timing_test.cpp" "tests/CMakeFiles/dram_test.dir/dram/power_timing_test.cpp.o" "gcc" "tests/CMakeFiles/dram_test.dir/dram/power_timing_test.cpp.o.d"
+  "/root/repo/tests/dram/predecoder_test.cpp" "tests/CMakeFiles/dram_test.dir/dram/predecoder_test.cpp.o" "gcc" "tests/CMakeFiles/dram_test.dir/dram/predecoder_test.cpp.o.d"
+  "/root/repo/tests/dram/process_variation_test.cpp" "tests/CMakeFiles/dram_test.dir/dram/process_variation_test.cpp.o" "gcc" "tests/CMakeFiles/dram_test.dir/dram/process_variation_test.cpp.o.d"
+  "/root/repo/tests/dram/scrambler_test.cpp" "tests/CMakeFiles/dram_test.dir/dram/scrambler_test.cpp.o" "gcc" "tests/CMakeFiles/dram_test.dir/dram/scrambler_test.cpp.o.d"
+  "/root/repo/tests/dram/types_test.cpp" "tests/CMakeFiles/dram_test.dir/dram/types_test.cpp.o" "gcc" "tests/CMakeFiles/dram_test.dir/dram/types_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/charz/CMakeFiles/simra_charz.dir/DependInfo.cmake"
+  "/root/repo/build/src/casestudy/CMakeFiles/simra_casestudy.dir/DependInfo.cmake"
+  "/root/repo/build/src/majsynth/CMakeFiles/simra_majsynth.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/simra_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/pud/CMakeFiles/simra_pud.dir/DependInfo.cmake"
+  "/root/repo/build/src/bender/CMakeFiles/simra_bender.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/simra_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/simra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

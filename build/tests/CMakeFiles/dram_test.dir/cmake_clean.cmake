@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_test.dir/dram/bank_fuzz_test.cpp.o"
+  "CMakeFiles/dram_test.dir/dram/bank_fuzz_test.cpp.o.d"
+  "CMakeFiles/dram_test.dir/dram/bank_test.cpp.o"
+  "CMakeFiles/dram_test.dir/dram/bank_test.cpp.o.d"
+  "CMakeFiles/dram_test.dir/dram/chip_module_test.cpp.o"
+  "CMakeFiles/dram_test.dir/dram/chip_module_test.cpp.o.d"
+  "CMakeFiles/dram_test.dir/dram/electrical_property_test.cpp.o"
+  "CMakeFiles/dram_test.dir/dram/electrical_property_test.cpp.o.d"
+  "CMakeFiles/dram_test.dir/dram/electrical_test.cpp.o"
+  "CMakeFiles/dram_test.dir/dram/electrical_test.cpp.o.d"
+  "CMakeFiles/dram_test.dir/dram/power_timing_test.cpp.o"
+  "CMakeFiles/dram_test.dir/dram/power_timing_test.cpp.o.d"
+  "CMakeFiles/dram_test.dir/dram/predecoder_test.cpp.o"
+  "CMakeFiles/dram_test.dir/dram/predecoder_test.cpp.o.d"
+  "CMakeFiles/dram_test.dir/dram/process_variation_test.cpp.o"
+  "CMakeFiles/dram_test.dir/dram/process_variation_test.cpp.o.d"
+  "CMakeFiles/dram_test.dir/dram/scrambler_test.cpp.o"
+  "CMakeFiles/dram_test.dir/dram/scrambler_test.cpp.o.d"
+  "CMakeFiles/dram_test.dir/dram/types_test.cpp.o"
+  "CMakeFiles/dram_test.dir/dram/types_test.cpp.o.d"
+  "dram_test"
+  "dram_test.pdb"
+  "dram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/majsynth_test.dir/majsynth/cost_model_test.cpp.o"
+  "CMakeFiles/majsynth_test.dir/majsynth/cost_model_test.cpp.o.d"
+  "CMakeFiles/majsynth_test.dir/majsynth/microbench_test.cpp.o"
+  "CMakeFiles/majsynth_test.dir/majsynth/microbench_test.cpp.o.d"
+  "CMakeFiles/majsynth_test.dir/majsynth/network_test.cpp.o"
+  "CMakeFiles/majsynth_test.dir/majsynth/network_test.cpp.o.d"
+  "CMakeFiles/majsynth_test.dir/majsynth/synth_test.cpp.o"
+  "CMakeFiles/majsynth_test.dir/majsynth/synth_test.cpp.o.d"
+  "CMakeFiles/majsynth_test.dir/majsynth/threshold_test.cpp.o"
+  "CMakeFiles/majsynth_test.dir/majsynth/threshold_test.cpp.o.d"
+  "majsynth_test"
+  "majsynth_test.pdb"
+  "majsynth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/majsynth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pud_test.dir/pud/address_mapper_test.cpp.o"
+  "CMakeFiles/pud_test.dir/pud/address_mapper_test.cpp.o.d"
+  "CMakeFiles/pud_test.dir/pud/bulk_engine_test.cpp.o"
+  "CMakeFiles/pud_test.dir/pud/bulk_engine_test.cpp.o.d"
+  "CMakeFiles/pud_test.dir/pud/engine_test.cpp.o"
+  "CMakeFiles/pud_test.dir/pud/engine_test.cpp.o.d"
+  "CMakeFiles/pud_test.dir/pud/patterns_test.cpp.o"
+  "CMakeFiles/pud_test.dir/pud/patterns_test.cpp.o.d"
+  "CMakeFiles/pud_test.dir/pud/reliability_map_test.cpp.o"
+  "CMakeFiles/pud_test.dir/pud/reliability_map_test.cpp.o.d"
+  "CMakeFiles/pud_test.dir/pud/row_group_test.cpp.o"
+  "CMakeFiles/pud_test.dir/pud/row_group_test.cpp.o.d"
+  "CMakeFiles/pud_test.dir/pud/subarray_mapper_test.cpp.o"
+  "CMakeFiles/pud_test.dir/pud/subarray_mapper_test.cpp.o.d"
+  "CMakeFiles/pud_test.dir/pud/success_test.cpp.o"
+  "CMakeFiles/pud_test.dir/pud/success_test.cpp.o.d"
+  "CMakeFiles/pud_test.dir/pud/vector_unit_test.cpp.o"
+  "CMakeFiles/pud_test.dir/pud/vector_unit_test.cpp.o.d"
+  "pud_test"
+  "pud_test.pdb"
+  "pud_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pud_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_test.dir/spice/sense_amp_test.cpp.o"
+  "CMakeFiles/spice_test.dir/spice/sense_amp_test.cpp.o.d"
+  "CMakeFiles/spice_test.dir/spice/spice_test.cpp.o"
+  "CMakeFiles/spice_test.dir/spice/spice_test.cpp.o.d"
+  "spice_test"
+  "spice_test.pdb"
+  "spice_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/dram_test[1]_include.cmake")
+include("/root/repo/build/tests/bender_test[1]_include.cmake")
+include("/root/repo/build/tests/pud_test[1]_include.cmake")
+include("/root/repo/build/tests/spice_test[1]_include.cmake")
+include("/root/repo/build/tests/majsynth_test[1]_include.cmake")
+include("/root/repo/build/tests/casestudy_test[1]_include.cmake")
+include("/root/repo/build/tests/charz_test[1]_include.cmake")
+include("/root/repo/build/tests/property_suite_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
