@@ -1,18 +1,24 @@
 #pragma once
 
 #include <cctype>
+#include <chrono>
 #include <cstdlib>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "charz/figure.hpp"
 #include "charz/plan.hpp"
+#include "charz/runner.hpp"
 #include "common/env.hpp"
 
 namespace simra::bench_common {
 
-/// Prints the standard bench banner: which plan is in use and how to run
-/// the paper-scale version.
+/// Prints the standard bench banner: which plan is in use, how to run
+/// the paper-scale version, and the harness thread count.
 inline charz::Plan announced_plan(const std::string& what) {
   const charz::Plan plan = charz::Plan::from_env();
   std::cout << "=== " << what << " ===\n";
@@ -21,7 +27,9 @@ inline charz::Plan announced_plan(const std::string& what) {
                     : "plan: quick (set SIMRA_FULL=1 for the paper-scale run)")
             << " — " << plan.instance_count()
             << " (chip, bank, subarray) instances, " << plan.groups_per_size
-            << " row groups per size, " << plan.trials << " trials\n\n";
+            << " row groups per size, " << plan.trials << " trials, "
+            << charz::harness_threads()
+            << " harness threads (SIMRA_THREADS)\n\n";
   return plan;
 }
 
@@ -56,6 +64,114 @@ inline void compare(const std::string& label, double paper_pct,
   std::cout << label << ": paper " << Table::num(paper_pct, 2)
             << "% — measured " << Table::num(measured_fraction * 100.0, 2)
             << "%\n";
+}
+
+/// One timed figure generation, as recorded in BENCH_harness.json.
+struct HarnessRecord {
+  std::string figure;
+  double seconds = 0.0;
+  unsigned threads = 1;
+  std::size_t instances = 0;
+  bool full_scale = false;
+
+  double instances_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(instances) / seconds : 0.0;
+  }
+};
+
+/// Path the harness perf trajectory is written to: SIMRA_BENCH_JSON when
+/// set, BENCH_harness.json in the working directory otherwise.
+inline std::string harness_json_path() {
+  const char* path = std::getenv("SIMRA_BENCH_JSON");
+  return path != nullptr ? std::string(path) : std::string("BENCH_harness.json");
+}
+
+/// Collects per-figure wall-clock records and persists them to the
+/// harness JSON after every measurement. Entries written by earlier bench
+/// binaries are kept, so one file accumulates the whole suite's perf
+/// trajectory; re-measuring a (figure, threads, plan) point replaces its
+/// previous entry.
+class HarnessReport {
+ public:
+  static HarnessReport& global() {
+    static HarnessReport report;
+    return report;
+  }
+
+  void record(const std::string& figure, double seconds,
+              std::size_t instances) {
+    HarnessRecord rec;
+    rec.figure = figure;
+    rec.seconds = seconds;
+    rec.threads = charz::harness_threads();
+    rec.instances = instances;
+    rec.full_scale = full_scale_run();
+    records_.push_back(rec);
+    write();
+    std::cout << "[harness] " << figure << ": " << Table::num(seconds, 3)
+              << " s on " << rec.threads << " thread"
+              << (rec.threads == 1 ? "" : "s") << ", "
+              << Table::num(rec.instances_per_sec(), 2)
+              << " instances/s (recorded in " << harness_json_path() << ")\n";
+  }
+
+ private:
+  static std::string entry_json(const HarnessRecord& r) {
+    std::ostringstream os;
+    os << "    {\"figure\": \"" << r.figure << "\", \"plan\": \""
+       << (r.full_scale ? "paper" : "quick") << "\", \"threads\": " << r.threads
+       << ", \"seconds\": " << std::fixed << std::setprecision(4) << r.seconds
+       << ", \"instances\": " << r.instances << ", \"instances_per_sec\": "
+       << std::setprecision(3) << r.instances_per_sec() << "}";
+    return os.str();
+  }
+
+  /// Replacement key for an entry line ("figure"/"plan"/"threads" prefix,
+  /// which entry_json emits first).
+  static std::string entry_key(const std::string& line) {
+    const std::string marker = ", \"seconds\":";
+    const auto pos = line.find(marker);
+    return pos == std::string::npos ? line : line.substr(0, pos);
+  }
+
+  void write() const {
+    // Keep entries from other runs that this run has not re-measured.
+    std::vector<std::string> lines;
+    std::ifstream in(harness_json_path());
+    for (std::string line; std::getline(in, line);) {
+      if (line.find("{\"figure\": \"") == std::string::npos) continue;
+      if (line.back() == ',') line.pop_back();
+      bool replaced = false;
+      for (const HarnessRecord& r : records_)
+        if (entry_key(line) == entry_key(entry_json(r))) replaced = true;
+      if (!replaced) lines.push_back(line);
+    }
+    for (const HarnessRecord& r : records_) lines.push_back(entry_json(r));
+
+    std::string out = "{\n  \"schema\": 1,\n  \"figures\": [\n";
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      out += lines[i];
+      if (i + 1 < lines.size()) out += ",";
+      out += "\n";
+    }
+    out += "  ]\n}\n";
+    write_file(harness_json_path(), out);
+  }
+
+  std::vector<HarnessRecord> records_;
+};
+
+/// Runs `fn(plan)`, records its wall-clock time, thread count, and
+/// instance throughput in the harness report, and returns its result.
+template <typename Fn>
+auto timed_figure(const charz::Plan& plan, const std::string& name, Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  auto result = fn(plan);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  HarnessReport::global().record(name, seconds, plan.instance_count());
+  return result;
 }
 
 }  // namespace simra::bench_common

@@ -7,7 +7,8 @@ int main() {
   using namespace simra;
   const charz::Plan plan = bench_common::announced_plan(
       "Fig 10: Multi-RowCopy success rate vs APA timing");
-  const charz::FigureData figure = charz::fig10_mrc_timing(plan);
+  const charz::FigureData figure = bench_common::timed_figure(
+      plan, "fig10_mrc_timing", charz::fig10_mrc_timing);
   bench_common::print_figure(figure);
 
   std::cout << "Paper reference points @ (t1=36, t2=3) (Obs. 14):\n";

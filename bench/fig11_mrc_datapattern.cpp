@@ -6,7 +6,8 @@ int main() {
   using namespace simra;
   const charz::Plan plan = bench_common::announced_plan(
       "Fig 11: Multi-RowCopy success rate vs source data pattern");
-  const charz::FigureData figure = charz::fig11_mrc_datapattern(plan);
+  const charz::FigureData figure = bench_common::timed_figure(
+      plan, "fig11_mrc_datapattern", charz::fig11_mrc_datapattern);
   bench_common::print_figure(figure);
 
   std::cout << "Paper reference (Obs. 16): copying all-1s to 31 rows is "

@@ -8,9 +8,11 @@ int main() {
   const charz::Plan plan = bench_common::announced_plan(
       "Fig 12: Multi-RowCopy success rate vs temperature and VPP");
 
-  const charz::FigureData temp = charz::fig12a_mrc_temperature(plan);
+  const charz::FigureData temp = bench_common::timed_figure(
+      plan, "fig12a_mrc_temperature", charz::fig12a_mrc_temperature);
   bench_common::print_figure(temp);
-  const charz::FigureData vpp = charz::fig12b_mrc_voltage(plan);
+  const charz::FigureData vpp = bench_common::timed_figure(
+      plan, "fig12b_mrc_voltage", charz::fig12b_mrc_voltage);
   bench_common::print_figure(vpp);
 
   std::cout << "Paper reference points:\n";

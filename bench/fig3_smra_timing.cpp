@@ -7,7 +7,8 @@ int main() {
   using namespace simra;
   const charz::Plan plan = bench_common::announced_plan(
       "Fig 3: SiMRA success rate vs APA timing (t1, t2)");
-  const charz::FigureData figure = charz::fig3_smra_timing(plan);
+  const charz::FigureData figure = bench_common::timed_figure(
+      plan, "fig3_smra_timing", charz::fig3_smra_timing);
   bench_common::print_figure(figure);
 
   std::cout << "Paper reference points (Obs. 1/2):\n";

@@ -8,9 +8,11 @@ int main() {
   const charz::Plan plan = bench_common::announced_plan(
       "Fig 4: SiMRA success rate vs temperature and VPP");
 
-  const charz::FigureData temp = charz::fig4a_smra_temperature(plan);
+  const charz::FigureData temp = bench_common::timed_figure(
+      plan, "fig4a_smra_temperature", charz::fig4a_smra_temperature);
   bench_common::print_figure(temp);
-  const charz::FigureData vpp = charz::fig4b_smra_voltage(plan);
+  const charz::FigureData vpp = bench_common::timed_figure(
+      plan, "fig4b_smra_voltage", charz::fig4b_smra_voltage);
   bench_common::print_figure(vpp);
 
   std::cout << "Paper reference points (Obs. 3/4):\n";

@@ -7,7 +7,8 @@ int main() {
   using namespace simra;
   const charz::Plan plan = bench_common::announced_plan(
       "Fig 6: MAJ3 success rate vs APA timing and activation size");
-  const charz::FigureData figure = charz::fig6_maj3_timing(plan);
+  const charz::FigureData figure = bench_common::timed_figure(
+      plan, "fig6_maj3_timing", charz::fig6_maj3_timing);
   bench_common::print_figure(figure);
 
   std::cout << "Paper reference points:\n";

@@ -7,7 +7,8 @@ int main() {
   using namespace simra;
   const charz::Plan plan = bench_common::announced_plan(
       "Fig 7: MAJX success rate vs data pattern");
-  const charz::FigureData figure = charz::fig7_majx_datapattern(plan);
+  const charz::FigureData figure = bench_common::timed_figure(
+      plan, "fig7_majx_datapattern", charz::fig7_majx_datapattern);
   bench_common::print_figure(figure);
 
   std::cout << "Paper reference points (Obs. 8/9) @ 32-row, random:\n";
@@ -24,7 +25,8 @@ int main() {
   std::cout << "  MAJ7 random vs 0x00/0xFF: paper -32.56% — measured "
             << Table::num((maj7_rand - maj7_fixed) * 100.0, 2) << "%\n\n";
 
-  const charz::FigureData vendors = charz::fig7_majx_by_vendor(plan);
+  const charz::FigureData vendors = bench_common::timed_figure(
+      plan, "fig7_majx_by_vendor", charz::fig7_majx_by_vendor);
   bench_common::print_figure(vendors);
   std::cout << "Paper (fn. 11): MAJ9+ unusable on Mfr. M, MAJ11+ on Mfr. H.\n";
   bench_common::compare("  Mfr. M MAJ9 (see EXPERIMENTS.md deviation note)", 1.0, vendors.mean_at({"M", "MAJ9"}));

@@ -6,7 +6,8 @@ int main() {
   using namespace simra;
   const charz::Plan plan = bench_common::announced_plan(
       "Fig 8: MAJX success rate vs temperature");
-  const charz::FigureData figure = charz::fig8_majx_temperature(plan);
+  const charz::FigureData figure = bench_common::timed_figure(
+      plan, "fig8_majx_temperature", charz::fig8_majx_temperature);
   bench_common::print_figure(figure);
 
   std::cout << "Paper reference points:\n";

@@ -6,7 +6,8 @@ int main() {
   using namespace simra;
   const charz::Plan plan = bench_common::announced_plan(
       "Fig 9: MAJX success rate vs wordline voltage");
-  const charz::FigureData figure = charz::fig9_majx_voltage(plan);
+  const charz::FigureData figure = bench_common::timed_figure(
+      plan, "fig9_majx_voltage", charz::fig9_majx_voltage);
   bench_common::print_figure(figure);
 
   std::cout << "Paper reference (Obs. 13): ~1.10% average variation across "

@@ -12,7 +12,8 @@ int main() {
   plan.modules = {{dram::VendorProfile::hynix_m(), 1},
                   {dram::VendorProfile::micron_e(), 1}};
 
-  const charz::FigureData vendors = charz::limitation1_vendor_support(plan);
+  const charz::FigureData vendors = bench_common::timed_figure(
+      plan, "limitation1_vendor_support", charz::limitation1_vendor_support);
   bench_common::print_figure(vendors);
   std::cout << "Paper (Limitation 1): Mfr. S shows no simultaneous "
                "activation of more than one row.\n";
@@ -21,7 +22,9 @@ int main() {
   bench_common::compare("  Mfr. H @ 32-row", 99.85,
                         vendors.mean_at({"H", "32"}));
 
-  const auto disturbance = charz::limitation3_disturbance(plan, 10);
+  const auto disturbance = bench_common::timed_figure(
+      plan, "limitation3_disturbance",
+      [](const charz::Plan& p) { return charz::limitation3_disturbance(p, 10); });
   std::cout << "\nLimitation 3 (paper: no errors outside the activated "
                "group across 10000 trials):\n  "
             << disturbance.trials << " operation trials, "

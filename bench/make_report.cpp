@@ -21,6 +21,12 @@ void section(std::ostringstream& md, const charz::FigureData& figure) {
   simra::bench_common::print_figure(figure);
 }
 
+void timed_section(std::ostringstream& md, const charz::Plan& plan,
+                   const std::string& name,
+                   charz::FigureData (*generator)(const charz::Plan&)) {
+  section(md, bench_common::timed_figure(plan, name, generator));
+}
+
 }  // namespace
 
 int main() {
@@ -33,19 +39,25 @@ int main() {
      << " trials" << (full_scale_run() ? " (paper scale)" : " (quick)")
      << ".\n\n";
 
-  section(md, charz::fig3_smra_timing(plan));
-  section(md, charz::fig4a_smra_temperature(plan));
-  section(md, charz::fig4b_smra_voltage(plan));
-  section(md, charz::fig6_maj3_timing(plan));
-  section(md, charz::fig7_majx_datapattern(plan));
-  section(md, charz::fig7_majx_by_vendor(plan));
-  section(md, charz::fig8_majx_temperature(plan));
-  section(md, charz::fig9_majx_voltage(plan));
-  section(md, charz::fig10_mrc_timing(plan));
-  section(md, charz::fig11_mrc_datapattern(plan));
-  section(md, charz::fig12a_mrc_temperature(plan));
-  section(md, charz::fig12b_mrc_voltage(plan));
-  section(md, charz::limitation1_vendor_support(plan));
+  timed_section(md, plan, "fig3_smra_timing", charz::fig3_smra_timing);
+  timed_section(md, plan, "fig4a_smra_temperature",
+                charz::fig4a_smra_temperature);
+  timed_section(md, plan, "fig4b_smra_voltage", charz::fig4b_smra_voltage);
+  timed_section(md, plan, "fig6_maj3_timing", charz::fig6_maj3_timing);
+  timed_section(md, plan, "fig7_majx_datapattern",
+                charz::fig7_majx_datapattern);
+  timed_section(md, plan, "fig7_majx_by_vendor", charz::fig7_majx_by_vendor);
+  timed_section(md, plan, "fig8_majx_temperature",
+                charz::fig8_majx_temperature);
+  timed_section(md, plan, "fig9_majx_voltage", charz::fig9_majx_voltage);
+  timed_section(md, plan, "fig10_mrc_timing", charz::fig10_mrc_timing);
+  timed_section(md, plan, "fig11_mrc_datapattern",
+                charz::fig11_mrc_datapattern);
+  timed_section(md, plan, "fig12a_mrc_temperature",
+                charz::fig12a_mrc_temperature);
+  timed_section(md, plan, "fig12b_mrc_voltage", charz::fig12b_mrc_voltage);
+  timed_section(md, plan, "limitation1_vendor_support",
+                charz::limitation1_vendor_support);
 
   // Fig 5 (power) and Fig 17 (content destruction) are analytic tables.
   md << "## Fig 5: power (fraction of REF)\n\n```\n";

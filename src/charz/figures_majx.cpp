@@ -1,4 +1,5 @@
 #include "charz/figures.hpp"
+#include "charz/runner.hpp"
 #include "charz/series.hpp"
 #include "common/rng.hpp"
 #include "pud/success.hpp"
@@ -16,78 +17,79 @@ bool vendor_supports(const dram::VendorProfile& profile, unsigned x) {
 }  // namespace
 
 FigureData fig6_maj3_timing(const Plan& plan) {
-  SeriesAccumulator acc;
-  for_each_instance(plan, [&](Instance& inst) {
-    for (double t1 : {1.5, 3.0, 6.0}) {
-      for (double t2 : {1.5, 3.0}) {
-        for (std::size_t n : {4u, 8u, 16u, 32u}) {
-          pud::MeasureConfig cfg;
-          cfg.pattern = dram::DataPattern::kRandom;
-          cfg.trials = plan.trials;
-          cfg.timings = {Nanoseconds{t1}, Nanoseconds{t2}};
-          for (std::size_t gi = 0; gi < plan.groups_per_size; ++gi) {
-            const pud::RowGroup group =
-                pud::sample_group(inst.engine.layout(), n, inst.rng);
-            acc.add({format_ns(t1), format_ns(t2), std::to_string(n)},
-                    pud::measure_majx(inst.engine, inst.bank, inst.subarray,
-                                      group, 3, cfg, inst.rng));
+  const auto acc = run_instances<SeriesAccumulator>(
+      plan, [&plan](Instance& inst, SeriesAccumulator& out) {
+        for (double t1 : {1.5, 3.0, 6.0}) {
+          for (double t2 : {1.5, 3.0}) {
+            for (std::size_t n : {4u, 8u, 16u, 32u}) {
+              pud::MeasureConfig cfg;
+              cfg.pattern = dram::DataPattern::kRandom;
+              cfg.trials = plan.trials;
+              cfg.timings = {Nanoseconds{t1}, Nanoseconds{t2}};
+              for (std::size_t gi = 0; gi < plan.groups_per_size; ++gi) {
+                const pud::RowGroup group =
+                    pud::sample_group(inst.engine.layout(), n, inst.rng);
+                out.add({format_ns(t1), format_ns(t2), std::to_string(n)},
+                        pud::measure_majx(inst.engine, inst.bank,
+                                          inst.subarray, group, 3, cfg,
+                                          inst.rng));
+              }
+            }
           }
         }
-      }
-    }
-  });
+      });
   return acc.finish("Fig 6: MAJ3 success rate vs APA timing and activation size",
                     {"t1", "t2", "N"});
 }
 
 FigureData fig7_majx_datapattern(const Plan& plan) {
-  SeriesAccumulator acc;
   const std::vector<dram::DataPattern> patterns = {
       dram::DataPattern::kRandom, dram::DataPattern::k00FF,
       dram::DataPattern::kAA55, dram::DataPattern::kCC33,
       dram::DataPattern::k6699};
-  for_each_instance(plan, [&](Instance& inst) {
-    for (const auto& [x, n] : majx_points()) {
-      if (!vendor_supports(inst.profile, x)) continue;
-      for (dram::DataPattern pattern : patterns) {
-        pud::MeasureConfig cfg;
-        cfg.pattern = pattern;
-        cfg.trials = plan.trials;
-        cfg.timings = pud::ApaTimings::best_for_majx();
-        for (std::size_t gi = 0; gi < plan.groups_per_size; ++gi) {
-          const pud::RowGroup group =
-              pud::sample_group(inst.engine.layout(), n, inst.rng);
-          acc.add({"MAJ" + std::to_string(x), std::to_string(n),
-                   dram::to_string(pattern)},
-                  pud::measure_majx(inst.engine, inst.bank, inst.subarray,
-                                    group, x, cfg, inst.rng));
+  const auto acc = run_instances<SeriesAccumulator>(
+      plan, [&](Instance& inst, SeriesAccumulator& out) {
+        for (const auto& [x, n] : majx_points()) {
+          if (!vendor_supports(inst.profile, x)) continue;
+          for (dram::DataPattern pattern : patterns) {
+            pud::MeasureConfig cfg;
+            cfg.pattern = pattern;
+            cfg.trials = plan.trials;
+            cfg.timings = pud::ApaTimings::best_for_majx();
+            for (std::size_t gi = 0; gi < plan.groups_per_size; ++gi) {
+              const pud::RowGroup group =
+                  pud::sample_group(inst.engine.layout(), n, inst.rng);
+              out.add({"MAJ" + std::to_string(x), std::to_string(n),
+                       dram::to_string(pattern)},
+                      pud::measure_majx(inst.engine, inst.bank, inst.subarray,
+                                        group, x, cfg, inst.rng));
+            }
+          }
         }
-      }
-    }
-  });
+      });
   return acc.finish("Fig 7: MAJX success rate vs data pattern",
                     {"op", "N", "pattern"});
 }
 
 FigureData fig7_majx_by_vendor(const Plan& plan) {
-  SeriesAccumulator acc;
-  for_each_instance(plan, [&](Instance& inst) {
-    for (unsigned x : {3u, 5u, 7u, 9u}) {
-      // Probe MAJ9 on every vendor here: the point of this breakdown is
-      // to *show* the Mfr. M cutoff rather than assume it.
-      pud::MeasureConfig cfg;
-      cfg.pattern = dram::DataPattern::kRandom;
-      cfg.trials = plan.trials;
-      cfg.timings = pud::ApaTimings::best_for_majx();
-      for (std::size_t gi = 0; gi < plan.groups_per_size; ++gi) {
-        const pud::RowGroup group =
-            pud::sample_group(inst.engine.layout(), 32, inst.rng);
-        acc.add({inst.profile.short_name, "MAJ" + std::to_string(x)},
-                pud::measure_majx(inst.engine, inst.bank, inst.subarray,
-                                  group, x, cfg, inst.rng));
-      }
-    }
-  });
+  const auto acc = run_instances<SeriesAccumulator>(
+      plan, [&plan](Instance& inst, SeriesAccumulator& out) {
+        for (unsigned x : {3u, 5u, 7u, 9u}) {
+          // Probe MAJ9 on every vendor here: the point of this breakdown is
+          // to *show* the Mfr. M cutoff rather than assume it.
+          pud::MeasureConfig cfg;
+          cfg.pattern = dram::DataPattern::kRandom;
+          cfg.trials = plan.trials;
+          cfg.timings = pud::ApaTimings::best_for_majx();
+          for (std::size_t gi = 0; gi < plan.groups_per_size; ++gi) {
+            const pud::RowGroup group =
+                pud::sample_group(inst.engine.layout(), 32, inst.rng);
+            out.add({inst.profile.short_name, "MAJ" + std::to_string(x)},
+                    pud::measure_majx(inst.engine, inst.bank, inst.subarray,
+                                      group, x, cfg, inst.rng));
+          }
+        }
+      });
   return acc.finish("Fig 7 (vendor breakdown): MAJX @ 32-row, random pattern",
                     {"vendor", "op"});
 }
@@ -95,39 +97,39 @@ FigureData fig7_majx_by_vendor(const Plan& plan) {
 namespace {
 
 FigureData majx_environment_sweep(const Plan& plan, bool sweep_temperature) {
-  SeriesAccumulator acc;
   const std::vector<double> temps = {50, 60, 70, 80, 90};
   const std::vector<double> vpps = {2.5, 2.4, 2.3, 2.2, 2.1};
   const std::vector<double>& points = sweep_temperature ? temps : vpps;
 
-  for_each_instance(plan, [&](Instance& inst) {
-    for (const auto& [x, n] : majx_points()) {
-      if (!vendor_supports(inst.profile, x)) continue;
-      pud::MeasureConfig cfg;
-      cfg.pattern = dram::DataPattern::kRandom;
-      cfg.trials = plan.trials;
-      cfg.timings = pud::ApaTimings::best_for_majx();
-      for (std::size_t gi = 0; gi < plan.groups_per_size; ++gi) {
-        // The same row group is retested at every operating point, as on
-        // the real testbed — otherwise group-to-group spread would drown
-        // the small environmental effect.
-        const pud::RowGroup group =
-            pud::sample_group(inst.engine.layout(), n, inst.rng);
-        for (double point : points) {
-          auto& env = inst.engine.chip().env();
-          if (sweep_temperature)
-            env.temperature = Celsius{point};
-          else
-            env.vpp = Volts{point};
-          acc.add({"MAJ" + std::to_string(x), std::to_string(n),
-                   format_ns(point)},
-                  pud::measure_majx(inst.engine, inst.bank, inst.subarray,
-                                    group, x, cfg, inst.rng));
+  const auto acc = run_instances<SeriesAccumulator>(
+      plan, [&](Instance& inst, SeriesAccumulator& out) {
+        for (const auto& [x, n] : majx_points()) {
+          if (!vendor_supports(inst.profile, x)) continue;
+          pud::MeasureConfig cfg;
+          cfg.pattern = dram::DataPattern::kRandom;
+          cfg.trials = plan.trials;
+          cfg.timings = pud::ApaTimings::best_for_majx();
+          for (std::size_t gi = 0; gi < plan.groups_per_size; ++gi) {
+            // The same row group is retested at every operating point, as on
+            // the real testbed — otherwise group-to-group spread would drown
+            // the small environmental effect.
+            const pud::RowGroup group =
+                pud::sample_group(inst.engine.layout(), n, inst.rng);
+            for (double point : points) {
+              auto& env = inst.engine.chip().env();
+              if (sweep_temperature)
+                env.temperature = Celsius{point};
+              else
+                env.vpp = Volts{point};
+              out.add({"MAJ" + std::to_string(x), std::to_string(n),
+                       format_ns(point)},
+                      pud::measure_majx(inst.engine, inst.bank, inst.subarray,
+                                        group, x, cfg, inst.rng));
+            }
+          }
         }
-      }
-    }
-    inst.engine.chip().env() = dram::EnvironmentState{};
-  });
+        inst.engine.chip().env() = dram::EnvironmentState{};
+      });
   return acc.finish(sweep_temperature
                         ? "Fig 8: MAJX success rate vs temperature"
                         : "Fig 9: MAJX success rate vs wordline voltage",

@@ -1,4 +1,5 @@
 #include "charz/figures.hpp"
+#include "charz/runner.hpp"
 #include "charz/series.hpp"
 #include "common/rng.hpp"
 #include "pud/success.hpp"
@@ -12,52 +13,52 @@ constexpr std::size_t kDestCounts[] = {1, 3, 7, 15, 31};
 }  // namespace
 
 FigureData fig10_mrc_timing(const Plan& plan) {
-  SeriesAccumulator acc;
-  for_each_instance(plan, [&](Instance& inst) {
-    for (double t1 : {1.5, 6.0, 18.0, 36.0}) {
-      for (double t2 : {1.5, 3.0}) {
-        for (std::size_t dests : kDestCounts) {
-          pud::MeasureConfig cfg;
-          cfg.pattern = dram::DataPattern::kRandom;
-          cfg.trials = plan.trials;
-          cfg.timings = {Nanoseconds{t1}, Nanoseconds{t2}};
-          for (std::size_t gi = 0; gi < plan.groups_per_size; ++gi) {
-            const pud::RowGroup group =
-                pud::sample_group(inst.engine.layout(), dests + 1, inst.rng);
-            acc.add({format_ns(t1), format_ns(t2), std::to_string(dests)},
-                    pud::measure_mrc(inst.engine, inst.bank, inst.subarray,
-                                     group, cfg, inst.rng));
+  const auto acc = run_instances<SeriesAccumulator>(
+      plan, [&plan](Instance& inst, SeriesAccumulator& out) {
+        for (double t1 : {1.5, 6.0, 18.0, 36.0}) {
+          for (double t2 : {1.5, 3.0}) {
+            for (std::size_t dests : kDestCounts) {
+              pud::MeasureConfig cfg;
+              cfg.pattern = dram::DataPattern::kRandom;
+              cfg.trials = plan.trials;
+              cfg.timings = {Nanoseconds{t1}, Nanoseconds{t2}};
+              for (std::size_t gi = 0; gi < plan.groups_per_size; ++gi) {
+                const pud::RowGroup group = pud::sample_group(
+                    inst.engine.layout(), dests + 1, inst.rng);
+                out.add({format_ns(t1), format_ns(t2), std::to_string(dests)},
+                        pud::measure_mrc(inst.engine, inst.bank, inst.subarray,
+                                         group, cfg, inst.rng));
+              }
+            }
           }
         }
-      }
-    }
-  });
+      });
   return acc.finish("Fig 10: Multi-RowCopy success rate vs APA timing",
                     {"t1", "t2", "dests"});
 }
 
 FigureData fig11_mrc_datapattern(const Plan& plan) {
-  SeriesAccumulator acc;
   const std::vector<dram::DataPattern> patterns = {
       dram::DataPattern::kAllZeros, dram::DataPattern::kAllOnes,
       dram::DataPattern::kRandom};
-  for_each_instance(plan, [&](Instance& inst) {
-    for (dram::DataPattern pattern : patterns) {
-      for (std::size_t dests : kDestCounts) {
-        pud::MeasureConfig cfg;
-        cfg.pattern = pattern;
-        cfg.trials = plan.trials;
-        cfg.timings = pud::ApaTimings::best_for_multi_row_copy();
-        for (std::size_t gi = 0; gi < plan.groups_per_size; ++gi) {
-          const pud::RowGroup group =
-              pud::sample_group(inst.engine.layout(), dests + 1, inst.rng);
-          acc.add({dram::to_string(pattern), std::to_string(dests)},
-                  pud::measure_mrc(inst.engine, inst.bank, inst.subarray,
-                                   group, cfg, inst.rng));
+  const auto acc = run_instances<SeriesAccumulator>(
+      plan, [&](Instance& inst, SeriesAccumulator& out) {
+        for (dram::DataPattern pattern : patterns) {
+          for (std::size_t dests : kDestCounts) {
+            pud::MeasureConfig cfg;
+            cfg.pattern = pattern;
+            cfg.trials = plan.trials;
+            cfg.timings = pud::ApaTimings::best_for_multi_row_copy();
+            for (std::size_t gi = 0; gi < plan.groups_per_size; ++gi) {
+              const pud::RowGroup group = pud::sample_group(
+                  inst.engine.layout(), dests + 1, inst.rng);
+              out.add({dram::to_string(pattern), std::to_string(dests)},
+                      pud::measure_mrc(inst.engine, inst.bank, inst.subarray,
+                                       group, cfg, inst.rng));
+            }
+          }
         }
-      }
-    }
-  });
+      });
   return acc.finish("Fig 11: Multi-RowCopy success rate vs data pattern",
                     {"pattern", "dests"});
 }
@@ -65,36 +66,36 @@ FigureData fig11_mrc_datapattern(const Plan& plan) {
 namespace {
 
 FigureData mrc_environment_sweep(const Plan& plan, bool sweep_temperature) {
-  SeriesAccumulator acc;
   const std::vector<double> temps = {50, 60, 70, 80, 90};
   const std::vector<double> vpps = {2.5, 2.4, 2.3, 2.2, 2.1};
   const std::vector<double>& points = sweep_temperature ? temps : vpps;
 
-  for_each_instance(plan, [&](Instance& inst) {
-    for (std::size_t dests : kDestCounts) {
-      pud::MeasureConfig cfg;
-      cfg.pattern = dram::DataPattern::kRandom;
-      cfg.trials = plan.trials;
-      cfg.timings = pud::ApaTimings::best_for_multi_row_copy();
-      for (std::size_t gi = 0; gi < plan.groups_per_size; ++gi) {
-        // Retest the same group at every operating point (see the MAJX
-        // sweep for rationale).
-        const pud::RowGroup group =
-            pud::sample_group(inst.engine.layout(), dests + 1, inst.rng);
-        for (double point : points) {
-          auto& env = inst.engine.chip().env();
-          if (sweep_temperature)
-            env.temperature = Celsius{point};
-          else
-            env.vpp = Volts{point};
-          acc.add({format_ns(point), std::to_string(dests)},
-                  pud::measure_mrc(inst.engine, inst.bank, inst.subarray,
-                                   group, cfg, inst.rng));
+  const auto acc = run_instances<SeriesAccumulator>(
+      plan, [&](Instance& inst, SeriesAccumulator& out) {
+        for (std::size_t dests : kDestCounts) {
+          pud::MeasureConfig cfg;
+          cfg.pattern = dram::DataPattern::kRandom;
+          cfg.trials = plan.trials;
+          cfg.timings = pud::ApaTimings::best_for_multi_row_copy();
+          for (std::size_t gi = 0; gi < plan.groups_per_size; ++gi) {
+            // Retest the same group at every operating point (see the MAJX
+            // sweep for rationale).
+            const pud::RowGroup group =
+                pud::sample_group(inst.engine.layout(), dests + 1, inst.rng);
+            for (double point : points) {
+              auto& env = inst.engine.chip().env();
+              if (sweep_temperature)
+                env.temperature = Celsius{point};
+              else
+                env.vpp = Volts{point};
+              out.add({format_ns(point), std::to_string(dests)},
+                      pud::measure_mrc(inst.engine, inst.bank, inst.subarray,
+                                       group, cfg, inst.rng));
+            }
+          }
         }
-      }
-    }
-    inst.engine.chip().env() = dram::EnvironmentState{};
-  });
+        inst.engine.chip().env() = dram::EnvironmentState{};
+      });
   return acc.finish(
       sweep_temperature ? "Fig 12a: Multi-RowCopy success rate vs temperature"
                         : "Fig 12b: Multi-RowCopy success rate vs VPP",

@@ -1,4 +1,5 @@
 #include "charz/figures.hpp"
+#include "charz/runner.hpp"
 #include "charz/series.hpp"
 #include "common/rng.hpp"
 #include "pud/success.hpp"
@@ -16,62 +17,63 @@ std::vector<std::pair<unsigned, std::size_t>> majx_points() {
 }
 
 FigureData fig3_smra_timing(const Plan& plan) {
-  SeriesAccumulator acc;
-  for_each_instance(plan, [&](Instance& inst) {
-    for (double t1 : {1.5, 3.0, 6.0, 36.0}) {
-      for (double t2 : {1.5, 3.0, 6.0}) {
-        for (std::size_t n : activation_sizes()) {
-          pud::MeasureConfig cfg;
-          cfg.pattern = dram::DataPattern::kRandom;
-          cfg.trials = plan.trials;
-          cfg.timings = {Nanoseconds{t1}, Nanoseconds{t2}};
-          for (std::size_t gi = 0; gi < plan.groups_per_size; ++gi) {
-            const pud::RowGroup group =
-                pud::sample_group(inst.engine.layout(), n, inst.rng);
-            acc.add({format_ns(t1), format_ns(t2), std::to_string(n)},
-                    pud::measure_smra(inst.engine, inst.bank, inst.subarray,
-                                      group, cfg, inst.rng));
+  const auto acc = run_instances<SeriesAccumulator>(
+      plan, [&plan](Instance& inst, SeriesAccumulator& out) {
+        for (double t1 : {1.5, 3.0, 6.0, 36.0}) {
+          for (double t2 : {1.5, 3.0, 6.0}) {
+            for (std::size_t n : activation_sizes()) {
+              pud::MeasureConfig cfg;
+              cfg.pattern = dram::DataPattern::kRandom;
+              cfg.trials = plan.trials;
+              cfg.timings = {Nanoseconds{t1}, Nanoseconds{t2}};
+              for (std::size_t gi = 0; gi < plan.groups_per_size; ++gi) {
+                const pud::RowGroup group =
+                    pud::sample_group(inst.engine.layout(), n, inst.rng);
+                out.add({format_ns(t1), format_ns(t2), std::to_string(n)},
+                        pud::measure_smra(inst.engine, inst.bank,
+                                          inst.subarray, group, cfg,
+                                          inst.rng));
+              }
+            }
           }
         }
-      }
-    }
-  });
+      });
   return acc.finish("Fig 3: SiMRA success rate vs APA timing", {"t1", "t2", "N"});
 }
 
 namespace {
 
 FigureData smra_environment_sweep(const Plan& plan, bool sweep_temperature) {
-  SeriesAccumulator acc;
   const std::vector<double> temps = {50, 60, 70, 80, 90};
   const std::vector<double> vpps = {2.5, 2.4, 2.3, 2.2, 2.1};
   const std::vector<double>& points = sweep_temperature ? temps : vpps;
 
-  for_each_instance(plan, [&](Instance& inst) {
-    for (std::size_t n : activation_sizes()) {
-      pud::MeasureConfig cfg;
-      cfg.pattern = dram::DataPattern::kRandom;
-      cfg.trials = plan.trials;
-      cfg.timings = pud::ApaTimings::best_for_smra();
-      for (std::size_t gi = 0; gi < plan.groups_per_size; ++gi) {
-        // Retest the same group at every operating point (see the MAJX
-        // sweep for rationale).
-        const pud::RowGroup group =
-            pud::sample_group(inst.engine.layout(), n, inst.rng);
-        for (double point : points) {
-          auto& env = inst.engine.chip().env();
-          if (sweep_temperature)
-            env.temperature = Celsius{point};
-          else
-            env.vpp = Volts{point};
-          acc.add({format_ns(point), std::to_string(n)},
-                  pud::measure_smra(inst.engine, inst.bank, inst.subarray,
-                                    group, cfg, inst.rng));
+  const auto acc = run_instances<SeriesAccumulator>(
+      plan, [&](Instance& inst, SeriesAccumulator& out) {
+        for (std::size_t n : activation_sizes()) {
+          pud::MeasureConfig cfg;
+          cfg.pattern = dram::DataPattern::kRandom;
+          cfg.trials = plan.trials;
+          cfg.timings = pud::ApaTimings::best_for_smra();
+          for (std::size_t gi = 0; gi < plan.groups_per_size; ++gi) {
+            // Retest the same group at every operating point (see the MAJX
+            // sweep for rationale).
+            const pud::RowGroup group =
+                pud::sample_group(inst.engine.layout(), n, inst.rng);
+            for (double point : points) {
+              auto& env = inst.engine.chip().env();
+              if (sweep_temperature)
+                env.temperature = Celsius{point};
+              else
+                env.vpp = Volts{point};
+              out.add({format_ns(point), std::to_string(n)},
+                      pud::measure_smra(inst.engine, inst.bank, inst.subarray,
+                                        group, cfg, inst.rng));
+            }
+          }
         }
-      }
-    }
-    inst.engine.chip().env() = dram::EnvironmentState{};
-  });
+        inst.engine.chip().env() = dram::EnvironmentState{};
+      });
   return acc.finish(sweep_temperature
                         ? "Fig 4a: SiMRA success rate vs temperature"
                         : "Fig 4b: SiMRA success rate vs wordline voltage",

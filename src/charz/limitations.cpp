@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "charz/figures.hpp"
+#include "charz/runner.hpp"
 #include "charz/series.hpp"
 #include "common/rng.hpp"
 #include "pud/patterns.hpp"
@@ -11,25 +12,25 @@
 namespace simra::charz {
 
 FigureData limitation1_vendor_support(const Plan& plan) {
-  SeriesAccumulator acc;
   Plan with_samsung = plan;
   with_samsung.modules.push_back({dram::VendorProfile::samsung(), 1});
 
-  for_each_instance(with_samsung, [&](Instance& inst) {
-    for (std::size_t n : activation_sizes()) {
-      pud::MeasureConfig cfg;
-      cfg.pattern = dram::DataPattern::kRandom;
-      cfg.trials = plan.trials;
-      cfg.timings = pud::ApaTimings::best_for_smra();
-      for (std::size_t gi = 0; gi < plan.groups_per_size; ++gi) {
-        const pud::RowGroup group =
-            pud::sample_group(inst.engine.layout(), n, inst.rng);
-        acc.add({inst.profile.short_name, std::to_string(n)},
-                pud::measure_smra(inst.engine, inst.bank, inst.subarray,
-                                  group, cfg, inst.rng));
-      }
-    }
-  });
+  const auto acc = run_instances<SeriesAccumulator>(
+      with_samsung, [&plan](Instance& inst, SeriesAccumulator& out) {
+        for (std::size_t n : activation_sizes()) {
+          pud::MeasureConfig cfg;
+          cfg.pattern = dram::DataPattern::kRandom;
+          cfg.trials = plan.trials;
+          cfg.timings = pud::ApaTimings::best_for_smra();
+          for (std::size_t gi = 0; gi < plan.groups_per_size; ++gi) {
+            const pud::RowGroup group =
+                pud::sample_group(inst.engine.layout(), n, inst.rng);
+            out.add({inst.profile.short_name, std::to_string(n)},
+                    pud::measure_smra(inst.engine, inst.bank, inst.subarray,
+                                      group, cfg, inst.rng));
+          }
+        }
+      });
   return acc.finish(
       "Limitation 1: SiMRA success by manufacturer (Mfr. S gates violated "
       "timings)",
@@ -38,45 +39,44 @@ FigureData limitation1_vendor_support(const Plan& plan) {
 
 DisturbanceResult limitation3_disturbance(const Plan& plan,
                                           std::size_t trials_per_group) {
-  DisturbanceResult result;
-  for_each_instance(plan, [&](Instance& inst) {
-    pud::Engine& engine = inst.engine;
-    const std::size_t columns = engine.chip().profile().geometry.columns;
-    const auto rows = static_cast<dram::RowAddr>(engine.layout().rows());
+  return run_instances<DisturbanceResult>(
+      plan, [trials_per_group](Instance& inst, DisturbanceResult& result) {
+        pud::Engine& engine = inst.engine;
+        const std::size_t columns = engine.chip().profile().geometry.columns;
+        const auto rows = static_cast<dram::RowAddr>(engine.layout().rows());
 
-    // Initialize the whole subarray with a known pattern.
-    const BitVec init = pud::make_pattern_row(dram::DataPattern::kRandom,
-                                              columns, inst.rng);
-    for (dram::RowAddr r = 0; r < rows; ++r)
-      engine.write_row(inst.bank, engine.global_of(inst.subarray, r), init);
+        // Initialize the whole subarray with a known pattern.
+        const BitVec init = pud::make_pattern_row(dram::DataPattern::kRandom,
+                                                  columns, inst.rng);
+        for (dram::RowAddr r = 0; r < rows; ++r)
+          engine.write_row(inst.bank, engine.global_of(inst.subarray, r), init);
 
-    const pud::RowGroup group =
-        pud::sample_group(engine.layout(), 32, inst.rng);
-    for (std::size_t t = 0; t < trials_per_group; ++t) {
-      // Exercise all three operations against the same group.
-      engine.apa_then_write(inst.bank, inst.subarray, group, ~init,
-                            pud::ApaTimings::best_for_smra());
-      engine.multi_row_copy(inst.bank, inst.subarray, group);
-      pud::MajxConfig maj;
-      maj.x = 3;
-      maj.operands =
-          pud::make_pattern_rows(dram::DataPattern::kRandom, columns, 3,
-                                 inst.rng);
-      (void)engine.majx(inst.bank, inst.subarray, group, maj);
-      ++result.trials;
-    }
+        const pud::RowGroup group =
+            pud::sample_group(engine.layout(), 32, inst.rng);
+        for (std::size_t t = 0; t < trials_per_group; ++t) {
+          // Exercise all three operations against the same group.
+          engine.apa_then_write(inst.bank, inst.subarray, group, ~init,
+                                pud::ApaTimings::best_for_smra());
+          engine.multi_row_copy(inst.bank, inst.subarray, group);
+          pud::MajxConfig maj;
+          maj.x = 3;
+          maj.operands =
+              pud::make_pattern_rows(dram::DataPattern::kRandom, columns, 3,
+                                     inst.rng);
+          (void)engine.majx(inst.bank, inst.subarray, group, maj);
+          ++result.trials;
+        }
 
-    // Scan every row outside the activated group.
-    for (dram::RowAddr r = 0; r < rows; ++r) {
-      if (std::binary_search(group.rows.begin(), group.rows.end(), r))
-        continue;
-      const BitVec readback =
-          engine.read_row(inst.bank, engine.global_of(inst.subarray, r));
-      result.bitflips_outside_group += readback.hamming_distance(init);
-      result.cells_checked += columns;
-    }
-  });
-  return result;
+        // Scan every row outside the activated group.
+        for (dram::RowAddr r = 0; r < rows; ++r) {
+          if (std::binary_search(group.rows.begin(), group.rows.end(), r))
+            continue;
+          const BitVec readback =
+              engine.read_row(inst.bank, engine.global_of(inst.subarray, r));
+          result.bitflips_outside_group += readback.hamming_distance(init);
+          result.cells_checked += columns;
+        }
+      });
 }
 
 }  // namespace simra::charz

@@ -21,6 +21,12 @@ struct DisturbanceResult {
   std::size_t trials = 0;
   std::size_t cells_checked = 0;
   std::size_t bitflips_outside_group = 0;
+
+  void merge(const DisturbanceResult& other) {
+    trials += other.trials;
+    cells_checked += other.cells_checked;
+    bitflips_outside_group += other.bitflips_outside_group;
+  }
 };
 
 DisturbanceResult limitation3_disturbance(const Plan& plan,

@@ -1,8 +1,7 @@
 #include "charz/plan.hpp"
 
+#include "charz/runner.hpp"
 #include "common/env.hpp"
-#include "common/rng.hpp"
-#include "dram/chip.hpp"
 
 namespace simra::charz {
 
@@ -11,7 +10,9 @@ Plan Plan::quick() {
   p.modules = {{dram::VendorProfile::hynix_m(), 2},
                {dram::VendorProfile::hynix_a(), 1},
                {dram::VendorProfile::micron_e(), 1}};
-  p.chips_per_module = 1;
+  // Two chips per module so the quick plan exposes eight independent
+  // chip tasks to the parallel harness (see charz/runner.hpp).
+  p.chips_per_module = 2;
   p.banks_per_chip = 1;
   p.subarrays_per_bank = 2;
   p.groups_per_size = 3;
@@ -45,34 +46,10 @@ std::size_t Plan::instance_count() const {
 
 void for_each_instance(const Plan& plan,
                        const std::function<void(Instance&)>& fn) {
-  std::uint64_t module_index = 0;
-  for (const Plan::ModuleSpec& spec : plan.modules) {
-    for (std::size_t m = 0; m < spec.count; ++m, ++module_index) {
-      for (std::size_t c = 0; c < plan.chips_per_module; ++c) {
-        // One chip at a time keeps the footprint bounded.
-        dram::Chip chip(spec.profile,
-                        hash_combine(plan.seed, (module_index << 8) | c));
-        pud::Engine engine(&chip);
-        Rng rng(hash_combine(plan.seed, (module_index << 16) | (c << 8) | 1));
-        for (std::size_t b = 0; b < plan.banks_per_chip; ++b) {
-          for (std::size_t s = 0; s < plan.subarrays_per_bank; ++s) {
-            // Sample a subarray uniformly (avoiding duplicates is not
-            // required by the methodology).
-            const auto sa = static_cast<dram::SubarrayId>(
-                rng.below(chip.profile().geometry.subarrays_per_bank()));
-            Instance instance{engine,
-                              static_cast<dram::BankId>(b),
-                              sa,
-                              chip.profile(),
-                              rng,
-                              static_cast<double>(spec.count) /
-                                  static_cast<double>(plan.chips_per_module)};
-            fn(instance);
-          }
-        }
-      }
-    }
-  }
+  // Serial walk: the chip tasks in merge order, one at a time (keeps the
+  // memory footprint at one chip).
+  for (const detail::ChipTask& task : detail::chip_tasks(plan))
+    detail::run_chip_task(plan, task, fn);
 }
 
 }  // namespace simra::charz

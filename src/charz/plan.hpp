@@ -53,8 +53,11 @@ struct Instance {
 };
 
 /// Instantiates the plan's chips and calls `fn` for every sampled
-/// (chip, bank, subarray). Chips are created one at a time so memory
-/// stays bounded.
+/// (chip, bank, subarray), serially on the calling thread. Chips are
+/// created one at a time so memory stays bounded. Experiments that
+/// aggregate into a mergeable accumulator should prefer
+/// `run_instances()` (charz/runner.hpp), which fans the same walk across
+/// a thread pool with bit-identical results.
 void for_each_instance(const Plan& plan,
                        const std::function<void(Instance&)>& fn);
 

@@ -1,0 +1,93 @@
+#include "charz/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "dram/chip.hpp"
+
+namespace simra::charz {
+
+unsigned harness_threads() {
+  const std::int64_t configured = env_int("SIMRA_THREADS", 0);
+  if (configured > 0) return static_cast<unsigned>(configured);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+namespace detail {
+
+std::vector<ChipTask> chip_tasks(const Plan& plan) {
+  std::vector<ChipTask> tasks;
+  std::uint64_t module_index = 0;
+  for (const Plan::ModuleSpec& spec : plan.modules)
+    for (std::size_t m = 0; m < spec.count; ++m, ++module_index)
+      for (std::size_t c = 0; c < plan.chips_per_module; ++c)
+        tasks.push_back({&spec, module_index, c});
+  return tasks;
+}
+
+void run_chip_task(const Plan& plan, const ChipTask& task,
+                   const std::function<void(Instance&)>& fn) {
+  const Plan::ModuleSpec& spec = *task.spec;
+  // Seeds depend only on (plan.seed, module_index, chip_index), never on
+  // scheduling, so any interleaving of tasks yields the same instances.
+  dram::Chip chip(spec.profile, hash_combine(plan.seed, (task.module_index << 8) |
+                                                            task.chip_index));
+  pud::Engine engine(&chip);
+  Rng rng(hash_combine(plan.seed, (task.module_index << 16) |
+                                      (task.chip_index << 8) | 1));
+  for (std::size_t b = 0; b < plan.banks_per_chip; ++b) {
+    for (std::size_t s = 0; s < plan.subarrays_per_bank; ++s) {
+      // Sample a subarray uniformly (avoiding duplicates is not required
+      // by the methodology).
+      const auto sa = static_cast<dram::SubarrayId>(
+          rng.below(chip.profile().geometry.subarrays_per_bank()));
+      Instance instance{engine,
+                        static_cast<dram::BankId>(b),
+                        sa,
+                        chip.profile(),
+                        rng,
+                        static_cast<double>(spec.count) /
+                            static_cast<double>(plan.chips_per_module)};
+      fn(instance);
+    }
+  }
+}
+
+void dispatch_tasks(std::size_t n_tasks, unsigned threads,
+                    const std::function<void(std::size_t)>& fn) {
+  if (n_tasks == 0) return;
+  if (threads <= 1 || n_tasks == 1) {
+    for (std::size_t i = 0; i < n_tasks; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n_tasks) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+  const std::size_t n_workers = std::min<std::size_t>(threads, n_tasks);
+  std::vector<std::thread> pool;
+  pool.reserve(n_workers);
+  for (std::size_t t = 0; t < n_workers; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace detail
+}  // namespace simra::charz

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "charz/plan.hpp"
+
+namespace simra::charz {
+
+/// Worker count the harness fans instance sweeps across: `SIMRA_THREADS`
+/// when set to a positive integer, `hardware_concurrency` otherwise.
+/// 1 means exact serial execution on the calling thread (no pool).
+unsigned harness_threads();
+
+namespace detail {
+
+/// One schedulable unit of work: a fully independent chip. The chip's
+/// Chip / Engine / Rng are seeded purely from (plan.seed, module_index,
+/// chip_index), so a task produces the same instances no matter which
+/// thread runs it, or when.
+struct ChipTask {
+  const Plan::ModuleSpec* spec = nullptr;
+  std::uint64_t module_index = 0;
+  std::size_t chip_index = 0;
+};
+
+/// The plan's chip tasks in deterministic (module, chip) order — the
+/// order the serial walk visits them and the order partial results are
+/// merged in.
+std::vector<ChipTask> chip_tasks(const Plan& plan);
+
+/// Instantiates one chip task's Chip / Engine / Rng and invokes `fn` for
+/// each of its (bank, subarray) instances, in serial-walk order.
+void run_chip_task(const Plan& plan, const ChipTask& task,
+                   const std::function<void(Instance&)>& fn);
+
+/// Runs fn(0 .. n_tasks-1) across up to `threads` workers. `fn` must only
+/// touch state owned by its task index. The first exception thrown by any
+/// task is rethrown on the caller after all workers join.
+void dispatch_tasks(std::size_t n_tasks, unsigned threads,
+                    const std::function<void(std::size_t)>& fn);
+
+}  // namespace detail
+
+/// Parallel instance sweep with deterministic aggregation.
+///
+/// Fans the plan's chips across a pool of `harness_threads()` workers.
+/// Each task accumulates into its own default-constructed `Acc`; once all
+/// tasks finish, the per-chip accumulators are merged in (module, chip)
+/// order. Because each chip's instances are visited in serial-walk order
+/// within their task, and merging appends samples in that same order, the
+/// result is bit-identical for every thread count — including the
+/// single-threaded serial walk.
+///
+/// `Acc` must be default-constructible and provide `merge(const Acc&)`
+/// appending the other accumulator's samples in order (SeriesAccumulator,
+/// SampleSet, RunningStats, DisturbanceResult).
+template <typename Acc, typename Fn>
+Acc run_instances(const Plan& plan, Fn&& fn) {
+  const std::vector<detail::ChipTask> tasks = detail::chip_tasks(plan);
+  std::vector<Acc> partials(tasks.size());
+  detail::dispatch_tasks(tasks.size(), harness_threads(), [&](std::size_t i) {
+    detail::run_chip_task(plan, tasks[i],
+                          [&](Instance& inst) { fn(inst, partials[i]); });
+  });
+  Acc merged;
+  for (const Acc& partial : partials) merged.merge(partial);
+  return merged;
+}
+
+}  // namespace simra::charz

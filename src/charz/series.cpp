@@ -2,25 +2,22 @@
 
 namespace simra::charz {
 
-namespace {
-std::string join_keys(const std::vector<std::string>& keys) {
-  std::string out;
-  for (const std::string& k : keys) {
-    out += k;
-    out += '\x1f';
+SampleSet& SeriesAccumulator::samples_for(
+    const std::vector<std::string>& keys) {
+  auto it = index_.find(keys);
+  if (it == index_.end()) {
+    entries_.push_back({keys, {}});
+    it = index_.emplace(keys, entries_.size() - 1).first;
   }
-  return out;
+  return entries_[it->second].samples;
 }
-}  // namespace
 
 void SeriesAccumulator::add(std::vector<std::string> keys, double value) {
-  const std::string joined = join_keys(keys);
-  auto it = index_.find(joined);
-  if (it == index_.end()) {
-    entries_.push_back({std::move(keys), {}});
-    it = index_.emplace(joined, entries_.size() - 1).first;
-  }
-  entries_[it->second].samples.add(value);
+  samples_for(keys).add(value);
+}
+
+void SeriesAccumulator::merge(const SeriesAccumulator& other) {
+  for (const Entry& e : other.entries_) samples_for(e.keys).merge(e.samples);
 }
 
 FigureData SeriesAccumulator::finish(

@@ -13,6 +13,11 @@ namespace simra::charz {
 class SeriesAccumulator {
  public:
   void add(std::vector<std::string> keys, double value);
+  /// Appends another accumulator's samples key by key, in the other's
+  /// insertion order: existing series grow at the tail, unseen series are
+  /// appended. Merging per-worker accumulators in a fixed order therefore
+  /// reproduces a single-accumulator run bit for bit.
+  void merge(const SeriesAccumulator& other);
   FigureData finish(std::string title,
                     std::vector<std::string> key_columns) const;
 
@@ -21,8 +26,12 @@ class SeriesAccumulator {
     std::vector<std::string> keys;
     SampleSet samples;
   };
+  SampleSet& samples_for(const std::vector<std::string>& keys);
+
   std::vector<Entry> entries_;
-  std::map<std::string, std::size_t> index_;
+  // Keyed by the full key tuple (not a joined string), so keys containing
+  // any byte — including the old '\x1f' join separator — stay distinct.
+  std::map<std::vector<std::string>, std::size_t> index_;
 };
 
 }  // namespace simra::charz

@@ -69,6 +69,10 @@ void RunningStats::merge(const RunningStats& other) noexcept {
   max_ = std::max(max_, other.max_);
 }
 
+void SampleSet::merge(const SampleSet& other) {
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+}
+
 double RunningStats::variance() const noexcept {
   return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
 }

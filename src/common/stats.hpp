@@ -59,6 +59,10 @@ double mean_of(std::span<const double> sample);
 class SampleSet {
  public:
   void add(double value) { values_.push_back(value); }
+  /// Appends another set's values, preserving their order. Appending
+  /// per-worker sets in a fixed order reproduces the value sequence of a
+  /// single-accumulator run exactly (bit-identical mean).
+  void merge(const SampleSet& other);
   void reserve(std::size_t n) { values_.reserve(n); }
   std::size_t size() const noexcept { return values_.size(); }
   bool empty() const noexcept { return values_.empty(); }

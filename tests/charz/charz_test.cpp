@@ -58,6 +58,48 @@ TEST(Series, AccumulatesByKeyInInsertionOrder) {
   EXPECT_THROW((void)data.mean_at({"c", "3"}), std::out_of_range);
 }
 
+TEST(Series, KeysContainingSeparatorBytesStayDistinct) {
+  // Regression: the old string-joined index merged {"a\x1f", "b"} with
+  // {"a", "\x1fb"} (both joined to the same byte string). The tuple-keyed
+  // index must keep every distinct key tuple distinct.
+  SeriesAccumulator acc;
+  acc.add({"a\x1f", "b"}, 1.0);
+  acc.add({"a", "\x1f b"}, 0.0);
+  acc.add({std::string("a\x1f") + "\x1f" + "b"}, 0.5);
+  const FigureData data = acc.finish("t", {"k1", "k2"});
+  ASSERT_EQ(data.rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(data.mean_at({"a\x1f", "b"}), 1.0);
+  EXPECT_DOUBLE_EQ(data.mean_at({"a", "\x1f b"}), 0.0);
+}
+
+TEST(Series, MergeAppendsSamplesAndPreservesInsertionOrder) {
+  // One-shot accumulation...
+  SeriesAccumulator one_shot;
+  one_shot.add({"a"}, 0.1);
+  one_shot.add({"b"}, 0.2);
+  one_shot.add({"a"}, 0.3);
+  one_shot.add({"c"}, 0.4);
+
+  // ...must match accumulating the same stream split across two workers
+  // merged in order: "a"/"b" samples first, then the rest.
+  SeriesAccumulator first, second, merged;
+  first.add({"a"}, 0.1);
+  first.add({"b"}, 0.2);
+  second.add({"a"}, 0.3);
+  second.add({"c"}, 0.4);
+  merged.merge(first);
+  merged.merge(second);
+
+  const FigureData expected = one_shot.finish("t", {"k"});
+  const FigureData actual = merged.finish("t", {"k"});
+  ASSERT_EQ(actual.rows.size(), expected.rows.size());
+  for (std::size_t i = 0; i < expected.rows.size(); ++i) {
+    EXPECT_EQ(actual.rows[i].keys, expected.rows[i].keys);
+    EXPECT_EQ(actual.rows[i].stats.count, expected.rows[i].stats.count);
+    EXPECT_EQ(actual.rows[i].stats.mean, expected.rows[i].stats.mean);
+  }
+}
+
 TEST(Figure, TableRendering) {
   SeriesAccumulator acc;
   acc.add({"x"}, 0.5);

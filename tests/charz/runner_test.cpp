@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "charz/figures.hpp"
+#include "charz/limitations.hpp"
+#include "charz/runner.hpp"
+#include "charz/series.hpp"
+
+namespace simra::charz {
+namespace {
+
+/// Sets SIMRA_THREADS for the test's scope and restores it afterwards.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(const char* value) {
+    const char* old = std::getenv("SIMRA_THREADS");
+    if (old != nullptr) saved_ = old;
+    had_value_ = old != nullptr;
+    if (value != nullptr)
+      ::setenv("SIMRA_THREADS", value, 1);
+    else
+      ::unsetenv("SIMRA_THREADS");
+  }
+  ~ScopedThreads() {
+    if (had_value_)
+      ::setenv("SIMRA_THREADS", saved_.c_str(), 1);
+    else
+      ::unsetenv("SIMRA_THREADS");
+  }
+
+ private:
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+Plan small_plan() {
+  Plan p;
+  p.modules = {{dram::VendorProfile::hynix_m(), 2},
+               {dram::VendorProfile::micron_e(), 1}};
+  p.chips_per_module = 2;
+  p.banks_per_chip = 1;
+  p.subarrays_per_bank = 2;
+  p.groups_per_size = 1;
+  p.trials = 2;
+  p.seed = 77;
+  return p;
+}
+
+void expect_identical(const FigureData& a, const FigureData& b) {
+  EXPECT_EQ(a.title, b.title);
+  EXPECT_EQ(a.key_columns, b.key_columns);
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    EXPECT_EQ(a.rows[i].keys, b.rows[i].keys);
+    const BoxStats& x = a.rows[i].stats;
+    const BoxStats& y = b.rows[i].stats;
+    // EXPECT_EQ on doubles asserts exact (bitwise, for finite values)
+    // equality — the harness guarantee, not an epsilon.
+    EXPECT_EQ(x.min, y.min);
+    EXPECT_EQ(x.q1, y.q1);
+    EXPECT_EQ(x.median, y.median);
+    EXPECT_EQ(x.q3, y.q3);
+    EXPECT_EQ(x.max, y.max);
+    EXPECT_EQ(x.mean, y.mean);
+    EXPECT_EQ(x.count, y.count);
+  }
+}
+
+TEST(Runner, ThreadCountComesFromEnv) {
+  {
+    ScopedThreads scoped("5");
+    EXPECT_EQ(harness_threads(), 5u);
+  }
+  {
+    ScopedThreads scoped("1");
+    EXPECT_EQ(harness_threads(), 1u);
+  }
+  {
+    // Zero, negative, and junk fall back to hardware concurrency (>= 1).
+    ScopedThreads scoped("0");
+    EXPECT_GE(harness_threads(), 1u);
+  }
+  {
+    ScopedThreads scoped("-4");
+    EXPECT_GE(harness_threads(), 1u);
+  }
+  {
+    ScopedThreads scoped(nullptr);
+    EXPECT_GE(harness_threads(), 1u);
+  }
+}
+
+TEST(Runner, ChipTasksEnumerateInMergeOrder) {
+  const Plan p = small_plan();
+  const auto tasks = detail::chip_tasks(p);
+  ASSERT_EQ(tasks.size(), 6u);  // 3 module instances x 2 chips.
+  for (std::size_t i = 1; i < tasks.size(); ++i) {
+    const bool ordered =
+        tasks[i - 1].module_index < tasks[i].module_index ||
+        (tasks[i - 1].module_index == tasks[i].module_index &&
+         tasks[i - 1].chip_index < tasks[i].chip_index);
+    EXPECT_TRUE(ordered) << "task " << i << " out of (module, chip) order";
+  }
+}
+
+TEST(Runner, RunInstancesVisitsEveryInstanceOnce) {
+  ScopedThreads scoped("3");
+  const Plan p = small_plan();
+  struct Counter {
+    std::size_t visits = 0;
+    void merge(const Counter& other) { visits += other.visits; }
+  };
+  const Counter merged = run_instances<Counter>(
+      p, [](Instance&, Counter& c) { ++c.visits; });
+  EXPECT_EQ(merged.visits, p.instance_count());
+}
+
+TEST(Runner, ParallelSweepMatchesSerialWalk) {
+  // The multi-threaded sweep must reproduce the serial for_each_instance
+  // walk bit for bit: same keys in the same order, same sample sequences.
+  const Plan p = small_plan();
+
+  SeriesAccumulator serial;
+  for_each_instance(p, [&](Instance& inst) {
+    serial.add({inst.profile.short_name, std::to_string(inst.bank)},
+               inst.rng.uniform());
+  });
+
+  ScopedThreads scoped("4");
+  const auto parallel = run_instances<SeriesAccumulator>(
+      p, [](Instance& inst, SeriesAccumulator& out) {
+        out.add({inst.profile.short_name, std::to_string(inst.bank)},
+                inst.rng.uniform());
+      });
+
+  expect_identical(serial.finish("t", {"vendor", "bank"}),
+                   parallel.finish("t", {"vendor", "bank"}));
+}
+
+TEST(Runner, DispatchRethrowsTaskExceptions) {
+  EXPECT_THROW(
+      detail::dispatch_tasks(8, 4,
+                             [](std::size_t i) {
+                               if (i == 5) throw std::runtime_error("boom");
+                             }),
+      std::runtime_error);
+}
+
+TEST(Runner, DispatchRunsEveryTaskExactlyOnce) {
+  std::atomic<unsigned> counts[16] = {};
+  detail::dispatch_tasks(16, 7, [&](std::size_t i) { ++counts[i]; });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1u);
+}
+
+TEST(Runner, DisturbanceCountersAreThreadCountInvariant) {
+  Plan p = small_plan();
+  p.modules = {{dram::VendorProfile::hynix_m(), 1}};
+  DisturbanceResult serial, parallel;
+  {
+    ScopedThreads scoped("1");
+    serial = limitation3_disturbance(p, 2);
+  }
+  {
+    ScopedThreads scoped("4");
+    parallel = limitation3_disturbance(p, 2);
+  }
+  EXPECT_EQ(serial.trials, parallel.trials);
+  EXPECT_EQ(serial.cells_checked, parallel.cells_checked);
+  EXPECT_EQ(serial.bitflips_outside_group, parallel.bitflips_outside_group);
+}
+
+// Regression tests for the headline determinism guarantee: the quick plan
+// produces byte-identical figure tables at SIMRA_THREADS=4 and
+// SIMRA_THREADS=1.
+
+TEST(RunnerDeterminism, Fig3QuickPlanIdenticalAcrossThreadCounts) {
+  const Plan p = Plan::quick();
+  FigureData serial, parallel;
+  {
+    ScopedThreads scoped("1");
+    serial = fig3_smra_timing(p);
+  }
+  {
+    ScopedThreads scoped("4");
+    parallel = fig3_smra_timing(p);
+  }
+  expect_identical(serial, parallel);
+}
+
+TEST(RunnerDeterminism, Fig10QuickPlanIdenticalAcrossThreadCounts) {
+  // Quick-plan topology (8 chips across 3 vendors); one group per size
+  // keeps the doubled sweep inside unit-test budget.
+  Plan p = Plan::quick();
+  p.groups_per_size = 1;
+  FigureData serial, parallel;
+  {
+    ScopedThreads scoped("1");
+    serial = fig10_mrc_timing(p);
+  }
+  {
+    ScopedThreads scoped("4");
+    parallel = fig10_mrc_timing(p);
+  }
+  expect_identical(serial, parallel);
+}
+
+}  // namespace
+}  // namespace simra::charz

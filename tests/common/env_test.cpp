@@ -31,5 +31,31 @@ TEST(Env, IntParsing) {
   EXPECT_EQ(env_int("SIMRA_TEST_INT", 7), 7);
 }
 
+TEST(Env, IntParsingEdgeCases) {
+  // Empty value: no digits consumed -> fallback.
+  ::setenv("SIMRA_TEST_INT", "", 1);
+  EXPECT_EQ(env_int("SIMRA_TEST_INT", 7), 7);
+  // Whitespace only: strtoll consumes nothing -> fallback.
+  ::setenv("SIMRA_TEST_INT", "   ", 1);
+  EXPECT_EQ(env_int("SIMRA_TEST_INT", 7), 7);
+  // Leading whitespace before digits is accepted (strtoll semantics).
+  ::setenv("SIMRA_TEST_INT", "  12", 1);
+  EXPECT_EQ(env_int("SIMRA_TEST_INT", 7), 12);
+  // Explicit sign is accepted.
+  ::setenv("SIMRA_TEST_INT", "+8", 1);
+  EXPECT_EQ(env_int("SIMRA_TEST_INT", 7), 8);
+  // Trailing junk after the digits -> fallback, not a partial parse.
+  ::setenv("SIMRA_TEST_INT", "9x", 1);
+  EXPECT_EQ(env_int("SIMRA_TEST_INT", 7), 7);
+  ::setenv("SIMRA_TEST_INT", "12 ", 1);
+  EXPECT_EQ(env_int("SIMRA_TEST_INT", 7), 7);
+  // Hex/octal prefixes are not honored (base-10 parse stops at 'x').
+  ::setenv("SIMRA_TEST_INT", "0x10", 1);
+  EXPECT_EQ(env_int("SIMRA_TEST_INT", 7), 7);
+  ::setenv("SIMRA_TEST_INT", "0", 1);
+  EXPECT_EQ(env_int("SIMRA_TEST_INT", 7), 0);
+  ::unsetenv("SIMRA_TEST_INT");
+}
+
 }  // namespace
 }  // namespace simra

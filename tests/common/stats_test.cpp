@@ -107,5 +107,41 @@ TEST(SampleSet, CollectsAndSummarizes) {
   EXPECT_DOUBLE_EQ(s.box().median, 3.0);
 }
 
+TEST(SampleSet, MergeMatchesOneShotAccumulation) {
+  // Splitting a value stream across sets and merging them in order must
+  // reproduce the one-shot accumulation exactly: same value order, so
+  // bit-identical mean and quartiles.
+  const std::vector<double> values{0.31, 0.97, 0.02, 0.55, 0.75, 0.13, 0.89};
+  SampleSet one_shot;
+  for (double v : values) one_shot.add(v);
+
+  SampleSet first, second, merged;
+  for (std::size_t i = 0; i < values.size(); ++i)
+    (i < 3 ? first : second).add(values[i]);
+  merged.merge(first);
+  merged.merge(second);
+
+  EXPECT_EQ(merged.values(), one_shot.values());
+  const BoxStats a = one_shot.box();
+  const BoxStats b = merged.box();
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.q1, b.q1);
+  EXPECT_EQ(a.median, b.median);
+  EXPECT_EQ(a.q3, b.q3);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.count, b.count);
+}
+
+TEST(SampleSet, MergeWithEmptySets) {
+  SampleSet s, empty;
+  s.add(1.0);
+  s.merge(empty);
+  EXPECT_EQ(s.size(), 1u);
+  empty.merge(s);
+  EXPECT_EQ(empty.size(), 1u);
+  EXPECT_DOUBLE_EQ(empty.values()[0], 1.0);
+}
+
 }  // namespace
 }  // namespace simra
