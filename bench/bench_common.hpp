@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cctype>
 #include <chrono>
 #include <cstdlib>
@@ -14,6 +15,7 @@
 #include "charz/plan.hpp"
 #include "charz/runner.hpp"
 #include "common/env.hpp"
+#include "common/prof.hpp"
 
 namespace simra::bench_common {
 
@@ -115,6 +117,23 @@ class HarnessReport {
               << " instances/s (recorded in " << harness_json_path() << ")\n";
   }
 
+  /// Records the process-wide per-kernel wall-clock totals (simra::prof)
+  /// accumulated so far, replacing this (plan, threads) point's previous
+  /// kernel entries. Call once, after the figure sweeps.
+  void record_kernels() {
+    kernels_ = prof::snapshot();
+    std::erase_if(kernels_,
+                  [](const prof::KernelStats& k) { return k.calls == 0; });
+    if (kernels_.empty()) return;
+    write();
+    std::cout << "[harness] kernel timings (" << harness_json_path()
+              << "):\n";
+    for (const auto& k : kernels_)
+      std::cout << "  " << k.name << ": " << k.calls << " calls, "
+                << Table::num(k.seconds, 3) << " s total, "
+                << Table::num(k.micros_per_call(), 2) << " us/call\n";
+  }
+
  private:
   static std::string entry_json(const HarnessRecord& r) {
     std::ostringstream os;
@@ -126,39 +145,71 @@ class HarnessReport {
     return os.str();
   }
 
-  /// Replacement key for an entry line ("figure"/"plan"/"threads" prefix,
-  /// which entry_json emits first).
+  std::string kernel_json(const prof::KernelStats& k) const {
+    std::ostringstream os;
+    os << "    {\"kernel\": \"" << k.name << "\", \"plan\": \""
+       << (full_scale_run() ? "paper" : "quick")
+       << "\", \"threads\": " << charz::harness_threads()
+       << ", \"calls\": " << k.calls << ", \"seconds\": " << std::fixed
+       << std::setprecision(4) << k.seconds << ", \"us_per_call\": "
+       << std::setprecision(3) << k.micros_per_call() << "}";
+    return os.str();
+  }
+
+  /// Replacement key for an entry line: the prefix before the first
+  /// measured field ("figure"/"plan"/"threads" for figures,
+  /// "kernel"/"plan"/"threads" for kernels). Cut at whichever marker
+  /// appears first — figure entries lead with "seconds", kernel entries
+  /// with "calls".
   static std::string entry_key(const std::string& line) {
-    const std::string marker = ", \"seconds\":";
-    const auto pos = line.find(marker);
-    return pos == std::string::npos ? line : line.substr(0, pos);
+    auto cut = std::string::npos;
+    for (const char* marker : {", \"seconds\":", ", \"calls\":"}) {
+      const auto pos = line.find(marker);
+      if (pos != std::string::npos) cut = std::min(cut, pos);
+    }
+    return cut == std::string::npos ? line : line.substr(0, cut);
   }
 
   void write() const {
     // Keep entries from other runs that this run has not re-measured.
-    std::vector<std::string> lines;
+    std::vector<std::string> figure_lines;
+    std::vector<std::string> kernel_lines;
     std::ifstream in(harness_json_path());
     for (std::string line; std::getline(in, line);) {
-      if (line.find("{\"figure\": \"") == std::string::npos) continue;
+      const bool is_figure = line.find("{\"figure\": \"") != std::string::npos;
+      const bool is_kernel = line.find("{\"kernel\": \"") != std::string::npos;
+      if (!is_figure && !is_kernel) continue;
       if (line.back() == ',') line.pop_back();
       bool replaced = false;
       for (const HarnessRecord& r : records_)
         if (entry_key(line) == entry_key(entry_json(r))) replaced = true;
-      if (!replaced) lines.push_back(line);
+      for (const auto& k : kernels_)
+        if (entry_key(line) == entry_key(kernel_json(k))) replaced = true;
+      if (replaced) continue;
+      (is_figure ? figure_lines : kernel_lines).push_back(line);
     }
-    for (const HarnessRecord& r : records_) lines.push_back(entry_json(r));
+    for (const HarnessRecord& r : records_)
+      figure_lines.push_back(entry_json(r));
+    for (const auto& k : kernels_) kernel_lines.push_back(kernel_json(k));
 
-    std::string out = "{\n  \"schema\": 1,\n  \"figures\": [\n";
-    for (std::size_t i = 0; i < lines.size(); ++i) {
-      out += lines[i];
-      if (i + 1 < lines.size()) out += ",";
-      out += "\n";
-    }
+    const auto append_array = [](std::string& out,
+                                 const std::vector<std::string>& lines) {
+      for (std::size_t i = 0; i < lines.size(); ++i) {
+        out += lines[i];
+        if (i + 1 < lines.size()) out += ",";
+        out += "\n";
+      }
+    };
+    std::string out = "{\n  \"schema\": 2,\n  \"figures\": [\n";
+    append_array(out, figure_lines);
+    out += "  ],\n  \"kernels\": [\n";
+    append_array(out, kernel_lines);
     out += "  ]\n}\n";
     write_file(harness_json_path(), out);
   }
 
   std::vector<HarnessRecord> records_;
+  std::vector<prof::KernelStats> kernels_;
 };
 
 /// Runs `fn(plan)`, records its wall-clock time, thread count, and

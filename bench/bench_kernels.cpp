@@ -1,0 +1,127 @@
+// google-benchmark timings of the word-parallel electrical-model kernels
+// (src/dram/kernels.hpp) against the scalar per-column loops they
+// replaced. Run after kernel changes to confirm the word-at-a-time paths
+// still win; the scalar BM_* variants are the pre-vectorization
+// reference implementations kept verbatim for comparison.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+#include "dram/kernels.hpp"
+#include "dram/process_variation.hpp"
+
+namespace {
+
+using namespace simra;
+
+constexpr std::size_t kColumns = 8192;  // one x8 subarray row
+
+std::vector<float> random_floats(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> out(n);
+  for (float& v : out) v = static_cast<float>(rng.normal());
+  return out;
+}
+
+void BM_ThresholdMask(benchmark::State& state) {
+  const auto zetas = random_floats(kColumns, 1);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(dram::kernels::threshold_mask(zetas, 0.25f));
+}
+BENCHMARK(BM_ThresholdMask);
+
+void BM_ThresholdMaskScalar(benchmark::State& state) {
+  const auto zetas = random_floats(kColumns, 1);
+  for (auto _ : state) {
+    BitVec mask(kColumns);
+    for (std::size_t c = 0; c < kColumns; ++c)
+      if (zetas[c] < 0.25f) mask.set(c, true);
+    benchmark::DoNotOptimize(mask);
+  }
+}
+BENCHMARK(BM_ThresholdMaskScalar);
+
+void BM_LatchRaceMask(benchmark::State& state) {
+  const auto race = random_floats(kColumns, 2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(dram::kernels::latch_race_mask(race, 0.5));
+}
+BENCHMARK(BM_LatchRaceMask);
+
+void BM_OffsetNoiseMask(benchmark::State& state) {
+  const auto offsets = random_floats(kColumns, 3);
+  Rng rng(4);
+  std::vector<double> noise(kColumns);
+  rng.normal_fill(noise);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        dram::kernels::offset_noise_mask(offsets, noise, 0.35));
+}
+BENCHMARK(BM_OffsetNoiseMask);
+
+void BM_Lag8Disagreement(benchmark::State& state) {
+  Rng rng(5);
+  BitVec row(kColumns);
+  row.randomize(rng);
+  for (auto _ : state) {
+    std::size_t total = 0;
+    benchmark::DoNotOptimize(dram::kernels::lag8_disagreement(row, total));
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_Lag8Disagreement);
+
+void BM_Lag8DisagreementScalar(benchmark::State& state) {
+  Rng rng(5);
+  BitVec row(kColumns);
+  row.randomize(rng);
+  for (auto _ : state) {
+    std::size_t disagree = 0, total = 0;
+    for (std::size_t c = 0; c + 8 < row.size(); c += 16) {
+      if (row.get(c) != row.get(c + 8)) ++disagree;
+      ++total;
+    }
+    benchmark::DoNotOptimize(disagree);
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_Lag8DisagreementScalar);
+
+void BM_ColumnPopcounts(benchmark::State& state) {
+  const auto n_rows = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  std::vector<BitVec> rows(n_rows, BitVec(kColumns));
+  for (auto& r : rows) r.randomize(rng);
+  std::vector<const BitVec*> ptrs;
+  for (const auto& r : rows) ptrs.push_back(&r);
+  std::vector<std::uint8_t> counts(kColumns);
+  for (auto _ : state) {
+    dram::kernels::column_popcounts(ptrs, counts);
+    benchmark::DoNotOptimize(counts.data());
+  }
+}
+BENCHMARK(BM_ColumnPopcounts)->Arg(8)->Arg(32);
+
+void BM_ColumnPopcountsScalar(benchmark::State& state) {
+  const auto n_rows = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  std::vector<BitVec> rows(n_rows, BitVec(kColumns));
+  for (auto& r : rows) r.randomize(rng);
+  std::vector<std::uint8_t> counts(kColumns);
+  for (auto _ : state) {
+    for (std::size_t c = 0; c < kColumns; ++c) {
+      std::uint8_t ones = 0;
+      for (const auto& r : rows) ones += r.get(c) ? 1 : 0;
+      counts[c] = ones;
+    }
+    benchmark::DoNotOptimize(counts.data());
+  }
+}
+BENCHMARK(BM_ColumnPopcountsScalar)->Arg(8)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

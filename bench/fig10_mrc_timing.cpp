@@ -24,5 +24,6 @@ int main() {
   std::cout << "  t1=1.5 below second-worst (Obs. 15): paper -49.79% — "
                "measured "
             << Table::num((low - second_worst) * 100.0, 2) << "%\n";
+  bench_common::HarnessReport::global().record_kernels();
   return 0;
 }

@@ -22,5 +22,6 @@ int main() {
   const double low8 = figure.mean_at({"1.5", "1.5", "8"});
   std::cout << "  8-row (1.5,1.5) vs (1.5,3): paper -21.74% — measured "
             << Table::num((low8 - best8) * 100.0, 2) << "%\n";
+  bench_common::HarnessReport::global().record_kernels();
   return 0;
 }

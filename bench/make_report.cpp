@@ -86,6 +86,15 @@ int main() {
   }
   md << "```\n";
 
+  bench_common::HarnessReport::global().record_kernels();
+  md << "\n## Kernel timings (simra::prof)\n\n```\n";
+  for (const auto& k : prof::snapshot()) {
+    if (k.calls == 0) continue;
+    md << k.name << ": " << k.calls << " calls, " << Table::num(k.seconds, 3)
+       << " s total, " << Table::num(k.micros_per_call(), 2) << " us/call\n";
+  }
+  md << "```\n";
+
   const std::string path = "simra_report.md";
   write_file(path, md.str());
   std::cout << "\nreport written to " << path << "\n";

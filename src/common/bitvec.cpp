@@ -10,11 +10,11 @@ namespace simra {
 namespace {
 constexpr std::size_t kWordBits = 64;
 
-std::size_t word_count(std::size_t bits) { return (bits + kWordBits - 1) / kWordBits; }
+std::size_t words_needed(std::size_t bits) { return (bits + kWordBits - 1) / kWordBits; }
 }  // namespace
 
 BitVec::BitVec(std::size_t size, bool value)
-    : size_(size), words_(word_count(size), value ? ~0ULL : 0ULL) {
+    : size_(size), words_(words_needed(size), value ? ~0ULL : 0ULL) {
   clear_trailing();
 }
 
@@ -168,6 +168,35 @@ void BitVec::assign_masked(const BitVec& src, const BitVec& mask) {
   check_same_size(mask);
   for (std::size_t i = 0; i < words_.size(); ++i) {
     words_[i] = (words_[i] & ~mask.words_[i]) | (src.words_[i] & mask.words_[i]);
+  }
+}
+
+std::uint64_t BitVec::word(std::size_t wi) const {
+  if (wi >= words_.size()) throw std::out_of_range("BitVec word out of range");
+  return words_[wi];
+}
+
+void BitVec::set_word(std::size_t wi, std::uint64_t value) {
+  if (wi >= words_.size()) throw std::out_of_range("BitVec word out of range");
+  words_[wi] = value;
+  if (wi + 1 == words_.size()) clear_trailing();
+}
+
+void BitVec::set_range(std::size_t pos, std::size_t len, bool value) {
+  if (pos + len > size_) throw std::out_of_range("set_range out of range");
+  if (len == 0) return;
+  const std::size_t first = pos / kWordBits;
+  const std::size_t last = (pos + len - 1) / kWordBits;
+  for (std::size_t w = first; w <= last; ++w) {
+    std::uint64_t mask = ~0ULL;
+    if (w == first) mask &= ~0ULL << (pos % kWordBits);
+    const std::size_t end_bit = (pos + len - 1) % kWordBits;
+    if (w == last && end_bit != kWordBits - 1)
+      mask &= (1ULL << (end_bit + 1)) - 1;
+    if (value)
+      words_[w] |= mask;
+    else
+      words_[w] &= ~mask;
   }
 }
 

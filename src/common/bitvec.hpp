@@ -64,6 +64,19 @@ class BitVec {
 
   const std::vector<std::uint64_t>& words() const noexcept { return words_; }
 
+  /// Bits per storage word; bit i of word w holds cell index word_bits*w + i.
+  static constexpr std::size_t word_bits() noexcept { return 64; }
+  /// Number of storage words (ceil(size / 64)).
+  std::size_t word_count() const noexcept { return words_.size(); }
+  /// Storage word `wi` (bits [64*wi, 64*wi + 64)).
+  std::uint64_t word(std::size_t wi) const;
+  /// Overwrites storage word `wi`; bits beyond size() are dropped. The
+  /// word-parallel write path for kernels that pack 64 predicate results
+  /// at a time.
+  void set_word(std::size_t wi, std::uint64_t value);
+  /// Sets bits [pos, pos + len) to `value`, a word at a time.
+  void set_range(std::size_t pos, std::size_t len, bool value);
+
  private:
   void check_index(std::size_t i) const;
   void check_same_size(const BitVec& other) const;

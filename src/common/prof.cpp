@@ -1,0 +1,57 @@
+#include "common/prof.hpp"
+
+#include <memory>
+#include <mutex>
+
+namespace simra::prof {
+
+namespace {
+
+/// Owns every counter for the process lifetime. Counters are reachable by
+/// reference from static locals at call sites, so the registry must never
+/// shrink or relocate them (hence unique_ptr slots).
+class Registry {
+ public:
+  static Registry& instance() {
+    static Registry* registry = new Registry();  // never destroyed.
+    return *registry;
+  }
+
+  Counter& get(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& counter : counters_)
+      if (counter->name() == name) return *counter;
+    counters_.push_back(std::unique_ptr<Counter>(new Counter(name)));
+    return *counters_.back();
+  }
+
+  std::vector<KernelStats> snapshot() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<KernelStats> out;
+    out.reserve(counters_.size());
+    for (const auto& counter : counters_)
+      out.push_back({counter->name(), counter->calls(), counter->seconds()});
+    return out;
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& counter : counters_) counter->reset();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<Counter>> counters_;
+};
+
+}  // namespace
+
+Counter& Counter::get(const std::string& name) {
+  return Registry::instance().get(name);
+}
+
+std::vector<KernelStats> snapshot() { return Registry::instance().snapshot(); }
+
+void reset() { Registry::instance().reset(); }
+
+}  // namespace simra::prof

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace simra::prof {
+
+/// Wall-clock accumulator for one named kernel. Counters live in a global
+/// registry (created on first use, never destroyed) and accumulate with
+/// relaxed atomics, so harness worker threads can time the same kernel
+/// concurrently without synchronizing.
+class Counter {
+ public:
+  /// The registry entry for `name`; one counter per distinct name,
+  /// registration order preserved for reporting.
+  static Counter& get(const std::string& name);
+
+  void add(std::uint64_t nanos) noexcept {
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  }
+
+  std::uint64_t calls() const noexcept {
+    return calls_.load(std::memory_order_relaxed);
+  }
+  double seconds() const noexcept {
+    return static_cast<double>(nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  }
+  const std::string& name() const noexcept { return name_; }
+
+  void reset() noexcept {
+    calls_.store(0, std::memory_order_relaxed);
+    nanos_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Prefer `get()`: directly constructed counters are not registered.
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+ private:
+  std::string name_;
+  std::atomic<std::uint64_t> calls_{0};
+  std::atomic<std::uint64_t> nanos_{0};
+};
+
+/// One counter's totals at snapshot time.
+struct KernelStats {
+  std::string name;
+  std::uint64_t calls = 0;
+  double seconds = 0.0;
+
+  double micros_per_call() const noexcept {
+    return calls > 0 ? seconds * 1e6 / static_cast<double>(calls) : 0.0;
+  }
+};
+
+/// All registered counters in registration order (zero-call counters
+/// included).
+std::vector<KernelStats> snapshot();
+
+/// Zeroes every registered counter (names stay registered).
+void reset();
+
+/// RAII wall-clock scope feeding one counter.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Counter& counter) noexcept
+      : counter_(counter), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    counter_.add(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count()));
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Counter& counter_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace simra::prof
+
+/// Times the enclosing scope under `name`. The counter lookup runs once
+/// per call site (static local), so steady-state overhead is two clock
+/// reads and two relaxed fetch_adds.
+#define SIMRA_PROF_SCOPE(name)                                        \
+  static ::simra::prof::Counter& simra_prof_counter_ =                \
+      ::simra::prof::Counter::get(name);                              \
+  ::simra::prof::ScopedTimer simra_prof_timer_ { simra_prof_counter_ }

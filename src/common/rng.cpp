@@ -95,6 +95,10 @@ double Rng::normal(double mean, double stddev) noexcept {
   return mean + stddev * normal();
 }
 
+void Rng::normal_fill(std::span<double> out) noexcept {
+  for (double& v : out) v = normal();
+}
+
 bool Rng::chance(double p) noexcept {
   if (p <= 0.0) return false;
   if (p >= 1.0) return true;

@@ -3,6 +3,7 @@
 #include <array>
 #include <cstdint>
 #include <limits>
+#include <span>
 
 namespace simra {
 
@@ -39,6 +40,11 @@ class Rng {
 
   /// Normal deviate with the given mean and standard deviation.
   double normal(double mean, double stddev) noexcept;
+
+  /// Fills `out` with standard normal deviates in the exact sequence
+  /// repeated `normal()` calls would produce (same draws, same spare-value
+  /// caching), so batched consumers stay value-identical to per-call ones.
+  void normal_fill(std::span<double> out) noexcept;
 
   /// Bernoulli trial with success probability `p`.
   bool chance(double p) noexcept;

@@ -167,10 +167,8 @@ void Bank::resolve_consecutive(RowAddr local, double t1, double t_ns) {
     const BitVec stable =
         ctx_.electrical->copy_stable_mask(bctx, local, 1, source, *ctx_.env);
     BitVec& cells = s.row_data(local);
-    for (std::size_t c = 0; c < cells.size(); ++c) {
-      // Write-back failures retain the destination's previous charge.
-      if (stable.get(c)) cells.set(c, source.get(c));
-    }
+    // Write-back failures retain the destination's previous charge.
+    cells.assign_masked(source, stable);
     row_buffer_ = cells;
   }
 }
@@ -219,19 +217,18 @@ void Bank::resolve_simultaneous(RowAddr second_local, double t1, double t2,
   ChargeShareResult share = ctx_.electrical->resolve_charge_share(
       bctx, rows, pattern_noise, *ctx_.env, apa_, *ctx_.rng);
 
-  // Blend with the SA-latched (copy) outcome per bitline.
+  // Blend with the SA-latched (copy) outcome per bitline. The latch-race
+  // mask is resolved once for the whole operation instead of re-querying
+  // bitline_latched() column by column (and row by row below).
   const std::size_t columns = ctx_.profile->geometry.columns;
-  BitVec resolved(columns);
   const std::size_t n_dest = open_local_rows_.size() > 0
                                  ? open_local_rows_.size() - 1
                                  : 0;
-  if (apa_.latch_fraction <= 0.0) {
-    resolved = share.resolved;
-  } else {
-    for (std::size_t c = 0; c < columns; ++c) {
-      const bool latched = ctx_.electrical->bitline_latched(bctx, c, apa_);
-      resolved.set(c, latched ? source.get(c) : share.resolved.get(c));
-    }
+  BitVec resolved = share.resolved;
+  BitVec latched(columns);
+  if (apa_.latch_fraction > 0.0) {
+    latched = ctx_.electrical->latched_mask(bctx, apa_);
+    resolved.assign_masked(source, latched);
   }
 
   // The SAs restore the resolved value into every driven row. On latched
@@ -242,13 +239,10 @@ void Bank::resolve_simultaneous(RowAddr second_local, double t1, double t2,
     if (apa_.latch_fraction > 0.0 && r != first_local && n_dest > 0) {
       const BitVec stable = ctx_.electrical->copy_stable_mask(
           bctx, r, n_dest, resolved, *ctx_.env);
-      for (std::size_t c = 0; c < columns; ++c) {
-        if (!ctx_.electrical->bitline_latched(bctx, c, apa_) ||
-            stable.get(c)) {
-          cells.set(c, resolved.get(c));
-        }
-        // Copy-unstable cells retain their previous charge.
-      }
+      // Cells take the resolved value except where a latched bitline's
+      // write-back failed: copy-unstable cells retain their previous
+      // charge.
+      cells.assign_masked(resolved, ~latched | stable);
     } else {
       cells = resolved;
     }
@@ -287,15 +281,18 @@ void Bank::write(ColAddr start_bit, const BitVec& data, double t_ns) {
   row_buffer_.assign_range(start_bit, data);
   Subarray& s = subarray(open_sa_);
   const bool full_row = start_bit == 0 && data.size() == row_buffer_.size();
+  BitVec window;
+  if (!full_row) {
+    window = BitVec(row_buffer_.size());
+    window.set_range(start_bit, data.size(), true);
+  }
   for (std::size_t i = 0; i < open_local_rows_.size(); ++i) {
     const BitVec& mask = write_mask_for(i);
     BitVec& cells = s.row_data(open_local_rows_[i]);
     if (full_row) {
       cells.assign_masked(row_buffer_, mask);
     } else {
-      for (std::size_t c = start_bit; c < start_bit + data.size(); ++c) {
-        if (mask.get(c)) cells.set(c, row_buffer_.get(c));
-      }
+      cells.assign_masked(row_buffer_, mask & window);
     }
   }
 }

@@ -5,8 +5,10 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/prof.hpp"
 #include "common/rng.hpp"
 #include "dram/calibration.hpp"
+#include "dram/kernels.hpp"
 
 namespace simra::dram {
 
@@ -60,21 +62,55 @@ double mrc_latch_fraction(double t1_ns) {
 
 }  // namespace calib
 
+std::size_t ElectricalModel::DeviateKeyHash::operator()(
+    const DeviateKey& k) const noexcept {
+  return static_cast<std::size_t>(hash_combine(
+      hash_combine(hash_combine(k.salt, k.k1), k.k2), k.count));
+}
+
 std::span<const float> ElectricalModel::deviates(std::uint64_t salt,
                                                  std::uint64_t k1,
                                                  std::uint64_t k2,
                                                  std::size_t count) const {
-  const std::uint64_t key =
-      hash_combine(hash_combine(hash_combine(salt, k1), k2), count);
+  constexpr std::size_t kCapacity = 4096;  // bound memory.
+  const DeviateKey key{salt, k1, k2, count};
   auto it = deviate_cache_.find(key);
-  if (it == deviate_cache_.end()) {
-    if (deviate_cache_.size() > 4096) deviate_cache_.clear();  // bound memory.
-    std::vector<float> values(count);
-    for (std::size_t c = 0; c < count; ++c)
-      values[c] = static_cast<float>(variation_->normal(salt, k1, k2, c));
-    it = deviate_cache_.emplace(key, std::move(values)).first;
+  if (it != deviate_cache_.end()) {
+    // Refresh recency so hot spans survive trimming.
+    deviate_order_.splice(deviate_order_.end(), deviate_order_,
+                          it->second.order_it);
+    return it->second.values;
   }
-  return it->second;
+  SIMRA_PROF_SCOPE("electrical/deviates_miss");
+  while (deviate_cache_.size() >= kCapacity) {
+    deviate_cache_.erase(deviate_order_.front());
+    deviate_order_.pop_front();
+  }
+  std::vector<float> values(count);
+  variation_->normal_fill(salt, k1, k2, values);
+  deviate_order_.push_back(key);
+  it = deviate_cache_
+           .emplace(key, DeviateEntry{std::move(values),
+                                      std::prev(deviate_order_.end())})
+           .first;
+  return it->second.values;
+}
+
+const BitVec& ElectricalModel::threshold_mask_cached(std::uint64_t salt,
+                                                     std::uint64_t k1,
+                                                     std::uint64_t k2,
+                                                     std::size_t count,
+                                                     float z_eff) const {
+  const auto key = std::make_tuple(salt, k1, k2, count,
+                                   std::bit_cast<std::uint32_t>(z_eff));
+  auto it = threshold_mask_cache_.find(key);
+  if (it != threshold_mask_cache_.end()) return it->second;
+  SIMRA_PROF_SCOPE("electrical/threshold_mask_compute");
+  if (threshold_mask_cache_.size() >= 4096) threshold_mask_cache_.clear();
+  const std::span<const float> zetas = deviates(salt, k1, k2, count);
+  return threshold_mask_cache_
+      .emplace(key, kernels::threshold_mask(zetas, z_eff))
+      .first->second;
 }
 
 std::uint64_t group_key_of(std::span<const RowAddr> rows) {
@@ -139,64 +175,147 @@ double ElectricalModel::group_quality(const BitlineContext& ctx,
 
 double ElectricalModel::estimate_pattern_noise(
     std::span<const ConnectedRow> rows) {
+  SIMRA_PROF_SCOPE("electrical/estimate_pattern_noise");
   // Byte-periodic (fixed) data perturbs neighbouring bitlines coherently
   // along the run and its coupling cancels; aperiodic (random) data does
-  // not. Measured as the lag-8 bit disagreement of the stored data.
+  // not. Measured as the lag-8 bit disagreement of the stored data,
+  // sampled every 16th position — word-shift/XOR form of probing
+  // get(c) != get(c + 8) bit by bit.
   std::size_t disagree = 0;
   std::size_t total = 0;
   for (const ConnectedRow& row : rows) {
     if (row.data == nullptr) continue;
-    const BitVec& v = *row.data;
-    if (v.size() <= 8) continue;
-    // Sample every 16th position: enough to distinguish periodic from
-    // random data without a full scan.
-    for (std::size_t c = 0; c + 8 < v.size(); c += 16) {
-      disagree += (v.get(c) != v.get(c + 8)) ? 1u : 0u;
-      ++total;
-    }
+    disagree += kernels::lag8_disagreement(*row.data, total);
   }
   if (total == 0) return 0.0;
   return std::min(0.5, static_cast<double>(disagree) / static_cast<double>(total));
 }
 
+namespace {
+
+/// Resolution precomputed for one discrete per-column sum value: the
+/// gain/pow/threshold chain is a pure function of the sum, so it runs
+/// once per distinct value instead of once per column.
+struct SumClass {
+  bool computed = false;
+  bool tie = false;
+  bool majority_one = false;
+  double zg = 0.0;  ///< z / g, compared against the column's zeta deviate.
+};
+
+/// Parameters of the per-sum margin math, captured once per resolve.
+struct MarginMath {
+  double gain = 0.0;
+  double g = 1.0;
+  double noise_denominator = 1.0;
+  double threshold = 0.0;
+  double vendor_shift = 0.0;
+  double majx_z_penalty = 0.0;
+  double n_connected = 0.0;
+};
+
+/// Computes one class entry with exactly the per-column math of the
+/// scalar loop (double-promoted float sum in, z/g threshold out).
+SumClass make_sum_class(float fsum, const MarginMath& m) {
+  const auto& p = calib::kMajx;
+  SumClass e;
+  e.computed = true;
+  const double sum = fsum;
+  if (std::abs(sum) < 1e-9) {
+    e.tie = true;
+    return e;
+  }
+  e.majority_one = sum > 0.0;
+  const double x =
+      m.gain * std::pow(std::abs(sum) / (p.cap_ratio + m.n_connected),
+                        p.margin_exponent);
+  const double z = (x - m.threshold) / m.noise_denominator -
+                   m.majx_z_penalty + m.vendor_shift;
+  e.zg = z / m.g;
+  return e;
+}
+
+/// Folds the per-column accumulation sequence of a (lead, odd, tail)
+/// weight-class combination: `n_lead` rows of `tw_common` set before the
+/// odd-weight row, the odd row itself when `has_odd`, then `n_tail` more
+/// common rows — the exact float-addition order of the scalar loop over
+/// rows, which is what makes the per-class sums bit-identical to it.
+float fold_class_sum(float total_weight, std::size_t n_lead, bool has_odd,
+                     float tw_odd, std::size_t n_tail, float tw_common) {
+  float sum = -total_weight;
+  for (std::size_t i = 0; i < n_lead; ++i) sum += tw_common;
+  if (has_odd) sum += tw_odd;
+  for (std::size_t i = 0; i < n_tail; ++i) sum += tw_common;
+  return sum;
+}
+
+}  // namespace
+
 ChargeShareResult ElectricalModel::resolve_charge_share(
     const BitlineContext& ctx, std::span<const ConnectedRow> rows,
     double pattern_noise, const EnvironmentState& env, const ApaDecision& apa,
     Rng& rng) const {
+  SIMRA_PROF_SCOPE("electrical/resolve_charge_share");
   const auto& p = calib::kMajx;
   const std::size_t columns = ctx.columns;
-  const auto n_connected = static_cast<double>(rows.size());
 
   ChargeShareResult out;
   out.resolved = BitVec(columns);
   out.stable = BitVec(columns);
 
-  const double gain = env_gain(env);
-  const double g = group_quality(ctx, kSaltMajGroup);
-  const double noise_denominator = std::sqrt(1.0 + n_connected * p.cell_noise);
-  const double threshold = p.threshold + p.coupling * pattern_noise;
-  const double vendor_shift = profile_->maj_margin_shift;
+  MarginMath m;
+  m.n_connected = static_cast<double>(rows.size());
+  m.gain = env_gain(env);
+  m.g = group_quality(ctx, kSaltMajGroup);
+  m.noise_denominator = std::sqrt(1.0 + m.n_connected * p.cell_noise);
+  m.threshold = p.threshold + p.coupling * pattern_noise;
+  m.vendor_shift = profile_->maj_margin_shift;
+  m.majx_z_penalty = apa.majx_z_penalty;
 
-  // Per-column signed, weighted cell sums. Rows fall into weight classes
-  // (the first-activated row vs the rest), so the inner accumulation is a
-  // per-class popcount plus one weighted combine.
+  // Rows fall into weight classes (the first-activated row vs the rest),
+  // so each column's signed float sum — accumulated row by row in the
+  // scalar model — takes one value per (set bits before the odd-weight
+  // row, odd row's bit, set bits after) combination. Classify every
+  // column with bit-sliced popcounts, then run the pow/threshold chain
+  // once per class.
   float total_weight = 0.0f;
-  for (const ConnectedRow& row : rows)
-    if (row.data != nullptr) total_weight += static_cast<float>(row.weight);
-  // Every column starts at "all cells discharged" (-total weight); each
-  // set bit flips its cell's contribution to +w.
-  std::vector<float> sums(columns, -total_weight);
+  std::vector<const BitVec*> data_rows;
+  std::vector<float> twice_w;
+  data_rows.reserve(rows.size());
+  twice_w.reserve(rows.size());
   for (const ConnectedRow& row : rows) {
     if (row.data == nullptr) continue;  // Frac row: capacitance only.
-    const float twice_w = 2.0f * static_cast<float>(row.weight);
-    const auto& words = row.data->words();
-    for (std::size_t wi = 0; wi < words.size(); ++wi) {
-      std::uint64_t word = words[wi];
-      const std::size_t base = wi * 64;
-      while (word != 0) {
-        const auto bit = static_cast<std::size_t>(std::countr_zero(word));
-        word &= word - 1;
-        if (base + bit < columns) sums[base + bit] += twice_w;
+    total_weight += static_cast<float>(row.weight);
+    data_rows.push_back(row.data);
+    twice_w.push_back(2.0f * static_cast<float>(row.weight));
+  }
+  const std::size_t k = data_rows.size();
+
+  // Weight-class shape: all rows equal, or exactly one odd row among
+  // equals. Anything richer (3+ classes) falls back to the scalar loop.
+  bool all_equal = true;
+  for (std::size_t i = 1; i < k; ++i)
+    if (twice_w[i] != twice_w[0]) all_equal = false;
+  std::size_t odd_index = k;  // k = no odd row.
+  bool two_class = false;
+  if (!all_equal && k >= 2) {
+    for (std::size_t candidate = 0; candidate < k && !two_class; ++candidate) {
+      bool rest_equal = true;
+      float common = 0.0f;
+      bool have_common = false;
+      for (std::size_t i = 0; i < k; ++i) {
+        if (i == candidate) continue;
+        if (!have_common) {
+          common = twice_w[i];
+          have_common = true;
+        } else if (twice_w[i] != common) {
+          rest_equal = false;
+          break;
+        }
+      }
+      if (rest_equal && twice_w[candidate] != common) {
+        two_class = true;
+        odd_index = candidate;
       }
     }
   }
@@ -206,27 +325,112 @@ ChargeShareResult ElectricalModel::resolve_charge_share(
   const std::span<const float> polarities =
       deviates(kSaltMajPolarity, ctx.bank, ctx.subarray, columns);
 
+  bool full_width = true;
+  for (const BitVec* row : data_rows)
+    if (row->size() < columns) full_width = false;
+
+  if ((all_equal || two_class) && k <= 63 && full_width) {
+    // Per-column class indices from bit-sliced popcounts.
+    std::vector<std::uint8_t> lead_counts(columns, 0);
+    std::vector<std::uint8_t> tail_counts;
+    const BitVec* odd_row = nullptr;
+    float tw_common = k > 0 ? twice_w[0] : 0.0f;
+    std::size_t n_lead_rows = k;
+    std::size_t n_tail_rows = 0;
+    if (two_class) {
+      odd_row = data_rows[odd_index];
+      tw_common = twice_w[odd_index == 0 ? 1 : 0];
+      n_lead_rows = odd_index;
+      n_tail_rows = k - odd_index - 1;
+      tail_counts.assign(columns, 0);
+      kernels::column_popcounts(
+          std::span<const BitVec* const>(data_rows.data(), n_lead_rows),
+          lead_counts);
+      kernels::column_popcounts(
+          std::span<const BitVec* const>(data_rows.data() + odd_index + 1,
+                                         n_tail_rows),
+          tail_counts);
+    } else if (k > 0) {
+      kernels::column_popcounts(
+          std::span<const BitVec* const>(data_rows.data(), k), lead_counts);
+    }
+
+    const float tw_odd = two_class ? twice_w[odd_index] : 0.0f;
+    const std::size_t tail_span = n_tail_rows + 1;
+    const std::size_t n_classes =
+        two_class ? (n_lead_rows + 1) * tail_span * 2 : n_lead_rows + 1;
+    std::vector<SumClass> classes(n_classes);
+
+    std::size_t c = 0;
+    for (std::size_t wi = 0; c < columns; ++wi) {
+      const std::uint64_t odd_word =
+          odd_row != nullptr ? odd_row->words()[wi] : 0;
+      std::uint64_t resolved_word = 0;
+      std::uint64_t stable_word = 0;
+      const std::size_t limit = std::min<std::size_t>(64, columns - c);
+      for (std::size_t b = 0; b < limit; ++b, ++c) {
+        const std::size_t n_lead = lead_counts[c];
+        std::size_t index = n_lead;
+        bool odd_set = false;
+        std::size_t n_tail = 0;
+        if (two_class) {
+          odd_set = (odd_word >> b) & 1ULL;
+          n_tail = tail_counts[c];
+          index = (n_lead * tail_span + n_tail) * 2 +
+                  static_cast<std::size_t>(odd_set);
+        }
+        SumClass& e = classes[index];
+        if (!e.computed)
+          e = make_sum_class(fold_class_sum(total_weight, n_lead, odd_set,
+                                            tw_odd, n_tail, tw_common),
+                             m);
+        if (e.tie) {
+          // Perfect tie: the SA resolves metastably.
+          resolved_word |= static_cast<std::uint64_t>(rng.chance(0.5)) << b;
+          ++out.ties;
+        } else if (e.zg > zetas[c]) {
+          resolved_word |= static_cast<std::uint64_t>(e.majority_one) << b;
+          stable_word |= 1ULL << b;
+        } else {
+          // Below-margin bitline: the SA falls to its persistent offset
+          // side, i.e. the cell is correct for one input polarity and
+          // wrong for the other — which is why such cells fail the
+          // all-trials metric.
+          resolved_word |= static_cast<std::uint64_t>(polarities[c] > 0.0f)
+                           << b;
+        }
+      }
+      out.resolved.set_word(wi, resolved_word);
+      out.stable.set_word(wi, stable_word);
+    }
+    return out;
+  }
+
+  // Scalar fallback (3+ weight classes or > 63 rows): the original
+  // per-column accumulation and margin math.
+  std::vector<float> sums(columns, -total_weight);
+  for (std::size_t ri = 0; ri < k; ++ri) {
+    const float tw = twice_w[ri];
+    const auto& words = data_rows[ri]->words();
+    for (std::size_t wi = 0; wi < words.size(); ++wi) {
+      std::uint64_t word = words[wi];
+      const std::size_t base = wi * 64;
+      while (word != 0) {
+        const auto bit = static_cast<std::size_t>(std::countr_zero(word));
+        word &= word - 1;
+        if (base + bit < columns) sums[base + bit] += tw;
+      }
+    }
+  }
   for (std::size_t c = 0; c < columns; ++c) {
-    const double sum = sums[c];
-    if (std::abs(sum) < 1e-9) {
-      // Perfect tie: the SA resolves metastably.
+    const SumClass e = make_sum_class(sums[c], m);
+    if (e.tie) {
       out.resolved.set(c, rng.chance(0.5));
       ++out.ties;
-      continue;
-    }
-    const bool majority_one = sum > 0.0;
-    const double x =
-        gain * std::pow(std::abs(sum) / (p.cap_ratio + n_connected),
-                        p.margin_exponent);
-    const double z =
-        (x - threshold) / noise_denominator - apa.majx_z_penalty + vendor_shift;
-    if (z / g > zetas[c]) {
-      out.resolved.set(c, majority_one);
+    } else if (e.zg > zetas[c]) {
+      out.resolved.set(c, e.majority_one);
       out.stable.set(c, true);
     } else {
-      // Below-margin bitline: the SA falls to its persistent offset side,
-      // i.e. the cell is correct for one input polarity and wrong for the
-      // other — which is why such cells fail the all-trials metric.
       out.resolved.set(c, polarities[c] > 0.0f);
     }
   }
@@ -238,6 +442,7 @@ BitVec ElectricalModel::write_overdrive_mask(const BitlineContext& ctx,
                                              unsigned differing_fields,
                                              const EnvironmentState& env,
                                              const ApaDecision& apa) const {
+  SIMRA_PROF_SCOPE("electrical/write_overdrive_mask");
   const auto& p = calib::kSmra;
   double z = p.z_best - apa.smra_z_penalty;
   if (differing_fields >= 5) z -= p.penalty_full_tree;
@@ -246,19 +451,17 @@ BitVec ElectricalModel::write_overdrive_mask(const BitlineContext& ctx,
   const double g = group_quality(ctx, kSaltSmraGroup);
   const auto z_eff = static_cast<float>(z / g);
 
-  const std::span<const float> zetas =
-      deviates(kSaltSmraOffset, ctx.bank,
-               (static_cast<std::uint64_t>(ctx.subarray) << 32) | local_row,
-               ctx.columns);
-  BitVec mask(ctx.columns);
-  for (std::size_t c = 0; c < ctx.columns; ++c) mask.set(c, zetas[c] < z_eff);
-  return mask;
+  return threshold_mask_cached(
+      kSaltSmraOffset, ctx.bank,
+      (static_cast<std::uint64_t>(ctx.subarray) << 32) | local_row,
+      ctx.columns, z_eff);
 }
 
 BitVec ElectricalModel::copy_stable_mask(const BitlineContext& ctx,
                                          RowAddr dest_row, std::size_t n_dest,
                                          const BitVec& source,
                                          const EnvironmentState& env) const {
+  SIMRA_PROF_SCOPE("electrical/copy_stable_mask");
   const auto& p = calib::kMrc;
   std::size_t bucket = 0;
   if (n_dest > 15)
@@ -280,13 +483,10 @@ BitVec ElectricalModel::copy_stable_mask(const BitlineContext& ctx,
   const double g = group_quality(ctx, kSaltCopyGroup);
   const auto z_eff = static_cast<float>(z / g);
 
-  const std::span<const float> zetas =
-      deviates(kSaltCopyOffset, ctx.bank,
-               (static_cast<std::uint64_t>(ctx.subarray) << 32) | dest_row,
-               ctx.columns);
-  BitVec mask(ctx.columns);
-  for (std::size_t c = 0; c < ctx.columns; ++c) mask.set(c, zetas[c] < z_eff);
-  return mask;
+  return threshold_mask_cached(
+      kSaltCopyOffset, ctx.bank,
+      (static_cast<std::uint64_t>(ctx.subarray) << 32) | dest_row,
+      ctx.columns, z_eff);
 }
 
 bool ElectricalModel::bitline_latched(const BitlineContext& ctx,
@@ -301,22 +501,43 @@ bool ElectricalModel::bitline_latched(const BitlineContext& ctx,
   return normal_cdf(race[column]) < apa.latch_fraction;
 }
 
+BitVec ElectricalModel::latched_mask(const BitlineContext& ctx,
+                                     const ApaDecision& apa) const {
+  SIMRA_PROF_SCOPE("electrical/latched_mask");
+  if (apa.latch_fraction <= 0.0) return BitVec(ctx.columns);
+  if (apa.latch_fraction >= 1.0) return BitVec(ctx.columns, true);
+  const auto key = std::make_tuple(
+      ctx.bank, ctx.subarray, ctx.columns,
+      std::bit_cast<std::uint64_t>(apa.latch_fraction));
+  auto it = latch_mask_cache_.find(key);
+  if (it == latch_mask_cache_.end()) {
+    if (latch_mask_cache_.size() > 256) latch_mask_cache_.clear();
+    const std::span<const float> race =
+        deviates(kSaltLatchRace, ctx.bank, ctx.subarray, ctx.columns);
+    it = latch_mask_cache_
+             .emplace(key, kernels::latch_race_mask(race, apa.latch_fraction))
+             .first;
+  }
+  return it->second;
+}
+
 BitVec ElectricalModel::sense_frac_row(const BitlineContext& ctx,
                                        Rng& rng) const {
-  BitVec out(ctx.columns);
+  SIMRA_PROF_SCOPE("electrical/sense_frac_row");
   if (profile_->sense_amp_bias != 0) {
+    BitVec out(ctx.columns);
     out.fill(profile_->sense_amp_bias > 0);
     return out;
   }
   // Unbiased SAs resolve from their (persistent) offset plus thermal
   // noise: weak-offset bitlines flip trial to trial (the entropy source
-  // of SiMRA-based TRNGs).
+  // of SiMRA-based TRNGs). The noise draws are batched but follow the
+  // exact per-column draw order of the scalar loop.
   const std::span<const float> offsets =
       deviates(kSaltFracSense, ctx.bank, ctx.subarray, ctx.columns);
-  for (std::size_t c = 0; c < ctx.columns; ++c) {
-    out.set(c, offsets[c] + 0.35 * rng.normal() > 0.0);
-  }
-  return out;
+  std::vector<double> noise(ctx.columns);
+  rng.normal_fill(noise);
+  return kernels::offset_noise_mask(offsets, noise, 0.35);
 }
 
 }  // namespace simra::dram

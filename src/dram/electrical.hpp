@@ -1,7 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
+#include <map>
 #include <span>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
@@ -125,8 +128,16 @@ class ElectricalModel {
   /// Whether the sense amplifier of column `c` had latched the source
   /// value before the second ACT connected the other rows (persistent
   /// per bitline; the fraction of latched bitlines is apa.latch_fraction).
+  /// Scalar reference for `latched_mask` — prefer the batched form on hot
+  /// paths: each call here re-resolves the full deviate span.
   bool bitline_latched(const BitlineContext& ctx, std::size_t column,
                        const ApaDecision& apa) const;
+
+  /// All columns' latch-race outcomes at once: bit c set iff
+  /// bitline_latched(ctx, c, apa). Memoized per (bank, subarray, columns,
+  /// latch_fraction) — the race deviates are persistent and the threshold
+  /// only depends on the APA timing, so repeated trials reuse the mask.
+  BitVec latched_mask(const BitlineContext& ctx, const ApaDecision& apa) const;
 
   /// Resolves sensing of a single Frac (VDD/2) row: each SA falls to its
   /// bias/offset side. Deterministic per bitline for biased designs
@@ -141,17 +152,60 @@ class ElectricalModel {
   const VendorProfile& profile() const noexcept { return *profile_; }
 
  private:
+  /// Full identity of one deviate span. Keying the cache by the whole
+  /// tuple (rather than a folded 64-bit digest) makes hash collisions
+  /// harmless: equal keys are equal spans by construction.
+  struct DeviateKey {
+    std::uint64_t salt = 0;
+    std::uint64_t k1 = 0;
+    std::uint64_t k2 = 0;
+    std::size_t count = 0;
+    bool operator==(const DeviateKey&) const = default;
+  };
+  struct DeviateKeyHash {
+    std::size_t operator()(const DeviateKey& k) const noexcept;
+  };
+  struct DeviateEntry {
+    std::vector<float> values;
+    std::list<DeviateKey>::iterator order_it;
+  };
+
   double group_quality(const BitlineContext& ctx, std::uint64_t salt) const;
 
   /// Per-column persistent deviates for one (salt, k1, k2) entity row,
   /// memoized: they are pure functions of the variation field, and the
   /// characterization sweeps re-touch the same rows thousands of times.
+  /// Returned spans stay valid until the entry is evicted; eviction is
+  /// least-recently-used, so spans fetched in the current operation are
+  /// never invalidated by a later fetch in the same operation.
   std::span<const float> deviates(std::uint64_t salt, std::uint64_t k1,
                                   std::uint64_t k2, std::size_t count) const;
 
   const VendorProfile* profile_;
   const VariationField* variation_;
-  mutable std::unordered_map<std::uint64_t, std::vector<float>> deviate_cache_;
+  /// LRU over deviate spans: `deviate_order_` is recency order (front =
+  /// coldest); hits are spliced to the back, so trimming the front keeps
+  /// the spans the current figure is touching.
+  mutable std::list<DeviateKey> deviate_order_;
+  mutable std::unordered_map<DeviateKey, DeviateEntry, DeviateKeyHash>
+      deviate_cache_;
+  /// Memoized latch-race masks, keyed by (bank, subarray, columns,
+  /// latch_fraction bits).
+  mutable std::map<
+      std::tuple<BankId, SubarrayId, std::size_t, std::uint64_t>, BitVec>
+      latch_mask_cache_;
+
+  /// Memoized `zetas < z_eff` stability masks for write_overdrive_mask and
+  /// copy_stable_mask: the mask is a pure function of the deviate span
+  /// identity (salt, k1, k2, count) and the folded threshold, and the
+  /// trial loops re-request the same (row, threshold) point every trial.
+  const BitVec& threshold_mask_cached(std::uint64_t salt, std::uint64_t k1,
+                                      std::uint64_t k2, std::size_t count,
+                                      float z_eff) const;
+  mutable std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t,
+                              std::size_t, std::uint32_t>,
+                   BitVec>
+      threshold_mask_cache_;
 };
 
 /// Hash of a sorted activated-row set, for group-quality keying.

@@ -1,0 +1,123 @@
+#include "dram/kernels.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "dram/process_variation.hpp"
+
+namespace simra::dram::kernels {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+}  // namespace
+
+BitVec threshold_mask(std::span<const float> zetas, float z_eff) {
+  BitVec mask(zetas.size());
+  const std::size_t n = zetas.size();
+  std::size_t c = 0;
+  for (std::size_t wi = 0; c < n; ++wi) {
+    std::uint64_t word = 0;
+    const std::size_t limit = std::min(kWordBits, n - c);
+    for (std::size_t b = 0; b < limit; ++b, ++c)
+      word |= static_cast<std::uint64_t>(zetas[c] < z_eff) << b;
+    mask.set_word(wi, word);
+  }
+  return mask;
+}
+
+BitVec latch_race_mask(std::span<const float> race, double latch_fraction) {
+  BitVec mask(race.size());
+  const std::size_t n = race.size();
+  std::size_t c = 0;
+  for (std::size_t wi = 0; c < n; ++wi) {
+    std::uint64_t word = 0;
+    const std::size_t limit = std::min(kWordBits, n - c);
+    for (std::size_t b = 0; b < limit; ++b, ++c)
+      word |= static_cast<std::uint64_t>(normal_cdf(race[c]) < latch_fraction)
+              << b;
+    mask.set_word(wi, word);
+  }
+  return mask;
+}
+
+BitVec offset_noise_mask(std::span<const float> offsets,
+                         std::span<const double> noise, double noise_scale) {
+  if (offsets.size() != noise.size())
+    throw std::invalid_argument("offset/noise span size mismatch");
+  BitVec mask(offsets.size());
+  const std::size_t n = offsets.size();
+  std::size_t c = 0;
+  for (std::size_t wi = 0; c < n; ++wi) {
+    std::uint64_t word = 0;
+    const std::size_t limit = std::min(kWordBits, n - c);
+    for (std::size_t b = 0; b < limit; ++b, ++c)
+      word |= static_cast<std::uint64_t>(offsets[c] + noise_scale * noise[c] >
+                                         0.0)
+              << b;
+    mask.set_word(wi, word);
+  }
+  return mask;
+}
+
+std::size_t lag8_disagreement(const BitVec& v, std::size_t& total) {
+  const std::size_t n = v.size();
+  if (n <= 8) return 0;
+  // Sampled positions c = 0, 16, 32, ... with c + 8 < n. Within a word the
+  // sample bits are {0, 16, 32, 48} and their lag-8 partners {8, 24, 40,
+  // 56} never cross the word boundary, so diff = word ^ (word >> 8) holds
+  // every sampled comparison.
+  constexpr std::uint64_t kSampleBits = 0x0001'0001'0001'0001ULL;
+  const std::size_t last_sample = ((n - 9) / 16) * 16;  // largest valid c.
+  std::size_t disagree = 0;
+  const auto& words = v.words();
+  for (std::size_t wi = 0; wi * kWordBits <= last_sample; ++wi) {
+    const std::uint64_t word = words[wi];
+    const std::uint64_t diff = word ^ (word >> 8);
+    std::uint64_t sample = kSampleBits;
+    const std::size_t base = wi * kWordBits;
+    if (base + 48 > last_sample) {
+      sample = 0;
+      for (std::size_t b = 0; b < kWordBits; b += 16)
+        if (base + b <= last_sample) sample |= 1ULL << b;
+    }
+    disagree += static_cast<std::size_t>(std::popcount(diff & sample));
+  }
+  total += last_sample / 16 + 1;
+  return disagree;
+}
+
+void column_popcounts(std::span<const BitVec* const> rows,
+                      std::span<std::uint8_t> counts) {
+  if (rows.size() > 63)
+    throw std::invalid_argument("column_popcounts supports up to 63 rows");
+  const std::size_t columns = counts.size();
+  for (const BitVec* row : rows)
+    if (row->size() < columns)
+      throw std::invalid_argument("column_popcounts row narrower than counts");
+  const std::size_t n_words = (columns + kWordBits - 1) / kWordBits;
+  for (std::size_t wi = 0; wi < n_words; ++wi) {
+    // Bit-sliced ripple-carry accumulation: plane p holds bit p of every
+    // column's running count, so adding a row is O(planes) word ops
+    // instead of O(set bits) scalar ops.
+    std::uint64_t planes[6] = {0, 0, 0, 0, 0, 0};
+    for (const BitVec* row : rows) {
+      std::uint64_t carry = row->words()[wi];
+      for (int p = 0; carry != 0 && p < 6; ++p) {
+        const std::uint64_t prev = planes[p];
+        planes[p] ^= carry;
+        carry &= prev;
+      }
+    }
+    const std::size_t base = wi * kWordBits;
+    const std::size_t limit = std::min(kWordBits, columns - base);
+    for (std::size_t b = 0; b < limit; ++b) {
+      std::uint8_t count = 0;
+      for (int p = 0; p < 6; ++p)
+        count |= static_cast<std::uint8_t>((planes[p] >> b) & 1ULL) << p;
+      counts[base + b] = count;
+    }
+  }
+}
+
+}  // namespace simra::dram::kernels

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/bitvec.hpp"
+
+namespace simra::dram::kernels {
+
+/// Word-parallel predicate kernels for the electrical model's per-column
+/// hot path. Every kernel computes the exact same per-column math as the
+/// scalar loop it replaces (same comparisons on the same values), packing
+/// the 64 per-column results of each word with shifts instead of per-bit
+/// BitVec::set calls — the value-preservation invariant the
+/// golden-equivalence suite enforces.
+
+/// mask[c] = (zetas[c] < z_eff). The shared margin-vs-deviate compare of
+/// write_overdrive_mask and copy_stable_mask.
+BitVec threshold_mask(std::span<const float> zetas, float z_eff);
+
+/// mask[c] = (normal_cdf(race[c]) < latch_fraction): which sense
+/// amplifiers won the latch race at a partial latch fraction.
+BitVec latch_race_mask(std::span<const float> race, double latch_fraction);
+
+/// mask[c] = (offsets[c] + noise_scale * noise[c] > 0): sense-amplifier
+/// offset plus per-trial thermal noise (the Frac-row sensing kernel).
+BitVec offset_noise_mask(std::span<const float> offsets,
+                         std::span<const double> noise, double noise_scale);
+
+/// Lag-8 bit disagreement of `v`, sampled every 16th position c with
+/// c + 8 < v.size(): returns the number of sampled disagreements and adds
+/// the number of sampled positions to `total`. Word-shift/XOR equivalent
+/// of probing get(c) != get(c + 8) bit by bit. Rows of <= 8 bits
+/// contribute nothing (mirrors the scalar guard).
+std::size_t lag8_disagreement(const BitVec& v, std::size_t& total);
+
+/// Per-column popcount across up to 63 equally sized rows, bit-sliced:
+/// counts[c] = number of `rows` with bit c set. `counts` must hold
+/// columns entries and is overwritten.
+void column_popcounts(std::span<const BitVec* const> rows,
+                      std::span<std::uint8_t> counts);
+
+}  // namespace simra::dram::kernels

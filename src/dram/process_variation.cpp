@@ -69,6 +69,16 @@ double VariationField::normal(std::uint64_t k0, std::uint64_t k1,
       hash_combine(hash_combine(hash_combine(seed_, k0), k1), k2), k3)));
 }
 
+void VariationField::normal_fill(std::uint64_t k0, std::uint64_t k1,
+                                 std::uint64_t k2,
+                                 std::span<float> out) const {
+  const std::uint64_t prefix =
+      hash_combine(hash_combine(hash_combine(seed_, k0), k1), k2);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = static_cast<float>(
+        inverse_normal_cdf(hash_to_uniform(hash_combine(prefix, i))));
+}
+
 double VariationField::uniform(std::uint64_t k0, std::uint64_t k1,
                                std::uint64_t k2) const {
   return hash_to_uniform(

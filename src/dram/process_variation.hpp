@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 namespace simra::dram {
 
@@ -24,6 +25,13 @@ class VariationField {
   double normal(std::uint64_t k0, std::uint64_t k1, std::uint64_t k2) const;
   double normal(std::uint64_t k0, std::uint64_t k1, std::uint64_t k2,
                 std::uint64_t k3) const;
+
+  /// Batched 4-key normals sharing a (k0, k1, k2) prefix:
+  /// out[i] = float(normal(k0, k1, k2, i)). Hoists the three prefix hash
+  /// rounds out of the per-entity loop — bit-identical to the scalar
+  /// calls, ~2x faster per cell on full-row spans.
+  void normal_fill(std::uint64_t k0, std::uint64_t k1, std::uint64_t k2,
+                   std::span<float> out) const;
 
   /// Uniform deviate in [0, 1) for the same keying scheme.
   double uniform(std::uint64_t k0, std::uint64_t k1, std::uint64_t k2) const;

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+#include "charz/figures.hpp"
+#include "charz/runner.hpp"
+#include "common/env.hpp"
+
+// Golden-equivalence regression for the electrical-model kernel rewrite:
+// the quick-plan figure tables must stay byte-identical to the seed
+// implementation's output, at any harness thread count. Goldens were
+// captured from the pre-rewrite (per-column scalar) model; regenerate
+// with SIMRA_GOLDEN_UPDATE=1 only when a change is *meant* to alter the
+// simulated physics.
+
+namespace simra::charz {
+namespace {
+
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(const char* value) {
+    const char* old = std::getenv("SIMRA_THREADS");
+    if (old != nullptr) saved_ = old;
+    had_value_ = old != nullptr;
+    ::setenv("SIMRA_THREADS", value, 1);
+  }
+  ~ScopedThreads() {
+    if (had_value_)
+      ::setenv("SIMRA_THREADS", saved_.c_str(), 1);
+    else
+      ::unsetenv("SIMRA_THREADS");
+  }
+
+ private:
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+/// Full-precision dump: the rendered table (the artifact the benches
+/// print) plus every stat as a hexfloat, so sub-rendering-precision value
+/// drift still fails the comparison.
+std::string dump(const FigureData& figure) {
+  std::ostringstream os;
+  os << figure.title << "\n";
+  for (const auto& k : figure.key_columns) os << k << "|";
+  os << "\n" << figure.to_table().to_text() << "---\n";
+  os << std::hexfloat;
+  for (const auto& row : figure.rows) {
+    for (const auto& k : row.keys) os << k << "|";
+    os << " " << row.stats.min << " " << row.stats.q1 << " "
+       << row.stats.median << " " << row.stats.q3 << " " << row.stats.max
+       << " " << row.stats.mean << " " << row.stats.count << "\n";
+  }
+  return os.str();
+}
+
+std::string golden_path(const std::string& name) {
+  return std::string(SIMRA_GOLDEN_DIR) + "/" + name + ".golden";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void check_golden(const std::string& name,
+                  FigureData (*generator)(const Plan&)) {
+  const Plan plan = Plan::quick();
+  std::string serial;
+  {
+    ScopedThreads scoped("1");
+    serial = dump(generator(plan));
+  }
+  if (env_flag("SIMRA_GOLDEN_UPDATE")) {
+    std::ofstream out(golden_path(name), std::ios::binary);
+    out << serial;
+    GTEST_SKIP() << "golden updated: " << golden_path(name);
+  }
+  const std::string golden = read_file(golden_path(name));
+  ASSERT_FALSE(golden.empty()) << "missing golden " << golden_path(name)
+                               << " (run with SIMRA_GOLDEN_UPDATE=1)";
+  EXPECT_EQ(serial, golden) << name << " diverged from the seed output";
+  {
+    ScopedThreads scoped("4");
+    EXPECT_EQ(dump(generator(plan)), golden)
+        << name << " diverged at SIMRA_THREADS=4";
+  }
+}
+
+TEST(GoldenEquivalence, Fig3SmraTiming) {
+  check_golden("fig3_smra_timing", fig3_smra_timing);
+}
+
+TEST(GoldenEquivalence, Fig6Maj3Timing) {
+  check_golden("fig6_maj3_timing", fig6_maj3_timing);
+}
+
+TEST(GoldenEquivalence, Fig10MrcTiming) {
+  check_golden("fig10_mrc_timing", fig10_mrc_timing);
+}
+
+}  // namespace
+}  // namespace simra::charz

@@ -175,5 +175,39 @@ TEST(BitVec, ToString) {
   EXPECT_EQ(v.to_string(4), "0100");
 }
 
+TEST(BitVec, WordAccess) {
+  BitVec v(100);
+  v.set(0, true);
+  v.set(64, true);
+  v.set(99, true);
+  EXPECT_EQ(v.word_count(), 2u);
+  EXPECT_EQ(BitVec::word_bits(), 64u);
+  EXPECT_EQ(v.word(0), 1ULL);
+  EXPECT_EQ(v.word(1), 1ULL | (1ULL << 35));
+  EXPECT_THROW(v.word(2), std::out_of_range);
+}
+
+TEST(BitVec, SetWordClearsTrailingBits) {
+  BitVec v(100);
+  v.set_word(1, ~0ULL);  // bits 100..127 of the raw word must be dropped.
+  EXPECT_EQ(v.word(1), (1ULL << 36) - 1);
+  EXPECT_EQ(v.popcount(), 36u);
+  v.set_word(0, 0xF0F0ULL);
+  EXPECT_EQ(v.word(0), 0xF0F0ULL);
+  EXPECT_THROW(v.set_word(2, 0), std::out_of_range);
+}
+
+TEST(BitVec, SetRange) {
+  BitVec v(200);
+  v.set_range(3, 130, true);  // spans three words, unaligned both ends.
+  for (std::size_t i = 0; i < 200; ++i)
+    ASSERT_EQ(v.get(i), i >= 3 && i < 133) << i;
+  v.set_range(60, 10, false);
+  for (std::size_t i = 60; i < 70; ++i) ASSERT_FALSE(v.get(i));
+  v.set_range(0, 0, true);  // empty range is a no-op.
+  EXPECT_FALSE(v.get(0));
+  EXPECT_THROW(v.set_range(100, 101, true), std::out_of_range);
+}
+
 }  // namespace
 }  // namespace simra

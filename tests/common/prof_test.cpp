@@ -1,0 +1,59 @@
+#include "common/prof.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace simra::prof {
+namespace {
+
+KernelStats find(const std::string& name) {
+  for (const KernelStats& k : snapshot())
+    if (k.name == name) return k;
+  return {};
+}
+
+TEST(Prof, GetReturnsSameCounterPerName) {
+  Counter& a = Counter::get("prof_test/same");
+  Counter& b = Counter::get("prof_test/same");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &Counter::get("prof_test/other"));
+}
+
+TEST(Prof, ScopeAccumulatesCallsAndTime) {
+  Counter::get("prof_test/scoped").reset();
+  for (int i = 0; i < 3; ++i) {
+    SIMRA_PROF_SCOPE("prof_test/scoped");
+  }
+  const KernelStats stats = find("prof_test/scoped");
+  EXPECT_EQ(stats.calls, 3u);
+  EXPECT_GE(stats.seconds, 0.0);
+}
+
+TEST(Prof, MicrosPerCallHandlesZeroCalls) {
+  KernelStats stats;
+  EXPECT_DOUBLE_EQ(stats.micros_per_call(), 0.0);
+  stats.calls = 4;
+  stats.seconds = 2e-6;
+  EXPECT_DOUBLE_EQ(stats.micros_per_call(), 0.5);
+}
+
+TEST(Prof, ConcurrentScopesLoseNoCalls) {
+  Counter::get("prof_test/threads").reset();
+  constexpr int kThreads = 4;
+  constexpr int kIters = 1000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([] {
+      for (int i = 0; i < kIters; ++i) {
+        SIMRA_PROF_SCOPE("prof_test/threads");
+      }
+    });
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(find("prof_test/threads").calls,
+            static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+}  // namespace
+}  // namespace simra::prof

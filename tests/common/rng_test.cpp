@@ -124,5 +124,19 @@ TEST(Hash, CombineOrderSensitive) {
   EXPECT_NE(hash_combine(hash64(1), 2), hash_combine(hash64(2), 1));
 }
 
+TEST(Rng, NormalFillPreservesDrawOrder) {
+  // normal_fill must replay the exact normal() sequence — including the
+  // cached Marsaglia spare — so bulk callers keep the scalar RNG stream.
+  Rng a(99);
+  Rng b(99);
+  a.normal();  // leave a spare cached in both streams.
+  b.normal();
+  std::vector<double> filled(7);
+  a.normal_fill(filled);
+  for (double v : filled) EXPECT_DOUBLE_EQ(v, b.normal());
+  // Streams stay aligned after the fill.
+  EXPECT_DOUBLE_EQ(a.normal(), b.normal());
+}
+
 }  // namespace
 }  // namespace simra

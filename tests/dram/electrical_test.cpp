@@ -197,5 +197,54 @@ TEST_F(ElectricalTest, GroupKeyOrderIndependentOfContent) {
   EXPECT_NE(group_key_of(a), group_key_of(b));
 }
 
+TEST_F(ElectricalTest, DeviateCacheSurvivesEviction) {
+  // The deviate spans are pure functions of the variation field: whatever
+  // the cache does — hits, LRU eviction, regeneration — every query must
+  // reproduce the same persistent mask. Narrow columns keep the churn of
+  // blowing far past the cache capacity (4096 entries) cheap.
+  BitlineContext c = ctx();
+  c.columns = 64;
+  const EnvironmentState env;
+  const ApaDecision apa = model_.classify_apa(Nanoseconds{3.0},
+                                              Nanoseconds{3.0});
+  const BitVec first = model_.write_overdrive_mask(c, 0, 1, env, apa);
+  EXPECT_EQ(model_.write_overdrive_mask(c, 0, 1, env, apa), first);
+  for (RowAddr row = 1; row < 6000; ++row)
+    model_.write_overdrive_mask(c, row, 1, env, apa);
+  EXPECT_EQ(model_.write_overdrive_mask(c, 0, 1, env, apa), first);
+}
+
+TEST_F(ElectricalTest, DeviateCacheKeyedByFullTuple) {
+  // Rows whose (subarray, row) key components swap roles must not alias:
+  // the cache keys on the full (salt, k1, k2, count) tuple, not a folded
+  // digest of it. Weak timings put the threshold mid-distribution so the
+  // masks are mixed (an all-ones mask would compare equal vacuously).
+  BitlineContext a = ctx();
+  BitlineContext b = a;
+  a.subarray = 0;
+  b.subarray = 5;
+  const EnvironmentState env;
+  const ApaDecision apa = model_.classify_apa(Nanoseconds{1.5},
+                                              Nanoseconds{1.5});
+  const BitVec mask_a = model_.write_overdrive_mask(a, 5, 5, env, apa);
+  const BitVec mask_b = model_.write_overdrive_mask(b, 0, 5, env, apa);
+  ASSERT_GT(mask_a.popcount(), 0u);
+  ASSERT_LT(mask_a.popcount(), mask_a.size());
+  EXPECT_NE(mask_a, mask_b);
+}
+
+TEST_F(ElectricalTest, LatchedMaskMatchesScalarBitlineLatched) {
+  const ApaDecision apa = model_.classify_apa(Nanoseconds{12.0},
+                                              Nanoseconds{3.0});
+  ASSERT_GT(apa.latch_fraction, 0.0);
+  ASSERT_LT(apa.latch_fraction, 1.0);
+  const BitVec mask = model_.latched_mask(ctx(), apa);
+  ASSERT_EQ(mask.size(), profile_.geometry.columns);
+  for (std::size_t c = 0; c < 512; ++c)
+    ASSERT_EQ(mask.get(c), model_.bitline_latched(ctx(), c, apa)) << c;
+  // Memoized: the repeat query returns the identical mask.
+  EXPECT_EQ(model_.latched_mask(ctx(), apa), mask);
+}
+
 }  // namespace
 }  // namespace simra::dram

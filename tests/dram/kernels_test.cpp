@@ -1,0 +1,180 @@
+// The word-parallel kernels must agree bit-for-bit with the scalar
+// per-column loops they replaced (the value-preservation invariant the
+// golden-equivalence suite enforces end to end). Each test compares a
+// kernel against a naive scalar reference at sizes straddling the word
+// boundary: 0, 1, 63, 64, 65, and a full 8192-column row.
+#include "dram/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+#include "dram/electrical.hpp"
+#include "dram/process_variation.hpp"
+
+namespace simra::dram {
+namespace {
+
+constexpr std::size_t kSizes[] = {0, 1, 63, 64, 65, 8192};
+
+std::vector<float> random_floats(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> out(n);
+  for (float& v : out) v = static_cast<float>(rng.normal());
+  return out;
+}
+
+TEST(KernelsTest, ThresholdMaskMatchesScalar) {
+  for (std::size_t n : kSizes) {
+    const auto zetas = random_floats(n, n + 1);
+    for (float z_eff : {-0.8f, 0.0f, 0.9f}) {
+      const BitVec mask = kernels::threshold_mask(zetas, z_eff);
+      ASSERT_EQ(mask.size(), n);
+      for (std::size_t c = 0; c < n; ++c)
+        ASSERT_EQ(mask.get(c), zetas[c] < z_eff) << "n=" << n << " c=" << c;
+    }
+  }
+}
+
+TEST(KernelsTest, LatchRaceMaskMatchesScalar) {
+  for (std::size_t n : kSizes) {
+    const auto race = random_floats(n, n + 2);
+    for (double fraction : {0.1, 0.5, 0.93}) {
+      const BitVec mask = kernels::latch_race_mask(race, fraction);
+      ASSERT_EQ(mask.size(), n);
+      for (std::size_t c = 0; c < n; ++c)
+        ASSERT_EQ(mask.get(c), normal_cdf(race[c]) < fraction)
+            << "n=" << n << " c=" << c;
+    }
+  }
+}
+
+TEST(KernelsTest, OffsetNoiseMaskMatchesScalar) {
+  for (std::size_t n : kSizes) {
+    const auto offsets = random_floats(n, n + 3);
+    Rng rng(n + 4);
+    std::vector<double> noise(n);
+    rng.normal_fill(noise);
+    const BitVec mask = kernels::offset_noise_mask(offsets, noise, 0.35);
+    ASSERT_EQ(mask.size(), n);
+    for (std::size_t c = 0; c < n; ++c)
+      ASSERT_EQ(mask.get(c), offsets[c] + 0.35 * noise[c] > 0.0)
+          << "n=" << n << " c=" << c;
+  }
+}
+
+TEST(KernelsTest, OffsetNoiseMaskRejectsSizeMismatch) {
+  const auto offsets = random_floats(8, 1);
+  const std::vector<double> noise(7, 0.0);
+  EXPECT_THROW(kernels::offset_noise_mask(offsets, noise, 0.35),
+               std::invalid_argument);
+}
+
+// Scalar reference: the seed's sampled lag-8 probe.
+void scalar_lag8(const BitVec& v, std::size_t& disagree, std::size_t& total) {
+  if (v.size() <= 8) return;
+  for (std::size_t c = 0; c + 8 < v.size(); c += 16) {
+    disagree += (v.get(c) != v.get(c + 8)) ? 1u : 0u;
+    ++total;
+  }
+}
+
+TEST(KernelsTest, Lag8DisagreementMatchesScalar) {
+  // Extra sizes around the sampling stride and word boundaries: the guard
+  // (n <= 8), a partner exactly at the edge, and multi-word tails.
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{8},
+                        std::size_t{9}, std::size_t{16}, std::size_t{17},
+                        std::size_t{24}, std::size_t{25}, std::size_t{63},
+                        std::size_t{64}, std::size_t{65}, std::size_t{127},
+                        std::size_t{128}, std::size_t{8192}}) {
+    Rng rng(n + 5);
+    BitVec v(n);
+    if (n > 0) v.randomize(rng);
+    std::size_t want_disagree = 0, want_total = 0;
+    scalar_lag8(v, want_disagree, want_total);
+    std::size_t total = 0;
+    const std::size_t disagree = kernels::lag8_disagreement(v, total);
+    EXPECT_EQ(disagree, want_disagree) << "n=" << n;
+    EXPECT_EQ(total, want_total) << "n=" << n;
+  }
+}
+
+TEST(KernelsTest, ColumnPopcountsMatchesScalar) {
+  for (std::size_t n : kSizes) {
+    for (std::size_t n_rows : {std::size_t{1}, std::size_t{5},
+                               std::size_t{32}, std::size_t{63}}) {
+      Rng rng(n + 7 * n_rows);
+      std::vector<BitVec> rows(n_rows, BitVec(n));
+      for (auto& r : rows) {
+        if (n > 0) r.randomize(rng);
+      }
+      std::vector<const BitVec*> ptrs;
+      for (const auto& r : rows) ptrs.push_back(&r);
+      std::vector<std::uint8_t> counts(n);
+      kernels::column_popcounts(ptrs, counts);
+      for (std::size_t c = 0; c < n; ++c) {
+        std::uint8_t want = 0;
+        for (const auto& r : rows) want += r.get(c) ? 1 : 0;
+        ASSERT_EQ(counts[c], want) << "n=" << n << " rows=" << n_rows
+                                   << " c=" << c;
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, ColumnPopcountsRejectsBadShapes) {
+  std::vector<BitVec> rows(64, BitVec(8));
+  std::vector<const BitVec*> ptrs;
+  for (const auto& r : rows) ptrs.push_back(&r);
+  std::vector<std::uint8_t> counts(8);
+  EXPECT_THROW(kernels::column_popcounts(ptrs, counts),
+               std::invalid_argument);  // > 63 rows.
+  ptrs.resize(3);
+  counts.resize(9);  // wider than the 8-bit rows.
+  EXPECT_THROW(kernels::column_popcounts(ptrs, counts),
+               std::invalid_argument);
+}
+
+// Pins estimate_pattern_noise to the seed's scalar probe: random data
+// reads as high activity, byte-periodic data as zero.
+TEST(KernelsTest, PatternNoiseMatchesSeedScalar) {
+  Rng rng(11);
+  BitVec random_row(8192);
+  random_row.randomize(rng);
+  BitVec periodic_row(8192);
+  periodic_row.fill_byte(0xA5);
+  BitVec frac;  // null data pointer: a Frac row contributes nothing.
+
+  const std::vector<ConnectedRow> rows = {
+      {0, &random_row, 1.0}, {1, &periodic_row, 1.0}, {2, nullptr, 1.0}};
+  std::size_t disagree = 0, total = 0;
+  for (const ConnectedRow& r : rows) {
+    if (r.data != nullptr) scalar_lag8(*r.data, disagree, total);
+  }
+  const double want =
+      std::min(0.5, static_cast<double>(disagree) / static_cast<double>(total));
+  EXPECT_DOUBLE_EQ(ElectricalModel::estimate_pattern_noise(rows), want);
+
+  // Byte-periodic data alone cancels exactly; random data alone is ~0.5.
+  const std::vector<ConnectedRow> periodic = {{0, &periodic_row, 1.0}};
+  EXPECT_DOUBLE_EQ(ElectricalModel::estimate_pattern_noise(periodic), 0.0);
+  const std::vector<ConnectedRow> random_only = {{0, &random_row, 1.0}};
+  EXPECT_GT(ElectricalModel::estimate_pattern_noise(random_only), 0.4);
+}
+
+// The batched deviate fill must replay the scalar per-cell hash chain.
+TEST(KernelsTest, VariationNormalFillMatchesScalar) {
+  const VariationField field(42);
+  for (std::size_t n : kSizes) {
+    std::vector<float> got(n);
+    field.normal_fill(3, 7, 9, got);
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(got[i], static_cast<float>(field.normal(3, 7, 9, i)))
+          << "n=" << n << " i=" << i;
+  }
+}
+
+}  // namespace
+}  // namespace simra::dram
