@@ -48,10 +48,14 @@ inline std::string title_slug(const std::string& title) {
   return slug;
 }
 
-/// Prints the figure table; when SIMRA_CSV_DIR is set, also writes the
-/// series as CSV there (for plotting scripts).
+/// Prints the figure table plus its coverage annotation; when
+/// SIMRA_CSV_DIR is set, also writes the series as CSV there (for
+/// plotting scripts).
 inline void print_figure(const charz::FigureData& figure) {
-  std::cout << figure.title << "\n" << figure.to_table().to_text() << "\n";
+  std::cout << figure.title << "\n" << figure.to_table().to_text();
+  if (figure.coverage.chips_attempted > 0)
+    std::cout << "(" << figure.coverage.summary() << ")\n";
+  std::cout << "\n";
   if (const char* dir = std::getenv("SIMRA_CSV_DIR")) {
     const std::string path =
         std::string(dir) + "/" + title_slug(figure.title) + ".csv";
@@ -75,6 +79,12 @@ struct HarnessRecord {
   unsigned threads = 1;
   std::size_t instances = 0;
   bool full_scale = false;
+  /// Sweep coverage (resilience accounting); zero chips for analytic
+  /// figures that never ran a sweep.
+  std::size_t chips_attempted = 0;
+  std::size_t chips_succeeded = 0;
+  std::size_t chips_quarantined = 0;
+  std::uint64_t retries = 0;
 
   double instances_per_sec() const {
     return seconds > 0.0 ? static_cast<double>(instances) / seconds : 0.0;
@@ -100,14 +110,20 @@ class HarnessReport {
     return report;
   }
 
-  void record(const std::string& figure, double seconds,
-              std::size_t instances) {
+  void record(const std::string& figure, double seconds, std::size_t instances,
+              const charz::Coverage* coverage = nullptr) {
     HarnessRecord rec;
     rec.figure = figure;
     rec.seconds = seconds;
     rec.threads = charz::harness_threads();
     rec.instances = instances;
     rec.full_scale = full_scale_run();
+    if (coverage != nullptr) {
+      rec.chips_attempted = coverage->chips_attempted;
+      rec.chips_succeeded = coverage->chips_succeeded;
+      rec.chips_quarantined = coverage->chips_quarantined;
+      rec.retries = coverage->retries;
+    }
     records_.push_back(rec);
     write();
     std::cout << "[harness] " << figure << ": " << Table::num(seconds, 3)
@@ -124,14 +140,31 @@ class HarnessReport {
     kernels_ = prof::snapshot();
     std::erase_if(kernels_,
                   [](const prof::KernelStats& k) { return k.calls == 0; });
-    if (kernels_.empty()) return;
-    write();
-    std::cout << "[harness] kernel timings (" << harness_json_path()
-              << "):\n";
+    // Event counters published by the resilient harness (retry/quarantine
+    // accounting) go to their own JSON section: they count occurrences,
+    // not wall-clock time.
+    resilience_.clear();
     for (const auto& k : kernels_)
-      std::cout << "  " << k.name << ": " << k.calls << " calls, "
-                << Table::num(k.seconds, 3) << " s total, "
-                << Table::num(k.micros_per_call(), 2) << " us/call\n";
+      if (k.name.rfind("resilience/", 0) == 0) resilience_.push_back(k);
+    std::erase_if(kernels_, [](const prof::KernelStats& k) {
+      return k.name.rfind("resilience/", 0) == 0;
+    });
+    if (kernels_.empty() && resilience_.empty()) return;
+    write();
+    if (!kernels_.empty()) {
+      std::cout << "[harness] kernel timings (" << harness_json_path()
+                << "):\n";
+      for (const auto& k : kernels_)
+        std::cout << "  " << k.name << ": " << k.calls << " calls, "
+                  << Table::num(k.seconds, 3) << " s total, "
+                  << Table::num(k.micros_per_call(), 2) << " us/call\n";
+    }
+    if (!resilience_.empty()) {
+      std::cout << "[harness] resilience counters (" << harness_json_path()
+                << "):\n";
+      for (const auto& k : resilience_)
+        std::cout << "  " << k.name << ": " << k.calls << "\n";
+    }
   }
 
  private:
@@ -141,7 +174,11 @@ class HarnessReport {
        << (r.full_scale ? "paper" : "quick") << "\", \"threads\": " << r.threads
        << ", \"seconds\": " << std::fixed << std::setprecision(4) << r.seconds
        << ", \"instances\": " << r.instances << ", \"instances_per_sec\": "
-       << std::setprecision(3) << r.instances_per_sec() << "}";
+       << std::setprecision(3) << r.instances_per_sec()
+       << ", \"chips_attempted\": " << r.chips_attempted
+       << ", \"chips_succeeded\": " << r.chips_succeeded
+       << ", \"chips_quarantined\": " << r.chips_quarantined
+       << ", \"retries\": " << r.retries << "}";
     return os.str();
   }
 
@@ -156,14 +193,25 @@ class HarnessReport {
     return os.str();
   }
 
+  std::string resilience_json(const prof::KernelStats& k) const {
+    std::ostringstream os;
+    os << "    {\"counter\": \"" << k.name << "\", \"plan\": \""
+       << (full_scale_run() ? "paper" : "quick")
+       << "\", \"threads\": " << charz::harness_threads()
+       << ", \"count\": " << k.calls << "}";
+    return os.str();
+  }
+
   /// Replacement key for an entry line: the prefix before the first
   /// measured field ("figure"/"plan"/"threads" for figures,
-  /// "kernel"/"plan"/"threads" for kernels). Cut at whichever marker
-  /// appears first — figure entries lead with "seconds", kernel entries
-  /// with "calls".
+  /// "kernel"/"plan"/"threads" for kernels, "counter"/"plan"/"threads"
+  /// for resilience counters). Cut at whichever marker appears first —
+  /// figure entries lead with "seconds", kernel entries with "calls",
+  /// resilience entries with "count".
   static std::string entry_key(const std::string& line) {
     auto cut = std::string::npos;
-    for (const char* marker : {", \"seconds\":", ", \"calls\":"}) {
+    for (const char* marker : {", \"seconds\":", ", \"calls\":",
+                               ", \"count\":"}) {
       const auto pos = line.find(marker);
       if (pos != std::string::npos) cut = std::min(cut, pos);
     }
@@ -174,23 +222,31 @@ class HarnessReport {
     // Keep entries from other runs that this run has not re-measured.
     std::vector<std::string> figure_lines;
     std::vector<std::string> kernel_lines;
+    std::vector<std::string> resilience_lines;
     std::ifstream in(harness_json_path());
     for (std::string line; std::getline(in, line);) {
       const bool is_figure = line.find("{\"figure\": \"") != std::string::npos;
       const bool is_kernel = line.find("{\"kernel\": \"") != std::string::npos;
-      if (!is_figure && !is_kernel) continue;
+      const bool is_counter =
+          line.find("{\"counter\": \"") != std::string::npos;
+      if (!is_figure && !is_kernel && !is_counter) continue;
       if (line.back() == ',') line.pop_back();
       bool replaced = false;
       for (const HarnessRecord& r : records_)
         if (entry_key(line) == entry_key(entry_json(r))) replaced = true;
       for (const auto& k : kernels_)
         if (entry_key(line) == entry_key(kernel_json(k))) replaced = true;
+      for (const auto& k : resilience_)
+        if (entry_key(line) == entry_key(resilience_json(k))) replaced = true;
       if (replaced) continue;
-      (is_figure ? figure_lines : kernel_lines).push_back(line);
+      (is_figure ? figure_lines : is_kernel ? kernel_lines : resilience_lines)
+          .push_back(line);
     }
     for (const HarnessRecord& r : records_)
       figure_lines.push_back(entry_json(r));
     for (const auto& k : kernels_) kernel_lines.push_back(kernel_json(k));
+    for (const auto& k : resilience_)
+      resilience_lines.push_back(resilience_json(k));
 
     const auto append_array = [](std::string& out,
                                  const std::vector<std::string>& lines) {
@@ -200,20 +256,24 @@ class HarnessReport {
         out += "\n";
       }
     };
-    std::string out = "{\n  \"schema\": 2,\n  \"figures\": [\n";
+    std::string out = "{\n  \"schema\": 3,\n  \"figures\": [\n";
     append_array(out, figure_lines);
     out += "  ],\n  \"kernels\": [\n";
     append_array(out, kernel_lines);
+    out += "  ],\n  \"resilience\": [\n";
+    append_array(out, resilience_lines);
     out += "  ]\n}\n";
     write_file(harness_json_path(), out);
   }
 
   std::vector<HarnessRecord> records_;
   std::vector<prof::KernelStats> kernels_;
+  std::vector<prof::KernelStats> resilience_;
 };
 
-/// Runs `fn(plan)`, records its wall-clock time, thread count, and
-/// instance throughput in the harness report, and returns its result.
+/// Runs `fn(plan)`, records its wall-clock time, thread count, instance
+/// throughput, and — when the result carries one — sweep coverage in the
+/// harness report, and returns its result.
 template <typename Fn>
 auto timed_figure(const charz::Plan& plan, const std::string& name, Fn&& fn) {
   const auto start = std::chrono::steady_clock::now();
@@ -221,7 +281,10 @@ auto timed_figure(const charz::Plan& plan, const std::string& name, Fn&& fn) {
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  HarnessReport::global().record(name, seconds, plan.instance_count());
+  const charz::Coverage* coverage = nullptr;
+  if constexpr (requires { result.coverage; }) coverage = &result.coverage;
+  HarnessReport::global().record(name, seconds, plan.instance_count(),
+                                 coverage);
   return result;
 }
 

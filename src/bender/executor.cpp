@@ -1,6 +1,10 @@
 #include "bender/executor.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "bender/command_encoding.hpp"
+#include "fault/injector.hpp"
 
 namespace simra::bender {
 
@@ -35,37 +39,187 @@ double command_energy(const TimedCommand& cmd, const dram::Chip& chip,
   return 0.0;
 }
 
+/// Flips one bit of the 27-bit command word: pins 0..4 are the control
+/// strobes (CS_n, ACT_n, RAS_n, CAS_n, WE_n), 5..22 the address bits
+/// A0..A17, 23..24 BG[1:0], 25..26 BA[1:0].
+void flip_command_pin(PinState& pins, int pin) {
+  switch (pin) {
+    case 0: pins.cs_n = !pins.cs_n; return;
+    case 1: pins.act_n = !pins.act_n; return;
+    case 2: pins.ras_n = !pins.ras_n; return;
+    case 3: pins.cas_n = !pins.cas_n; return;
+    case 4: pins.we_n = !pins.we_n; return;
+    default: break;
+  }
+  if (pin < 23) {
+    pins.address ^= 1u << (pin - 5);
+  } else if (pin < 25) {
+    pins.bank_group ^= static_cast<std::uint8_t>(1u << (pin - 23));
+  } else {
+    pins.bank ^= static_cast<std::uint8_t>(1u << (pin - 25));
+  }
+}
+
 }  // namespace
 
 Executor::Executor(dram::Chip* chip) : chip_(chip) {
   if (chip_ == nullptr) throw std::invalid_argument("executor needs a chip");
 }
 
-ExecutionResult Executor::run(const Program& program) {
-  ExecutionResult result;
-  for (const TimedCommand& cmd : program.commands()) {
-    const double t = clock_ns_ + cmd.time_ns();
-    dram::Bank& bank = chip_->bank(cmd.bank);
-    switch (cmd.kind) {
-      case CommandKind::kAct:
-        bank.act(cmd.row, t);
+void Executor::execute_one(const TimedCommand& cmd, double t,
+                           ExecutionResult& result) {
+  dram::Bank& bank = chip_->bank(cmd.bank);
+  switch (cmd.kind) {
+    case CommandKind::kAct:
+      bank.act(cmd.row, t);
+      break;
+    case CommandKind::kPre:
+      bank.pre(t);
+      break;
+    case CommandKind::kWr:
+      bank.write(cmd.col, cmd.data, t);
+      break;
+    case CommandKind::kRd:
+      result.reads.push_back(bank.read(cmd.col, cmd.nbits, t));
+      break;
+    case CommandKind::kRef:
+      for (std::size_t b = 0; b < chip_->bank_count(); ++b)
+        chip_->bank(static_cast<dram::BankId>(b)).refresh(t);
+      break;
+  }
+  result.energy_pj += command_energy(
+      cmd, *chip_, static_cast<double>(bank.open_rows().size()));
+}
+
+/// The injected-fault command path. Dropped or corrupted commands never
+/// crash the host: RD payloads the chip did not produce are replaced with
+/// deterministic garbage so the burst framing (one payload per original
+/// RD) survives, addresses are clamped into the device's ranges, and
+/// jittered issue times are clamped to stay monotonic.
+void Executor::run_faulty(const TimedCommand& cmd, ExecutionResult& result) {
+  const fault::TransportDecision d = faults_->next_transport(kCommandWordBits);
+  double t = clock_ns_ + cmd.time_ns() +
+             static_cast<double>(d.jitter_slots) * kSlotNs;
+  t = std::max(t, last_issue_ns_);
+  last_issue_ns_ = t;
+
+  const auto push_garbage = [&] {
+    if (cmd.kind != CommandKind::kRd) return;
+    BitVec garbage(cmd.nbits);
+    for (std::size_t w = 0; w < garbage.word_count(); ++w)
+      garbage.set_word(w, faults_->garbage_word());
+    result.reads.push_back(std::move(garbage));
+  };
+
+  if (!d.deliver) {
+    push_garbage();
+    return;
+  }
+
+  if (d.flip_pin < 0) {
+    const int copies = d.duplicate ? 2 : 1;
+    for (int i = 0; i < copies; ++i) {
+      if (cmd.kind == CommandKind::kRd) {
+        // A duplicated RD produces two bursts on the bus; the host keeps
+        // only the one it asked for.
+        try {
+          BitVec payload = chip_->bank(cmd.bank).read(cmd.col, cmd.nbits, t);
+          if (i == 0) result.reads.push_back(std::move(payload));
+        } catch (const std::logic_error&) {
+          // RD against a closed bank (an earlier ACT was dropped): the
+          // bus returns garbage, not an abort.
+          if (i == 0) push_garbage();
+        }
+        result.energy_pj += command_energy(cmd, *chip_, 0.0);
+      } else {
+        execute_one(cmd, t, result);
+      }
+    }
+    return;
+  }
+
+  // Corrupted command word: encode, flip the faulted pin, decode what the
+  // chip actually latches.
+  PinState pins = CommandEncoder::encode(cmd);
+  flip_command_pin(pins, d.flip_pin);
+  const CommandEncoder::Decoded decoded = CommandEncoder::decode(pins);
+  const auto& geom = chip_->profile().geometry;
+  const dram::BankId bank_id =
+      static_cast<dram::BankId>(decoded.bank % chip_->bank_count());
+  dram::Bank& bank = chip_->bank(bank_id);
+  const int copies = d.duplicate ? 2 : 1;
+  using Kind = CommandEncoder::Decoded::Kind;
+  for (int i = 0; i < copies; ++i) {
+    switch (decoded.kind) {
+      case Kind::kDeselect:
+      case Kind::kUnknown:
+        // The chip sees no (or an illegal) command; nothing executes.
         break;
-      case CommandKind::kPre:
+      case Kind::kActivate:
+        bank.act(decoded.row % geom.rows_per_bank, t);
+        break;
+      case Kind::kPrecharge:
         bank.pre(t);
         break;
-      case CommandKind::kWr:
-        bank.write(cmd.col, cmd.data, t);
+      case Kind::kPrechargeAll:
+        for (std::size_t b = 0; b < chip_->bank_count(); ++b)
+          chip_->bank(static_cast<dram::BankId>(b)).pre(t);
         break;
-      case CommandKind::kRd:
-        result.reads.push_back(bank.read(cmd.col, cmd.nbits, t));
-        break;
-      case CommandKind::kRef:
+      case Kind::kRefresh:
         for (std::size_t b = 0; b < chip_->bank_count(); ++b)
           chip_->bank(static_cast<dram::BankId>(b)).refresh(t);
         break;
+      case Kind::kRead: {
+        const std::size_t nbits =
+            cmd.kind == CommandKind::kRd ? cmd.nbits : 64;
+        std::size_t col = static_cast<std::size_t>(decoded.column) * 64;
+        if (col + nbits > geom.columns)
+          col = geom.columns >= nbits ? geom.columns - nbits : 0;
+        try {
+          BitVec payload = bank.read(
+              static_cast<dram::ColAddr>(col),
+              std::min(nbits, geom.columns), t);
+          if (i == 0 && cmd.kind == CommandKind::kRd)
+            result.reads.push_back(std::move(payload));
+        } catch (const std::logic_error&) {
+          if (i == 0) push_garbage();
+        }
+        break;
+      }
+      case Kind::kWrite: {
+        const BitVec* data = cmd.kind == CommandKind::kWr ? &cmd.data : nullptr;
+        BitVec garbage;
+        if (data == nullptr) {
+          garbage = BitVec(64);
+          garbage.set_word(0, faults_->garbage_word());
+          data = &garbage;
+        }
+        std::size_t col = static_cast<std::size_t>(decoded.column) * 64;
+        if (col + data->size() > geom.columns)
+          col = geom.columns >= data->size() ? geom.columns - data->size() : 0;
+        bank.write(static_cast<dram::ColAddr>(col), *data, t);
+        break;
+      }
     }
-    result.energy_pj += command_energy(
-        cmd, *chip_, static_cast<double>(bank.open_rows().size()));
+  }
+  // The original RD's payload slot must be filled even when the flip
+  // turned it into something else.
+  if (decoded.kind != Kind::kRead && cmd.kind == CommandKind::kRd)
+    push_garbage();
+  result.energy_pj += command_energy(cmd, *chip_, 0.0);
+}
+
+ExecutionResult Executor::run(const Program& program) {
+  ExecutionResult result;
+  const bool faulty = faults_ != nullptr && faults_->spec().any_transport();
+  for (const TimedCommand& cmd : program.commands()) {
+    if (faulty) {
+      run_faulty(cmd, result);
+    } else {
+      const double t = clock_ns_ + cmd.time_ns();
+      last_issue_ns_ = t;
+      execute_one(cmd, t, result);
+    }
   }
   result.duration_ns = program.duration_ns();
   clock_ns_ += result.duration_ns;

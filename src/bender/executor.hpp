@@ -8,7 +8,16 @@
 #include "dram/chip.hpp"
 #include "dram/power_model.hpp"
 
+namespace simra::fault {
+class ChipInjector;
+}
+
 namespace simra::bender {
+
+/// Width of the encoded DDR4 command word: 5 control pins (CS_n, ACT_n,
+/// RAS_n, CAS_n, WE_n) + A[17:0] + BG[1:0] + BA[1:0]. Transport bit-flip
+/// faults pick one of these pins.
+inline constexpr std::size_t kCommandWordBits = 27;
 
 /// Result of one program execution against one chip: the RD payloads in
 /// command order, plus energy bookkeeping from the power model.
@@ -39,9 +48,24 @@ class Executor {
   double clock_ns() const noexcept { return clock_ns_; }
   dram::Chip& chip() noexcept { return *chip_; }
 
+  /// Attaches the transport fault injector (non-owning; nullptr detaches).
+  /// With no injector — or one whose transport rates are all zero — the
+  /// command path takes zero extra Rng draws and is byte-identical to the
+  /// fault-free executor.
+  void install_faults(fault::ChipInjector* faults) noexcept {
+    faults_ = faults;
+  }
+  fault::ChipInjector* faults() const noexcept { return faults_; }
+
  private:
+  void execute_one(const TimedCommand& cmd, double t,
+                   ExecutionResult& result);
+  void run_faulty(const TimedCommand& cmd, ExecutionResult& result);
+
   dram::Chip* chip_;
   double clock_ns_ = 0.0;
+  double last_issue_ns_ = 0.0;  ///< monotonicity clamp for jittered issues.
+  fault::ChipInjector* faults_ = nullptr;
 };
 
 }  // namespace simra::bender

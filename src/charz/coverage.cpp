@@ -1,0 +1,56 @@
+#include "charz/coverage.hpp"
+
+#include <sstream>
+
+#include "common/prof.hpp"
+
+namespace simra::charz {
+
+std::string ChipReport::label() const {
+  return "m" + std::to_string(module_index) + "c" + std::to_string(chip_index);
+}
+
+fault::FaultCounters Coverage::fault_totals() const {
+  fault::FaultCounters totals;
+  for (const ChipReport& chip : chips) totals += chip.faults;
+  return totals;
+}
+
+std::string Coverage::summary() const {
+  std::ostringstream os;
+  os << "coverage: " << chips_succeeded << "/" << chips_attempted << " chips";
+  if (complete() && retries == 0) return os.str();
+  if (chips_quarantined != 0) {
+    os << ", " << chips_quarantined << " quarantined (";
+    bool first = true;
+    for (const ChipReport& chip : chips) {
+      if (chip.succeeded) continue;
+      if (!first) os << "; ";
+      first = false;
+      std::string err = chip.error.empty() ? "failed" : chip.error;
+      constexpr std::size_t kMaxErr = 80;
+      if (err.size() > kMaxErr) err = err.substr(0, kMaxErr) + "...";
+      os << chip.label() << ": " << err;
+    }
+    os << ")";
+  }
+  if (retries != 0)
+    os << ", " << retries << (retries == 1 ? " retry" : " retries");
+  return os.str();
+}
+
+void Coverage::publish_counters() const {
+  const fault::FaultCounters totals = fault_totals();
+  std::uint64_t attempts = 0;
+  for (const ChipReport& chip : chips) attempts += chip.attempts;
+  prof::Counter::get("resilience/attempts").add_count(attempts);
+  prof::Counter::get("resilience/retries").add_count(retries);
+  prof::Counter::get("resilience/quarantined_chips")
+      .add_count(chips_quarantined);
+  prof::Counter::get("resilience/injected_transport")
+      .add_count(totals.transport_total());
+  prof::Counter::get("resilience/injected_chip").add_count(totals.chip_total());
+  prof::Counter::get("resilience/injected_task").add_count(totals.task_crashes);
+}
+
+}  // namespace simra::charz

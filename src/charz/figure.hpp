@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "charz/coverage.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 
@@ -20,6 +21,10 @@ struct FigureData {
   std::string title;
   std::vector<std::string> key_columns;
   std::vector<Row> rows;
+  /// Which chips contributed (resilience accounting of the sweep that
+  /// produced the rows). A degraded figure is a partial table whose
+  /// coverage names the quarantined chips.
+  Coverage coverage;
 
   /// Renders keys plus min/Q1/median/Q3/max/mean columns (percent).
   Table to_table() const;

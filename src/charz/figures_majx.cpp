@@ -17,7 +17,7 @@ bool vendor_supports(const dram::VendorProfile& profile, unsigned x) {
 }  // namespace
 
 FigureData fig6_maj3_timing(const Plan& plan) {
-  const auto acc = run_instances<SeriesAccumulator>(
+  const auto sweep = run_instances<SeriesAccumulator>(
       plan, [&plan](Instance& inst, SeriesAccumulator& out) {
         for (double t1 : {1.5, 3.0, 6.0}) {
           for (double t2 : {1.5, 3.0}) {
@@ -38,8 +38,9 @@ FigureData fig6_maj3_timing(const Plan& plan) {
           }
         }
       });
-  return acc.finish("Fig 6: MAJ3 success rate vs APA timing and activation size",
-                    {"t1", "t2", "N"});
+  return finish_sweep(
+      sweep, "Fig 6: MAJ3 success rate vs APA timing and activation size",
+      {"t1", "t2", "N"});
 }
 
 FigureData fig7_majx_datapattern(const Plan& plan) {
@@ -47,7 +48,7 @@ FigureData fig7_majx_datapattern(const Plan& plan) {
       dram::DataPattern::kRandom, dram::DataPattern::k00FF,
       dram::DataPattern::kAA55, dram::DataPattern::kCC33,
       dram::DataPattern::k6699};
-  const auto acc = run_instances<SeriesAccumulator>(
+  const auto sweep = run_instances<SeriesAccumulator>(
       plan, [&](Instance& inst, SeriesAccumulator& out) {
         for (const auto& [x, n] : majx_points()) {
           if (!vendor_supports(inst.profile, x)) continue;
@@ -67,12 +68,12 @@ FigureData fig7_majx_datapattern(const Plan& plan) {
           }
         }
       });
-  return acc.finish("Fig 7: MAJX success rate vs data pattern",
-                    {"op", "N", "pattern"});
+  return finish_sweep(sweep, "Fig 7: MAJX success rate vs data pattern",
+                      {"op", "N", "pattern"});
 }
 
 FigureData fig7_majx_by_vendor(const Plan& plan) {
-  const auto acc = run_instances<SeriesAccumulator>(
+  const auto sweep = run_instances<SeriesAccumulator>(
       plan, [&plan](Instance& inst, SeriesAccumulator& out) {
         for (unsigned x : {3u, 5u, 7u, 9u}) {
           // Probe MAJ9 on every vendor here: the point of this breakdown is
@@ -90,8 +91,9 @@ FigureData fig7_majx_by_vendor(const Plan& plan) {
           }
         }
       });
-  return acc.finish("Fig 7 (vendor breakdown): MAJX @ 32-row, random pattern",
-                    {"vendor", "op"});
+  return finish_sweep(
+      sweep, "Fig 7 (vendor breakdown): MAJX @ 32-row, random pattern",
+      {"vendor", "op"});
 }
 
 namespace {
@@ -101,7 +103,7 @@ FigureData majx_environment_sweep(const Plan& plan, bool sweep_temperature) {
   const std::vector<double> vpps = {2.5, 2.4, 2.3, 2.2, 2.1};
   const std::vector<double>& points = sweep_temperature ? temps : vpps;
 
-  const auto acc = run_instances<SeriesAccumulator>(
+  const auto sweep = run_instances<SeriesAccumulator>(
       plan, [&](Instance& inst, SeriesAccumulator& out) {
         for (const auto& [x, n] : majx_points()) {
           if (!vendor_supports(inst.profile, x)) continue;
@@ -130,10 +132,11 @@ FigureData majx_environment_sweep(const Plan& plan, bool sweep_temperature) {
         }
         inst.engine.chip().env() = dram::EnvironmentState{};
       });
-  return acc.finish(sweep_temperature
-                        ? "Fig 8: MAJX success rate vs temperature"
-                        : "Fig 9: MAJX success rate vs wordline voltage",
-                    {"op", "N", sweep_temperature ? "tempC" : "vpp"});
+  return finish_sweep(sweep,
+                      sweep_temperature
+                          ? "Fig 8: MAJX success rate vs temperature"
+                          : "Fig 9: MAJX success rate vs wordline voltage",
+                      {"op", "N", sweep_temperature ? "tempC" : "vpp"});
 }
 
 }  // namespace

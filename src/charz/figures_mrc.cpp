@@ -13,7 +13,7 @@ constexpr std::size_t kDestCounts[] = {1, 3, 7, 15, 31};
 }  // namespace
 
 FigureData fig10_mrc_timing(const Plan& plan) {
-  const auto acc = run_instances<SeriesAccumulator>(
+  const auto sweep = run_instances<SeriesAccumulator>(
       plan, [&plan](Instance& inst, SeriesAccumulator& out) {
         for (double t1 : {1.5, 6.0, 18.0, 36.0}) {
           for (double t2 : {1.5, 3.0}) {
@@ -33,15 +33,15 @@ FigureData fig10_mrc_timing(const Plan& plan) {
           }
         }
       });
-  return acc.finish("Fig 10: Multi-RowCopy success rate vs APA timing",
-                    {"t1", "t2", "dests"});
+  return finish_sweep(sweep, "Fig 10: Multi-RowCopy success rate vs APA timing",
+                      {"t1", "t2", "dests"});
 }
 
 FigureData fig11_mrc_datapattern(const Plan& plan) {
   const std::vector<dram::DataPattern> patterns = {
       dram::DataPattern::kAllZeros, dram::DataPattern::kAllOnes,
       dram::DataPattern::kRandom};
-  const auto acc = run_instances<SeriesAccumulator>(
+  const auto sweep = run_instances<SeriesAccumulator>(
       plan, [&](Instance& inst, SeriesAccumulator& out) {
         for (dram::DataPattern pattern : patterns) {
           for (std::size_t dests : kDestCounts) {
@@ -59,8 +59,9 @@ FigureData fig11_mrc_datapattern(const Plan& plan) {
           }
         }
       });
-  return acc.finish("Fig 11: Multi-RowCopy success rate vs data pattern",
-                    {"pattern", "dests"});
+  return finish_sweep(sweep,
+                      "Fig 11: Multi-RowCopy success rate vs data pattern",
+                      {"pattern", "dests"});
 }
 
 namespace {
@@ -70,7 +71,7 @@ FigureData mrc_environment_sweep(const Plan& plan, bool sweep_temperature) {
   const std::vector<double> vpps = {2.5, 2.4, 2.3, 2.2, 2.1};
   const std::vector<double>& points = sweep_temperature ? temps : vpps;
 
-  const auto acc = run_instances<SeriesAccumulator>(
+  const auto sweep = run_instances<SeriesAccumulator>(
       plan, [&](Instance& inst, SeriesAccumulator& out) {
         for (std::size_t dests : kDestCounts) {
           pud::MeasureConfig cfg;
@@ -96,7 +97,8 @@ FigureData mrc_environment_sweep(const Plan& plan, bool sweep_temperature) {
         }
         inst.engine.chip().env() = dram::EnvironmentState{};
       });
-  return acc.finish(
+  return finish_sweep(
+      sweep,
       sweep_temperature ? "Fig 12a: Multi-RowCopy success rate vs temperature"
                         : "Fig 12b: Multi-RowCopy success rate vs VPP",
       {sweep_temperature ? "tempC" : "vpp", "dests"});

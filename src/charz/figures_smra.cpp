@@ -17,7 +17,7 @@ std::vector<std::pair<unsigned, std::size_t>> majx_points() {
 }
 
 FigureData fig3_smra_timing(const Plan& plan) {
-  const auto acc = run_instances<SeriesAccumulator>(
+  const auto sweep = run_instances<SeriesAccumulator>(
       plan, [&plan](Instance& inst, SeriesAccumulator& out) {
         for (double t1 : {1.5, 3.0, 6.0, 36.0}) {
           for (double t2 : {1.5, 3.0, 6.0}) {
@@ -38,7 +38,8 @@ FigureData fig3_smra_timing(const Plan& plan) {
           }
         }
       });
-  return acc.finish("Fig 3: SiMRA success rate vs APA timing", {"t1", "t2", "N"});
+  return finish_sweep(sweep, "Fig 3: SiMRA success rate vs APA timing",
+                      {"t1", "t2", "N"});
 }
 
 namespace {
@@ -48,7 +49,7 @@ FigureData smra_environment_sweep(const Plan& plan, bool sweep_temperature) {
   const std::vector<double> vpps = {2.5, 2.4, 2.3, 2.2, 2.1};
   const std::vector<double>& points = sweep_temperature ? temps : vpps;
 
-  const auto acc = run_instances<SeriesAccumulator>(
+  const auto sweep = run_instances<SeriesAccumulator>(
       plan, [&](Instance& inst, SeriesAccumulator& out) {
         for (std::size_t n : activation_sizes()) {
           pud::MeasureConfig cfg;
@@ -74,10 +75,11 @@ FigureData smra_environment_sweep(const Plan& plan, bool sweep_temperature) {
         }
         inst.engine.chip().env() = dram::EnvironmentState{};
       });
-  return acc.finish(sweep_temperature
-                        ? "Fig 4a: SiMRA success rate vs temperature"
-                        : "Fig 4b: SiMRA success rate vs wordline voltage",
-                    {sweep_temperature ? "tempC" : "vpp", "N"});
+  return finish_sweep(sweep,
+                      sweep_temperature
+                          ? "Fig 4a: SiMRA success rate vs temperature"
+                          : "Fig 4b: SiMRA success rate vs wordline voltage",
+                      {sweep_temperature ? "tempC" : "vpp", "N"});
 }
 
 }  // namespace

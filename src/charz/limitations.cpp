@@ -15,7 +15,7 @@ FigureData limitation1_vendor_support(const Plan& plan) {
   Plan with_samsung = plan;
   with_samsung.modules.push_back({dram::VendorProfile::samsung(), 1});
 
-  const auto acc = run_instances<SeriesAccumulator>(
+  const auto sweep = run_instances<SeriesAccumulator>(
       with_samsung, [&plan](Instance& inst, SeriesAccumulator& out) {
         for (std::size_t n : activation_sizes()) {
           pud::MeasureConfig cfg;
@@ -31,15 +31,17 @@ FigureData limitation1_vendor_support(const Plan& plan) {
           }
         }
       });
-  return acc.finish(
+  return finish_sweep(
+      sweep,
       "Limitation 1: SiMRA success by manufacturer (Mfr. S gates violated "
       "timings)",
       {"vendor", "N"});
 }
 
 DisturbanceResult limitation3_disturbance(const Plan& plan,
-                                          std::size_t trials_per_group) {
-  return run_instances<DisturbanceResult>(
+                                          std::size_t trials_per_group,
+                                          Coverage* coverage) {
+  auto sweep = run_instances<DisturbanceResult>(
       plan, [trials_per_group](Instance& inst, DisturbanceResult& result) {
         pud::Engine& engine = inst.engine;
         const std::size_t columns = engine.chip().profile().geometry.columns;
@@ -77,6 +79,8 @@ DisturbanceResult limitation3_disturbance(const Plan& plan,
           result.cells_checked += columns;
         }
       });
+  if (coverage != nullptr) *coverage = std::move(sweep.coverage);
+  return std::move(sweep.result);
 }
 
 }  // namespace simra::charz

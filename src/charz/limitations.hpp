@@ -29,7 +29,10 @@ struct DisturbanceResult {
   }
 };
 
+/// When `coverage` is non-null, the sweep's resilience accounting (chips
+/// attempted/succeeded/quarantined) is stored there.
 DisturbanceResult limitation3_disturbance(const Plan& plan,
-                                          std::size_t trials_per_group);
+                                          std::size_t trials_per_group,
+                                          Coverage* coverage = nullptr);
 
 }  // namespace simra::charz

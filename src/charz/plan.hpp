@@ -50,6 +50,9 @@ struct Instance {
   /// Weight of this instance in vendor-balanced aggregates (the module
   /// count it represents).
   double weight;
+  /// Chip-task coordinates, for experiments that label results per chip.
+  std::uint64_t module_index = 0;
+  std::size_t chip_index = 0;
 };
 
 /// Instantiates the plan's chips and calls `fn` for every sampled

@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
+#include <sstream>
 #include <thread>
 
 #include "common/env.hpp"
 #include "common/rng.hpp"
 #include "dram/chip.hpp"
+#include "fault/injector.hpp"
 
 namespace simra::charz {
 
@@ -31,14 +34,21 @@ std::vector<ChipTask> chip_tasks(const Plan& plan) {
   return tasks;
 }
 
-void run_chip_task(const Plan& plan, const ChipTask& task,
-                   const std::function<void(Instance&)>& fn) {
+namespace {
+
+void run_chip_task_impl(const Plan& plan, const ChipTask& task,
+                        fault::ChipInjector* injector,
+                        const std::function<void(Instance&)>& fn) {
   const Plan::ModuleSpec& spec = *task.spec;
   // Seeds depend only on (plan.seed, module_index, chip_index), never on
   // scheduling, so any interleaving of tasks yields the same instances.
   dram::Chip chip(spec.profile, hash_combine(plan.seed, (task.module_index << 8) |
                                                             task.chip_index));
   pud::Engine engine(&chip);
+  if (injector != nullptr) {
+    chip.install_faults(injector);
+    engine.executor().install_faults(injector);
+  }
   Rng rng(hash_combine(plan.seed, (task.module_index << 16) |
                                       (task.chip_index << 8) | 1));
   for (std::size_t b = 0; b < plan.banks_per_chip; ++b) {
@@ -53,40 +63,171 @@ void run_chip_task(const Plan& plan, const ChipTask& task,
                         chip.profile(),
                         rng,
                         static_cast<double>(spec.count) /
-                            static_cast<double>(plan.chips_per_module)};
+                            static_cast<double>(plan.chips_per_module),
+                        task.module_index,
+                        task.chip_index};
       fn(instance);
     }
   }
 }
 
+}  // namespace
+
+void run_chip_task(const Plan& plan, const ChipTask& task,
+                   const std::function<void(Instance&)>& fn) {
+  run_chip_task_impl(plan, task, nullptr, fn);
+}
+
+Resilience resilience_from_env() {
+  return Resilience{fault::FaultSpec::from_env(), fault::fault_seed_from_env()};
+}
+
+ChipReport run_chip_task_resilient(const Plan& plan, const ChipTask& task,
+                                   std::size_t task_ordinal,
+                                   const Resilience& res,
+                                   const std::function<void(Instance&)>& fn,
+                                   const std::function<void()>& reset) {
+  ChipReport report;
+  report.module_index = task.module_index;
+  report.chip_index = task.chip_index;
+  // Injector construction + per-attempt bookkeeping only happen when the
+  // spec actually injects (or traces); a clean run takes the exact
+  // pre-resilience path.
+  const bool use_faults = res.spec.injects() || res.spec.trace;
+  const unsigned max_attempts = res.spec.retry_max + 1;
+  for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+    report.attempts = attempt + 1;
+    if (attempt > 0) {
+      reset();
+      if (res.spec.retry_backoff_ms > 0.0) {
+        const double backoff_ms =
+            res.spec.retry_backoff_ms * static_cast<double>(1u << (attempt - 1));
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff_ms));
+      }
+    }
+    if (!use_faults) {
+      try {
+        run_chip_task_impl(plan, task, nullptr, fn);
+        report.succeeded = true;
+        return report;
+      } catch (const std::exception& e) {
+        report.error = e.what();
+      } catch (...) {
+        report.error = "unknown exception";
+      }
+      continue;
+    }
+    fault::ChipInjector injector(res.spec, res.fault_seed, task.module_index,
+                                 static_cast<std::uint32_t>(task.chip_index),
+                                 attempt);
+    try {
+      if (injector.task_crash(task_ordinal))
+        throw fault::InjectedFault(
+            "injected chip-task crash (task " + std::to_string(task_ordinal) +
+            ", attempt " + std::to_string(attempt) + ")");
+      if (injector.task_delay_ms() > 0.0)
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            injector.task_delay_ms()));
+      run_chip_task_impl(plan, task, &injector, fn);
+      report.succeeded = true;
+    } catch (const std::exception& e) {
+      report.error = e.what();
+    } catch (...) {
+      report.error = "unknown exception";
+    }
+    report.faults += injector.counters();
+    report.trace.insert(report.trace.end(), injector.trace().begin(),
+                        injector.trace().end());
+    if (report.succeeded) return report;
+  }
+  return report;
+}
+
+Coverage collect_coverage(std::vector<ChipReport> reports,
+                          const Resilience& res) {
+  Coverage cov;
+  cov.chips_attempted = reports.size();
+  for (const ChipReport& report : reports) {
+    if (report.succeeded)
+      ++cov.chips_succeeded;
+    else
+      ++cov.chips_quarantined;
+    if (report.attempts > 0) cov.retries += report.attempts - 1;
+  }
+  cov.chips = std::move(reports);
+  cov.publish_counters();
+  if (cov.chips_quarantined > res.spec.effective_quarantine_budget()) {
+    std::ostringstream os;
+    os << cov.chips_quarantined << " of " << cov.chips_attempted
+       << " chip tasks failed (quarantine budget "
+       << res.spec.effective_quarantine_budget() << " exceeded)";
+    for (const ChipReport& chip : cov.chips) {
+      if (chip.succeeded) continue;
+      os << "; first (" << chip.label()
+         << "): " << (chip.error.empty() ? "failed" : chip.error);
+      break;
+    }
+    throw HarnessError(os.str(), std::move(cov));
+  }
+  return cov;
+}
+
 void dispatch_tasks(std::size_t n_tasks, unsigned threads,
                     const std::function<void(std::size_t)>& fn) {
   if (n_tasks == 0) return;
-  if (threads <= 1 || n_tasks == 1) {
-    for (std::size_t i = 0; i < n_tasks; ++i) fn(i);
-    return;
-  }
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n_tasks) return;
+  struct Failure {
+    std::size_t task = 0;
+    std::exception_ptr error;
+    std::string message;
+  };
+  std::vector<Failure> failures;
+  std::mutex failures_mutex;
+  // Collects instead of aborting: a multi-chip fault burst is reported
+  // whole, not one failure per run.
+  const auto guarded = [&](std::size_t i) {
+    try {
+      fn(i);
+    } catch (...) {
+      Failure failure;
+      failure.task = i;
+      failure.error = std::current_exception();
       try {
-        fn(i);
+        throw;
+      } catch (const std::exception& e) {
+        failure.message = e.what();
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        failure.message = "unknown exception";
       }
+      const std::lock_guard<std::mutex> lock(failures_mutex);
+      failures.push_back(std::move(failure));
     }
   };
-  const std::size_t n_workers = std::min<std::size_t>(threads, n_tasks);
-  std::vector<std::thread> pool;
-  pool.reserve(n_workers);
-  for (std::size_t t = 0; t < n_workers; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  if (threads <= 1 || n_tasks == 1) {
+    for (std::size_t i = 0; i < n_tasks; ++i) guarded(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n_tasks) return;
+        guarded(i);
+      }
+    };
+    const std::size_t n_workers = std::min<std::size_t>(threads, n_tasks);
+    std::vector<std::thread> pool;
+    pool.reserve(n_workers);
+    for (std::size_t t = 0; t < n_workers; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  if (failures.empty()) return;
+  std::sort(failures.begin(), failures.end(),
+            [](const Failure& a, const Failure& b) { return a.task < b.task; });
+  if (failures.size() == 1) std::rethrow_exception(failures.front().error);
+  throw std::runtime_error(
+      std::to_string(failures.size()) + " of " + std::to_string(n_tasks) +
+      " tasks failed; first (task " + std::to_string(failures.front().task) +
+      "): " + failures.front().message);
 }
 
 }  // namespace detail

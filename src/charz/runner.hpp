@@ -4,7 +4,9 @@
 #include <functional>
 #include <vector>
 
+#include "charz/coverage.hpp"
 #include "charz/plan.hpp"
+#include "fault/spec.hpp"
 
 namespace simra::charz {
 
@@ -12,6 +14,15 @@ namespace simra::charz {
 /// when set to a positive integer, `hardware_concurrency` otherwise.
 /// 1 means exact serial execution on the calling thread (no pool).
 unsigned harness_threads();
+
+/// A sweep's aggregate plus the resilience accounting that produced it.
+/// With no faults injected and no failures, `coverage.complete()` holds
+/// and `result` is byte-identical to the pre-resilience harness.
+template <typename Acc>
+struct Sweep {
+  Acc result;
+  Coverage coverage;
+};
 
 namespace detail {
 
@@ -36,37 +47,77 @@ void run_chip_task(const Plan& plan, const ChipTask& task,
                    const std::function<void(Instance&)>& fn);
 
 /// Runs fn(0 .. n_tasks-1) across up to `threads` workers. `fn` must only
-/// touch state owned by its task index. The first exception thrown by any
-/// task is rethrown on the caller after all workers join.
+/// touch state owned by its task index. Failures are collected across all
+/// tasks (no early abort); afterwards a lone failure is rethrown as-is,
+/// and multiple failures raise one std::runtime_error reporting the count
+/// and the lowest-indexed task's message.
 void dispatch_tasks(std::size_t n_tasks, unsigned threads,
                     const std::function<void(std::size_t)>& fn);
 
+/// The environment-derived resilience configuration of a sweep:
+/// SIMRA_FAULT_SPEC + SIMRA_FAULT_SEED, read once per run_instances call.
+struct Resilience {
+  fault::FaultSpec spec;
+  std::uint64_t fault_seed = 0;
+};
+Resilience resilience_from_env();
+
+/// Runs one chip task under the resilience policy: per-attempt fault
+/// injectors (transport + chip + task domains), bounded retry with
+/// exponential backoff, every failure captured. `reset` must discard the
+/// partial accumulator state of a failed attempt. Never throws.
+ChipReport run_chip_task_resilient(const Plan& plan, const ChipTask& task,
+                                   std::size_t task_ordinal,
+                                   const Resilience& res,
+                                   const std::function<void(Instance&)>& fn,
+                                   const std::function<void()>& reset);
+
+/// Builds the sweep's Coverage from the per-task reports and enforces the
+/// quarantine budget: throws HarnessError when more chips failed than
+/// `spec.effective_quarantine_budget()` allows. Also publishes the
+/// resilience prof counters.
+Coverage collect_coverage(std::vector<ChipReport> reports,
+                          const Resilience& res);
+
 }  // namespace detail
 
-/// Parallel instance sweep with deterministic aggregation.
+/// Parallel instance sweep with deterministic aggregation and graceful
+/// degradation.
 ///
 /// Fans the plan's chips across a pool of `harness_threads()` workers.
 /// Each task accumulates into its own default-constructed `Acc`; once all
-/// tasks finish, the per-chip accumulators are merged in (module, chip)
-/// order. Because each chip's instances are visited in serial-walk order
-/// within their task, and merging appends samples in that same order, the
-/// result is bit-identical for every thread count — including the
-/// single-threaded serial walk.
+/// tasks finish, the per-chip accumulators of *successful* tasks are
+/// merged in (module, chip) order. Because each chip's instances are
+/// visited in serial-walk order within their task, and merging appends
+/// samples in that same order, the result is bit-identical for every
+/// thread count — including the single-threaded serial walk.
+///
+/// A failing chip task is retried up to `retry.max` times (fresh
+/// accumulator each attempt); chips that exhaust their retries are
+/// quarantined — excluded from the merge and reported in the returned
+/// `Sweep::coverage` — unless the quarantine budget is exceeded, in which
+/// case a HarnessError (carrying the coverage) aborts the sweep.
 ///
 /// `Acc` must be default-constructible and provide `merge(const Acc&)`
 /// appending the other accumulator's samples in order (SeriesAccumulator,
 /// SampleSet, RunningStats, DisturbanceResult).
 template <typename Acc, typename Fn>
-Acc run_instances(const Plan& plan, Fn&& fn) {
+Sweep<Acc> run_instances(const Plan& plan, Fn&& fn) {
   const std::vector<detail::ChipTask> tasks = detail::chip_tasks(plan);
+  const detail::Resilience res = detail::resilience_from_env();
   std::vector<Acc> partials(tasks.size());
+  std::vector<ChipReport> reports(tasks.size());
   detail::dispatch_tasks(tasks.size(), harness_threads(), [&](std::size_t i) {
-    detail::run_chip_task(plan, tasks[i],
-                          [&](Instance& inst) { fn(inst, partials[i]); });
+    reports[i] = detail::run_chip_task_resilient(
+        plan, tasks[i], i, res,
+        [&](Instance& inst) { fn(inst, partials[i]); },
+        [&] { partials[i] = Acc(); });
   });
-  Acc merged;
-  for (const Acc& partial : partials) merged.merge(partial);
-  return merged;
+  Sweep<Acc> sweep;
+  sweep.coverage = detail::collect_coverage(std::move(reports), res);
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    if (sweep.coverage.chips[i].succeeded) sweep.result.merge(partials[i]);
+  return sweep;
 }
 
 }  // namespace simra::charz

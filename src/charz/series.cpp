@@ -31,4 +31,13 @@ FigureData SeriesAccumulator::finish(
   return data;
 }
 
+FigureData finish_sweep(const Sweep<SeriesAccumulator>& sweep,
+                        std::string title,
+                        std::vector<std::string> key_columns) {
+  FigureData data =
+      sweep.result.finish(std::move(title), std::move(key_columns));
+  data.coverage = sweep.coverage;
+  return data;
+}
+
 }  // namespace simra::charz

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "charz/figure.hpp"
+#include "charz/runner.hpp"
 
 namespace simra::charz {
 
@@ -33,5 +34,11 @@ class SeriesAccumulator {
   // any byte — including the old '\x1f' join separator — stay distinct.
   std::map<std::vector<std::string>, std::size_t> index_;
 };
+
+/// Renders a run_instances sweep as a FigureData, carrying the sweep's
+/// coverage along — the one-liner figure generators finish with.
+FigureData finish_sweep(const Sweep<SeriesAccumulator>& sweep,
+                        std::string title,
+                        std::vector<std::string> key_columns);
 
 }  // namespace simra::charz

@@ -23,6 +23,13 @@ class Counter {
     nanos_.fetch_add(nanos, std::memory_order_relaxed);
   }
 
+  /// Event counter increment (no wall-clock component): bumps `calls` by
+  /// `n`. Used for the resilience tallies, which count occurrences rather
+  /// than time.
+  void add_count(std::uint64_t n) noexcept {
+    if (n != 0) calls_.fetch_add(n, std::memory_order_relaxed);
+  }
+
   std::uint64_t calls() const noexcept {
     return calls_.load(std::memory_order_relaxed);
   }

@@ -5,6 +5,7 @@
 
 #include "common/rng.hpp"
 #include "dram/timing.hpp"
+#include "fault/injector.hpp"
 
 namespace simra::dram {
 
@@ -59,6 +60,27 @@ BitlineContext Bank::bitline_ctx() const {
   return ctx;
 }
 
+void Bank::apply_cell_faults(Subarray& s, SubarrayId sa, RowAddr local) {
+  fault::ChipInjector* inj = ctx_.faults;
+  if (inj == nullptr || !inj->any_chip_faults()) return;
+  BitVec& cells = s.row_data(local);
+  inj->retention_flips(cells);
+  if (const fault::StuckMask* sm =
+          inj->stuck_mask(id_, global_of(sa, local), cells.size()))
+    cells.assign_masked(sm->value, sm->mask);
+}
+
+void Bank::apply_apa_disturbance(Subarray& s) {
+  fault::ChipInjector* inj = ctx_.faults;
+  if (inj == nullptr || open_local_rows_.empty()) return;
+  const auto [min_it, max_it] =
+      std::minmax_element(open_local_rows_.begin(), open_local_rows_.end());
+  const std::size_t driven = open_local_rows_.size();
+  if (*min_it > 0) inj->disturb_flips(driven, s.row_data(*min_it - 1));
+  if (const RowAddr above = *max_it + 1; above < s.rows())
+    inj->disturb_flips(driven, s.row_data(above));
+}
+
 void Bank::open_single(RowAddr local, SubarrayId sa, double t_ns) {
   Subarray& s = subarray(sa);
   s.latches().clear();
@@ -77,6 +99,7 @@ void Bank::open_single(RowAddr local, SubarrayId sa, double t_ns) {
     s.row_data(local) = row_buffer_;
     s.set_row_state(local, RowState::kValid);
   } else {
+    apply_cell_faults(s, sa, local);
     row_buffer_ = s.row_data(local);
   }
   phase_ = Phase::kOpen;
@@ -178,6 +201,8 @@ void Bank::resolve_simultaneous(RowAddr second_local, double t1, double t2,
   ++stats_.simultaneous_activations;
   Subarray& s = subarray(open_sa_);
   s.latches().latch(second_local);
+  if (s.row_state(second_local) != RowState::kFrac)
+    apply_cell_faults(s, open_sa_, second_local);
   apa_ = ctx_.electrical->classify_apa(Nanoseconds{t1}, Nanoseconds{t2});
 
   const RowAddr first_local = open_local_rows_.front();
@@ -249,6 +274,7 @@ void Bank::resolve_simultaneous(RowAddr second_local, double t1, double t2,
     s.set_row_state(r, RowState::kValid);
   }
   row_buffer_ = resolved;
+  apply_apa_disturbance(s);
   phase_ = Phase::kOpen;
   t_last_act_ = t_ns;
 }

@@ -16,6 +16,10 @@ namespace simra {
 class Rng;
 }
 
+namespace simra::fault {
+class ChipInjector;
+}
+
 namespace simra::dram {
 
 /// Shared, chip-owned collaborators handed to each bank.
@@ -25,6 +29,9 @@ struct ChipContext {
   const ElectricalModel* electrical = nullptr;
   EnvironmentState* env = nullptr;
   Rng* rng = nullptr;
+  /// Optional chip-fault injector (stuck-at / retention / disturbance).
+  /// nullptr — the default — takes zero extra work on every path.
+  fault::ChipInjector* faults = nullptr;
 };
 
 /// Counters of commands seen and protocol anomalies, used by the power
@@ -98,11 +105,24 @@ class Bank {
   RowAddr local_of(RowAddr global_row) const;
   RowAddr global_of(SubarrayId sa, RowAddr local) const;
 
+  /// Re-points the chip-fault injector (the chip owns installation; banks
+  /// copy the context by value, so the chip pushes updates here).
+  void set_faults(fault::ChipInjector* faults) noexcept {
+    ctx_.faults = faults;
+  }
+
  private:
   enum class Phase { kIdle, kOpen, kPrecharging };
 
   void check_time(double t_ns);
   void finish_precharge();
+  /// Applies stuck-at + retention faults to a row's cells at the moment
+  /// the wordline asserts (sensing reads the decayed array state). No-op
+  /// without an injector or with all chip rates at zero.
+  void apply_cell_faults(Subarray& s, SubarrayId sa, RowAddr local);
+  /// PuDHammer-style disturbance on the rows adjacent to the driven set,
+  /// scaled by how many rows the APA left simultaneously asserted.
+  void apply_apa_disturbance(Subarray& s);
   void open_single(RowAddr local, SubarrayId sa, double t_ns);
   void resolve_consecutive(RowAddr row, double t1, double t_ns);
   void resolve_simultaneous(RowAddr row, double t1, double t2, double t_ns);

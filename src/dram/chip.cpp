@@ -23,6 +23,11 @@ Chip::Chip(VendorProfile profile, std::uint64_t seed)
   }
 }
 
+void Chip::install_faults(fault::ChipInjector* faults) noexcept {
+  faults_ = faults;
+  for (auto& bank : banks_) bank->set_faults(faults);
+}
+
 Bank& Chip::bank(BankId id) {
   if (id >= banks_.size()) throw std::out_of_range("bank id out of range");
   return *banks_[id];

@@ -41,6 +41,12 @@ class Chip {
   const EnvironmentState& env() const noexcept { return env_; }
   Rng& rng() noexcept { return rng_; }
 
+  /// Attaches a chip-fault injector (non-owning; nullptr detaches) and
+  /// propagates it to every bank. Without one, the command path runs the
+  /// exact fault-free model.
+  void install_faults(fault::ChipInjector* faults) noexcept;
+  fault::ChipInjector* faults() const noexcept { return faults_; }
+
   /// Aggregated command statistics across all banks.
   CommandStats total_stats() const;
 
@@ -51,6 +57,7 @@ class Chip {
   ElectricalModel electrical_;
   EnvironmentState env_;
   Rng rng_;
+  fault::ChipInjector* faults_ = nullptr;
   std::vector<std::unique_ptr<Bank>> banks_;
 };
 

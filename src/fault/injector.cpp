@@ -1,0 +1,175 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace simra::fault {
+
+namespace {
+
+// Domain tags keep the per-domain streams independent even though they
+// share the (seed, module, chip, attempt) key.
+constexpr std::uint64_t kTransportTag = 0x7261'7370'6f72'74ULL;  // "rasport"
+constexpr std::uint64_t kCellTag = 0x6365'6c6c'7321'0000ULL;
+constexpr std::uint64_t kTaskTag = 0x7461'736b'2100'0000ULL;
+constexpr std::uint64_t kStuckTag = 0x7374'7563'6b21'0000ULL;
+
+std::uint64_t domain_seed(std::uint64_t fault_seed, std::uint64_t tag,
+                          std::uint32_t module_index, std::uint32_t chip_index,
+                          unsigned attempt) {
+  std::uint64_t seed = hash_combine(fault_seed, tag);
+  seed = hash_combine(seed, module_index);
+  seed = hash_combine(seed, chip_index);
+  return hash_combine(seed, attempt);
+}
+
+constexpr std::size_t kTraceCap = 1024;
+
+}  // namespace
+
+FaultCounters& FaultCounters::operator+=(const FaultCounters& o) noexcept {
+  transport_bitflips += o.transport_bitflips;
+  transport_drops += o.transport_drops;
+  transport_dups += o.transport_dups;
+  transport_jitters += o.transport_jitters;
+  chip_stuck_cells += o.chip_stuck_cells;
+  chip_retention_flips += o.chip_retention_flips;
+  chip_disturb_flips += o.chip_disturb_flips;
+  task_crashes += o.task_crashes;
+  return *this;
+}
+
+ChipInjector::ChipInjector(const FaultSpec& spec, std::uint64_t fault_seed,
+                           std::uint32_t module_index,
+                           std::uint32_t chip_index, unsigned attempt)
+    : spec_(spec),
+      attempt_(attempt),
+      // No attempt key: stuck cells persist across retries of a chip.
+      stuck_seed_(domain_seed(fault_seed, kStuckTag, module_index, chip_index,
+                              /*attempt=*/0)),
+      transport_rng_(domain_seed(fault_seed, kTransportTag, module_index,
+                                 chip_index, attempt)),
+      cell_rng_(
+          domain_seed(fault_seed, kCellTag, module_index, chip_index, attempt)),
+      task_rng_(domain_seed(fault_seed, kTaskTag, module_index, chip_index,
+                            attempt)) {}
+
+void ChipInjector::record(const char* domain, const std::string& detail) {
+  if (!spec_.trace || trace_.size() >= kTraceCap) return;
+  trace_.push_back(std::string(domain) + ": " + detail);
+}
+
+template <typename Fn>
+std::uint64_t ChipInjector::sample_positions(Rng& rng, double p, std::size_t n,
+                                             Fn&& fn) {
+  if (p <= 0.0 || n == 0) return 0;
+  std::uint64_t hits = 0;
+  if (p >= 1.0) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return n;
+  }
+  const double log1mp = std::log1p(-p);
+  double pos = 0.0;
+  while (true) {
+    double u = rng.uniform();
+    if (u <= 0.0) u = std::numeric_limits<double>::min();
+    pos += 1.0 + std::floor(std::log(u) / log1mp);
+    if (pos > static_cast<double>(n)) break;
+    fn(static_cast<std::size_t>(pos) - 1);
+    ++hits;
+  }
+  return hits;
+}
+
+TransportDecision ChipInjector::next_transport(std::size_t word_bits) {
+  TransportDecision d;
+  if (spec_.transport_drop > 0.0 &&
+      transport_rng_.chance(spec_.transport_drop)) {
+    d.deliver = false;
+    ++counters_.transport_drops;
+    record("transport", "drop");
+  }
+  if (spec_.transport_dup > 0.0 && transport_rng_.chance(spec_.transport_dup)) {
+    d.duplicate = true;
+    ++counters_.transport_dups;
+    record("transport", "dup");
+  }
+  if (spec_.transport_bitflip > 0.0 &&
+      transport_rng_.chance(spec_.transport_bitflip)) {
+    d.flip_pin = static_cast<int>(transport_rng_.below(word_bits));
+    ++counters_.transport_bitflips;
+    record("transport", "bitflip pin " + std::to_string(d.flip_pin));
+  }
+  if (spec_.transport_jitter > 0.0 &&
+      transport_rng_.chance(spec_.transport_jitter)) {
+    d.jitter_slots = transport_rng_.below(2) == 0 ? -1 : 1;
+    ++counters_.transport_jitters;
+    record("transport",
+           std::string("jitter ") + (d.jitter_slots < 0 ? "-1" : "+1"));
+  }
+  return d;
+}
+
+std::uint64_t ChipInjector::garbage_word() { return transport_rng_(); }
+
+const StuckMask* ChipInjector::stuck_mask(std::uint32_t bank,
+                                          std::uint64_t row_key,
+                                          std::size_t columns) {
+  if (spec_.chip_stuck <= 0.0) return nullptr;
+  const std::uint64_t key = hash_combine(hash_combine(stuck_seed_, bank),
+                                         row_key);
+  auto it = stuck_cache_.find(key);
+  if (it == stuck_cache_.end()) {
+    // Stateless per-row stream: the overlay is identical no matter when
+    // (or in which attempt) the row is first touched.
+    Rng row_rng(key);
+    StuckMask sm;
+    sm.mask = BitVec(columns);
+    sm.value = BitVec(columns);
+    const std::uint64_t stuck =
+        sample_positions(row_rng, spec_.chip_stuck, columns, [&](std::size_t i) {
+          sm.mask.set(i, true);
+          sm.value.set(i, row_rng.below(2) != 0);
+        });
+    counters_.chip_stuck_cells += stuck;
+    if (stuck != 0)
+      record("chip", "stuck row " + std::to_string(row_key) + ": " +
+                         std::to_string(stuck) + " cells");
+    it = stuck_cache_.emplace(key, std::move(sm)).first;
+  }
+  return &it->second;
+}
+
+void ChipInjector::retention_flips(BitVec& cells) {
+  const std::uint64_t flips =
+      sample_positions(cell_rng_, spec_.chip_retention, cells.size(),
+                       [&](std::size_t i) { cells.flip(i); });
+  counters_.chip_retention_flips += flips;
+  if (flips != 0) record("chip", "retention " + std::to_string(flips));
+}
+
+void ChipInjector::disturb_flips(std::size_t driven_rows, BitVec& victim) {
+  if (spec_.chip_disturb <= 0.0 || driven_rows == 0) return;
+  const double rate =
+      std::min(1.0, spec_.chip_disturb * static_cast<double>(driven_rows));
+  const std::uint64_t flips = sample_positions(
+      cell_rng_, rate, victim.size(), [&](std::size_t i) { victim.flip(i); });
+  counters_.chip_disturb_flips += flips;
+  if (flips != 0)
+    record("chip", "disturb x" + std::to_string(driven_rows) + ": " +
+                       std::to_string(flips) + " flips");
+}
+
+bool ChipInjector::task_crash(std::uint64_t task_ordinal) {
+  bool crash = spec_.crashes_task(task_ordinal);
+  if (!crash && spec_.task_fail > 0.0) crash = task_rng_.chance(spec_.task_fail);
+  if (crash) {
+    ++counters_.task_crashes;
+    record("task", "crash ordinal " + std::to_string(task_ordinal) +
+                       " attempt " + std::to_string(attempt_));
+  }
+  return crash;
+}
+
+}  // namespace simra::fault

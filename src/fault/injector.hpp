@@ -1,0 +1,144 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+#include "fault/spec.hpp"
+
+namespace simra::fault {
+
+/// Thrown for injected failures (chip-task crashes, fatally corrupted
+/// transport) so callers can tell a deliberate fault from a model bug.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Per-injector event tallies, merged into Coverage / resilience counters.
+struct FaultCounters {
+  std::uint64_t transport_bitflips = 0;
+  std::uint64_t transport_drops = 0;
+  std::uint64_t transport_dups = 0;
+  std::uint64_t transport_jitters = 0;
+  std::uint64_t chip_stuck_cells = 0;
+  std::uint64_t chip_retention_flips = 0;
+  std::uint64_t chip_disturb_flips = 0;
+  std::uint64_t task_crashes = 0;
+
+  std::uint64_t transport_total() const noexcept {
+    return transport_bitflips + transport_drops + transport_dups +
+           transport_jitters;
+  }
+  std::uint64_t chip_total() const noexcept {
+    return chip_stuck_cells + chip_retention_flips + chip_disturb_flips;
+  }
+  std::uint64_t total() const noexcept {
+    return transport_total() + chip_total() + task_crashes;
+  }
+
+  FaultCounters& operator+=(const FaultCounters& o) noexcept;
+};
+
+/// What the transport layer should do with one command.
+struct TransportDecision {
+  bool deliver = true;     ///< false: the command never reaches the chip.
+  bool duplicate = false;  ///< deliver the command a second time.
+  int jitter_slots = 0;    ///< shift the issue time by this many slots.
+  int flip_pin = -1;       ///< >= 0: flip this command-word bit before decode.
+
+  bool clean() const noexcept {
+    return deliver && !duplicate && jitter_slots == 0 && flip_pin < 0;
+  }
+};
+
+/// Persistent stuck-at overlay for one row: `mask` marks the weak cells,
+/// `value` the level each is stuck at.
+struct StuckMask {
+  BitVec mask;
+  BitVec value;
+};
+
+/// All fault state for one chip-task attempt. Each injection domain draws
+/// from its own Rng stream seeded from
+/// (fault_seed, domain tag, module, chip, attempt), so the fault trace is
+/// a pure function of the spec + seed + plan coordinates — never of
+/// scheduling. A chip task runs single-threaded, so the sequential
+/// per-domain streams are safe. Stuck-at masks additionally drop the
+/// attempt key (a weak cell is a property of the chip, not of the retry)
+/// and derive a stateless per-row stream, so access order is irrelevant.
+class ChipInjector {
+ public:
+  ChipInjector(const FaultSpec& spec, std::uint64_t fault_seed,
+               std::uint32_t module_index, std::uint32_t chip_index,
+               unsigned attempt);
+
+  const FaultSpec& spec() const noexcept { return spec_; }
+  unsigned attempt() const noexcept { return attempt_; }
+
+  // --- transport domain (bender::Executor) ---
+
+  /// Draws the fate of the next command. `word_bits` is the width of the
+  /// encoded command word (candidate flip positions). Zero-rate domains
+  /// draw nothing.
+  TransportDecision next_transport(std::size_t word_bits);
+
+  /// Deterministic garbage payload word, used when a dropped/corrupted
+  /// read leaves the host without real data.
+  std::uint64_t garbage_word();
+
+  // --- chip domain (dram::Bank) ---
+
+  bool any_chip_faults() const noexcept { return spec_.any_chip(); }
+
+  /// Persistent stuck-at overlay for (bank, row), lazily built and cached.
+  /// Returns nullptr when chip.stuck is zero.
+  const StuckMask* stuck_mask(std::uint32_t bank, std::uint64_t row_key,
+                              std::size_t columns);
+
+  /// Applies per-activation retention-decay flips to `cells` in place.
+  void retention_flips(BitVec& cells);
+
+  /// Applies APA-disturbance flips to a victim neighbour row, scaled by
+  /// the number of simultaneously driven rows (PuDHammer-style: more rows
+  /// under the violated timing, more aggressor current).
+  void disturb_flips(std::size_t driven_rows, BitVec& victim);
+
+  // --- task domain (charz harness) ---
+
+  /// Whether this attempt should crash: always for ordinals listed in
+  /// task.crash_tasks, else one Bernoulli draw at task.fail.
+  bool task_crash(std::uint64_t task_ordinal);
+
+  double task_delay_ms() const noexcept { return spec_.task_delay_ms; }
+
+  // --- reporting ---
+
+  const FaultCounters& counters() const noexcept { return counters_; }
+  /// Ordered fault-event log (only populated when spec.trace is set;
+  /// capped — counters always hold the full tallies).
+  const std::vector<std::string>& trace() const noexcept { return trace_; }
+
+ private:
+  void record(const char* domain, const std::string& detail);
+  /// Visits ~Bernoulli(p) positions in [0, n) via geometric skips —
+  /// O(faults), not O(cells), at the low rates faults run at.
+  template <typename Fn>
+  std::uint64_t sample_positions(Rng& rng, double p, std::size_t n, Fn&& fn);
+
+  FaultSpec spec_;
+  unsigned attempt_ = 0;
+  std::uint64_t stuck_seed_ = 0;
+  Rng transport_rng_;
+  Rng cell_rng_;
+  Rng task_rng_;
+  FaultCounters counters_;
+  std::vector<std::string> trace_;
+  std::unordered_map<std::uint64_t, StuckMask> stuck_cache_;
+};
+
+}  // namespace simra::fault

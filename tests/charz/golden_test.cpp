@@ -7,8 +7,10 @@
 #include <string>
 
 #include "charz/figures.hpp"
+#include "charz/limitations.hpp"
 #include "charz/runner.hpp"
 #include "common/env.hpp"
+#include "support/scoped_env.hpp"
 
 // Golden-equivalence regression for the electrical-model kernel rewrite:
 // the quick-plan figure tables must stay byte-identical to the seed
@@ -20,25 +22,7 @@
 namespace simra::charz {
 namespace {
 
-class ScopedThreads {
- public:
-  explicit ScopedThreads(const char* value) {
-    const char* old = std::getenv("SIMRA_THREADS");
-    if (old != nullptr) saved_ = old;
-    had_value_ = old != nullptr;
-    ::setenv("SIMRA_THREADS", value, 1);
-  }
-  ~ScopedThreads() {
-    if (had_value_)
-      ::setenv("SIMRA_THREADS", saved_.c_str(), 1);
-    else
-      ::unsetenv("SIMRA_THREADS");
-  }
-
- private:
-  std::string saved_;
-  bool had_value_ = false;
-};
+using simra::testing::ScopedThreads;
 
 /// Full-precision dump: the rendered table (the artifact the benches
 /// print) plus every stat as a hexfloat, so sub-rendering-precision value
@@ -70,8 +54,7 @@ std::string read_file(const std::string& path) {
 }
 
 void check_golden(const std::string& name,
-                  FigureData (*generator)(const Plan&)) {
-  const Plan plan = Plan::quick();
+                  FigureData (*generator)(const Plan&), const Plan& plan) {
   std::string serial;
   {
     ScopedThreads scoped("1");
@@ -93,6 +76,20 @@ void check_golden(const std::string& name,
   }
 }
 
+void check_golden(const std::string& name,
+                  FigureData (*generator)(const Plan&)) {
+  check_golden(name, generator, Plan::quick());
+}
+
+/// Quick-plan topology with a single row group per size: the sweep-heavy
+/// MAJX / limitation figures stay inside the unit-test budget without
+/// losing any vendor or (X, N) coverage.
+Plan trimmed_quick() {
+  Plan p = Plan::quick();
+  p.groups_per_size = 1;
+  return p;
+}
+
 TEST(GoldenEquivalence, Fig3SmraTiming) {
   check_golden("fig3_smra_timing", fig3_smra_timing);
 }
@@ -101,8 +98,41 @@ TEST(GoldenEquivalence, Fig6Maj3Timing) {
   check_golden("fig6_maj3_timing", fig6_maj3_timing);
 }
 
+TEST(GoldenEquivalence, Fig7MajxDatapattern) {
+  // MAJX for X in {3, 5, 7, 9} across data patterns.
+  check_golden("fig7_majx_datapattern", fig7_majx_datapattern,
+               trimmed_quick());
+}
+
+TEST(GoldenEquivalence, Fig7MajxByVendor) {
+  // The §5 fn. 11 vendor cutoffs: MAJ5/7/9 support differs per vendor.
+  check_golden("fig7_majx_by_vendor", fig7_majx_by_vendor, trimmed_quick());
+}
+
 TEST(GoldenEquivalence, Fig10MrcTiming) {
   check_golden("fig10_mrc_timing", fig10_mrc_timing);
+}
+
+TEST(GoldenEquivalence, Limitation1VendorSupport) {
+  check_golden("limitation1_vendor_support", limitation1_vendor_support,
+               trimmed_quick());
+}
+
+TEST(GoldenEquivalence, Limitation3ObservesNoDisturbance) {
+  // §9 Limitation 3 (and our no-fault model): repeated SiMRA / MAJX /
+  // Multi-RowCopy activity never flips a cell outside the activated
+  // group. A numeric invariant rather than a byte golden — the exact
+  // counters are already pinned thread-count-invariant in runner_test.
+  Plan p = trimmed_quick();
+  p.modules = {{dram::VendorProfile::hynix_m(), 1},
+               {dram::VendorProfile::micron_e(), 1}};
+  Coverage coverage;
+  ScopedThreads scoped("2");
+  const DisturbanceResult r = limitation3_disturbance(p, 2, &coverage);
+  EXPECT_GT(r.trials, 0u);
+  EXPECT_GT(r.cells_checked, 0u);
+  EXPECT_EQ(r.bitflips_outside_group, 0u);
+  EXPECT_TRUE(coverage.complete());
 }
 
 }  // namespace

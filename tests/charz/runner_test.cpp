@@ -9,33 +9,12 @@
 #include "charz/limitations.hpp"
 #include "charz/runner.hpp"
 #include "charz/series.hpp"
+#include "support/scoped_env.hpp"
 
 namespace simra::charz {
 namespace {
 
-/// Sets SIMRA_THREADS for the test's scope and restores it afterwards.
-class ScopedThreads {
- public:
-  explicit ScopedThreads(const char* value) {
-    const char* old = std::getenv("SIMRA_THREADS");
-    if (old != nullptr) saved_ = old;
-    had_value_ = old != nullptr;
-    if (value != nullptr)
-      ::setenv("SIMRA_THREADS", value, 1);
-    else
-      ::unsetenv("SIMRA_THREADS");
-  }
-  ~ScopedThreads() {
-    if (had_value_)
-      ::setenv("SIMRA_THREADS", saved_.c_str(), 1);
-    else
-      ::unsetenv("SIMRA_THREADS");
-  }
-
- private:
-  std::string saved_;
-  bool had_value_ = false;
-};
+using simra::testing::ScopedThreads;
 
 Plan small_plan() {
   Plan p;
@@ -114,9 +93,11 @@ TEST(Runner, RunInstancesVisitsEveryInstanceOnce) {
     std::size_t visits = 0;
     void merge(const Counter& other) { visits += other.visits; }
   };
-  const Counter merged = run_instances<Counter>(
+  const Sweep<Counter> sweep = run_instances<Counter>(
       p, [](Instance&, Counter& c) { ++c.visits; });
-  EXPECT_EQ(merged.visits, p.instance_count());
+  EXPECT_EQ(sweep.result.visits, p.instance_count());
+  EXPECT_TRUE(sweep.coverage.complete());
+  EXPECT_EQ(sweep.coverage.chips_attempted, 6u);
 }
 
 TEST(Runner, ParallelSweepMatchesSerialWalk) {
@@ -138,7 +119,7 @@ TEST(Runner, ParallelSweepMatchesSerialWalk) {
       });
 
   expect_identical(serial.finish("t", {"vendor", "bank"}),
-                   parallel.finish("t", {"vendor", "bank"}));
+                   parallel.result.finish("t", {"vendor", "bank"}));
 }
 
 TEST(Runner, DispatchRethrowsTaskExceptions) {

@@ -1,0 +1,182 @@
+#include "fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "fault/spec.hpp"
+
+namespace simra::fault {
+namespace {
+
+constexpr std::uint64_t kSeed = 0xFA11;
+
+bool same_decision(const TransportDecision& a, const TransportDecision& b) {
+  return a.deliver == b.deliver && a.duplicate == b.duplicate &&
+         a.jitter_slots == b.jitter_slots && a.flip_pin == b.flip_pin;
+}
+
+FaultSpec transport_spec() {
+  return FaultSpec::parse(
+      "transport.bitflip=0.2,transport.drop=0.1,transport.dup=0.1,"
+      "transport.jitter=0.3");
+}
+
+TEST(ChipInjector, SameKeyReproducesTheTransportStream) {
+  ChipInjector a(transport_spec(), kSeed, 1, 2, 0);
+  ChipInjector b(transport_spec(), kSeed, 1, 2, 0);
+  for (int i = 0; i < 500; ++i) {
+    const TransportDecision da = a.next_transport(27);
+    const TransportDecision db = b.next_transport(27);
+    EXPECT_TRUE(same_decision(da, db)) << "draw " << i;
+  }
+  EXPECT_EQ(a.counters().transport_total(), b.counters().transport_total());
+  EXPECT_GT(a.counters().transport_total(), 0u);
+}
+
+TEST(ChipInjector, DistinctCoordinatesGetDistinctStreams) {
+  ChipInjector base(transport_spec(), kSeed, 1, 2, 0);
+  ChipInjector other_chip(transport_spec(), kSeed, 1, 3, 0);
+  ChipInjector other_attempt(transport_spec(), kSeed, 1, 2, 1);
+  int differs_chip = 0, differs_attempt = 0;
+  for (int i = 0; i < 500; ++i) {
+    const TransportDecision d = base.next_transport(27);
+    if (!same_decision(d, other_chip.next_transport(27))) ++differs_chip;
+    if (!same_decision(d, other_attempt.next_transport(27)))
+      ++differs_attempt;
+  }
+  EXPECT_GT(differs_chip, 0);
+  EXPECT_GT(differs_attempt, 0);
+}
+
+TEST(ChipInjector, ZeroRatesProduceOnlyCleanDecisions) {
+  ChipInjector inj(FaultSpec{}, kSeed, 0, 0, 0);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_TRUE(inj.next_transport(27).clean());
+  EXPECT_EQ(inj.counters().total(), 0u);
+}
+
+TEST(ChipInjector, FlipPinStaysInsideTheCommandWord) {
+  ChipInjector inj(FaultSpec::parse("transport.bitflip=1"), kSeed, 0, 0, 0);
+  for (int i = 0; i < 200; ++i) {
+    const TransportDecision d = inj.next_transport(27);
+    ASSERT_GE(d.flip_pin, 0);
+    ASSERT_LT(d.flip_pin, 27);
+  }
+  EXPECT_EQ(inj.counters().transport_bitflips, 200u);
+}
+
+TEST(ChipInjector, StuckMaskIsAPersistentChipProperty) {
+  const FaultSpec spec = FaultSpec::parse("chip.stuck=0.05");
+  // Different attempts, different query order: the overlay must agree —
+  // a weak cell belongs to the chip, not to the retry.
+  ChipInjector first(spec, kSeed, 4, 1, 0);
+  ChipInjector second(spec, kSeed, 4, 1, 3);
+  const std::size_t columns = 1024;
+  const StuckMask* a0 = first.stuck_mask(0, 10, columns);
+  const StuckMask* a1 = first.stuck_mask(0, 11, columns);
+  const StuckMask* b1 = second.stuck_mask(0, 11, columns);
+  const StuckMask* b0 = second.stuck_mask(0, 10, columns);
+  ASSERT_NE(a0, nullptr);
+  ASSERT_NE(b0, nullptr);
+  EXPECT_EQ(a0->mask, b0->mask);
+  EXPECT_EQ(a0->value, b0->value);
+  EXPECT_EQ(a1->mask, b1->mask);
+  EXPECT_EQ(a1->value, b1->value);
+  // Distinct rows draw distinct overlays (statistically certain at 5%).
+  EXPECT_NE(a0->mask, a1->mask);
+  // Repeat queries hit the cache: same object back.
+  EXPECT_EQ(first.stuck_mask(0, 10, columns), a0);
+  // ~5% of 1024 cells are weak; allow a generous band.
+  const std::size_t weak = a0->mask.popcount();
+  EXPECT_GT(weak, 10u);
+  EXPECT_LT(weak, 150u);
+}
+
+TEST(ChipInjector, StuckMaskIsNullWhenRateIsZero) {
+  ChipInjector inj(FaultSpec::parse("chip.retention=0.5"), kSeed, 0, 0, 0);
+  EXPECT_TRUE(inj.any_chip_faults());
+  EXPECT_EQ(inj.stuck_mask(0, 0, 256), nullptr);
+}
+
+TEST(ChipInjector, RetentionRateOneFlipsEveryCell) {
+  ChipInjector inj(FaultSpec::parse("chip.retention=1"), kSeed, 0, 0, 0);
+  BitVec cells(256);
+  inj.retention_flips(cells);
+  EXPECT_EQ(cells.popcount(), 256u);
+  EXPECT_EQ(inj.counters().chip_retention_flips, 256u);
+}
+
+TEST(ChipInjector, RetentionRateZeroTouchesNothing) {
+  ChipInjector inj(FaultSpec::parse("chip.stuck=0.1"), kSeed, 0, 0, 0);
+  BitVec cells(256);
+  cells.fill(true);
+  inj.retention_flips(cells);
+  EXPECT_EQ(cells.popcount(), 256u);
+  EXPECT_EQ(inj.counters().chip_retention_flips, 0u);
+}
+
+TEST(ChipInjector, DisturbanceScalesWithDrivenRowCount) {
+  // Per-neighbour-cell flip rate = chip.disturb x driven rows, capped at
+  // 1: with 0.5 x 2 the victim flips entirely.
+  ChipInjector inj(FaultSpec::parse("chip.disturb=0.5"), kSeed, 0, 0, 0);
+  BitVec victim(128);
+  inj.disturb_flips(2, victim);
+  EXPECT_EQ(victim.popcount(), 128u);
+  EXPECT_EQ(inj.counters().chip_disturb_flips, 128u);
+
+  ChipInjector weak(FaultSpec::parse("chip.disturb=0.01"), kSeed, 0, 0, 0);
+  BitVec single(4096), many(4096);
+  weak.disturb_flips(1, single);
+  const std::uint64_t after_single = weak.counters().chip_disturb_flips;
+  weak.disturb_flips(32, many);
+  EXPECT_GT(weak.counters().chip_disturb_flips - after_single, after_single);
+}
+
+TEST(ChipInjector, CrashListTasksCrashOnEveryAttempt) {
+  const FaultSpec spec = FaultSpec::parse("task.crash_tasks=3");
+  for (unsigned attempt = 0; attempt < 3; ++attempt) {
+    ChipInjector inj(spec, kSeed, 0, 3, attempt);
+    EXPECT_TRUE(inj.task_crash(3)) << "attempt " << attempt;
+    EXPECT_EQ(inj.counters().task_crashes, 1u);
+  }
+  ChipInjector inj(spec, kSeed, 0, 2, 0);
+  EXPECT_FALSE(inj.task_crash(2));
+}
+
+TEST(ChipInjector, TraceIsRecordedOnlyWhenEnabled) {
+  ChipInjector quiet(FaultSpec::parse("transport.drop=1"), kSeed, 0, 0, 0);
+  (void)quiet.next_transport(27);
+  EXPECT_TRUE(quiet.trace().empty());
+  EXPECT_EQ(quiet.counters().transport_drops, 1u);
+
+  ChipInjector loud(FaultSpec::parse("transport.drop=1,trace=1"), kSeed, 0,
+                    0, 0);
+  (void)loud.next_transport(27);
+  ASSERT_FALSE(loud.trace().empty());
+}
+
+TEST(ChipInjector, GarbageWordsAreDeterministic) {
+  ChipInjector a(transport_spec(), kSeed, 2, 2, 1);
+  ChipInjector b(transport_spec(), kSeed, 2, 2, 1);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.garbage_word(), b.garbage_word());
+}
+
+TEST(FaultCounters, AccumulateAcrossInjectors) {
+  FaultCounters total;
+  ChipInjector a(FaultSpec::parse("transport.drop=1"), kSeed, 0, 0, 0);
+  ChipInjector b(FaultSpec::parse("chip.retention=1"), kSeed, 0, 1, 0);
+  (void)a.next_transport(27);
+  BitVec cells(64);
+  b.retention_flips(cells);
+  total += a.counters();
+  total += b.counters();
+  EXPECT_EQ(total.transport_drops, 1u);
+  EXPECT_EQ(total.chip_retention_flips, 64u);
+  EXPECT_EQ(total.total(), 65u);
+}
+
+}  // namespace
+}  // namespace simra::fault

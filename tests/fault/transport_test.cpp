@@ -1,0 +1,178 @@
+// Wiring tests for the fault hooks: a ChipInjector installed on the
+// executor (transport faults) and the chip (cell faults) must never crash
+// the model, must preserve RD burst framing, and must reproduce the exact
+// fault-free behaviour when detached or configured at zero rates.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+#include "dram/chip.hpp"
+#include "fault/injector.hpp"
+#include "fault/spec.hpp"
+#include "pud/engine.hpp"
+#include "pud/patterns.hpp"
+#include "pud/row_group.hpp"
+
+namespace simra::fault {
+namespace {
+
+constexpr std::uint64_t kSeed = 0xFA11;
+
+class FaultWiringTest : public ::testing::Test {
+ protected:
+  dram::Chip chip_{dram::VendorProfile::hynix_m(), 11};
+  pud::Engine engine_{&chip_};
+  Rng rng_{13};
+
+  std::size_t columns() const { return chip_.profile().geometry.columns; }
+  BitVec random_row() {
+    BitVec v(columns());
+    v.randomize(rng_);
+    return v;
+  }
+};
+
+TEST_F(FaultWiringTest, DetachedInjectorLeavesTheModelUntouched) {
+  EXPECT_EQ(engine_.executor().faults(), nullptr);
+  EXPECT_EQ(chip_.faults(), nullptr);
+  ChipInjector inj(FaultSpec::parse("transport.drop=1"), kSeed, 0, 0, 0);
+  engine_.executor().install_faults(&inj);
+  chip_.install_faults(&inj);
+  EXPECT_EQ(engine_.executor().faults(), &inj);
+  EXPECT_EQ(chip_.faults(), &inj);
+  engine_.executor().install_faults(nullptr);
+  chip_.install_faults(nullptr);
+
+  const BitVec data = random_row();
+  engine_.write_row(0, 17, data);
+  EXPECT_EQ(engine_.read_row(0, 17), data);
+  EXPECT_EQ(inj.counters().total(), 0u);
+}
+
+TEST_F(FaultWiringTest, ZeroTransportRatesAreByteIdenticalToClean) {
+  // A policy-only spec (retries configured, no rates) draws nothing, so
+  // the faulted executor must match a clean twin chip bit for bit.
+  dram::Chip twin(dram::VendorProfile::hynix_m(), 11);
+  pud::Engine clean(&twin);
+
+  ChipInjector inj(FaultSpec::parse("retry.max=5"), kSeed, 0, 0, 0);
+  engine_.executor().install_faults(&inj);
+  chip_.install_faults(&inj);
+
+  Rng data_rng(99);
+  for (dram::RowAddr r = 0; r < 8; ++r) {
+    BitVec data(columns());
+    data.randomize(data_rng);
+    engine_.write_row(0, r, data);
+    clean.write_row(0, r, data);
+  }
+  for (dram::RowAddr r = 0; r < 8; ++r)
+    EXPECT_EQ(engine_.read_row(0, r), clean.read_row(0, r)) << "row " << r;
+  EXPECT_EQ(inj.counters().total(), 0u);
+}
+
+TEST_F(FaultWiringTest, DroppingEveryCommandPreservesReadFraming) {
+  ChipInjector inj(FaultSpec::parse("transport.drop=1"), kSeed, 0, 0, 0);
+  engine_.executor().install_faults(&inj);
+  engine_.write_row(0, 3, random_row());
+  // Every command is dropped: the RD payload is deterministic garbage of
+  // the right width, not a crash or a missing burst.
+  const BitVec readback = engine_.read_row(0, 3);
+  EXPECT_EQ(readback.size(), columns());
+  EXPECT_GT(inj.counters().transport_drops, 0u);
+}
+
+TEST_F(FaultWiringTest, HeavyCorruptionNeverCrashesTheModel) {
+  ChipInjector inj(
+      FaultSpec::parse("transport.bitflip=0.5,transport.drop=0.2,"
+                       "transport.dup=0.3,transport.jitter=0.5"),
+      kSeed, 0, 0, 0);
+  engine_.executor().install_faults(&inj);
+  const pud::RowGroup group = pud::sample_group(engine_.layout(), 8, rng_);
+  for (int round = 0; round < 3; ++round) {
+    engine_.write_row(0, 5, random_row());
+    EXPECT_EQ(engine_.read_row(0, 5).size(), columns());
+    engine_.frac(0, 9);
+    engine_.rowclone(0, 5, 6);
+    engine_.apa_then_write(0, 0, group, random_row(),
+                           pud::ApaTimings::best_for_smra());
+  }
+  EXPECT_GT(inj.counters().transport_total(), 0u);
+}
+
+TEST_F(FaultWiringTest, TransportFaultTraceIsDeterministic) {
+  const FaultSpec spec = FaultSpec::parse(
+      "transport.bitflip=0.2,transport.drop=0.1,trace=1");
+  FaultCounters counters[2];
+  std::vector<std::string> traces[2];
+  BitVec readbacks[2];
+  for (int run = 0; run < 2; ++run) {
+    dram::Chip chip(dram::VendorProfile::hynix_m(), 11);
+    pud::Engine engine(&chip);
+    ChipInjector inj(spec, kSeed, 1, 2, 0);
+    engine.executor().install_faults(&inj);
+    Rng data_rng(7);
+    BitVec data(chip.profile().geometry.columns);
+    data.randomize(data_rng);
+    for (dram::RowAddr r = 0; r < 4; ++r) engine.write_row(0, r, data);
+    readbacks[run] = engine.read_row(0, 2);
+    counters[run] = inj.counters();
+    traces[run] = inj.trace();
+  }
+  EXPECT_EQ(readbacks[0], readbacks[1]);
+  EXPECT_EQ(counters[0].transport_total(), counters[1].transport_total());
+  EXPECT_EQ(traces[0], traces[1]);
+  EXPECT_FALSE(traces[0].empty());
+}
+
+TEST_F(FaultWiringTest, StuckCellsOverlayReadsPersistently) {
+  ChipInjector inj(FaultSpec::parse("chip.stuck=0.02"), kSeed, 0, 0, 0);
+  chip_.install_faults(&inj);
+  const BitVec data = random_row();
+  engine_.write_row(0, 21, data);
+  const BitVec first = engine_.read_row(0, 21);
+  EXPECT_GT(first.hamming_distance(data), 0u);
+  // Rewriting the same data hits the same weak cells: the overlay is a
+  // property of the chip, not of the access.
+  engine_.write_row(0, 21, data);
+  EXPECT_EQ(engine_.read_row(0, 21), first);
+  EXPECT_GT(inj.counters().chip_stuck_cells, 0u);
+}
+
+TEST_F(FaultWiringTest, RetentionDecayFlipsCellsOnActivation) {
+  ChipInjector inj(FaultSpec::parse("chip.retention=0.01"), kSeed, 0, 0, 0);
+  chip_.install_faults(&inj);
+  const BitVec data = random_row();
+  engine_.write_row(0, 30, data);
+  std::size_t flipped = 0;
+  for (int i = 0; i < 5; ++i)
+    flipped += engine_.read_row(0, 30).hamming_distance(data);
+  EXPECT_GT(flipped, 0u);
+  EXPECT_GT(inj.counters().chip_retention_flips, 0u);
+}
+
+TEST_F(FaultWiringTest, ChipFaultsAreDeterministicAcrossIdenticalRuns) {
+  const FaultSpec spec =
+      FaultSpec::parse("chip.stuck=0.01,chip.retention=0.002");
+  BitVec readbacks[2];
+  for (int run = 0; run < 2; ++run) {
+    dram::Chip chip(dram::VendorProfile::micron_e(), 42);
+    pud::Engine engine(&chip);
+    ChipInjector inj(spec, kSeed, 3, 1, 0);
+    chip.install_faults(&inj);
+    Rng data_rng(5);
+    BitVec data(chip.profile().geometry.columns);
+    data.randomize(data_rng);
+    engine.write_row(0, 12, data);
+    readbacks[run] = engine.read_row(0, 12);
+  }
+  EXPECT_EQ(readbacks[0], readbacks[1]);
+}
+
+}  // namespace
+}  // namespace simra::fault

@@ -3,11 +3,16 @@
 #include <gtest/gtest.h>
 
 #include "bender/assembler.hpp"
+#include "charz/runner.hpp"
+#include "charz/series.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "dram/chip.hpp"
+#include "fault/injector.hpp"
+#include "fault/spec.hpp"
 #include "pud/engine.hpp"
 #include "pud/success.hpp"
+#include "support/scoped_env.hpp"
 
 namespace simra {
 namespace {
@@ -133,6 +138,140 @@ TEST_P(PropertySeedTest, RowGroupsPartitionConsistently) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PropertySeedTest,
                          ::testing::Values(11, 22, 33, 44, 55));
+
+// --- Fault-injection properties (satellite of the resilience work) ---
+
+using simra::testing::ScopedFaultSpec;
+using simra::testing::ScopedThreads;
+
+charz::Plan fault_plan() {
+  charz::Plan p;
+  p.modules = {{dram::VendorProfile::hynix_m(), 2},
+               {dram::VendorProfile::micron_e(), 1}};
+  p.chips_per_module = 2;
+  p.banks_per_chip = 1;
+  p.subarrays_per_bank = 2;
+  p.groups_per_size = 1;
+  p.trials = 1;
+  p.seed = 909;
+  return p;
+}
+
+/// A sweep body that pushes real commands through the (possibly faulted)
+/// transport and chip layers: write a random row, read it back, record
+/// the readback weight.
+void fault_probe(charz::Instance& inst, charz::SeriesAccumulator& out) {
+  BitVec data(inst.profile.geometry.columns);
+  data.randomize(inst.rng);
+  for (dram::RowAddr r = 0; r < 3; ++r) {
+    inst.engine.write_row(inst.bank, r, data);
+    out.add({inst.profile.short_name, std::to_string(inst.subarray)},
+            static_cast<double>(
+                inst.engine.read_row(inst.bank, r).popcount()));
+  }
+}
+
+void expect_identical_figures(const charz::FigureData& a,
+                              const charz::FigureData& b) {
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    EXPECT_EQ(a.rows[i].keys, b.rows[i].keys);
+    EXPECT_EQ(a.rows[i].stats.mean, b.rows[i].stats.mean);
+    EXPECT_EQ(a.rows[i].stats.min, b.rows[i].stats.min);
+    EXPECT_EQ(a.rows[i].stats.max, b.rows[i].stats.max);
+    EXPECT_EQ(a.rows[i].stats.count, b.rows[i].stats.count);
+  }
+}
+
+TEST(FaultProperties, SameSeedReproducesTheFaultTraceAtAnyThreadCount) {
+  // The headline fault-determinism guarantee: a given SIMRA_FAULT_SEED +
+  // plan yields the identical fault trace — per-chip event logs, tallies,
+  // and the merged (degraded) result — at 1 and 4 harness threads.
+  ScopedFaultSpec scoped(
+      "transport.bitflip=0.02,transport.drop=0.01,chip.retention=0.0005,"
+      "trace=1",
+      "1234");
+  const charz::Plan p = fault_plan();
+  const auto sweep_at = [&p](const char* threads) {
+    ScopedThreads scoped_threads(threads);
+    return charz::run_instances<charz::SeriesAccumulator>(p, fault_probe);
+  };
+  const auto serial = sweep_at("1");
+  const auto parallel = sweep_at("4");
+
+  expect_identical_figures(serial.result.finish("t", {"vendor", "sa"}),
+                           parallel.result.finish("t", {"vendor", "sa"}));
+  ASSERT_EQ(serial.coverage.chips.size(), parallel.coverage.chips.size());
+  std::uint64_t total_faults = 0;
+  for (std::size_t i = 0; i < serial.coverage.chips.size(); ++i) {
+    const charz::ChipReport& s = serial.coverage.chips[i];
+    const charz::ChipReport& q = parallel.coverage.chips[i];
+    EXPECT_EQ(s.trace, q.trace) << "chip " << s.label();
+    EXPECT_EQ(s.faults.total(), q.faults.total()) << "chip " << s.label();
+    EXPECT_EQ(s.attempts, q.attempts) << "chip " << s.label();
+    total_faults += s.faults.total();
+  }
+  EXPECT_GT(total_faults, 0u) << "spec injected nothing — test is vacuous";
+}
+
+TEST(FaultProperties, ZeroRateSpecIsByteIdenticalToNoSpec) {
+  const charz::Plan p = fault_plan();
+  charz::FigureData clean, zeroed;
+  {
+    ScopedFaultSpec scoped(nullptr);
+    ScopedThreads threads("2");
+    clean = charz::finish_sweep(
+        charz::run_instances<charz::SeriesAccumulator>(p, fault_probe), "t",
+        {"vendor", "sa"});
+  }
+  {
+    // Every injector named, every rate zero, plus a non-default retry
+    // policy: none of it may perturb a single byte of the result.
+    ScopedFaultSpec scoped(
+        "transport.bitflip=0,transport.drop=0,transport.dup=0,"
+        "transport.jitter=0,chip.stuck=0,chip.retention=0,chip.disturb=0,"
+        "task.fail=0,retry.max=5",
+        "777");
+    ScopedThreads threads("2");
+    zeroed = charz::finish_sweep(
+        charz::run_instances<charz::SeriesAccumulator>(p, fault_probe), "t",
+        {"vendor", "sa"});
+  }
+  expect_identical_figures(clean, zeroed);
+  EXPECT_TRUE(zeroed.coverage.complete());
+}
+
+TEST_P(PropertySeedTest, MajxTruthTableHoldsUnderTransportFaultsWithRetry) {
+  // PULSAR-style operation-level retry: transport faults corrupt
+  // individual attempts, but re-issuing the operation (operands are
+  // re-staged by every majx call) recovers the truth-table invariants —
+  // all-ones operands produce an overwhelmingly-ones majority, all-zeros
+  // an overwhelmingly-zeros one.
+  dram::Chip chip(dram::VendorProfile::hynix_m(), GetParam());
+  pud::Engine engine(&chip);
+  fault::ChipInjector injector(
+      fault::FaultSpec::parse("transport.bitflip=0.003,transport.drop=0.001"),
+      GetParam(), 0, 0, 0);
+  engine.executor().install_faults(&injector);  // transport-only faults
+
+  Rng rng(hash_combine(GetParam(), 5));
+  const std::size_t cols = chip.profile().geometry.columns;
+  const pud::RowGroup group = pud::sample_group(engine.layout(), 16, rng);
+  for (const bool ones : {true, false}) {
+    pud::MajxConfig config;
+    config.x = 3;
+    config.operands.assign(3, BitVec(cols, ones));
+    bool passed = false;
+    for (int attempt = 0; attempt < 5 && !passed; ++attempt) {
+      const BitVec result = engine.majx(0, 0, group, config);
+      const std::size_t weight = result.popcount();
+      passed = ones ? weight > cols * 9 / 10 : weight < cols / 10;
+    }
+    EXPECT_TRUE(passed) << "MAJ3(all-" << (ones ? "ones" : "zeros")
+                        << ") never reached the truth-table value in 5 "
+                           "attempts under transport faults";
+  }
+}
 
 }  // namespace
 }  // namespace simra

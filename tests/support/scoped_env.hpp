@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace simra::testing {
+
+/// Sets one environment variable for the object's scope and restores the
+/// previous value (or unset state) afterwards. value == nullptr unsets.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_value_ = old != nullptr;
+    if (old != nullptr) saved_ = old;
+    if (value != nullptr)
+      ::setenv(name, value, 1);
+    else
+      ::unsetenv(name);
+  }
+  ~ScopedEnv() {
+    if (had_value_)
+      ::setenv(name_.c_str(), saved_.c_str(), 1);
+    else
+      ::unsetenv(name_.c_str());
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  std::string name_;
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+/// Sets SIMRA_THREADS for the scope and restores it afterwards.
+class ScopedThreads : public ScopedEnv {
+ public:
+  explicit ScopedThreads(const char* value)
+      : ScopedEnv("SIMRA_THREADS", value) {}
+};
+
+/// Sets SIMRA_FAULT_SPEC (and optionally SIMRA_FAULT_SEED) for the scope.
+class ScopedFaultSpec {
+ public:
+  explicit ScopedFaultSpec(const char* spec, const char* seed = nullptr)
+      : spec_("SIMRA_FAULT_SPEC", spec), seed_("SIMRA_FAULT_SEED", seed) {}
+
+ private:
+  ScopedEnv spec_;
+  ScopedEnv seed_;
+};
+
+}  // namespace simra::testing

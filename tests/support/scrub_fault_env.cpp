@@ -1,0 +1,19 @@
+// Unsets the fault-injection environment before any test runs (static
+// initialization happens before main, hence before gtest reads env).
+// Link this TU into test binaries whose expectations pin the no-fault
+// physics — golden tables, determinism regressions, property invariants —
+// so an ambient SIMRA_FAULT_SPEC (e.g. from the fault-heavy CI job)
+// cannot perturb them. Tests that exercise faults opt back in with
+// simra::testing::ScopedFaultSpec.
+
+#include <cstdlib>
+
+namespace {
+
+const int scrubbed = [] {
+  ::unsetenv("SIMRA_FAULT_SPEC");
+  ::unsetenv("SIMRA_FAULT_SEED");
+  return 0;
+}();
+
+}  // namespace
