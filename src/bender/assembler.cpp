@@ -104,6 +104,25 @@ Program Assembler::assemble(const std::string& text) {
     std::string mnemonic;
     if (!(in >> mnemonic)) continue;  // blank line.
 
+    if (mnemonic == "EXPECT") {
+      // Declares an intended timing violation, e.g.
+      //   EXPECT tRAS bank=0 label=apa
+      std::string rule_token;
+      if (!(in >> rule_token)) fail(line_no, "EXPECT needs a rule name");
+      const auto rule = verify::rule_from_name(rule_token);
+      if (!rule) fail(line_no, "unknown timing rule '" + rule_token + "'");
+      const auto operands = parse_operands(in, line_no);
+      verify::Intent intent;
+      intent.rule = *rule;
+      const auto bank = operands.find("bank");
+      if (bank != operands.end())
+        intent.bank = static_cast<int>(parse_number(bank->second, line_no));
+      const auto label = operands.find("label");
+      if (label != operands.end()) intent.label = label->second;
+      program.expect(std::move(intent));
+      continue;
+    }
+
     if (mnemonic == "DELAY" || mnemonic == "WAIT") {
       double ns = 0.0;
       if (!(in >> ns)) fail(line_no, mnemonic + " needs a duration in ns");
@@ -119,19 +138,25 @@ Program Assembler::assemble(const std::string& text) {
     }
 
     const auto operands = parse_operands(in, line_no);
+    const auto has_ap = [&] {
+      const auto it = operands.find("ap");
+      return it != operands.end() && parse_number(it->second, line_no) != 0;
+    };
     if (mnemonic == "ACT") {
       program.act(static_cast<dram::BankId>(require(operands, "bank", line_no)),
                   static_cast<dram::RowAddr>(require(operands, "row", line_no)));
     } else if (mnemonic == "PRE") {
       program.pre(static_cast<dram::BankId>(require(operands, "bank", line_no)));
+    } else if (mnemonic == "PREA") {
+      program.prea();
     } else if (mnemonic == "RD") {
       program.rd(static_cast<dram::BankId>(require(operands, "bank", line_no)),
                  static_cast<dram::ColAddr>(require(operands, "col", line_no)),
-                 require(operands, "bits", line_no));
+                 require(operands, "bits", line_no), has_ap());
     } else if (mnemonic == "WR") {
       program.wr(static_cast<dram::BankId>(require(operands, "bank", line_no)),
                  static_cast<dram::ColAddr>(require(operands, "col", line_no)),
-                 parse_payload(operands, line_no));
+                 parse_payload(operands, line_no), has_ap());
     } else if (mnemonic == "REF") {
       program.ref();
     } else {
@@ -143,6 +168,12 @@ Program Assembler::assemble(const std::string& text) {
 
 std::string Assembler::disassemble(const Program& program) {
   std::ostringstream out;
+  for (const verify::Intent& intent : program.intents()) {
+    out << "EXPECT " << verify::rule_name(intent.rule);
+    if (intent.bank != verify::kAnyBank) out << " bank=" << intent.bank;
+    if (!intent.label.empty()) out << " label=" << intent.label;
+    out << "\n";
+  }
   std::uint64_t prev_slot = 0;
   bool first = true;
   for (const TimedCommand& cmd : program.commands()) {
@@ -160,15 +191,21 @@ std::string Assembler::disassemble(const Program& program) {
         out << "ACT bank=" << static_cast<int>(cmd.bank) << " row=" << cmd.row;
         break;
       case CommandKind::kPre:
-        out << "PRE bank=" << static_cast<int>(cmd.bank);
+        if (cmd.a10) {
+          out << "PREA";
+        } else {
+          out << "PRE bank=" << static_cast<int>(cmd.bank);
+        }
         break;
       case CommandKind::kRd:
         out << "RD bank=" << static_cast<int>(cmd.bank) << " col=" << cmd.col
             << " bits=" << cmd.nbits;
+        if (cmd.a10) out << " ap=1";
         break;
       case CommandKind::kWr:
         out << "WR bank=" << static_cast<int>(cmd.bank) << " col=" << cmd.col
             << " hex=" << payload_to_hex(cmd.data);
+        if (cmd.a10) out << " ap=1";
         break;
       case CommandKind::kRef:
         out << "REF";

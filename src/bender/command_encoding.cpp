@@ -33,19 +33,22 @@ PinState CommandEncoder::encode(const TimedCommand& command) {
       pins.ras_n = false;
       pins.cas_n = true;
       pins.we_n = false;
-      pins.address = 0;  // A10 low: single-bank precharge.
+      // A10 high: precharge-all; low: single-bank precharge.
+      pins.address = command.a10 ? kA10 : 0;
       break;
     case CommandKind::kRd:
       pins.ras_n = true;
       pins.cas_n = false;
       pins.we_n = true;
-      pins.address = (command.col / 64) & 0x3FFu;
+      pins.address = ((command.col / 64) & 0x3FFu) |
+                     (command.a10 ? kA10 : 0);
       break;
     case CommandKind::kWr:
       pins.ras_n = true;
       pins.cas_n = false;
       pins.we_n = false;
-      pins.address = (command.col / 64) & 0x3FFu;
+      pins.address = ((command.col / 64) & 0x3FFu) |
+                     (command.a10 ? kA10 : 0);
       break;
     case CommandKind::kRef:
       pins.ras_n = false;
@@ -81,10 +84,12 @@ CommandEncoder::Decoded CommandEncoder::decode(const PinState& pins) {
     case 0b101:  // RAS high, CAS low, WE high.
       out.kind = Decoded::Kind::kRead;
       out.column = pins.address & 0x3FFu;
+      out.auto_precharge = (pins.address & kA10) != 0;
       break;
     case 0b100:  // RAS high, CAS low, WE low.
       out.kind = Decoded::Kind::kWrite;
       out.column = pins.address & 0x3FFu;
+      out.auto_precharge = (pins.address & kA10) != 0;
       break;
     case 0b001:  // RAS low, CAS low, WE high.
       out.kind = Decoded::Kind::kRefresh;

@@ -55,6 +55,7 @@ class CommandEncoder {
     dram::BankId bank = 0;       ///< flat bank id (BG * 4 + BA).
     dram::RowAddr row = 0;       ///< for kActivate.
     std::uint32_t column = 0;    ///< burst-granular column for RD/WR.
+    bool auto_precharge = false; ///< A10 on a RD/WR: close the row after.
   };
 
   static Decoded decode(const PinState& pins);

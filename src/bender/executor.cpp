@@ -5,6 +5,7 @@
 
 #include "bender/command_encoding.hpp"
 #include "fault/injector.hpp"
+#include "verify/analyzer.hpp"
 
 namespace simra::bender {
 
@@ -74,13 +75,21 @@ void Executor::execute_one(const TimedCommand& cmd, double t,
       bank.act(cmd.row, t);
       break;
     case CommandKind::kPre:
-      bank.pre(t);
+      if (cmd.a10) {
+        // PREA: A10 high precharges every bank.
+        for (std::size_t b = 0; b < chip_->bank_count(); ++b)
+          chip_->bank(static_cast<dram::BankId>(b)).pre(t);
+      } else {
+        bank.pre(t);
+      }
       break;
     case CommandKind::kWr:
       bank.write(cmd.col, cmd.data, t);
+      if (cmd.a10) bank.pre(t);  // auto-precharge after the column access.
       break;
     case CommandKind::kRd:
       result.reads.push_back(bank.read(cmd.col, cmd.nbits, t));
+      if (cmd.a10) bank.pre(t);
       break;
     case CommandKind::kRef:
       for (std::size_t b = 0; b < chip_->bank_count(); ++b)
@@ -184,6 +193,8 @@ void Executor::run_faulty(const TimedCommand& cmd, ExecutionResult& result) {
         } catch (const std::logic_error&) {
           if (i == 0) push_garbage();
         }
+        // A flipped-high A10 turns the RD into RDA: the row closes.
+        if (decoded.auto_precharge) bank.pre(t);
         break;
       }
       case Kind::kWrite: {
@@ -198,6 +209,7 @@ void Executor::run_faulty(const TimedCommand& cmd, ExecutionResult& result) {
         if (col + data->size() > geom.columns)
           col = geom.columns >= data->size() ? geom.columns - data->size() : 0;
         bank.write(static_cast<dram::ColAddr>(col), *data, t);
+        if (decoded.auto_precharge) bank.pre(t);
         break;
       }
     }
@@ -210,6 +222,10 @@ void Executor::run_faulty(const TimedCommand& cmd, ExecutionResult& result) {
 }
 
 ExecutionResult Executor::run(const Program& program) {
+  // Static analysis happens before any command reaches the (possibly
+  // faulty) transport: the gate checks what the program *intends* to
+  // issue, not what a bit-flip turns it into.
+  verify::gate(program, chip_->profile().timings);
   ExecutionResult result;
   const bool faulty = faults_ != nullptr && faults_->spec().any_transport();
   for (const TimedCommand& cmd : program.commands()) {

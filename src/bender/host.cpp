@@ -16,6 +16,7 @@ Program Host::row_program(dram::BankId bank, dram::RowAddr row,
     throw std::invalid_argument("burst access must be 64-bit aligned");
 
   Program p;
+  p.set_name(write_data != nullptr ? "host_row_write" : "host_row_read");
   p.act(bank, row).delay_at_least(t.tRCD);
   if (write_data != nullptr) {
     for (std::size_t offset = 0; offset < write_data->size();
@@ -34,6 +35,9 @@ Program Host::row_program(dram::BankId bank, dram::RowAddr row,
       p.delay_at_least(t.tCCD);
     }
   }
+  // Short transfers would otherwise precharge before the row finished
+  // restoring.
+  p.pad_after_last(CommandKind::kAct, t.tRAS);
   p.pre(bank).delay_at_least(t.tRP);
   return p;
 }

@@ -1,5 +1,6 @@
 #include "bender/program.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
@@ -45,21 +46,32 @@ Program& Program::pre(dram::BankId bank) {
   return push(std::move(c));
 }
 
-Program& Program::wr(dram::BankId bank, dram::ColAddr col, BitVec data) {
+Program& Program::prea() {
+  TimedCommand c;
+  c.kind = CommandKind::kPre;
+  c.a10 = true;
+  return push(std::move(c));
+}
+
+Program& Program::wr(dram::BankId bank, dram::ColAddr col, BitVec data,
+                     bool auto_precharge) {
   TimedCommand c;
   c.kind = CommandKind::kWr;
   c.bank = bank;
   c.col = col;
   c.data = std::move(data);
+  c.a10 = auto_precharge;
   return push(std::move(c));
 }
 
-Program& Program::rd(dram::BankId bank, dram::ColAddr col, std::size_t nbits) {
+Program& Program::rd(dram::BankId bank, dram::ColAddr col, std::size_t nbits,
+                     bool auto_precharge) {
   TimedCommand c;
   c.kind = CommandKind::kRd;
   c.bank = bank;
   c.col = col;
   c.nbits = nbits;
+  c.a10 = auto_precharge;
   return push(std::move(c));
 }
 
@@ -82,10 +94,51 @@ Program& Program::delay(Nanoseconds delay) {
 
 Program& Program::delay_at_least(Nanoseconds delay) {
   if (delay.value <= 0.0) throw std::invalid_argument("delay must be positive");
+  auto slots =
+      static_cast<std::uint64_t>(std::ceil(delay.value / kSlotNs - 1e-9));
+  if (slots == 0) slots = 1;
+  if (cursor_occupied_) {
+    cursor_ += slots;
+  } else {
+    // The unoccupied cursor already sits partway through the gap (an
+    // earlier delay advanced it past the last command); count that
+    // distance so an exact slot multiple does not over-advance.
+    const std::uint64_t base = commands_.empty() ? 0 : commands_.back().slot;
+    cursor_ = std::max(cursor_, base + slots);
+  }
+  cursor_occupied_ = false;
+  return *this;
+}
+
+Program& Program::pad_after_last(CommandKind kind, Nanoseconds delay) {
+  if (delay.value <= 0.0) throw std::invalid_argument("delay must be positive");
+  auto it = std::find_if(commands_.rbegin(), commands_.rend(),
+                         [kind](const TimedCommand& c) { return c.kind == kind; });
+  if (it == commands_.rend())
+    throw std::logic_error("pad_after_last: no prior command of that kind");
   const auto slots =
       static_cast<std::uint64_t>(std::ceil(delay.value / kSlotNs - 1e-9));
-  cursor_ += slots > 0 ? slots : 1;
-  cursor_occupied_ = false;
+  const std::uint64_t target = it->slot + slots;
+  const std::uint64_t next = cursor_occupied_ ? cursor_ + 1 : cursor_;
+  if (next < target) {
+    cursor_ = target;
+    cursor_occupied_ = false;
+  }
+  return *this;
+}
+
+Program& Program::expect(verify::Intent intent) {
+  intents_.push_back(std::move(intent));
+  return *this;
+}
+
+Program& Program::expect(const std::vector<verify::Intent>& intents) {
+  intents_.insert(intents_.end(), intents.begin(), intents.end());
+  return *this;
+}
+
+Program& Program::set_name(std::string name) {
+  name_ = std::move(name);
   return *this;
 }
 
@@ -105,15 +158,21 @@ std::string Program::to_string() const {
         os << " bank=" << static_cast<int>(c.bank) << " row=" << c.row;
         break;
       case CommandKind::kPre:
-        os << " bank=" << static_cast<int>(c.bank);
+        if (c.a10) {
+          os << " all";  // PREA: bank bits are don't-care.
+        } else {
+          os << " bank=" << static_cast<int>(c.bank);
+        }
         break;
       case CommandKind::kWr:
         os << " bank=" << static_cast<int>(c.bank) << " col=" << c.col
            << " bits=" << c.data.size();
+        if (c.a10) os << " ap";
         break;
       case CommandKind::kRd:
         os << " bank=" << static_cast<int>(c.bank) << " col=" << c.col
            << " bits=" << c.nbits;
+        if (c.a10) os << " ap";
         break;
       case CommandKind::kRef:
         break;

@@ -7,6 +7,7 @@
 #include "common/bitvec.hpp"
 #include "common/units.hpp"
 #include "dram/types.hpp"
+#include "verify/intent.hpp"
 
 namespace simra::bender {
 
@@ -34,6 +35,8 @@ struct TimedCommand {
   dram::ColAddr col = 0;       ///< bit offset for WR/RD.
   std::size_t nbits = 0;       ///< read length for RD.
   BitVec data;                 ///< payload for WR.
+  /// A10 high: PRE becomes precharge-all (PREA), RD/WR auto-precharge.
+  bool a10 = false;
 
   double time_ns() const { return static_cast<double>(slot) * kSlotNs; }
 };
@@ -52,21 +55,47 @@ class Program {
  public:
   Program& act(dram::BankId bank, dram::RowAddr row);
   Program& pre(dram::BankId bank);
-  /// Writes `data` at bit offset `col` of the open row.
-  Program& wr(dram::BankId bank, dram::ColAddr col, BitVec data);
+  /// Precharge-all (A10 high): closes every open bank in one command.
+  Program& prea();
+  /// Writes `data` at bit offset `col` of the open row; with
+  /// `auto_precharge` (A10 high, WRA) the bank closes after the access.
+  Program& wr(dram::BankId bank, dram::ColAddr col, BitVec data,
+              bool auto_precharge = false);
   /// Reads `nbits` at bit offset `col`; results are collected by the
-  /// executor in command order.
-  Program& rd(dram::BankId bank, dram::ColAddr col, std::size_t nbits);
+  /// executor in command order. `auto_precharge` as for wr().
+  Program& rd(dram::BankId bank, dram::ColAddr col, std::size_t nbits,
+              bool auto_precharge = false);
   Program& ref();
 
   /// Advances the cursor. `delay` must be a positive multiple of 1.5 ns;
   /// anything else throws (the hardware cannot schedule it).
   Program& delay(Nanoseconds delay);
 
-  /// Advances the cursor to at least the standard-timing distance for the
-  /// given delay (rounded up to the next slot). Use for "respect nominal
-  /// timing" gaps where exact slot alignment is irrelevant.
+  /// Advances the cursor so the *next* command lands at least the given
+  /// delay (rounded up to the next slot) after the last command. Unlike
+  /// delay(), exact slot alignment is irrelevant; unlike naive cursor
+  /// arithmetic, an unoccupied cursor already partway through the gap
+  /// counts towards it, so an exact slot multiple never over-advances.
   Program& delay_at_least(Nanoseconds delay);
+
+  /// Ensures the next command lands at least `delay` after the most recent
+  /// command of `kind` (rounded up to slots); no-ops when the gap is
+  /// already satisfied, throws std::logic_error when no such command
+  /// exists. Use to respect nominal timing measured from a specific
+  /// earlier command, e.g. `.pad_after_last(CommandKind::kAct, t.tRAS)`
+  /// before a PRE.
+  Program& pad_after_last(CommandKind kind, Nanoseconds delay);
+
+  /// Declares an intended timing violation (see simra::verify): findings
+  /// matching a declared intent are classified kIntended by the analyzer.
+  Program& expect(verify::Intent intent);
+  Program& expect(const std::vector<verify::Intent>& intents);
+
+  /// Names the program for verify diagnostics ("fig3_apa", ...).
+  Program& set_name(std::string name);
+
+  const std::string& name() const noexcept { return name_; }
+  const std::vector<verify::Intent>& intents() const noexcept { return intents_; }
 
   const std::vector<TimedCommand>& commands() const noexcept { return commands_; }
   std::uint64_t cursor_slot() const noexcept { return cursor_; }
@@ -80,6 +109,8 @@ class Program {
   Program& push(TimedCommand cmd);
 
   std::vector<TimedCommand> commands_;
+  std::vector<verify::Intent> intents_;
+  std::string name_;
   std::uint64_t cursor_ = 0;
   bool cursor_occupied_ = false;  ///< a command sits at the cursor slot.
 };

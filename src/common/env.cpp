@@ -24,6 +24,11 @@ std::int64_t env_int(const std::string& name, std::int64_t fallback) {
   return parsed;
 }
 
+std::string env_string(const std::string& name, const std::string& fallback) {
+  const char* raw = std::getenv(name.c_str());
+  return raw == nullptr ? fallback : std::string(raw);
+}
+
 bool full_scale_run() { return env_flag("SIMRA_FULL"); }
 
 }  // namespace simra

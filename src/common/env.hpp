@@ -12,6 +12,9 @@ bool env_flag(const std::string& name);
 /// Integer environment variable with a default when unset/unparsable.
 std::int64_t env_int(const std::string& name, std::int64_t fallback);
 
+/// String environment variable with a default when unset.
+std::string env_string(const std::string& name, const std::string& fallback);
+
 /// Whether benches should run the paper-scale experiment plan
 /// (SIMRA_FULL=1) instead of the scaled-down default.
 bool full_scale_run();

@@ -13,6 +13,7 @@ TimingParams TimingParams::ddr4_2133() {
   t.tRCD = Nanoseconds{14.06};
   t.tRP = Nanoseconds{14.06};
   t.tRAS = Nanoseconds{33.0};
+  t.tFAW = Nanoseconds{25.0};
   t.tCK = Nanoseconds{0.9375};
   return t;
 }

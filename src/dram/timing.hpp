@@ -15,6 +15,7 @@ struct TimingParams {
   Nanoseconds tWR{15.0};    ///< Write recovery.
   Nanoseconds tRFC{350.0};  ///< Refresh cycle time (8 Gb-class die).
   Nanoseconds tCCD{5.0};    ///< Column-to-column delay.
+  Nanoseconds tFAW{21.0};   ///< Four-activate window (rank-wide).
   Nanoseconds tCK{0.75};    ///< Clock period (DDR4-2666).
 
   Nanoseconds tRC() const { return tRAS + tRP; }  ///< Row cycle time.

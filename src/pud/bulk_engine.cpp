@@ -93,6 +93,15 @@ BulkEngine::BulkResult BulkEngine::run_pipelined(
             [](const Event& a, const Event& b) { return a.slot < b.slot; });
 
   Program p;
+  p.set_name("bulk_pipelined");
+  // Every bank runs a full APA (tRAS/tRP cut on purpose), and the
+  // interleaved schedule packs more than four ACTs into a tFAW window by
+  // design — the banks are independent, so the rank-wide ACT pacing rule
+  // does not gate the experiment.
+  for (dram::BankId bank : banks)
+    p.expect(verify::apa_intents(static_cast<int>(bank)));
+  p.expect(verify::Intent{verify::RuleId::kTfaw, verify::kAnyBank,
+                          "bulk_pipeline"});
   std::int64_t prev = -1;
   for (const Event& e : events) {
     if (prev >= 0) {
@@ -118,8 +127,13 @@ BulkEngine::BulkResult BulkEngine::run_pipelined(
   }
   // Let the last bank finish sensing + restore, then drain all banks.
   p.delay_at_least(t.tRAS);
-  for (dram::BankId bank : banks) {
-    if (read_buffers) p.rd(bank, 0, columns);
+  if (read_buffers) {
+    for (std::size_t i = 0; i < banks.size(); ++i) {
+      // Successive bursts from different banks still share the data bus:
+      // space the drain reads by tCCD.
+      if (i > 0) p.delay_at_least(t.tCCD);
+      p.rd(banks[i], 0, columns);
+    }
   }
   for (dram::BankId bank : banks) p.pre(bank);
   p.delay_at_least(t.tRP);

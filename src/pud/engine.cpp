@@ -22,10 +22,12 @@ void Engine::write_row(dram::BankId bank, dram::RowAddr global_row,
                        const BitVec& data) {
   const auto& t = chip_->profile().timings;
   Program p;
+  p.set_name("write_row");
   p.act(bank, global_row)
       .delay_at_least(t.tRCD)
       .wr(bank, 0, data)
       .delay_at_least(t.tWR)
+      .pad_after_last(bender::CommandKind::kAct, t.tRAS)
       .pre(bank)
       .delay_at_least(t.tRP);
   executor_.run(p);
@@ -40,10 +42,12 @@ BitVec Engine::read_row_prefix(dram::BankId bank, dram::RowAddr global_row,
                                std::size_t nbits) {
   const auto& t = chip_->profile().timings;
   Program p;
+  p.set_name("read_row");
   p.act(bank, global_row)
       .delay_at_least(t.tRCD)
       .rd(bank, 0, nbits)
       .delay_at_least(t.tCCD)
+      .pad_after_last(bender::CommandKind::kAct, t.tRAS)
       .pre(bank)
       .delay_at_least(t.tRP);
   auto result = executor_.run(p);
@@ -53,6 +57,7 @@ BitVec Engine::read_row_prefix(dram::BankId bank, dram::RowAddr global_row,
 void Engine::frac(dram::BankId bank, dram::RowAddr global_row) {
   const auto& t = chip_->profile().timings;
   Program p;
+  p.set_name("frac").expect(verify::frac_intents(static_cast<int>(bank)));
   // ACT -> PRE long before the sense amplifiers fire: the cells are left
   // half charge-shared at ~VDD/2.
   p.act(bank, global_row)
@@ -66,6 +71,8 @@ void Engine::rowclone(dram::BankId bank, dram::RowAddr src_global,
                       dram::RowAddr dst_global) {
   const auto& t = chip_->profile().timings;
   Program p;
+  p.set_name("rowclone")
+      .expect(verify::rowclone_intents(static_cast<int>(bank)));
   // Full tRAS lets the SA latch the source; t2 = 6 ns de-asserts the
   // source wordline but leaves the bitlines un-precharged -> the second
   // ACT overwrites dst with the SA contents (consecutive activation).
@@ -86,6 +93,7 @@ Program Engine::apa_program(dram::BankId bank, dram::RowAddr rf_global,
   const auto& t = chip_->profile().timings;
   const std::size_t columns = chip_->profile().geometry.columns;
   Program p;
+  p.set_name("apa").expect(verify::apa_intents(static_cast<int>(bank)));
   p.act(bank, rf_global)
       .delay(timings.t1)
       .pre(bank)
@@ -118,6 +126,8 @@ void Engine::apa_then_write(dram::BankId bank, dram::SubarrayId sa,
                             ApaTimings timings) {
   const auto& t = chip_->profile().timings;
   Program p;
+  p.set_name("apa_then_write")
+      .expect(verify::apa_intents(static_cast<int>(bank)));
   p.act(bank, global_of(sa, group.row_first))
       .delay(timings.t1)
       .pre(bank)
@@ -126,6 +136,7 @@ void Engine::apa_then_write(dram::BankId bank, dram::SubarrayId sa,
       .delay_at_least(t.tRCD)
       .wr(bank, 0, data)
       .delay_at_least(t.tWR)
+      .pad_after_last(bender::CommandKind::kAct, t.tRAS)
       .pre(bank)
       .delay_at_least(t.tRP);
   executor_.run(p);
@@ -236,6 +247,7 @@ Nanoseconds Engine::write_row_latency() const {
   const auto& t = chip_->profile().timings;
   Program p;
   p.act(0, 0).delay_at_least(t.tRCD).wr(0, 0, BitVec(8)).delay_at_least(t.tWR)
+      .pad_after_last(bender::CommandKind::kAct, t.tRAS)
       .pre(0).delay_at_least(t.tRP);
   return Nanoseconds{p.duration_ns()};
 }

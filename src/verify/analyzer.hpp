@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bender/program.hpp"
+#include "dram/timing.hpp"
+#include "verify/intent.hpp"
+#include "verify/rules.hpp"
+
+namespace simra::verify {
+
+/// What a finding is about: one timing-rule violation, or one of the
+/// bank-state-machine protocol errors.
+enum class FindingKind : std::uint8_t {
+  kTimingViolation,
+  kReadClosedBank,
+  kWriteClosedBank,
+  kDoubleActivate,
+  kPrechargeIdleBank,
+  kRefreshOpenBank,
+};
+
+enum class Severity : std::uint8_t {
+  kNote,     ///< intended violation (matches a declared Intent).
+  kWarning,  ///< suspicious but harmless (e.g. PRE of an idle bank).
+  kError,    ///< undeclared violation or protocol error.
+};
+
+enum class Classification : std::uint8_t {
+  kIntended,    ///< matches a declared Intent — the paper's method at work.
+  kUnexpected,  ///< a real bug in the program.
+};
+
+/// One diagnostic, anchored on the command that completes the violation,
+/// with provenance back to the earlier command of the pair (for pairwise
+/// timing rules) so the rendering reads like a compiler note chain.
+struct Finding {
+  FindingKind kind = FindingKind::kTimingViolation;
+  Severity severity = Severity::kError;
+  Classification classification = Classification::kUnexpected;
+  std::optional<RuleId> rule;  ///< set iff kind == kTimingViolation.
+  std::uint64_t slot = 0;      ///< slot of the offending command.
+  std::size_t command_index = 0;
+  bender::CommandKind command = bender::CommandKind::kAct;
+  int bank = kAnyBank;  ///< offending command's bank; kAnyBank for REF.
+  std::uint64_t actual_slots = 0;    ///< observed gap (timing findings).
+  std::uint64_t required_slots = 0;  ///< rule minimum (timing findings).
+  std::optional<std::uint64_t> prior_slot;  ///< earlier command of the pair.
+  std::optional<std::size_t> prior_index;
+  std::string intent_label;  ///< label of the matched Intent, if any.
+
+  /// One-line compiler-style rendering, e.g.
+  ///   error: slot 19 PRE bank0: tRAS violated — 19 slots since ACT at
+  ///   slot 0 (min 24)
+  std::string message() const;
+};
+
+/// The analyzer's output: all findings for one program, severity-ranked
+/// (errors first, then warnings, then intended notes; slot order within
+/// each band).
+struct Report {
+  std::string program_name;
+  std::vector<Finding> findings;
+
+  bool has_unexpected() const;
+  std::size_t count(Classification c) const;
+  bool empty() const { return findings.empty(); }
+  std::string to_string() const;
+};
+
+/// Thrown by the strict gate when a program has unexpected findings.
+class VerifyError : public std::runtime_error {
+ public:
+  explicit VerifyError(Report report);
+  const Report& report() const noexcept { return report_; }
+
+ private:
+  Report report_;
+};
+
+/// Statically analyzes `program` against `table`: walks the slot-annotated
+/// command list once, running the per-bank state machine and the
+/// declarative timing rules, then classifies each finding against the
+/// program's declared intents.
+Report analyze(const bender::Program& program, const RuleTable& table);
+
+/// Convenience overload: builds the DDR4 rule table from `timings`.
+Report analyze(const bender::Program& program, const dram::TimingParams& timings);
+
+/// SIMRA_VERIFY modes: off (default), warn (report unexpected findings to
+/// stderr, deduplicated), strict (throw VerifyError on unexpected
+/// findings). Intended findings never warn or throw.
+enum class Mode : std::uint8_t {
+  kOff,
+  kWarn,
+  kStrict,
+};
+
+/// Parses a SIMRA_VERIFY value; unknown non-empty values map to kWarn
+/// (fail towards visibility) with a one-time stderr note.
+Mode parse_mode(std::string_view text);
+
+/// The process-wide mode, read once from SIMRA_VERIFY and cached.
+Mode global_mode();
+
+/// Test hook: overrides (or with nullopt, restores) the global mode.
+void set_global_mode(std::optional<Mode> mode);
+
+/// Executor entry point: analyzes `program` under the global mode. No-op
+/// when off; warn prints each distinct unexpected report once; strict
+/// throws VerifyError if any finding is unexpected.
+void gate(const bender::Program& program, const dram::TimingParams& timings);
+
+}  // namespace simra::verify

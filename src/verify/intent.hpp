@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "verify/rule_id.hpp"
+
+namespace simra::verify {
+
+/// Matches any bank in an Intent.
+inline constexpr int kAnyBank = -1;
+
+/// A declared, deliberate timing violation. The paper's method *is*
+/// violating timing parameters (APA breaks tRAS and tRP, §3.2), so a
+/// program annotates which rules it intends to break; the analyzer then
+/// classifies matching findings as kIntended instead of kUnexpected.
+///
+/// Intents are permissive masks, not assertions: an intent that never
+/// fires is fine (fig3 sweeps t1 up to and past tRAS, so the same builder
+/// produces both violating and compliant programs).
+struct Intent {
+  RuleId rule = RuleId::kTras;
+  int bank = kAnyBank;  ///< restrict to one bank, or kAnyBank.
+  std::string label;    ///< provenance shown in the report, e.g. "apa".
+
+  static Intent violate(RuleId rule, int bank = kAnyBank,
+                        std::string label = {}) {
+    return Intent{rule, bank, std::move(label)};
+  }
+};
+
+/// ACT -> t1 -> PRE -> t2 -> ACT with both gaps swept below nominal
+/// (§3.2): may cut tRAS short and may cut tRP short on the target bank.
+inline std::vector<Intent> apa_intents(int bank = kAnyBank) {
+  return {Intent{RuleId::kTras, bank, "apa"},
+          Intent{RuleId::kTrp, bank, "apa"}};
+}
+
+/// FracDRAM-style partial restore: ACT -> (short) -> PRE cuts tRAS.
+inline std::vector<Intent> frac_intents(int bank = kAnyBank) {
+  return {Intent{RuleId::kTras, bank, "frac"}};
+}
+
+/// RowClone-style PRE -> (short) -> ACT cuts tRP.
+inline std::vector<Intent> rowclone_intents(int bank = kAnyBank) {
+  return {Intent{RuleId::kTrp, bank, "rowclone"}};
+}
+
+}  // namespace simra::verify

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace simra::verify {
+
+/// The DDR4 timing rules the static analyzer checks (JESD79-4 §13). The
+/// identifiers double as the vocabulary of intent annotations: a program
+/// that deliberately breaks a rule (the paper's APA sequences break tRAS
+/// and tRP, §3.2) declares the RuleId it expects to violate.
+enum class RuleId : std::uint8_t {
+  kTrcd,  ///< ACT -> first RD/WR to the same bank.
+  kTras,  ///< ACT -> PRE to the same bank (sensing + restore).
+  kTrp,   ///< PRE -> next ACT to the same bank.
+  kTccd,  ///< column command -> column command (any bank).
+  kTwr,   ///< WR -> PRE to the same bank (write recovery).
+  kTrfc,  ///< REF -> next REF/ACT (rank-wide refresh cycle).
+  kTfaw,  ///< rolling four-activate window (rank-wide).
+};
+
+inline constexpr const char* rule_name(RuleId id) {
+  switch (id) {
+    case RuleId::kTrcd:
+      return "tRCD";
+    case RuleId::kTras:
+      return "tRAS";
+    case RuleId::kTrp:
+      return "tRP";
+    case RuleId::kTccd:
+      return "tCCD";
+    case RuleId::kTwr:
+      return "tWR";
+    case RuleId::kTrfc:
+      return "tRFC";
+    case RuleId::kTfaw:
+      return "tFAW";
+  }
+  return "?";
+}
+
+/// Inverse of rule_name (exact, case-sensitive match); used by the
+/// assembler's EXPECT directive.
+inline std::optional<RuleId> rule_from_name(std::string_view name) {
+  for (RuleId id : {RuleId::kTrcd, RuleId::kTras, RuleId::kTrp, RuleId::kTccd,
+                    RuleId::kTwr, RuleId::kTrfc, RuleId::kTfaw}) {
+    if (name == rule_name(id)) return id;
+  }
+  return std::nullopt;
+}
+
+}  // namespace simra::verify

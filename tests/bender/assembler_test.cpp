@@ -97,6 +97,80 @@ TEST(Assembler, DisassembleRoundTrip) {
   }
 }
 
+TEST(Assembler, ParsesExpectPreaAndAutoPrecharge) {
+  const Program p = Assembler::assemble(R"(
+EXPECT tRAS bank=0 label=apa
+EXPECT tRP
+ACT bank=0 row=5
+DELAY 3
+WR bank=0 col=64 bits=8 pattern=0xFF ap=1
+DELAY 3
+RD bank=0 col=64 bits=8 ap=1
+DELAY 3
+PREA
+)");
+  ASSERT_EQ(p.intents().size(), 2u);
+  EXPECT_EQ(p.intents()[0].rule, verify::RuleId::kTras);
+  EXPECT_EQ(p.intents()[0].bank, 0);
+  EXPECT_EQ(p.intents()[0].label, "apa");
+  EXPECT_EQ(p.intents()[1].rule, verify::RuleId::kTrp);
+  EXPECT_EQ(p.intents()[1].bank, verify::kAnyBank);
+  const auto& cmds = p.commands();
+  ASSERT_EQ(cmds.size(), 4u);
+  EXPECT_TRUE(cmds[1].a10);  // WR ap=1
+  EXPECT_TRUE(cmds[2].a10);  // RD ap=1
+  EXPECT_EQ(cmds[3].kind, CommandKind::kPre);
+  EXPECT_TRUE(cmds[3].a10);  // PREA
+
+  // ap=0 is explicit "no auto-precharge".
+  const Program q = Assembler::assemble("RD bank=1 col=0 bits=8 ap=0\n");
+  EXPECT_FALSE(q.commands()[0].a10);
+
+  EXPECT_THROW(Assembler::assemble("EXPECT\n"), std::invalid_argument);
+  EXPECT_THROW(Assembler::assemble("EXPECT tBOGUS\n"), std::invalid_argument);
+}
+
+TEST(Assembler, DisassembleRoundTripPreservesIntentsAndA10) {
+  Program original;
+  original.expect(verify::Intent{verify::RuleId::kTras, 2, "apa"})
+      .expect(verify::Intent{verify::RuleId::kTfaw, verify::kAnyBank, ""});
+  BitVec payload(64);
+  payload.fill_byte(0xC3);
+  original.act(2, 99)
+      .delay(Nanoseconds{13.5})
+      .wr(2, 0, payload, /*auto_precharge=*/true)
+      .delay(Nanoseconds{6.0})
+      .act(2, 100)
+      .delay(Nanoseconds{13.5})
+      .rd(2, 64, 64, /*auto_precharge=*/true)
+      .delay(Nanoseconds{3.0})
+      .prea();
+
+  const std::string text = Assembler::disassemble(original);
+  EXPECT_NE(text.find("EXPECT tRAS bank=2 label=apa"), std::string::npos);
+  EXPECT_NE(text.find("EXPECT tFAW"), std::string::npos);
+  EXPECT_NE(text.find("ap=1"), std::string::npos);
+  EXPECT_NE(text.find("PREA"), std::string::npos);
+
+  const Program parsed = Assembler::assemble(text);
+  ASSERT_EQ(parsed.intents().size(), original.intents().size());
+  for (std::size_t i = 0; i < parsed.intents().size(); ++i) {
+    EXPECT_EQ(parsed.intents()[i].rule, original.intents()[i].rule) << i;
+    EXPECT_EQ(parsed.intents()[i].bank, original.intents()[i].bank) << i;
+    EXPECT_EQ(parsed.intents()[i].label, original.intents()[i].label) << i;
+  }
+  ASSERT_EQ(parsed.commands().size(), original.commands().size());
+  for (std::size_t i = 0; i < parsed.commands().size(); ++i) {
+    const TimedCommand& a = original.commands()[i];
+    const TimedCommand& b = parsed.commands()[i];
+    EXPECT_EQ(a.slot, b.slot) << i;
+    EXPECT_EQ(a.kind, b.kind) << i;
+    EXPECT_EQ(a.bank, b.bank) << i;
+    EXPECT_EQ(a.a10, b.a10) << i;
+    EXPECT_EQ(a.data, b.data) << i;
+  }
+}
+
 TEST(Assembler, AssembledProgramRunsOnAChip) {
   // End to end: text -> program -> executor -> device.
   dram::Chip chip(dram::VendorProfile::hynix_m(), 55);

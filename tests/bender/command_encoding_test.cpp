@@ -116,6 +116,60 @@ TEST(CommandEncoding, RoundTripFuzz) {
   }
 }
 
+// Property: decode(encode(cmd)) round-trips kind/bank/row/column for every
+// CommandKind, with and without A10 — including the PRE->PREA and RD/WR
+// auto-precharge flag paths.
+TEST(CommandEncoding, RoundTripPropertyAllKindsBanksAndA10) {
+  const CommandKind kinds[] = {CommandKind::kAct, CommandKind::kPre,
+                               CommandKind::kRd, CommandKind::kWr,
+                               CommandKind::kRef};
+  // Rows chosen to exercise every strobe-multiplexed address bit
+  // (A16/A15/A14 ride on RAS#/CAS#/WE#) plus the A10 bit inside A[13:0].
+  const dram::RowAddr rows[] = {0,       1,        0x400,   0x3FFF,
+                                0x4000,  0x8000,   0x10000, 0x1ABCD,
+                                0x1FFFF, 0x155
+                                          };
+  for (CommandKind kind : kinds) {
+    for (dram::BankId bank = 0; bank < 16; ++bank) {
+      for (bool a10 : {false, true}) {
+        for (dram::RowAddr row : rows) {
+          TimedCommand cmd;
+          cmd.kind = kind;
+          cmd.bank = bank;
+          cmd.row = row;
+          cmd.col = static_cast<dram::ColAddr>((row % 1024) * 64);
+          cmd.a10 = a10;
+          const Decoded d = CommandEncoder::decode(CommandEncoder::encode(cmd));
+          switch (kind) {
+            case CommandKind::kAct:
+              ASSERT_EQ(d.kind, Decoded::Kind::kActivate);
+              ASSERT_EQ(d.row, row);
+              break;
+            case CommandKind::kPre:
+              ASSERT_EQ(d.kind, a10 ? Decoded::Kind::kPrechargeAll
+                                    : Decoded::Kind::kPrecharge);
+              break;
+            case CommandKind::kRd:
+              ASSERT_EQ(d.kind, Decoded::Kind::kRead);
+              ASSERT_EQ(d.column, cmd.col / 64);
+              ASSERT_EQ(d.auto_precharge, a10);
+              break;
+            case CommandKind::kWr:
+              ASSERT_EQ(d.kind, Decoded::Kind::kWrite);
+              ASSERT_EQ(d.column, cmd.col / 64);
+              ASSERT_EQ(d.auto_precharge, a10);
+              break;
+            case CommandKind::kRef:
+              ASSERT_EQ(d.kind, Decoded::Kind::kRefresh);
+              break;
+          }
+          ASSERT_EQ(d.bank, bank);
+        }
+      }
+    }
+  }
+}
+
 TEST(CommandEncoding, PinStateRendering) {
   TimedCommand act;
   act.kind = CommandKind::kAct;

@@ -43,6 +43,67 @@ TEST(Program, DelayAtLeastRoundsUp) {
   EXPECT_EQ(q.commands()[1].slot, 10u);
 }
 
+TEST(Program, DelayAtLeastMeasuresFromTheLastCommand) {
+  // The rounding rule: the *next command* lands ceil(delay / 1.5) slots
+  // after the last command. An unoccupied cursor partway through the gap
+  // counts towards it, so an exact slot multiple never over-advances.
+  Program p;
+  p.act(0, 0).delay(Nanoseconds{1.5}).delay_at_least(Nanoseconds{3.0}).pre(0);
+  EXPECT_EQ(p.commands()[1].slot, 2u);  // 2 slots after the ACT, not 3.
+
+  // A cursor already past the requested gap stays put.
+  Program q;
+  q.act(0, 0).delay(Nanoseconds{9.0}).delay_at_least(Nanoseconds{3.0}).pre(0);
+  EXPECT_EQ(q.commands()[1].slot, 6u);
+
+  // Chained delay_at_least calls overlap rather than accumulate: the
+  // larger of tCCD and tWR wins, as both are measured from the last WR.
+  Program r;
+  r.wr(0, 0, BitVec(8))
+      .delay_at_least(Nanoseconds{5.0})    // 4 slots.
+      .delay_at_least(Nanoseconds{15.0})   // 10 slots from the WR.
+      .pre(0);
+  EXPECT_EQ(r.commands()[1].slot, 10u);
+
+  // On an empty program the gap is measured from slot 0.
+  Program s;
+  s.delay_at_least(Nanoseconds{3.0}).act(0, 0);
+  EXPECT_EQ(s.commands()[0].slot, 2u);
+}
+
+TEST(Program, PadAfterLastEnforcesGapFromNamedCommand) {
+  Program p;
+  p.act(0, 0)
+      .delay_at_least(Nanoseconds{13.5})  // WR at slot 9.
+      .wr(0, 0, BitVec(8))
+      .delay_at_least(Nanoseconds{15.0})  // cursor at slot 19.
+      .pad_after_last(CommandKind::kAct, Nanoseconds{36.0})
+      .pre(0);
+  EXPECT_EQ(p.commands()[2].slot, 24u);  // tRAS from the ACT, not the WR.
+
+  // Already-satisfied gaps are a no-op.
+  Program q;
+  q.act(0, 0).delay(Nanoseconds{60.0})
+      .pad_after_last(CommandKind::kAct, Nanoseconds{36.0}).pre(0);
+  EXPECT_EQ(q.commands()[1].slot, 40u);
+
+  Program r;
+  EXPECT_THROW(r.pad_after_last(CommandKind::kAct, Nanoseconds{36.0}),
+               std::logic_error);
+}
+
+TEST(Program, NamesIntentsAndPrea) {
+  Program p;
+  p.set_name("demo").expect(verify::apa_intents(3));
+  p.act(3, 1).delay(Nanoseconds{3.0}).prea();
+  EXPECT_EQ(p.name(), "demo");
+  ASSERT_EQ(p.intents().size(), 2u);
+  EXPECT_EQ(p.intents()[0].bank, 3);
+  EXPECT_TRUE(p.commands()[1].a10);
+  EXPECT_EQ(p.commands()[1].kind, CommandKind::kPre);
+  EXPECT_NE(p.to_string().find("PRE all"), std::string::npos);
+}
+
 TEST(Program, DurationCoversLastSlot) {
   Program p;
   EXPECT_DOUBLE_EQ(p.duration_ns(), 0.0);

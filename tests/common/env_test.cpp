@@ -57,5 +57,15 @@ TEST(Env, IntParsingEdgeCases) {
   ::unsetenv("SIMRA_TEST_INT");
 }
 
+TEST(Env, StringParsing) {
+  ::setenv("SIMRA_TEST_STR", "strict", 1);
+  EXPECT_EQ(env_string("SIMRA_TEST_STR", "off"), "strict");
+  // An empty value is a present value, not a fallback.
+  ::setenv("SIMRA_TEST_STR", "", 1);
+  EXPECT_EQ(env_string("SIMRA_TEST_STR", "off"), "");
+  ::unsetenv("SIMRA_TEST_STR");
+  EXPECT_EQ(env_string("SIMRA_TEST_STR", "off"), "off");
+}
+
 }  // namespace
 }  // namespace simra

@@ -1,0 +1,107 @@
+// Lints every program the quick characterization plan generates: with the
+// verify gate in strict mode, each figure/limitation sweep must run with
+// zero unexpected findings — the paper's deliberate tRAS/tRP violations
+// are declared as intents by the builders, anything else is a bug.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "bender/executor.hpp"
+#include "bender/host.hpp"
+#include "charz/figures.hpp"
+#include "charz/limitations.hpp"
+#include "charz/plan.hpp"
+#include "common/rng.hpp"
+#include "dram/chip.hpp"
+#include "majsynth/dram_executor.hpp"
+#include "majsynth/synth.hpp"
+#include "pud/bulk_engine.hpp"
+#include "pud/engine.hpp"
+#include "pud/patterns.hpp"
+#include "verify/analyzer.hpp"
+
+namespace simra::charz {
+namespace {
+
+class StrictVerifySweepTest : public ::testing::Test {
+ protected:
+  void SetUp() override { verify::set_global_mode(verify::Mode::kStrict); }
+  void TearDown() override { verify::set_global_mode(std::nullopt); }
+};
+
+TEST_F(StrictVerifySweepTest, Fig3SmraTimingVerifiesClean) {
+  EXPECT_NO_THROW((void)fig3_smra_timing(Plan::quick()));
+}
+
+TEST_F(StrictVerifySweepTest, Fig6Maj3TimingVerifiesClean) {
+  EXPECT_NO_THROW((void)fig6_maj3_timing(Plan::quick()));
+}
+
+TEST_F(StrictVerifySweepTest, Fig7MajxDatapatternVerifiesClean) {
+  EXPECT_NO_THROW((void)fig7_majx_datapattern(Plan::quick()));
+}
+
+TEST_F(StrictVerifySweepTest, Fig7MajxByVendorVerifiesClean) {
+  EXPECT_NO_THROW((void)fig7_majx_by_vendor(Plan::quick()));
+}
+
+TEST_F(StrictVerifySweepTest, Fig10MrcTimingVerifiesClean) {
+  EXPECT_NO_THROW((void)fig10_mrc_timing(Plan::quick()));
+}
+
+TEST_F(StrictVerifySweepTest, Limitation1VendorSupportVerifiesClean) {
+  EXPECT_NO_THROW((void)limitation1_vendor_support(Plan::quick()));
+}
+
+TEST_F(StrictVerifySweepTest, Limitation3DisturbanceVerifiesClean) {
+  EXPECT_NO_THROW((void)limitation3_disturbance(Plan::quick(), 1));
+}
+
+TEST_F(StrictVerifySweepTest, BulkPipelinedProgramsVerifyClean) {
+  dram::Chip chip(dram::VendorProfile::hynix_m(), 91);
+  pud::Engine engine(&chip);
+  pud::BulkEngine bulk(&engine);
+  Rng rng(92);
+  const std::vector<dram::BankId> banks{0, 1, 2, 3};
+  const pud::RowGroup group = pud::sample_group(engine.layout(), 8, rng);
+  pud::MajxConfig config;
+  config.x = 3;
+  config.operands = pud::make_pattern_rows(
+      dram::DataPattern::kRandom, chip.profile().geometry.columns, 3, rng);
+  EXPECT_NO_THROW(bulk.stage_majx_operands(banks, 1, group, config));
+  EXPECT_NO_THROW((void)bulk.majx_pipelined(banks, 1, group, config));
+  EXPECT_NO_THROW((void)bulk.multi_row_copy_pipelined(banks, 1, group));
+}
+
+TEST_F(StrictVerifySweepTest, HostRowTransfersVerifyClean) {
+  dram::Chip chip(dram::VendorProfile::hynix_m(), 17);
+  bender::Executor executor(&chip);
+  bender::Host host(&executor);
+  Rng rng(18);
+  BitVec full(chip.profile().geometry.columns);
+  full.randomize(rng);
+  EXPECT_NO_THROW(host.write_row(2, 10, full));
+  EXPECT_NO_THROW((void)host.read_row(2, 10, full.size()));
+  // Short transfers exercise the tRAS padding on small bursts.
+  BitVec burst(64);
+  burst.randomize(rng);
+  EXPECT_NO_THROW(host.write_bursts(2, 11, 0, burst));
+}
+
+TEST_F(StrictVerifySweepTest, MajsynthNetworkExecutionVerifiesClean) {
+  dram::Chip chip(dram::VendorProfile::hynix_m(), 81);
+  pud::Engine engine(&chip);
+  Rng rng(82);
+  majsynth::DramExecutor executor(&engine, 0, 1, &rng);
+  std::vector<BitVec> inputs;
+  for (int i = 0; i < 4; ++i) {
+    BitVec row(chip.profile().geometry.columns);
+    row.randomize(rng);
+    inputs.push_back(std::move(row));
+  }
+  EXPECT_NO_THROW(
+      (void)executor.run(majsynth::synth::bitwise_and_network(4, 3), inputs));
+}
+
+}  // namespace
+}  // namespace simra::charz
