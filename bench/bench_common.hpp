@@ -16,13 +16,23 @@
 #include "charz/runner.hpp"
 #include "common/env.hpp"
 #include "common/prof.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 
 namespace simra::bench_common {
 
 /// Prints the standard bench banner: which plan is in use, how to run
-/// the paper-scale version, and the harness thread count.
+/// the paper-scale version, and the harness thread count. Also stamps the
+/// run manifest with the plan identity (plan/seed/instances/trials — not
+/// the thread count, which is scheduling-only and must not perturb
+/// deterministic artifacts).
 inline charz::Plan announced_plan(const std::string& what) {
   const charz::Plan plan = charz::Plan::from_env();
+  obs::set_manifest_field("bench", what);
+  obs::set_manifest_field("plan", full_scale_run() ? "paper" : "quick");
+  obs::set_manifest_field("seed", std::to_string(plan.seed));
+  obs::set_manifest_field("instances", std::to_string(plan.instance_count()));
+  obs::set_manifest_field("trials", std::to_string(plan.trials));
   std::cout << "=== " << what << " ===\n";
   std::cout << (full_scale_run()
                     ? "plan: paper-scale (SIMRA_FULL=1)"
@@ -135,7 +145,8 @@ class HarnessReport {
 
   /// Records the process-wide per-kernel wall-clock totals (simra::prof)
   /// accumulated so far, replacing this (plan, threads) point's previous
-  /// kernel entries. Call once, after the figure sweeps.
+  /// kernel entries, plus the gauges/histograms of the obs metrics
+  /// registry (the "metrics" section). Call once, after the figure sweeps.
   void record_kernels() {
     kernels_ = prof::snapshot();
     std::erase_if(kernels_,
@@ -149,7 +160,13 @@ class HarnessReport {
     std::erase_if(kernels_, [](const prof::KernelStats& k) {
       return k.name.rfind("resilience/", 0) == 0;
     });
-    if (kernels_.empty() && resilience_.empty()) return;
+    gauges_ = obs::MetricsRegistry::instance().gauges_snapshot();
+    histograms_ = obs::MetricsRegistry::instance().histograms_snapshot();
+    std::erase_if(histograms_,
+                  [](const obs::HistogramStats& h) { return h.count == 0; });
+    if (kernels_.empty() && resilience_.empty() && gauges_.empty() &&
+        histograms_.empty())
+      return;
     write();
     if (!kernels_.empty()) {
       std::cout << "[harness] kernel timings (" << harness_json_path()
@@ -164,6 +181,13 @@ class HarnessReport {
                 << "):\n";
       for (const auto& k : resilience_)
         std::cout << "  " << k.name << ": " << k.calls << "\n";
+    }
+    if (!gauges_.empty() || !histograms_.empty()) {
+      std::cout << "[harness] metrics (" << harness_json_path() << "):\n";
+      for (const auto& g : gauges_)
+        std::cout << "  " << g.name << ": " << Table::num(g.value, 3) << "\n";
+      for (const auto& h : histograms_)
+        std::cout << "  " << h.name << ": " << h.count << " observations\n";
     }
   }
 
@@ -202,16 +226,46 @@ class HarnessReport {
     return os.str();
   }
 
+  std::string metric_prefix(const std::string& name) const {
+    std::ostringstream os;
+    os << "    {\"metric\": \"" << name << "\", \"plan\": \""
+       << (full_scale_run() ? "paper" : "quick")
+       << "\", \"threads\": " << charz::harness_threads();
+    return os.str();
+  }
+
+  std::string gauge_json(const obs::GaugeStats& g) const {
+    std::ostringstream os;
+    os << metric_prefix(g.name) << ", \"kind\": \"gauge\", \"value\": "
+       << std::fixed << std::setprecision(4) << g.value << "}";
+    return os.str();
+  }
+
+  std::string histogram_json(const obs::HistogramStats& h) const {
+    std::ostringstream os;
+    os << metric_prefix(h.name) << ", \"kind\": \"histogram\", \"count\": "
+       << h.count << ", \"sum\": " << std::fixed << std::setprecision(4)
+       << h.sum << ", \"bounds\": [";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i)
+      os << (i != 0 ? ", " : "") << std::setprecision(4) << h.bounds[i];
+    os << "], \"counts\": [";
+    for (std::size_t i = 0; i < h.counts.size(); ++i)
+      os << (i != 0 ? ", " : "") << h.counts[i];
+    os << "]}";
+    return os.str();
+  }
+
   /// Replacement key for an entry line: the prefix before the first
   /// measured field ("figure"/"plan"/"threads" for figures,
   /// "kernel"/"plan"/"threads" for kernels, "counter"/"plan"/"threads"
-  /// for resilience counters). Cut at whichever marker appears first —
-  /// figure entries lead with "seconds", kernel entries with "calls",
-  /// resilience entries with "count".
+  /// for resilience counters, "metric"/"plan"/"threads" for metrics). Cut
+  /// at whichever marker appears first — figure entries lead with
+  /// "seconds", kernel entries with "calls", resilience entries with
+  /// "count", metric entries with "kind".
   static std::string entry_key(const std::string& line) {
     auto cut = std::string::npos;
     for (const char* marker : {", \"seconds\":", ", \"calls\":",
-                               ", \"count\":"}) {
+                               ", \"count\":", ", \"kind\":"}) {
       const auto pos = line.find(marker);
       if (pos != std::string::npos) cut = std::min(cut, pos);
     }
@@ -223,13 +277,15 @@ class HarnessReport {
     std::vector<std::string> figure_lines;
     std::vector<std::string> kernel_lines;
     std::vector<std::string> resilience_lines;
+    std::vector<std::string> metric_lines;
     std::ifstream in(harness_json_path());
     for (std::string line; std::getline(in, line);) {
       const bool is_figure = line.find("{\"figure\": \"") != std::string::npos;
       const bool is_kernel = line.find("{\"kernel\": \"") != std::string::npos;
       const bool is_counter =
           line.find("{\"counter\": \"") != std::string::npos;
-      if (!is_figure && !is_kernel && !is_counter) continue;
+      const bool is_metric = line.find("{\"metric\": \"") != std::string::npos;
+      if (!is_figure && !is_kernel && !is_counter && !is_metric) continue;
       if (line.back() == ',') line.pop_back();
       bool replaced = false;
       for (const HarnessRecord& r : records_)
@@ -238,8 +294,15 @@ class HarnessReport {
         if (entry_key(line) == entry_key(kernel_json(k))) replaced = true;
       for (const auto& k : resilience_)
         if (entry_key(line) == entry_key(resilience_json(k))) replaced = true;
+      for (const auto& g : gauges_)
+        if (entry_key(line) == entry_key(gauge_json(g))) replaced = true;
+      for (const auto& h : histograms_)
+        if (entry_key(line) == entry_key(histogram_json(h))) replaced = true;
       if (replaced) continue;
-      (is_figure ? figure_lines : is_kernel ? kernel_lines : resilience_lines)
+      (is_figure   ? figure_lines
+       : is_kernel ? kernel_lines
+       : is_metric ? metric_lines
+                   : resilience_lines)
           .push_back(line);
     }
     for (const HarnessRecord& r : records_)
@@ -247,6 +310,9 @@ class HarnessReport {
     for (const auto& k : kernels_) kernel_lines.push_back(kernel_json(k));
     for (const auto& k : resilience_)
       resilience_lines.push_back(resilience_json(k));
+    for (const auto& g : gauges_) metric_lines.push_back(gauge_json(g));
+    for (const auto& h : histograms_)
+      metric_lines.push_back(histogram_json(h));
 
     const auto append_array = [](std::string& out,
                                  const std::vector<std::string>& lines) {
@@ -256,12 +322,14 @@ class HarnessReport {
         out += "\n";
       }
     };
-    std::string out = "{\n  \"schema\": 3,\n  \"figures\": [\n";
+    std::string out = "{\n  \"schema\": 4,\n  \"figures\": [\n";
     append_array(out, figure_lines);
     out += "  ],\n  \"kernels\": [\n";
     append_array(out, kernel_lines);
     out += "  ],\n  \"resilience\": [\n";
     append_array(out, resilience_lines);
+    out += "  ],\n  \"metrics\": [\n";
+    append_array(out, metric_lines);
     out += "  ]\n}\n";
     write_file(harness_json_path(), out);
   }
@@ -269,6 +337,8 @@ class HarnessReport {
   std::vector<HarnessRecord> records_;
   std::vector<prof::KernelStats> kernels_;
   std::vector<prof::KernelStats> resilience_;
+  std::vector<obs::GaugeStats> gauges_;
+  std::vector<obs::HistogramStats> histograms_;
 };
 
 /// Runs `fn(plan)`, records its wall-clock time, thread count, instance

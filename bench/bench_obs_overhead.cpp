@@ -1,0 +1,68 @@
+// Overhead guardrail for the observability layer: runs the same quick
+// fig3 sweep with tracing off and on (test override, so no artifact
+// files), records the measured overhead as a gauge in BENCH_harness.json,
+// and fails when it exceeds the budget (SIMRA_OVERHEAD_MAX percent,
+// default 5).
+#include <chrono>
+#include <cstdlib>
+
+#include "bench_common.hpp"
+#include "charz/figures.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+double timed_fig3_seconds(const simra::charz::Plan& plan) {
+  const auto start = std::chrono::steady_clock::now();
+  (void)simra::charz::fig3_smra_timing(plan);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace simra;
+  const charz::Plan plan = bench_common::announced_plan(
+      "Observability overhead guardrail (fig3, obs off vs on)");
+  const std::string budget_text = env_string("SIMRA_OVERHEAD_MAX", "5.0");
+  const double budget_pct = std::strtod(budget_text.c_str(), nullptr);
+
+  // Warm-up pass so one-time initialization (calibration tables, counter
+  // registration) is attributed to neither side.
+  obs::set_enabled_for_test(false);
+  (void)timed_fig3_seconds(plan);
+
+  const double off_seconds = timed_fig3_seconds(plan);
+  obs::set_enabled_for_test(true);
+  obs::reset_log();
+  const double on_seconds = timed_fig3_seconds(plan);
+  obs::set_enabled_for_test(std::nullopt);
+  obs::reset_log();
+
+  const double overhead_pct =
+      off_seconds > 0.0 ? (on_seconds / off_seconds - 1.0) * 100.0 : 0.0;
+  obs::MetricsRegistry::instance()
+      .gauge("obs/overhead_pct")
+      .set(overhead_pct);
+  bench_common::HarnessReport::global().record("obs_overhead_off",
+                                               off_seconds,
+                                               plan.instance_count());
+  bench_common::HarnessReport::global().record("obs_overhead_on", on_seconds,
+                                               plan.instance_count());
+  bench_common::HarnessReport::global().record_kernels();
+
+  std::cout << "obs off: " << Table::num(off_seconds, 3) << " s, obs on: "
+            << Table::num(on_seconds, 3) << " s, overhead "
+            << Table::num(overhead_pct, 2) << "% (budget "
+            << Table::num(budget_pct, 1) << "%)\n";
+  if (overhead_pct > budget_pct) {
+    std::cout << "FAIL: tracing overhead exceeds the budget\n";
+    return 1;
+  }
+  std::cout << "PASS\n";
+  return 0;
+}

@@ -86,14 +86,10 @@ int main() {
   }
   md << "```\n";
 
+  // Kernel timings and metrics live in BENCH_harness.json (one export
+  // path, via record_kernels) rather than being duplicated into the
+  // Markdown report.
   bench_common::HarnessReport::global().record_kernels();
-  md << "\n## Kernel timings (simra::prof)\n\n```\n";
-  for (const auto& k : prof::snapshot()) {
-    if (k.calls == 0) continue;
-    md << k.name << ": " << k.calls << " calls, " << Table::num(k.seconds, 3)
-       << " s total, " << Table::num(k.micros_per_call(), 2) << " us/call\n";
-  }
-  md << "```\n";
 
   const std::string path = "simra_report.md";
   write_file(path, md.str());

@@ -5,6 +5,7 @@
 
 #include "bender/command_encoding.hpp"
 #include "fault/injector.hpp"
+#include "obs/trace.hpp"
 #include "verify/analyzer.hpp"
 
 namespace simra::bender {
@@ -12,6 +13,44 @@ namespace simra::bender {
 namespace {
 
 using dram::PowerOp;
+
+/// Command-slot span for the observability trace: the command as issued
+/// (virtual time, nominal per-kind duration) with its bank/row or
+/// bank/column operands. Virtual timestamps make the recorded trace a
+/// pure function of the program, independent of scheduling.
+void trace_command(const TimedCommand& cmd, double t,
+                   const dram::TimingParams& timings) {
+  obs::CommandSpan span;
+  span.ts_ns = t;
+  span.bank = static_cast<std::int32_t>(cmd.bank);
+  switch (cmd.kind) {
+    case CommandKind::kAct:
+      span.name = "ACT";
+      span.dur_ns = static_cast<float>(timings.tRCD.value);
+      span.op = static_cast<std::uint32_t>(cmd.row);
+      break;
+    case CommandKind::kPre:
+      span.name = cmd.a10 ? "PREA" : "PRE";
+      span.dur_ns = static_cast<float>(timings.tRP.value);
+      break;
+    case CommandKind::kWr:
+      span.name = "WR";
+      span.dur_ns = static_cast<float>(timings.tCCD.value);
+      span.op = static_cast<std::uint32_t>(cmd.col);
+      break;
+    case CommandKind::kRd:
+      span.name = "RD";
+      span.dur_ns = static_cast<float>(timings.tCCD.value);
+      span.op = static_cast<std::uint32_t>(cmd.col);
+      break;
+    case CommandKind::kRef:
+      span.name = "REF";
+      span.dur_ns = static_cast<float>(timings.tRFC.value);
+      span.bank = -1;
+      break;
+  }
+  obs::record_command(span);
+}
 
 double command_energy(const TimedCommand& cmd, const dram::Chip& chip,
                       double n_open_rows) {
@@ -228,7 +267,14 @@ ExecutionResult Executor::run(const Program& program) {
   verify::gate(program, chip_->profile().timings);
   ExecutionResult result;
   const bool faulty = faults_ != nullptr && faults_->spec().any_transport();
+  const bool traced = obs::enabled();
   for (const TimedCommand& cmd : program.commands()) {
+    // The trace records the command as *issued* (pre-fault): a corrupted
+    // transport changes what the chip latches, not what the span shows —
+    // matching DRAM Bender's host-side command log.
+    if (traced)
+      trace_command(cmd, clock_ns_ + cmd.time_ns(),
+                    chip_->profile().timings);
     if (faulty) {
       run_faulty(cmd, result);
     } else {

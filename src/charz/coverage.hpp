@@ -1,11 +1,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "fault/injector.hpp"
+#include "obs/trace.hpp"
 
 namespace simra::charz {
 
@@ -18,6 +20,9 @@ struct ChipReport {
   std::string error;  ///< last failure message; empty for a clean first try.
   fault::FaultCounters faults;  ///< injected-fault tallies over all attempts.
   std::vector<std::string> trace;  ///< fault events (spec.trace runs only).
+  /// Spans/events recorded while the task ran (SIMRA_TRACE runs only);
+  /// sealed into the global log in task order by collect_coverage.
+  std::shared_ptr<obs::TaskBuffer> obs;
 
   /// "m<module>c<chip>" — the chip coordinate as printed in summaries.
   std::string label() const;

@@ -12,6 +12,8 @@
 #include "common/rng.hpp"
 #include "dram/chip.hpp"
 #include "fault/injector.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace simra::charz {
 
@@ -82,6 +84,24 @@ Resilience resilience_from_env() {
   return Resilience{fault::FaultSpec::from_env(), fault::fault_seed_from_env()};
 }
 
+namespace {
+
+/// Seals the task's observability buffer: chip-task metadata for the
+/// synthesized trace span, a structured event per failed attempt having
+/// already been recorded inside the loop.
+void seal_obs_buffer(ChipReport& report) {
+  if (report.obs == nullptr) return;
+  report.obs->attempts = report.attempts;
+  report.obs->succeeded = report.succeeded;
+  report.obs->error = report.error;
+  static obs::Histogram& attempts_hist =
+      obs::MetricsRegistry::instance().histogram("charz/task_attempts",
+                                                 {1, 2, 3, 4, 5, 6});
+  attempts_hist.observe(static_cast<double>(report.attempts));
+}
+
+}  // namespace
+
 ChipReport run_chip_task_resilient(const Plan& plan, const ChipTask& task,
                                    std::size_t task_ordinal,
                                    const Resilience& res,
@@ -90,6 +110,13 @@ ChipReport run_chip_task_resilient(const Plan& plan, const ChipTask& task,
   ChipReport report;
   report.module_index = task.module_index;
   report.chip_index = task.chip_index;
+  if (obs::enabled())
+    report.obs = obs::make_chip_task_buffer(task.module_index,
+                                            task.chip_index);
+  // All spans/events of this task — every attempt included — land in the
+  // task's own buffer, so the recorded stream is a function of the task,
+  // not of which pool worker ran it.
+  obs::TaskScope obs_scope(report.obs.get());
   // Injector construction + per-attempt bookkeeping only happen when the
   // spec actually injects (or traces); a clean run takes the exact
   // pre-resilience path.
@@ -102,20 +129,34 @@ ChipReport run_chip_task_resilient(const Plan& plan, const ChipTask& task,
       if (res.spec.retry_backoff_ms > 0.0) {
         const double backoff_ms =
             res.spec.retry_backoff_ms * static_cast<double>(1u << (attempt - 1));
+        static obs::Histogram& backoff_hist =
+            obs::MetricsRegistry::instance().histogram(
+                "charz/backoff_ms",
+                {0.5, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
+        backoff_hist.observe(backoff_ms);
+        obs::emit_event("task.retry",
+                        {{"attempt", std::to_string(attempt)},
+                         {"backoff_ms", std::to_string(backoff_ms)}});
         std::this_thread::sleep_for(
             std::chrono::duration<double, std::milli>(backoff_ms));
+      } else {
+        obs::emit_event("task.retry", {{"attempt", std::to_string(attempt)}});
       }
     }
     if (!use_faults) {
       try {
         run_chip_task_impl(plan, task, nullptr, fn);
         report.succeeded = true;
+        seal_obs_buffer(report);
         return report;
       } catch (const std::exception& e) {
         report.error = e.what();
       } catch (...) {
         report.error = "unknown exception";
       }
+      obs::emit_event("task.attempt_failed",
+                      {{"attempt", std::to_string(attempt)},
+                       {"error", report.error}});
       continue;
     }
     fault::ChipInjector injector(res.spec, res.fault_seed, task.module_index,
@@ -139,8 +180,12 @@ ChipReport run_chip_task_resilient(const Plan& plan, const ChipTask& task,
     report.faults += injector.counters();
     report.trace.insert(report.trace.end(), injector.trace().begin(),
                         injector.trace().end());
-    if (report.succeeded) return report;
+    if (report.succeeded) break;
+    obs::emit_event("task.attempt_failed",
+                    {{"attempt", std::to_string(attempt)},
+                     {"error", report.error}});
   }
+  seal_obs_buffer(report);
   return report;
 }
 
@@ -148,15 +193,31 @@ Coverage collect_coverage(std::vector<ChipReport> reports,
                           const Resilience& res) {
   Coverage cov;
   cov.chips_attempted = reports.size();
-  for (const ChipReport& report : reports) {
+  for (ChipReport& report : reports) {
     if (report.succeeded)
       ++cov.chips_succeeded;
     else
       ++cov.chips_quarantined;
     if (report.attempts > 0) cov.retries += report.attempts - 1;
+    // Seal each task's buffer into the global log here, on the collecting
+    // thread and in (module, chip) task order: the rendered artifact is
+    // independent of how the pool interleaved the tasks.
+    if (report.obs != nullptr)
+      obs::Log::instance().submit(std::move(report.obs));
+    if (!report.succeeded)
+      obs::emit_event("task.quarantined",
+                      {{"chip", report.label()},
+                       {"attempts", std::to_string(report.attempts)},
+                       {"error", report.error}});
   }
   cov.chips = std::move(reports);
   cov.publish_counters();
+  if (obs::enabled())
+    obs::emit_event(cov.complete() ? "coverage" : "coverage.degraded",
+                    {{"succeeded", std::to_string(cov.chips_succeeded)},
+                     {"attempted", std::to_string(cov.chips_attempted)},
+                     {"quarantined", std::to_string(cov.chips_quarantined)},
+                     {"retries", std::to_string(cov.retries)}});
   if (cov.chips_quarantined > res.spec.effective_quarantine_budget()) {
     std::ostringstream os;
     os << cov.chips_quarantined << " of " << cov.chips_attempted
@@ -168,6 +229,10 @@ Coverage collect_coverage(std::vector<ChipReport> reports,
          << "): " << (chip.error.empty() ? "failed" : chip.error);
       break;
     }
+    obs::emit_event("coverage.aborted",
+                    {{"budget",
+                      std::to_string(res.spec.effective_quarantine_budget())},
+                     {"quarantined", std::to_string(cov.chips_quarantined)}});
     throw HarnessError(os.str(), std::move(cov));
   }
   return cov;
@@ -223,11 +288,20 @@ void dispatch_tasks(std::size_t n_tasks, unsigned threads,
   if (failures.empty()) return;
   std::sort(failures.begin(), failures.end(),
             [](const Failure& a, const Failure& b) { return a.task < b.task; });
+  // Every collected failure becomes a structured event (task order, on the
+  // dispatching thread), not just the one that wins the rethrow below.
+  for (const Failure& failure : failures)
+    obs::emit_event("worker.failure", {{"task", std::to_string(failure.task)},
+                                       {"error", failure.message}});
   if (failures.size() == 1) std::rethrow_exception(failures.front().error);
-  throw std::runtime_error(
-      std::to_string(failures.size()) + " of " + std::to_string(n_tasks) +
-      " tasks failed; first (task " + std::to_string(failures.front().task) +
-      "): " + failures.front().message);
+  std::ostringstream os;
+  os << failures.size() << " of " << n_tasks << " tasks failed";
+  constexpr std::size_t kMaxListed = 4;
+  for (std::size_t i = 0; i < failures.size() && i < kMaxListed; ++i)
+    os << "; (task " << failures[i].task << "): " << failures[i].message;
+  if (failures.size() > kMaxListed)
+    os << "; ... " << (failures.size() - kMaxListed) << " more";
+  throw std::runtime_error(os.str());
 }
 
 }  // namespace detail

@@ -48,9 +48,10 @@ void run_chip_task(const Plan& plan, const ChipTask& task,
 
 /// Runs fn(0 .. n_tasks-1) across up to `threads` workers. `fn` must only
 /// touch state owned by its task index. Failures are collected across all
-/// tasks (no early abort); afterwards a lone failure is rethrown as-is,
-/// and multiple failures raise one std::runtime_error reporting the count
-/// and the lowest-indexed task's message.
+/// tasks (no early abort); afterwards every failure is emitted as a
+/// structured "worker.failure" event in task order, a lone failure is
+/// rethrown as-is, and multiple failures raise one std::runtime_error
+/// enumerating up to the first four messages plus the total count.
 void dispatch_tasks(std::size_t n_tasks, unsigned threads,
                     const std::function<void(std::size_t)>& fn);
 

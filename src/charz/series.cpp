@@ -1,5 +1,7 @@
 #include "charz/series.hpp"
 
+#include "obs/trace.hpp"
+
 namespace simra::charz {
 
 SampleSet& SeriesAccumulator::samples_for(
@@ -37,6 +39,17 @@ FigureData finish_sweep(const Sweep<SeriesAccumulator>& sweep,
   FigureData data =
       sweep.result.finish(std::move(title), std::move(key_columns));
   data.coverage = sweep.coverage;
+  if (obs::enabled()) {
+    obs::emit_event("figure", {{"title", data.title},
+                               {"rows", std::to_string(data.rows.size())},
+                               {"coverage", data.coverage.summary()}});
+    obs::RichSpan span;
+    span.name = "figure " + data.title;
+    span.cat = "figure";
+    span.args = {{"rows", std::to_string(data.rows.size())},
+                 {"coverage", data.coverage.summary()}};
+    obs::emit_span(std::move(span));
+  }
   return data;
 }
 

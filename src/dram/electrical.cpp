@@ -9,6 +9,8 @@
 #include "common/rng.hpp"
 #include "dram/calibration.hpp"
 #include "dram/kernels.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 
 namespace simra::dram {
 
@@ -249,6 +251,18 @@ float fold_class_sum(float total_weight, std::size_t n_lead, bool has_odd,
   return sum;
 }
 
+/// Sense-margin (z/g) distribution, observed once per computed class so
+/// the word-parallel path's dedup keeps the hot loop untouched. Callers
+/// gate on obs::enabled().
+void observe_margin(const SumClass& e) {
+  if (e.tie) return;
+  static obs::Histogram& margin_hist =
+      obs::MetricsRegistry::instance().histogram(
+          "electrical/sense_margin",
+          {-3, -2, -1, -0.5, -0.25, 0, 0.25, 0.5, 1, 2, 3});
+  margin_hist.observe(e.zg);
+}
+
 }  // namespace
 
 ChargeShareResult ElectricalModel::resolve_charge_share(
@@ -256,6 +270,7 @@ ChargeShareResult ElectricalModel::resolve_charge_share(
     double pattern_noise, const EnvironmentState& env, const ApaDecision& apa,
     Rng& rng) const {
   SIMRA_PROF_SCOPE("electrical/resolve_charge_share");
+  const bool obs_margins = obs::enabled();
   const auto& p = calib::kMajx;
   const std::size_t columns = ctx.columns;
 
@@ -380,10 +395,12 @@ ChargeShareResult ElectricalModel::resolve_charge_share(
                   static_cast<std::size_t>(odd_set);
         }
         SumClass& e = classes[index];
-        if (!e.computed)
+        if (!e.computed) {
           e = make_sum_class(fold_class_sum(total_weight, n_lead, odd_set,
                                             tw_odd, n_tail, tw_common),
                              m);
+          if (obs_margins) observe_margin(e);
+        }
         if (e.tie) {
           // Perfect tie: the SA resolves metastably.
           resolved_word |= static_cast<std::uint64_t>(rng.chance(0.5)) << b;
@@ -424,6 +441,7 @@ ChargeShareResult ElectricalModel::resolve_charge_share(
   }
   for (std::size_t c = 0; c < columns; ++c) {
     const SumClass e = make_sum_class(sums[c], m);
+    if (obs_margins) observe_margin(e);
     if (e.tie) {
       out.resolved.set(c, rng.chance(0.5));
       ++out.ties;

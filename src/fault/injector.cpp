@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/trace.hpp"
+
 namespace simra::fault {
 
 namespace {
@@ -56,6 +58,11 @@ ChipInjector::ChipInjector(const FaultSpec& spec, std::uint64_t fault_seed,
                             attempt)) {}
 
 void ChipInjector::record(const char* domain, const std::string& detail) {
+  // Every injected fault becomes a structured event (independent of
+  // spec.trace, which only controls the in-memory trace vector).
+  obs::emit_event("fault", {{"domain", domain},
+                            {"detail", detail},
+                            {"attempt", std::to_string(attempt_)}});
   if (!spec_.trace || trace_.size() >= kTraceCap) return;
   trace_.push_back(std::string(domain) + ": " + detail);
 }

@@ -1,0 +1,172 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace simra::obs {
+
+Histogram::Histogram(std::string name, std::vector<double> bounds)
+    : name_(std::move(name)), bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::observe(double value) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t expected = sum_bits_.load(std::memory_order_relaxed);
+  while (!sum_bits_.compare_exchange_weak(
+      expected, std::bit_cast<std::uint64_t>(std::bit_cast<double>(expected) +
+                                             value),
+      std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::cumulative(std::size_t i) const noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b <= i && b <= bounds_.size(); ++b)
+    total += counts_[b].load(std::memory_order_relaxed);
+  return total;
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    counts_[i].store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(std::bit_cast<std::uint64_t>(0.0),
+                  std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  // Never destroyed: instrument references live in static locals at call
+  // sites and must stay valid through static destruction.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+prof::Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& c : counters_)
+    if (c->name() == name) return *c;
+  counters_.push_back(std::make_unique<prof::Counter>(name));
+  return *counters_.back();
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& g : gauges_)
+    if (g->name() == name) return *g;
+  gauges_.push_back(std::make_unique<Gauge>(name));
+  return *gauges_.back();
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& h : histograms_)
+    if (h->name() == name) return *h;
+  histograms_.push_back(std::make_unique<Histogram>(name, std::move(bounds)));
+  return *histograms_.back();
+}
+
+std::vector<prof::KernelStats> MetricsRegistry::counters_snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<prof::KernelStats> out;
+  out.reserve(counters_.size());
+  for (const auto& c : counters_)
+    out.push_back({c->name(), c->calls(), c->seconds()});
+  return out;
+}
+
+std::vector<GaugeStats> MetricsRegistry::gauges_snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<GaugeStats> out;
+  out.reserve(gauges_.size());
+  for (const auto& g : gauges_) out.push_back({g->name(), g->value()});
+  return out;
+}
+
+std::vector<HistogramStats> MetricsRegistry::histograms_snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<HistogramStats> out;
+  out.reserve(histograms_.size());
+  for (const auto& h : histograms_) {
+    HistogramStats s;
+    s.name = h->name();
+    s.bounds = h->bounds();
+    s.counts.reserve(h->bounds().size() + 1);
+    for (std::size_t i = 0; i <= h->bounds().size(); ++i)
+      s.counts.push_back(h->bucket_count(i));
+    s.count = h->count();
+    s.sum = h->sum();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& c : counters_) c->reset();
+  for (const auto& g : gauges_) g->set(0.0);
+  for (const auto& h : histograms_) h->reset();
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; the registry's
+/// slash-separated names map '/' and other separators to '_'.
+std::string prom_name(const std::string& name) {
+  std::string out = "simra_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string prom_num(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string MetricsRegistry::render_prometheus() const {
+  std::ostringstream os;
+  for (const auto& c : counters_snapshot()) {
+    const std::string base = prom_name(c.name);
+    os << "# TYPE " << base << "_calls counter\n"
+       << base << "_calls " << c.calls << "\n";
+    if (c.seconds > 0.0) {
+      os << "# TYPE " << base << "_seconds counter\n"
+         << base << "_seconds " << prom_num(c.seconds) << "\n";
+    }
+  }
+  for (const auto& g : gauges_snapshot()) {
+    const std::string base = prom_name(g.name);
+    os << "# TYPE " << base << " gauge\n"
+       << base << " " << prom_num(g.value) << "\n";
+  }
+  for (const auto& h : histograms_snapshot()) {
+    const std::string base = prom_name(h.name);
+    os << "# TYPE " << base << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.counts[i];
+      os << base << "_bucket{le=\"" << prom_num(h.bounds[i]) << "\"} "
+         << cumulative << "\n";
+    }
+    os << base << "_bucket{le=\"+Inf\"} " << h.count << "\n"
+       << base << "_sum " << prom_num(h.sum) << "\n"
+       << base << "_count " << h.count << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace simra::obs

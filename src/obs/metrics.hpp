@@ -1,0 +1,125 @@
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/prof.hpp"
+
+namespace simra::obs {
+
+/// A settable point-in-time measurement (e.g. the measured tracing
+/// overhead of a run). Stored as a CAS-updated double so concurrent
+/// setters never tear.
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  void set(double value) noexcept {
+    bits_.store(std::bit_cast<std::uint64_t>(value),
+                std::memory_order_relaxed);
+  }
+  double value() const noexcept {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<std::uint64_t> bits_{std::bit_cast<std::uint64_t>(0.0)};
+};
+
+/// Fixed-bucket histogram: `bounds` are the inclusive upper edges of the
+/// finite buckets (ascending), with one implicit +inf overflow bucket.
+/// Observation is a binary search plus relaxed atomic increments, so
+/// harness workers can observe concurrently; because bucket counts only
+/// ever accumulate, the final tallies are independent of thread
+/// interleaving.
+class Histogram {
+ public:
+  Histogram(std::string name, std::vector<double> bounds);
+
+  void observe(double value) noexcept;
+
+  const std::string& name() const noexcept { return name_; }
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Cumulative count of observations <= bounds()[i]; index bounds.size()
+  /// is the total (the +inf bucket).
+  std::uint64_t cumulative(std::size_t i) const noexcept;
+  /// Per-bucket (non-cumulative) count.
+  std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept {
+    return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+  }
+
+  void reset() noexcept;
+
+ private:
+  std::string name_;
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  ///< bounds+1 slots.
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{std::bit_cast<std::uint64_t>(0.0)};
+};
+
+/// Snapshot of one histogram for reporting.
+struct HistogramStats {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  ///< per-bucket; bounds+1 entries.
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+struct GaugeStats {
+  std::string name;
+  double value = 0.0;
+};
+
+/// The process-wide labeled metrics registry: wall-clock/event counters
+/// (the `simra::prof` surface now lives here — prof.hpp is a shim over
+/// this registry), gauges, and fixed-bucket histograms. Instruments are
+/// created on first use, never destroyed, and kept in registration order
+/// for reporting. Lookup takes a mutex; the returned references are
+/// stable, so call sites cache them (SIMRA_PROF_SCOPE's static local,
+/// static locals at histogram sites) and steady-state updates are
+/// lock-free.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  prof::Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` only matters on first registration; later lookups of the
+  /// same name return the existing histogram unchanged.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  std::vector<prof::KernelStats> counters_snapshot() const;
+  std::vector<GaugeStats> gauges_snapshot() const;
+  std::vector<HistogramStats> histograms_snapshot() const;
+
+  /// Zeroes every instrument (names stay registered).
+  void reset();
+
+  /// Prometheus text exposition of the whole registry.
+  std::string render_prometheus() const;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<prof::Counter>> counters_;
+  std::vector<std::unique_ptr<Gauge>> gauges_;
+  std::vector<std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace simra::obs

@@ -1,0 +1,176 @@
+#include "obs/obs.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "common/env.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+extern char** environ;
+
+namespace simra::obs {
+
+namespace {
+
+// -1 = not yet resolved from the environment; test overrides win.
+std::atomic<int> g_enabled{-1};
+
+void flush_at_exit() { flush(); }
+
+/// SIMRA_* variables whose value only affects scheduling or artifact
+/// placement, never the recorded content — excluded from the
+/// deterministic env surface so artifacts stay byte-comparable across
+/// thread counts and output directories.
+bool scheduling_only(const std::string& name) {
+  return name == "SIMRA_THREADS" || name == "SIMRA_OBS_DIR";
+}
+
+std::vector<std::pair<std::string, std::string>> env_surface() {
+  std::vector<std::pair<std::string, std::string>> vars;
+  for (char** e = environ; e != nullptr && *e != nullptr; ++e) {
+    const std::string entry(*e);
+    const auto eq = entry.find('=');
+    if (eq == std::string::npos) continue;
+    std::string name = entry.substr(0, eq);
+    if (name.rfind("SIMRA_", 0) != 0 || scheduling_only(name)) continue;
+    vars.emplace_back(std::move(name), entry.substr(eq + 1));
+  }
+  std::sort(vars.begin(), vars.end());
+  return vars;
+}
+
+std::mutex g_manifest_mutex;
+RunManifest g_manifest;
+
+}  // namespace
+
+bool enabled() {
+  const int cached = g_enabled.load(std::memory_order_relaxed);
+  if (cached >= 0) return cached != 0;
+  const bool on = env_flag("SIMRA_TRACE");
+  int expected = -1;
+  if (g_enabled.compare_exchange_strong(expected, on ? 1 : 0,
+                                        std::memory_order_relaxed) &&
+      on) {
+    // Environment-enabled runs persist their artifacts without every
+    // binary having to remember to flush.
+    std::atexit(flush_at_exit);
+  }
+  return on;
+}
+
+void set_enabled_for_test(std::optional<bool> on) {
+  g_enabled.store(on ? (*on ? 1 : 0) : -1, std::memory_order_relaxed);
+}
+
+std::string output_dir() { return env_string("SIMRA_OBS_DIR", "."); }
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);  // UTF-8 payload bytes pass through.
+        }
+    }
+  }
+  return out;
+}
+
+void RunManifest::set(const std::string& key, const std::string& value) {
+  for (auto& field : fields_) {
+    if (field.first == key) {
+      field.second = value;
+      return;
+    }
+  }
+  fields_.emplace_back(key, value);
+}
+
+std::string RunManifest::render_json(bool with_host) const {
+  std::ostringstream os;
+  os << "{\"schemas\": {\"trace\": 1, \"events\": 1, \"bench\": 4}, "
+     << "\"build\": {\"compiler\": \"" << json_escape(__VERSION__)
+     << "\", \"assertions\": "
+#ifdef NDEBUG
+     << "false"
+#else
+     << "true"
+#endif
+     << "}";
+  for (const auto& [key, value] : fields_)
+    os << ", \"" << json_escape(key) << "\": \"" << json_escape(value) << "\"";
+  os << ", \"env\": {";
+  bool first = true;
+  for (const auto& [name, value] : env_surface()) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << json_escape(name) << "\": \"" << json_escape(value) << "\"";
+  }
+  os << "}";
+  if (with_host) {
+    os << ", \"host\": {\"threads_env\": \""
+       << json_escape(env_string("SIMRA_THREADS", "")) << "\", \"obs_dir\": \""
+       << json_escape(output_dir()) << "\", \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << "}";
+  }
+  os << "}";
+  return os.str();
+}
+
+void set_manifest_field(const std::string& key, const std::string& value) {
+  std::lock_guard<std::mutex> lock(g_manifest_mutex);
+  g_manifest.set(key, value);
+}
+
+std::string render_manifest_json(bool with_host) {
+  std::lock_guard<std::mutex> lock(g_manifest_mutex);
+  return g_manifest.render_json(with_host);
+}
+
+void flush() {
+  if (!enabled()) return;
+  const std::filesystem::path dir(output_dir());
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const auto write = [&dir](const char* name, const std::string& content) {
+    std::ofstream out(dir / name, std::ios::binary | std::ios::trunc);
+    out << content;
+  };
+  write("manifest.json", render_manifest_json(/*with_host=*/true) + "\n");
+  write("events.jsonl", Log::instance().render_events_jsonl());
+  write("trace.json", Log::instance().render_trace_json());
+  write("metrics.prom", MetricsRegistry::instance().render_prometheus());
+}
+
+void reset_log() {
+  Log::instance().reset();
+  std::lock_guard<std::mutex> lock(g_manifest_mutex);
+  g_manifest = RunManifest{};
+}
+
+}  // namespace simra::obs

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace simra::obs {
+
+/// Whether the observability layer records anything: `SIMRA_TRACE` truthy,
+/// read once and cached (a relaxed atomic load afterwards, so hot paths
+/// can gate on it for free). Test overrides win over the environment.
+bool enabled();
+
+/// Overrides (or with nullopt, restores) the cached enabled state. Unlike
+/// setting SIMRA_TRACE, a test override never registers the at-exit
+/// artifact flush, so tests don't litter the working directory.
+void set_enabled_for_test(std::optional<bool> on);
+
+/// Directory artifacts are written to: `SIMRA_OBS_DIR`, default ".".
+std::string output_dir();
+
+/// Escapes `text` for embedding in a JSON string literal: quote,
+/// backslash, and all control characters (the latter as \u00XX).
+std::string json_escape(std::string_view text);
+
+/// Run provenance stamped at the head of every artifact: schema versions,
+/// build flags, caller-set fields (plan, seed, ...), and the SIMRA_* env
+/// surface. The deterministic rendering excludes scheduling/output-only
+/// variables (SIMRA_THREADS, SIMRA_OBS_DIR) so trace/event artifacts stay
+/// byte-comparable across thread counts; manifest.json additionally
+/// carries a "host" section with exactly those.
+class RunManifest {
+ public:
+  /// Sets (or replaces) one caller field, e.g. ("plan", "quick").
+  void set(const std::string& key, const std::string& value);
+
+  /// JSON object text. `with_host` adds the non-deterministic host
+  /// section (thread count, obs dir, hardware concurrency).
+  std::string render_json(bool with_host) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// The process-wide manifest (guarded internally; safe from any thread).
+void set_manifest_field(const std::string& key, const std::string& value);
+std::string render_manifest_json(bool with_host);
+
+/// Writes trace.json, events.jsonl, metrics.prom, and manifest.json into
+/// output_dir() (created if missing). No-op when the layer is disabled.
+void flush();
+
+/// Test hook: drops every collected span/event and caller manifest field.
+void reset_log();
+
+}  // namespace simra::obs

@@ -1,0 +1,20 @@
+// simra::prof's registry now lives in the obs metrics registry: the
+// SIMRA_PROF_SCOPE surface (common/prof.hpp) is a compatibility shim, so
+// existing call sites keep compiling while snapshots, the Prometheus
+// export, and BENCH_harness.json's metrics section all read one store.
+#include "common/prof.hpp"
+#include "obs/metrics.hpp"
+
+namespace simra::prof {
+
+Counter& Counter::get(const std::string& name) {
+  return obs::MetricsRegistry::instance().counter(name);
+}
+
+std::vector<KernelStats> snapshot() {
+  return obs::MetricsRegistry::instance().counters_snapshot();
+}
+
+void reset() { obs::MetricsRegistry::instance().reset(); }
+
+}  // namespace simra::prof

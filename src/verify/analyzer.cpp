@@ -12,6 +12,7 @@
 #include <unordered_set>
 
 #include "common/env.hpp"
+#include "obs/trace.hpp"
 
 namespace simra::verify {
 namespace {
@@ -453,6 +454,14 @@ void gate(const bender::Program& program,
   if (mode == Mode::kOff) return;
   Report report = analyze(program, timings);
   if (!report.has_unexpected()) return;
+  // Structured events come before the printed-warning dedup below: the
+  // dedup set is shared across tasks (scheduling-dependent), but these
+  // land in the calling task's own buffer, so the log stays deterministic.
+  for (const Finding& f : report.findings) {
+    if (f.classification != Classification::kUnexpected) continue;
+    obs::emit_event("verify.finding", {{"program", report.program_name},
+                                       {"message", f.message()}});
+  }
   if (mode == Mode::kStrict) throw VerifyError(std::move(report));
   // Warn mode: characterization sweeps run thousands of structurally
   // identical programs, so deduplicate by rendered report before printing.

@@ -1,0 +1,105 @@
+// Byte-identity of the observability artifacts across thread counts: the
+// rendered events.jsonl and trace.json of a quick fig3 sweep must not
+// depend on SIMRA_THREADS — with or without injected faults — because
+// spans/events are buffered per chip task and sealed into the log in
+// deterministic task order.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "charz/figures.hpp"
+#include "charz/plan.hpp"
+#include "charz/runner.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "support/scoped_env.hpp"
+
+namespace simra::charz {
+namespace {
+
+using simra::testing::ScopedFaultSpec;
+using simra::testing::ScopedThreads;
+
+struct Artifacts {
+  std::string events;
+  std::string trace;
+};
+
+/// Runs the quick-plan fig3 sweep at the given thread count and renders
+/// both deterministic artifacts.
+Artifacts fig3_artifacts(const char* threads) {
+  ScopedThreads scoped(threads);
+  obs::reset_log();
+  const Plan plan = Plan::from_env();
+  (void)fig3_smra_timing(plan);
+  Artifacts a;
+  a.events = obs::Log::instance().render_events_jsonl();
+  a.trace = obs::Log::instance().render_trace_json();
+  return a;
+}
+
+class ObsDeterminism : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::set_enabled_for_test(true); }
+  void TearDown() override {
+    obs::reset_log();
+    obs::set_enabled_for_test(std::nullopt);
+  }
+};
+
+TEST_F(ObsDeterminism, CleanFig3ArtifactsAreByteIdenticalAcrossThreads) {
+  const Artifacts serial = fig3_artifacts("1");
+  const Artifacts parallel = fig3_artifacts("4");
+  EXPECT_EQ(serial.events, parallel.events);
+  EXPECT_EQ(serial.trace, parallel.trace);
+  // Sanity: the artifacts actually carry content.
+  EXPECT_EQ(serial.events.rfind("{\"manifest\":", 0), 0u);
+  EXPECT_NE(serial.events.find("\"type\":\"figure\""), std::string::npos);
+  EXPECT_NE(serial.trace.find("\"name\":\"chip_task m0c0\""),
+            std::string::npos);
+  EXPECT_NE(serial.trace.find("\"name\":\"ACT\""), std::string::npos);
+}
+
+TEST_F(ObsDeterminism, FaultInjectedFig3ArtifactsAreByteIdentical) {
+  ScopedFaultSpec spec("task.crash_tasks=1,retry.max=2,transport.bitflip=2e-4",
+                      "42");
+  const Artifacts serial = fig3_artifacts("1");
+  const Artifacts parallel = fig3_artifacts("4");
+  EXPECT_EQ(serial.events, parallel.events);
+  EXPECT_EQ(serial.trace, parallel.trace);
+  // The injected faults show up as structured events.
+  EXPECT_NE(serial.events.find("\"type\":\"task.retry\""), std::string::npos);
+  EXPECT_NE(serial.events.find("\"type\":\"fault\""), std::string::npos);
+  EXPECT_NE(serial.events.find("\"type\":\"coverage"), std::string::npos);
+}
+
+TEST_F(ObsDeterminism, WorkerFailuresBecomeStructuredEventsInTaskOrder) {
+  obs::reset_log();
+  try {
+    detail::dispatch_tasks(4, 2, [](std::size_t i) {
+      if (i == 1 || i == 3)
+        throw std::runtime_error("boom " + std::to_string(i));
+    });
+    FAIL() << "dispatch_tasks should have thrown";
+  } catch (const std::runtime_error& e) {
+    // The multi-failure message enumerates each failed task's message.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 of 4 tasks failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("(task 1): boom 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("(task 3): boom 3"), std::string::npos) << what;
+  }
+  const std::string jsonl = obs::Log::instance().render_events_jsonl();
+  const auto first = jsonl.find(
+      "\"type\":\"worker.failure\",\"task\":\"1\",\"error\":\"boom 1\"");
+  const auto second = jsonl.find(
+      "\"type\":\"worker.failure\",\"task\":\"3\",\"error\":\"boom 3\"");
+  ASSERT_NE(first, std::string::npos) << jsonl;
+  ASSERT_NE(second, std::string::npos) << jsonl;
+  EXPECT_LT(first, second);
+}
+
+}  // namespace
+}  // namespace simra::charz

@@ -1,0 +1,262 @@
+// Unit tier of the observability library: ring-buffer wrap, histogram
+// bucketing, JSON escaping, manifest env-surface rules, the prof shim
+// over the metrics registry, and event sequencing/scoping.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <iterator>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/prof.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "support/scoped_env.hpp"
+
+namespace simra::obs {
+namespace {
+
+using simra::testing::ScopedEnv;
+
+/// Enables recording via the test override (never the env, so no at-exit
+/// artifact flush) and starts/ends with an empty log and manifest.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled_for_test(true);
+    reset_log();
+  }
+  void TearDown() override {
+    reset_log();
+    set_enabled_for_test(std::nullopt);
+  }
+};
+
+CommandSpan span_at(double ts_ns) {
+  CommandSpan s;
+  s.name = "ACT";
+  s.ts_ns = ts_ns;
+  s.dur_ns = 10.0f;
+  return s;
+}
+
+TEST_F(ObsTest, RingKeepsEverythingBelowCapacity) {
+  TaskBuffer buf(1, "t", 4);
+  for (int i = 0; i < 3; ++i) buf.record_command(span_at(i));
+  const std::vector<CommandSpan> spans = buf.command_spans();
+  ASSERT_EQ(spans.size(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(spans[i].ts_ns, i);
+  EXPECT_EQ(buf.commands_recorded(), 3u);
+  EXPECT_EQ(buf.commands_dropped(), 0u);
+}
+
+TEST_F(ObsTest, RingWrapsKeepingTheMostRecentSpansInOrder) {
+  TaskBuffer buf(1, "t", 4);
+  for (int i = 0; i < 6; ++i) buf.record_command(span_at(i));
+  const std::vector<CommandSpan> spans = buf.command_spans();
+  ASSERT_EQ(spans.size(), 4u);
+  // Oldest retained first: 2, 3, 4, 5.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(spans[i].ts_ns, i + 2);
+  EXPECT_EQ(buf.commands_recorded(), 6u);
+  EXPECT_EQ(buf.commands_dropped(), 2u);
+}
+
+TEST_F(ObsTest, HistogramBucketsByInclusiveUpperEdge) {
+  Histogram h("test_edges", {1.0, 2.0, 4.0});
+  h.observe(0.5);
+  h.observe(1.0);  // edge value lands in its own bucket, not the next.
+  h.observe(3.0);
+  h.observe(100.0);  // +inf overflow bucket.
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 0u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.cumulative(0), 2u);
+  EXPECT_EQ(h.cumulative(1), 2u);
+  EXPECT_EQ(h.cumulative(2), 3u);
+  EXPECT_EQ(h.cumulative(3), 4u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 104.5);
+}
+
+TEST_F(ObsTest, HistogramBoundsAreSortedAndDeduped) {
+  Histogram& h = MetricsRegistry::instance().histogram(
+      "test/unsorted_bounds", {4.0, 1.0, 2.0, 2.0});
+  const std::vector<double> expected{1.0, 2.0, 4.0};
+  EXPECT_EQ(h.bounds(), expected);
+  // Later lookups return the same instrument; new bounds are ignored.
+  Histogram& again =
+      MetricsRegistry::instance().histogram("test/unsorted_bounds", {9.0});
+  EXPECT_EQ(&h, &again);
+  EXPECT_EQ(again.bounds(), expected);
+}
+
+TEST_F(ObsTest, JsonEscapeCoversQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("n\nr\rt\tb\bf\f"), "n\\nr\\rt\\tb\\bf\\f");
+  EXPECT_EQ(json_escape(std::string("\x01\x1f", 2)), "\\u0001\\u001f");
+}
+
+TEST_F(ObsTest, ManifestExcludesSchedulingVarsFromDeterministicRender) {
+  ScopedEnv threads("SIMRA_THREADS", "7");
+  ScopedEnv obs_dir("SIMRA_OBS_DIR", "/tmp/obs-test");
+  ScopedEnv full("SIMRA_FULL", "1");
+  set_manifest_field("plan", "quick");
+  const std::string deterministic = render_manifest_json(/*with_host=*/false);
+  EXPECT_NE(deterministic.find("\"plan\": \"quick\""), std::string::npos)
+      << deterministic;
+  EXPECT_NE(deterministic.find("\"SIMRA_FULL\": \"1\""), std::string::npos)
+      << deterministic;
+  EXPECT_NE(deterministic.find("\"schemas\""), std::string::npos);
+  EXPECT_EQ(deterministic.find("SIMRA_THREADS"), std::string::npos)
+      << deterministic;
+  EXPECT_EQ(deterministic.find("SIMRA_OBS_DIR"), std::string::npos)
+      << deterministic;
+  EXPECT_EQ(deterministic.find("\"host\""), std::string::npos);
+
+  const std::string host = render_manifest_json(/*with_host=*/true);
+  EXPECT_NE(host.find("\"host\""), std::string::npos) << host;
+  EXPECT_NE(host.find("\"threads_env\": \"7\""), std::string::npos) << host;
+  EXPECT_NE(host.find("\"obs_dir\": \"/tmp/obs-test\""), std::string::npos)
+      << host;
+}
+
+TEST_F(ObsTest, ResetLogDropsCallerManifestFields) {
+  set_manifest_field("plan", "quick");
+  reset_log();
+  const std::string rendered = render_manifest_json(/*with_host=*/false);
+  EXPECT_EQ(rendered.find("\"plan\""), std::string::npos) << rendered;
+}
+
+TEST_F(ObsTest, ProfShimFeedsTheMetricsRegistry) {
+  prof::Counter& counter = prof::Counter::get("test/shim_counter");
+  const std::uint64_t before = counter.calls();
+  counter.add_count(3);
+  bool found = false;
+  for (const auto& k : MetricsRegistry::instance().counters_snapshot()) {
+    if (k.name != "test/shim_counter") continue;
+    found = true;
+    EXPECT_EQ(k.calls, before + 3);
+  }
+  EXPECT_TRUE(found);
+  // prof::snapshot() is the same registry through the shim.
+  found = false;
+  for (const auto& k : prof::snapshot())
+    if (k.name == "test/shim_counter") found = true;
+  EXPECT_TRUE(found);
+  const std::string prom = MetricsRegistry::instance().render_prometheus();
+  EXPECT_NE(prom.find("simra_test_shim_counter_calls"), std::string::npos)
+      << prom;
+}
+
+TEST_F(ObsTest, EventsGetGlobalSequenceIdsInChunkOrder) {
+  emit_event("alpha", {{"k", "v"}});
+  auto buf = make_chip_task_buffer(1, 2);
+  {
+    TaskScope scope(buf.get());
+    emit_event("beta", {});
+  }
+  Log::instance().submit(buf);
+  emit_event("gamma", {});
+  const std::string jsonl = Log::instance().render_events_jsonl();
+  EXPECT_EQ(jsonl.rfind("{\"manifest\":", 0), 0u) << jsonl;
+  EXPECT_NE(
+      jsonl.find(
+          "{\"seq\":0,\"scope\":\"harness\",\"type\":\"alpha\",\"k\":\"v\"}"),
+      std::string::npos)
+      << jsonl;
+  EXPECT_NE(jsonl.find("{\"seq\":1,\"scope\":\"m1c2\",\"type\":\"beta\"}"),
+            std::string::npos)
+      << jsonl;
+  EXPECT_NE(jsonl.find("{\"seq\":2,\"scope\":\"harness\",\"type\":\"gamma\"}"),
+            std::string::npos)
+      << jsonl;
+}
+
+TEST_F(ObsTest, DisabledLayerRecordsNothing) {
+  set_enabled_for_test(false);
+  emit_event("dropped", {});
+  emit_span(RichSpan{});
+  const std::string jsonl = Log::instance().render_events_jsonl();
+  EXPECT_EQ(jsonl.find("dropped"), std::string::npos) << jsonl;
+  // Exactly the manifest header line.
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 1);
+}
+
+TEST_F(ObsTest, TraceJsonRendersCommandAndTaskSpansInMicroseconds) {
+  auto buf = make_chip_task_buffer(0, 0);
+  {
+    TaskScope scope(buf.get());
+    CommandSpan s = span_at(1500.0);
+    s.dur_ns = 500.0f;
+    s.bank = 2;
+    s.op = 42;
+    record_command(s);
+  }
+  buf->attempts = 1;
+  buf->succeeded = true;
+  Log::instance().submit(buf);
+  const std::string trace = Log::instance().render_trace_json();
+  EXPECT_NE(trace.find("\"displayTimeUnit\": \"ns\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"simra chips\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"chip_task m0c0\""), std::string::npos)
+      << trace;
+  EXPECT_NE(trace.find("{\"name\":\"ACT\",\"cat\":\"cmd\",\"ph\":\"X\","
+                       "\"ts\":1.500000,\"dur\":0.500000,\"pid\":1,\"tid\":1,"
+                       "\"args\":{\"bank\":2,\"op\":42}}"),
+            std::string::npos)
+      << trace;
+}
+
+TEST_F(ObsTest, TraceJsonEscapesRichSpanNamesAndArgs) {
+  RichSpan span;
+  span.name = "fig \"3\"\n";
+  span.args = {{"note", "line1\nline2"}};
+  emit_span(std::move(span));
+  const std::string trace = Log::instance().render_trace_json();
+  EXPECT_NE(trace.find("\"name\":\"fig \\\"3\\\"\\n\""), std::string::npos)
+      << trace;
+  EXPECT_NE(trace.find("\"note\":\"line1\\nline2\""), std::string::npos)
+      << trace;
+}
+
+TEST_F(ObsTest, FlushWritesAllFourArtifacts) {
+  const std::string dir = ::testing::TempDir() + "simra_obs_flush";
+  ScopedEnv obs_dir("SIMRA_OBS_DIR", dir.c_str());
+  set_manifest_field("plan", "quick");
+  emit_event("flushed", {});
+  flush();
+  for (const char* name :
+       {"manifest.json", "events.jsonl", "trace.json", "metrics.prom"}) {
+    std::ifstream in(dir + "/" + name);
+    EXPECT_TRUE(in.good()) << name;
+  }
+  std::ifstream events(dir + "/events.jsonl");
+  std::string content((std::istreambuf_iterator<char>(events)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("\"type\":\"flushed\""), std::string::npos);
+  std::ifstream manifest(dir + "/manifest.json");
+  content.assign(std::istreambuf_iterator<char>(manifest),
+                 std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("\"host\""), std::string::npos)
+      << "manifest.json must carry the host section";
+}
+
+TEST_F(ObsTest, EventCapDropsAreCountedAndReported) {
+  TaskBuffer buf(3, "capped", 16);
+  for (int i = 0; i < 65536 + 5; ++i) buf.add_event("e", {});
+  EXPECT_EQ(buf.events().size(), 65536u);
+  EXPECT_EQ(buf.events_dropped(), 5u);
+  Log::instance().submit(std::make_shared<TaskBuffer>(std::move(buf)));
+  const std::string jsonl = Log::instance().render_events_jsonl();
+  EXPECT_NE(jsonl.find("\"type\":\"obs.dropped\",\"events\":\"5\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace simra::obs

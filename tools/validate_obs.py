@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Validates an observability artifact directory against the checked-in
+JSON Schemas (docs/schema/). Standard library only — implements the small
+JSON Schema subset those schemas use (type, required, properties, items,
+enum, additionalProperties-as-schema), so CI needs no extra packages.
+
+Usage: validate_obs.py OBS_DIR [--schema-dir docs/schema]
+Exits non-zero on the first structural problem, printing where it is.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "boolean": bool,
+}
+
+
+def check(instance, schema, path):
+    """Returns a list of error strings for `instance` against `schema`."""
+    errors = []
+    expected = schema.get("type")
+    if expected is not None:
+        if expected == "number":
+            ok = isinstance(instance, (int, float)) and not isinstance(
+                instance, bool)
+        elif expected == "integer":
+            ok = isinstance(instance, int) and not isinstance(instance, bool)
+        else:
+            ok = isinstance(instance, _TYPES[expected]) and not (
+                expected != "boolean" and isinstance(instance, bool))
+        if not ok:
+            return [f"{path}: expected {expected}, got "
+                    f"{type(instance).__name__}"]
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not in {schema['enum']}")
+    if isinstance(instance, dict):
+        for key in schema.get("required", []):
+            if key not in instance:
+                errors.append(f"{path}: missing required key {key!r}")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties")
+        for key, value in instance.items():
+            if key in props:
+                errors.extend(check(value, props[key], f"{path}.{key}"))
+            elif isinstance(extra, dict):
+                errors.extend(check(value, extra, f"{path}.{key}"))
+    if isinstance(instance, list) and "items" in schema:
+        for i, item in enumerate(instance):
+            errors.extend(check(item, schema["items"], f"{path}[{i}]"))
+    return errors
+
+
+def fail(message):
+    print(f"validate_obs: FAIL: {message}")
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("obs_dir")
+    parser.add_argument("--schema-dir", default="docs/schema")
+    args = parser.parse_args()
+
+    def load(name):
+        with open(os.path.join(args.schema_dir, name)) as f:
+            return json.load(f)
+
+    trace_schema = load("trace.schema.json")
+    events_schema = load("events.schema.json")
+
+    trace_path = os.path.join(args.obs_dir, "trace.json")
+    with open(trace_path) as f:
+        trace = json.load(f)
+    errors = check(trace, trace_schema, "trace")
+    if errors:
+        fail(f"{trace_path}: " + "; ".join(errors[:5]))
+    print(f"validate_obs: {trace_path}: "
+          f"{len(trace['traceEvents'])} trace events OK")
+
+    events_path = os.path.join(args.obs_dir, "events.jsonl")
+    manifest_schema = trace_schema["properties"]["manifest"]
+    with open(events_path) as f:
+        lines = [json.loads(line) for line in f if line.strip()]
+    if not lines or "manifest" not in lines[0]:
+        fail(f"{events_path}: first line must be the manifest header")
+    errors = check(lines[0]["manifest"], manifest_schema, "events.manifest")
+    if errors:
+        fail(f"{events_path}: " + "; ".join(errors[:5]))
+    for i, line in enumerate(lines[1:]):
+        errors = check(line, events_schema, f"events[{i}]")
+        if errors:
+            fail(f"{events_path}: " + "; ".join(errors[:5]))
+        if line["seq"] != i:
+            fail(f"{events_path}: line {i + 1} has seq {line['seq']}, "
+                 f"expected consecutive {i}")
+    print(f"validate_obs: {events_path}: {len(lines) - 1} events OK")
+
+    manifest_path = os.path.join(args.obs_dir, "manifest.json")
+    with open(manifest_path) as f:
+        manifest = json.load(f)
+    errors = check(manifest, manifest_schema, "manifest")
+    if errors:
+        fail(f"{manifest_path}: " + "; ".join(errors[:5]))
+    if "host" not in manifest:
+        fail(f"{manifest_path}: missing the non-deterministic host section")
+    print(f"validate_obs: {manifest_path}: OK")
+    print("validate_obs: PASS")
+
+
+if __name__ == "__main__":
+    main()
