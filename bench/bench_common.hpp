@@ -21,6 +21,16 @@
 
 namespace simra::bench_common {
 
+/// Identity of the plan the environment selects: "paper" (SIMRA_FULL=1),
+/// "fleet" (SIMRA_FLEET=1, quick depth at the paper's module census), or
+/// "quick". Keys every harness-JSON entry, so measurements of different
+/// plans never replace each other.
+inline std::string plan_label() {
+  if (full_scale_run()) return "paper";
+  if (env_flag("SIMRA_FLEET")) return "fleet";
+  return "quick";
+}
+
 /// Prints the standard bench banner: which plan is in use, how to run
 /// the paper-scale version, and the harness thread count. Also stamps the
 /// run manifest with the plan identity (plan/seed/instances/trials — not
@@ -29,14 +39,18 @@ namespace simra::bench_common {
 inline charz::Plan announced_plan(const std::string& what) {
   const charz::Plan plan = charz::Plan::from_env();
   obs::set_manifest_field("bench", what);
-  obs::set_manifest_field("plan", full_scale_run() ? "paper" : "quick");
+  obs::set_manifest_field("plan", plan_label());
   obs::set_manifest_field("seed", std::to_string(plan.seed));
   obs::set_manifest_field("instances", std::to_string(plan.instance_count()));
   obs::set_manifest_field("trials", std::to_string(plan.trials));
   std::cout << "=== " << what << " ===\n";
-  std::cout << (full_scale_run()
-                    ? "plan: paper-scale (SIMRA_FULL=1)"
-                    : "plan: quick (set SIMRA_FULL=1 for the paper-scale run)")
+  const std::string label = plan_label();
+  std::cout << (label == "paper" ? "plan: paper-scale (SIMRA_FULL=1)"
+                : label == "fleet"
+                    ? "plan: paper-fleet (SIMRA_FLEET=1 — quick depth, "
+                      "paper module census)"
+                    : "plan: quick (SIMRA_FULL=1 for paper scale, "
+                      "SIMRA_FLEET=1 for the paper-fleet census)")
             << " — " << plan.instance_count()
             << " (chip, bank, subarray) instances, " << plan.groups_per_size
             << " row groups per size, " << plan.trials << " trials, "
@@ -88,7 +102,11 @@ struct HarnessRecord {
   double seconds = 0.0;
   unsigned threads = 1;
   std::size_t instances = 0;
-  bool full_scale = false;
+  std::string plan = "quick";
+  /// Pre-optimization reference entries carry baseline=true; the marker
+  /// is part of the replacement key, so re-measuring never overwrites the
+  /// baseline a speedup claim is made against.
+  bool baseline = false;
   /// Sweep coverage (resilience accounting); zero chips for analytic
   /// figures that never ran a sweep.
   std::size_t chips_attempted = 0;
@@ -99,6 +117,15 @@ struct HarnessRecord {
   double instances_per_sec() const {
     return seconds > 0.0 ? static_cast<double>(instances) / seconds : 0.0;
   }
+};
+
+/// One kernel's scalar-vs-AVX2 timing (bench_kernels --simd-report).
+struct SimdRecord {
+  std::string kernel;
+  double scalar_us = 0.0;
+  double avx2_us = 0.0;
+
+  double speedup() const { return avx2_us > 0.0 ? scalar_us / avx2_us : 0.0; }
 };
 
 /// Path the harness perf trajectory is written to: SIMRA_BENCH_JSON when
@@ -127,7 +154,7 @@ class HarnessReport {
     rec.seconds = seconds;
     rec.threads = charz::harness_threads();
     rec.instances = instances;
-    rec.full_scale = full_scale_run();
+    rec.plan = plan_label();
     if (coverage != nullptr) {
       rec.chips_attempted = coverage->chips_attempted;
       rec.chips_succeeded = coverage->chips_succeeded;
@@ -191,16 +218,31 @@ class HarnessReport {
     }
   }
 
+  /// Records scalar-vs-AVX2 per-kernel timings (the "simd" section).
+  /// SIMD dispatch is host-capability dependent, so these entries carry
+  /// no plan key — only the thread count the report ran at.
+  void record_simd(const std::vector<SimdRecord>& records) {
+    simd_ = records;
+    if (simd_.empty()) return;
+    write();
+    std::cout << "[harness] simd speedups (" << harness_json_path() << "):\n";
+    for (const auto& s : simd_)
+      std::cout << "  " << s.kernel << ": scalar "
+                << Table::num(s.scalar_us, 3) << " us, avx2 "
+                << Table::num(s.avx2_us, 3) << " us — "
+                << Table::num(s.speedup(), 2) << "x\n";
+  }
+
  private:
   static std::string entry_json(const HarnessRecord& r) {
     std::ostringstream os;
-    os << "    {\"figure\": \"" << r.figure << "\", \"plan\": \""
-       << (r.full_scale ? "paper" : "quick") << "\", \"threads\": " << r.threads
-       << ", \"seconds\": " << std::fixed << std::setprecision(4) << r.seconds
-       << ", \"instances\": " << r.instances << ", \"instances_per_sec\": "
-       << std::setprecision(3) << r.instances_per_sec()
-       << ", \"chips_attempted\": " << r.chips_attempted
-       << ", \"chips_succeeded\": " << r.chips_succeeded
+    os << "    {\"figure\": \"" << r.figure << "\", \"plan\": \"" << r.plan
+       << "\", \"threads\": " << r.threads << ", \"baseline\": "
+       << (r.baseline ? "true" : "false") << ", \"seconds\": " << std::fixed
+       << std::setprecision(4) << r.seconds << ", \"instances\": "
+       << r.instances << ", \"instances_per_sec\": " << std::setprecision(3)
+       << r.instances_per_sec() << ", \"chips_attempted\": "
+       << r.chips_attempted << ", \"chips_succeeded\": " << r.chips_succeeded
        << ", \"chips_quarantined\": " << r.chips_quarantined
        << ", \"retries\": " << r.retries << "}";
     return os.str();
@@ -208,8 +250,7 @@ class HarnessReport {
 
   std::string kernel_json(const prof::KernelStats& k) const {
     std::ostringstream os;
-    os << "    {\"kernel\": \"" << k.name << "\", \"plan\": \""
-       << (full_scale_run() ? "paper" : "quick")
+    os << "    {\"kernel\": \"" << k.name << "\", \"plan\": \"" << plan_label()
        << "\", \"threads\": " << charz::harness_threads()
        << ", \"calls\": " << k.calls << ", \"seconds\": " << std::fixed
        << std::setprecision(4) << k.seconds << ", \"us_per_call\": "
@@ -220,16 +261,24 @@ class HarnessReport {
   std::string resilience_json(const prof::KernelStats& k) const {
     std::ostringstream os;
     os << "    {\"counter\": \"" << k.name << "\", \"plan\": \""
-       << (full_scale_run() ? "paper" : "quick")
-       << "\", \"threads\": " << charz::harness_threads()
+       << plan_label() << "\", \"threads\": " << charz::harness_threads()
        << ", \"count\": " << k.calls << "}";
+    return os.str();
+  }
+
+  std::string simd_json(const SimdRecord& s) const {
+    std::ostringstream os;
+    os << "    {\"simd_kernel\": \"" << s.kernel
+       << "\", \"threads\": " << charz::harness_threads()
+       << ", \"scalar_us\": " << std::fixed << std::setprecision(3)
+       << s.scalar_us << ", \"avx2_us\": " << s.avx2_us
+       << ", \"speedup\": " << std::setprecision(2) << s.speedup() << "}";
     return os.str();
   }
 
   std::string metric_prefix(const std::string& name) const {
     std::ostringstream os;
-    os << "    {\"metric\": \"" << name << "\", \"plan\": \""
-       << (full_scale_run() ? "paper" : "quick")
+    os << "    {\"metric\": \"" << name << "\", \"plan\": \"" << plan_label()
        << "\", \"threads\": " << charz::harness_threads();
     return os.str();
   }
@@ -256,16 +305,18 @@ class HarnessReport {
   }
 
   /// Replacement key for an entry line: the prefix before the first
-  /// measured field ("figure"/"plan"/"threads" for figures,
+  /// measured field ("figure"/"plan"/"threads"/"baseline" for figures,
   /// "kernel"/"plan"/"threads" for kernels, "counter"/"plan"/"threads"
-  /// for resilience counters, "metric"/"plan"/"threads" for metrics). Cut
-  /// at whichever marker appears first — figure entries lead with
-  /// "seconds", kernel entries with "calls", resilience entries with
-  /// "count", metric entries with "kind".
+  /// for resilience counters, "metric"/"plan"/"threads" for metrics,
+  /// "simd_kernel"/"threads" for simd timings). Cut at whichever marker
+  /// appears first — figure entries lead with "seconds", kernel entries
+  /// with "calls", resilience entries with "count", metric entries with
+  /// "kind", simd entries with "scalar_us".
   static std::string entry_key(const std::string& line) {
     auto cut = std::string::npos;
-    for (const char* marker : {", \"seconds\":", ", \"calls\":",
-                               ", \"count\":", ", \"kind\":"}) {
+    for (const char* marker :
+         {", \"seconds\":", ", \"calls\":", ", \"count\":", ", \"kind\":",
+          ", \"scalar_us\":"}) {
       const auto pos = line.find(marker);
       if (pos != std::string::npos) cut = std::min(cut, pos);
     }
@@ -278,6 +329,7 @@ class HarnessReport {
     std::vector<std::string> kernel_lines;
     std::vector<std::string> resilience_lines;
     std::vector<std::string> metric_lines;
+    std::vector<std::string> simd_lines;
     std::ifstream in(harness_json_path());
     for (std::string line; std::getline(in, line);) {
       const bool is_figure = line.find("{\"figure\": \"") != std::string::npos;
@@ -285,7 +337,10 @@ class HarnessReport {
       const bool is_counter =
           line.find("{\"counter\": \"") != std::string::npos;
       const bool is_metric = line.find("{\"metric\": \"") != std::string::npos;
-      if (!is_figure && !is_kernel && !is_counter && !is_metric) continue;
+      const bool is_simd =
+          line.find("{\"simd_kernel\": \"") != std::string::npos;
+      if (!is_figure && !is_kernel && !is_counter && !is_metric && !is_simd)
+        continue;
       if (line.back() == ',') line.pop_back();
       bool replaced = false;
       for (const HarnessRecord& r : records_)
@@ -298,10 +353,13 @@ class HarnessReport {
         if (entry_key(line) == entry_key(gauge_json(g))) replaced = true;
       for (const auto& h : histograms_)
         if (entry_key(line) == entry_key(histogram_json(h))) replaced = true;
+      for (const auto& s : simd_)
+        if (entry_key(line) == entry_key(simd_json(s))) replaced = true;
       if (replaced) continue;
       (is_figure   ? figure_lines
        : is_kernel ? kernel_lines
        : is_metric ? metric_lines
+       : is_simd   ? simd_lines
                    : resilience_lines)
           .push_back(line);
     }
@@ -313,6 +371,7 @@ class HarnessReport {
     for (const auto& g : gauges_) metric_lines.push_back(gauge_json(g));
     for (const auto& h : histograms_)
       metric_lines.push_back(histogram_json(h));
+    for (const auto& s : simd_) simd_lines.push_back(simd_json(s));
 
     const auto append_array = [](std::string& out,
                                  const std::vector<std::string>& lines) {
@@ -322,7 +381,7 @@ class HarnessReport {
         out += "\n";
       }
     };
-    std::string out = "{\n  \"schema\": 4,\n  \"figures\": [\n";
+    std::string out = "{\n  \"schema\": 5,\n  \"figures\": [\n";
     append_array(out, figure_lines);
     out += "  ],\n  \"kernels\": [\n";
     append_array(out, kernel_lines);
@@ -330,6 +389,8 @@ class HarnessReport {
     append_array(out, resilience_lines);
     out += "  ],\n  \"metrics\": [\n";
     append_array(out, metric_lines);
+    out += "  ],\n  \"simd\": [\n";
+    append_array(out, simd_lines);
     out += "  ]\n}\n";
     write_file(harness_json_path(), out);
   }
@@ -339,6 +400,7 @@ class HarnessReport {
   std::vector<prof::KernelStats> resilience_;
   std::vector<obs::GaugeStats> gauges_;
   std::vector<obs::HistogramStats> histograms_;
+  std::vector<SimdRecord> simd_;
 };
 
 /// Runs `fn(plan)`, records its wall-clock time, thread count, instance

@@ -3,11 +3,23 @@
 // replaced. Run after kernel changes to confirm the word-at-a-time paths
 // still win; the scalar BM_* variants are the pre-vectorization
 // reference implementations kept verbatim for comparison.
+//
+// `bench_kernels --simd-report` skips google-benchmark and instead times
+// each dispatched kernel under the forced scalar and forced AVX2 tiers,
+// writing per-kernel speedups to the harness JSON ("simd" section). Add
+// `--assert-avx2-wins` to exit nonzero when AVX2 loses to scalar (the CI
+// perf-smoke gate); both modes exit 0 with a notice on hosts without
+// AVX2.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstddef>
+#include <functional>
+#include <iostream>
+#include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "common/bitvec.hpp"
 #include "common/rng.hpp"
 #include "dram/kernels.hpp"
@@ -122,6 +134,125 @@ void BM_ColumnPopcountsScalar(benchmark::State& state) {
 }
 BENCHMARK(BM_ColumnPopcountsScalar)->Arg(8)->Arg(32);
 
+// --- scalar-vs-AVX2 report -------------------------------------------------
+
+/// Median-of-5 per-call microseconds for `fn` under the forced `tier`.
+double time_tier_us(dram::kernels::SimdTier tier,
+                    const std::function<void()>& fn) {
+  dram::kernels::set_simd_for_test(tier);
+  constexpr int kReps = 200;
+  std::vector<double> samples;
+  for (int s = 0; s < 5; ++s) {
+    fn();  // warm caches (and fault in the dispatch) outside the timing.
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kReps; ++i) fn();
+    const double us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    samples.push_back(us / kReps);
+  }
+  std::sort(samples.begin(), samples.end());
+  dram::kernels::set_simd_for_test(std::nullopt);
+  return samples[samples.size() / 2];
+}
+
+int simd_report(bool assert_avx2_wins) {
+  if (!dram::kernels::avx2_supported()) {
+    std::cout << "simd-report: AVX2 unavailable on this host — skipped\n";
+    return 0;
+  }
+  const auto zetas = random_floats(kColumns, 1);
+  Rng noise_rng(4);
+  std::vector<double> noise(kColumns);
+  noise_rng.normal_fill(noise);
+  Rng bit_rng(5);
+  BitVec row(kColumns);
+  row.randomize(bit_rng);
+  std::vector<BitVec> rows(32, BitVec(kColumns));
+  Rng rows_rng(6);
+  for (auto& r : rows) r.randomize(rows_rng);
+  std::vector<const BitVec*> ptrs;
+  for (const auto& r : rows) ptrs.push_back(&r);
+  std::vector<std::uint8_t> counts(kColumns);
+  std::vector<float> deviates(kColumns);
+
+  const std::vector<std::pair<std::string, std::function<void()>>> kernels = {
+      {"threshold_mask",
+       [&] {
+         benchmark::DoNotOptimize(dram::kernels::threshold_mask(zetas, 0.25f));
+       }},
+      {"latch_race_mask",
+       [&] {
+         benchmark::DoNotOptimize(dram::kernels::latch_race_mask(zetas, 0.5));
+       }},
+      {"offset_noise_mask",
+       [&] {
+         benchmark::DoNotOptimize(
+             dram::kernels::offset_noise_mask(zetas, noise, 0.35));
+       }},
+      {"lag8_disagreement",
+       [&] {
+         std::size_t total = 0;
+         benchmark::DoNotOptimize(dram::kernels::lag8_disagreement(row, total));
+       }},
+      {"column_popcounts_32rows",
+       [&] {
+         dram::kernels::column_popcounts(ptrs, counts);
+         benchmark::DoNotOptimize(counts.data());
+       }},
+      {"hashed_normal_fill",
+       [&] {
+         dram::kernels::hashed_normal_fill(0x5eed, deviates);
+         benchmark::DoNotOptimize(deviates.data());
+       }},
+      {"hashed_uniform_fill",
+       [&] {
+         dram::kernels::hashed_uniform_fill(0x5eed, deviates);
+         benchmark::DoNotOptimize(deviates.data());
+       }},
+  };
+
+  std::vector<bench_common::SimdRecord> records;
+  for (const auto& [name, fn] : kernels) {
+    bench_common::SimdRecord rec;
+    rec.kernel = name;
+    rec.scalar_us = time_tier_us(dram::kernels::SimdTier::scalar, fn);
+    rec.avx2_us = time_tier_us(dram::kernels::SimdTier::avx2, fn);
+    records.push_back(rec);
+  }
+  bench_common::HarnessReport::global().record_simd(records);
+
+  if (assert_avx2_wins) {
+    int losses = 0;
+    for (const auto& r : records) {
+      // Per-kernel tolerance absorbs scheduler noise on busy CI hosts;
+      // a real regression shows up as a hard loss, not a 2% wobble.
+      if (r.speedup() < 0.9) {
+        std::cerr << "simd-report: AVX2 slower than scalar for " << r.kernel
+                  << " (" << r.speedup() << "x)\n";
+        ++losses;
+      }
+    }
+    if (losses > 0) return 1;
+    std::cout << "simd-report: AVX2 >= scalar for all "
+              << records.size() << " kernels\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool report = false, assert_wins = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--simd-report") report = true;
+    if (arg == "--assert-avx2-wins") assert_wins = true;
+  }
+  if (report) return simd_report(assert_wins);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -35,7 +35,25 @@ Plan Plan::paper_scale() {
   return p;
 }
 
-Plan Plan::from_env() { return full_scale_run() ? paper_scale() : quick(); }
+Plan Plan::paper_fleet() {
+  // The paper's fleet breadth (18 modules / 120 chips across five vendor
+  // profiles, §3.1) at the quick plan's per-chip depth: stresses the
+  // scheduler with paper-scale task counts without paper-scale per-chip
+  // cost, so a single machine can benchmark the full fan-out.
+  Plan p = quick();
+  p.modules = {{dram::VendorProfile::hynix_m(), 5},
+               {dram::VendorProfile::hynix_m640(), 2},
+               {dram::VendorProfile::hynix_a(), 5},
+               {dram::VendorProfile::micron_e(), 4},
+               {dram::VendorProfile::micron_b(), 2}};
+  p.chips_per_module = 7;  // 18 modules * 7 = 126 chips ~ the paper's 120.
+  return p;
+}
+
+Plan Plan::from_env() {
+  if (env_flag("SIMRA_FLEET")) return paper_fleet();
+  return full_scale_run() ? paper_scale() : quick();
+}
 
 std::size_t Plan::instance_count() const {
   std::size_t module_count = 0;

@@ -33,7 +33,11 @@ struct Plan {
 
   static Plan quick();
   static Plan paper_scale();
-  /// paper_scale() when SIMRA_FULL is set, quick() otherwise.
+  /// The paper's fleet breadth (18 modules, ~120 chips) at quick()'s
+  /// per-chip depth — paper-scale task counts at single-machine cost.
+  static Plan paper_fleet();
+  /// paper_fleet() when SIMRA_FLEET is set, else paper_scale() when
+  /// SIMRA_FULL is set, quick() otherwise.
   static Plan from_env();
 
   std::size_t instance_count() const;

@@ -44,6 +44,10 @@ class Rng {
   /// Fills `out` with standard normal deviates in the exact sequence
   /// repeated `normal()` calls would produce (same draws, same spare-value
   /// caching), so batched consumers stay value-identical to per-call ones.
+  /// Deliberately scalar at every SIMD tier: Marsaglia's polar method is a
+  /// sequentially dependent rejection sampler, so a vector variant could
+  /// not reproduce this pinned sequence (hash-keyed batches that can
+  /// vectorize live in dram::kernels::hashed_normal_fill).
   void normal_fill(std::span<double> out) noexcept;
 
   /// Bernoulli trial with success probability `p`.

@@ -187,7 +187,7 @@ void Bank::resolve_consecutive(RowAddr local, double t1, double t_ns) {
     // write-back stability follows the single-destination copy model.
     Subarray& s = subarray(sa);
     const BitlineContext bctx = bitline_ctx();
-    const BitVec stable =
+    const BitVec& stable =
         ctx_.electrical->copy_stable_mask(bctx, local, 1, source, *ctx_.env);
     BitVec& cells = s.row_data(local);
     // Write-back failures retain the destination's previous charge.
@@ -262,7 +262,7 @@ void Bank::resolve_simultaneous(RowAddr second_local, double t1, double t2,
   for (RowAddr r : open_local_rows_) {
     BitVec& cells = s.row_data(r);
     if (apa_.latch_fraction > 0.0 && r != first_local && n_dest > 0) {
-      const BitVec stable = ctx_.electrical->copy_stable_mask(
+      const BitVec& stable = ctx_.electrical->copy_stable_mask(
           bctx, r, n_dest, resolved, *ctx_.env);
       // Cells take the resolved value except where a latched bitline's
       // write-back failed: copy-unstable cells retain their previous

@@ -66,36 +66,166 @@ double mrc_latch_fraction(double t1_ns) {
 
 std::size_t ElectricalModel::DeviateKeyHash::operator()(
     const DeviateKey& k) const noexcept {
-  return static_cast<std::size_t>(hash_combine(
-      hash_combine(hash_combine(k.salt, k.k1), k.k2), k.count));
+  return static_cast<std::size_t>(
+      hash_combine(hash_combine(hash_combine(hash_combine(k.salt, k.k1), k.k2),
+                                k.count),
+                   k.uniform ? 1u : 0u));
+}
+
+std::size_t SharedDeviateCache::KeyHash::operator()(
+    const Key& k) const noexcept {
+  return static_cast<std::size_t>(
+      hash_combine(hash_combine(hash_combine(hash_combine(k.salt, k.k1), k.k2),
+                                k.count),
+                   k.uniform ? 1u : 0u));
+}
+
+namespace {
+
+/// Recycles span storage across models and chip tasks: a released span
+/// returns its block here instead of freeing it, and the next fill of the
+/// same size reuses it. First-touch page faults on a fresh 32 KiB block
+/// cost ~2-3x the fill itself, so steady-state fills writing into
+/// already-faulted pages are the difference between ~40 us and ~15 us per
+/// span. Thread-safe; the free list is capped, overflow is freed for real.
+class SpanPool {
+ public:
+  static SpanPool& instance() {
+    static SpanPool pool;
+    return pool;
+  }
+
+  std::shared_ptr<float[]> acquire(std::size_t count) {
+    float* block = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = free_.find(count);
+      if (it != free_.end() && !it->second.empty()) {
+        block = it->second.back();
+        it->second.pop_back();
+        total_free_ -= count;
+      }
+    }
+    if (block == nullptr) block = new float[count];
+    return std::shared_ptr<float[]>(
+        block, [count](float* p) { SpanPool::instance().release(p, count); });
+  }
+
+  ~SpanPool() {
+    for (auto& [count, blocks] : free_)
+      for (float* p : blocks) delete[] p;
+  }
+
+ private:
+  void release(float* block, std::size_t count) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (total_free_ + count <= kMaxFreeFloats) {
+        free_[count].push_back(block);
+        total_free_ += count;
+        return;
+      }
+    }
+    delete[] block;
+  }
+
+  /// Free-list cap (floats): 64 Mi floats = 256 MiB of idle blocks.
+  static constexpr std::size_t kMaxFreeFloats = 64u << 20;
+
+  std::mutex mutex_;
+  std::unordered_map<std::size_t, std::vector<float*>> free_;
+  std::size_t total_free_ = 0;
+};
+
+}  // namespace
+
+std::shared_ptr<const float[]> SharedDeviateCache::get_or_compute(
+    std::uint64_t salt, std::uint64_t k1, std::uint64_t k2, std::size_t count,
+    bool uniform, const VariationField& field) {
+  constexpr std::size_t kCapacity = 8192;  // bound memory.
+  const Key key{salt, k1, k2, count, uniform};
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    order_.splice(order_.end(), order_, it->second.order_it);
+    return it->second.values;
+  }
+  SIMRA_PROF_SCOPE("electrical/deviates_miss");
+  while (map_.size() >= kCapacity) {
+    map_.erase(order_.front());
+    order_.pop_front();
+  }
+  std::shared_ptr<float[]> values = SpanPool::instance().acquire(count);
+  const std::span<float> out(values.get(), count);
+  if (uniform)
+    field.uniform_fill(salt, k1, k2, out);
+  else
+    field.normal_fill(salt, k1, k2, out);
+  order_.push_back(key);
+  map_.emplace(key, Entry{values, std::prev(order_.end())});
+  return values;
 }
 
 std::span<const float> ElectricalModel::deviates(std::uint64_t salt,
                                                  std::uint64_t k1,
                                                  std::uint64_t k2,
                                                  std::size_t count) const {
+  return spans(salt, k1, k2, count, false);
+}
+
+std::span<const float> ElectricalModel::uniforms(std::uint64_t salt,
+                                                 std::uint64_t k1,
+                                                 std::uint64_t k2,
+                                                 std::size_t count) const {
+  return spans(salt, k1, k2, count, true);
+}
+
+std::span<const float> ElectricalModel::spans(std::uint64_t salt,
+                                              std::uint64_t k1,
+                                              std::uint64_t k2,
+                                              std::size_t count,
+                                              bool uniform) const {
   constexpr std::size_t kCapacity = 4096;  // bound memory.
-  const DeviateKey key{salt, k1, k2, count};
+  const DeviateKey key{salt, k1, k2, count, uniform};
   auto it = deviate_cache_.find(key);
   if (it != deviate_cache_.end()) {
     // Refresh recency so hot spans survive trimming.
     deviate_order_.splice(deviate_order_.end(), deviate_order_,
                           it->second.order_it);
-    return it->second.values;
+    return {it->second.values.get(), count};
   }
-  SIMRA_PROF_SCOPE("electrical/deviates_miss");
+  std::shared_ptr<const float[]> values;
+  if (shared_deviates_ != nullptr) {
+    values = shared_deviates_->get_or_compute(salt, k1, k2, count, uniform,
+                                              *variation_);
+  } else {
+    SIMRA_PROF_SCOPE("electrical/deviates_miss");
+    std::shared_ptr<float[]> computed = SpanPool::instance().acquire(count);
+    const std::span<float> out(computed.get(), count);
+    if (uniform)
+      variation_->uniform_fill(salt, k1, k2, out);
+    else
+      variation_->normal_fill(salt, k1, k2, out);
+    values = std::move(computed);
+  }
   while (deviate_cache_.size() >= kCapacity) {
     deviate_cache_.erase(deviate_order_.front());
     deviate_order_.pop_front();
   }
-  std::vector<float> values(count);
-  variation_->normal_fill(salt, k1, k2, values);
   deviate_order_.push_back(key);
   it = deviate_cache_
            .emplace(key, DeviateEntry{std::move(values),
                                       std::prev(deviate_order_.end())})
            .first;
-  return it->second.values;
+  return {it->second.values.get(), count};
+}
+
+std::size_t ElectricalModel::MaskKeyHash::operator()(
+    const MaskKey& k) const noexcept {
+  return static_cast<std::size_t>(
+      hash_combine(hash_combine(hash_combine(hash_combine(k.salt, k.k1), k.k2),
+                                k.count),
+                   k.z_bits));
 }
 
 const BitVec& ElectricalModel::threshold_mask_cached(std::uint64_t salt,
@@ -103,16 +233,30 @@ const BitVec& ElectricalModel::threshold_mask_cached(std::uint64_t salt,
                                                      std::uint64_t k2,
                                                      std::size_t count,
                                                      float z_eff) const {
-  const auto key = std::make_tuple(salt, k1, k2, count,
-                                   std::bit_cast<std::uint32_t>(z_eff));
+  constexpr std::size_t kCapacity = 4096;  // bound memory.
+  const MaskKey key{salt, k1, k2, count, std::bit_cast<std::uint32_t>(z_eff)};
   auto it = threshold_mask_cache_.find(key);
-  if (it != threshold_mask_cache_.end()) return it->second;
+  if (it != threshold_mask_cache_.end()) {
+    threshold_mask_order_.splice(threshold_mask_order_.end(),
+                                 threshold_mask_order_, it->second.order_it);
+    return it->second.mask;
+  }
   SIMRA_PROF_SCOPE("electrical/threshold_mask_compute");
-  if (threshold_mask_cache_.size() >= 4096) threshold_mask_cache_.clear();
-  const std::span<const float> zetas = deviates(salt, k1, k2, count);
+  while (threshold_mask_cache_.size() >= kCapacity) {
+    threshold_mask_cache_.erase(threshold_mask_order_.front());
+    threshold_mask_order_.pop_front();
+  }
+  // Compared in the uniform domain: zeta < z_eff <=> u < normal_cdf(z_eff)
+  // (the deviate is inverse_normal_cdf(u) and the CDF is monotone), so the
+  // span fill skips the inverse CDF — by far the dominant cost of a miss.
+  const std::span<const float> us = uniforms(salt, k1, k2, count);
+  const auto u_eff =
+      static_cast<float>(normal_cdf(static_cast<double>(z_eff)));
+  threshold_mask_order_.push_back(key);
   return threshold_mask_cache_
-      .emplace(key, kernels::threshold_mask(zetas, z_eff))
-      .first->second;
+      .emplace(key, MaskEntry{kernels::threshold_mask(us, u_eff),
+                              std::prev(threshold_mask_order_.end())})
+      .first->second.mask;
 }
 
 std::uint64_t group_key_of(std::span<const RowAddr> rows) {
@@ -455,7 +599,7 @@ ChargeShareResult ElectricalModel::resolve_charge_share(
   return out;
 }
 
-BitVec ElectricalModel::write_overdrive_mask(const BitlineContext& ctx,
+const BitVec& ElectricalModel::write_overdrive_mask(const BitlineContext& ctx,
                                              RowAddr local_row,
                                              unsigned differing_fields,
                                              const EnvironmentState& env,
@@ -475,7 +619,7 @@ BitVec ElectricalModel::write_overdrive_mask(const BitlineContext& ctx,
       ctx.columns, z_eff);
 }
 
-BitVec ElectricalModel::copy_stable_mask(const BitlineContext& ctx,
+const BitVec& ElectricalModel::copy_stable_mask(const BitlineContext& ctx,
                                          RowAddr dest_row, std::size_t n_dest,
                                          const BitVec& source,
                                          const EnvironmentState& env) const {

@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <list>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <tuple>
 #include <unordered_map>
@@ -85,6 +87,48 @@ struct ChargeShareResult {
   std::size_t ties = 0;  ///< columns with exactly zero net imbalance.
 };
 
+/// Thread-safe LRU cache of deviate spans, shared by the slot models of
+/// one physical chip: every slot's `Chip` is seeded with the same chip
+/// seed (one chip, one variation field), so without sharing each slot
+/// recomputes identical spans. Spans are handed out as shared_ptr —
+/// eviction here only drops the cache's reference, never a span a model
+/// is still holding — and computed under the lock, so concurrent slots
+/// requesting the same span dedupe instead of racing. Purely a memo of
+/// the deterministic variation field: sharing cannot change any value.
+class SharedDeviateCache {
+ public:
+  /// `uniform` selects the span flavor: raw hashed uniforms (for
+  /// monotone threshold compares) or normal deviates (for value use).
+  /// The returned block holds `count` floats and stays valid for the
+  /// lifetime of the shared_ptr regardless of eviction.
+  std::shared_ptr<const float[]> get_or_compute(std::uint64_t salt,
+                                               std::uint64_t k1,
+                                               std::uint64_t k2,
+                                               std::size_t count, bool uniform,
+                                               const VariationField& field);
+
+ private:
+  struct Key {
+    std::uint64_t salt = 0;
+    std::uint64_t k1 = 0;
+    std::uint64_t k2 = 0;
+    std::size_t count = 0;
+    bool uniform = false;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept;
+  };
+  struct Entry {
+    std::shared_ptr<const float[]> values;
+    std::list<Key>::iterator order_it;
+  };
+
+  std::mutex mutex_;
+  std::list<Key> order_;  ///< recency order, front = coldest.
+  std::unordered_map<Key, Entry, KeyHash> map_;
+};
+
 /// The analog behaviour model: charge sharing, sensing margins, write
 /// overdrive, and copy stability, with persistent process variation.
 ///
@@ -94,6 +138,13 @@ struct ChargeShareResult {
 class ElectricalModel {
  public:
   ElectricalModel(const VendorProfile* profile, const VariationField* variation);
+
+  /// Attaches the chip-level shared deviate cache (non-owning; nullptr
+  /// detaches). On a local-cache miss the model consults `cache` before
+  /// computing, so sibling slot models of the same chip reuse spans.
+  void share_deviates(SharedDeviateCache* cache) noexcept {
+    shared_deviates_ = cache;
+  }
 
   /// Classifies an APA timing pair against the vendor's milestones.
   ApaDecision classify_apa(Nanoseconds t1, Nanoseconds t2) const;
@@ -112,18 +163,22 @@ class ElectricalModel {
 
   /// Per-cell stability of a WR overdrive into `group_rows` simultaneously
   /// open rows (the §3.2 SMRA experiment). Returns, for one destination
-  /// row, the mask of cells that accept the written value.
-  BitVec write_overdrive_mask(const BitlineContext& ctx, RowAddr local_row,
-                              unsigned differing_fields,
-                              const EnvironmentState& env,
-                              const ApaDecision& apa) const;
+  /// row, the mask of cells that accept the written value. The reference
+  /// aliases the internal mask memo: use it before the next electrical
+  /// call (copy if it must outlive one).
+  const BitVec& write_overdrive_mask(const BitlineContext& ctx,
+                                     RowAddr local_row,
+                                     unsigned differing_fields,
+                                     const EnvironmentState& env,
+                                     const ApaDecision& apa) const;
 
   /// Per-cell stability of an SA-driven copy into one destination row
   /// (Multi-RowCopy / RowClone regime). `n_dest` is the total number of
   /// destination rows in the operation; `source` is the data being driven.
-  BitVec copy_stable_mask(const BitlineContext& ctx, RowAddr dest_row,
-                          std::size_t n_dest, const BitVec& source,
-                          const EnvironmentState& env) const;
+  /// Same aliasing rule as write_overdrive_mask.
+  const BitVec& copy_stable_mask(const BitlineContext& ctx, RowAddr dest_row,
+                                 std::size_t n_dest, const BitVec& source,
+                                 const EnvironmentState& env) const;
 
   /// Whether the sense amplifier of column `c` had latched the source
   /// value before the second ACT connected the other rows (persistent
@@ -160,13 +215,14 @@ class ElectricalModel {
     std::uint64_t k1 = 0;
     std::uint64_t k2 = 0;
     std::size_t count = 0;
+    bool uniform = false;
     bool operator==(const DeviateKey&) const = default;
   };
   struct DeviateKeyHash {
     std::size_t operator()(const DeviateKey& k) const noexcept;
   };
   struct DeviateEntry {
-    std::vector<float> values;
+    std::shared_ptr<const float[]> values;
     std::list<DeviateKey>::iterator order_it;
   };
 
@@ -181,8 +237,20 @@ class ElectricalModel {
   std::span<const float> deviates(std::uint64_t salt, std::uint64_t k1,
                                   std::uint64_t k2, std::size_t count) const;
 
+  /// Same identity/caching as `deviates`, but the span holds the raw
+  /// hashed uniforms the deviates derive from. Mask paths compare these
+  /// against normal_cdf(threshold) — monotone-equivalent to comparing
+  /// the deviate against the threshold, with no inverse CDF on the fill.
+  std::span<const float> uniforms(std::uint64_t salt, std::uint64_t k1,
+                                  std::uint64_t k2, std::size_t count) const;
+
+  std::span<const float> spans(std::uint64_t salt, std::uint64_t k1,
+                               std::uint64_t k2, std::size_t count,
+                               bool uniform) const;
+
   const VendorProfile* profile_;
   const VariationField* variation_;
+  SharedDeviateCache* shared_deviates_ = nullptr;
   /// LRU over deviate spans: `deviate_order_` is recency order (front =
   /// coldest); hits are spliced to the back, so trimming the front keeps
   /// the spans the current figure is touching.
@@ -199,12 +267,29 @@ class ElectricalModel {
   /// copy_stable_mask: the mask is a pure function of the deviate span
   /// identity (salt, k1, k2, count) and the folded threshold, and the
   /// trial loops re-request the same (row, threshold) point every trial.
+  /// LRU-evicted (like the deviate cache) instead of wiped wholesale, so
+  /// paper-scale sweeps whose working set exceeds the capacity degrade to
+  /// recomputing the coldest masks rather than thrashing everything.
   const BitVec& threshold_mask_cached(std::uint64_t salt, std::uint64_t k1,
                                       std::uint64_t k2, std::size_t count,
                                       float z_eff) const;
-  mutable std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t,
-                              std::size_t, std::uint32_t>,
-                   BitVec>
+  struct MaskKey {
+    std::uint64_t salt = 0;
+    std::uint64_t k1 = 0;
+    std::uint64_t k2 = 0;
+    std::size_t count = 0;
+    std::uint32_t z_bits = 0;
+    bool operator==(const MaskKey&) const = default;
+  };
+  struct MaskKeyHash {
+    std::size_t operator()(const MaskKey& k) const noexcept;
+  };
+  struct MaskEntry {
+    BitVec mask;
+    std::list<MaskKey>::iterator order_it;
+  };
+  mutable std::list<MaskKey> threshold_mask_order_;
+  mutable std::unordered_map<MaskKey, MaskEntry, MaskKeyHash>
       threshold_mask_cache_;
 };
 

@@ -1,19 +1,75 @@
 #include "dram/kernels.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
+#include <cstring>
 #include <stdexcept>
+#include <vector>
 
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "dram/kernels_simd.hpp"
 #include "dram/process_variation.hpp"
 
 namespace simra::dram::kernels {
 
 namespace {
+
 constexpr std::size_t kWordBits = 64;
+
+/// -1 = not yet resolved from the environment; test overrides win.
+std::atomic<int> g_tier{-1};
+
+SimdTier resolve_tier() {
+  const std::string mode = env_string("SIMRA_SIMD", "auto");
+  if (mode == "scalar") return SimdTier::scalar;
+  // "avx2" and "auto" both want the vector tier; the difference is only
+  // intent, and an unsupported machine degrades to scalar either way.
+  return avx2_supported() ? SimdTier::avx2 : SimdTier::scalar;
+}
+
+double hash_to_uniform(std::uint64_t h) {
+  // 53 high bits -> (0, 1); offset by half a ulp to avoid exact 0.
+  return (static_cast<double>(h >> 11) + 0.5) * 0x1.0p-53;
+}
+
 }  // namespace
+
+bool avx2_supported() noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  return avx2::compiled() && __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+SimdTier active_simd() noexcept {
+  const int cached = g_tier.load(std::memory_order_relaxed);
+  if (cached >= 0) return static_cast<SimdTier>(cached);
+  const SimdTier tier = resolve_tier();
+  int expected = -1;
+  g_tier.compare_exchange_strong(expected, static_cast<int>(tier),
+                                 std::memory_order_relaxed);
+  return tier;
+}
+
+void set_simd_for_test(std::optional<SimdTier> tier) noexcept {
+  if (tier && *tier == SimdTier::avx2 && !avx2_supported()) return;
+  g_tier.store(tier ? static_cast<int>(*tier) : -1,
+               std::memory_order_relaxed);
+}
+
+const char* simd_name(SimdTier tier) noexcept {
+  return tier == SimdTier::avx2 ? "avx2" : "scalar";
+}
 
 BitVec threshold_mask(std::span<const float> zetas, float z_eff) {
   BitVec mask(zetas.size());
+  if (active_simd() == SimdTier::avx2) {
+    avx2::threshold_mask(zetas, z_eff, mask);
+    return mask;
+  }
   const std::size_t n = zetas.size();
   std::size_t c = 0;
   for (std::size_t wi = 0; c < n; ++wi) {
@@ -29,6 +85,20 @@ BitVec threshold_mask(std::span<const float> zetas, float z_eff) {
 BitVec latch_race_mask(std::span<const float> race, double latch_fraction) {
   BitVec mask(race.size());
   const std::size_t n = race.size();
+  if (active_simd() == SimdTier::avx2) {
+    // The transcendental stays scalar (bit-identity with libm); only the
+    // compare + pack stage vectorizes, one stack-resident word chunk at a
+    // time so the hot loop never allocates.
+    alignas(32) double cdf[kWordBits];
+    std::size_t c = 0;
+    for (std::size_t wi = 0; c < n; ++wi) {
+      const std::size_t limit = std::min(kWordBits, n - c);
+      for (std::size_t b = 0; b < limit; ++b) cdf[b] = normal_cdf(race[c + b]);
+      mask.set_word(wi, avx2::compare_lt_word(cdf, limit, latch_fraction));
+      c += limit;
+    }
+    return mask;
+  }
   std::size_t c = 0;
   for (std::size_t wi = 0; c < n; ++wi) {
     std::uint64_t word = 0;
@@ -46,6 +116,10 @@ BitVec offset_noise_mask(std::span<const float> offsets,
   if (offsets.size() != noise.size())
     throw std::invalid_argument("offset/noise span size mismatch");
   BitVec mask(offsets.size());
+  if (active_simd() == SimdTier::avx2) {
+    avx2::offset_noise_mask(offsets, noise, noise_scale, mask);
+    return mask;
+  }
   const std::size_t n = offsets.size();
   std::size_t c = 0;
   for (std::size_t wi = 0; c < n; ++wi) {
@@ -71,7 +145,17 @@ std::size_t lag8_disagreement(const BitVec& v, std::size_t& total) {
   const std::size_t last_sample = ((n - 9) / 16) * 16;  // largest valid c.
   std::size_t disagree = 0;
   const auto& words = v.words();
-  for (std::size_t wi = 0; wi * kWordBits <= last_sample; ++wi) {
+  std::size_t wi = 0;
+  if (active_simd() == SimdTier::avx2) {
+    // Words whose four sample bits are all valid (base + 48 <=
+    // last_sample) take the vector path; the boundary word falls through
+    // to the scalar loop below.
+    const std::size_t full =
+        last_sample >= 48 ? (last_sample - 48) / kWordBits + 1 : 0;
+    disagree += avx2::lag8_full_words(words.data(), full);
+    wi = full;
+  }
+  for (; wi * kWordBits <= last_sample; ++wi) {
     const std::uint64_t word = words[wi];
     const std::uint64_t diff = word ^ (word >> 8);
     std::uint64_t sample = kSampleBits;
@@ -95,6 +179,7 @@ void column_popcounts(std::span<const BitVec* const> rows,
   for (const BitVec* row : rows)
     if (row->size() < columns)
       throw std::invalid_argument("column_popcounts row narrower than counts");
+  const bool use_avx2 = active_simd() == SimdTier::avx2;
   const std::size_t n_words = (columns + kWordBits - 1) / kWordBits;
   for (std::size_t wi = 0; wi < n_words; ++wi) {
     // Bit-sliced ripple-carry accumulation: plane p holds bit p of every
@@ -111,6 +196,17 @@ void column_popcounts(std::span<const BitVec* const> rows,
     }
     const std::size_t base = wi * kWordBits;
     const std::size_t limit = std::min(kWordBits, columns - base);
+    if (use_avx2) {
+      // Vectorized bit -> byte expansion of the six planes.
+      if (limit == kWordBits) {
+        avx2::column_counts_word(planes, counts.data() + base);
+      } else {
+        std::uint8_t tail[kWordBits];
+        avx2::column_counts_word(planes, tail);
+        std::memcpy(counts.data() + base, tail, limit);
+      }
+      continue;
+    }
     for (std::size_t b = 0; b < limit; ++b) {
       std::uint8_t count = 0;
       for (int p = 0; p < 6; ++p)
@@ -118,6 +214,25 @@ void column_popcounts(std::span<const BitVec* const> rows,
       counts[base + b] = count;
     }
   }
+}
+
+void hashed_normal_fill(std::uint64_t prefix, std::span<float> out) {
+  if (active_simd() == SimdTier::avx2) {
+    avx2::hashed_normal_fill(prefix, out);
+    return;
+  }
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = static_cast<float>(
+        inverse_normal_cdf(hash_to_uniform(hash_combine(prefix, i))));
+}
+
+void hashed_uniform_fill(std::uint64_t prefix, std::span<float> out) {
+  if (active_simd() == SimdTier::avx2) {
+    avx2::hashed_uniform_fill(prefix, out);
+    return;
+  }
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = static_cast<float>(hash_to_uniform(hash_combine(prefix, i)));
 }
 
 }  // namespace simra::dram::kernels

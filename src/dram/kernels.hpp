@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 
 #include "common/bitvec.hpp"
@@ -13,6 +14,32 @@ namespace simra::dram::kernels {
 /// the 64 per-column results of each word with shifts instead of per-bit
 /// BitVec::set calls — the value-preservation invariant the
 /// golden-equivalence suite enforces.
+///
+/// Each kernel additionally carries an AVX2 implementation selected by
+/// runtime dispatch (`active_simd()`); the vector paths replicate the
+/// scalar operation order exactly (no FMA contraction, same IEEE
+/// exactly-rounded mul/add/div sequence), so scalar and AVX2 runs are
+/// bit-identical — enforced by the same golden suite under
+/// SIMRA_SIMD=scalar vs avx2.
+
+/// Instruction tier the kernels execute with.
+enum class SimdTier { scalar, avx2 };
+
+/// Whether this build + CPU can run the AVX2 paths (compiled in and
+/// reported by cpuid).
+bool avx2_supported() noexcept;
+
+/// The resolved tier: `SIMRA_SIMD` = "scalar" forces scalar, "avx2"
+/// requests AVX2 (falling back to scalar when unsupported), anything
+/// else / unset auto-detects. Read once and cached; test overrides win.
+SimdTier active_simd() noexcept;
+
+/// Overrides (or with nullopt, restores) the cached dispatch decision.
+/// A forced avx2 override on a non-AVX2 machine is ignored.
+void set_simd_for_test(std::optional<SimdTier> tier) noexcept;
+
+/// Lower-case tier name ("scalar", "avx2") for manifests and bench rows.
+const char* simd_name(SimdTier tier) noexcept;
 
 /// mask[c] = (zetas[c] < z_eff). The shared margin-vs-deviate compare of
 /// write_overdrive_mask and copy_stable_mask.
@@ -39,5 +66,19 @@ std::size_t lag8_disagreement(const BitVec& v, std::size_t& total);
 /// columns entries and is overwritten.
 void column_popcounts(std::span<const BitVec* const> rows,
                       std::span<std::uint8_t> counts);
+
+/// out[i] = float(inverse_normal_cdf(uniform(hash_combine(prefix, i)))) —
+/// the batched hashed-normal evaluation behind
+/// VariationField::normal_fill, hoisted here so the splitmix64 rounds and
+/// the inverse-CDF central branch can run vectorized. Bit-identical to
+/// the scalar per-index calls at every tier.
+void hashed_normal_fill(std::uint64_t prefix, std::span<float> out);
+
+/// out[i] = float(uniform(hash_combine(prefix, i))) — the hashed uniforms
+/// underneath hashed_normal_fill, without the inverse-CDF mapping.
+/// Threshold compares against a normal deviate are monotone-equivalent in
+/// the uniform domain (zeta < z <=> u < normal_cdf(z)), so mask paths use
+/// these spans and skip the inverse CDF entirely.
+void hashed_uniform_fill(std::uint64_t prefix, std::span<float> out);
 
 }  // namespace simra::dram::kernels

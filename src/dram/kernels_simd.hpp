@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/bitvec.hpp"
+
+/// Internal interface between the dispatching kernels (kernels.cpp) and
+/// the AVX2 translation unit (kernels_avx2.cpp, compiled with -mavx2 and
+/// -ffp-contract=off). Not installed; callers use dram/kernels.hpp.
+///
+/// Contract: every function here computes bit-identical results to the
+/// scalar loop in kernels.cpp — same IEEE operation order, no fused
+/// multiply-add — and is only invoked when `active_simd()` resolved to
+/// SimdTier::avx2 (which implies `compiled()` and cpuid support).
+
+namespace simra::dram::kernels::avx2 {
+
+/// Whether this binary carries the AVX2 code paths at all (the TU is
+/// always linked; on a toolchain without AVX2 support the kernels below
+/// become unreachable aborts and this returns false).
+bool compiled() noexcept;
+
+/// Fills `mask` (already sized to zetas.size()) with zetas[c] < z_eff.
+void threshold_mask(std::span<const float> zetas, float z_eff, BitVec& mask);
+
+/// Packs values[b] < threshold for b in [0, limit) into one word
+/// (limit <= 64). Used by latch_race_mask on a stack chunk of
+/// scalar-computed normal CDF values: the transcendental stays scalar so
+/// results match libm exactly; only compare + pack vectorize.
+std::uint64_t compare_lt_word(const double* values, std::size_t limit,
+                              double threshold);
+
+/// Fills `mask` with offsets[c] + noise_scale * noise[c] > 0.
+void offset_noise_mask(std::span<const float> offsets,
+                       std::span<const double> noise, double noise_scale,
+                       BitVec& mask);
+
+/// Sum of popcount((w ^ (w >> 8)) & kSampleBits) over words[0..count),
+/// kSampleBits = 0x0001'0001'0001'0001 — the full-word body of
+/// lag8_disagreement (the boundary word stays with the caller).
+std::size_t lag8_full_words(const std::uint64_t* words, std::size_t count);
+
+/// Expands the six bit-planes of one 64-column word into 64 per-column
+/// counts: out[b] = sum_p ((planes[p] >> b) & 1) << p.
+void column_counts_word(const std::uint64_t planes[6], std::uint8_t* out);
+
+/// Vectorized body of kernels::hashed_normal_fill (4 lanes of splitmix64,
+/// uniform mapping, and the inverse-CDF central branch; tail-probability
+/// lanes and the remainder fall back to the exact scalar routine).
+void hashed_normal_fill(std::uint64_t prefix, std::span<float> out);
+
+/// Vectorized body of kernels::hashed_uniform_fill (the splitmix64 and
+/// uniform-mapping stages of hashed_normal_fill, no inverse CDF).
+void hashed_uniform_fill(std::uint64_t prefix, std::span<float> out);
+
+}  // namespace simra::dram::kernels::avx2

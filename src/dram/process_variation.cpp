@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/rng.hpp"
+#include "dram/kernels.hpp"
 
 namespace simra::dram {
 
@@ -74,9 +75,18 @@ void VariationField::normal_fill(std::uint64_t k0, std::uint64_t k1,
                                  std::span<float> out) const {
   const std::uint64_t prefix =
       hash_combine(hash_combine(hash_combine(seed_, k0), k1), k2);
-  for (std::size_t i = 0; i < out.size(); ++i)
-    out[i] = static_cast<float>(
-        inverse_normal_cdf(hash_to_uniform(hash_combine(prefix, i))));
+  // Batched, SIMD-dispatched evaluation of
+  // float(inverse_normal_cdf(hash_to_uniform(hash_combine(prefix, i)))) —
+  // bit-identical to the per-index calls at every tier.
+  kernels::hashed_normal_fill(prefix, out);
+}
+
+void VariationField::uniform_fill(std::uint64_t k0, std::uint64_t k1,
+                                  std::uint64_t k2,
+                                  std::span<float> out) const {
+  const std::uint64_t prefix =
+      hash_combine(hash_combine(hash_combine(seed_, k0), k1), k2);
+  kernels::hashed_uniform_fill(prefix, out);
 }
 
 double VariationField::uniform(std::uint64_t k0, std::uint64_t k1,

@@ -19,11 +19,14 @@ constexpr std::uint64_t kStuckTag = 0x7374'7563'6b21'0000ULL;
 
 std::uint64_t domain_seed(std::uint64_t fault_seed, std::uint64_t tag,
                           std::uint32_t module_index, std::uint32_t chip_index,
-                          unsigned attempt) {
+                          unsigned attempt, unsigned subtask) {
   std::uint64_t seed = hash_combine(fault_seed, tag);
   seed = hash_combine(seed, module_index);
   seed = hash_combine(seed, chip_index);
-  return hash_combine(seed, attempt);
+  seed = hash_combine(seed, attempt);
+  // Keep subtask 0 (the whole-chip injector) on the historical key so
+  // chip-level fault decisions are unchanged by the slot decomposition.
+  return subtask == 0 ? seed : hash_combine(seed, subtask);
 }
 
 constexpr std::size_t kTraceCap = 1024;
@@ -44,18 +47,20 @@ FaultCounters& FaultCounters::operator+=(const FaultCounters& o) noexcept {
 
 ChipInjector::ChipInjector(const FaultSpec& spec, std::uint64_t fault_seed,
                            std::uint32_t module_index,
-                           std::uint32_t chip_index, unsigned attempt)
+                           std::uint32_t chip_index, unsigned attempt,
+                           unsigned subtask)
     : spec_(spec),
       attempt_(attempt),
-      // No attempt key: stuck cells persist across retries of a chip.
+      // No attempt or subtask key: stuck cells persist across retries of a
+      // chip and are shared by every slot of it.
       stuck_seed_(domain_seed(fault_seed, kStuckTag, module_index, chip_index,
-                              /*attempt=*/0)),
+                              /*attempt=*/0, /*subtask=*/0)),
       transport_rng_(domain_seed(fault_seed, kTransportTag, module_index,
-                                 chip_index, attempt)),
-      cell_rng_(
-          domain_seed(fault_seed, kCellTag, module_index, chip_index, attempt)),
+                                 chip_index, attempt, subtask)),
+      cell_rng_(domain_seed(fault_seed, kCellTag, module_index, chip_index,
+                            attempt, subtask)),
       task_rng_(domain_seed(fault_seed, kTaskTag, module_index, chip_index,
-                            attempt)) {}
+                            attempt, subtask)) {}
 
 void ChipInjector::record(const char* domain, const std::string& detail) {
   // Every injected fault becomes a structured event (independent of

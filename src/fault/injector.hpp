@@ -63,19 +63,21 @@ struct StuckMask {
   BitVec value;
 };
 
-/// All fault state for one chip-task attempt. Each injection domain draws
+/// All fault state for one chip-task attempt (or, with `subtask != 0`,
+/// one sweep-point subtask of an attempt). Each injection domain draws
 /// from its own Rng stream seeded from
-/// (fault_seed, domain tag, module, chip, attempt), so the fault trace is
-/// a pure function of the spec + seed + plan coordinates — never of
-/// scheduling. A chip task runs single-threaded, so the sequential
-/// per-domain streams are safe. Stuck-at masks additionally drop the
-/// attempt key (a weak cell is a property of the chip, not of the retry)
+/// (fault_seed, domain tag, module, chip, attempt, subtask), so the fault
+/// trace is a pure function of the spec + seed + plan coordinates — never
+/// of scheduling. Each injector is confined to the one thread running its
+/// (sub)task, so the sequential per-domain streams are safe. Stuck-at
+/// masks additionally drop the attempt *and* subtask keys (a weak cell is
+/// a property of the chip, not of the retry or of which slot touches it)
 /// and derive a stateless per-row stream, so access order is irrelevant.
 class ChipInjector {
  public:
   ChipInjector(const FaultSpec& spec, std::uint64_t fault_seed,
                std::uint32_t module_index, std::uint32_t chip_index,
-               unsigned attempt);
+               unsigned attempt, unsigned subtask = 0);
 
   const FaultSpec& spec() const noexcept { return spec_; }
   unsigned attempt() const noexcept { return attempt_; }

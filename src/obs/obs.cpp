@@ -27,12 +27,15 @@ std::atomic<int> g_enabled{-1};
 
 void flush_at_exit() { flush(); }
 
-/// SIMRA_* variables whose value only affects scheduling or artifact
-/// placement, never the recorded content — excluded from the
+/// SIMRA_* variables whose value only affects scheduling, dispatch, or
+/// artifact placement, never the recorded content — excluded from the
 /// deterministic env surface so artifacts stay byte-comparable across
-/// thread counts and output directories.
+/// thread counts, SIMD tiers, and output directories. (SIMRA_SIMD
+/// qualifies because every vector kernel is bit-identical to scalar by
+/// contract; the resolved tier is surfaced via the host section.)
 bool scheduling_only(const std::string& name) {
-  return name == "SIMRA_THREADS" || name == "SIMRA_OBS_DIR";
+  return name == "SIMRA_THREADS" || name == "SIMRA_OBS_DIR" ||
+         name == "SIMRA_SIMD";
 }
 
 std::vector<std::pair<std::string, std::string>> env_surface() {
@@ -51,6 +54,7 @@ std::vector<std::pair<std::string, std::string>> env_surface() {
 
 std::mutex g_manifest_mutex;
 RunManifest g_manifest;
+std::vector<std::pair<std::string, std::string>> g_host_fields;
 
 }  // namespace
 
@@ -113,7 +117,7 @@ void RunManifest::set(const std::string& key, const std::string& value) {
 
 std::string RunManifest::render_json(bool with_host) const {
   std::ostringstream os;
-  os << "{\"schemas\": {\"trace\": 1, \"events\": 1, \"bench\": 4}, "
+  os << "{\"schemas\": {\"trace\": 1, \"events\": 1, \"bench\": 5}, "
      << "\"build\": {\"compiler\": \"" << json_escape(__VERSION__)
      << "\", \"assertions\": "
 #ifdef NDEBUG
@@ -136,7 +140,11 @@ std::string RunManifest::render_json(bool with_host) const {
     os << ", \"host\": {\"threads_env\": \""
        << json_escape(env_string("SIMRA_THREADS", "")) << "\", \"obs_dir\": \""
        << json_escape(output_dir()) << "\", \"hardware_concurrency\": "
-       << std::thread::hardware_concurrency() << "}";
+       << std::thread::hardware_concurrency();
+    for (const auto& [key, value] : g_host_fields)
+      os << ", \"" << json_escape(key) << "\": \"" << json_escape(value)
+         << "\"";
+    os << "}";
   }
   os << "}";
   return os.str();
@@ -150,6 +158,17 @@ void set_manifest_field(const std::string& key, const std::string& value) {
 std::string render_manifest_json(bool with_host) {
   std::lock_guard<std::mutex> lock(g_manifest_mutex);
   return g_manifest.render_json(with_host);
+}
+
+void set_host_field(const std::string& key, const std::string& value) {
+  std::lock_guard<std::mutex> lock(g_manifest_mutex);
+  for (auto& field : g_host_fields) {
+    if (field.first == key) {
+      field.second = value;
+      return;
+    }
+  }
+  g_host_fields.emplace_back(key, value);
 }
 
 void flush() {
@@ -171,6 +190,7 @@ void reset_log() {
   Log::instance().reset();
   std::lock_guard<std::mutex> lock(g_manifest_mutex);
   g_manifest = RunManifest{};
+  g_host_fields.clear();
 }
 
 }  // namespace simra::obs

@@ -48,6 +48,11 @@ class RunManifest {
 void set_manifest_field(const std::string& key, const std::string& value);
 std::string render_manifest_json(bool with_host);
 
+/// Sets one scheduling-dependent field of the manifest's "host" section
+/// (e.g. the resolved harness worker count). Host fields render only when
+/// `with_host` is set — manifest.json, never the byte-compared artifacts.
+void set_host_field(const std::string& key, const std::string& value);
+
 /// Writes trace.json, events.jsonl, metrics.prom, and manifest.json into
 /// output_dir() (created if missing). No-op when the layer is disabled.
 void flush();

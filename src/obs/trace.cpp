@@ -64,6 +64,28 @@ void TaskBuffer::add_event(std::string type, Fields fields) {
   events_.push_back({std::move(type), std::move(fields)});
 }
 
+void TaskBuffer::absorb(const TaskBuffer& child, double ts_offset_ns) {
+  for (CommandSpan span : child.command_spans()) {
+    span.ts_ns += ts_offset_ns;
+    record_command(span);
+  }
+  absorbed_dropped_ += child.commands_dropped();
+  for (RichSpan span : child.spans()) {
+    span.ts_ns += ts_offset_ns;
+    add_span(std::move(span));
+  }
+  for (const Event& event : child.events()) add_event(event.type, event.fields);
+  events_dropped_ += child.events_dropped();
+}
+
+double TaskBuffer::end_ns() const {
+  double end = 0.0;
+  for (const CommandSpan& c : ring_)
+    end = std::max(end, c.ts_ns + static_cast<double>(c.dur_ns));
+  for (const RichSpan& s : spans_) end = std::max(end, s.ts_ns + s.dur_ns);
+  return end;
+}
+
 std::vector<CommandSpan> TaskBuffer::command_spans() const {
   if (ring_head_ <= ring_capacity_) return ring_;
   std::vector<CommandSpan> out;
@@ -75,7 +97,8 @@ std::vector<CommandSpan> TaskBuffer::command_spans() const {
 }
 
 std::uint64_t TaskBuffer::commands_dropped() const noexcept {
-  return ring_head_ > ring_capacity_ ? ring_head_ - ring_capacity_ : 0;
+  return (ring_head_ > ring_capacity_ ? ring_head_ - ring_capacity_ : 0) +
+         absorbed_dropped_;
 }
 
 std::size_t ring_capacity() {

@@ -65,9 +65,22 @@ class TaskBuffer {
   std::uint32_t track() const noexcept { return track_; }
   const std::string& label() const noexcept { return label_; }
 
+  /// Appends another buffer's retained contents to this one, shifting its
+  /// virtual timestamps by `ts_offset_ns` — the merge step that folds a
+  /// chip task's per-subtask buffers into one chip stream in deterministic
+  /// (attempt, subtask) order. Dropped-span/event tallies carry over, so
+  /// the absorbing buffer still reports the true recorded totals.
+  void absorb(const TaskBuffer& child, double ts_offset_ns);
+
+  /// End of the recorded virtual timeline: max ts + dur over retained
+  /// command and rich spans (0 when empty).
+  double end_ns() const;
+
   /// Ring contents in recording order (oldest retained first).
   std::vector<CommandSpan> command_spans() const;
-  std::uint64_t commands_recorded() const noexcept { return ring_head_; }
+  std::uint64_t commands_recorded() const noexcept {
+    return ring_head_ + absorbed_dropped_;
+  }
   std::uint64_t commands_dropped() const noexcept;
   const std::vector<RichSpan>& spans() const noexcept { return spans_; }
   const std::vector<Event>& events() const noexcept { return events_; }
@@ -88,6 +101,10 @@ class TaskBuffer {
   std::vector<RichSpan> spans_;
   std::vector<Event> events_;
   std::uint64_t events_dropped_ = 0;
+  /// Commands already dropped by absorbed child rings, counted into
+  /// commands_recorded()/commands_dropped() without disturbing this
+  /// ring's own head index.
+  std::uint64_t absorbed_dropped_ = 0;
 };
 
 /// Ring capacity from SIMRA_TRACE_BUF (default 8192, floor 16), cached.

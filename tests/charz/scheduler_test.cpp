@@ -1,0 +1,219 @@
+// Unit tests for the work-stealing pool plus the scheduling invariants the
+// sweep-point decomposition must preserve: figure tables byte-identical at
+// any SIMRA_THREADS, SIMD tier invisible in the output, and quarantine
+// coverage unchanged by how chip work is split into slot subtasks.
+
+#include "charz/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <iomanip>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "charz/figures.hpp"
+#include "charz/runner.hpp"
+#include "dram/kernels.hpp"
+#include "support/scoped_env.hpp"
+
+namespace simra::charz {
+namespace {
+
+using simra::testing::ScopedFaultSpec;
+using simra::testing::ScopedThreads;
+
+TEST(WorkStealingPool, RunsEveryTaskExactlyOnce) {
+  WorkStealingPool pool(4);
+  std::atomic<int> ran{0};
+  {
+    WorkStealingPool::Group group(pool);
+    for (int i = 0; i < 1000; ++i)
+      group.spawn([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    group.wait();
+  }
+  EXPECT_EQ(ran.load(), 1000);
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.spawned, 1000u);
+  std::uint64_t executed = 0;
+  for (const std::uint64_t n : stats.tasks_per_worker) executed += n;
+  EXPECT_EQ(executed, 1000u);
+}
+
+TEST(WorkStealingPool, NestedGroupsForkJoinWithoutDeadlock) {
+  // Mirrors the harness shape: an outer chip-task group whose tasks each
+  // open an inner slot group on the same pool and join it.
+  WorkStealingPool pool(3);
+  std::atomic<int> leaves{0};
+  WorkStealingPool::Group outer(pool);
+  for (int i = 0; i < 8; ++i) {
+    outer.spawn([&pool, &leaves] {
+      WorkStealingPool::Group inner(pool);
+      for (int j = 0; j < 16; ++j)
+        inner.spawn(
+            [&leaves] { leaves.fetch_add(1, std::memory_order_relaxed); });
+      inner.wait();
+    });
+  }
+  outer.wait();
+  EXPECT_EQ(leaves.load(), 8 * 16);
+}
+
+TEST(WorkStealingPool, FirstTaskExceptionRethrownFromWait) {
+  WorkStealingPool pool(2);
+  WorkStealingPool::Group group(pool);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 32; ++i) {
+    group.spawn([&ran, i] {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      if (i == 7) throw std::runtime_error("slot 7 failed");
+    });
+  }
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 32) << "an escaped exception must not cancel peers";
+}
+
+TEST(WorkStealingPool, SingleWorkerRunsInlineInSpawnOrder) {
+  WorkStealingPool pool(1);
+  std::vector<int> order;
+  WorkStealingPool::Group group(pool);
+  for (int i = 0; i < 6; ++i)
+    group.spawn([&order, i] { order.push_back(i); });
+  group.wait();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(pool.stats().steals, 0u);
+}
+
+TEST(WorkStealingPool, ZeroWorkersClampsToOne) {
+  WorkStealingPool pool(0);
+  EXPECT_EQ(pool.workers(), 1u);
+}
+
+/// Full-precision figure dump (same shape as the golden suite) so
+/// sub-rendering drift across thread counts or SIMD tiers still fails.
+std::string dump(const FigureData& figure) {
+  std::ostringstream os;
+  os << figure.title << "\n" << figure.to_table().to_text();
+  os << std::hexfloat;
+  for (const auto& row : figure.rows) {
+    for (const auto& k : row.keys) os << k << "|";
+    os << " " << row.stats.min << " " << row.stats.median << " "
+       << row.stats.max << " " << row.stats.mean << " " << row.stats.count
+       << "\n";
+  }
+  return os.str();
+}
+
+TEST(SchedulerDeterminism, FigureTablesIdenticalAcrossThreadCounts) {
+  const Plan plan = Plan::quick();
+  for (auto* generator : {&fig3_smra_timing, &fig10_mrc_timing}) {
+    std::string serial;
+    {
+      ScopedThreads scoped("1");
+      serial = dump(generator(plan));
+    }
+    for (const char* threads : {"3", "16"}) {
+      ScopedThreads scoped(threads);
+      EXPECT_EQ(dump(generator(plan)), serial)
+          << "diverged at SIMRA_THREADS=" << threads;
+    }
+  }
+}
+
+/// Forces one SIMD tier for the scope, then restores env-based resolution.
+class ScopedSimd {
+ public:
+  explicit ScopedSimd(dram::kernels::SimdTier tier) {
+    dram::kernels::set_simd_for_test(tier);
+  }
+  ~ScopedSimd() { dram::kernels::set_simd_for_test(std::nullopt); }
+};
+
+TEST(SchedulerDeterminism, FigureTablesIdenticalAcrossSimdTiers) {
+  if (!dram::kernels::avx2_supported())
+    GTEST_SKIP() << "AVX2 unavailable on this machine";
+  ScopedThreads threads("2");
+  const Plan plan = Plan::quick();
+  for (auto* generator : {&fig3_smra_timing, &fig10_mrc_timing}) {
+    std::string scalar;
+    {
+      ScopedSimd scoped(dram::kernels::SimdTier::scalar);
+      scalar = dump(generator(plan));
+    }
+    ScopedSimd scoped(dram::kernels::SimdTier::avx2);
+    EXPECT_EQ(dump(generator(plan)), scalar)
+        << "AVX2 tier diverged from scalar";
+  }
+}
+
+struct Visits {
+  std::size_t count = 0;
+  void merge(const Visits& other) { count += other.count; }
+};
+
+Plan fault_plan() {
+  Plan p;
+  p.modules = {{dram::VendorProfile::hynix_m(), 2},
+               {dram::VendorProfile::micron_e(), 1}};
+  p.chips_per_module = 2;
+  p.banks_per_chip = 1;
+  p.subarrays_per_bank = 2;
+  p.groups_per_size = 1;
+  p.trials = 2;
+  p.seed = 77;
+  return p;
+}
+
+TEST(SchedulerDeterminism, QuarantineCoverageInvariantAcrossThreadCounts) {
+  // Crashing chips must quarantine atomically (all their slot subtasks
+  // discarded together) and identically no matter how many workers split
+  // the slots.
+  ScopedFaultSpec spec("task.crash_tasks=1:4,retry.max=2");
+  std::optional<Coverage> reference;
+  std::size_t reference_visits = 0;
+  for (const char* threads : {"1", "3", "16"}) {
+    ScopedThreads scoped(threads);
+    const Sweep<Visits> sweep = run_instances<Visits>(
+        fault_plan(), [](Instance&, Visits& v) { ++v.count; });
+    const Coverage& cov = sweep.coverage;
+    if (!reference) {
+      reference = cov;
+      reference_visits = sweep.result.count;
+      EXPECT_EQ(cov.chips_quarantined, 2u);
+      continue;
+    }
+    EXPECT_EQ(cov.chips_attempted, reference->chips_attempted) << threads;
+    EXPECT_EQ(cov.chips_succeeded, reference->chips_succeeded) << threads;
+    EXPECT_EQ(cov.chips_quarantined, reference->chips_quarantined) << threads;
+    EXPECT_EQ(cov.retries, reference->retries) << threads;
+    EXPECT_EQ(sweep.result.count, reference_visits) << threads;
+    ASSERT_EQ(cov.chips.size(), reference->chips.size());
+    for (std::size_t i = 0; i < cov.chips.size(); ++i) {
+      EXPECT_EQ(cov.chips[i].succeeded, reference->chips[i].succeeded)
+          << "chip " << i << " at SIMRA_THREADS=" << threads;
+      EXPECT_EQ(cov.chips[i].attempts, reference->chips[i].attempts)
+          << "chip " << i << " at SIMRA_THREADS=" << threads;
+    }
+  }
+}
+
+TEST(SchedulerDeterminism, WorkerCountResolvesFromEnvironment) {
+  {
+    ScopedThreads scoped("5");
+    EXPECT_EQ(harness_threads(), 5u);
+  }
+  {
+    ScopedThreads scoped("0");
+    EXPECT_GE(harness_threads(), 2u) << "auto mode must keep a sane floor";
+  }
+  {
+    ScopedThreads scoped(nullptr);
+    EXPECT_GE(harness_threads(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace simra::charz

@@ -176,5 +176,161 @@ TEST(KernelsTest, VariationNormalFillMatchesScalar) {
   }
 }
 
+// --- SIMD tier equivalence -------------------------------------------------
+// Every kernel run under the forced AVX2 tier must produce output
+// bit-identical to the forced scalar tier (the contract that lets
+// SIMRA_SIMD stay outside the deterministic env surface). Skipped where
+// the host lacks AVX2 — set_simd_for_test ignores a forced tier the
+// machine can't run.
+
+class ScopedSimd {
+ public:
+  explicit ScopedSimd(kernels::SimdTier tier) {
+    kernels::set_simd_for_test(tier);
+  }
+  ~ScopedSimd() { kernels::set_simd_for_test(std::nullopt); }
+};
+
+class SimdTierEquivalence : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!kernels::avx2_supported())
+      GTEST_SKIP() << "AVX2 unavailable on this machine";
+  }
+};
+
+TEST_F(SimdTierEquivalence, ForcedAvx2OnUnsupportedHostIsIgnored) {
+  // Vacuous here (the fixture skipped already if unsupported), but pins
+  // that a *supported* host honours the override both ways.
+  ScopedSimd scoped(kernels::SimdTier::scalar);
+  EXPECT_EQ(kernels::active_simd(), kernels::SimdTier::scalar);
+  kernels::set_simd_for_test(kernels::SimdTier::avx2);
+  EXPECT_EQ(kernels::active_simd(), kernels::SimdTier::avx2);
+}
+
+TEST_F(SimdTierEquivalence, MaskKernelsBitIdentical) {
+  for (std::size_t n : kSizes) {
+    const auto zetas = random_floats(n, n + 21);
+    Rng rng(n + 22);
+    std::vector<double> noise(n);
+    rng.normal_fill(noise);
+
+    BitVec t_scalar, l_scalar, o_scalar;
+    {
+      ScopedSimd scoped(kernels::SimdTier::scalar);
+      t_scalar = kernels::threshold_mask(zetas, 0.3f);
+      l_scalar = kernels::latch_race_mask(zetas, 0.47);
+      o_scalar = kernels::offset_noise_mask(zetas, noise, 0.35);
+    }
+    ScopedSimd scoped(kernels::SimdTier::avx2);
+    EXPECT_EQ(kernels::threshold_mask(zetas, 0.3f).words(), t_scalar.words())
+        << "threshold_mask n=" << n;
+    EXPECT_EQ(kernels::latch_race_mask(zetas, 0.47).words(), l_scalar.words())
+        << "latch_race_mask n=" << n;
+    EXPECT_EQ(kernels::offset_noise_mask(zetas, noise, 0.35).words(),
+              o_scalar.words())
+        << "offset_noise_mask n=" << n;
+  }
+}
+
+TEST_F(SimdTierEquivalence, Lag8AndPopcountsBitIdentical) {
+  for (std::size_t n :
+       {std::size_t{0}, std::size_t{17}, std::size_t{64}, std::size_t{65},
+        std::size_t{127}, std::size_t{8192}}) {
+    Rng rng(n + 23);
+    BitVec v(n);
+    if (n > 0) v.randomize(rng);
+    std::vector<BitVec> rows(9, BitVec(n));
+    for (auto& r : rows) {
+      if (n > 0) r.randomize(rng);
+    }
+    std::vector<const BitVec*> ptrs;
+    for (const auto& r : rows) ptrs.push_back(&r);
+
+    std::size_t total_scalar = 0, disagree_scalar = 0;
+    std::vector<std::uint8_t> counts_scalar(n);
+    {
+      ScopedSimd scoped(kernels::SimdTier::scalar);
+      disagree_scalar = kernels::lag8_disagreement(v, total_scalar);
+      kernels::column_popcounts(ptrs, counts_scalar);
+    }
+    ScopedSimd scoped(kernels::SimdTier::avx2);
+    std::size_t total = 0;
+    EXPECT_EQ(kernels::lag8_disagreement(v, total), disagree_scalar)
+        << "n=" << n;
+    EXPECT_EQ(total, total_scalar) << "n=" << n;
+    std::vector<std::uint8_t> counts(n);
+    kernels::column_popcounts(ptrs, counts);
+    EXPECT_EQ(counts, counts_scalar) << "n=" << n;
+  }
+}
+
+TEST_F(SimdTierEquivalence, HashedNormalFillBitIdentical) {
+  // 8192 draws put ~400 expected samples in the Acklam tail regions
+  // (p < 0.02425 or p > 1 - 0.02425), so the vector path's scalar
+  // tail-lane fixup is exercised, not just the central branch.
+  for (std::size_t n : kSizes) {
+    for (std::uint64_t prefix :
+         {std::uint64_t{0}, std::uint64_t{0x5eed'5eed'5eed'5eedULL},
+          hash_combine(99, 3)}) {
+      std::vector<float> scalar(n);
+      {
+        ScopedSimd scoped(kernels::SimdTier::scalar);
+        kernels::hashed_normal_fill(prefix, scalar);
+      }
+      ScopedSimd scoped(kernels::SimdTier::avx2);
+      std::vector<float> avx2(n);
+      kernels::hashed_normal_fill(prefix, avx2);
+      for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(avx2[i], scalar[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST_F(SimdTierEquivalence, HashedUniformFillBitIdentical) {
+  // The uniform fill skips the inverse CDF, so the only rounding step is
+  // double -> float; the AVX2 cvtpd2ps conversion must match the scalar
+  // static_cast on every lane.
+  for (std::size_t n : kSizes) {
+    for (std::uint64_t prefix :
+         {std::uint64_t{0}, std::uint64_t{0x5eed'5eed'5eed'5eedULL},
+          hash_combine(99, 3)}) {
+      std::vector<float> scalar(n);
+      {
+        ScopedSimd scoped(kernels::SimdTier::scalar);
+        kernels::hashed_uniform_fill(prefix, scalar);
+      }
+      ScopedSimd scoped(kernels::SimdTier::avx2);
+      std::vector<float> avx2(n);
+      kernels::hashed_uniform_fill(prefix, avx2);
+      for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(avx2[i], scalar[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST_F(SimdTierEquivalence, HashedUniformFillMatchesNormalDomain) {
+  // Monotone equivalence contract used by the threshold-mask paths:
+  // the mask bit computed in the uniform domain (u < Phi(z)) must equal
+  // the bit computed in the normal domain (zeta < z) for every column.
+  constexpr std::size_t n = 8192;
+  const std::uint64_t prefix = hash_combine(0xabcdef, 17);
+  std::vector<float> us(n), zetas(n);
+  kernels::hashed_uniform_fill(prefix, us);
+  kernels::hashed_normal_fill(prefix, zetas);
+  for (const double z : {-2.5, -0.7, 0.0, 0.4, 1.9, 3.2}) {
+    const auto u_eff = static_cast<float>(normal_cdf(z));
+    const auto z_eff = static_cast<float>(z);
+    const BitVec from_uniform = kernels::threshold_mask(us, u_eff);
+    const BitVec from_normal = kernels::threshold_mask(zetas, z_eff);
+    std::size_t disagree = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      disagree += from_uniform.get(i) != from_normal.get(i);
+    // float rounding on both sides can flip a column sitting exactly on
+    // the threshold; allow a vanishing number of boundary columns.
+    EXPECT_LE(disagree, 2u) << "z=" << z;
+  }
+}
+
 }  // namespace
 }  // namespace simra::dram
