@@ -381,7 +381,7 @@ class HarnessReport {
         out += "\n";
       }
     };
-    std::string out = "{\n  \"schema\": 5,\n  \"figures\": [\n";
+    std::string out = "{\n  \"schema\": 6,\n  \"figures\": [\n";
     append_array(out, figure_lines);
     out += "  ],\n  \"kernels\": [\n";
     append_array(out, kernel_lines);

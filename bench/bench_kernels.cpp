@@ -175,6 +175,22 @@ int simd_report(bool assert_avx2_wins) {
   for (const auto& r : rows) ptrs.push_back(&r);
   std::vector<std::uint8_t> counts(kColumns);
   std::vector<float> deviates(kColumns);
+  std::vector<double> counter_draws(kColumns);
+  // margin_chain runs over sum classes (not columns); 1024 is a dense
+  // batch, large enough to keep the vector loop hot.
+  const auto sums = random_floats(1024, 7);
+  dram::kernels::MarginChainParams margin_params;
+  margin_params.gain = 1.1;
+  margin_params.g = 0.97;
+  margin_params.noise_denominator = 1.8;
+  margin_params.threshold = 0.4;
+  margin_params.vendor_shift = -0.05;
+  margin_params.z_penalty = 0.3;
+  margin_params.n_connected = 9.0;
+  margin_params.cap_ratio = 6.0;
+  margin_params.margin_exponent = 0.8;
+  std::vector<double> zg(sums.size());
+  std::vector<std::int32_t> flags(sums.size());
 
   const std::vector<std::pair<std::string, std::function<void()>>> kernels = {
       {"threshold_mask",
@@ -209,6 +225,16 @@ int simd_report(bool assert_avx2_wins) {
        [&] {
          dram::kernels::hashed_uniform_fill(0x5eed, deviates);
          benchmark::DoNotOptimize(deviates.data());
+       }},
+      {"counter_normal_fill",
+       [&] {
+         dram::kernels::counter_normal_fill(0x5eed, 0, counter_draws);
+         benchmark::DoNotOptimize(counter_draws.data());
+       }},
+      {"margin_chain",
+       [&] {
+         dram::kernels::margin_chain(sums, margin_params, zg, flags);
+         benchmark::DoNotOptimize(zg.data());
        }},
   };
 

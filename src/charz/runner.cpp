@@ -101,6 +101,18 @@ void register_workers(const WorkStealingPool& pool) {
   obs::set_host_field("workers", std::to_string(pool.workers()));
 }
 
+void register_span_pool_stats() {
+  const dram::SpanPoolStats stats = dram::span_pool_stats();
+  obs::MetricsRegistry::instance()
+      .gauge("charz/span_pool_recycle_rate")
+      .set(stats.recycle_rate());
+  obs::set_host_field("span_pool_hits", std::to_string(stats.hits));
+  obs::set_host_field("span_pool_misses", std::to_string(stats.misses));
+  std::ostringstream rate;
+  rate << stats.recycle_rate();
+  obs::set_host_field("span_pool_recycle_rate", rate.str());
+}
+
 Resilience resilience_from_env() {
   return Resilience{fault::FaultSpec::from_env(), fault::fault_seed_from_env()};
 }

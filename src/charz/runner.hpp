@@ -96,6 +96,13 @@ unsigned pool_workers(std::size_t total_subtasks);
 /// the byte-compared artifacts stay thread-count-invariant.
 void register_workers(const WorkStealingPool& pool);
 
+/// Surfaces the process-wide SpanPool recycle statistics after a sweep:
+/// `charz/span_pool_recycle_rate` gauge plus host manifest fields
+/// ("span_pool_hits" / "span_pool_misses" / "span_pool_recycle_rate").
+/// Host-only — the hit pattern depends on allocation interleaving, so it
+/// must never leak into byte-compared artifacts.
+void register_span_pool_stats();
+
 /// The environment-derived resilience configuration of a sweep:
 /// SIMRA_FAULT_SPEC + SIMRA_FAULT_SEED, read once per run_instances call.
 struct Resilience {
@@ -178,6 +185,7 @@ Sweep<Acc> run_instances(const Plan& plan, Fn&& fn) {
           });
     });
     pool.publish_stats();
+    detail::register_span_pool_stats();
   }
   Sweep<Acc> sweep;
   sweep.coverage = detail::collect_coverage(std::move(reports), res);

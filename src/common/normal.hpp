@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+
+namespace simra {
+
+/// Inverse standard-normal CDF (Acklam's rational approximation, |err| <
+/// 1.15e-9). Used to map hashed uniforms to normal deviates, by the
+/// calibration tables, and by the counter-based noise sampler
+/// (Rng::CounterStream). Lives in common so both the stateless samplers
+/// and the dram variation fields share one definition — the dram layer
+/// re-exports it (process_variation.hpp) for its historical call sites.
+double inverse_normal_cdf(double p);
+
+/// Standard normal CDF.
+double normal_cdf(double z);
+
+/// Maps a 64-bit hash to a uniform double in (0, 1): the 53 high bits,
+/// offset by half a ulp so exact 0 never occurs. The shared hash-to-
+/// uniform step of every hashed/counter-based sampler in the tree.
+inline double uniform_from_hash(std::uint64_t h) noexcept {
+  return (static_cast<double>(h >> 11) + 0.5) * 0x1.0p-53;
+}
+
+}  // namespace simra

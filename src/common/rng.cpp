@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/normal.hpp"
+
 namespace simra {
 
 namespace {
@@ -106,5 +108,14 @@ bool Rng::chance(double p) noexcept {
 }
 
 Rng Rng::fork() noexcept { return Rng{(*this)()}; }
+
+double Rng::CounterStream::at(std::uint64_t index) const noexcept {
+  return inverse_normal_cdf(uniform_from_hash(hash_combine(prefix_, index)));
+}
+
+void Rng::CounterStream::fill(std::span<double> out) noexcept {
+  const std::uint64_t base = reserve(out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = at(base + i);
+}
 
 }  // namespace simra

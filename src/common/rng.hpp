@@ -7,6 +7,15 @@
 
 namespace simra {
 
+/// splitmix64 step; used for seeding and hashing small integer tuples.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Stateless hash of a 64-bit value (one splitmix64 round).
+std::uint64_t hash64(std::uint64_t value) noexcept;
+
+/// Combines a hash with another value (for deterministic per-entity seeds).
+std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value) noexcept;
+
 /// Deterministic, fast pseudo-random generator (xoshiro256++).
 ///
 /// All stochastic behaviour in the simulator flows through this generator so
@@ -56,19 +65,68 @@ class Rng {
   /// Derives an independent child generator (for per-entity streams).
   Rng fork() noexcept;
 
+  class CounterStream;
+
  private:
   std::array<std::uint64_t, 4> state_{};
   double spare_normal_ = 0.0;
   bool has_spare_ = false;
 };
 
-/// splitmix64 step; used for seeding and hashing small integer tuples.
-std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+/// Counter-based (stateless, indexable) standard-normal sampler.
+///
+/// Draw `i` is a pure function of `(seed, domain, i)`:
+///
+///   prefix = hash_combine(seed, domain)
+///   n_i    = inverse_normal_cdf(uniform_from_hash(hash_combine(prefix, i)))
+///
+/// Unlike the Marsaglia polar `Rng::normal()`, there is no loop-carried
+/// state: any chunking of a fill, any SIMD tier, and any thread schedule
+/// that preserves per-stream draw indices produces bit-identical values —
+/// which is what lets the electrical model's noise path batch and
+/// vectorize. The only mutable state is the monotone draw cursor, so a
+/// stream is as cheap to hold as an Rng but replayable from any index.
+///
+/// The stateful `Rng` remains the right tool where draws are consumed one
+/// at a time in command order (tie-break coin flips, dropout decisions,
+/// fault injection, `fork()`-derived per-entity streams); this class is
+/// for bulk hot-path noise. The scalar `fill` here is the reference
+/// implementation; `dram::kernels::counter_normal_fill` is the
+/// SIMD-dispatched equivalent (bit-identical at every tier).
+class Rng::CounterStream {
+ public:
+  CounterStream(std::uint64_t seed, std::uint64_t domain) noexcept
+      : prefix_(hash_combine(seed, domain)) {}
 
-/// Stateless hash of a 64-bit value (one splitmix64 round).
-std::uint64_t hash64(std::uint64_t value) noexcept;
+  /// The stream's key digest: draw i is a pure function of (prefix, i).
+  std::uint64_t prefix() const noexcept { return prefix_; }
 
-/// Combines a hash with another value (for deterministic per-entity seeds).
-std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value) noexcept;
+  /// Next unconsumed draw index.
+  std::uint64_t cursor() const noexcept { return cursor_; }
+
+  /// Claims `count` consecutive draw indices and returns the first —
+  /// the bulk entry point for callers that fill via the dispatched
+  /// kernel (`counter_normal_fill(prefix(), base, out)`).
+  std::uint64_t reserve(std::uint64_t count) noexcept {
+    const std::uint64_t base = cursor_;
+    cursor_ += count;
+    return base;
+  }
+
+  /// The draw at an absolute index (does not move the cursor).
+  double at(std::uint64_t index) const noexcept;
+
+  /// The next sequential draw.
+  double next() noexcept { return at(cursor_++); }
+
+  /// Fills `out` with the draws at [cursor, cursor + out.size()) and
+  /// advances the cursor. fill(N) and fill(N/2)+fill(N/2) produce the
+  /// same values by construction.
+  void fill(std::span<double> out) noexcept;
+
+ private:
+  std::uint64_t prefix_;
+  std::uint64_t cursor_ = 0;
+};
 
 }  // namespace simra

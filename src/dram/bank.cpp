@@ -18,7 +18,8 @@ constexpr double kPrechargeSettleNs = 4.0;  // PRE -> wordline de-assert done.
 
 Bank::Bank(BankId id, const ChipContext& ctx) : id_(id), ctx_(ctx) {
   if (ctx_.profile == nullptr || ctx_.layout == nullptr ||
-      ctx_.electrical == nullptr || ctx_.env == nullptr || ctx_.rng == nullptr)
+      ctx_.electrical == nullptr || ctx_.env == nullptr ||
+      ctx_.rng == nullptr || ctx_.noise == nullptr)
     throw std::invalid_argument("bank requires a fully populated chip context");
 }
 
@@ -95,7 +96,7 @@ void Bank::open_single(RowAddr local, SubarrayId sa, double t_ns) {
     // restores that value into the cells (the basis of Frac-less neutral
     // rows and of SiMRA-based TRNGs).
     BitlineContext bctx = bitline_ctx();
-    row_buffer_ = ctx_.electrical->sense_frac_row(bctx, *ctx_.rng);
+    row_buffer_ = ctx_.electrical->sense_frac_row(bctx, *ctx_.noise);
     s.row_data(local) = row_buffer_;
     s.set_row_state(local, RowState::kValid);
   } else {

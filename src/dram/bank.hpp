@@ -6,15 +6,12 @@
 #include <vector>
 
 #include "common/bitvec.hpp"
+#include "common/rng.hpp"
 #include "dram/electrical.hpp"
 #include "dram/predecoder.hpp"
 #include "dram/subarray.hpp"
 #include "dram/types.hpp"
 #include "dram/vendor.hpp"
-
-namespace simra {
-class Rng;
-}
 
 namespace simra::fault {
 class ChipInjector;
@@ -29,6 +26,11 @@ struct ChipContext {
   const ElectricalModel* electrical = nullptr;
   EnvironmentState* env = nullptr;
   Rng* rng = nullptr;
+  /// Counter-based normal stream for frac-row sense noise. Stateless per
+  /// draw index, so batched fills are chunking- and schedule-invariant;
+  /// the stateful `rng` stays the source for everything sequential
+  /// (tie coin flips, dropout, fault injection).
+  Rng::CounterStream* noise = nullptr;
   /// Optional chip-fault injector (stuck-at / retention / disturbance).
   /// nullptr — the default — takes zero extra work on every path.
   fault::ChipInjector* faults = nullptr;

@@ -10,13 +10,15 @@ Chip::Chip(VendorProfile profile, std::uint64_t seed)
           profile_.geometry.rows_per_subarray)),
       variation_(seed),
       electrical_(&profile_, &variation_),
-      rng_(hash_combine(seed, 0xc41bULL)) {
+      rng_(hash_combine(seed, 0xc41bULL)),
+      noise_(seed, /*domain=*/0xf7acULL) {
   ChipContext ctx;
   ctx.profile = &profile_;
   ctx.layout = &layout_;
   ctx.electrical = &electrical_;
   ctx.env = &env_;
   ctx.rng = &rng_;
+  ctx.noise = &noise_;
   banks_.reserve(profile_.geometry.banks);
   for (std::size_t b = 0; b < profile_.geometry.banks; ++b) {
     banks_.push_back(std::make_unique<Bank>(static_cast<BankId>(b), ctx));

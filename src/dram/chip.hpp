@@ -46,6 +46,9 @@ class Chip {
   EnvironmentState& env() noexcept { return env_; }
   const EnvironmentState& env() const noexcept { return env_; }
   Rng& rng() noexcept { return rng_; }
+  /// The chip's counter-based frac-sense noise stream (keyed on the chip
+  /// seed, independent of `rng()`'s draw sequence).
+  Rng::CounterStream& noise_stream() noexcept { return noise_; }
 
   /// Attaches a chip-fault injector (non-owning; nullptr detaches) and
   /// propagates it to every bank. Without one, the command path runs the
@@ -63,6 +66,7 @@ class Chip {
   ElectricalModel electrical_;
   EnvironmentState env_;
   Rng rng_;
+  Rng::CounterStream noise_;
   fault::ChipInjector* faults_ = nullptr;
   std::vector<std::unique_ptr<Bank>> banks_;
 };

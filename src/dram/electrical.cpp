@@ -1,6 +1,7 @@
 #include "dram/electrical.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cmath>
 #include <stdexcept>
@@ -106,9 +107,27 @@ class SpanPool {
         total_free_ -= count;
       }
     }
-    if (block == nullptr) block = new float[count];
+    // Recycle stats ride the obs counter registry (cached refs, relaxed
+    // increments): acquire only runs on span-cache misses, so the
+    // bookkeeping is far off the per-trial path.
+    static prof::Counter& hit_counter = prof::Counter::get("dram/span_pool_hit");
+    static prof::Counter& miss_counter =
+        prof::Counter::get("dram/span_pool_miss");
+    if (block == nullptr) {
+      block = new float[count];
+      miss_counter.add_count(1);
+      misses_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      hit_counter.add_count(1);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+    }
     return std::shared_ptr<float[]>(
         block, [count](float* p) { SpanPool::instance().release(p, count); });
+  }
+
+  SpanPoolStats stats() const noexcept {
+    return {hits_.load(std::memory_order_relaxed),
+            misses_.load(std::memory_order_relaxed)};
   }
 
   ~SpanPool() {
@@ -135,9 +154,13 @@ class SpanPool {
   std::mutex mutex_;
   std::unordered_map<std::size_t, std::vector<float*>> free_;
   std::size_t total_free_ = 0;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
 };
 
 }  // namespace
+
+SpanPoolStats span_pool_stats() noexcept { return SpanPool::instance().stats(); }
 
 std::shared_ptr<const float[]> SharedDeviateCache::get_or_compute(
     std::uint64_t salt, std::uint64_t k1, std::uint64_t k2, std::size_t count,
@@ -241,20 +264,27 @@ const BitVec& ElectricalModel::threshold_mask_cached(std::uint64_t salt,
                                  threshold_mask_order_, it->second.order_it);
     return it->second.mask;
   }
-  SIMRA_PROF_SCOPE("electrical/threshold_mask_compute");
+  // Compared in the uniform domain: zeta < z_eff <=> u < normal_cdf(z_eff)
+  // (the deviate is inverse_normal_cdf(u) and the CDF is monotone), so the
+  // span fill skips the inverse CDF — by far the dominant cost of a miss.
+  // No chip-level memo here: the slot scheduler hands each slot a disjoint
+  // (bank, row) slice, so mask keys never repeat across sibling models and
+  // a shared map would only add lock traffic (measured zero hits).
+  const std::span<const float> us = uniforms(salt, k1, k2, count);
+  const auto u_eff =
+      static_cast<float>(normal_cdf(static_cast<double>(z_eff)));
+  BitVec mask_bits(0);
+  {
+    SIMRA_PROF_SCOPE("electrical/threshold_mask_compute");
+    mask_bits = kernels::threshold_mask(us, u_eff);
+  }
   while (threshold_mask_cache_.size() >= kCapacity) {
     threshold_mask_cache_.erase(threshold_mask_order_.front());
     threshold_mask_order_.pop_front();
   }
-  // Compared in the uniform domain: zeta < z_eff <=> u < normal_cdf(z_eff)
-  // (the deviate is inverse_normal_cdf(u) and the CDF is monotone), so the
-  // span fill skips the inverse CDF — by far the dominant cost of a miss.
-  const std::span<const float> us = uniforms(salt, k1, k2, count);
-  const auto u_eff =
-      static_cast<float>(normal_cdf(static_cast<double>(z_eff)));
   threshold_mask_order_.push_back(key);
   return threshold_mask_cache_
-      .emplace(key, MaskEntry{kernels::threshold_mask(us, u_eff),
+      .emplace(key, MaskEntry{std::move(mask_bits),
                               std::prev(threshold_mask_order_.end())})
       .first->second.mask;
 }
@@ -395,16 +425,21 @@ float fold_class_sum(float total_weight, std::size_t n_lead, bool has_odd,
   return sum;
 }
 
-/// Sense-margin (z/g) distribution, observed once per computed class so
-/// the word-parallel path's dedup keeps the hot loop untouched. Callers
-/// gate on obs::enabled().
-void observe_margin(const SumClass& e) {
-  if (e.tie) return;
+/// Sense-margin (z/g) distribution. The batched path observes once per
+/// realized sum class, weighted by the class's column count, so the
+/// histogram totals match the per-column loop it replaced. Callers gate
+/// on obs::enabled().
+void observe_margin(double zg, std::uint64_t weight) {
   static obs::Histogram& margin_hist =
       obs::MetricsRegistry::instance().histogram(
           "electrical/sense_margin",
           {-3, -2, -1, -0.5, -0.25, 0, 0.25, 0.5, 1, 2, 3});
-  margin_hist.observe(e.zg);
+  margin_hist.observe(zg, weight);
+}
+
+void observe_margin(const SumClass& e) {
+  if (e.tie) return;
+  observe_margin(e.zg, 1);
 }
 
 }  // namespace
@@ -518,51 +553,98 @@ ChargeShareResult ElectricalModel::resolve_charge_share(
     const std::size_t tail_span = n_tail_rows + 1;
     const std::size_t n_classes =
         two_class ? (n_lead_rows + 1) * tail_span * 2 : n_lead_rows + 1;
-    std::vector<SumClass> classes(n_classes);
 
-    std::size_t c = 0;
-    for (std::size_t wi = 0; c < columns; ++wi) {
-      const std::uint64_t odd_word =
-          odd_row != nullptr ? odd_row->words()[wi] : 0;
-      std::uint64_t resolved_word = 0;
-      std::uint64_t stable_word = 0;
-      const std::size_t limit = std::min<std::size_t>(64, columns - c);
-      for (std::size_t b = 0; b < limit; ++b, ++c) {
-        const std::size_t n_lead = lead_counts[c];
-        std::size_t index = n_lead;
-        bool odd_set = false;
-        std::size_t n_tail = 0;
-        if (two_class) {
-          odd_set = (odd_word >> b) & 1ULL;
-          n_tail = tail_counts[c];
-          index = (n_lead * tail_span + n_tail) * 2 +
-                  static_cast<std::size_t>(odd_set);
-        }
-        SumClass& e = classes[index];
-        if (!e.computed) {
-          e = make_sum_class(fold_class_sum(total_weight, n_lead, odd_set,
-                                            tw_odd, n_tail, tw_common),
-                             m);
-          if (obs_margins) observe_margin(e);
-        }
-        if (e.tie) {
-          // Perfect tie: the SA resolves metastably.
-          resolved_word |= static_cast<std::uint64_t>(rng.chance(0.5)) << b;
-          ++out.ties;
-        } else if (e.zg > zetas[c]) {
-          resolved_word |= static_cast<std::uint64_t>(e.majority_one) << b;
-          stable_word |= 1ULL << b;
-        } else {
-          // Below-margin bitline: the SA falls to its persistent offset
-          // side, i.e. the cell is correct for one input polarity and
-          // wrong for the other — which is why such cells fail the
-          // all-trials metric.
-          resolved_word |= static_cast<std::uint64_t>(polarities[c] > 0.0f)
-                           << b;
+    // Pass 1: per-column class index plus per-class column counts — the
+    // only per-column state the margin math needs.
+    std::vector<std::int32_t> class_of(columns);
+    std::vector<std::uint64_t> class_count(n_classes, 0);
+    {
+      std::size_t c = 0;
+      for (std::size_t wi = 0; c < columns; ++wi) {
+        const std::uint64_t odd_word =
+            odd_row != nullptr ? odd_row->words()[wi] : 0;
+        const std::size_t limit = std::min<std::size_t>(64, columns - c);
+        for (std::size_t b = 0; b < limit; ++b, ++c) {
+          std::size_t index = lead_counts[c];
+          if (two_class) {
+            const bool odd_set = (odd_word >> b) & 1ULL;
+            index = (index * tail_span + tail_counts[c]) * 2 +
+                    static_cast<std::size_t>(odd_set);
+          }
+          class_of[c] = static_cast<std::int32_t>(index);
+          ++class_count[index];
         }
       }
-      out.resolved.set_word(wi, resolved_word);
-      out.stable.set_word(wi, stable_word);
+    }
+
+    // Pass 2: fold the sums of the realized classes (exact float-add
+    // order of the scalar row loop), run the batched margin chain over
+    // them, and scatter the verdicts into the class -> verdict table.
+    std::vector<std::int32_t> realized;
+    realized.reserve(n_classes);
+    for (std::size_t idx = 0; idx < n_classes; ++idx)
+      if (class_count[idx] != 0)
+        realized.push_back(static_cast<std::int32_t>(idx));
+    std::vector<float> class_sums(realized.size());
+    for (std::size_t i = 0; i < realized.size(); ++i) {
+      const auto idx = static_cast<std::size_t>(realized[i]);
+      std::size_t n_lead = idx;
+      bool odd_set = false;
+      std::size_t n_tail = 0;
+      if (two_class) {
+        odd_set = (idx & 1) != 0;
+        const std::size_t rest = idx >> 1;
+        n_lead = rest / tail_span;
+        n_tail = rest % tail_span;
+      }
+      class_sums[i] = fold_class_sum(total_weight, n_lead, odd_set, tw_odd,
+                                     n_tail, tw_common);
+    }
+
+    kernels::MarginChainParams mp;
+    mp.gain = m.gain;
+    mp.g = m.g;
+    mp.noise_denominator = m.noise_denominator;
+    mp.threshold = m.threshold;
+    mp.vendor_shift = m.vendor_shift;
+    mp.z_penalty = m.majx_z_penalty;
+    mp.n_connected = m.n_connected;
+    mp.cap_ratio = p.cap_ratio;
+    mp.margin_exponent = p.margin_exponent;
+
+    std::vector<double> dense_zg(realized.size());
+    std::vector<std::int32_t> dense_flags(realized.size());
+    kernels::margin_chain(class_sums, mp, dense_zg, dense_flags);
+
+    std::vector<double> zg_table(n_classes, 0.0);
+    std::vector<std::int32_t> flag_table(n_classes, 0);
+    for (std::size_t i = 0; i < realized.size(); ++i) {
+      const auto idx = static_cast<std::size_t>(realized[i]);
+      zg_table[idx] = dense_zg[i];
+      flag_table[idx] = dense_flags[i];
+      if (obs_margins && (dense_flags[i] & kernels::kClassTie) == 0)
+        observe_margin(dense_zg[i], class_count[idx]);
+    }
+
+    // Pass 3: table-driven resolve, then the metastable ties in
+    // ascending column order — the same Rng draw sequence as the scalar
+    // loop, which consumed tie coin flips in column order too.
+    BitVec ties(columns);
+    out.ties = kernels::class_resolve(class_of, zg_table, flag_table, zetas,
+                                      polarities, out.resolved, out.stable,
+                                      ties);
+    if (out.ties != 0) {
+      const auto& tie_words = ties.words();
+      for (std::size_t wi = 0; wi < tie_words.size(); ++wi) {
+        std::uint64_t word = tie_words[wi];
+        const std::size_t base = wi * 64;
+        while (word != 0) {
+          const auto bit = static_cast<std::size_t>(std::countr_zero(word));
+          word &= word - 1;
+          // Perfect tie: the SA resolves metastably.
+          out.resolved.set(base + bit, rng.chance(0.5));
+        }
+      }
     }
     return out;
   }
@@ -684,7 +766,7 @@ BitVec ElectricalModel::latched_mask(const BitlineContext& ctx,
 }
 
 BitVec ElectricalModel::sense_frac_row(const BitlineContext& ctx,
-                                       Rng& rng) const {
+                                       Rng::CounterStream& noise) const {
   SIMRA_PROF_SCOPE("electrical/sense_frac_row");
   if (profile_->sense_amp_bias != 0) {
     BitVec out(ctx.columns);
@@ -693,13 +775,16 @@ BitVec ElectricalModel::sense_frac_row(const BitlineContext& ctx,
   }
   // Unbiased SAs resolve from their (persistent) offset plus thermal
   // noise: weak-offset bitlines flip trial to trial (the entropy source
-  // of SiMRA-based TRNGs). The noise draws are batched but follow the
-  // exact per-column draw order of the scalar loop.
+  // of SiMRA-based TRNGs). The noise stream is counter-based, so draw i
+  // of the batch is a pure function of (stream, cursor + i): the batched
+  // SIMD fill, any chunked fill, and a per-column scalar loop all produce
+  // the same bits.
   const std::span<const float> offsets =
       deviates(kSaltFracSense, ctx.bank, ctx.subarray, ctx.columns);
-  std::vector<double> noise(ctx.columns);
-  rng.normal_fill(noise);
-  return kernels::offset_noise_mask(offsets, noise, 0.35);
+  std::vector<double> draws(ctx.columns);
+  const std::uint64_t base = noise.reserve(ctx.columns);
+  kernels::counter_normal_fill(noise.prefix(), base, draws);
+  return kernels::offset_noise_mask(offsets, draws, 0.35);
 }
 
 }  // namespace simra::dram

@@ -11,14 +11,11 @@
 #include <vector>
 
 #include "common/bitvec.hpp"
+#include "common/rng.hpp"
 #include "common/units.hpp"
 #include "dram/process_variation.hpp"
 #include "dram/types.hpp"
 #include "dram/vendor.hpp"
-
-namespace simra {
-class Rng;
-}
 
 namespace simra::dram {
 
@@ -123,11 +120,26 @@ class SharedDeviateCache {
     std::shared_ptr<const float[]> values;
     std::list<Key>::iterator order_it;
   };
-
   std::mutex mutex_;
   std::list<Key> order_;  ///< recency order, front = coldest.
   std::unordered_map<Key, Entry, KeyHash> map_;
 };
+
+/// Process-wide recycle statistics of the span free-list (SpanPool):
+/// `hits` = fills served from a recycled block, `misses` = fresh
+/// allocations (first-touch page faults). Monotone counters, also exported
+/// as `dram/span_pool_hit` / `dram/span_pool_miss` obs counters and a
+/// host-manifest field, so span-reuse regressions show up in metrics.
+struct SpanPoolStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  double recycle_rate() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                     : 0.0;
+  }
+};
+SpanPoolStats span_pool_stats() noexcept;
 
 /// The analog behaviour model: charge sharing, sensing margins, write
 /// overdrive, and copy stability, with persistent process variation.
@@ -196,8 +208,12 @@ class ElectricalModel {
 
   /// Resolves sensing of a single Frac (VDD/2) row: each SA falls to its
   /// bias/offset side. Deterministic per bitline for biased designs
-  /// (Mfr. M), a coin flip for unbiased ones.
-  BitVec sense_frac_row(const BitlineContext& ctx, Rng& rng) const;
+  /// (Mfr. M); for unbiased ones the per-trial thermal noise comes from
+  /// the chip's counter-based noise stream (`noise`), whose draws are
+  /// indexable pure functions of the stream key — so the batch fill is
+  /// SIMD-dispatched and invariant to chunking and thread schedule.
+  BitVec sense_frac_row(const BitlineContext& ctx,
+                        Rng::CounterStream& noise) const;
 
   /// Measures the coupling activity of the data about to be shared:
   /// byte-periodic (fixed) patterns cancel along the bitline run, aperiodic
@@ -270,6 +286,9 @@ class ElectricalModel {
   /// LRU-evicted (like the deviate cache) instead of wiped wholesale, so
   /// paper-scale sweeps whose working set exceeds the capacity degrade to
   /// recomputing the coldest masks rather than thrashing everything.
+  /// Per-model only: the slot scheduler partitions (bank, row) work
+  /// disjointly across sibling models, so a chip-level mask memo would
+  /// never hit (verified empirically) and is deliberately absent.
   const BitVec& threshold_mask_cached(std::uint64_t salt, std::uint64_t k1,
                                       std::uint64_t k2, std::size_t count,
                                       float z_eff) const;

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
 #include <vector>
 
 #include "common/env.hpp"
+#include "common/normal.hpp"
 #include "common/rng.hpp"
 #include "dram/kernels_simd.hpp"
 #include "dram/process_variation.hpp"
@@ -233,6 +235,85 @@ void hashed_uniform_fill(std::uint64_t prefix, std::span<float> out) {
   }
   for (std::size_t i = 0; i < out.size(); ++i)
     out[i] = static_cast<float>(hash_to_uniform(hash_combine(prefix, i)));
+}
+
+void counter_normal_fill(std::uint64_t prefix, std::uint64_t base,
+                         std::span<double> out) {
+  if (active_simd() == SimdTier::avx2) {
+    avx2::counter_normal_fill(prefix, base, out);
+    return;
+  }
+  // The exact math of Rng::CounterStream::at (rng.cpp), per index.
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] =
+        inverse_normal_cdf(uniform_from_hash(hash_combine(prefix, base + i)));
+}
+
+void margin_chain(std::span<const float> sums, const MarginChainParams& p,
+                  std::span<double> zg, std::span<std::int32_t> flags) {
+  if (zg.size() != sums.size() || flags.size() != sums.size())
+    throw std::invalid_argument("margin_chain table size mismatch");
+  if (active_simd() == SimdTier::avx2) {
+    avx2::margin_chain(sums, p, zg, flags);
+    return;
+  }
+  for (std::size_t i = 0; i < sums.size(); ++i) {
+    const double sum = sums[i];
+    if (std::abs(sum) < 1e-9) {
+      flags[i] = kClassTie;
+      zg[i] = 0.0;
+      continue;
+    }
+    flags[i] = sum > 0.0 ? kClassMajorityOne : 0;
+    const double x =
+        p.gain * std::pow(std::abs(sum) / (p.cap_ratio + p.n_connected),
+                          p.margin_exponent);
+    const double z = (x - p.threshold) / p.noise_denominator - p.z_penalty +
+                     p.vendor_shift;
+    zg[i] = z / p.g;
+  }
+}
+
+std::size_t class_resolve(std::span<const std::int32_t> class_of,
+                          std::span<const double> zg,
+                          std::span<const std::int32_t> flags,
+                          std::span<const float> zetas,
+                          std::span<const float> polarities, BitVec& resolved,
+                          BitVec& stable, BitVec& ties) {
+  const std::size_t n = class_of.size();
+  if (zetas.size() < n || polarities.size() < n)
+    throw std::invalid_argument("class_resolve deviate span too short");
+  std::size_t n_ties = 0;
+  if (active_simd() == SimdTier::avx2) {
+    n_ties = avx2::class_resolve(class_of, zg, flags, zetas, polarities,
+                                 resolved, stable, ties);
+    return n_ties;
+  }
+  std::size_t c = 0;
+  for (std::size_t wi = 0; c < n; ++wi) {
+    std::uint64_t resolved_word = 0;
+    std::uint64_t stable_word = 0;
+    std::uint64_t tie_word = 0;
+    const std::size_t limit = std::min(kWordBits, n - c);
+    for (std::size_t b = 0; b < limit; ++b, ++c) {
+      const auto cls = static_cast<std::size_t>(class_of[c]);
+      if ((flags[cls] & kClassTie) != 0) {
+        tie_word |= 1ULL << b;
+        ++n_ties;
+      } else if (zg[cls] > zetas[c]) {
+        resolved_word |=
+            static_cast<std::uint64_t>((flags[cls] & kClassMajorityOne) != 0)
+            << b;
+        stable_word |= 1ULL << b;
+      } else {
+        resolved_word |= static_cast<std::uint64_t>(polarities[c] > 0.0f) << b;
+      }
+    }
+    resolved.set_word(wi, resolved_word);
+    stable.set_word(wi, stable_word);
+    ties.set_word(wi, tie_word);
+  }
+  return n_ties;
 }
 
 }  // namespace simra::dram::kernels

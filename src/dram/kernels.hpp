@@ -81,4 +81,60 @@ void hashed_normal_fill(std::uint64_t prefix, std::span<float> out);
 /// these spans and skip the inverse CDF entirely.
 void hashed_uniform_fill(std::uint64_t prefix, std::span<float> out);
 
+/// out[i] = inverse_normal_cdf(uniform_from_hash(hash_combine(prefix,
+/// base + i))) in double precision — the SIMD-dispatched body of
+/// Rng::CounterStream::fill (rng.hpp), bit-identical to its scalar
+/// reference at every tier. `base` is the stream's reserved draw index,
+/// so fill(N) and fill(N/2)+fill(N/2) produce the same doubles and any
+/// chunking or thread schedule that preserves indices is value-invariant.
+void counter_normal_fill(std::uint64_t prefix, std::uint64_t base,
+                         std::span<double> out);
+
+/// Parameters of the per-class sense-margin chain (the gain/pow/threshold
+/// math of ElectricalModel::resolve_charge_share), captured once per
+/// resolution.
+struct MarginChainParams {
+  double gain = 0.0;
+  double g = 1.0;                ///< group quality divisor.
+  double noise_denominator = 1.0;
+  double threshold = 0.0;
+  double vendor_shift = 0.0;
+  double z_penalty = 0.0;        ///< APA-regime margin penalty.
+  double n_connected = 0.0;      ///< rows sharing charge (incl. Frac rows).
+  double cap_ratio = 0.0;
+  double margin_exponent = 1.0;
+};
+
+/// margin_chain flag bits (one entry per sum class).
+inline constexpr std::int32_t kClassTie = 1;          ///< |sum| < 1e-9.
+inline constexpr std::int32_t kClassMajorityOne = 2;  ///< sum > 0.
+
+/// Batched per-class margin chain: for every class sum,
+///   tie (|sum| < 1e-9)  ->  flags = kClassTie, zg = 0
+///   else                ->  flags = (sum > 0) ? kClassMajorityOne : 0,
+///     x  = gain * pow(|sum| / (cap_ratio + n_connected), margin_exponent)
+///     zg = ((x - threshold) / noise_denominator - z_penalty
+///           + vendor_shift) / g
+/// filling the class -> verdict table in one pass. std::pow stays scalar
+/// (libm bit-identity) at every tier; the surrounding arithmetic
+/// vectorizes. `zg` and `flags` must match `sums` in size.
+void margin_chain(std::span<const float> sums, const MarginChainParams& p,
+                  std::span<double> zg, std::span<std::int32_t> flags);
+
+/// Resolves every column against a class -> verdict table: with
+/// cls = class_of[c],
+///   flags[cls] tie        -> ties bit c set (caller resolves tie columns
+///                            afterwards, in ascending column order),
+///   zg[cls] > zetas[c]    -> resolved = majority bit, stable bit set,
+///   otherwise             -> resolved = (polarities[c] > 0).
+/// The masks are overwritten and must be pre-sized to class_of.size();
+/// returns the number of tie columns. Exactly the per-column branch
+/// sequence of the scalar resolve loop, table-driven and word-packed.
+std::size_t class_resolve(std::span<const std::int32_t> class_of,
+                          std::span<const double> zg,
+                          std::span<const std::int32_t> flags,
+                          std::span<const float> zetas,
+                          std::span<const float> polarities, BitVec& resolved,
+                          BitVec& stable, BitVec& ties);
+
 }  // namespace simra::dram::kernels

@@ -10,8 +10,11 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 
+#include "common/normal.hpp"
 #include "common/rng.hpp"
+#include "dram/kernels.hpp"
 #include "dram/process_variation.hpp"
 
 #if defined(__AVX2__)
@@ -284,6 +287,220 @@ void hashed_normal_fill(std::uint64_t prefix, std::span<float> out) {
   }
 }
 
+void counter_normal_fill(std::uint64_t prefix, std::uint64_t base,
+                         std::span<double> out) {
+  constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+  // hashed_normal_fill's machinery with a base draw offset and the result
+  // kept in double precision (the counter-based noise sampler compares
+  // against float offsets later, but the draws themselves are doubles).
+  const std::uint64_t c0 = kGolden + (prefix << 6) + (prefix >> 2);
+  const __m256i vprefix =
+      _mm256_set1_epi64x(static_cast<long long>(prefix));
+  const __m256i vc0 = _mm256_set1_epi64x(static_cast<long long>(c0));
+  const __m256i vgolden =
+      _mm256_set1_epi64x(static_cast<long long>(kGolden));
+  const __m256d half = _mm256_set1_pd(0.5);
+  const __m256d ulp53 = _mm256_set1_pd(0x1.0p-53);
+  const __m256d clamp_lo = _mm256_set1_pd(1e-300);
+  const __m256d clamp_hi = _mm256_set1_pd(1.0 - 1e-16);
+  constexpr double kPlow = 0.02425;
+  const __m256d plow = _mm256_set1_pd(kPlow);
+  const __m256d phigh = _mm256_set1_pd(1.0 - kPlow);
+  // Acklam's central-branch coefficients, identical to
+  // inverse_normal_cdf (common/normal.cpp).
+  const __m256d a0 = _mm256_set1_pd(-3.969683028665376e+01);
+  const __m256d a1 = _mm256_set1_pd(2.209460984245205e+02);
+  const __m256d a2 = _mm256_set1_pd(-2.759285104469687e+02);
+  const __m256d a3 = _mm256_set1_pd(1.383577518672690e+02);
+  const __m256d a4 = _mm256_set1_pd(-3.066479806614716e+01);
+  const __m256d a5 = _mm256_set1_pd(2.506628277459239e+00);
+  const __m256d b0 = _mm256_set1_pd(-5.447609879822406e+01);
+  const __m256d b1 = _mm256_set1_pd(1.615858368580409e+02);
+  const __m256d b2 = _mm256_set1_pd(-1.556989798598866e+02);
+  const __m256d b3 = _mm256_set1_pd(6.680131188771972e+01);
+  const __m256d b4 = _mm256_set1_pd(-1.328068155288572e+01);
+  const __m256d one = _mm256_set1_pd(1.0);
+  const std::size_t n = out.size();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const std::uint64_t d0 = base + i;
+    const __m256i idx = _mm256_setr_epi64x(
+        static_cast<long long>(d0), static_cast<long long>(d0 + 1),
+        static_cast<long long>(d0 + 2), static_cast<long long>(d0 + 3));
+    __m256i s =
+        _mm256_xor_si256(vprefix, _mm256_add_epi64(idx, vc0));
+    s = _mm256_add_epi64(s, vgolden);  // splitmix64's own increment.
+    const __m256i h = splitmix_mix(s);
+    const __m256d u = _mm256_mul_pd(
+        _mm256_add_pd(u53_to_double(_mm256_srli_epi64(h, 11)), half),
+        ulp53);
+    const __m256d p =
+        _mm256_min_pd(_mm256_max_pd(u, clamp_lo), clamp_hi);
+    const __m256d q = _mm256_sub_pd(p, half);
+    const __m256d r = _mm256_mul_pd(q, q);
+    __m256d num = _mm256_add_pd(_mm256_mul_pd(a0, r), a1);
+    num = _mm256_add_pd(_mm256_mul_pd(num, r), a2);
+    num = _mm256_add_pd(_mm256_mul_pd(num, r), a3);
+    num = _mm256_add_pd(_mm256_mul_pd(num, r), a4);
+    num = _mm256_add_pd(_mm256_mul_pd(num, r), a5);
+    num = _mm256_mul_pd(num, q);
+    __m256d den = _mm256_add_pd(_mm256_mul_pd(b0, r), b1);
+    den = _mm256_add_pd(_mm256_mul_pd(den, r), b2);
+    den = _mm256_add_pd(_mm256_mul_pd(den, r), b3);
+    den = _mm256_add_pd(_mm256_mul_pd(den, r), b4);
+    den = _mm256_add_pd(_mm256_mul_pd(den, r), one);
+    __m256d res = _mm256_div_pd(num, den);
+    // Tail-probability lanes re-run the exact scalar routine.
+    const __m256d tails =
+        _mm256_or_pd(_mm256_cmp_pd(p, plow, _CMP_LT_OQ),
+                     _mm256_cmp_pd(p, phigh, _CMP_GT_OQ));
+    const int tail_mask = _mm256_movemask_pd(tails);
+    if (tail_mask != 0) {
+      alignas(32) double pbuf[4];
+      alignas(32) double rbuf[4];
+      _mm256_store_pd(pbuf, p);
+      _mm256_store_pd(rbuf, res);
+      for (int lane = 0; lane < 4; ++lane)
+        if ((tail_mask & (1 << lane)) != 0)
+          rbuf[lane] = inverse_normal_cdf(pbuf[lane]);
+      res = _mm256_load_pd(rbuf);
+    }
+    _mm256_storeu_pd(out.data() + i, res);
+  }
+  for (; i < n; ++i) {
+    // Remainder: the exact scalar composition (CounterStream::at).
+    const std::uint64_t h = hash_combine(prefix, base + i);
+    out[i] = inverse_normal_cdf(uniform_from_hash(h));
+  }
+}
+
+void margin_chain(std::span<const float> sums, const MarginChainParams& p,
+                  std::span<double> zg, std::span<std::int32_t> flags) {
+  const std::size_t n = sums.size();
+  const double denom0 = p.cap_ratio + p.n_connected;
+  const __m256d vgain = _mm256_set1_pd(p.gain);
+  const __m256d vthr = _mm256_set1_pd(p.threshold);
+  const __m256d vnd = _mm256_set1_pd(p.noise_denominator);
+  const __m256d vpen = _mm256_set1_pd(p.z_penalty);
+  const __m256d vshift = _mm256_set1_pd(p.vendor_shift);
+  const __m256d vg = _mm256_set1_pd(p.g);
+  constexpr std::size_t kChunk = 64;
+  alignas(32) double pow_buf[kChunk];
+  for (std::size_t start = 0; start < n; start += kChunk) {
+    const std::size_t limit = std::min(kChunk, n - start);
+    // Pass 1 (scalar): tie classification and the std::pow transcendental
+    // — libm keeps both tiers bit-identical.
+    bool any_tie = false;
+    for (std::size_t j = 0; j < limit; ++j) {
+      const double sum = sums[start + j];
+      if (std::abs(sum) < 1e-9) {
+        flags[start + j] = kClassTie;
+        pow_buf[j] = 0.0;
+        any_tie = true;
+        continue;
+      }
+      flags[start + j] = sum > 0.0 ? kClassMajorityOne : 0;
+      pow_buf[j] = std::pow(std::abs(sum) / denom0, p.margin_exponent);
+    }
+    // Pass 2 (vector): the surrounding multiply/subtract/divide chain in
+    // the exact scalar operation order.
+    std::size_t j = 0;
+    for (; j + 4 <= limit; j += 4) {
+      const __m256d x =
+          _mm256_mul_pd(vgain, _mm256_load_pd(pow_buf + j));
+      const __m256d z = _mm256_add_pd(
+          _mm256_sub_pd(_mm256_div_pd(_mm256_sub_pd(x, vthr), vnd), vpen),
+          vshift);
+      _mm256_storeu_pd(zg.data() + start + j, _mm256_div_pd(z, vg));
+    }
+    for (; j < limit; ++j) {
+      const double x = p.gain * pow_buf[j];
+      const double z = (x - p.threshold) / p.noise_denominator - p.z_penalty +
+                       p.vendor_shift;
+      zg[start + j] = z / p.g;
+    }
+    if (any_tie) {
+      for (std::size_t t = 0; t < limit; ++t)
+        if ((flags[start + t] & kClassTie) != 0) zg[start + t] = 0.0;
+    }
+  }
+}
+
+std::size_t class_resolve(std::span<const std::int32_t> class_of,
+                          std::span<const double> zg,
+                          std::span<const std::int32_t> flags,
+                          std::span<const float> zetas,
+                          std::span<const float> polarities, BitVec& resolved,
+                          BitVec& stable, BitVec& ties) {
+  const std::size_t n = class_of.size();
+  const __m128 zero_ps = _mm_setzero_ps();
+  std::size_t n_ties = 0;
+  std::size_t c = 0;
+  std::size_t wi = 0;
+  for (; n - c >= kWordBits; ++wi, c += kWordBits) {
+    std::uint64_t resolved_word = 0;
+    std::uint64_t stable_word = 0;
+    std::uint64_t tie_word = 0;
+    for (int g4 = 0; g4 < 16; ++g4) {
+      const std::size_t base = c + 4 * static_cast<std::size_t>(g4);
+      const __m128i idx = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(class_of.data() + base));
+      // Gathered class table: zg (double) and flags per column.
+      const __m256d zg4 = _mm256_i32gather_pd(zg.data(), idx, 8);
+      const __m128i fl4 = _mm_i32gather_epi32(flags.data(), idx, 4);
+      // Same compare as scalar: double zg against the float zeta widened
+      // to double.
+      const __m256d zeta4 =
+          _mm256_cvtps_pd(_mm_loadu_ps(zetas.data() + base));
+      const auto gt = static_cast<unsigned>(
+          _mm256_movemask_pd(_mm256_cmp_pd(zg4, zeta4, _CMP_GT_OQ)));
+      // Flag bits to lane masks: shift the wanted bit into the sign.
+      const auto tie = static_cast<unsigned>(
+          _mm_movemask_ps(_mm_castsi128_ps(_mm_slli_epi32(fl4, 31))));
+      const auto maj = static_cast<unsigned>(
+          _mm_movemask_ps(_mm_castsi128_ps(_mm_slli_epi32(fl4, 30))));
+      const auto pol = static_cast<unsigned>(_mm_movemask_ps(_mm_cmp_ps(
+          _mm_loadu_ps(polarities.data() + base), zero_ps, _CMP_GT_OQ)));
+      const unsigned resolved_bits =
+          ((maj & gt) | (pol & ~gt)) & ~tie & 0xFu;
+      const unsigned stable_bits = gt & ~tie & 0xFu;
+      const unsigned tie_bits = tie & 0xFu;
+      const int shift = 4 * g4;
+      resolved_word |= static_cast<std::uint64_t>(resolved_bits) << shift;
+      stable_word |= static_cast<std::uint64_t>(stable_bits) << shift;
+      tie_word |= static_cast<std::uint64_t>(tie_bits) << shift;
+    }
+    resolved.set_word(wi, resolved_word);
+    stable.set_word(wi, stable_word);
+    ties.set_word(wi, tie_word);
+    n_ties += static_cast<std::size_t>(std::popcount(tie_word));
+  }
+  if (c < n) {
+    // Boundary word: the exact scalar branch sequence.
+    std::uint64_t resolved_word = 0;
+    std::uint64_t stable_word = 0;
+    std::uint64_t tie_word = 0;
+    for (std::size_t b = 0; c < n; ++b, ++c) {
+      const auto cls = static_cast<std::size_t>(class_of[c]);
+      if ((flags[cls] & kClassTie) != 0) {
+        tie_word |= 1ULL << b;
+        ++n_ties;
+      } else if (zg[cls] > zetas[c]) {
+        resolved_word |=
+            static_cast<std::uint64_t>((flags[cls] & kClassMajorityOne) != 0)
+            << b;
+        stable_word |= 1ULL << b;
+      } else {
+        resolved_word |= static_cast<std::uint64_t>(polarities[c] > 0.0f) << b;
+      }
+    }
+    resolved.set_word(wi, resolved_word);
+    stable.set_word(wi, stable_word);
+    ties.set_word(wi, tie_word);
+  }
+  return n_ties;
+}
+
 void hashed_uniform_fill(std::uint64_t prefix, std::span<float> out) {
   constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
   // Same hoisted hash_combine as hashed_normal_fill, minus the inverse
@@ -347,6 +564,20 @@ void column_counts_word(const std::uint64_t[6], std::uint8_t*) {
 }
 void hashed_normal_fill(std::uint64_t, std::span<float>) { std::abort(); }
 void hashed_uniform_fill(std::uint64_t, std::span<float>) { std::abort(); }
+void counter_normal_fill(std::uint64_t, std::uint64_t, std::span<double>) {
+  std::abort();
+}
+void margin_chain(std::span<const float>, const MarginChainParams&,
+                  std::span<double>, std::span<std::int32_t>) {
+  std::abort();
+}
+std::size_t class_resolve(std::span<const std::int32_t>,
+                          std::span<const double>,
+                          std::span<const std::int32_t>,
+                          std::span<const float>, std::span<const float>,
+                          BitVec&, BitVec&, BitVec&) {
+  std::abort();
+}
 
 }  // namespace simra::dram::kernels::avx2
 

@@ -5,6 +5,10 @@
 
 #include "common/bitvec.hpp"
 
+namespace simra::dram::kernels {
+struct MarginChainParams;
+}
+
 /// Internal interface between the dispatching kernels (kernels.cpp) and
 /// the AVX2 translation unit (kernels_avx2.cpp, compiled with -mavx2 and
 /// -ffp-contract=off). Not installed; callers use dram/kernels.hpp.
@@ -53,5 +57,26 @@ void hashed_normal_fill(std::uint64_t prefix, std::span<float> out);
 /// Vectorized body of kernels::hashed_uniform_fill (the splitmix64 and
 /// uniform-mapping stages of hashed_normal_fill, no inverse CDF).
 void hashed_uniform_fill(std::uint64_t prefix, std::span<float> out);
+
+/// Vectorized body of kernels::counter_normal_fill: the hashed_normal_fill
+/// machinery with a base draw offset and double-precision output (tail
+/// lanes and the remainder fall back to the exact scalar routine).
+void counter_normal_fill(std::uint64_t prefix, std::uint64_t base,
+                         std::span<double> out);
+
+/// Vectorized body of kernels::margin_chain (std::pow stays scalar per
+/// class; the surrounding divide/subtract chain vectorizes).
+void margin_chain(std::span<const float> sums, const MarginChainParams& p,
+                  std::span<double> zg, std::span<std::int32_t> flags);
+
+/// Vectorized body of kernels::class_resolve (gathered class table,
+/// double compare against the zeta deviates, word-packed masks). Returns
+/// the tie-column count.
+std::size_t class_resolve(std::span<const std::int32_t> class_of,
+                          std::span<const double> zg,
+                          std::span<const std::int32_t> flags,
+                          std::span<const float> zetas,
+                          std::span<const float> polarities, BitVec& resolved,
+                          BitVec& stable, BitVec& ties);
 
 }  // namespace simra::dram::kernels::avx2

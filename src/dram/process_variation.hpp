@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <span>
 
+#include "common/normal.hpp"
+
 namespace simra::dram {
 
 /// Deterministic process-variation fields.
@@ -50,12 +52,10 @@ class VariationField {
   std::uint64_t seed_;
 };
 
-/// Inverse standard-normal CDF (Acklam's rational approximation, |err| <
-/// 1.15e-9). Used to map hashed uniforms to normal deviates and by the
-/// calibration tables.
-double inverse_normal_cdf(double p);
-
-/// Standard normal CDF.
-double normal_cdf(double z);
+/// The normal-distribution helpers moved to common/normal.hpp (the
+/// counter-based sampler in common/rng needs them below the dram layer);
+/// re-exported here for the dram call sites that grew up with them.
+using simra::inverse_normal_cdf;
+using simra::normal_cdf;
 
 }  // namespace simra::dram

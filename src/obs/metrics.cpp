@@ -13,15 +13,19 @@ Histogram::Histogram(std::string name, std::vector<double> bounds)
   for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
 }
 
-void Histogram::observe(double value) noexcept {
+void Histogram::observe(double value) noexcept { observe(value, 1); }
+
+void Histogram::observe(double value, std::uint64_t weight) noexcept {
+  if (weight == 0) return;
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
   const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
-  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
+  counts_[bucket].fetch_add(weight, std::memory_order_relaxed);
+  count_.fetch_add(weight, std::memory_order_relaxed);
+  const double add = value * static_cast<double>(weight);
   std::uint64_t expected = sum_bits_.load(std::memory_order_relaxed);
   while (!sum_bits_.compare_exchange_weak(
-      expected, std::bit_cast<std::uint64_t>(std::bit_cast<double>(expected) +
-                                             value),
+      expected,
+      std::bit_cast<std::uint64_t>(std::bit_cast<double>(expected) + add),
       std::memory_order_relaxed)) {
   }
 }

@@ -44,6 +44,12 @@ class Histogram {
   Histogram(std::string name, std::vector<double> bounds);
 
   void observe(double value) noexcept;
+  /// Count-weighted observation: `weight` identical observations in one
+  /// update. Lets batched producers (e.g. the per-class margin chain,
+  /// observing once per sum class with the class's column count) keep
+  /// histogram totals equal to the per-column loop they replaced at a
+  /// fraction of the atomic traffic.
+  void observe(double value, std::uint64_t weight) noexcept;
 
   const std::string& name() const noexcept { return name_; }
   const std::vector<double>& bounds() const noexcept { return bounds_; }

@@ -178,12 +178,14 @@ TEST_F(ElectricalTest, FracSenseBiasedForMicron) {
   ElectricalModel model(&micron, &var);
   BitlineContext c;
   c.columns = micron.geometry.columns;
-  const BitVec sensed = model.sense_frac_row(c, rng_);
+  Rng::CounterStream noise(1, 0xf7acULL);
+  const BitVec sensed = model.sense_frac_row(c, noise);
   EXPECT_EQ(sensed.popcount(), micron.geometry.columns);  // biased to one.
 }
 
 TEST_F(ElectricalTest, FracSenseMixedForUnbiased) {
-  const BitVec sensed = model_.sense_frac_row(ctx(), rng_);
+  Rng::CounterStream noise(1, 0xf7acULL);
+  const BitVec sensed = model_.sense_frac_row(ctx(), noise);
   const double frac =
       static_cast<double>(sensed.popcount()) / profile_.geometry.columns;
   EXPECT_GT(frac, 0.3);

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <span>
 #include <vector>
 
 #include "common/bitvec.hpp"
@@ -164,6 +166,229 @@ TEST(KernelsTest, PatternNoiseMatchesSeedScalar) {
   EXPECT_GT(ElectricalModel::estimate_pattern_noise(random_only), 0.4);
 }
 
+// The dispatched counter fill must replay CounterStream's per-index
+// definition (draw i = f(prefix, base + i)) for any base, including the
+// stream's own fill().
+TEST(KernelsTest, CounterNormalFillMatchesStream) {
+  for (std::size_t n : kSizes) {
+    Rng::CounterStream stream(42, 7);
+    const std::uint64_t prefix = stream.prefix();
+    std::vector<double> from_stream(n);
+    stream.fill(from_stream);
+    EXPECT_EQ(stream.cursor(), n);
+
+    std::vector<double> from_kernel(n);
+    kernels::counter_normal_fill(prefix, 0, from_kernel);
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(from_kernel[i], from_stream[i]) << "n=" << n << " i=" << i;
+
+    // at() is position-independent and does not move the cursor.
+    Rng::CounterStream probe(42, 7);
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(probe.at(i), from_stream[i]) << "n=" << n << " i=" << i;
+    EXPECT_EQ(probe.cursor(), 0u);
+  }
+}
+
+// fill(N) == fill(N/2) + fill(N/2): chunking (and hence any schedule or
+// batching that preserves draw indices) cannot change the values.
+TEST(KernelsTest, CounterNormalFillChunkingInvariant) {
+  constexpr std::size_t kN = 4096;
+  Rng::CounterStream whole(0x5eed, 0xf7ac);
+  std::vector<double> one_shot(kN);
+  whole.fill(one_shot);
+
+  Rng::CounterStream halves(0x5eed, 0xf7ac);
+  std::vector<double> chunked(kN);
+  halves.fill(std::span<double>(chunked).first(kN / 2));
+  halves.fill(std::span<double>(chunked).subspan(kN / 2));
+  EXPECT_EQ(chunked, one_shot);
+
+  // The kernel entry point with explicit bases chunks identically, in
+  // uneven pieces too.
+  std::vector<double> pieces(kN);
+  std::size_t done = 0;
+  for (std::size_t chunk : {std::size_t{1}, std::size_t{63}, std::size_t{500},
+                            kN}) {
+    const std::size_t take = std::min(chunk, kN - done);
+    kernels::counter_normal_fill(
+        whole.prefix(), done, std::span<double>(pieces).subspan(done, take));
+    done += take;
+  }
+  kernels::counter_normal_fill(whole.prefix(), done,
+                               std::span<double>(pieces).subspan(done));
+  EXPECT_EQ(pieces, one_shot);
+}
+
+// Distinct (seed, domain) pairs decorrelate; same pair replays.
+TEST(KernelsTest, CounterStreamKeying) {
+  Rng::CounterStream a(1, 2), a2(1, 2), b(1, 3), c(2, 2);
+  EXPECT_EQ(a.prefix(), a2.prefix());
+  EXPECT_NE(a.prefix(), b.prefix());
+  EXPECT_NE(a.prefix(), c.prefix());
+  EXPECT_EQ(a.next(), a2.next());
+  EXPECT_NE(a.at(0), b.at(0));
+}
+
+// Scalar margin_chain reference, straight from the resolve math.
+void scalar_margin_chain(std::span<const float> sums,
+                         const kernels::MarginChainParams& p,
+                         std::span<double> zg, std::span<std::int32_t> flags) {
+  for (std::size_t i = 0; i < sums.size(); ++i) {
+    const double sum = sums[i];
+    if (std::abs(sum) < 1e-9) {
+      flags[i] = kernels::kClassTie;
+      zg[i] = 0.0;
+      continue;
+    }
+    flags[i] = sum > 0.0 ? kernels::kClassMajorityOne : 0;
+    const double x =
+        p.gain * std::pow(std::abs(sum) / (p.cap_ratio + p.n_connected),
+                          p.margin_exponent);
+    const double z = (x - p.threshold) / p.noise_denominator - p.z_penalty +
+                     p.vendor_shift;
+    zg[i] = z / p.g;
+  }
+}
+
+kernels::MarginChainParams test_margin_params() {
+  kernels::MarginChainParams p;
+  p.gain = 1.1;
+  p.g = 0.97;
+  p.noise_denominator = 1.8;
+  p.threshold = 0.4;
+  p.vendor_shift = -0.05;
+  p.z_penalty = 0.3;
+  p.n_connected = 9.0;
+  p.cap_ratio = 6.0;
+  p.margin_exponent = 0.8;
+  return p;
+}
+
+TEST(KernelsTest, MarginChainMatchesScalar) {
+  const kernels::MarginChainParams p = test_margin_params();
+  for (std::size_t n : kSizes) {
+    auto sums = random_floats(n, n + 31);
+    if (n > 2) sums[2] = 0.0f;  // exact tie class.
+    if (n > 4) sums[4] = 5e-10f;
+    std::vector<double> want_zg(n), zg(n);
+    std::vector<std::int32_t> want_flags(n), flags(n);
+    scalar_margin_chain(sums, p, want_zg, want_flags);
+    kernels::margin_chain(sums, p, zg, flags);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(flags[i], want_flags[i]) << "n=" << n << " i=" << i;
+      ASSERT_EQ(zg[i], want_zg[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(KernelsTest, MarginChainRejectsSizeMismatch) {
+  const auto sums = random_floats(8, 1);
+  std::vector<double> zg(7);
+  std::vector<std::int32_t> flags(8);
+  EXPECT_THROW(
+      kernels::margin_chain(sums, test_margin_params(), zg, flags),
+      std::invalid_argument);
+  zg.resize(8);
+  flags.resize(9);
+  EXPECT_THROW(
+      kernels::margin_chain(sums, test_margin_params(), zg, flags),
+      std::invalid_argument);
+}
+
+// Scalar class_resolve reference: the per-column branch of the original
+// resolve loop.
+std::size_t scalar_class_resolve(std::span<const std::int32_t> class_of,
+                                 std::span<const double> zg,
+                                 std::span<const std::int32_t> flags,
+                                 std::span<const float> zetas,
+                                 std::span<const float> polarities,
+                                 BitVec& resolved, BitVec& stable,
+                                 BitVec& ties) {
+  std::size_t n_ties = 0;
+  for (std::size_t c = 0; c < class_of.size(); ++c) {
+    const auto cls = static_cast<std::size_t>(class_of[c]);
+    if ((flags[cls] & kernels::kClassTie) != 0) {
+      ties.set(c, true);
+      ++n_ties;
+    } else if (zg[cls] > zetas[c]) {
+      resolved.set(c, (flags[cls] & kernels::kClassMajorityOne) != 0);
+      stable.set(c, true);
+    } else {
+      resolved.set(c, polarities[c] > 0.0f);
+    }
+  }
+  return n_ties;
+}
+
+struct ClassResolveCase {
+  std::vector<std::int32_t> class_of;
+  std::vector<double> zg;
+  std::vector<std::int32_t> flags;
+  std::vector<float> zetas;
+  std::vector<float> polarities;
+};
+
+ClassResolveCase make_class_resolve_case(std::size_t n, std::uint64_t seed) {
+  ClassResolveCase cs;
+  Rng rng(seed);
+  constexpr std::size_t kClasses = 12;
+  cs.zg.resize(kClasses);
+  cs.flags.resize(kClasses);
+  for (std::size_t i = 0; i < kClasses; ++i) {
+    if (i % 5 == 3) {
+      cs.flags[i] = kernels::kClassTie;
+      cs.zg[i] = 0.0;
+    } else {
+      cs.flags[i] = rng.chance(0.5) ? kernels::kClassMajorityOne : 0;
+      cs.zg[i] = rng.normal();
+    }
+  }
+  cs.class_of.resize(n);
+  cs.zetas.resize(n);
+  cs.polarities.resize(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    cs.class_of[c] = static_cast<std::int32_t>(rng.below(kClasses));
+    cs.zetas[c] = static_cast<float>(rng.normal());
+    cs.polarities[c] = static_cast<float>(rng.normal());
+  }
+  return cs;
+}
+
+TEST(KernelsTest, ClassResolveMatchesScalar) {
+  for (std::size_t n : kSizes) {
+    const ClassResolveCase cs = make_class_resolve_case(n, n + 41);
+    BitVec resolved(n), stable(n), ties(n);
+    const std::size_t n_ties =
+        kernels::class_resolve(cs.class_of, cs.zg, cs.flags, cs.zetas,
+                               cs.polarities, resolved, stable, ties);
+    BitVec want_resolved(n), want_stable(n), want_ties(n);
+    const std::size_t want_n_ties =
+        scalar_class_resolve(cs.class_of, cs.zg, cs.flags, cs.zetas,
+                             cs.polarities, want_resolved, want_stable,
+                             want_ties);
+    EXPECT_EQ(n_ties, want_n_ties) << "n=" << n;
+    EXPECT_EQ(resolved.words(), want_resolved.words()) << "n=" << n;
+    EXPECT_EQ(stable.words(), want_stable.words()) << "n=" << n;
+    EXPECT_EQ(ties.words(), want_ties.words()) << "n=" << n;
+  }
+}
+
+TEST(KernelsTest, ClassResolveRejectsShortSpans) {
+  const ClassResolveCase cs = make_class_resolve_case(64, 1);
+  BitVec resolved(64), stable(64), ties(64);
+  const std::vector<float> short_zetas(63);
+  EXPECT_THROW(
+      kernels::class_resolve(cs.class_of, cs.zg, cs.flags, short_zetas,
+                             cs.polarities, resolved, stable, ties),
+      std::invalid_argument);
+  const std::vector<float> short_pols(63);
+  EXPECT_THROW(
+      kernels::class_resolve(cs.class_of, cs.zg, cs.flags, cs.zetas,
+                             short_pols, resolved, stable, ties),
+      std::invalid_argument);
+}
+
 // The batched deviate fill must replay the scalar per-cell hash chain.
 TEST(KernelsTest, VariationNormalFillMatchesScalar) {
   const VariationField field(42);
@@ -306,6 +531,71 @@ TEST_F(SimdTierEquivalence, HashedUniformFillBitIdentical) {
       for (std::size_t i = 0; i < n; ++i)
         ASSERT_EQ(avx2[i], scalar[i]) << "n=" << n << " i=" << i;
     }
+  }
+}
+
+TEST_F(SimdTierEquivalence, CounterNormalFillBitIdentical) {
+  // Bases straddling the 8-lane grain exercise the vector path's index
+  // arithmetic; 8192 draws reach the Acklam tail fixup lanes.
+  for (std::size_t n : kSizes) {
+    for (std::uint64_t base :
+         {std::uint64_t{0}, std::uint64_t{5}, std::uint64_t{1} << 40}) {
+      const std::uint64_t prefix = hash_combine(0x5eed, 0xf7ac);
+      std::vector<double> scalar(n);
+      {
+        ScopedSimd scoped(kernels::SimdTier::scalar);
+        kernels::counter_normal_fill(prefix, base, scalar);
+      }
+      ScopedSimd scoped(kernels::SimdTier::avx2);
+      std::vector<double> avx2(n);
+      kernels::counter_normal_fill(prefix, base, avx2);
+      for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(avx2[i], scalar[i])
+            << "n=" << n << " base=" << base << " i=" << i;
+    }
+  }
+}
+
+TEST_F(SimdTierEquivalence, MarginChainBitIdentical) {
+  const kernels::MarginChainParams p = test_margin_params();
+  for (std::size_t n : kSizes) {
+    auto sums = random_floats(n, n + 53);
+    if (n > 1) sums[1] = 0.0f;  // tie lane inside a vector chunk.
+    std::vector<double> zg_scalar(n), zg(n);
+    std::vector<std::int32_t> flags_scalar(n), flags(n);
+    {
+      ScopedSimd scoped(kernels::SimdTier::scalar);
+      kernels::margin_chain(sums, p, zg_scalar, flags_scalar);
+    }
+    ScopedSimd scoped(kernels::SimdTier::avx2);
+    kernels::margin_chain(sums, p, zg, flags);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(flags[i], flags_scalar[i]) << "n=" << n << " i=" << i;
+      ASSERT_EQ(zg[i], zg_scalar[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST_F(SimdTierEquivalence, ClassResolveBitIdentical) {
+  for (std::size_t n : kSizes) {
+    const ClassResolveCase cs = make_class_resolve_case(n, n + 61);
+    BitVec r_scalar(n), s_scalar(n), t_scalar(n);
+    std::size_t ties_scalar = 0;
+    {
+      ScopedSimd scoped(kernels::SimdTier::scalar);
+      ties_scalar =
+          kernels::class_resolve(cs.class_of, cs.zg, cs.flags, cs.zetas,
+                                 cs.polarities, r_scalar, s_scalar, t_scalar);
+    }
+    ScopedSimd scoped(kernels::SimdTier::avx2);
+    BitVec resolved(n), stable(n), ties(n);
+    EXPECT_EQ(kernels::class_resolve(cs.class_of, cs.zg, cs.flags, cs.zetas,
+                                     cs.polarities, resolved, stable, ties),
+              ties_scalar)
+        << "n=" << n;
+    EXPECT_EQ(resolved.words(), r_scalar.words()) << "n=" << n;
+    EXPECT_EQ(stable.words(), s_scalar.words()) << "n=" << n;
+    EXPECT_EQ(ties.words(), t_scalar.words()) << "n=" << n;
   }
 }
 

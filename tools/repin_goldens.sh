@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Re-pins the golden figure tables under tests/charz/golden/ from the
+# current build. Run this ONLY when a change is *meant* to alter the
+# simulated physics or the deterministic draw sequence (e.g. a new noise
+# sampler); for pure refactors the goldens must not move — a diff here is
+# the regression the suite exists to catch.
+#
+# Usage: tools/repin_goldens.sh [build-dir]   (default: build)
+#
+# The script rebuilds the golden test binary, regenerates every golden
+# via SIMRA_GOLDEN_UPDATE=1, then immediately re-runs the suite in
+# compare mode (including the SIMRA_THREADS=4 replay) so a re-pin can
+# never land in a state where the pinned bytes don't reproduce.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+if [[ ! -d "${BUILD_DIR}" ]]; then
+  cmake -B "${BUILD_DIR}" -S .
+fi
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target charz_test
+
+echo "== regenerating goldens (SIMRA_GOLDEN_UPDATE=1) =="
+SIMRA_GOLDEN_UPDATE=1 "${BUILD_DIR}/tests/charz_test" \
+  --gtest_filter='GoldenEquivalence.*'
+
+echo "== verifying re-pinned goldens reproduce =="
+"${BUILD_DIR}/tests/charz_test" --gtest_filter='GoldenEquivalence.*'
+
+echo "== goldens re-pinned =="
+git -C . status --short tests/charz/golden/
