@@ -1,0 +1,284 @@
+// Closed-loop load generator for the PUD serving front-end: C client
+// threads each submit one request, block on its ticket, and immediately
+// submit the next, while the service's background scheduler fuses
+// whatever is queued into per-shard batch programs. Records sustained
+// throughput and client-observed wall-clock latency (p50/p99) into
+// BENCH_serve.json (schema-versioned, entries keyed by
+// mode/plan/threads/clients so re-measuring a point replaces it).
+//
+// Knobs: SIMRA_SERVE_OPS / --ops=N        total requests (default 20000)
+//        SIMRA_SERVE_CLIENTS / --clients=N closed-loop clients (default 32)
+//        SIMRA_SERVE_MIX / --mix=...      op mix, e.g. "rowclone:90,majx:2"
+//        --assert-throughput=N            exit 1 below N ops/s (CI gate)
+//        SIMRA_SERVE_BENCH_JSON / --json= output path (BENCH_serve.json)
+// The SIMRA_SERVE_* service surface (shards, batch, vendors, ...) is read
+// by ServiceConfig::from_env() as documented in the README.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/service.hpp"
+#include "serve/workload.hpp"
+
+namespace {
+
+using namespace simra;
+using namespace simra::serve;
+
+std::string serve_json_path() {
+  const char* path = std::getenv("SIMRA_SERVE_BENCH_JSON");
+  return path != nullptr ? std::string(path) : std::string("BENCH_serve.json");
+}
+
+/// One measured closed-loop run, as recorded in BENCH_serve.json.
+struct ServeRunRecord {
+  std::string mode = "closed_loop";
+  std::string plan = "quick";
+  unsigned threads = 1;
+  std::size_t clients = 0;
+  std::size_t ops = 0;
+  double seconds = 0.0;
+  double ops_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  std::uint64_t ok = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t batch_attempts = 0;
+  std::uint64_t fused_requests = 0;
+  double mean_batch = 0.0;
+  std::size_t shards_healthy = 0;
+  std::size_t shards_total = 0;
+  std::string mix;
+};
+
+std::string entry_json(const ServeRunRecord& r) {
+  std::ostringstream os;
+  os << "    {\"mode\": \"" << r.mode << "\", \"plan\": \"" << r.plan
+     << "\", \"threads\": " << r.threads << ", \"clients\": " << r.clients
+     << ", \"ops\": " << r.ops << ", \"seconds\": " << std::fixed
+     << std::setprecision(4) << r.seconds << ", \"ops_per_sec\": "
+     << std::setprecision(1) << r.ops_per_sec << ", \"p50_us\": "
+     << std::setprecision(2) << r.p50_us << ", \"p99_us\": " << r.p99_us
+     << ", \"ok\": " << r.ok << ", \"rejected\": " << r.rejected
+     << ", \"batches\": " << r.batches << ", \"batch_attempts\": "
+     << r.batch_attempts << ", \"fused_requests\": " << r.fused_requests
+     << ", \"mean_batch\": " << std::setprecision(2) << r.mean_batch
+     << ", \"shards_healthy\": " << r.shards_healthy << ", \"shards_total\": "
+     << r.shards_total << ", \"mix\": \"" << r.mix << "\"}";
+  return os.str();
+}
+
+/// Replacement key: everything before the first measured field, i.e. the
+/// mode/plan/threads/clients identity of the point.
+std::string entry_key(const std::string& line) {
+  const auto cut = line.find(", \"ops\":");
+  return cut == std::string::npos ? line : line.substr(0, cut);
+}
+
+/// Rewrites BENCH_serve.json, keeping entries from earlier runs whose
+/// identity this run did not re-measure (same keep-and-replace policy as
+/// BENCH_harness.json).
+void write_serve_json(const std::vector<ServeRunRecord>& records) {
+  std::vector<std::string> lines;
+  std::ifstream in(serve_json_path());
+  for (std::string line; std::getline(in, line);) {
+    if (line.find("{\"mode\": \"") == std::string::npos) continue;
+    if (!line.empty() && line.back() == ',') line.pop_back();
+    bool replaced = false;
+    for (const ServeRunRecord& r : records)
+      if (entry_key(line) == entry_key(entry_json(r))) replaced = true;
+    if (!replaced) lines.push_back(line);
+  }
+  for (const ServeRunRecord& r : records) lines.push_back(entry_json(r));
+
+  std::string out = "{\n  \"schema\": 1,\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    out += lines[i];
+    if (i + 1 < lines.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  write_file(serve_json_path(), out);
+}
+
+double percentile(std::vector<double>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_us.size() - 1));
+  return sorted_us[idx];
+}
+
+/// One closed-loop measurement: `clients` threads round-robin the seeded
+/// request stream; each submits, blocks on its ticket, repeats. The
+/// first-touch costs (group steering trials, calibration) are paid by a
+/// short untimed warm-up drain before the clock starts.
+ServeRunRecord run_closed_loop(const WorkloadSpec& spec, std::size_t clients,
+                               std::size_t ops) {
+  Service service{ServiceConfig::from_env()};
+  WorkloadSpec wl = spec;
+  wl.columns = service.config().profiles.front().geometry.columns;
+
+  // Untimed warm-up: touch every bank/subarray slot the stream can reach.
+  {
+    std::vector<std::unique_ptr<Ticket>> warm;
+    for (std::size_t i = 0; i < 64; ++i) {
+      warm.push_back(std::make_unique<Ticket>());
+      (void)service.submit(make_request(wl, i), warm.back().get());
+    }
+    service.drain();
+    for (auto& ticket : warm) (void)ticket->wait();
+  }
+
+  service.start();
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<std::uint64_t> client_rejected(clients, 0);
+  const auto begin = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      latencies[c].reserve(ops / clients + 1);
+      for (std::size_t i = c; i < ops; i += clients) {
+        Request request = make_request(wl, i);
+        request.tenant = static_cast<std::uint32_t>(c);
+        Ticket ticket;
+        const auto t0 = std::chrono::steady_clock::now();
+        if (!service.submit(std::move(request), &ticket)) {
+          ++client_rejected[c];
+          (void)ticket.wait();
+          continue;
+        }
+        (void)ticket.wait();
+        latencies[c].push_back(
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+  service.stop();
+
+  std::vector<double> all;
+  for (const auto& per_client : latencies)
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  std::sort(all.begin(), all.end());
+
+  ServeRunRecord rec;
+  rec.plan = bench_common::plan_label();
+  rec.threads = charz::harness_threads();
+  rec.clients = clients;
+  rec.ops = ops;
+  rec.seconds = seconds;
+  rec.ops_per_sec =
+      seconds > 0.0 ? static_cast<double>(all.size()) / seconds : 0.0;
+  rec.p50_us = percentile(all, 0.50);
+  rec.p99_us = percentile(all, 0.99);
+  const ServeStats& stats = service.stats();
+  rec.ok = stats.ok;
+  for (const std::uint64_t n : client_rejected) rec.rejected += n;
+  rec.batches = stats.batches;
+  rec.batch_attempts = stats.batch_attempts;
+  rec.fused_requests = stats.fused_requests;
+  rec.mean_batch = stats.batches > 0
+                       ? static_cast<double>(stats.fused_requests) /
+                             static_cast<double>(stats.batches)
+                       : 0.0;
+  rec.shards_healthy = service.healthy_shards();
+  rec.shards_total = service.shard_count();
+  rec.mix = mix_string(wl);
+
+  std::cout << "clients=" << clients << ": " << all.size() << " ops in "
+            << Table::num(seconds, 3) << " s — "
+            << Table::num(rec.ops_per_sec, 0) << " ops/s, p50 "
+            << Table::num(rec.p50_us, 1) << " us, p99 "
+            << Table::num(rec.p99_us, 1) << " us, mean batch "
+            << Table::num(rec.mean_batch, 1) << " (" << rec.batches
+            << " batches, " << rec.shards_healthy << "/" << rec.shards_total
+            << " shards healthy)\n";
+  return rec;
+}
+
+std::size_t parse_size(const std::string& text, const char* what) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || value == 0) {
+    std::cerr << "bad " << what << ": " << text << "\n";
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t ops = parse_size(env_string("SIMRA_SERVE_OPS", "20000"), "ops");
+  std::size_t clients =
+      parse_size(env_string("SIMRA_SERVE_CLIENTS", "32"), "clients");
+  std::string mix = env_string("SIMRA_SERVE_MIX", "");
+  double assert_ops_per_sec = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&arg](const char* prefix) {
+      return arg.substr(std::string(prefix).size());
+    };
+    if (arg.rfind("--ops=", 0) == 0)
+      ops = parse_size(value_of("--ops="), "ops");
+    else if (arg.rfind("--clients=", 0) == 0)
+      clients = parse_size(value_of("--clients="), "clients");
+    else if (arg.rfind("--mix=", 0) == 0)
+      mix = value_of("--mix=");
+    else if (arg.rfind("--assert-throughput=", 0) == 0)
+      assert_ops_per_sec =
+          std::strtod(value_of("--assert-throughput=").c_str(), nullptr);
+    else if (arg.rfind("--json=", 0) == 0)
+      setenv("SIMRA_SERVE_BENCH_JSON", value_of("--json=").c_str(), 1);
+    else {
+      std::cerr << "unknown argument: " << arg << "\n"
+                << "usage: bench_serve [--ops=N] [--clients=N] [--mix=...]"
+                << " [--assert-throughput=N] [--json=path]\n";
+      return 2;
+    }
+  }
+
+  WorkloadSpec spec;
+  if (!mix.empty()) apply_mix(spec, mix);
+
+  std::cout << "=== PUD-as-a-service closed-loop load generator ===\n"
+            << "mix " << mix_string(spec) << ", " << ops << " ops, "
+            << charz::harness_threads() << " harness threads\n\n";
+
+  std::vector<ServeRunRecord> records;
+  // The single-client point pins the per-request latency floor (batch
+  // size 1); the configured-client point is the throughput measurement
+  // the CI gate applies to.
+  records.push_back(run_closed_loop(spec, 1, std::min<std::size_t>(ops, 2000)));
+  records.push_back(run_closed_loop(spec, clients, ops));
+  write_serve_json(records);
+  std::cout << "\nrecorded " << records.size() << " runs in "
+            << serve_json_path() << "\n";
+
+  const double measured = records.back().ops_per_sec;
+  if (assert_ops_per_sec > 0.0 && measured < assert_ops_per_sec) {
+    std::cout << "FAIL: " << Table::num(measured, 0) << " ops/s below the "
+              << Table::num(assert_ops_per_sec, 0) << " ops/s gate\n";
+    return 1;
+  }
+  std::cout << "PASS\n";
+  return 0;
+}

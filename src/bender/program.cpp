@@ -127,6 +127,24 @@ Program& Program::pad_after_last(CommandKind kind, Nanoseconds delay) {
   return *this;
 }
 
+Program& Program::append(const Program& other) {
+  if (cursor_occupied_) {
+    ++cursor_;
+    cursor_occupied_ = false;
+  }
+  const std::uint64_t base = cursor_;
+  commands_.reserve(commands_.size() + other.commands_.size());
+  for (TimedCommand cmd : other.commands_) {
+    cmd.slot += base;
+    commands_.push_back(std::move(cmd));
+  }
+  intents_.insert(intents_.end(), other.intents_.begin(),
+                  other.intents_.end());
+  cursor_ = base + other.cursor_;
+  cursor_occupied_ = other.cursor_occupied_;
+  return *this;
+}
+
 Program& Program::expect(verify::Intent intent) {
   intents_.push_back(std::move(intent));
   return *this;

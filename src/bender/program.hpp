@@ -86,6 +86,16 @@ class Program {
   /// before a PRE.
   Program& pad_after_last(CommandKind kind, Nanoseconds delay);
 
+  /// Appends another program's commands after this one's cursor: every
+  /// appended command keeps its relative slot offset, declared intents
+  /// carry over, and the cursor advances by the appended program's cursor
+  /// extent. The caller is responsible for inter-program spacing (e.g.
+  /// `delay_at_least(tRP)` / `pad_after_last(kAct, tFAW)` before the
+  /// append) — append itself inserts no gap beyond slot alignment, which
+  /// is what lets a batch scheduler fuse many per-op programs into one
+  /// without perturbing any intra-op timing.
+  Program& append(const Program& other);
+
   /// Declares an intended timing violation (see simra::verify): findings
   /// matching a declared intent are classified kIntended by the analyzer.
   Program& expect(verify::Intent intent);

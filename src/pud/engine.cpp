@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "pud/program_builders.hpp"
+
 namespace simra::pud {
 
 using bender::Program;
@@ -13,24 +15,12 @@ Engine::Engine(dram::Chip* chip) : chip_(chip), executor_(chip) {
 
 dram::RowAddr Engine::global_of(dram::SubarrayId sa,
                                 dram::RowAddr local) const {
-  return static_cast<dram::RowAddr>(sa) *
-             static_cast<dram::RowAddr>(layout().rows()) +
-         local;
+  return programs::global_row(sa, layout().rows(), local);
 }
 
 void Engine::write_row(dram::BankId bank, dram::RowAddr global_row,
                        const BitVec& data) {
-  const auto& t = chip_->profile().timings;
-  Program p;
-  p.set_name("write_row");
-  p.act(bank, global_row)
-      .delay_at_least(t.tRCD)
-      .wr(bank, 0, data)
-      .delay_at_least(t.tWR)
-      .pad_after_last(bender::CommandKind::kAct, t.tRAS)
-      .pre(bank)
-      .delay_at_least(t.tRP);
-  executor_.run(p);
+  executor_.run(programs::write_row(chip_->profile(), bank, global_row, data));
 }
 
 BitVec Engine::read_row(dram::BankId bank, dram::RowAddr global_row) {
@@ -40,69 +30,26 @@ BitVec Engine::read_row(dram::BankId bank, dram::RowAddr global_row) {
 
 BitVec Engine::read_row_prefix(dram::BankId bank, dram::RowAddr global_row,
                                std::size_t nbits) {
-  const auto& t = chip_->profile().timings;
-  Program p;
-  p.set_name("read_row");
-  p.act(bank, global_row)
-      .delay_at_least(t.tRCD)
-      .rd(bank, 0, nbits)
-      .delay_at_least(t.tCCD)
-      .pad_after_last(bender::CommandKind::kAct, t.tRAS)
-      .pre(bank)
-      .delay_at_least(t.tRP);
-  auto result = executor_.run(p);
+  auto result =
+      executor_.run(programs::read_row(chip_->profile(), bank, global_row, nbits));
   return std::move(result.reads.front());
 }
 
 void Engine::frac(dram::BankId bank, dram::RowAddr global_row) {
-  const auto& t = chip_->profile().timings;
-  Program p;
-  p.set_name("frac").expect(verify::frac_intents(static_cast<int>(bank)));
-  // ACT -> PRE long before the sense amplifiers fire: the cells are left
-  // half charge-shared at ~VDD/2.
-  p.act(bank, global_row)
-      .delay(Nanoseconds{1.5})
-      .pre(bank)
-      .delay_at_least(t.tRP);
-  executor_.run(p);
+  executor_.run(programs::frac(chip_->profile(), bank, global_row));
 }
 
 void Engine::rowclone(dram::BankId bank, dram::RowAddr src_global,
                       dram::RowAddr dst_global) {
-  const auto& t = chip_->profile().timings;
-  Program p;
-  p.set_name("rowclone")
-      .expect(verify::rowclone_intents(static_cast<int>(bank)));
-  // Full tRAS lets the SA latch the source; t2 = 6 ns de-asserts the
-  // source wordline but leaves the bitlines un-precharged -> the second
-  // ACT overwrites dst with the SA contents (consecutive activation).
-  p.act(bank, src_global)
-      .delay_at_least(t.tRAS)
-      .pre(bank)
-      .delay(Nanoseconds{6.0})
-      .act(bank, dst_global)
-      .delay_at_least(t.tRAS)
-      .pre(bank)
-      .delay_at_least(t.tRP);
-  executor_.run(p);
+  executor_.run(
+      programs::rowclone(chip_->profile(), bank, src_global, dst_global));
 }
 
 Program Engine::apa_program(dram::BankId bank, dram::RowAddr rf_global,
                             dram::RowAddr rs_global, ApaTimings timings,
                             bool read_buffer) const {
-  const auto& t = chip_->profile().timings;
-  const std::size_t columns = chip_->profile().geometry.columns;
-  Program p;
-  p.set_name("apa").expect(verify::apa_intents(static_cast<int>(bank)));
-  p.act(bank, rf_global)
-      .delay(timings.t1)
-      .pre(bank)
-      .delay(timings.t2)
-      .act(bank, rs_global)
-      .delay_at_least(t.tRAS);
-  if (read_buffer) p.rd(bank, 0, columns).delay_at_least(t.tCCD);
-  p.pre(bank).delay_at_least(t.tRP);
-  return p;
+  return programs::apa(chip_->profile(), bank, rf_global, rs_global, timings,
+                       read_buffer);
 }
 
 void Engine::multi_row_copy(dram::BankId bank, dram::SubarrayId sa,
@@ -124,22 +71,9 @@ BitVec Engine::apa(dram::BankId bank, dram::SubarrayId sa,
 void Engine::apa_then_write(dram::BankId bank, dram::SubarrayId sa,
                             const RowGroup& group, const BitVec& data,
                             ApaTimings timings) {
-  const auto& t = chip_->profile().timings;
-  Program p;
-  p.set_name("apa_then_write")
-      .expect(verify::apa_intents(static_cast<int>(bank)));
-  p.act(bank, global_of(sa, group.row_first))
-      .delay(timings.t1)
-      .pre(bank)
-      .delay(timings.t2)
-      .act(bank, global_of(sa, group.row_second))
-      .delay_at_least(t.tRCD)
-      .wr(bank, 0, data)
-      .delay_at_least(t.tWR)
-      .pad_after_last(bender::CommandKind::kAct, t.tRAS)
-      .pre(bank)
-      .delay_at_least(t.tRP);
-  executor_.run(p);
+  executor_.run(programs::apa_then_write(
+      chip_->profile(), bank, global_of(sa, group.row_first),
+      global_of(sa, group.row_second), data, timings));
 }
 
 BitVec Engine::majx(dram::BankId bank, dram::SubarrayId sa,
@@ -148,38 +82,9 @@ BitVec Engine::majx(dram::BankId bank, dram::SubarrayId sa,
     throw std::invalid_argument("MAJX needs an odd operand count >= 3");
   if (config.operands.size() != config.x)
     throw std::invalid_argument("operand count does not match X");
-  if (group.size() < config.x)
-    throw std::invalid_argument("group smaller than the operand count");
-
-  const std::size_t replicas = group.size() / config.x;
-  const std::size_t data_rows = replicas * config.x;
-
-  // Assignment order: R_F first (it must carry data — a Frac'd R_F would
-  // be re-sensed and destroyed by the first ACT), then the rest of the
-  // group in address order.
-  std::vector<dram::RowAddr> order;
-  order.reserve(group.size());
-  order.push_back(group.row_first);
-  for (dram::RowAddr r : group.rows)
-    if (r != group.row_first) order.push_back(r);
-
-  bool neutral_toggle = false;
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    const dram::RowAddr global = global_of(sa, order[i]);
-    if (i < data_rows) {
-      write_row(bank, global, config.operands[i % config.x]);
-    } else if (chip_->profile().supports_frac) {
-      // True neutral rows at VDD/2.
-      frac(bank, global);
-    } else {
-      // Frac-less vendors (Mfr. M, fn. 5): emulate neutrality with
-      // alternating all-0s/all-1s rows. An odd leftover row biases the
-      // bitline by a full cell — the structural reason MAJ9 fails there.
-      BitVec fill(chip_->profile().geometry.columns, neutral_toggle);
-      neutral_toggle = !neutral_toggle;
-      write_row(bank, global, fill);
-    }
-  }
+  for (Program& p : programs::majx_staging(chip_->profile(), layout().rows(),
+                                           bank, sa, group, config.operands))
+    executor_.run(p);
   return apa(bank, sa, group, config.timings);
 }
 

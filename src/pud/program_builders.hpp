@@ -1,0 +1,70 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bender/program.hpp"
+#include "common/bitvec.hpp"
+#include "dram/vendor.hpp"
+#include "pud/engine.hpp"
+#include "pud/row_group.hpp"
+
+namespace simra::pud::programs {
+
+/// Free-function builders for the per-operation command programs the
+/// `pud::Engine` issues. Each returns exactly the program the engine's
+/// corresponding method runs — same commands, same slots, same intents,
+/// same name — so any layer that replays them (the engine serially, the
+/// serve batch compiler fused) produces byte-identical chip behaviour by
+/// construction. The engine delegates here; nothing is duplicated.
+
+/// Subarray-local row to bank-global address (`rows_per_subarray` is
+/// `PredecoderLayout::rows()`).
+dram::RowAddr global_row(dram::SubarrayId sa, std::size_t rows_per_subarray,
+                         dram::RowAddr local);
+
+/// ACT, WR(full row), PRE at nominal timings.
+bender::Program write_row(const dram::VendorProfile& profile,
+                          dram::BankId bank, dram::RowAddr global_row,
+                          BitVec data);
+
+/// ACT, RD of the first `nbits`, PRE at nominal timings.
+bender::Program read_row(const dram::VendorProfile& profile, dram::BankId bank,
+                         dram::RowAddr global_row, std::size_t nbits);
+
+/// The Frac operation: ACT -> immediate PRE leaves the cells at ~VDD/2.
+bender::Program frac(const dram::VendorProfile& profile, dram::BankId bank,
+                     dram::RowAddr global_row);
+
+/// Intra-subarray RowClone via consecutive activation (t2 = 6 ns).
+bender::Program rowclone(const dram::VendorProfile& profile, dram::BankId bank,
+                         dram::RowAddr src_global, dram::RowAddr dst_global);
+
+/// The APA (ACT -> PRE -> ACT) sequence, optionally reading the row
+/// buffer back before the final precharge.
+bender::Program apa(const dram::VendorProfile& profile, dram::BankId bank,
+                    dram::RowAddr rf_global, dram::RowAddr rs_global,
+                    ApaTimings timings, bool read_buffer);
+
+/// APA followed by a nominal-timing WR while the rows stay open (§3.2's
+/// simultaneous-activation test step).
+bender::Program apa_then_write(const dram::VendorProfile& profile,
+                               dram::BankId bank, dram::RowAddr rf_global,
+                               dram::RowAddr rs_global, BitVec data,
+                               ApaTimings timings);
+
+/// The MAJX staging sequence (§3.3): R_F first (it must carry data), then
+/// the rest of the group in address order; the X operands replicate
+/// floor(N/X) times, the N%X leftover rows become neutral rows (Frac, or
+/// the alternating all-0s/all-1s emulation on Frac-less vendors). Returns
+/// the per-row programs in issue order; the APA itself is built with
+/// `apa()`. Throws std::invalid_argument exactly as `Engine::majx` does
+/// for malformed configurations.
+std::vector<bender::Program> majx_staging(const dram::VendorProfile& profile,
+                                          std::size_t rows_per_subarray,
+                                          dram::BankId bank,
+                                          dram::SubarrayId sa,
+                                          const RowGroup& group,
+                                          std::span<const BitVec> operands);
+
+}  // namespace simra::pud::programs

@@ -1,0 +1,68 @@
+#include "serve/admission.hpp"
+
+#include "common/rng.hpp"
+
+namespace simra::serve {
+
+const char* to_string(Admission verdict) {
+  switch (verdict) {
+    case Admission::kAdmit:
+      return "admit";
+    case Admission::kQueueFull:
+      return "queue_full";
+    case Admission::kTenantOverQuota:
+      return "tenant_over_quota";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(std::size_t global_limit,
+                                         std::size_t tenant_quota,
+                                         std::size_t tenant_slots)
+    : global_limit_(global_limit),
+      tenant_quota_(tenant_quota),
+      tenant_slots_(tenant_slots == 0 ? 1 : tenant_slots),
+      tenants_(std::make_unique<std::atomic<std::int64_t>[]>(
+          tenant_slots == 0 ? 1 : tenant_slots)) {
+  for (std::size_t i = 0; i < tenant_slots_; ++i)
+    tenants_[i].store(0, std::memory_order_relaxed);
+}
+
+std::size_t AdmissionController::slot_of(std::uint32_t tenant) const noexcept {
+  return static_cast<std::size_t>(hash64(tenant)) % tenant_slots_;
+}
+
+Admission AdmissionController::try_admit(std::uint32_t tenant) noexcept {
+  // Optimistic increments with rollback: both counters only ever
+  // over-count transiently, so the caps are never exceeded once the
+  // verdict is returned.
+  const std::int64_t global_now =
+      global_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (global_now > static_cast<std::int64_t>(global_limit_)) {
+    global_.fetch_sub(1, std::memory_order_relaxed);
+    return Admission::kQueueFull;
+  }
+  std::atomic<std::int64_t>& slot = tenants_[slot_of(tenant)];
+  const std::int64_t tenant_now =
+      slot.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (tenant_now > static_cast<std::int64_t>(tenant_quota_)) {
+    slot.fetch_sub(1, std::memory_order_relaxed);
+    global_.fetch_sub(1, std::memory_order_relaxed);
+    return Admission::kTenantOverQuota;
+  }
+  return Admission::kAdmit;
+}
+
+void AdmissionController::release(std::uint32_t tenant) noexcept {
+  tenants_[slot_of(tenant)].fetch_sub(1, std::memory_order_relaxed);
+  global_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::size_t AdmissionController::tenant_in_flight(
+    std::uint32_t tenant) const noexcept {
+  const std::int64_t v =
+      tenants_[slot_of(tenant)].load(std::memory_order_relaxed);
+  return v > 0 ? static_cast<std::size_t>(v) : 0;
+}
+
+}  // namespace simra::serve

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace simra::serve {
+
+/// Admission verdict for one submission.
+enum class Admission : std::uint8_t {
+  kAdmit,
+  kQueueFull,       ///< global in-flight limit reached.
+  kTenantOverQuota, ///< the submitting tenant's share is exhausted.
+};
+
+const char* to_string(Admission verdict);
+
+/// Lock-free admission control: a global in-flight cap (bounding scheduler
+/// memory) plus a per-tenant quota so one tenant cannot starve the rest —
+/// the paper's "many users" framing needs isolation, not just throughput.
+/// Tenants hash into a fixed array of slots; `release` must be called
+/// exactly once per admitted request (the service does so on delivery).
+class AdmissionController {
+ public:
+  AdmissionController(std::size_t global_limit, std::size_t tenant_quota,
+                      std::size_t tenant_slots = 64);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  Admission try_admit(std::uint32_t tenant) noexcept;
+  void release(std::uint32_t tenant) noexcept;
+
+  std::size_t in_flight() const noexcept {
+    return static_cast<std::size_t>(
+        global_.load(std::memory_order_relaxed));
+  }
+  std::size_t tenant_in_flight(std::uint32_t tenant) const noexcept;
+  std::size_t global_limit() const noexcept { return global_limit_; }
+  std::size_t tenant_quota() const noexcept { return tenant_quota_; }
+
+ private:
+  std::size_t slot_of(std::uint32_t tenant) const noexcept;
+
+  std::size_t global_limit_;
+  std::size_t tenant_quota_;
+  std::size_t tenant_slots_;
+  std::atomic<std::int64_t> global_{0};
+  std::unique_ptr<std::atomic<std::int64_t>[]> tenants_;
+};
+
+}  // namespace simra::serve

@@ -1,0 +1,33 @@
+#include "serve/request.hpp"
+
+namespace simra::serve {
+
+const char* to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kRowClone:
+      return "rowclone";
+    case OpKind::kMultiRowCopy:
+      return "multi_row_copy";
+    case OpKind::kBulkInit:
+      return "bulk_init";
+    case OpKind::kMajx:
+      return "majx";
+  }
+  return "?";
+}
+
+const char* to_string(Status status) {
+  switch (status) {
+    case Status::kOk:
+      return "ok";
+    case Status::kRejected:
+      return "rejected";
+    case Status::kExpired:
+      return "expired";
+    case Status::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+}  // namespace simra::serve

@@ -1,0 +1,250 @@
+#include "serve/shard.hpp"
+
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+
+namespace simra::serve {
+
+namespace {
+
+std::uint64_t shard_chip_seed(std::uint64_t service_seed,
+                              std::uint32_t index) {
+  return hash_combine(service_seed, index);
+}
+
+}  // namespace
+
+Shard::Shard(Config config, std::uint32_t index)
+    : config_(std::move(config)),
+      index_(index),
+      chip_(config_.profile, shard_chip_seed(config_.seed, index)),
+      engine_(&chip_),
+      compiler_(&chip_.profile(), &chip_.layout()),
+      steer_rng_(hash_combine(hash_combine(config_.seed, 0x57eeull), index)),
+      reliability_(&engine_, &steer_rng_) {}
+
+const pud::RowGroup& Shard::group_for(dram::BankId bank, dram::SubarrayId sa) {
+  const auto key = std::make_pair(bank, sa);
+  if (auto it = groups_.find(key); it != groups_.end()) return it->second;
+
+  // Candidate groups derive from (service seed, bank, subarray) alone, so
+  // the same slot always sees the same candidates regardless of when (or
+  // on which worker) it is first profiled.
+  Rng rng(hash_combine(hash_combine(hash_combine(config_.seed, 0x9f0full),
+                                    bank),
+                       sa));
+  std::vector<pud::RowGroup> candidates;
+  candidates.reserve(config_.candidate_groups);
+  for (std::size_t i = 0; i < std::max<std::size_t>(config_.candidate_groups, 1);
+       ++i)
+    candidates.push_back(
+        pud::sample_group(chip_.layout(), config_.group_size, rng));
+  std::size_t pick = 0;
+  if (config_.steer && candidates.size() > 1 && config_.group_size >= 3)
+    pick = reliability_.best_group(bank, sa, candidates, 3,
+                                   config_.steer_trials);
+  return groups_.emplace(key, candidates[pick]).first->second;
+}
+
+std::vector<CompiledRequest> Shard::compile_batch(
+    std::span<const BatchItem> batch, BatchOutcome& outcome) {
+  static const pud::RowGroup kNoGroup{};
+  outcome.responses.resize(batch.size());
+  outcome.rejected.assign(batch.size(), false);
+  std::vector<CompiledRequest> compiled;
+  compiled.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Request& request = batch[i].request;
+    const pud::RowGroup* group = &kNoGroup;
+    if (request.op != OpKind::kRowClone)
+      group = &group_for(request.bank, request.sa);
+    Response& response = outcome.responses[i];
+    response.id = request.id;
+    response.shard = index_;
+    if (std::string why = compiler_.validate(request, *group); !why.empty()) {
+      response.status = Status::kRejected;
+      response.error = std::move(why);
+      outcome.rejected[i] = true;
+      continue;
+    }
+    compiled.push_back(compiler_.compile(request, *group));
+  }
+  return compiled;
+}
+
+void Shard::finalize_responses(std::span<const BatchItem> batch,
+                               std::span<const CompiledRequest> compiled,
+                               std::span<const FusedExtent> extents,
+                               std::vector<BitVec>& reads, unsigned attempts,
+                               std::uint64_t batch_seq,
+                               BatchOutcome& outcome) {
+  std::size_t next_read = 0;
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (outcome.rejected[i]) continue;
+    const CompiledRequest& cr = compiled[live];
+    const FusedExtent& extent = extents[live];
+    Response& response = outcome.responses[i];
+    response.status = Status::kOk;
+    response.batch = batch_seq;
+    response.attempts = attempts;
+    response.virtual_ns = extent.end_ns;
+    if (cr.reads > 0) {
+      response.result = std::move(reads.at(next_read));
+      next_read += cr.reads;
+    }
+    if (outcome.buffer) {
+      obs::RichSpan span;
+      span.name = "req " + std::to_string(response.id);
+      span.cat = "serve";
+      span.ts_ns = extent.start_ns;
+      span.dur_ns = extent.end_ns - extent.start_ns;
+      span.args = {{"op", to_string(batch[i].request.op)},
+                   {"tenant", std::to_string(batch[i].request.tenant)}};
+      outcome.buffer->add_span(std::move(span));
+    }
+    ++live;
+  }
+}
+
+BatchOutcome Shard::execute(std::span<const BatchItem> batch,
+                            std::uint64_t batch_seq,
+                            const charz::detail::Resilience& res) {
+  BatchOutcome outcome;
+  outcome.start_clock_ns = clock_ns();
+  const std::string label =
+      "serve.s" + std::to_string(index_) + ".b" + std::to_string(batch_seq);
+  if (obs::enabled())
+    outcome.buffer = std::make_shared<obs::TaskBuffer>(index_ + 1, label,
+                                                       obs::ring_capacity());
+  // The scope covers compilation too: first-touch group profiling runs
+  // real programs on the chip, and their command spans must land in this
+  // batch's buffer (sealed in deterministic (shard, batch) order), not in
+  // the racy shared harness chunk.
+  obs::TaskScope scope(outcome.buffer.get());
+
+  std::vector<CompiledRequest> compiled = compile_batch(batch, outcome);
+  if (compiled.empty()) {
+    outcome.succeeded = true;
+    outcome.end_clock_ns = clock_ns();
+    return outcome;
+  }
+
+  std::vector<FusedExtent> extents;
+  const bender::Program fused = compiler_.fuse(label, compiled, &extents);
+
+  const unsigned max_attempts = res.spec.retry_max + 1;
+  const bool use_faults = res.spec.injects();
+  for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+    outcome.attempts = attempt + 1;
+    if (attempt > 0 && res.spec.retry_backoff_ms > 0.0) {
+      const double backoff_ms = res.spec.retry_backoff_ms *
+                                static_cast<double>(1u << (attempt - 1));
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
+    }
+    std::optional<fault::ChipInjector> injector;
+    bool ok = true;
+    std::string attempt_error;
+    const double attempt_start = clock_ns();
+    try {
+      if (use_faults) {
+        injector.emplace(res.spec, res.fault_seed, index_,
+                         static_cast<std::uint32_t>(batch_seq), attempt);
+        if (injector->task_crash(index_))
+          throw fault::InjectedFault(
+              "injected shard crash (shard " + std::to_string(index_) +
+              ", batch " + std::to_string(batch_seq) + ", attempt " +
+              std::to_string(attempt) + ")");
+        if (injector->task_delay_ms() > 0.0)
+          std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+              injector->task_delay_ms()));
+        chip_.install_faults(&*injector);
+        engine_.executor().install_faults(&*injector);
+      }
+      auto result = engine_.executor().run(fused);
+      std::vector<BitVec> reads = std::move(result.reads);
+      // Extents are batch-relative; shift to the shard's virtual clock.
+      std::vector<FusedExtent> absolute(extents);
+      for (FusedExtent& e : absolute) {
+        e.start_ns += attempt_start;
+        e.end_ns += attempt_start;
+      }
+      finalize_responses(batch, compiled, absolute, reads, outcome.attempts,
+                         batch_seq, outcome);
+    } catch (const std::exception& e) {
+      ok = false;
+      attempt_error = e.what();
+    }
+    if (injector) outcome.faults += injector->counters();
+    if (use_faults) {
+      chip_.install_faults(nullptr);
+      engine_.executor().install_faults(nullptr);
+    }
+    if (ok) {
+      outcome.succeeded = true;
+      break;
+    }
+    outcome.error = attempt_error;
+    if (outcome.buffer)
+      outcome.buffer->add_event(
+          "serve.batch.attempt_failed",
+          {{"shard", std::to_string(index_)},
+           {"batch", std::to_string(batch_seq)},
+           {"attempt", std::to_string(attempt)},
+           {"error", attempt_error}});
+  }
+  outcome.end_clock_ns = clock_ns();
+  if (outcome.buffer) {
+    outcome.buffer->attempts = outcome.attempts;
+    outcome.buffer->succeeded = outcome.succeeded;
+    outcome.buffer->error = outcome.error;
+  }
+  return outcome;
+}
+
+BatchOutcome Shard::execute_unbatched(std::span<const BatchItem> batch,
+                                      std::uint64_t batch_seq,
+                                      const charz::detail::Resilience& res) {
+  BatchOutcome outcome;
+  outcome.start_clock_ns = clock_ns();
+  if (obs::enabled())
+    outcome.buffer = std::make_shared<obs::TaskBuffer>(
+        index_ + 1,
+        "serve.s" + std::to_string(index_) + ".u" + std::to_string(batch_seq),
+        obs::ring_capacity());
+  // As in execute(): the scope covers compile-time group profiling too.
+  obs::TaskScope scope(outcome.buffer.get());
+  std::vector<CompiledRequest> compiled = compile_batch(batch, outcome);
+  if (compiled.empty()) {
+    outcome.succeeded = true;
+    outcome.end_clock_ns = clock_ns();
+    return outcome;
+  }
+  // No resilience loop here: the reference path exists to pin what the
+  // serial engine produces, so injected faults simply propagate.
+  (void)res;
+  std::vector<BitVec> reads;
+  std::vector<FusedExtent> extents(compiled.size());
+  for (std::size_t k = 0; k < compiled.size(); ++k) {
+    extents[k].start_ns = clock_ns();
+    for (const bender::Program& segment : compiled[k].segments) {
+      auto result = engine_.executor().run(segment);
+      for (BitVec& rd : result.reads) reads.push_back(std::move(rd));
+    }
+    extents[k].end_ns = clock_ns();
+  }
+  outcome.attempts = 1;
+  finalize_responses(batch, compiled, extents, reads, 1, batch_seq, outcome);
+  outcome.succeeded = true;
+  outcome.end_clock_ns = clock_ns();
+  if (outcome.buffer) {
+    outcome.buffer->attempts = 1;
+    outcome.buffer->succeeded = true;
+  }
+  return outcome;
+}
+
+}  // namespace simra::serve

@@ -1,0 +1,96 @@
+#include "serve/workload.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace simra::serve {
+
+std::string apply_mix(WorkloadSpec& spec, const std::string& mix) {
+  if (!mix.empty()) {
+    std::stringstream ss(mix);
+    std::string entry;
+    while (std::getline(ss, entry, ',')) {
+      if (entry.empty()) continue;
+      const std::size_t colon = entry.find(':');
+      if (colon == std::string::npos)
+        throw std::invalid_argument("mix entry needs op:weight — '" + entry +
+                                    "'");
+      const std::string op = entry.substr(0, colon);
+      unsigned weight = 0;
+      try {
+        weight = static_cast<unsigned>(std::stoul(entry.substr(colon + 1)));
+      } catch (const std::exception&) {
+        throw std::invalid_argument("mix weight not a number — '" + entry +
+                                    "'");
+      }
+      if (op == "rowclone") {
+        spec.weight_rowclone = weight;
+      } else if (op == "init") {
+        spec.weight_init = weight;
+      } else if (op == "copy") {
+        spec.weight_copy = weight;
+      } else if (op == "majx") {
+        spec.weight_majx = weight;
+      } else {
+        throw std::invalid_argument("unknown mix op '" + op + "'");
+      }
+    }
+  }
+  if (spec.weight_rowclone + spec.weight_init + spec.weight_copy +
+          spec.weight_majx ==
+      0)
+    throw std::invalid_argument("mix weights sum to zero");
+  return mix_string(spec);
+}
+
+std::string mix_string(const WorkloadSpec& spec) {
+  std::ostringstream os;
+  os << "rowclone:" << spec.weight_rowclone << ",init:" << spec.weight_init
+     << ",copy:" << spec.weight_copy << ",majx:" << spec.weight_majx;
+  return os.str();
+}
+
+Request make_request(const WorkloadSpec& spec, std::uint64_t index) {
+  Rng rng(hash_combine(hash_combine(spec.seed, 0x3e9dull), index));
+  Request request;
+  request.tenant = static_cast<std::uint32_t>(rng.below(spec.tenants));
+  request.bank = static_cast<dram::BankId>(rng.below(spec.banks));
+  request.sa = static_cast<dram::SubarrayId>(rng.below(spec.subarrays));
+
+  const unsigned total = spec.weight_rowclone + spec.weight_init +
+                         spec.weight_copy + spec.weight_majx;
+  const auto draw = static_cast<unsigned>(rng.below(total));
+  const auto random_row = [&] {
+    BitVec row(spec.columns);
+    row.randomize(rng);
+    return row;
+  };
+  if (draw < spec.weight_rowclone) {
+    request.op = OpKind::kRowClone;
+    request.src = static_cast<dram::RowAddr>(rng.below(spec.rows));
+    request.dst = static_cast<dram::RowAddr>(
+        (request.src + 1 + rng.below(spec.rows - 1)) % spec.rows);
+    if (spec.seed_sources) request.operands.push_back(random_row());
+  } else if (draw < spec.weight_rowclone + spec.weight_init) {
+    request.op = OpKind::kBulkInit;
+    BitVec pattern(spec.columns);
+    pattern.fill_byte(static_cast<std::uint8_t>(rng.below(256)));
+    request.operands.push_back(std::move(pattern));
+  } else if (draw <
+             spec.weight_rowclone + spec.weight_init + spec.weight_copy) {
+    request.op = OpKind::kMultiRowCopy;
+    if (spec.seed_sources) request.operands.push_back(random_row());
+  } else {
+    request.op = OpKind::kMajx;
+    for (unsigned i = 0; i < spec.majx_x; ++i)
+      request.operands.push_back(random_row());
+  }
+  request.read_back = spec.read_back && request.op != OpKind::kMajx;
+  if (spec.deadline_fraction > 0.0 && rng.chance(spec.deadline_fraction))
+    request.deadline_ns = spec.deadline_slack_ns * (1.0 + rng.uniform());
+  return request;
+}
+
+}  // namespace simra::serve

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/request.hpp"
+
+namespace simra::serve {
+
+/// Seeded synthetic request mix for tests and the bench_serve load
+/// generator. `make_request(spec, i)` is a pure function of (spec, i) —
+/// every client thread, every run, and every execution path sees the
+/// identical request stream.
+struct WorkloadSpec {
+  std::size_t columns = 8192;  ///< must match the fleet's row width.
+  unsigned tenants = 4;
+  unsigned banks = 2;      ///< bank indices drawn from [0, banks).
+  unsigned subarrays = 1;  ///< subarray indices drawn from [0, subarrays).
+  unsigned rows = 64;      ///< rowclone src/dst drawn from [0, rows).
+  unsigned majx_x = 3;     ///< MAJX operand count (odd, >= 3).
+  // Op mix weights (default: the copy-dominated profile a bulk-copy
+  // substrate serves, cf. §8's RowClone/Multi-RowCopy throughput framing).
+  unsigned weight_rowclone = 90;
+  unsigned weight_init = 4;
+  unsigned weight_copy = 4;
+  unsigned weight_majx = 2;
+  double deadline_fraction = 0.0;  ///< share of requests given deadlines.
+  double deadline_slack_ns = 1e6;  ///< virtual slack scale for those.
+  bool seed_sources = false;  ///< attach data operands to copy sources.
+  bool read_back = false;     ///< request destination-row read-back.
+  std::uint64_t seed = 0x3ead;
+};
+
+/// Applies a "rowclone:90,init:4,copy:4,majx:2" mix string to the spec's
+/// weights; throws std::invalid_argument on unknown op names or malformed
+/// entries. Returns a canonical rendering of the resulting mix.
+std::string apply_mix(WorkloadSpec& spec, const std::string& mix);
+
+/// Canonical "rowclone:90,init:4,copy:4,majx:2" rendering of the weights.
+std::string mix_string(const WorkloadSpec& spec);
+
+/// The `index`-th request of the stream (without an id — the service
+/// assigns ids at submission).
+Request make_request(const WorkloadSpec& spec, std::uint64_t index);
+
+}  // namespace simra::serve

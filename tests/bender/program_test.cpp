@@ -142,5 +142,50 @@ TEST(CommandKind, Names) {
   EXPECT_EQ(to_string(CommandKind::kRef), "REF");
 }
 
+TEST(Program, AppendKeepsRelativeSlotsAndCarriesIntents) {
+  Program a;
+  a.act(0, 1).delay(Nanoseconds{3.0}).pre(0);  // slots 0, 2 (cursor occupied).
+
+  Program b;
+  b.expect(verify::apa_intents(4));
+  b.act(0, 2).delay(Nanoseconds{1.5}).act(0, 3);  // slots 0, 1.
+
+  a.append(b);
+  const auto& cmds = a.commands();
+  ASSERT_EQ(cmds.size(), 4u);
+  // The occupied cursor advances one slot before the splice, so b lands
+  // at base slot 3 with its 1-slot internal gap intact.
+  EXPECT_EQ(cmds[2].slot, 3u);
+  EXPECT_EQ(cmds[3].slot, 4u);
+  EXPECT_EQ(cmds[3].row, 3u);
+  // b's intents ride along so the fused program verifies like its parts.
+  EXPECT_EQ(a.intents().size(), verify::apa_intents(4).size());
+  // Cursor lands on b's last command: one more append continues from it.
+  EXPECT_DOUBLE_EQ(a.duration_ns(), 7.5);
+}
+
+TEST(Program, AppendIntoEmptyProgramIsIdentity) {
+  Program b;
+  b.act(1, 7).delay(Nanoseconds{3.0}).pre(1);
+
+  Program fused;
+  fused.append(b);
+  ASSERT_EQ(fused.commands().size(), 2u);
+  EXPECT_EQ(fused.commands()[0].slot, 0u);
+  EXPECT_EQ(fused.commands()[1].slot, 2u);
+  EXPECT_DOUBLE_EQ(fused.duration_ns(), b.duration_ns());
+}
+
+TEST(Program, AppendRespectsCallerInsertedSpacing) {
+  Program a;
+  a.act(0, 1);
+  Program b;
+  b.act(0, 2);
+
+  a.delay_at_least(Nanoseconds{6.0}).append(b);
+  ASSERT_EQ(a.commands().size(), 2u);
+  EXPECT_EQ(a.commands()[1].slot, 4u);  // 6 ns = 4 slots after the ACT.
+}
+
 }  // namespace
 }  // namespace simra::bender

@@ -1,0 +1,77 @@
+// Admission control: the global in-flight cap bounds scheduler memory and
+// the per-tenant quota keeps one noisy tenant from starving the rest.
+// Every admit must be balanced by exactly one release.
+
+#include "serve/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace simra::serve {
+namespace {
+
+TEST(Admission, VerdictNames) {
+  EXPECT_EQ(std::string(to_string(Admission::kAdmit)), "admit");
+  EXPECT_EQ(std::string(to_string(Admission::kQueueFull)), "queue_full");
+  EXPECT_EQ(std::string(to_string(Admission::kTenantOverQuota)),
+            "tenant_over_quota");
+}
+
+TEST(Admission, GlobalLimitRefusesThenRecoversOnRelease) {
+  AdmissionController admission(/*global_limit=*/3, /*tenant_quota=*/10);
+  for (int i = 0; i < 3; ++i)
+    ASSERT_EQ(admission.try_admit(/*tenant=*/static_cast<std::uint32_t>(i)),
+              Admission::kAdmit);
+  EXPECT_EQ(admission.try_admit(3), Admission::kQueueFull);
+  EXPECT_EQ(admission.in_flight(), 3u);
+
+  admission.release(0);
+  EXPECT_EQ(admission.in_flight(), 2u);
+  EXPECT_EQ(admission.try_admit(3), Admission::kAdmit);
+}
+
+TEST(Admission, TenantQuotaIsolatesTenants) {
+  AdmissionController admission(/*global_limit=*/100, /*tenant_quota=*/2);
+  ASSERT_EQ(admission.try_admit(7), Admission::kAdmit);
+  ASSERT_EQ(admission.try_admit(7), Admission::kAdmit);
+  EXPECT_EQ(admission.try_admit(7), Admission::kTenantOverQuota);
+  EXPECT_EQ(admission.tenant_in_flight(7), 2u);
+
+  // Tenants hash into slots, so find one that does not collide with 7's
+  // slot: its in-flight count reads zero.
+  std::uint32_t other = 8;
+  while (admission.tenant_in_flight(other) != 0) ++other;
+  EXPECT_EQ(admission.try_admit(other), Admission::kAdmit);
+  EXPECT_EQ(admission.tenant_in_flight(other), 1u);
+
+  // A refused admit must not leak global budget.
+  EXPECT_EQ(admission.in_flight(), 3u);
+
+  admission.release(7);
+  EXPECT_EQ(admission.try_admit(7), Admission::kAdmit);
+}
+
+TEST(Admission, RacingAdmitsNeverExceedTheGlobalLimit) {
+  constexpr std::size_t kLimit = 64;
+  AdmissionController admission(kLimit, /*tenant_quota=*/kLimit);
+  std::vector<std::thread> threads;
+  std::atomic<std::size_t> admitted{0};
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&admission, &admitted, t] {
+      for (int i = 0; i < 100; ++i)
+        if (admission.try_admit(static_cast<std::uint32_t>(t)) ==
+            Admission::kAdmit)
+          admitted.fetch_add(1);
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(admitted.load(), kLimit);
+  EXPECT_EQ(admission.in_flight(), kLimit);
+}
+
+}  // namespace
+}  // namespace simra::serve

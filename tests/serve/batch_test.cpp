@@ -1,0 +1,200 @@
+// The batch compiler: request validation against the shard geometry, the
+// per-op program shapes (built from the same pud::programs builders the
+// serial engine runs), and fusion — relative timing inside each segment
+// must be untouched, with the rolling-tFAW pad as the only inter-segment
+// spacing fusion adds.
+
+#include "serve/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dram/chip.hpp"
+#include "pud/engine.hpp"
+#include "pud/row_group.hpp"
+
+namespace simra::serve {
+namespace {
+
+using bender::CommandKind;
+using bender::Program;
+
+class BatchCompilerTest : public ::testing::Test {
+ protected:
+  BatchCompilerTest()
+      : chip_(dram::VendorProfile::hynix_m(), /*seed=*/7),
+        compiler_(&chip_.profile(), &chip_.layout()) {
+    Rng rng(11);
+    group_ = pud::sample_group(chip_.layout(), /*group_size=*/4, rng);
+  }
+
+  Request rowclone_request(dram::RowAddr src, dram::RowAddr dst) {
+    Request r;
+    r.id = 1;
+    r.op = OpKind::kRowClone;
+    r.src = src;
+    r.dst = dst;
+    return r;
+  }
+
+  BitVec row_pattern(std::uint8_t byte) {
+    BitVec row(chip_.profile().geometry.columns);
+    row.fill_byte(byte);
+    return row;
+  }
+
+  dram::Chip chip_;
+  BatchCompiler compiler_;
+  pud::RowGroup group_;
+};
+
+TEST_F(BatchCompilerTest, ValidateCatchesGeometryAndOperandViolations) {
+  Request r = rowclone_request(0, 1);
+  EXPECT_TRUE(compiler_.validate(r, group_).empty());
+
+  r.bank = static_cast<dram::BankId>(chip_.profile().geometry.banks);
+  EXPECT_EQ(compiler_.validate(r, group_), "bank out of range");
+  r.bank = 0;
+
+  r.sa = static_cast<dram::SubarrayId>(
+      chip_.profile().geometry.subarrays_per_bank());
+  EXPECT_EQ(compiler_.validate(r, group_), "subarray out of range");
+  r.sa = 0;
+
+  r.dst = r.src;
+  EXPECT_EQ(compiler_.validate(r, group_), "rowclone source equals destination");
+  r.dst = 1;
+
+  r.operands.push_back(BitVec(8));  // not row-wide.
+  EXPECT_EQ(compiler_.validate(r, group_),
+            "operand width does not match the row width");
+  r.operands.clear();
+
+  Request majx;
+  majx.op = OpKind::kMajx;
+  majx.operands = {row_pattern(0xAA), row_pattern(0x55)};  // even count.
+  EXPECT_EQ(compiler_.validate(majx, group_),
+            "MAJX needs an odd operand count >= 3");
+
+  Request init;
+  init.op = OpKind::kBulkInit;
+  EXPECT_EQ(compiler_.validate(init, group_),
+            "bulk init needs exactly one pattern operand");
+
+  // compile() refuses what validate() rejects.
+  EXPECT_THROW(compiler_.compile(init, group_), std::invalid_argument);
+}
+
+TEST_F(BatchCompilerTest, RowCloneCompilesSeedCopyAndReadBack) {
+  Request r = rowclone_request(2, 5);
+  r.operands.push_back(row_pattern(0x5A));
+  r.read_back = true;
+  const CompiledRequest compiled = compiler_.compile(r, group_);
+  ASSERT_EQ(compiled.segments.size(), 3u);  // write, rowclone, read.
+  EXPECT_EQ(compiled.reads, 1u);
+  // The copy segment is consecutive activation closed by a precharge:
+  // ACT(src) -> PRE -> ACT(dst) -> PRE.
+  const Program& clone = compiled.segments[1];
+  ASSERT_EQ(clone.commands().size(), 4u);
+  EXPECT_EQ(clone.commands()[0].kind, CommandKind::kAct);
+  EXPECT_EQ(clone.commands()[1].kind, CommandKind::kPre);
+  EXPECT_EQ(clone.commands()[2].kind, CommandKind::kAct);
+  EXPECT_EQ(clone.commands()[3].kind, CommandKind::kPre);
+}
+
+TEST_F(BatchCompilerTest, BulkInitFansOutWithOneApaAtCopyTimings) {
+  Request r;
+  r.op = OpKind::kBulkInit;
+  r.operands.push_back(row_pattern(0xF0));
+  const CompiledRequest compiled = compiler_.compile(r, group_);
+  ASSERT_EQ(compiled.segments.size(), 2u);  // seed write + APA fan-out.
+  EXPECT_EQ(compiled.reads, 0u);
+
+  // The APA segment carries the Multi-RowCopy timings: ACT -> 36 ns ->
+  // PRE -> 3 ns -> ACT, i.e. 24- and 2-slot gaps.
+  const auto& cmds = compiled.segments[1].commands();
+  ASSERT_GE(cmds.size(), 3u);
+  EXPECT_EQ(cmds[0].kind, CommandKind::kAct);
+  EXPECT_EQ(cmds[1].kind, CommandKind::kPre);
+  EXPECT_EQ(cmds[2].kind, CommandKind::kAct);
+  EXPECT_EQ(cmds[1].slot - cmds[0].slot, 24u);
+  EXPECT_EQ(cmds[2].slot - cmds[1].slot, 2u);
+  // The deliberate timing violations are declared for the verify gate.
+  EXPECT_FALSE(compiled.segments[1].intents().empty());
+}
+
+TEST_F(BatchCompilerTest, MajxStagesOperandsThenFiresOneReadingApa) {
+  Request r;
+  r.op = OpKind::kMajx;
+  r.operands = {row_pattern(0xFF), row_pattern(0x0F), row_pattern(0x33)};
+  const CompiledRequest compiled = compiler_.compile(r, group_);
+  // One staging program per group row (R_F first) plus the APA itself.
+  EXPECT_EQ(compiled.segments.size(), group_.size() + 1);
+  EXPECT_EQ(compiled.reads, 1u);
+  // The APA ends by reading the row buffer (the MAJX result).
+  const auto& cmds = compiled.segments.back().commands();
+  bool has_read = false;
+  for (const auto& cmd : cmds) has_read |= cmd.kind == CommandKind::kRd;
+  EXPECT_TRUE(has_read);
+}
+
+TEST_F(BatchCompilerTest, FusePreservesSegmentTimingAndPadsTheFawWindow) {
+  Request a = rowclone_request(0, 1);
+  Request b = rowclone_request(2, 3);
+  b.id = 2;
+  std::vector<CompiledRequest> compiled = {compiler_.compile(a, group_),
+                                           compiler_.compile(b, group_)};
+
+  std::vector<FusedExtent> extents;
+  const Program fused = compiler_.fuse("fused", compiled, &extents);
+  EXPECT_EQ(fused.name(), "fused");
+
+  // Command count and per-request intents all carry over.
+  std::size_t total_commands = 0;
+  std::size_t total_intents = 0;
+  for (const CompiledRequest& cr : compiled)
+    for (const Program& segment : cr.segments) {
+      total_commands += segment.commands().size();
+      total_intents += segment.intents().size();
+    }
+  EXPECT_EQ(fused.commands().size(), total_commands);
+  EXPECT_EQ(fused.intents().size(), total_intents);
+
+  // Relative slots inside the first segment are untouched (it starts at
+  // slot 0 of the fused timeline).
+  const auto& first = compiled[0].segments[0].commands();
+  for (std::size_t i = 0; i < first.size(); ++i)
+    EXPECT_EQ(fused.commands()[i].slot, first[i].slot);
+
+  // Extents are one per request, in order, non-overlapping, and closed by
+  // the fused program's duration.
+  ASSERT_EQ(extents.size(), 2u);
+  EXPECT_LT(extents[0].start_ns, extents[0].end_ns);
+  EXPECT_LE(extents[0].end_ns, extents[1].start_ns);
+  EXPECT_DOUBLE_EQ(extents[1].end_ns, fused.duration_ns());
+
+  // The request boundary keeps the rolling four-activate window: request
+  // b starts >= tFAW after the last ACT request a issued.
+  const double tfaw = chip_.profile().timings.tFAW.value;
+  double boundary_prev_act = -1e9;
+  for (const auto& cmd : fused.commands()) {
+    if (cmd.time_ns() >= extents[1].start_ns) break;
+    if (cmd.kind == CommandKind::kAct) boundary_prev_act = cmd.time_ns();
+  }
+  EXPECT_GE(extents[1].start_ns - boundary_prev_act, tfaw);
+}
+
+TEST_F(BatchCompilerTest, FuseOfEmptyBatchIsAnEmptyProgram) {
+  std::vector<FusedExtent> extents;
+  const Program fused =
+      compiler_.fuse("empty", std::vector<CompiledRequest>{}, &extents);
+  EXPECT_TRUE(fused.empty());
+  EXPECT_TRUE(extents.empty());
+}
+
+}  // namespace
+}  // namespace simra::serve

@@ -1,0 +1,182 @@
+// Resilience under SIMRA_FAULT_SPEC injection: quarantined-shard
+// degradation must keep the service answering (requests reroute to
+// healthy shards), retries stay bounded, the coverage accounting stays
+// exact (every admitted request delivered exactly once — never lost,
+// never answered twice), and transport corruption never breaks response
+// framing.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/service.hpp"
+#include "serve/workload.hpp"
+#include "support/scoped_env.hpp"
+
+namespace simra::serve {
+namespace {
+
+using simra::testing::ScopedFaultSpec;
+
+ServiceConfig fault_config(std::size_t shards) {
+  ServiceConfig config;
+  config.shards = shards;
+  config.max_batch = 8;
+  config.queue_capacity = 256;
+  config.max_in_flight = 256;
+  config.tenant_quota = 256;
+  config.seed = 0x5e12;
+  return config;
+}
+
+std::vector<std::unique_ptr<Ticket>> submit_stream(Service& service,
+                                                   std::size_t count) {
+  WorkloadSpec spec;
+  spec.columns = service.config().profiles.front().geometry.columns;
+  spec.rows = 32;
+  spec.seed_sources = true;
+  std::vector<std::unique_ptr<Ticket>> tickets;
+  tickets.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    tickets.push_back(std::make_unique<Ticket>());
+    EXPECT_TRUE(service.submit(make_request(spec, i), tickets.back().get()));
+  }
+  return tickets;
+}
+
+TEST(ServeFaults, CrashedShardIsQuarantinedAndItsRequestsReroute) {
+  // Shard 0 crashes on every attempt; one retry, then quarantine. The
+  // spec must be in the environment before the Service is constructed —
+  // resilience is read once, like charz::run_instances does.
+  ScopedFaultSpec spec("task.crash_tasks=0,retry.max=1", "42");
+  Service service(fault_config(3));
+  const auto tickets = submit_stream(service, 30);
+  service.drain();
+
+  // Degraded, still serving: every request ends kOk on a healthy shard.
+  EXPECT_TRUE(service.shard(0).quarantined());
+  EXPECT_EQ(service.healthy_shards(), 2u);
+  for (const auto& tracked : tickets) {
+    ASSERT_TRUE(tracked->ready());
+    const Response response = tracked->wait();
+    EXPECT_EQ(response.status, Status::kOk) << response.error;
+    EXPECT_NE(response.shard, 0u);
+  }
+
+  const ServeStats& stats = service.stats();
+  EXPECT_EQ(stats.ok, 30u);
+  EXPECT_EQ(stats.delivered(), stats.admitted.load());
+  EXPECT_GT(stats.rerouted, 0u);
+  EXPECT_EQ(stats.quarantined_shards, 1u);
+  // An injected failure is expected, not a bug: the default quarantine
+  // budget is unlimited while a spec injects.
+  EXPECT_FALSE(stats.over_quarantine_budget);
+  // Retries stayed bounded: the crashed shard burned retry.max + 1
+  // attempts per batch it saw, no more.
+  EXPECT_GT(stats.fault_events, 0u);
+  EXPECT_GT(stats.batch_attempts, stats.batches);
+}
+
+TEST(ServeFaults, AllShardsDownFailsEveryRequestWithoutLosingAny) {
+  ScopedFaultSpec spec("task.crash_tasks=0:1,retry.max=1", "42");
+  Service service(fault_config(2));
+  const auto tickets = submit_stream(service, 12);
+  service.drain();
+
+  EXPECT_EQ(service.healthy_shards(), 0u);
+  std::size_t failed = 0;
+  for (const auto& tracked : tickets) {
+    ASSERT_TRUE(tracked->ready());
+    const Response response = tracked->wait();
+    EXPECT_EQ(response.status, Status::kFailed);
+    EXPECT_FALSE(response.error.empty());
+    ++failed;
+  }
+  EXPECT_EQ(failed, 12u);
+  EXPECT_EQ(service.stats().failed, 12u);
+  EXPECT_EQ(service.stats().delivered(), service.stats().admitted.load());
+}
+
+TEST(ServeFaults, RetryExhaustionIsBoundedAndCountsAttempts) {
+  // Every attempt everywhere crashes; no rerouting allowed, so each batch
+  // fails after exactly retry.max + 1 attempts.
+  ScopedFaultSpec spec("task.fail=1,retry.max=2", "42");
+  ServiceConfig config = fault_config(1);
+  config.max_reroutes = 0;
+  Service service(config);
+
+  const auto tickets = submit_stream(service, 8);
+  service.drain();
+  for (const auto& tracked : tickets) {
+    ASSERT_TRUE(tracked->ready());
+    const Response response = tracked->wait();
+    EXPECT_EQ(response.status, Status::kFailed);
+    EXPECT_EQ(response.attempts, 3u);
+  }
+  const ServeStats& stats = service.stats();
+  EXPECT_EQ(stats.batch_attempts, 3 * stats.batches);
+  EXPECT_EQ(stats.delivered(), stats.admitted.load());
+}
+
+TEST(ServeFaults, TransportBitflipsCorruptPayloadsButNeverFraming) {
+  // Transport corruption never crashes the host (addresses are clamped,
+  // lost RD payloads become deterministic garbage), so batches succeed;
+  // responses must keep exact row-width framing even when bits are wrong.
+  ScopedFaultSpec spec("transport.bitflip=1e-2", "42");
+  Service service(fault_config(2));
+  const std::size_t columns = service.config().profiles.front().geometry.columns;
+
+  WorkloadSpec wl;
+  wl.columns = columns;
+  wl.rows = 32;
+  wl.seed_sources = true;
+  wl.read_back = true;
+  std::vector<std::unique_ptr<Ticket>> tickets;
+  for (std::size_t i = 0; i < 24; ++i) {
+    tickets.push_back(std::make_unique<Ticket>());
+    ASSERT_TRUE(service.submit(make_request(wl, i), tickets.back().get()));
+  }
+  service.drain();
+
+  for (auto& ticket : tickets) {
+    ASSERT_TRUE(ticket->ready());
+    const Response response = ticket->wait();
+    ASSERT_EQ(response.status, Status::kOk) << response.error;
+    EXPECT_EQ(response.result.size(), columns);
+  }
+  // The injected flips are visible in the coverage accounting.
+  EXPECT_GT(service.stats().fault_events, 0u);
+  EXPECT_EQ(service.healthy_shards(), 2u);
+}
+
+TEST(ServeFaults, InjectedLatencyDelaysButNeverDropsResponses) {
+  ScopedFaultSpec spec("task.delay_ms=0.5", "42");
+  Service service(fault_config(2));
+  const auto tickets = submit_stream(service, 10);
+  service.drain();
+  for (const auto& tracked : tickets) {
+    ASSERT_TRUE(tracked->ready());
+    EXPECT_EQ(tracked->wait().status, Status::kOk);
+  }
+  EXPECT_EQ(service.stats().ok, 10u);
+}
+
+TEST(ServeFaults, ExplicitQuarantineBudgetOverrunIsFlagged) {
+  ScopedFaultSpec spec("task.crash_tasks=0,retry.max=0,quarantine.budget=0",
+                       "42");
+  Service service(fault_config(2));
+  const auto tickets = submit_stream(service, 8);
+  service.drain();
+  for (const auto& tracked : tickets)
+    ASSERT_TRUE(tracked->ready());
+  EXPECT_EQ(service.stats().quarantined_shards, 1u);
+  EXPECT_TRUE(service.stats().over_quarantine_budget);
+  EXPECT_NE(service.stats().summary(service.shard_count())
+                .find("[over quarantine budget]"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace simra::serve

@@ -1,0 +1,102 @@
+// The lock-free submission path: Vyukov's bounded MPMC ring must be FIFO
+// under a single producer/consumer, refuse pushes when full (the overload
+// signal admission control turns into kRejected), and lose or duplicate
+// nothing when many client threads race the scheduler.
+
+#include "serve/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace simra::serve {
+namespace {
+
+Submission make_submission(std::uint64_t id) {
+  Submission s;
+  s.request.id = id;
+  return s;
+}
+
+TEST(SubmissionQueue, CapacityRoundsUpToAPowerOfTwo) {
+  EXPECT_EQ(SubmissionQueue(1).capacity(), 2u);
+  EXPECT_EQ(SubmissionQueue(5).capacity(), 8u);
+  EXPECT_EQ(SubmissionQueue(64).capacity(), 64u);
+}
+
+TEST(SubmissionQueue, FifoOrderAndEmptyPop) {
+  SubmissionQueue queue(4);
+  Submission out;
+  EXPECT_FALSE(queue.try_pop(out));
+  for (std::uint64_t id = 1; id <= 4; ++id)
+    ASSERT_TRUE(queue.try_push(make_submission(id)));
+  for (std::uint64_t id = 1; id <= 4; ++id) {
+    ASSERT_TRUE(queue.try_pop(out));
+    EXPECT_EQ(out.request.id, id);
+  }
+  EXPECT_FALSE(queue.try_pop(out));
+}
+
+TEST(SubmissionQueue, FullPushFailsUntilAPopFreesACell) {
+  SubmissionQueue queue(2);
+  ASSERT_TRUE(queue.try_push(make_submission(1)));
+  ASSERT_TRUE(queue.try_push(make_submission(2)));
+  EXPECT_FALSE(queue.try_push(make_submission(3)));
+  EXPECT_EQ(queue.approx_size(), 2u);
+
+  Submission out;
+  ASSERT_TRUE(queue.try_pop(out));
+  EXPECT_TRUE(queue.try_push(make_submission(3)));
+}
+
+TEST(SubmissionQueue, SequenceNumbersSurviveManyWraps) {
+  SubmissionQueue queue(4);
+  Submission out;
+  for (std::uint64_t round = 0; round < 100; ++round) {
+    ASSERT_TRUE(queue.try_push(make_submission(2 * round)));
+    ASSERT_TRUE(queue.try_push(make_submission(2 * round + 1)));
+    ASSERT_TRUE(queue.try_pop(out));
+    EXPECT_EQ(out.request.id, 2 * round);
+    ASSERT_TRUE(queue.try_pop(out));
+    EXPECT_EQ(out.request.id, 2 * round + 1);
+  }
+  EXPECT_EQ(queue.approx_size(), 0u);
+}
+
+TEST(SubmissionQueue, ConcurrentProducersDeliverEveryIdExactlyOnce) {
+  constexpr std::size_t kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 500;
+  SubmissionQueue queue(64);
+
+  std::vector<std::uint64_t> seen;
+  seen.reserve(kProducers * kPerProducer);
+  std::thread consumer([&] {
+    Submission out;
+    while (seen.size() < kProducers * kPerProducer)
+      if (queue.try_pop(out))
+        seen.push_back(out.request.id);
+      else
+        std::this_thread::yield();
+  });
+
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p)
+    producers.emplace_back([&queue, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        Submission s = make_submission(p * kPerProducer + i + 1);
+        while (!queue.try_push(std::move(s))) std::this_thread::yield();
+      }
+    });
+  for (std::thread& t : producers) t.join();
+  consumer.join();
+
+  ASSERT_EQ(seen.size(), kProducers * kPerProducer);
+  std::sort(seen.begin(), seen.end());
+  for (std::uint64_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i + 1);
+}
+
+}  // namespace
+}  // namespace simra::serve

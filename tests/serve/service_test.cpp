@@ -1,0 +1,304 @@
+// End-to-end service behavior on the happy path and its edges: round
+// trips for every op kind, exactly-once accounting, compile-time
+// rejections, virtual-deadline expiry, EDF ordering, admission-full
+// delivery, env-driven configuration, and the workload generator itself.
+
+#include "serve/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "serve/workload.hpp"
+#include "support/scoped_env.hpp"
+
+namespace simra::serve {
+namespace {
+
+using simra::testing::ScopedEnv;
+
+ServiceConfig small_config(std::size_t shards = 2) {
+  ServiceConfig config;
+  config.shards = shards;
+  config.max_batch = 8;
+  config.queue_capacity = 256;
+  config.max_in_flight = 256;
+  config.tenant_quota = 256;
+  config.seed = 0x5e12;
+  return config;
+}
+
+TEST(Service, MixedWorkloadRoundTripsEveryOpKind) {
+  Service service(small_config());
+  const std::size_t columns = service.config().profiles.front().geometry.columns;
+
+  WorkloadSpec spec;
+  spec.columns = columns;
+  spec.rows = 32;
+  spec.seed_sources = true;
+  spec.read_back = true;
+  // Force all four ops to appear in a small stream.
+  spec.weight_rowclone = 4;
+  spec.weight_init = 2;
+  spec.weight_copy = 2;
+  spec.weight_majx = 2;
+
+  constexpr std::size_t kRequests = 40;
+  std::vector<std::unique_ptr<Ticket>> tickets;
+  std::vector<OpKind> ops;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    Request request = make_request(spec, i);
+    ops.push_back(request.op);
+    tickets.push_back(std::make_unique<Ticket>());
+    ASSERT_TRUE(service.submit(std::move(request), tickets.back().get()));
+  }
+  service.drain();
+
+  bool saw[4] = {false, false, false, false};
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(tickets[i]->ready()) << "request " << i << " never delivered";
+    const Response response = tickets[i]->wait();
+    EXPECT_EQ(response.status, Status::kOk) << response.error;
+    EXPECT_GT(response.id, 0u);
+    EXPECT_GT(response.virtual_ns, 0.0);
+    saw[static_cast<std::size_t>(ops[i])] = true;
+    // Non-MAJX ops were submitted with read_back, MAJX always returns the
+    // row buffer — so every response carries a full row.
+    EXPECT_EQ(response.result.size(), columns);
+  }
+  for (bool kind_seen : saw) EXPECT_TRUE(kind_seen);
+
+  const ServeStats& stats = service.stats();
+  EXPECT_EQ(stats.admitted.load(), kRequests);
+  EXPECT_EQ(stats.ok, kRequests);
+  EXPECT_EQ(stats.delivered(), kRequests);
+  EXPECT_EQ(stats.fused_requests, kRequests);
+  EXPECT_GT(stats.batches, 0u);
+  EXPECT_EQ(stats.batch_attempts, stats.batches);  // no faults injected.
+  EXPECT_EQ(service.healthy_shards(), service.shard_count());
+  EXPECT_NE(stats.summary(service.shard_count()).find("40 ok"),
+            std::string::npos);
+}
+
+TEST(Service, RowCloneReadBackReturnsTheSeededPattern) {
+  ServiceConfig config = small_config(1);
+  Service service(config);
+  const std::size_t columns = service.config().profiles.front().geometry.columns;
+
+  Request request;
+  request.op = OpKind::kRowClone;
+  request.src = 3;
+  request.dst = 9;
+  request.read_back = true;
+  BitVec pattern(columns);
+  pattern.fill_byte(0xC3);
+  request.operands.push_back(pattern);
+
+  Ticket ticket;
+  ASSERT_TRUE(service.submit(std::move(request), &ticket));
+  service.drain();
+  const Response response = ticket.wait();
+  ASSERT_EQ(response.status, Status::kOk) << response.error;
+  // RowClone is exact at these timings: the copy returns the seed.
+  EXPECT_TRUE(response.result == pattern);
+}
+
+TEST(Service, InvalidRequestsAreRejectedWithAReason) {
+  Service service(small_config(1));
+
+  Request request;
+  request.op = OpKind::kRowClone;
+  request.src = 1;
+  request.dst = 1;  // src == dst is invalid.
+  Ticket ticket;
+  ASSERT_TRUE(service.submit(std::move(request), &ticket));
+  service.drain();
+
+  const Response response = ticket.wait();
+  EXPECT_EQ(response.status, Status::kRejected);
+  EXPECT_EQ(response.error, "rowclone source equals destination");
+  EXPECT_EQ(service.stats().rejected_invalid, 1u);
+  EXPECT_EQ(service.stats().delivered(), 1u);
+}
+
+TEST(Service, VirtualDeadlinesExpireInsteadOfDispatching) {
+  Service service(small_config(1));
+
+  // Advance the shard's virtual clock past 1 us with some real work.
+  for (int i = 0; i < 8; ++i) {
+    Request request;
+    request.op = OpKind::kRowClone;
+    request.src = static_cast<dram::RowAddr>(i);
+    request.dst = static_cast<dram::RowAddr>(i + 16);
+    Ticket ticket;
+    ASSERT_TRUE(service.submit(std::move(request), &ticket));
+    service.drain();
+    ASSERT_EQ(ticket.wait().status, Status::kOk);
+  }
+  ASSERT_GT(service.shard(0).clock_ns(), 1.0);
+
+  Request late;
+  late.op = OpKind::kRowClone;
+  late.src = 0;
+  late.dst = 1;
+  late.deadline_ns = 1.0;  // already in the shard's past.
+  Ticket ticket;
+  ASSERT_TRUE(service.submit(std::move(late), &ticket));
+  service.drain();
+  const Response response = ticket.wait();
+  EXPECT_EQ(response.status, Status::kExpired);
+  EXPECT_EQ(service.stats().expired, 1u);
+}
+
+TEST(Service, DeadlinedRequestsDispatchEarliestDeadlineFirst) {
+  Service service(small_config(1));
+
+  // Submitted in the "wrong" order: the no-deadline request first, then a
+  // far-future deadline. EDF must run the deadlined one earlier on the
+  // shard's virtual timeline.
+  Request relaxed;
+  relaxed.op = OpKind::kRowClone;
+  relaxed.src = 0;
+  relaxed.dst = 1;
+  Request urgent;
+  urgent.op = OpKind::kRowClone;
+  urgent.src = 2;
+  urgent.dst = 3;
+  urgent.deadline_ns = 1e9;
+
+  Ticket relaxed_ticket;
+  Ticket urgent_ticket;
+  ASSERT_TRUE(service.submit(std::move(relaxed), &relaxed_ticket));
+  ASSERT_TRUE(service.submit(std::move(urgent), &urgent_ticket));
+  service.drain();
+
+  const Response relaxed_response = relaxed_ticket.wait();
+  const Response urgent_response = urgent_ticket.wait();
+  ASSERT_EQ(relaxed_response.status, Status::kOk);
+  ASSERT_EQ(urgent_response.status, Status::kOk);
+  EXPECT_LT(urgent_response.virtual_ns, relaxed_response.virtual_ns);
+}
+
+TEST(Service, AdmissionFullDeliversRejectionsImmediately) {
+  ServiceConfig config = small_config(1);
+  config.max_in_flight = 2;
+  Service service(config);
+
+  Request request;
+  request.op = OpKind::kRowClone;
+  request.src = 0;
+  request.dst = 1;
+  Ticket first;
+  Ticket second;
+  Ticket third;
+  ASSERT_TRUE(service.submit(request, &first));
+  ASSERT_TRUE(service.submit(request, &second));
+  EXPECT_FALSE(service.submit(request, &third));
+  // The rejection is delivered synchronously, before any pump.
+  ASSERT_TRUE(third.ready());
+  const Response rejected = third.wait();
+  EXPECT_EQ(rejected.status, Status::kRejected);
+  EXPECT_EQ(rejected.error, "queue_full");
+  EXPECT_EQ(service.stats().rejected_queue_full.load(), 1u);
+
+  service.drain();
+  EXPECT_EQ(first.wait().status, Status::kOk);
+  EXPECT_EQ(second.wait().status, Status::kOk);
+  // Admission released: the capacity is usable again.
+  Ticket fourth;
+  EXPECT_TRUE(service.submit(request, &fourth));
+  service.drain();
+  EXPECT_EQ(fourth.wait().status, Status::kOk);
+}
+
+TEST(Service, BackgroundSchedulerServesAsynchronousClients) {
+  Service service(small_config());
+  service.start();
+  std::vector<std::unique_ptr<Ticket>> tickets;
+  Request request;
+  request.op = OpKind::kRowClone;
+  request.src = 4;
+  request.dst = 7;
+  for (int i = 0; i < 16; ++i) {
+    tickets.push_back(std::make_unique<Ticket>());
+    ASSERT_TRUE(service.submit(request, tickets.back().get()));
+  }
+  for (auto& ticket : tickets)
+    EXPECT_EQ(ticket->wait().status, Status::kOk);
+  service.stop();
+  EXPECT_EQ(service.stats().ok, 16u);
+}
+
+TEST(Service, RejectsDegenerateAndMixedGeometryFleets) {
+  ServiceConfig zero = small_config(1);
+  zero.shards = 0;
+  EXPECT_THROW(Service{zero}, std::invalid_argument);
+
+  ServiceConfig mixed = small_config(2);
+  mixed.profiles = {dram::VendorProfile::hynix_m(),
+                    dram::VendorProfile::micron_e()};
+  EXPECT_THROW(Service{mixed}, std::invalid_argument);
+}
+
+TEST(ServiceConfig, FromEnvReadsTheServeSurface) {
+  ScopedEnv shards("SIMRA_SERVE_SHARDS", "3");
+  ScopedEnv batch("SIMRA_SERVE_BATCH", "16");
+  ScopedEnv quota("SIMRA_SERVE_QUOTA", "99");
+  ScopedEnv steer("SIMRA_SERVE_STEER", "0");
+  ScopedEnv vendors("SIMRA_SERVE_VENDORS", "hynix_a,hynix_m");
+  const ServiceConfig config = ServiceConfig::from_env();
+  EXPECT_EQ(config.shards, 3u);
+  EXPECT_EQ(config.max_batch, 16u);
+  EXPECT_EQ(config.tenant_quota, 99u);
+  EXPECT_FALSE(config.steer_groups);
+  ASSERT_EQ(config.profiles.size(), 2u);
+  EXPECT_EQ(config.profiles[0].die_revision,
+            dram::VendorProfile::hynix_a().die_revision);
+
+  ScopedEnv bogus("SIMRA_SERVE_VENDORS", "unobtanium");
+  EXPECT_THROW(ServiceConfig::from_env(), std::invalid_argument);
+}
+
+TEST(Workload, MixStringsParseAndRoundTrip) {
+  WorkloadSpec spec;
+  EXPECT_EQ(apply_mix(spec, "rowclone:1,init:2,copy:3,majx:4"),
+            "rowclone:1,init:2,copy:3,majx:4");
+  EXPECT_EQ(spec.weight_majx, 4u);
+  EXPECT_EQ(mix_string(spec), "rowclone:1,init:2,copy:3,majx:4");
+
+  EXPECT_THROW(apply_mix(spec, "rowclone"), std::invalid_argument);
+  EXPECT_THROW(apply_mix(spec, "warp:1"), std::invalid_argument);
+  EXPECT_THROW(apply_mix(spec, "rowclone:x"), std::invalid_argument);
+  WorkloadSpec zero;
+  EXPECT_THROW(apply_mix(zero, "rowclone:0,init:0,copy:0,majx:0"),
+               std::invalid_argument);
+}
+
+TEST(Workload, RequestsAreAPureFunctionOfSpecAndIndex) {
+  WorkloadSpec spec;
+  spec.seed_sources = true;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    const Request a = make_request(spec, i);
+    const Request b = make_request(spec, i);
+    EXPECT_EQ(a.op, b.op);
+    EXPECT_EQ(a.tenant, b.tenant);
+    EXPECT_EQ(a.bank, b.bank);
+    EXPECT_EQ(a.src, b.src);
+    EXPECT_EQ(a.dst, b.dst);
+    ASSERT_EQ(a.operands.size(), b.operands.size());
+    for (std::size_t k = 0; k < a.operands.size(); ++k)
+      EXPECT_TRUE(a.operands[k] == b.operands[k]);
+    if (a.op == OpKind::kRowClone) {
+      EXPECT_NE(a.src, a.dst);
+    }
+    if (a.op == OpKind::kMajx) {
+      EXPECT_EQ(a.operands.size(), spec.majx_x);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace simra::serve

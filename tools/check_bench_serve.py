@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Validates BENCH_serve.json (the serving-layer load-generator record)
+and optionally gates on a minimum sustained throughput. Standard library
+only, so CI needs no extra packages.
+
+Usage: check_bench_serve.py BENCH_serve.json [--min-ops-per-sec N]
+       [--require-clients N]
+
+Checks: the schema version is the one this checker understands, every run
+entry carries the full field set with sane values, the coverage
+accounting is consistent (ops == recorded latencies == delivered work),
+and — when gating — the highest-concurrency run sustains the floor.
+Exits non-zero with a pointed message on the first problem.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = 1
+
+_REQUIRED = {
+    "mode": str,
+    "plan": str,
+    "threads": int,
+    "clients": int,
+    "ops": int,
+    "seconds": float,
+    "ops_per_sec": float,
+    "p50_us": float,
+    "p99_us": float,
+    "ok": int,
+    "rejected": int,
+    "batches": int,
+    "batch_attempts": int,
+    "fused_requests": int,
+    "mean_batch": float,
+    "shards_healthy": int,
+    "shards_total": int,
+    "mix": str,
+}
+
+
+def fail(message):
+    print(f"check_bench_serve: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_run(run, index):
+    where = f"runs[{index}]"
+    for field, kind in _REQUIRED.items():
+        if field not in run:
+            fail(f"{where}: missing field '{field}'")
+        value = run[field]
+        if kind is float:
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                fail(f"{where}.{field}: expected number, got {value!r}")
+        elif not isinstance(value, kind) or isinstance(value, bool):
+            fail(f"{where}.{field}: expected {kind.__name__}, got {value!r}")
+    if run["mode"] != "closed_loop":
+        fail(f"{where}.mode: unknown mode {run['mode']!r}")
+    if run["clients"] < 1 or run["ops"] < 1:
+        fail(f"{where}: clients and ops must be positive")
+    if run["seconds"] <= 0 or run["ops_per_sec"] <= 0:
+        fail(f"{where}: non-positive timing ({run['seconds']} s, "
+             f"{run['ops_per_sec']} ops/s)")
+    if run["p99_us"] < run["p50_us"]:
+        fail(f"{where}: p99 ({run['p99_us']} us) below p50 "
+             f"({run['p50_us']} us)")
+    if run["batch_attempts"] < run["batches"]:
+        fail(f"{where}: fewer batch attempts than batches")
+    if run["shards_healthy"] > run["shards_total"]:
+        fail(f"{where}: more healthy shards than shards")
+    # `ok` counts the service's lifetime (warm-up included), so it may
+    # exceed `ops` slightly but never fall below the timed closed loop.
+    if run["ok"] + run["rejected"] < run["ops"]:
+        fail(f"{where}: ok + rejected ({run['ok']} + {run['rejected']}) "
+             f"below the submitted ops ({run['ops']}) — lost responses")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path")
+    parser.add_argument("--min-ops-per-sec", type=float, default=0.0)
+    parser.add_argument("--require-clients", type=int, default=0,
+                        help="fail unless a run at this client count exists")
+    args = parser.parse_args()
+
+    try:
+        with open(args.path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"{args.path}: {err}")
+
+    if doc.get("schema") != SCHEMA:
+        fail(f"schema {doc.get('schema')!r}, expected {SCHEMA}")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        fail("no runs recorded")
+    for index, run in enumerate(runs):
+        check_run(run, index)
+
+    if args.require_clients:
+        if not any(r["clients"] == args.require_clients for r in runs):
+            fail(f"no run at clients={args.require_clients}")
+
+    if args.min_ops_per_sec > 0:
+        best = max(runs, key=lambda r: r["clients"])
+        if best["ops_per_sec"] < args.min_ops_per_sec:
+            fail(f"throughput gate: {best['ops_per_sec']:.0f} ops/s at "
+                 f"clients={best['clients']} below the "
+                 f"{args.min_ops_per_sec:.0f} ops/s floor")
+
+    print(f"check_bench_serve: {args.path} ok — {len(runs)} runs, best "
+          f"{max(r['ops_per_sec'] for r in runs):.0f} ops/s")
+
+
+if __name__ == "__main__":
+    main()
