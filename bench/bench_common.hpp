@@ -119,6 +119,28 @@ struct HarnessRecord {
   }
 };
 
+/// One program's slot accounting before/after the verify v2 optimizer
+/// (dead-command elimination + rule-driven slot compaction), as recorded
+/// in the harness JSON's "program_opt" section. `slots_*` are extent
+/// slots (bus occupancy window, paper Limitation 2); the validator
+/// (tools/check_program_opt.py) requires at least one entry with
+/// slots_after < slots_before.
+struct ProgramOptRecord {
+  std::string program;
+  std::size_t commands_before = 0;
+  std::size_t commands_after = 0;
+  std::uint64_t slots_before = 0;
+  std::uint64_t slots_after = 0;
+
+  double slots_saved_pct() const {
+    return slots_before > 0
+               ? 100.0 *
+                     static_cast<double>(slots_before - slots_after) /
+                     static_cast<double>(slots_before)
+               : 0.0;
+  }
+};
+
 /// One kernel's scalar-vs-AVX2 timing (bench_kernels --simd-report).
 struct SimdRecord {
   std::string kernel;
@@ -218,6 +240,21 @@ class HarnessReport {
     }
   }
 
+  /// Records per-program optimizer accounting (the "program_opt"
+  /// section). Replaces this (program, plan) point's previous entry.
+  void record_program_opt(const std::vector<ProgramOptRecord>& records) {
+    program_opt_ = records;
+    if (program_opt_.empty()) return;
+    write();
+    std::cout << "[harness] program optimization (" << harness_json_path()
+              << "):\n";
+    for (const auto& p : program_opt_)
+      std::cout << "  " << p.program << ": " << p.commands_before << " -> "
+                << p.commands_after << " commands, " << p.slots_before
+                << " -> " << p.slots_after << " slots ("
+                << Table::num(p.slots_saved_pct(), 1) << "% saved)\n";
+  }
+
   /// Records scalar-vs-AVX2 per-kernel timings (the "simd" section).
   /// SIMD dispatch is host-capability dependent, so these entries carry
   /// no plan key — only the thread count the report ran at.
@@ -266,6 +303,17 @@ class HarnessReport {
     return os.str();
   }
 
+  std::string program_opt_json(const ProgramOptRecord& p) const {
+    std::ostringstream os;
+    os << "    {\"program\": \"" << p.program << "\", \"plan\": \""
+       << plan_label() << "\", \"commands_before\": " << p.commands_before
+       << ", \"commands_after\": " << p.commands_after
+       << ", \"slots_before\": " << p.slots_before
+       << ", \"slots_after\": " << p.slots_after << ", \"slots_saved_pct\": "
+       << std::fixed << std::setprecision(2) << p.slots_saved_pct() << "}";
+    return os.str();
+  }
+
   std::string simd_json(const SimdRecord& s) const {
     std::ostringstream os;
     os << "    {\"simd_kernel\": \"" << s.kernel
@@ -308,15 +356,17 @@ class HarnessReport {
   /// measured field ("figure"/"plan"/"threads"/"baseline" for figures,
   /// "kernel"/"plan"/"threads" for kernels, "counter"/"plan"/"threads"
   /// for resilience counters, "metric"/"plan"/"threads" for metrics,
-  /// "simd_kernel"/"threads" for simd timings). Cut at whichever marker
-  /// appears first — figure entries lead with "seconds", kernel entries
-  /// with "calls", resilience entries with "count", metric entries with
-  /// "kind", simd entries with "scalar_us".
+  /// "simd_kernel"/"threads" for simd timings, "program"/"plan" for
+  /// optimizer accounting). Cut at whichever marker appears first —
+  /// figure entries lead with "seconds", kernel entries with "calls",
+  /// resilience entries with "count", metric entries with "kind", simd
+  /// entries with "scalar_us", program_opt entries with
+  /// "commands_before".
   static std::string entry_key(const std::string& line) {
     auto cut = std::string::npos;
     for (const char* marker :
          {", \"seconds\":", ", \"calls\":", ", \"count\":", ", \"kind\":",
-          ", \"scalar_us\":"}) {
+          ", \"scalar_us\":", ", \"commands_before\":"}) {
       const auto pos = line.find(marker);
       if (pos != std::string::npos) cut = std::min(cut, pos);
     }
@@ -330,6 +380,7 @@ class HarnessReport {
     std::vector<std::string> resilience_lines;
     std::vector<std::string> metric_lines;
     std::vector<std::string> simd_lines;
+    std::vector<std::string> program_opt_lines;
     std::ifstream in(harness_json_path());
     for (std::string line; std::getline(in, line);) {
       const bool is_figure = line.find("{\"figure\": \"") != std::string::npos;
@@ -339,7 +390,10 @@ class HarnessReport {
       const bool is_metric = line.find("{\"metric\": \"") != std::string::npos;
       const bool is_simd =
           line.find("{\"simd_kernel\": \"") != std::string::npos;
-      if (!is_figure && !is_kernel && !is_counter && !is_metric && !is_simd)
+      const bool is_program_opt =
+          line.find("{\"program\": \"") != std::string::npos;
+      if (!is_figure && !is_kernel && !is_counter && !is_metric && !is_simd &&
+          !is_program_opt)
         continue;
       if (line.back() == ',') line.pop_back();
       bool replaced = false;
@@ -355,12 +409,15 @@ class HarnessReport {
         if (entry_key(line) == entry_key(histogram_json(h))) replaced = true;
       for (const auto& s : simd_)
         if (entry_key(line) == entry_key(simd_json(s))) replaced = true;
+      for (const auto& p : program_opt_)
+        if (entry_key(line) == entry_key(program_opt_json(p))) replaced = true;
       if (replaced) continue;
-      (is_figure   ? figure_lines
-       : is_kernel ? kernel_lines
-       : is_metric ? metric_lines
-       : is_simd   ? simd_lines
-                   : resilience_lines)
+      (is_figure        ? figure_lines
+       : is_kernel      ? kernel_lines
+       : is_metric      ? metric_lines
+       : is_simd        ? simd_lines
+       : is_program_opt ? program_opt_lines
+                        : resilience_lines)
           .push_back(line);
     }
     for (const HarnessRecord& r : records_)
@@ -372,6 +429,8 @@ class HarnessReport {
     for (const auto& h : histograms_)
       metric_lines.push_back(histogram_json(h));
     for (const auto& s : simd_) simd_lines.push_back(simd_json(s));
+    for (const auto& p : program_opt_)
+      program_opt_lines.push_back(program_opt_json(p));
 
     const auto append_array = [](std::string& out,
                                  const std::vector<std::string>& lines) {
@@ -381,7 +440,7 @@ class HarnessReport {
         out += "\n";
       }
     };
-    std::string out = "{\n  \"schema\": 6,\n  \"figures\": [\n";
+    std::string out = "{\n  \"schema\": 7,\n  \"figures\": [\n";
     append_array(out, figure_lines);
     out += "  ],\n  \"kernels\": [\n";
     append_array(out, kernel_lines);
@@ -391,6 +450,8 @@ class HarnessReport {
     append_array(out, metric_lines);
     out += "  ],\n  \"simd\": [\n";
     append_array(out, simd_lines);
+    out += "  ],\n  \"program_opt\": [\n";
+    append_array(out, program_opt_lines);
     out += "  ]\n}\n";
     write_file(harness_json_path(), out);
   }
@@ -401,6 +462,7 @@ class HarnessReport {
   std::vector<obs::GaugeStats> gauges_;
   std::vector<obs::HistogramStats> histograms_;
   std::vector<SimdRecord> simd_;
+  std::vector<ProgramOptRecord> program_opt_;
 };
 
 /// Runs `fn(plan)`, records its wall-clock time, thread count, instance

@@ -1,0 +1,218 @@
+// Verify v2 optimizer accounting: builds the host-style operation
+// pipelines (the same pud::programs builders the engine and the serve
+// batch compiler run) plus a fused serve batch, checks each passes the
+// strict verify gate before AND after optimization, proves the optimized
+// program returns byte-identical reads on a twin chip, and records the
+// per-program command/slot deltas in BENCH_harness.json ("program_opt",
+// validated by tools/check_program_opt.py).
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dram/chip.hpp"
+#include "pud/engine.hpp"
+#include "pud/program_builders.hpp"
+#include "serve/batch.hpp"
+#include "verify/analyzer.hpp"
+#include "verify/occupancy.hpp"
+#include "verify/optimizer.hpp"
+
+namespace {
+
+struct Case {
+  std::string name;
+  simra::bender::Program program;
+};
+
+/// Runs `program` on a fresh chip and returns its RD payloads.
+std::vector<simra::BitVec> run_fresh(const simra::dram::VendorProfile& profile,
+                                     std::uint64_t seed,
+                                     const simra::bender::Program& program) {
+  simra::dram::Chip chip(profile, seed);
+  simra::pud::Engine engine(&chip);
+  return engine.executor().run(program).reads;
+}
+
+}  // namespace
+
+int main() {
+  using namespace simra;
+  charz::Plan plan = bench_common::announced_plan(
+      "Program optimization: dataflow DCE + rule-driven slot compaction");
+  // The gate must hold on both sides of the optimizer, and the executor
+  // must not transform behind our back while we account the deltas.
+  verify::set_global_mode(verify::Mode::kStrict);
+  verify::set_global_opt_mode(verify::OptMode::kOff);
+
+  const dram::VendorProfile profile = dram::VendorProfile::hynix_m();
+  dram::Chip chip(profile, plan.seed);
+  pud::Engine engine(&chip);
+  const verify::ProgramContext ctx = engine.executor().program_context();
+  const verify::RuleTable table = verify::RuleTable::ddr4(profile.timings);
+  const std::size_t columns = profile.geometry.columns;
+  const std::size_t rows = chip.layout().rows();
+  const dram::BankId bank = 2;
+  const dram::SubarrayId sa = 1;
+  const auto global = [&](dram::RowAddr local) {
+    return pud::programs::global_row(sa, rows, local);
+  };
+  Rng group_rng(plan.seed ^ 0x0b7ull);
+  const pud::RowGroup group = pud::sample_group(chip.layout(), 4, group_rng);
+
+  std::vector<Case> cases;
+  {
+    // WR then RD of the same row: the intermediate PRE/ACT reopen pair is
+    // provably redundant (the row is already open with the same content).
+    Case c{"bench.host_write_read", {}};
+    c.program = pud::programs::write_row(profile, bank, global(7),
+                                         BitVec(columns, true));
+    c.program.append(pud::programs::read_row(profile, bank, global(7),
+                                             columns));
+    c.program.set_name(c.name);
+    cases.push_back(std::move(c));
+  }
+  {
+    // Two full-row writes, only the second ever read: the first store is
+    // dead, and both interior reopen pairs are redundant.
+    Case c{"bench.host_overwrite", {}};
+    c.program = pud::programs::write_row(profile, bank, global(9),
+                                         BitVec(columns, false));
+    c.program.append(pud::programs::write_row(profile, bank, global(9),
+                                              BitVec(columns, true)));
+    c.program.append(pud::programs::read_row(profile, bank, global(9),
+                                             columns));
+    c.program.set_name(c.name);
+    cases.push_back(std::move(c));
+  }
+  {
+    // Seed src -> RowClone -> read dst: the write_row/rowclone seam
+    // recloses and nominally reopens src for no observable reason.
+    Case c{"bench.host_rowclone", {}};
+    c.program = pud::programs::write_row(profile, bank, global(3),
+                                         BitVec(columns, true));
+    c.program.append(
+        pud::programs::rowclone(profile, bank, global(3), global(5)));
+    c.program.append(pud::programs::read_row(profile, bank, global(5),
+                                             columns));
+    c.program.set_name(c.name);
+    cases.push_back(std::move(c));
+  }
+  {
+    // Bulk init: pattern write, one many-row-copy APA, read one target.
+    Case c{"bench.host_bulk_init", {}};
+    c.program = pud::programs::write_row(profile, bank, global(group.row_first),
+                                         BitVec(columns, true));
+    c.program.append(pud::programs::apa(
+        profile, bank, global(group.row_first), global(group.row_second),
+        pud::ApaTimings::best_for_multi_row_copy(), /*read_buffer=*/false));
+    c.program.append(pud::programs::read_row(profile, bank,
+                                             global(group.row_second),
+                                             columns));
+    c.program.set_name(c.name);
+    cases.push_back(std::move(c));
+  }
+  {
+    // MAJ3: operand staging plus the compute APA reading the row buffer.
+    Case c{"bench.host_majx3", {}};
+    const std::vector<BitVec> operands = {BitVec(columns, true),
+                                          BitVec(columns, false),
+                                          BitVec(columns, true)};
+    bool first = true;
+    for (bender::Program& staged : pud::programs::majx_staging(
+             profile, rows, bank, sa, group, operands)) {
+      if (first) {
+        c.program = std::move(staged);
+        first = false;
+      } else {
+        c.program.append(staged);
+      }
+    }
+    c.program.append(pud::programs::apa(
+        profile, bank, global(group.row_first), global(group.row_second),
+        pud::ApaTimings::best_for_majx(), /*read_buffer=*/true));
+    c.program.set_name(c.name);
+    cases.push_back(std::move(c));
+  }
+  {
+    // A fused serve batch (rowclone + bulk init + MAJ3), exactly as a
+    // shard dispatches it.
+    serve::BatchCompiler compiler(&chip.profile(), &chip.layout());
+    serve::Request rowclone;
+    rowclone.id = 1;
+    rowclone.op = serve::OpKind::kRowClone;
+    rowclone.bank = bank;
+    rowclone.sa = sa;
+    rowclone.src = 3;
+    rowclone.dst = 5;
+    rowclone.operands = {BitVec(columns, true)};
+    rowclone.read_back = true;
+    serve::Request init;
+    init.id = 2;
+    init.op = serve::OpKind::kBulkInit;
+    init.bank = bank;
+    init.sa = sa;
+    init.operands = {BitVec(columns, false)};
+    init.read_back = true;
+    serve::Request majx;
+    majx.id = 3;
+    majx.op = serve::OpKind::kMajx;
+    majx.bank = bank;
+    majx.sa = sa;
+    majx.operands = {BitVec(columns, true), BitVec(columns, true),
+                     BitVec(columns, false)};
+    const std::vector<serve::CompiledRequest> compiled = {
+        compiler.compile(rowclone, group), compiler.compile(init, group),
+        compiler.compile(majx, group)};
+    Case c{"bench.serve_fused_batch",
+           compiler.fuse("bench.serve_fused_batch", compiled, nullptr)};
+    cases.push_back(std::move(c));
+  }
+
+  std::vector<bench_common::ProgramOptRecord> records;
+  bool equivalent = true;
+  for (const Case& c : cases) {
+    verify::gate(c.program, profile.timings);  // strict: throws on a bug.
+    const verify::OccupancyStats before = verify::occupancy(c.program, table);
+    verify::Optimized opt = verify::optimize(c.program, ctx);
+    verify::gate(opt.program, profile.timings);
+    verify::OccupancyStats after = verify::occupancy(opt.program, table);
+    after.critical_path_slots =
+        verify::compacted_extent_slots(opt.program, table);
+    verify::export_occupancy_metrics(after, c.name);
+
+    const std::vector<BitVec> base = run_fresh(profile, 7, c.program);
+    const std::vector<BitVec> packed = run_fresh(profile, 7, opt.program);
+    const bool same = base == packed;
+    equivalent = equivalent && same;
+
+    bench_common::ProgramOptRecord rec;
+    rec.program = c.name;
+    rec.commands_before = c.program.commands().size();
+    rec.commands_after = opt.program.commands().size();
+    rec.slots_before = c.program.extent_slots();
+    rec.slots_after = opt.program.extent_slots();
+    records.push_back(rec);
+
+    std::cout << c.name << ": " << rec.commands_before << " -> "
+              << rec.commands_after << " commands, " << rec.slots_before
+              << " -> " << rec.slots_after << " slots, utilization "
+              << Table::num(before.utilization, 3) << " -> "
+              << Table::num(after.utilization, 3)
+              << (same ? "" : "  [READS DIVERGED]") << "\n";
+  }
+
+  bench_common::HarnessReport::global().record_program_opt(records);
+  bench_common::HarnessReport::global().record_kernels();
+
+  bool any_saved = false;
+  for (const auto& r : records)
+    any_saved = any_saved || r.slots_after < r.slots_before;
+  if (!equivalent)
+    std::cout << "\nFAIL: an optimized program diverged from its source\n";
+  else if (!any_saved)
+    std::cout << "\nFAIL: no program showed a slot reduction\n";
+  else
+    std::cout << "\nAll optimized programs byte-identical; slot savings "
+                 "recorded.\n";
+  return equivalent && any_saved ? 0 : 1;
+}

@@ -5,8 +5,10 @@
 
 #include "bender/command_encoding.hpp"
 #include "fault/injector.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "verify/analyzer.hpp"
+#include "verify/lint.hpp"
 
 namespace simra::bender {
 
@@ -260,15 +262,66 @@ void Executor::run_faulty(const TimedCommand& cmd, ExecutionResult& result) {
   result.energy_pj += command_energy(cmd, *chip_, 0.0);
 }
 
+verify::ProgramContext Executor::program_context() {
+  if (!rule_table_) {
+    rule_table_.emplace(verify::RuleTable::ddr4(chip_->profile().timings));
+  }
+  verify::ProgramContext ctx;
+  ctx.table = &*rule_table_;
+  ctx.layout = &chip_->layout();
+  ctx.scrambler = &chip_->profile().scrambler;
+  ctx.columns = chip_->profile().geometry.columns;
+  ctx.gates_violated_timings = chip_->profile().gates_violated_timings;
+  return ctx;
+}
+
 ExecutionResult Executor::run(const Program& program) {
   // Static analysis happens before any command reaches the (possibly
   // faulty) transport: the gate checks what the program *intends* to
   // issue, not what a bit-flip turns it into.
   verify::gate(program, chip_->profile().timings);
+  last_opt_ = verify::OptStats{};
+  const Program* to_run = &program;
+  std::optional<Program> optimized;
+  const verify::OptMode opt = verify::global_opt_mode();
+  if (opt != verify::OptMode::kOff && !program.empty()) {
+    const verify::ProgramContext ctx = program_context();
+    verify::lint(program, ctx);
+    // Transformation only where it is provably invisible: dead-command
+    // elimination changes the chip's per-command RNG/fault draw sequence,
+    // so any attached injector (transport or chip level) disables it.
+    if (opt == verify::OptMode::kOn && faults_ == nullptr &&
+        chip_->faults() == nullptr) {
+      verify::Optimized result = verify::optimize(program, ctx);
+      last_opt_ = result.stats;
+      if (result.stats.removed_commands > 0 ||
+          (result.stats.compacted &&
+           result.stats.extent_after < result.stats.extent_before)) {
+        optimized.emplace(std::move(result.program));
+        to_run = &*optimized;
+        // The optimizer must never manufacture a timing violation: the
+        // transformed program passes the same gate as the original.
+        verify::gate(*to_run, chip_->profile().timings);
+        auto& registry = obs::MetricsRegistry::instance();
+        registry.counter("verify.opt.programs").add_count(1);
+        registry.counter("verify.opt.removed_commands")
+            .add_count(last_opt_.removed_commands);
+        registry.counter("verify.opt.slots_saved")
+            .add_count(last_opt_.extent_before - last_opt_.extent_after);
+        obs::emit_event(
+            "program_opt",
+            {{"program", program.name()},
+             {"removed_commands",
+              std::to_string(last_opt_.removed_commands)},
+             {"extent_before", std::to_string(last_opt_.extent_before)},
+             {"extent_after", std::to_string(last_opt_.extent_after)}});
+      }
+    }
+  }
   ExecutionResult result;
   const bool faulty = faults_ != nullptr && faults_->spec().any_transport();
   const bool traced = obs::enabled();
-  for (const TimedCommand& cmd : program.commands()) {
+  for (const TimedCommand& cmd : to_run->commands()) {
     // The trace records the command as *issued* (pre-fault): a corrupted
     // transport changes what the chip latches, not what the span shows —
     // matching DRAM Bender's host-side command log.
@@ -283,7 +336,7 @@ ExecutionResult Executor::run(const Program& program) {
       execute_one(cmd, t, result);
     }
   }
-  result.duration_ns = program.duration_ns();
+  result.duration_ns = to_run->duration_ns();
   clock_ns_ += result.duration_ns;
   return result;
 }

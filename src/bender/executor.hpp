@@ -1,12 +1,15 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "bender/program.hpp"
 #include "common/bitvec.hpp"
 #include "dram/chip.hpp"
 #include "dram/power_model.hpp"
+#include "verify/dataflow.hpp"
+#include "verify/optimizer.hpp"
 
 namespace simra::fault {
 class ChipInjector;
@@ -57,6 +60,17 @@ class Executor {
   }
   fault::ChipInjector* faults() const noexcept { return faults_; }
 
+  /// The whole-program-analysis context for this executor's chip (rule
+  /// table built lazily from the chip's timings). Valid while the
+  /// executor lives.
+  verify::ProgramContext program_context();
+
+  /// Optimizer stats of the most recent run(): zeroed when SIMRA_OPT
+  /// left the program untouched.
+  const verify::OptStats& last_opt_stats() const noexcept {
+    return last_opt_;
+  }
+
  private:
   void execute_one(const TimedCommand& cmd, double t,
                    ExecutionResult& result);
@@ -66,6 +80,8 @@ class Executor {
   double clock_ns_ = 0.0;
   double last_issue_ns_ = 0.0;  ///< monotonicity clamp for jittered issues.
   fault::ChipInjector* faults_ = nullptr;
+  std::optional<verify::RuleTable> rule_table_;  ///< lazy, per-chip.
+  verify::OptStats last_opt_;
 };
 
 }  // namespace simra::bender

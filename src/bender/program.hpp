@@ -112,6 +112,31 @@ class Program {
   double duration_ns() const;
   bool empty() const noexcept { return commands_.empty(); }
 
+  /// Total slot extent (the slot count duration_ns() is derived from):
+  /// one past the last occupied slot when a command sits at the cursor.
+  std::uint64_t extent_slots() const noexcept {
+    return cursor_occupied_ ? cursor_ + 1 : cursor_;
+  }
+
+  /// Rebuilds a program carrying `original`'s name and intents but a
+  /// re-scheduled command list and cursor extent. This is the
+  /// constructor of the verify optimizer (slot compaction / dead-command
+  /// elimination); it is header-inline because simra_verify may not
+  /// reference simra_bender symbols (the link goes the other way).
+  /// `commands` must be slot-sorted with strictly increasing slots below
+  /// `extent_slots`; callers (the optimizer) guarantee this.
+  static Program rescheduled(const Program& original,
+                             std::vector<TimedCommand> commands,
+                             std::uint64_t extent_slots) {
+    Program p;
+    p.name_ = original.name_;
+    p.intents_ = original.intents_;
+    p.commands_ = std::move(commands);
+    p.cursor_ = extent_slots;
+    p.cursor_occupied_ = false;
+    return p;
+  }
+
   /// Human-readable listing (debugging aid, mirrors the Bender trace view).
   std::string to_string() const;
 

@@ -117,7 +117,7 @@ void RunManifest::set(const std::string& key, const std::string& value) {
 
 std::string RunManifest::render_json(bool with_host) const {
   std::ostringstream os;
-  os << "{\"schemas\": {\"trace\": 1, \"events\": 1, \"bench\": 5}, "
+  os << "{\"schemas\": {\"trace\": 1, \"events\": 1, \"bench\": 7}, "
      << "\"build\": {\"compiler\": \"" << json_escape(__VERSION__)
      << "\", \"assertions\": "
 #ifdef NDEBUG

@@ -66,4 +66,14 @@ std::size_t ReliabilityMap::best_group(dram::BankId bank, dram::SubarrayId sa,
   return best_index;
 }
 
+void ReliabilityMap::approve_group(verify::ReliabilityPolicy& policy,
+                                   const dram::PredecoderLayout& layout,
+                                   const dram::RowScrambler& scrambler,
+                                   dram::BankId bank, dram::SubarrayId sa,
+                                   const RowGroup& group) {
+  policy.approve(static_cast<int>(bank), sa,
+                 layout.activation_group(scrambler.to_internal(group.row_first),
+                                         scrambler.to_internal(group.row_second)));
+}
+
 }  // namespace simra::pud

@@ -1,8 +1,10 @@
 #pragma once
 
 #include "common/bitvec.hpp"
+#include "dram/scrambler.hpp"
 #include "pud/engine.hpp"
 #include "pud/row_group.hpp"
+#include "verify/reliability.hpp"
 
 namespace simra {
 class Rng;
@@ -34,6 +36,18 @@ class ReliabilityMap {
   std::size_t best_group(dram::BankId bank, dram::SubarrayId sa,
                          const std::vector<RowGroup>& candidates, unsigned x,
                          unsigned trials = 4);
+
+  /// Records a profiled group into a verify::ReliabilityPolicy in the
+  /// form the dataflow pass reports many-row activations: the full
+  /// internal (post-scrambler) driven row set of ACT(R_F) -> PRE ->
+  /// ACT(R_S). The whole-program reliability lint then treats any
+  /// simultaneous activation outside the recorded sets as an unprofiled
+  /// excursion (CheckId::kUnreliableGroup).
+  static void approve_group(verify::ReliabilityPolicy& policy,
+                            const dram::PredecoderLayout& layout,
+                            const dram::RowScrambler& scrambler,
+                            dram::BankId bank, dram::SubarrayId sa,
+                            const RowGroup& group);
 
  private:
   Engine* engine_;

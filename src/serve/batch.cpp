@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "pud/program_builders.hpp"
+#include "verify/optimizer.hpp"
 
 namespace simra::serve {
 
@@ -14,6 +15,7 @@ BatchCompiler::BatchCompiler(const dram::VendorProfile* profile,
     : profile_(profile), layout_(layout) {
   if (profile_ == nullptr || layout_ == nullptr)
     throw std::invalid_argument("batch compiler needs a profile and layout");
+  table_ = verify::RuleTable::ddr4(profile_->timings);
 }
 
 std::string BatchCompiler::validate(const Request& request,
@@ -127,8 +129,19 @@ Program BatchCompiler::fuse(const std::string& name,
     extents->clear();
     extents->reserve(batch.size());
   }
+  // Per-request command index range on the fused program, so extents can
+  // be recomputed after slot compaction moves everything.
+  struct Range {
+    std::size_t first_cmd = 0;
+    std::size_t last_cmd = 0;
+    std::uint64_t end_slots = 0;  ///< request extent incl. trailing pad.
+  };
+  std::vector<Range> ranges;
+  ranges.reserve(batch.size());
   for (const CompiledRequest& compiled : batch) {
     FusedExtent extent;
+    Range range;
+    range.first_cmd = fused.commands().size();
     bool first = true;
     for (const Program& segment : compiled.segments) {
       // The previous segment's trailing tRP already separates the PRE
@@ -146,9 +159,35 @@ Program BatchCompiler::fuse(const std::string& name,
       fused.append(segment);
     }
     extent.end_ns = fused.duration_ns();
+    range.last_cmd =
+        fused.commands().empty() ? 0 : fused.commands().size() - 1;
+    range.end_slots = fused.extent_slots();
+    ranges.push_back(range);
     if (extents) extents->push_back(extent);
   }
-  return fused;
+
+  if (verify::global_opt_mode() != verify::OptMode::kOn || fused.empty())
+    return fused;
+  verify::Optimized packed = verify::compact(fused, table_);
+  if (!packed.stats.compacted ||
+      packed.stats.extent_after >= packed.stats.extent_before)
+    return fused;
+  if (extents) {
+    const auto& before = fused.commands();
+    const auto& after = packed.program.commands();
+    for (std::size_t i = 0; i < ranges.size(); ++i) {
+      const Range& r = ranges[i];
+      if (r.first_cmd >= after.size()) continue;  // request had no commands.
+      (*extents)[i].start_ns =
+          static_cast<double>(after[r.first_cmd].slot) * bender::kSlotNs;
+      // Preserve the request's own trailing pad beyond its last command.
+      const std::uint64_t tail = r.end_slots - before[r.last_cmd].slot;
+      (*extents)[i].end_ns =
+          static_cast<double>(after[r.last_cmd].slot + tail) *
+          bender::kSlotNs;
+    }
+  }
+  return packed.program;
 }
 
 }  // namespace simra::serve

@@ -10,6 +10,7 @@
 #include "dram/vendor.hpp"
 #include "pud/row_group.hpp"
 #include "serve/request.hpp"
+#include "verify/rules.hpp"
 
 namespace simra::serve {
 
@@ -65,6 +66,12 @@ class BatchCompiler {
   /// Fuses compiled requests (in order) into one program named `name`.
   /// When `extents` is non-null it receives one entry per request with
   /// its [start, end) window on the fused timeline.
+  ///
+  /// Under SIMRA_OPT=on the fused program is additionally slot-compacted
+  /// (verify::compact — command order, hence every stochastic draw the
+  /// chip consumes, is preserved, so this composes with fault injection)
+  /// and the extents are recomputed from each request's command range on
+  /// the packed timeline.
   bender::Program fuse(const std::string& name,
                        std::span<const CompiledRequest> batch,
                        std::vector<FusedExtent>* extents = nullptr) const;
@@ -74,6 +81,7 @@ class BatchCompiler {
  private:
   const dram::VendorProfile* profile_;
   const dram::PredecoderLayout* layout_;
+  verify::RuleTable table_;  ///< for SIMRA_OPT=on batch compaction.
 };
 
 }  // namespace simra::serve

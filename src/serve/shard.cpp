@@ -5,6 +5,11 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "verify/dataflow.hpp"
+#include "verify/lint.hpp"
+#include "verify/optimizer.hpp"
+
 namespace simra::serve {
 
 namespace {
@@ -46,6 +51,15 @@ const pud::RowGroup& Shard::group_for(dram::BankId bank, dram::SubarrayId sa) {
     pick = reliability_.best_group(bank, sa, candidates, 3,
                                    config_.steer_trials);
   return groups_.emplace(key, candidates[pick]).first->second;
+}
+
+verify::ReliabilityPolicy Shard::reliability_policy() const {
+  verify::ReliabilityPolicy policy;
+  for (const auto& [key, group] : groups_)
+    pud::ReliabilityMap::approve_group(policy, chip_.layout(),
+                                       chip_.profile().scrambler, key.first,
+                                       key.second, group);
+  return policy;
 }
 
 std::vector<CompiledRequest> Shard::compile_batch(
@@ -134,6 +148,29 @@ BatchOutcome Shard::execute(std::span<const BatchItem> batch,
 
   std::vector<FusedExtent> extents;
   const bender::Program fused = compiler_.fuse(label, compiled, &extents);
+
+  // Cross-check the fused batch's many-row activations against the
+  // groups this shard actually profiled (§8.1 steering): any APA outside
+  // a recorded set is an unprofiled excursion. Runs once per batch, on
+  // the fused program, so the reference (unbatched) path stays pristine.
+  if (verify::global_opt_mode() != verify::OptMode::kOff) {
+    const verify::ProgramContext ctx = engine_.executor().program_context();
+    verify::DataflowResult df = verify::dataflow(fused, ctx);
+    if (!df.apas.empty()) {
+      const verify::ReliabilityPolicy policy = reliability_policy();
+      std::vector<verify::Finding> findings =
+          verify::lint_reliability(df.apas, policy, fused.intents());
+      obs::MetricsRegistry::instance()
+          .counter("serve.batch.reliability_checks")
+          .add_count(df.apas.size());
+      if (!findings.empty()) {
+        obs::MetricsRegistry::instance()
+            .counter("serve.batch.reliability_findings")
+            .add_count(findings.size());
+        verify::report_lint_findings(label, findings);
+      }
+    }
+  }
 
   const unsigned max_attempts = res.spec.retry_max + 1;
   const bool use_faults = res.spec.injects();

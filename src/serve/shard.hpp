@@ -89,6 +89,13 @@ class Shard {
   /// Eagerly profiles one (bank, subarray) slot.
   void warm(dram::BankId bank, dram::SubarrayId sa) { group_for(bank, sa); }
 
+  /// Every activation group this shard has profiled so far, recorded as
+  /// the internal driven row sets the dataflow pass reports (see
+  /// pud::ReliabilityMap::approve_group). Under SIMRA_OPT=lint/on each
+  /// fused batch is cross-checked against this policy, so any many-row
+  /// activation outside a steered group surfaces as kUnreliableGroup.
+  verify::ReliabilityPolicy reliability_policy() const;
+
   /// Executes one fused batch under the resilience policy. Never throws:
   /// injected crashes and exhausted retries surface as a failed outcome.
   BatchOutcome execute(std::span<const BatchItem> batch,

@@ -291,12 +291,23 @@ struct Analysis {
   }
 };
 
-void classify(std::vector<Finding>& findings,
-              const std::vector<Intent>& intents) {
+}  // namespace
+
+namespace detail {
+
+void classify_findings(std::vector<Finding>& findings,
+                       const std::vector<Intent>& intents) {
   for (Finding& f : findings) {
-    if (f.kind != FindingKind::kTimingViolation) continue;
+    if (f.kind != FindingKind::kTimingViolation &&
+        f.kind != FindingKind::kProgramCheck) {
+      continue;
+    }
     for (const Intent& intent : intents) {
-      if (intent.rule != *f.rule) continue;
+      if (f.kind == FindingKind::kTimingViolation) {
+        if (intent.check || intent.rule != *f.rule) continue;
+      } else {
+        if (!intent.check || *intent.check != *f.check) continue;
+      }
       if (intent.bank != kAnyBank && intent.bank != f.bank) continue;
       f.classification = Classification::kIntended;
       f.severity = Severity::kNote;
@@ -306,7 +317,7 @@ void classify(std::vector<Finding>& findings,
   }
 }
 
-void rank(std::vector<Finding>& findings) {
+void rank_findings(std::vector<Finding>& findings) {
   std::stable_sort(findings.begin(), findings.end(),
                    [](const Finding& a, const Finding& b) {
                      if (a.severity != b.severity) return a.severity > b.severity;
@@ -315,7 +326,7 @@ void rank(std::vector<Finding>& findings) {
                    });
 }
 
-}  // namespace
+}  // namespace detail
 
 std::string Finding::message() const {
   std::ostringstream out;
@@ -356,6 +367,15 @@ std::string Finding::message() const {
     case FindingKind::kRefreshOpenBank:
       out << "REF while at least one bank is open";
       break;
+    case FindingKind::kProgramCheck:
+      out << check_name(*check);
+      if (classification == Classification::kIntended) {
+        out << " (intended";
+        if (!intent_label.empty()) out << ": " << intent_label;
+        out << ')';
+      }
+      if (!note.empty()) out << " — " << note;
+      break;
   }
   return out.str();
 }
@@ -394,8 +414,8 @@ Report analyze(const bender::Program& program, const RuleTable& table) {
   for (std::size_t i = 0; i < commands.size(); ++i) {
     analysis.step(commands[i], i);
   }
-  classify(analysis.findings, program.intents());
-  rank(analysis.findings);
+  detail::classify_findings(analysis.findings, program.intents());
+  detail::rank_findings(analysis.findings);
   Report report;
   report.program_name = program.name();
   report.findings = std::move(analysis.findings);

@@ -9,13 +9,15 @@
 
 #include "bender/program.hpp"
 #include "dram/timing.hpp"
+#include "verify/check_id.hpp"
 #include "verify/intent.hpp"
 #include "verify/rules.hpp"
 
 namespace simra::verify {
 
-/// What a finding is about: one timing-rule violation, or one of the
-/// bank-state-machine protocol errors.
+/// What a finding is about: one timing-rule violation, one of the
+/// bank-state-machine protocol errors, or a whole-program semantic check
+/// (dataflow / reliability — see CheckId).
 enum class FindingKind : std::uint8_t {
   kTimingViolation,
   kReadClosedBank,
@@ -23,6 +25,7 @@ enum class FindingKind : std::uint8_t {
   kDoubleActivate,
   kPrechargeIdleBank,
   kRefreshOpenBank,
+  kProgramCheck,
 };
 
 enum class Severity : std::uint8_t {
@@ -43,7 +46,8 @@ struct Finding {
   FindingKind kind = FindingKind::kTimingViolation;
   Severity severity = Severity::kError;
   Classification classification = Classification::kUnexpected;
-  std::optional<RuleId> rule;  ///< set iff kind == kTimingViolation.
+  std::optional<RuleId> rule;    ///< set iff kind == kTimingViolation.
+  std::optional<CheckId> check;  ///< set iff kind == kProgramCheck.
   std::uint64_t slot = 0;      ///< slot of the offending command.
   std::size_t command_index = 0;
   bender::CommandKind command = bender::CommandKind::kAct;
@@ -53,6 +57,7 @@ struct Finding {
   std::optional<std::uint64_t> prior_slot;  ///< earlier command of the pair.
   std::optional<std::size_t> prior_index;
   std::string intent_label;  ///< label of the matched Intent, if any.
+  std::string note;          ///< extra detail (program checks only).
 
   /// One-line compiler-style rendering, e.g.
   ///   error: slot 19 PRE bank0: tRAS violated — 19 slots since ACT at
@@ -115,5 +120,16 @@ void set_global_mode(std::optional<Mode> mode);
 /// when off; warn prints each distinct unexpected report once; strict
 /// throws VerifyError if any finding is unexpected.
 void gate(const bender::Program& program, const dram::TimingParams& timings);
+
+namespace detail {
+
+/// Shared by the timing analyzer and the whole-program passes: matches
+/// findings against declared intents (timing intents against RuleIds,
+/// check intents against CheckIds) and sorts errors > warnings > notes.
+void classify_findings(std::vector<Finding>& findings,
+                       const std::vector<Intent>& intents);
+void rank_findings(std::vector<Finding>& findings);
+
+}  // namespace detail
 
 }  // namespace simra::verify

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "verify/check_id.hpp"
 #include "verify/rule_id.hpp"
 
 namespace simra::verify {
@@ -18,14 +20,34 @@ inline constexpr int kAnyBank = -1;
 /// Intents are permissive masks, not assertions: an intent that never
 /// fires is fine (fig3 sweeps t1 up to and past tRAS, so the same builder
 /// produces both violating and compliant programs).
+///
+/// An intent can alternatively name a whole-program CheckId (set `check`):
+/// such intents mask the matching dataflow/reliability finding instead of
+/// a timing rule — `rule` is ignored when `check` is set.
 struct Intent {
+  Intent() = default;
+  Intent(RuleId rule_id, int on_bank = kAnyBank, std::string why = {})
+      : rule(rule_id), bank(on_bank), label(std::move(why)) {}
+
   RuleId rule = RuleId::kTras;
   int bank = kAnyBank;  ///< restrict to one bank, or kAnyBank.
   std::string label;    ///< provenance shown in the report, e.g. "apa".
+  std::optional<CheckId> check;  ///< masks a program check, not a rule.
 
   static Intent violate(RuleId rule, int bank = kAnyBank,
                         std::string label = {}) {
     return Intent{rule, bank, std::move(label)};
+  }
+
+  /// Declares an intended whole-program-check hit, e.g. a TRNG reading
+  /// noise from a never-written frac row declares kReadUninitialized.
+  static Intent allow(CheckId check, int bank = kAnyBank,
+                      std::string label = {}) {
+    Intent intent;
+    intent.bank = bank;
+    intent.label = std::move(label);
+    intent.check = check;
+    return intent;
   }
 };
 

@@ -1,0 +1,68 @@
+#include "verify/lint.hpp"
+
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <unordered_set>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "verify/occupancy.hpp"
+#include "verify/optimizer.hpp"
+
+namespace simra::verify {
+
+void report_lint_findings(const std::string& program_name,
+                          const std::vector<Finding>& findings) {
+  std::size_t unexpected = 0;
+  for (const Finding& f : findings) {
+    if (f.classification != Classification::kUnexpected) continue;
+    ++unexpected;
+    obs::emit_event("lint.finding", {{"program", program_name},
+                                     {"message", f.message()}});
+  }
+  if (unexpected == 0) return;
+  obs::MetricsRegistry::instance()
+      .counter("verify.lint.findings")
+      .add_count(unexpected);
+  // Characterization sweeps run thousands of structurally identical
+  // programs; print each distinct report once (same policy as the gate).
+  std::ostringstream out;
+  out << "lint: program '"
+      << (program_name.empty() ? "<unnamed>" : program_name) << "': "
+      << unexpected << " finding" << (unexpected == 1 ? "" : "s");
+  for (const Finding& f : findings) {
+    if (f.classification == Classification::kUnexpected)
+      out << "\n  " << f.message();
+  }
+  static std::mutex mutex;
+  static std::unordered_set<std::string> seen;
+  const std::string rendered = out.str();
+  std::lock_guard<std::mutex> lock(mutex);
+  if (seen.insert(rendered).second) {
+    std::fprintf(stderr, "%s\n", rendered.c_str());
+  }
+}
+
+void lint(const bender::Program& program, const ProgramContext& ctx,
+          const ReliabilityPolicy* policy) {
+  obs::MetricsRegistry::instance()
+      .counter("verify.lint.programs")
+      .add_count(1);
+  DataflowResult df = dataflow(program, ctx);
+  if (policy != nullptr) {
+    std::vector<Finding> reliability =
+        lint_reliability(df.apas, *policy, program.intents());
+    df.findings.insert(df.findings.end(),
+                       std::make_move_iterator(reliability.begin()),
+                       std::make_move_iterator(reliability.end()));
+    detail::rank_findings(df.findings);
+  }
+  report_lint_findings(program.name(), df.findings);
+
+  OccupancyStats occ = occupancy(program, *ctx.table);
+  occ.critical_path_slots = compacted_extent_slots(program, *ctx.table);
+  export_occupancy_metrics(occ, program.name());
+}
+
+}  // namespace simra::verify

@@ -1,0 +1,27 @@
+#pragma once
+
+#include "bender/program.hpp"
+#include "verify/dataflow.hpp"
+#include "verify/reliability.hpp"
+
+namespace simra::verify {
+
+/// The executor-side whole-program lint (SIMRA_OPT=lint|on): runs the
+/// dataflow/lifetime pass and the bus-occupancy accounting over one
+/// program, publishes occupancy into simra::obs, and reports unexpected
+/// findings to stderr (deduplicated, like the warn gate). Unlike the
+/// SIMRA_VERIFY gate this never throws — program-check findings are
+/// advisory; strictness stays the timing gate's job.
+///
+/// When `policy` is non-null, every simultaneous-activation event is also
+/// cross-checked against it (lint_reliability).
+void lint(const bender::Program& program, const ProgramContext& ctx,
+          const ReliabilityPolicy* policy = nullptr);
+
+/// Warn-style reporting shared by lint() and the serve-layer reliability
+/// check: emits a `lint.finding` obs event per unexpected finding and
+/// prints each distinct rendered report once per process.
+void report_lint_findings(const std::string& program_name,
+                          const std::vector<Finding>& findings);
+
+}  // namespace simra::verify

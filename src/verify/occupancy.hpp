@@ -1,0 +1,53 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bender/program.hpp"
+#include "verify/rules.hpp"
+
+namespace simra::verify {
+
+/// Command-bus occupancy accounting for one program (paper §9
+/// Limitation 2: the testbed issues at most one command per 1.5 ns slot,
+/// so slot-level packing density bounds PUD throughput directly).
+struct OccupancyStats {
+  std::size_t commands = 0;        ///< issued commands.
+  std::uint64_t extent_slots = 0;  ///< program extent incl. trailing pad.
+  std::uint64_t span_slots = 0;    ///< first..last issued slot, inclusive.
+  /// commands / extent_slots: the fraction of bus slots carrying a
+  /// command over the program's scheduled lifetime (0 for empty).
+  double utilization = 0.0;
+  /// Minimum extent the same command sequence needs under the rule table
+  /// (the optimizer's compacted extent). 0 until a caller that ran the
+  /// optimizer fills it in; extent_slots - critical_path_slots is then
+  /// the recoverable slack.
+  std::uint64_t critical_path_slots = 0;
+  /// Per-kind command counts, indexed by bender::CommandKind.
+  std::array<std::size_t, 5> per_kind{};
+  /// Per-bank issued commands (REF and PREA are rank-wide: excluded).
+  std::map<int, std::size_t> per_bank;
+  /// Bank-level parallelism histogram: the timeline is cut into fixed
+  /// windows of `window_slots` (the table's tFAW window, or tRP+1 when no
+  /// window rule exists) and entry k counts windows in which exactly k
+  /// distinct banks issued a command. Entry 0 counts idle windows.
+  std::vector<std::size_t> parallelism;
+  std::uint64_t window_slots = 0;  ///< histogram window width.
+};
+
+/// Single pass over the slot timeline; pure accounting, no findings.
+OccupancyStats occupancy(const bender::Program& program,
+                         const RuleTable& table);
+
+/// Publishes one program's occupancy into the simra::obs registry
+/// (counters `verify.occupancy.*`, gauge `verify.occupancy.utilization`,
+/// histogram `verify.occupancy.bank_parallelism`) and emits a
+/// `program_occupancy` event tagged with the program name. No-ops are
+/// the registry's business: cheap enough to call unconditionally.
+void export_occupancy_metrics(const OccupancyStats& stats,
+                              const std::string& program_name);
+
+}  // namespace simra::verify

@@ -1,0 +1,59 @@
+#include "verify/reliability.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace simra::verify {
+
+void ReliabilityPolicy::approve(int bank, dram::SubarrayId sa,
+                                std::vector<dram::RowAddr> rows) {
+  std::sort(rows.begin(), rows.end());
+  approved_[{bank, sa}].insert(std::move(rows));
+}
+
+bool ReliabilityPolicy::allows(int bank, dram::SubarrayId sa,
+                               const std::vector<dram::RowAddr>& rows) const {
+  auto it = approved_.find({bank, sa});
+  return it != approved_.end() && it->second.count(rows) > 0;
+}
+
+std::size_t ReliabilityPolicy::size() const {
+  std::size_t n = 0;
+  for (const auto& [key, groups] : approved_) n += groups.size();
+  return n;
+}
+
+std::vector<Finding> lint_reliability(const std::vector<ApaEvent>& apas,
+                                      const ReliabilityPolicy& policy,
+                                      const std::vector<Intent>& intents) {
+  std::vector<Finding> findings;
+  for (const ApaEvent& apa : apas) {
+    if (apa.rows.size() < 2) continue;  // single-row reopen, not an APA.
+    if (policy.allows(apa.bank, apa.sa, apa.rows)) continue;
+    Finding f;
+    f.kind = FindingKind::kProgramCheck;
+    f.severity = Severity::kWarning;
+    f.classification = Classification::kUnexpected;
+    f.check = CheckId::kUnreliableGroup;
+    f.slot = apa.slot;
+    f.command_index = apa.command_index;
+    f.command = bender::CommandKind::kAct;
+    f.bank = apa.bank;
+    std::ostringstream note;
+    note << apa.rows.size() << "-row group in subarray " << apa.sa
+         << " {";
+    for (std::size_t i = 0; i < apa.rows.size() && i < 4; ++i) {
+      if (i > 0) note << ',';
+      note << apa.rows[i];
+    }
+    if (apa.rows.size() > 4) note << ",...";
+    note << "} not in the profiled reliability policy";
+    f.note = note.str();
+    findings.push_back(std::move(f));
+  }
+  detail::classify_findings(findings, intents);
+  detail::rank_findings(findings);
+  return findings;
+}
+
+}  // namespace simra::verify

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "dram/types.hpp"
+#include "verify/analyzer.hpp"
+#include "verify/dataflow.hpp"
+
+namespace simra::verify {
+
+/// The set of simultaneous-activation row groups a deployment has
+/// profiled and approved (pud::ReliabilityMap's stable-column flow, §8.1:
+/// profile once, then compute only on groups whose stable fraction is
+/// known). Groups are keyed by (bank, subarray) and stored as sorted
+/// internal (post-scrambler) local row addresses — the same form the
+/// dataflow pass reports ApaEvents in.
+class ReliabilityPolicy {
+ public:
+  void approve(int bank, dram::SubarrayId sa,
+               std::vector<dram::RowAddr> rows);
+
+  /// True when (bank, sa, rows) was approved. `rows` must be sorted
+  /// (ApaEvent::rows are).
+  bool allows(int bank, dram::SubarrayId sa,
+              const std::vector<dram::RowAddr>& rows) const;
+
+  bool empty() const { return approved_.empty(); }
+  std::size_t size() const;
+
+ private:
+  std::map<std::pair<int, dram::SubarrayId>,
+           std::set<std::vector<dram::RowAddr>>>
+      approved_;
+};
+
+/// Cross-checks every many-row activation event against the policy:
+/// each simultaneous group (2+ rows) that was never profiled becomes a
+/// kUnreliableGroup warning — the computation runs on cells whose
+/// stability nobody measured. Findings are classified against `intents`
+/// (a program can declare the excursion) and severity-ranked.
+std::vector<Finding> lint_reliability(const std::vector<ApaEvent>& apas,
+                                      const ReliabilityPolicy& policy,
+                                      const std::vector<Intent>& intents);
+
+}  // namespace simra::verify

@@ -16,6 +16,7 @@
 #include "dram/chip.hpp"
 #include "pud/engine.hpp"
 #include "pud/row_group.hpp"
+#include "verify/optimizer.hpp"
 
 namespace simra::serve {
 namespace {
@@ -186,6 +187,56 @@ TEST_F(BatchCompilerTest, FusePreservesSegmentTimingAndPadsTheFawWindow) {
     if (cmd.kind == CommandKind::kAct) boundary_prev_act = cmd.time_ns();
   }
   EXPECT_GE(extents[1].start_ns - boundary_prev_act, tfaw);
+}
+
+TEST_F(BatchCompilerTest, OptModeOnCompactsTheFusedBatchEquivalently) {
+  Request a = rowclone_request(0, 1);
+  Request b = rowclone_request(2, 3);
+  b.id = 2;
+  Request init;
+  init.id = 3;
+  init.op = OpKind::kBulkInit;
+  init.operands = {row_pattern(0x0F)};
+  init.read_back = true;
+  const std::vector<CompiledRequest> compiled = {
+      compiler_.compile(a, group_), compiler_.compile(b, group_),
+      compiler_.compile(init, group_)};
+
+  verify::set_global_opt_mode(verify::OptMode::kOff);
+  std::vector<FusedExtent> loose_extents;
+  const Program loose = compiler_.fuse("batch", compiled, &loose_extents);
+  verify::set_global_opt_mode(verify::OptMode::kOn);
+  std::vector<FusedExtent> packed_extents;
+  const Program packed = compiler_.fuse("batch", compiled, &packed_extents);
+  verify::set_global_opt_mode(std::nullopt);
+
+  // fuse() only ever compacts — same commands, same order, never later.
+  ASSERT_EQ(packed.commands().size(), loose.commands().size());
+  for (std::size_t i = 0; i < loose.commands().size(); ++i) {
+    EXPECT_EQ(packed.commands()[i].kind, loose.commands()[i].kind);
+    EXPECT_EQ(packed.commands()[i].bank, loose.commands()[i].bank);
+    EXPECT_LE(packed.commands()[i].slot, loose.commands()[i].slot);
+  }
+  EXPECT_LE(packed.extent_slots(), loose.extent_slots());
+
+  // Per-request extents stay one per request, ordered and well-formed.
+  ASSERT_EQ(packed_extents.size(), loose_extents.size());
+  for (std::size_t i = 0; i < packed_extents.size(); ++i) {
+    EXPECT_LT(packed_extents[i].start_ns, packed_extents[i].end_ns);
+    if (i > 0) {
+      EXPECT_LE(packed_extents[i - 1].start_ns, packed_extents[i].start_ns);
+    }
+  }
+
+  // Twin chips, one per schedule: the responses must be byte-identical.
+  dram::Chip chip_loose(chip_.profile(), /*seed=*/7);
+  dram::Chip chip_packed(chip_.profile(), /*seed=*/7);
+  pud::Engine engine_loose(&chip_loose);
+  pud::Engine engine_packed(&chip_packed);
+  EXPECT_EQ(engine_loose.executor().run(loose).reads,
+            engine_packed.executor().run(packed).reads);
+  EXPECT_EQ(chip_loose.noise_stream().cursor(),
+            chip_packed.noise_stream().cursor());
 }
 
 TEST_F(BatchCompilerTest, FuseOfEmptyBatchIsAnEmptyProgram) {

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "bender/program.hpp"
+#include "dram/timing.hpp"
+#include "verify/analyzer.hpp"
+
+namespace simra::verify {
+namespace {
+
+using bender::CommandKind;
+using bender::Program;
+
+const dram::TimingParams kTimings = dram::TimingParams::ddr4_2666();
+
+/// Tests in this binary flip the process-wide verify mode; restore it so
+/// test order never matters.
+struct ScopedStrictMode {
+  ScopedStrictMode() { set_global_mode(Mode::kStrict); }
+  ~ScopedStrictMode() { set_global_mode(std::nullopt); }
+};
+
+bool has_rule(const Report& report, RuleId rule) {
+  for (const auto& f : report.findings)
+    if (f.classification == Classification::kUnexpected && f.rule == rule)
+      return true;
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Rolling-tFAW across an append seam: the window does not reset at the
+// program boundary, so four ACTs at the tail of A plus one at the head of
+// B can overflow the window even though each half is individually legal.
+
+Program three_acts() {
+  Program p;
+  for (dram::BankId b = 0; b < 3; ++b) p.act(b, 1);
+  return p;
+}
+
+Program two_acts() {
+  Program p;
+  p.act(3, 1).act(4, 1);
+  return p;
+}
+
+TEST(AppendSeamTest, RollingActivateWindowSpansTheSeam) {
+  Program joined = three_acts();
+  joined.append(two_acts());
+  const Report report = analyze(joined, kTimings);
+  EXPECT_TRUE(has_rule(report, RuleId::kTfaw)) << report.to_string();
+}
+
+TEST(AppendSeamTest, PaddingTheSeamRestoresTheActivateWindow) {
+  Program joined = three_acts();
+  joined.pad_after_last(CommandKind::kAct, kTimings.tFAW);
+  joined.append(two_acts());
+  const Report report = analyze(joined, kTimings);
+  EXPECT_FALSE(has_rule(report, RuleId::kTfaw)) << report.to_string();
+}
+
+// ---------------------------------------------------------------------------
+// tRAS aging across the seam: a PRE at the head of B must still honor the
+// ACT near the tail of A.
+
+TEST(AppendSeamTest, RowRestoreAgesAcrossTheSeam) {
+  Program a;
+  a.act(0, 1);
+  Program b;
+  b.pre(0);
+  Program direct = a;
+  direct.append(b);
+  EXPECT_TRUE(has_rule(analyze(direct, kTimings), RuleId::kTras));
+
+  Program padded = a;
+  padded.delay_at_least(kTimings.tRAS);
+  padded.append(b);
+  const Report report = analyze(padded, kTimings);
+  EXPECT_FALSE(has_rule(report, RuleId::kTras)) << report.to_string();
+}
+
+// ---------------------------------------------------------------------------
+// tRP aging across the seam: an ACT at the head of B must wait out the
+// precharge issued at the tail of A.
+
+Program act_then_pre(dram::BankId bank) {
+  Program p;
+  p.act(bank, 1).pad_after_last(CommandKind::kAct, kTimings.tRAS).pre(bank);
+  return p;
+}
+
+TEST(AppendSeamTest, PrechargeAgesAcrossTheSeam) {
+  Program b;
+  b.act(0, 2);
+  Program direct = act_then_pre(0);
+  direct.append(b);
+  EXPECT_TRUE(has_rule(analyze(direct, kTimings), RuleId::kTrp));
+
+  Program padded = act_then_pre(0);
+  padded.delay_at_least(kTimings.tRP);
+  padded.append(b);
+  const Report report = analyze(padded, kTimings);
+  EXPECT_FALSE(has_rule(report, RuleId::kTrp)) << report.to_string();
+}
+
+// ---------------------------------------------------------------------------
+// Strict-mode gating on the seam violation.
+
+TEST(AppendSeamTest, StrictGateThrowsOnASeamViolation) {
+  ScopedStrictMode strict;
+  Program b;
+  b.act(0, 2);
+  Program direct = act_then_pre(0);
+  direct.append(b);
+  EXPECT_THROW(gate(direct, kTimings), VerifyError);
+
+  Program padded = act_then_pre(0);
+  padded.delay_at_least(kTimings.tRP);
+  padded.append(b);
+  padded.pad_after_last(CommandKind::kAct, kTimings.tRAS).pre(0);
+  EXPECT_NO_THROW(gate(padded, kTimings));
+}
+
+}  // namespace
+}  // namespace simra::verify

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+
+#include "bender/executor.hpp"
+#include "bender/program.hpp"
+#include "dram/chip.hpp"
+#include "dram/vendor.hpp"
+#include "pud/engine.hpp"
+#include "pud/program_builders.hpp"
+#include "pud/row_group.hpp"
+#include "verify/dataflow.hpp"
+
+namespace simra::verify {
+namespace {
+
+using bender::Program;
+
+/// Real chip-derived context: the dataflow pass must mirror the same
+/// pre-decoder layout, scrambler, and regime thresholds the chip runs.
+struct DataflowTest : ::testing::Test {
+  dram::Chip chip{dram::VendorProfile::hynix_m(), 11};
+  pud::Engine engine{&chip};
+  ProgramContext ctx = engine.executor().program_context();
+  const dram::VendorProfile& profile = chip.profile();
+  const std::size_t columns = profile.geometry.columns;
+  const std::size_t rows = chip.layout().rows();
+  static constexpr dram::BankId kBank = 1;
+  static constexpr dram::SubarrayId kSa = 2;
+
+  dram::RowAddr global(dram::RowAddr local) const {
+    return pud::programs::global_row(kSa, rows, local);
+  }
+};
+
+std::optional<Finding> find_check(const DataflowResult& result, CheckId id) {
+  for (const Finding& f : result.findings)
+    if (f.check == id) return f;
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Dead stores.
+
+TEST_F(DataflowTest, OverwrittenFullRowWriteIsADeadStore) {
+  Program p = pud::programs::write_row(profile, kBank, global(4),
+                                       BitVec(columns, false));
+  p.append(pud::programs::write_row(profile, kBank, global(4),
+                                    BitVec(columns, true)));
+  const DataflowResult result = dataflow(p, ctx);
+  ASSERT_EQ(result.dead_stores.size(), 1u);
+  // write_row is ACT, WR, PRE — the dead WR is command index 1.
+  EXPECT_EQ(result.dead_stores.front(), 1u);
+  const auto f = find_check(result, CheckId::kDeadStore);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->severity, Severity::kWarning);
+  EXPECT_EQ(f->classification, Classification::kUnexpected);
+  ASSERT_TRUE(f->prior_index.has_value());
+  EXPECT_EQ(*f->prior_index, 1u);
+}
+
+TEST_F(DataflowTest, ObservedWriteIsNotADeadStore) {
+  Program p = pud::programs::write_row(profile, kBank, global(4),
+                                       BitVec(columns, false));
+  p.append(pud::programs::read_row(profile, kBank, global(4), columns));
+  p.append(pud::programs::write_row(profile, kBank, global(4),
+                                    BitVec(columns, true)));
+  const DataflowResult result = dataflow(p, ctx);
+  EXPECT_TRUE(result.dead_stores.empty());
+  EXPECT_FALSE(find_check(result, CheckId::kDeadStore).has_value());
+}
+
+TEST_F(DataflowTest, CopySourceCountsAsObservation) {
+  // RowClone consumes the source row's content: the seeding write lives.
+  Program p = pud::programs::write_row(profile, kBank, global(4),
+                                       BitVec(columns, true));
+  p.append(pud::programs::rowclone(profile, kBank, global(4), global(6)));
+  p.append(pud::programs::write_row(profile, kBank, global(4),
+                                    BitVec(columns, false)));
+  const DataflowResult result = dataflow(p, ctx);
+  EXPECT_TRUE(result.dead_stores.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Redundant reopens.
+
+TEST_F(DataflowTest, NominalReopenOfSameRowIsRedundant) {
+  Program p = pud::programs::write_row(profile, kBank, global(7),
+                                       BitVec(columns, true));
+  p.append(pud::programs::read_row(profile, kBank, global(7), columns));
+  const DataflowResult result = dataflow(p, ctx);
+  // write_row = ACT, WR, PRE; read_row = ACT, RD, PRE: the PRE at index 2
+  // and the ACT at index 3 close and re-open row 7 for no reason.
+  ASSERT_EQ(result.redundant_reopens.size(), 1u);
+  EXPECT_EQ(result.redundant_reopens.front().first, 2u);
+  EXPECT_EQ(result.redundant_reopens.front().second, 3u);
+  const auto f = find_check(result, CheckId::kRedundantReopen);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->severity, Severity::kWarning);
+}
+
+TEST_F(DataflowTest, ReopenOfDifferentRowIsNotRedundant) {
+  Program p = pud::programs::write_row(profile, kBank, global(7),
+                                       BitVec(columns, true));
+  p.append(pud::programs::read_row(profile, kBank, global(8), columns));
+  const DataflowResult result = dataflow(p, ctx);
+  EXPECT_TRUE(result.redundant_reopens.empty());
+}
+
+TEST_F(DataflowTest, IgnoredCommandDuringPrechargeCancelsReopenCandidacy) {
+  // A WR issued while the bank precharges is ignored by the chip — but
+  // only because the bank is closing. Removing the PRE/ACT pair would
+  // make it execute, so the pair must not be reported removable.
+  const auto& t = profile.timings;
+  Program p;
+  p.act(kBank, global(7))
+      .delay_at_least(t.tRCD)
+      .wr(kBank, 0, BitVec(columns, true));
+  p.pad_after_last(bender::CommandKind::kAct, t.tRAS).pre(kBank);
+  p.wr(kBank, 0, BitVec(columns, false));  // ignored mid-precharge.
+  p.delay_at_least(t.tRP).act(kBank, global(7));
+  p.delay_at_least(t.tRCD).rd(kBank, 0, columns);
+  p.pad_after_last(bender::CommandKind::kAct, t.tRAS).pre(kBank);
+  const DataflowResult result = dataflow(p, ctx);
+  EXPECT_TRUE(result.redundant_reopens.empty());
+}
+
+TEST_F(DataflowTest, FracFollowUpPrechargeBlocksReopenRemoval) {
+  // The confirming PRE cuts the sense window short (t1' < 4 ns): with the
+  // pair removed t1' would anchor to the earlier ACT and cross the frac
+  // threshold, so the pair is not removable.
+  const auto& t = profile.timings;
+  Program p = pud::programs::write_row(profile, kBank, global(7),
+                                       BitVec(columns, true));
+  p.delay_at_least(t.tRP).act(kBank, global(7));
+  p.delay(Nanoseconds{3.0}).pre(kBank);  // frac-style early precharge.
+  p.expect(Intent{RuleId::kTras, static_cast<int>(kBank), "frac"});
+  const DataflowResult result = dataflow(p, ctx);
+  EXPECT_TRUE(result.redundant_reopens.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Uninitialized reads (self-contained programs).
+
+TEST_F(DataflowTest, ReadOfUntouchedRowFlagsWhenSelfContained) {
+  ProgramContext self = ctx;
+  self.assume_defined_on_entry = false;
+  const Program p =
+      pud::programs::read_row(profile, kBank, global(12), columns);
+  const DataflowResult result = dataflow(p, self);
+  EXPECT_TRUE(find_check(result, CheckId::kReadUninitialized).has_value());
+}
+
+TEST_F(DataflowTest, ReadAfterWriteIsCleanWhenSelfContained) {
+  ProgramContext self = ctx;
+  self.assume_defined_on_entry = false;
+  Program p = pud::programs::write_row(profile, kBank, global(12),
+                                       BitVec(columns, true));
+  p.append(pud::programs::read_row(profile, kBank, global(12), columns));
+  const DataflowResult result = dataflow(p, self);
+  EXPECT_FALSE(find_check(result, CheckId::kReadUninitialized).has_value());
+}
+
+TEST_F(DataflowTest, EngineStyleProgramsAssumeDefinedOnEntryByDefault) {
+  const Program p =
+      pud::programs::read_row(profile, kBank, global(12), columns);
+  const DataflowResult result = dataflow(p, ctx);
+  EXPECT_FALSE(find_check(result, CheckId::kReadUninitialized).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Many-row activation: events and under-replication.
+
+TEST_F(DataflowTest, ApaEventCarriesTheFullDrivenGroup) {
+  const pud::RowGroup group = pud::make_group(chip.layout(), 0, 3);
+  Program p = pud::programs::apa(profile, kBank, global(group.row_first),
+                                 global(group.row_second),
+                                 pud::ApaTimings::best_for_majx(),
+                                 /*read_buffer=*/false);
+  const DataflowResult result = dataflow(p, ctx);
+  ASSERT_EQ(result.apas.size(), 1u);
+  const ApaEvent& event = result.apas.front();
+  EXPECT_EQ(event.bank, static_cast<int>(kBank));
+  EXPECT_EQ(event.sa, kSa);
+  // The event reports internal (post-scrambler) rows — exactly the set
+  // the pre-decoder drives, which is what the reliability policy records.
+  std::vector<dram::RowAddr> expected = chip.layout().activation_group(
+      profile.scrambler.to_internal(group.row_first),
+      profile.scrambler.to_internal(group.row_second));
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(event.rows, expected);
+}
+
+TEST_F(DataflowTest, PartiallyStagedMajGroupIsUnderReplicated) {
+  const pud::RowGroup group = pud::make_group(chip.layout(), 0, 3);
+  ASSERT_GE(group.size(), 3u);
+  // Stage only R_F; the rest of the group votes with stale charge.
+  Program p = pud::programs::write_row(profile, kBank, global(group.row_first),
+                                       BitVec(columns, true));
+  p.append(pud::programs::apa(profile, kBank, global(group.row_first),
+                              global(group.row_second),
+                              pud::ApaTimings::best_for_majx(),
+                              /*read_buffer=*/true));
+  const DataflowResult result = dataflow(p, ctx);
+  const auto f = find_check(result, CheckId::kUnderReplicatedApa);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->classification, Classification::kUnexpected);
+}
+
+TEST_F(DataflowTest, FullyStagedMajGroupIsClean) {
+  const pud::RowGroup group = pud::make_group(chip.layout(), 0, 3);
+  const std::vector<BitVec> operands = {BitVec(columns, true),
+                                        BitVec(columns, false),
+                                        BitVec(columns, true)};
+  Program p;
+  bool first = true;
+  for (Program& staged : pud::programs::majx_staging(
+           profile, rows, kBank, kSa, group, operands)) {
+    if (first) {
+      p = std::move(staged);
+      first = false;
+    } else {
+      p.append(staged);
+    }
+  }
+  p.append(pud::programs::apa(profile, kBank, global(group.row_first),
+                              global(group.row_second),
+                              pud::ApaTimings::best_for_majx(),
+                              /*read_buffer=*/true));
+  const DataflowResult result = dataflow(p, ctx);
+  EXPECT_FALSE(find_check(result, CheckId::kUnderReplicatedApa).has_value());
+}
+
+TEST_F(DataflowTest, IntentMasksAnExpectedCheck) {
+  Program p = pud::programs::write_row(profile, kBank, global(4),
+                                       BitVec(columns, false));
+  p.append(pud::programs::write_row(profile, kBank, global(4),
+                                    BitVec(columns, true)));
+  p.expect(Intent::allow(CheckId::kDeadStore, static_cast<int>(kBank),
+                         "double-buffering"));
+  p.expect(Intent::allow(CheckId::kRedundantReopen, static_cast<int>(kBank),
+                         "double-buffering"));
+  const DataflowResult result = dataflow(p, ctx);
+  const auto f = find_check(result, CheckId::kDeadStore);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->classification, Classification::kIntended);
+  EXPECT_EQ(f->intent_label, "double-buffering");
+}
+
+TEST_F(DataflowTest, CleanPipelineHasNoFindings) {
+  // Seed -> RowClone -> read-back, each step at nominal spacing: findings
+  // are limited to the removability notes (reopen), nothing semantic.
+  Program p = pud::programs::write_row(profile, kBank, global(3),
+                                       BitVec(columns, true));
+  p.append(pud::programs::rowclone(profile, kBank, global(3), global(5)));
+  p.append(pud::programs::read_row(profile, kBank, global(5), columns));
+  const DataflowResult result = dataflow(p, ctx);
+  EXPECT_FALSE(find_check(result, CheckId::kDeadStore).has_value());
+  EXPECT_FALSE(find_check(result, CheckId::kUnderReplicatedApa).has_value());
+  EXPECT_FALSE(find_check(result, CheckId::kReadUninitialized).has_value());
+  EXPECT_TRUE(result.apas.empty());
+}
+
+}  // namespace
+}  // namespace simra::verify

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "bender/program.hpp"
+#include "dram/timing.hpp"
+#include "verify/occupancy.hpp"
+#include "verify/rules.hpp"
+
+namespace simra::verify {
+namespace {
+
+using bender::CommandKind;
+using bender::Program;
+
+const RuleTable kTable = RuleTable::ddr4(dram::TimingParams::ddr4_2666());
+
+TEST(OccupancyTest, EmptyProgramIsAllZeros) {
+  const OccupancyStats stats = occupancy(Program{}, kTable);
+  EXPECT_EQ(stats.commands, 0u);
+  EXPECT_EQ(stats.extent_slots, 0u);
+  EXPECT_EQ(stats.span_slots, 0u);
+  EXPECT_EQ(stats.utilization, 0.0);
+  EXPECT_TRUE(stats.per_bank.empty());
+  EXPECT_TRUE(stats.parallelism.empty());
+}
+
+TEST(OccupancyTest, CountsCommandsKindsAndBanks) {
+  const dram::TimingParams t = dram::TimingParams::ddr4_2666();
+  Program p;
+  p.act(0, 1).delay_at_least(t.tRCD).rd(0, 0, 64);
+  p.pad_after_last(CommandKind::kAct, t.tRAS).pre(0);
+  p.delay_at_least(t.tRP).act(3, 1);
+  p.pad_after_last(CommandKind::kAct, t.tRAS).pre(3);
+  const OccupancyStats stats = occupancy(p, kTable);
+  EXPECT_EQ(stats.commands, 5u);
+  EXPECT_EQ(stats.extent_slots, p.extent_slots());
+  EXPECT_EQ(stats.span_slots,
+            p.commands().back().slot - p.commands().front().slot + 1);
+  EXPECT_DOUBLE_EQ(stats.utilization,
+                   5.0 / static_cast<double>(p.extent_slots()));
+  EXPECT_EQ(stats.per_kind[static_cast<std::size_t>(CommandKind::kAct)], 2u);
+  EXPECT_EQ(stats.per_kind[static_cast<std::size_t>(CommandKind::kPre)], 2u);
+  EXPECT_EQ(stats.per_kind[static_cast<std::size_t>(CommandKind::kRd)], 1u);
+  EXPECT_EQ(stats.per_bank.at(0), 3u);
+  EXPECT_EQ(stats.per_bank.at(3), 2u);
+}
+
+TEST(OccupancyTest, RankWideCommandsAreExcludedFromBankAccounting) {
+  const dram::TimingParams t = dram::TimingParams::ddr4_2666();
+  Program p;
+  p.act(2, 1).pad_after_last(CommandKind::kAct, t.tRAS).prea();
+  p.delay_at_least(t.tRP).ref();
+  const OccupancyStats stats = occupancy(p, kTable);
+  EXPECT_EQ(stats.commands, 3u);
+  // Only the ACT is bank-scoped; PREA and REF are rank-wide.
+  ASSERT_EQ(stats.per_bank.size(), 1u);
+  EXPECT_EQ(stats.per_bank.at(2), 1u);
+}
+
+TEST(OccupancyTest, ParallelismHistogramCoversEveryWindow) {
+  const dram::TimingParams t = dram::TimingParams::ddr4_2666();
+  Program p;
+  // Two banks in the first window, a long idle stretch, one in the last.
+  p.act(0, 1).act(1, 1);
+  p.delay(Nanoseconds{300.0}).act(2, 1);
+  p.pad_after_last(CommandKind::kAct, t.tRAS).prea();
+  const OccupancyStats stats = occupancy(p, kTable);
+  ASSERT_FALSE(stats.parallelism.empty());
+  EXPECT_GE(stats.window_slots, kTable.trp_slots + 1);
+  const std::uint64_t windows =
+      (stats.extent_slots + stats.window_slots - 1) / stats.window_slots;
+  const std::size_t total = std::accumulate(stats.parallelism.begin(),
+                                            stats.parallelism.end(),
+                                            std::size_t{0});
+  EXPECT_EQ(total, windows);
+  // The first window saw two distinct banks; idle windows exist.
+  ASSERT_GE(stats.parallelism.size(), 3u);
+  EXPECT_GE(stats.parallelism[2], 1u);
+  EXPECT_GE(stats.parallelism[0], 1u);
+}
+
+}  // namespace
+}  // namespace simra::verify

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bender/executor.hpp"
+#include "bender/program.hpp"
+#include "dram/chip.hpp"
+#include "dram/timing.hpp"
+#include "dram/vendor.hpp"
+#include "pud/engine.hpp"
+#include "pud/program_builders.hpp"
+#include "pud/row_group.hpp"
+#include "verify/analyzer.hpp"
+#include "verify/optimizer.hpp"
+
+namespace simra::verify {
+namespace {
+
+using bender::CommandKind;
+using bender::Program;
+
+const dram::TimingParams kTimings = dram::TimingParams::ddr4_2666();
+const RuleTable kTable = RuleTable::ddr4(kTimings);
+
+std::vector<CommandKind> kinds(const Program& p) {
+  std::vector<CommandKind> out;
+  for (const auto& c : p.commands()) out.push_back(c.kind);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Slot compaction.
+
+TEST(CompactTest, ShrinksSlackToTheRuleMinimums) {
+  Program p;
+  p.act(0, 1).delay(Nanoseconds{300.0}).pre(0);
+  p.delay(Nanoseconds{300.0}).act(0, 2);
+  p.pad_after_last(CommandKind::kAct, kTimings.tRAS).pre(0);
+  const Optimized opt = compact(p, kTable);
+  ASSERT_TRUE(opt.stats.compacted);
+  EXPECT_LT(opt.stats.extent_after, opt.stats.extent_before);
+  EXPECT_EQ(kinds(opt.program), kinds(p));  // order is never changed.
+  // The packed schedule still satisfies every rule the original did.
+  const Report report = analyze(opt.program, kTimings);
+  EXPECT_FALSE(report.has_unexpected()) << report.to_string();
+  const auto& c = opt.program.commands();
+  EXPECT_GE(c[1].slot - c[0].slot, slots_for(kTimings.tRAS));  // ACT -> PRE.
+  EXPECT_GE(c[2].slot - c[1].slot, kTable.trp_slots);          // PRE -> ACT.
+}
+
+TEST(CompactTest, PreservesIntendedViolationGapsExactly) {
+  // The APA's sub-threshold t1/t2 intervals ARE the computation: the
+  // compactor must keep them rigid, not "fix" them up to the minimums.
+  const dram::VendorProfile profile = dram::VendorProfile::hynix_m();
+  const Program p = pud::programs::apa(profile, 0, 1, 2,
+                                       pud::ApaTimings::best_for_majx(),
+                                       /*read_buffer=*/false);
+  const Optimized opt = compact(p, kTable);
+  ASSERT_TRUE(opt.stats.compacted);
+  const auto& before = p.commands();
+  const auto& after = opt.program.commands();
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 1; i < before.size(); ++i) {
+    const std::uint64_t orig_gap = before[i].slot - before[i - 1].slot;
+    const std::uint64_t new_gap = after[i].slot - after[i - 1].slot;
+    if (orig_gap < kTable.trp_slots) {
+      EXPECT_EQ(new_gap, orig_gap) << "rigid gap at command " << i;
+    }
+  }
+}
+
+TEST(CompactTest, SubThresholdHeadGapIsPreservedExactly) {
+  // A program whose first ACT sits 2 slots from the boundary may be the
+  // second half of a cross-program consecutive-activation pattern; the
+  // compactor must not pull it earlier OR push it later.
+  Program p;
+  p.delay(Nanoseconds{3.0}).act(0, 1);
+  p.pad_after_last(CommandKind::kAct, kTimings.tRAS).pre(0);
+  p.expect(Intent{RuleId::kTrp, 0, "cross-program rowclone"});
+  const Optimized opt = compact(p, kTable);
+  ASSERT_TRUE(opt.stats.compacted);
+  EXPECT_EQ(opt.program.commands().front().slot, p.commands().front().slot);
+}
+
+TEST(CompactTest, SubThresholdTailGapIsPreservedExactly) {
+  Program p;
+  p.act(0, 1).pad_after_last(CommandKind::kAct, kTimings.tRAS).pre(0);
+  p.delay(Nanoseconds{4.5});  // 3 slots of tail — below tRP on purpose.
+  const std::uint64_t end_gap =
+      p.extent_slots() - p.commands().back().slot;
+  ASSERT_LT(end_gap, kTable.trp_slots);
+  const Optimized opt = compact(p, kTable);
+  ASSERT_TRUE(opt.stats.compacted);
+  EXPECT_EQ(opt.stats.extent_after - opt.program.commands().back().slot,
+            end_gap);
+}
+
+TEST(CompactTest, RespectsTheRollingActivateWindow) {
+  // Five ACTs across banks, generously spaced: packing must still keep
+  // at most four in any tFAW window.
+  Program p;
+  for (dram::BankId b = 0; b < 5; ++b) {
+    if (b > 0) p.delay(Nanoseconds{60.0});
+    p.act(b, 1);
+  }
+  for (dram::BankId b = 0; b < 5; ++b)
+    p.pad_after_last(CommandKind::kAct, kTimings.tRAS).pre(b);
+  p.delay_at_least(kTimings.tRP);  // close out every bank's tail gap.
+  const Optimized opt = compact(p, kTable);
+  ASSERT_TRUE(opt.stats.compacted);
+  EXPECT_LT(opt.stats.extent_after, opt.stats.extent_before);
+  const Report report = analyze(opt.program, kTimings);
+  EXPECT_FALSE(report.has_unexpected()) << report.to_string();
+}
+
+TEST(CompactTest, BailsWhenDivergentSubThresholdTailGapsCannotBeKept) {
+  // Ending immediately after a burst of PREs gives every bank a
+  // *different* sub-threshold tail gap; no packed schedule can preserve
+  // them all, so the compactor must refuse rather than approximate.
+  Program p;
+  for (dram::BankId b = 0; b < 5; ++b) {
+    if (b > 0) p.delay(Nanoseconds{60.0});
+    p.act(b, 1);
+  }
+  for (dram::BankId b = 0; b < 5; ++b)
+    p.pad_after_last(CommandKind::kAct, kTimings.tRAS).pre(b);
+  const Optimized opt = compact(p, kTable);
+  EXPECT_FALSE(opt.stats.compacted);
+  EXPECT_EQ(opt.stats.extent_after, opt.stats.extent_before);
+  // The refusal is total: the original slots come back untouched.
+  const auto& before = p.commands();
+  const auto& after = opt.program.commands();
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_EQ(after[i].slot, before[i].slot);
+}
+
+TEST(CompactTest, CompactionIsIdempotent) {
+  Program p;
+  p.act(0, 1).delay(Nanoseconds{150.0}).pre(0);
+  p.delay(Nanoseconds{150.0}).act(0, 2);
+  p.pad_after_last(CommandKind::kAct, kTimings.tRAS).pre(0);
+  const Optimized once = compact(p, kTable);
+  ASSERT_TRUE(once.stats.compacted);
+  const Optimized twice = compact(once.program, kTable);
+  ASSERT_TRUE(twice.stats.compacted);
+  EXPECT_EQ(twice.stats.extent_after, once.stats.extent_after);
+}
+
+TEST(CompactTest, CompactedExtentMatchesCompact) {
+  Program p;
+  p.act(0, 1).delay(Nanoseconds{150.0}).pre(0).delay_at_least(kTimings.tRP);
+  EXPECT_EQ(compacted_extent_slots(p, kTable),
+            compact(p, kTable).stats.extent_after);
+}
+
+// ---------------------------------------------------------------------------
+// Dead-command elimination.
+
+struct OptimizeTest : ::testing::Test {
+  dram::Chip chip{dram::VendorProfile::hynix_m(), 17};
+  pud::Engine engine{&chip};
+  ProgramContext ctx = engine.executor().program_context();
+  const dram::VendorProfile& profile = chip.profile();
+  const std::size_t columns = profile.geometry.columns;
+};
+
+TEST_F(OptimizeTest, RemovesDeadStoresAndRedundantReopens) {
+  Program p = pud::programs::write_row(profile, 1, 4, BitVec(columns, false));
+  p.append(pud::programs::write_row(profile, 1, 4, BitVec(columns, true)));
+  p.append(pud::programs::read_row(profile, 1, 4, columns));
+  const Optimized opt = optimize(p, ctx);
+  // The dead first WR plus two redundant PRE/ACT reopen pairs.
+  EXPECT_EQ(opt.stats.removed_commands, 5u);
+  EXPECT_EQ(opt.program.commands().size(), p.commands().size() - 5u);
+  const Report report = analyze(opt.program, kTimings);
+  EXPECT_FALSE(report.has_unexpected()) << report.to_string();
+}
+
+TEST_F(OptimizeTest, KeepsEveryCommandOfACleanProgram) {
+  const pud::RowGroup group = pud::make_group(chip.layout(), 0, 3);
+  const Program p = pud::programs::apa(
+      profile, 1, group.row_first, group.row_second,
+      pud::ApaTimings::best_for_majx(), /*read_buffer=*/true);
+  const Optimized opt = optimize(p, ctx);
+  EXPECT_EQ(opt.stats.removed_commands, 0u);
+  EXPECT_EQ(opt.program.commands().size(), p.commands().size());
+}
+
+// ---------------------------------------------------------------------------
+// Mode plumbing.
+
+TEST(OptModeTest, ParsesTheDocumentedValues) {
+  EXPECT_EQ(parse_opt_mode(""), OptMode::kOff);
+  EXPECT_EQ(parse_opt_mode("off"), OptMode::kOff);
+  EXPECT_EQ(parse_opt_mode("0"), OptMode::kOff);
+  EXPECT_EQ(parse_opt_mode("lint"), OptMode::kLint);
+  EXPECT_EQ(parse_opt_mode("1"), OptMode::kLint);
+  EXPECT_EQ(parse_opt_mode("on"), OptMode::kOn);
+  EXPECT_EQ(parse_opt_mode("2"), OptMode::kOn);
+  // Unknown values fail towards visibility, never towards transforming.
+  EXPECT_EQ(parse_opt_mode("aggressive"), OptMode::kLint);
+}
+
+TEST(OptModeTest, TestHookOverridesAndRestores) {
+  set_global_opt_mode(OptMode::kOn);
+  EXPECT_EQ(global_opt_mode(), OptMode::kOn);
+  set_global_opt_mode(OptMode::kOff);
+  EXPECT_EQ(global_opt_mode(), OptMode::kOff);
+  set_global_opt_mode(std::nullopt);  // back to the environment.
+}
+
+}  // namespace
+}  // namespace simra::verify

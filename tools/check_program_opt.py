@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Validates the "program_opt" section of BENCH_harness.json (written by
+bench_program_opt): the verify v2 optimizer's per-program command/slot
+accounting. Standard library only, so CI needs no extra packages.
+
+Usage: check_program_opt.py BENCH_harness.json [--min-entries N]
+
+Checks: the harness schema version is one this checker understands, every
+program_opt entry carries the full field set with sane values (the
+optimizer never adds commands or slots, the saved percentage matches the
+slot delta), and at least one entry shows a measured slot reduction —
+the optimizer must demonstrably shorten a real program, not just run.
+Exits non-zero with a pointed message on the first problem.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = 7
+
+_REQUIRED = {
+    "program": str,
+    "plan": str,
+    "commands_before": int,
+    "commands_after": int,
+    "slots_before": int,
+    "slots_after": int,
+    "slots_saved_pct": float,
+}
+
+_PLANS = ("quick", "fleet", "paper")
+
+
+def fail(message):
+    print(f"check_program_opt: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_entry(entry, index):
+    where = f"program_opt[{index}]"
+    for field, kind in _REQUIRED.items():
+        if field not in entry:
+            fail(f"{where}: missing field '{field}'")
+        value = entry[field]
+        if kind is float:
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                fail(f"{where}.{field}: expected number, got {value!r}")
+        elif not isinstance(value, kind) or isinstance(value, bool):
+            fail(f"{where}.{field}: expected {kind.__name__}, got {value!r}")
+    if not entry["program"]:
+        fail(f"{where}: empty program name")
+    if entry["plan"] not in _PLANS:
+        fail(f"{where}.plan: unknown plan {entry['plan']!r}")
+    if entry["commands_before"] < 1:
+        fail(f"{where}: a recorded program must have commands")
+    if entry["commands_after"] > entry["commands_before"]:
+        fail(f"{where}: optimizer added commands "
+             f"({entry['commands_before']} -> {entry['commands_after']})")
+    if entry["slots_after"] > entry["slots_before"]:
+        fail(f"{where}: optimizer lengthened the program "
+             f"({entry['slots_before']} -> {entry['slots_after']} slots)")
+    if entry["slots_before"] > 0:
+        expected = (100.0 * (entry["slots_before"] - entry["slots_after"])
+                    / entry["slots_before"])
+        if abs(entry["slots_saved_pct"] - expected) > 0.05:
+            fail(f"{where}: slots_saved_pct {entry['slots_saved_pct']} "
+                 f"inconsistent with slot delta (expected {expected:.2f})")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path")
+    parser.add_argument("--min-entries", type=int, default=1)
+    args = parser.parse_args()
+
+    try:
+        with open(args.path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"{args.path}: {err}")
+
+    if doc.get("schema") != SCHEMA:
+        fail(f"schema {doc.get('schema')!r}, expected {SCHEMA}")
+    entries = doc.get("program_opt")
+    if not isinstance(entries, list) or len(entries) < args.min_entries:
+        fail(f"fewer than {args.min_entries} program_opt entries recorded "
+             "(run bench_program_opt)")
+    for index, entry in enumerate(entries):
+        check_entry(entry, index)
+
+    saved = [e for e in entries if e["slots_after"] < e["slots_before"]]
+    if not saved:
+        fail("no entry shows a measured slot reduction — the optimizer "
+             "never shortened a real program")
+
+    best = max(saved, key=lambda e: e["slots_saved_pct"])
+    print(f"check_program_opt: {args.path} ok — {len(entries)} programs, "
+          f"{len(saved)} shortened, best {best['program']} "
+          f"({best['slots_saved_pct']:.1f}% slots saved)")
+
+
+if __name__ == "__main__":
+    main()
