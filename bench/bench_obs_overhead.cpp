@@ -1,16 +1,21 @@
 // Overhead guardrail for the observability layer: runs the same quick
 // fig3 sweep with tracing off and on (test override, so no artifact
-// files), records the measured overhead as a gauge in BENCH_harness.json,
-// and fails when it exceeds the budget (SIMRA_OVERHEAD_MAX percent,
-// default 5).
+// files), then a deterministic serving loop the same way, records the
+// measured overheads as gauges in BENCH_harness.json, and fails when
+// either exceeds the budget (SIMRA_OVERHEAD_MAX percent, default 5).
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <memory>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "charz/figures.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
+#include "serve/service.hpp"
+#include "serve/workload.hpp"
 
 namespace {
 
@@ -22,47 +27,142 @@ double timed_fig3_seconds(const simra::charz::Plan& plan) {
       .count();
 }
 
+/// One deterministic serving pass (single-threaded submit, synchronous
+/// pumping) — the same code path bench_serve --deterministic exercises,
+/// sized to finish in well under a second so the off/on pair is cheap to
+/// repeat.
+double timed_serve_seconds(std::size_t ops) {
+  using namespace simra::serve;
+  ServiceConfig config;
+  config.shards = 3;
+  config.max_batch = 8;
+  config.queue_capacity = 512;
+  config.max_in_flight = 512;
+  config.tenant_quota = 512;
+  config.seed = 0xd07;
+  Service service{config};
+  WorkloadSpec spec;
+  spec.columns = service.config().profiles.front().geometry.columns;
+  // Seeded operands and read-back make each request carry its full
+  // electrical simulation cost, so the fixed per-request tracing cost is
+  // measured against representative work, not empty programs.
+  spec.rows = 32;
+  spec.seed_sources = true;
+  spec.read_back = true;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::unique_ptr<Ticket>> tickets;
+  tickets.reserve(ops);
+  for (std::size_t i = 0; i < ops; ++i) {
+    tickets.push_back(std::make_unique<Ticket>());
+    (void)service.submit(make_request(spec, i), tickets.back().get());
+    if ((i + 1) % 64 == 0) service.drain();
+  }
+  service.drain();
+  for (auto& ticket : tickets) (void)ticket->wait();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Best-of-N wall-clock: the minimum is the least-noise estimate of the
+/// true cost, which is what an overhead ratio should compare.
+template <typename Fn>
+double best_of(int n, Fn&& fn) {
+  double best = fn();
+  for (int i = 1; i < n; ++i) best = std::min(best, fn());
+  return best;
+}
+
 }  // namespace
 
 int main() {
   using namespace simra;
   const charz::Plan plan = bench_common::announced_plan(
-      "Observability overhead guardrail (fig3, obs off vs on)");
+      "Observability overhead guardrail (fig3 + serve, obs off vs on)");
   const std::string budget_text = env_string("SIMRA_OVERHEAD_MAX", "5.0");
   const double budget_pct = std::strtod(budget_text.c_str(), nullptr);
+  const std::size_t serve_ops = static_cast<std::size_t>(
+      env_int("SIMRA_SERVE_OVERHEAD_OPS", 512));
 
   // Warm-up pass so one-time initialization (calibration tables, counter
   // registration) is attributed to neither side.
   obs::set_enabled_for_test(false);
   (void)timed_fig3_seconds(plan);
+  (void)timed_serve_seconds(serve_ops);
 
-  const double off_seconds = timed_fig3_seconds(plan);
+  const double off_seconds = best_of(3, [&] { return timed_fig3_seconds(plan); });
   obs::set_enabled_for_test(true);
   obs::reset_log();
-  const double on_seconds = timed_fig3_seconds(plan);
+  const double on_seconds = best_of(3, [&] {
+    const double seconds = timed_fig3_seconds(plan);
+    obs::reset_log();
+    return seconds;
+  });
+
+  // Serving path: the full request-scoped pipeline (span trees, SLO
+  // histograms, slot attribution) against the identical pipeline with obs
+  // compiled out at runtime.
+  obs::set_enabled_for_test(false);
+  obs::reset_log();
+  const double serve_off_seconds =
+      best_of(3, [&] { return timed_serve_seconds(serve_ops); });
+  obs::set_enabled_for_test(true);
+  obs::reset_log();
+  // The log is reset between repetitions so the minimum measures the
+  // steady-state recording cost: a long-running service flushes and
+  // recycles its trace memory, so retained pages get reused. Without the
+  // reset every repetition first-touches fresh pages for data it retains
+  // until flush, and the page-commit cost — proportional to artifact
+  // size, not request rate — dominates the measurement.
+  const double serve_on_seconds = best_of(3, [&] {
+    const double seconds = timed_serve_seconds(serve_ops);
+    obs::reset_log();
+    return seconds;
+  });
   obs::set_enabled_for_test(std::nullopt);
   obs::reset_log();
 
   const double overhead_pct =
       off_seconds > 0.0 ? (on_seconds / off_seconds - 1.0) * 100.0 : 0.0;
+  const double serve_overhead_pct =
+      serve_off_seconds > 0.0
+          ? (serve_on_seconds / serve_off_seconds - 1.0) * 100.0
+          : 0.0;
   obs::MetricsRegistry::instance()
       .gauge("obs/overhead_pct")
       .set(overhead_pct);
+  obs::MetricsRegistry::instance()
+      .gauge("obs/serve_overhead_pct")
+      .set(serve_overhead_pct);
   bench_common::HarnessReport::global().record("obs_overhead_off",
                                                off_seconds,
                                                plan.instance_count());
   bench_common::HarnessReport::global().record("obs_overhead_on", on_seconds,
                                                plan.instance_count());
+  bench_common::HarnessReport::global().record("obs_serve_overhead_off",
+                                               serve_off_seconds, serve_ops);
+  bench_common::HarnessReport::global().record("obs_serve_overhead_on",
+                                               serve_on_seconds, serve_ops);
   bench_common::HarnessReport::global().record_kernels();
 
   std::cout << "obs off: " << Table::num(off_seconds, 3) << " s, obs on: "
             << Table::num(on_seconds, 3) << " s, overhead "
             << Table::num(overhead_pct, 2) << "% (budget "
             << Table::num(budget_pct, 1) << "%)\n";
+  std::cout << "serve off: " << Table::num(serve_off_seconds, 3)
+            << " s, serve on: " << Table::num(serve_on_seconds, 3)
+            << " s, overhead " << Table::num(serve_overhead_pct, 2)
+            << "% (budget " << Table::num(budget_pct, 1) << "%)\n";
+  bool failed = false;
   if (overhead_pct > budget_pct) {
     std::cout << "FAIL: tracing overhead exceeds the budget\n";
-    return 1;
+    failed = true;
   }
+  if (serve_overhead_pct > budget_pct) {
+    std::cout << "FAIL: serve-path tracing overhead exceeds the budget\n";
+    failed = true;
+  }
+  if (failed) return 1;
   std::cout << "PASS\n";
   return 0;
 }

@@ -47,6 +47,10 @@ struct ServeRunRecord {
   std::string plan = "quick";
   unsigned threads = 1;
   std::size_t clients = 0;
+  /// Baseline entries are reference points kept for trend checking
+  /// (tools/check_perf_trend.py); fresh runs always record false and
+  /// never replace a baseline (the flag is part of the entry key).
+  bool baseline = false;
   std::size_t ops = 0;
   double seconds = 0.0;
   double ops_per_sec = 0.0;
@@ -67,6 +71,7 @@ std::string entry_json(const ServeRunRecord& r) {
   std::ostringstream os;
   os << "    {\"mode\": \"" << r.mode << "\", \"plan\": \"" << r.plan
      << "\", \"threads\": " << r.threads << ", \"clients\": " << r.clients
+     << ", \"baseline\": " << (r.baseline ? "true" : "false")
      << ", \"ops\": " << r.ops << ", \"seconds\": " << std::fixed
      << std::setprecision(4) << r.seconds << ", \"ops_per_sec\": "
      << std::setprecision(1) << r.ops_per_sec << ", \"p50_us\": "
@@ -214,6 +219,36 @@ ServeRunRecord run_closed_loop(const WorkloadSpec& spec, std::size_t clients,
   return rec;
 }
 
+/// Deterministic artifact run (--deterministic): the fixed seeded
+/// workload submitted from this thread in fixed-size chunks and pumped
+/// synchronously, so batch composition — hence trace.json, events.jsonl,
+/// and snapshot.json — is a pure function of the stream, byte-identical
+/// at any SIMRA_THREADS. Run with SIMRA_TRACE=1 to get the artifacts;
+/// timing is not recorded (the closed-loop mode measures performance).
+int run_deterministic(const WorkloadSpec& spec, std::size_t ops) {
+  Service service{ServiceConfig::from_env()};
+  WorkloadSpec wl = spec;
+  wl.columns = service.config().profiles.front().geometry.columns;
+  constexpr std::size_t kChunk = 256;
+  std::vector<std::unique_ptr<Ticket>> tickets;
+  tickets.reserve(ops);
+  std::uint64_t rejected = 0;
+  for (std::size_t i = 0; i < ops; ++i) {
+    tickets.push_back(std::make_unique<Ticket>());
+    if (!service.submit(make_request(wl, i), tickets.back().get()))
+      ++rejected;
+    if ((i + 1) % kChunk == 0) service.drain();
+  }
+  service.drain();
+  std::uint64_t ok = 0;
+  for (auto& ticket : tickets)
+    if (ticket->wait().status == Status::kOk) ++ok;
+  std::cout << "deterministic: " << ops << " ops, " << ok << " ok, "
+            << rejected << " rejected at submit\n"
+            << service.stats().summary(service.shard_count()) << "\n";
+  return 0;
+}
+
 std::size_t parse_size(const std::string& text, const char* what) {
   char* end = nullptr;
   const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
@@ -232,6 +267,7 @@ int main(int argc, char** argv) {
       parse_size(env_string("SIMRA_SERVE_CLIENTS", "32"), "clients");
   std::string mix = env_string("SIMRA_SERVE_MIX", "");
   double assert_ops_per_sec = 0.0;
+  bool deterministic = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value_of = [&arg](const char* prefix) {
@@ -243,6 +279,8 @@ int main(int argc, char** argv) {
       clients = parse_size(value_of("--clients="), "clients");
     else if (arg.rfind("--mix=", 0) == 0)
       mix = value_of("--mix=");
+    else if (arg == "--deterministic")
+      deterministic = true;
     else if (arg.rfind("--assert-throughput=", 0) == 0)
       assert_ops_per_sec =
           std::strtod(value_of("--assert-throughput=").c_str(), nullptr);
@@ -251,13 +289,20 @@ int main(int argc, char** argv) {
     else {
       std::cerr << "unknown argument: " << arg << "\n"
                 << "usage: bench_serve [--ops=N] [--clients=N] [--mix=...]"
-                << " [--assert-throughput=N] [--json=path]\n";
+                << " [--deterministic] [--assert-throughput=N] [--json=path]\n";
       return 2;
     }
   }
 
   WorkloadSpec spec;
   if (!mix.empty()) apply_mix(spec, mix);
+
+  if (deterministic) {
+    std::cout << "=== PUD-as-a-service deterministic artifact run ===\n"
+              << "mix " << mix_string(spec) << ", " << ops << " ops, "
+              << charz::harness_threads() << " harness threads\n\n";
+    return run_deterministic(spec, ops);
+  }
 
   std::cout << "=== PUD-as-a-service closed-loop load generator ===\n"
             << "mix " << mix_string(spec) << ", " << ops << " ops, "

@@ -1,6 +1,7 @@
 #include "dram/electrical.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <bit>
 #include <cmath>
@@ -425,22 +426,47 @@ float fold_class_sum(float total_weight, std::size_t n_lead, bool has_odd,
   return sum;
 }
 
-/// Sense-margin (z/g) distribution. The batched path observes once per
-/// realized sum class, weighted by the class's column count, so the
-/// histogram totals match the per-column loop it replaced. Callers gate
-/// on obs::enabled().
-void observe_margin(double zg, std::uint64_t weight) {
-  static obs::Histogram& margin_hist =
-      obs::MetricsRegistry::instance().histogram(
-          "electrical/sense_margin",
-          {-3, -2, -1, -0.5, -0.25, 0, 0.25, 0.5, 1, 2, 3});
-  margin_hist.observe(zg, weight);
+/// Sense-margin (z/g) bucket edges, shared by the registry histogram and
+/// the stack-local tally below.
+constexpr std::array<double, 11> kMarginBounds = {-3,    -2,   -1, -0.5,
+                                                  -0.25, 0,    0.25, 0.5,
+                                                  1,     2,    3};
+
+obs::Histogram& margin_hist() {
+  static obs::Histogram& hist = obs::MetricsRegistry::instance().histogram(
+      "electrical/sense_margin",
+      std::vector<double>(kMarginBounds.begin(), kMarginBounds.end()));
+  return hist;
 }
 
-void observe_margin(const SumClass& e) {
-  if (e.tie) return;
-  observe_margin(e.zg, 1);
-}
+/// Sense-margin (z/g) distribution tally for one resolve call. The
+/// per-class loop runs for every sensing operation, so it accumulates
+/// into this stack-local array (weighted by the class's column count —
+/// totals match the per-column loop the class math replaced) and merges
+/// into the shared histogram once per call, keeping atomic traffic out
+/// of the hot loop. Callers gate on obs::enabled().
+struct MarginBatch {
+  std::array<std::uint64_t, kMarginBounds.size() + 1> counts{};
+  double sum = 0.0;
+  std::uint64_t n = 0;
+
+  void add(double zg, std::uint64_t weight) {
+    // First bound >= zg, same bucketing as Histogram::observe.
+    std::size_t b = 0;
+    while (b < kMarginBounds.size() && zg > kMarginBounds[b]) ++b;
+    counts[b] += weight;
+    sum += zg * static_cast<double>(weight);
+    n += weight;
+  }
+
+  void flush() {
+    if (n == 0) return;
+    margin_hist().merge(counts, sum, n);
+    counts.fill(0);
+    sum = 0.0;
+    n = 0;
+  }
+};
 
 }  // namespace
 
@@ -450,6 +476,7 @@ ChargeShareResult ElectricalModel::resolve_charge_share(
     Rng& rng) const {
   SIMRA_PROF_SCOPE("electrical/resolve_charge_share");
   const bool obs_margins = obs::enabled();
+  MarginBatch margins;
   const auto& p = calib::kMajx;
   const std::size_t columns = ctx.columns;
 
@@ -623,8 +650,9 @@ ChargeShareResult ElectricalModel::resolve_charge_share(
       zg_table[idx] = dense_zg[i];
       flag_table[idx] = dense_flags[i];
       if (obs_margins && (dense_flags[i] & kernels::kClassTie) == 0)
-        observe_margin(dense_zg[i], class_count[idx]);
+        margins.add(dense_zg[i], class_count[idx]);
     }
+    margins.flush();
 
     // Pass 3: table-driven resolve, then the metastable ties in
     // ascending column order — the same Rng draw sequence as the scalar
@@ -667,7 +695,7 @@ ChargeShareResult ElectricalModel::resolve_charge_share(
   }
   for (std::size_t c = 0; c < columns; ++c) {
     const SumClass e = make_sum_class(sums[c], m);
-    if (obs_margins) observe_margin(e);
+    if (obs_margins && !e.tie) margins.add(e.zg, 1);
     if (e.tie) {
       out.resolved.set(c, rng.chance(0.5));
       ++out.ties;
@@ -678,6 +706,7 @@ ChargeShareResult ElectricalModel::resolve_charge_share(
       out.resolved.set(c, polarities[c] > 0.0f);
     }
   }
+  margins.flush();
   return out;
 }
 

@@ -10,7 +10,15 @@ Histogram::Histogram(std::string name, std::vector<double> bounds)
   std::sort(bounds_.begin(), bounds_.end());
   bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
   counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
-  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+  exemplar_ids_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  exemplar_value_bits_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0);
+    exemplar_ids_[i].store(0);
+    exemplar_value_bits_[i].store(std::bit_cast<std::uint64_t>(0.0));
+  }
 }
 
 void Histogram::observe(double value) noexcept { observe(value, 1); }
@@ -30,6 +38,52 @@ void Histogram::observe(double value, std::uint64_t weight) noexcept {
   }
 }
 
+void Histogram::merge(std::span<const std::uint64_t> bucket_counts,
+                      double sum, std::uint64_t count) noexcept {
+  if (count == 0) return;
+  const std::size_t n = std::min(bucket_counts.size(), bounds_.size() + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (bucket_counts[i] != 0)
+      counts_[i].fetch_add(bucket_counts[i], std::memory_order_relaxed);
+  }
+  count_.fetch_add(count, std::memory_order_relaxed);
+  std::uint64_t expected = sum_bits_.load(std::memory_order_relaxed);
+  while (!sum_bits_.compare_exchange_weak(
+      expected,
+      std::bit_cast<std::uint64_t>(std::bit_cast<double>(expected) + sum),
+      std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::observe_exemplar(double value,
+                                 std::uint64_t exemplar_id) noexcept {
+  observe(value, 1);
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  // Keep the lexicographically largest (value, id) pair — an
+  // order-independent merge, so the retained exemplar is deterministic
+  // for a deterministic observation set.
+  const double held =
+      std::bit_cast<double>(exemplar_value_bits_[bucket].load(
+          std::memory_order_relaxed));
+  const std::uint64_t held_id =
+      exemplar_ids_[bucket].load(std::memory_order_relaxed);
+  if (held_id != 0 &&
+      (held > value || (held == value && held_id >= exemplar_id)))
+    return;
+  exemplar_value_bits_[bucket].store(std::bit_cast<std::uint64_t>(value),
+                                     std::memory_order_relaxed);
+  exemplar_ids_[bucket].store(exemplar_id, std::memory_order_relaxed);
+}
+
+Exemplar Histogram::exemplar(std::size_t i) const noexcept {
+  Exemplar e;
+  e.id = exemplar_ids_[i].load(std::memory_order_relaxed);
+  e.value = std::bit_cast<double>(
+      exemplar_value_bits_[i].load(std::memory_order_relaxed));
+  return e;
+}
+
 std::uint64_t Histogram::cumulative(std::size_t i) const noexcept {
   std::uint64_t total = 0;
   for (std::size_t b = 0; b <= i && b <= bounds_.size(); ++b)
@@ -38,8 +92,12 @@ std::uint64_t Histogram::cumulative(std::size_t i) const noexcept {
 }
 
 void Histogram::reset() noexcept {
-  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
     counts_[i].store(0, std::memory_order_relaxed);
+    exemplar_ids_[i].store(0, std::memory_order_relaxed);
+    exemplar_value_bits_[i].store(std::bit_cast<std::uint64_t>(0.0),
+                                  std::memory_order_relaxed);
+  }
   count_.store(0, std::memory_order_relaxed);
   sum_bits_.store(std::bit_cast<std::uint64_t>(0.0),
                   std::memory_order_relaxed);
@@ -103,8 +161,11 @@ std::vector<HistogramStats> MetricsRegistry::histograms_snapshot() const {
     s.name = h->name();
     s.bounds = h->bounds();
     s.counts.reserve(h->bounds().size() + 1);
-    for (std::size_t i = 0; i <= h->bounds().size(); ++i)
+    s.exemplars.reserve(h->bounds().size() + 1);
+    for (std::size_t i = 0; i <= h->bounds().size(); ++i) {
       s.counts.push_back(h->bucket_count(i));
+      s.exemplars.push_back(h->exemplar(i));
+    }
     s.count = h->count();
     s.sum = h->sum();
     out.push_back(std::move(s));
@@ -164,9 +225,20 @@ std::string MetricsRegistry::render_prometheus() const {
     for (std::size_t i = 0; i < h.bounds.size(); ++i) {
       cumulative += h.counts[i];
       os << base << "_bucket{le=\"" << prom_num(h.bounds[i]) << "\"} "
-         << cumulative << "\n";
+         << cumulative;
+      // OpenMetrics-style exemplar: the worst observation that landed in
+      // this bucket, tagged with the request id that produced it.
+      if (i < h.exemplars.size() && h.exemplars[i].id != 0)
+        os << " # {request_id=\"" << h.exemplars[i].id << "\"} "
+           << prom_num(h.exemplars[i].value);
+      os << "\n";
     }
-    os << base << "_bucket{le=\"+Inf\"} " << h.count << "\n"
+    os << base << "_bucket{le=\"+Inf\"} " << h.count;
+    if (h.exemplars.size() == h.bounds.size() + 1 &&
+        h.exemplars.back().id != 0)
+      os << " # {request_id=\"" << h.exemplars.back().id << "\"} "
+         << prom_num(h.exemplars.back().value);
+    os << "\n"
        << base << "_sum " << prom_num(h.sum) << "\n"
        << base << "_count " << h.count << "\n";
   }

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,14 @@ class Gauge {
   std::atomic<std::uint64_t> bits_{std::bit_cast<std::uint64_t>(0.0)};
 };
 
+/// One concrete observation attached to a histogram bucket — the request
+/// id that produced it plus the observed value. `id` 0 means "none" (the
+/// serving layer's request ids start at 1).
+struct Exemplar {
+  std::uint64_t id = 0;
+  double value = 0.0;
+};
+
 /// Fixed-bucket histogram: `bounds` are the inclusive upper edges of the
 /// finite buckets (ascending), with one implicit +inf overflow bucket.
 /// Observation is a binary search plus relaxed atomic increments, so
@@ -50,6 +59,22 @@ class Histogram {
   /// histogram totals equal to the per-column loop they replaced at a
   /// fraction of the atomic traffic.
   void observe(double value, std::uint64_t weight) noexcept;
+  /// Merges a locally pre-bucketed batch: `bucket_counts` must have
+  /// bounds()+1 entries (same edges, trailing overflow bucket), `sum` and
+  /// `count` the batch totals. One atomic pass per batch instead of one
+  /// per observation — the electrical margin chain accumulates a whole
+  /// resolve call on the stack and merges here, so the shared counters
+  /// leave the hot loop entirely.
+  void merge(std::span<const std::uint64_t> bucket_counts, double sum,
+             std::uint64_t count) noexcept;
+  /// `observe(value)` plus an exemplar: the landing bucket remembers the
+  /// (value, id) pair that is lexicographically largest — i.e. the worst
+  /// observation it has seen, ties broken toward the higher id. The merge
+  /// rule is commutative and idempotent, so the retained exemplars are a
+  /// pure function of the observation *set*, not its order.
+  void observe_exemplar(double value, std::uint64_t exemplar_id) noexcept;
+  /// Retained exemplar of bucket `i` (id 0 when the bucket has none).
+  Exemplar exemplar(std::size_t i) const noexcept;
 
   const std::string& name() const noexcept { return name_; }
   const std::vector<double>& bounds() const noexcept { return bounds_; }
@@ -75,6 +100,11 @@ class Histogram {
   std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  ///< bounds+1 slots.
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_bits_{std::bit_cast<std::uint64_t>(0.0)};
+  /// Per-bucket exemplar storage (bounds+1 slots each). The id/value pair
+  /// is written by one logical writer (the serve scheduler); readers see
+  /// relaxed loads, which is fine for reporting.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> exemplar_ids_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> exemplar_value_bits_;
 };
 
 /// Snapshot of one histogram for reporting.
@@ -82,6 +112,7 @@ struct HistogramStats {
   std::string name;
   std::vector<double> bounds;
   std::vector<std::uint64_t> counts;  ///< per-bucket; bounds+1 entries.
+  std::vector<Exemplar> exemplars;    ///< per-bucket; id 0 = none.
   std::uint64_t count = 0;
   double sum = 0.0;
 };

@@ -14,6 +14,7 @@
 
 #include "common/env.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 
 extern char** environ;
@@ -184,10 +185,15 @@ void flush() {
   write("events.jsonl", Log::instance().render_events_jsonl());
   write("trace.json", Log::instance().render_trace_json());
   write("metrics.prom", MetricsRegistry::instance().render_prometheus());
+  // The final SLO snapshot, whatever the periodic cadence was — only for
+  // runs that actually served traffic, so harness artifacts stay as-is.
+  if (SloRegistry::instance().has_data())
+    write("snapshot.json", SloRegistry::instance().render_snapshot_json());
 }
 
 void reset_log() {
   Log::instance().reset();
+  SloRegistry::instance().reset();
   std::lock_guard<std::mutex> lock(g_manifest_mutex);
   g_manifest = RunManifest{};
   g_host_fields.clear();

@@ -1,0 +1,338 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/env.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+
+namespace simra::obs {
+
+namespace {
+
+/// Latency buckets (virtual microseconds) shared by every tenant, wide
+/// enough for quick-plan RowClone (~hundreds of us) through fused MAJX
+/// batches under retries.
+const std::vector<double>& latency_bounds() {
+  static const std::vector<double> bounds = {10,   20,   50,    100,  200,
+                                             500,  1000, 2000,  5000, 10000,
+                                             20000, 50000};
+  return bounds;
+}
+
+double env_double(const char* name, double fallback) {
+  const std::string raw = env_string(name, "");
+  if (raw.empty()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(raw.c_str(), &end);
+  return (end == raw.c_str()) ? fallback : v;
+}
+
+/// Deterministic double formatting for snapshot.json: shortest %.9g —
+/// the inputs are pure functions of the workload, so any fixed format is
+/// byte-stable; 9 significant digits keeps ratios readable.
+std::string json_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+/// Histogram quantile estimate: the inclusive upper edge of the bucket
+/// containing the q-th observation, clamped to the highest finite bound
+/// when the quantile lands in the overflow bucket. Deterministic (no
+/// interpolation), monotone in q.
+double quantile_edge(const HistogramStats& h, double q) {
+  if (h.count == 0 || h.bounds.empty()) return 0.0;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(h.count));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+    cumulative += h.counts[i];
+    if (cumulative > target) return h.bounds[i];
+  }
+  return h.bounds.back();
+}
+
+HistogramStats snapshot_of(const Histogram* h) {
+  HistogramStats s;
+  if (h == nullptr) {
+    // Tenant seen only through bus accounting so far: an all-zero
+    // histogram over the standard bounds keeps the snapshot shape fixed.
+    s.bounds = latency_bounds();
+    s.counts.assign(s.bounds.size() + 1, 0);
+    s.exemplars.assign(s.bounds.size() + 1, Exemplar{});
+    return s;
+  }
+  s.name = h->name();
+  s.bounds = h->bounds();
+  s.counts.reserve(s.bounds.size() + 1);
+  s.exemplars.reserve(s.bounds.size() + 1);
+  for (std::size_t i = 0; i <= s.bounds.size(); ++i) {
+    s.counts.push_back(h->bucket_count(i));
+    s.exemplars.push_back(h->exemplar(i));
+  }
+  s.count = h->count();
+  s.sum = h->sum();
+  return s;
+}
+
+}  // namespace
+
+SloConfig SloConfig::from_env() {
+  SloConfig config;
+  config.objective = env_double("SIMRA_SLO_TARGET", 0.999);
+  config.objective = std::clamp(config.objective, 0.0, 1.0);
+  const std::int64_t window = env_int("SIMRA_SLO_WINDOW", 64);
+  config.window = static_cast<std::size_t>(window > 0 ? window : 64);
+  config.snapshot = env_int("SIMRA_SNAPSHOT", 1) != 0;
+  const std::int64_t every = env_int("SIMRA_SNAPSHOT_EVERY", 64);
+  config.snapshot_every = static_cast<std::size_t>(every >= 0 ? every : 64);
+  const std::int64_t min_ms = env_int("SIMRA_SNAPSHOT_MIN_MS", 100);
+  config.snapshot_min_ms = static_cast<std::size_t>(min_ms >= 0 ? min_ms : 100);
+  return config;
+}
+
+SloRegistry::SloRegistry() : config_(SloConfig::from_env()) {
+  window_.resize(config_.window);
+}
+
+SloRegistry& SloRegistry::instance() {
+  // Never destroyed, like MetricsRegistry: tenants hold references into
+  // the metrics registry and both must outlive static destruction.
+  static SloRegistry* registry = new SloRegistry();
+  return *registry;
+}
+
+SloRegistry::Tenant& SloRegistry::tenant_locked(std::uint32_t id) {
+  // Deliberately does NOT create the registry histogram: this runs on
+  // pool worker threads too (bus accounting), and registry registration
+  // order must stay a function of the deterministic delivery order, not
+  // of which shard's worker got here first.
+  return tenants_[id];
+}
+
+void SloRegistry::observe_delivery(std::uint32_t tenant_id,
+                                   std::uint64_t request_id,
+                                   double latency_virtual_us,
+                                   SloOutcome outcome, bool deadline_miss) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Tenant& tenant = tenant_locked(tenant_id);
+  if (tenant.latency == nullptr) {
+    // First delivery for this tenant — runs on the scheduler thread in
+    // deterministic delivery order, so the registry's registration order
+    // (hence metrics.prom) is byte-stable across thread counts.
+    tenant.latency = &MetricsRegistry::instance().histogram(
+        "serve/tenant" + std::to_string(tenant_id) + "/latency_virtual_us",
+        latency_bounds());
+  }
+  tenant.requests += 1;
+  switch (outcome) {
+    case SloOutcome::kOk:
+      tenant.ok += 1;
+      tenant.latency->observe_exemplar(latency_virtual_us, request_id);
+      if (deadline_miss) {
+        tenant.deadline_miss += 1;
+        current_.bad += 1;
+      } else {
+        current_.good += 1;
+      }
+      break;
+    case SloOutcome::kExpired:
+      tenant.expired += 1;
+      current_.bad += 1;
+      break;
+    case SloOutcome::kFailed:
+      tenant.failed += 1;
+      current_.bad += 1;
+      break;
+    case SloOutcome::kRejected:
+      tenant.rejected += 1;  // client error: outside the SLO.
+      break;
+  }
+}
+
+void SloRegistry::add_bus_usage(std::uint32_t tenant_id,
+                                std::uint64_t commands, std::uint64_t slots) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Tenant& tenant = tenant_locked(tenant_id);
+  tenant.bus_commands += commands;
+  tenant.bus_slots += slots;
+}
+
+void SloRegistry::seal_batch() {
+  bool write = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    window_[window_next_] = current_;
+    window_next_ = (window_next_ + 1) % window_.size();
+    window_filled_ = std::min(window_filled_ + 1, window_.size());
+    current_ = Cell{};
+    sealed_ += 1;
+    MetricsRegistry::instance().gauge("serve/slo_burn_rate")
+        .set(burn_rate_locked());
+    write = config_.snapshot && config_.snapshot_every > 0 &&
+            sealed_ % config_.snapshot_every == 0;
+    if (write && config_.snapshot_min_ms > 0) {
+      // Wall-clock floor on the write-out only (the sealed contents stay
+      // deterministic): the periodic file is a live-monitoring surface,
+      // and rewriting it faster than a human reads it would make the
+      // filesystem churn the dominant cost of serving observability.
+      const auto now_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count();
+      if (last_periodic_write_ms_ < 0 ||
+          now_ms - last_periodic_write_ms_ <
+              static_cast<std::int64_t>(config_.snapshot_min_ms)) {
+        // Session start counts as a write: short runs (benchmarks,
+        // tests) skip the periodic rewrites and rely on the final flush.
+        if (last_periodic_write_ms_ < 0) last_periodic_write_ms_ = now_ms;
+        write = false;
+      } else {
+        last_periodic_write_ms_ = now_ms;
+      }
+    }
+  }
+  if (write) write_snapshot();
+}
+
+void SloRegistry::set_queue_state(std::size_t depth, std::size_t age_rounds,
+                                  std::size_t healthy_shards) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  queue_depth_ = depth;
+  queue_age_rounds_ = age_rounds;
+  healthy_shards_ = healthy_shards;
+}
+
+double SloRegistry::burn_rate_locked() const {
+  std::uint64_t good = 0;
+  std::uint64_t bad = 0;
+  for (std::size_t i = 0; i < window_filled_; ++i) {
+    good += window_[i].good;
+    bad += window_[i].bad;
+  }
+  const std::uint64_t total = good + bad;
+  if (total == 0) return 0.0;
+  const double bad_fraction =
+      static_cast<double>(bad) / static_cast<double>(total);
+  const double budget = std::max(1.0 - config_.objective, 1e-9);
+  return bad_fraction / budget;
+}
+
+double SloRegistry::burn_rate() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return burn_rate_locked();
+}
+
+std::uint64_t SloRegistry::sealed_batches() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sealed_;
+}
+
+bool SloRegistry::has_data() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sealed_ > 0 || !tenants_.empty();
+}
+
+std::string SloRegistry::render_locked() const {
+  std::uint64_t window_good = 0;
+  std::uint64_t window_bad = 0;
+  for (std::size_t i = 0; i < window_filled_; ++i) {
+    window_good += window_[i].good;
+    window_bad += window_[i].bad;
+  }
+  std::ostringstream os;
+  os << "{\n  \"schema\": 1,\n";
+  os << "  \"slo\": {\"objective\": " << json_num(config_.objective)
+     << ", \"window_batches\": " << config_.window
+     << ", \"snapshot_every\": " << config_.snapshot_every << "},\n";
+  os << "  \"sealed_batches\": " << sealed_
+     << ", \"burn_rate\": " << json_num(burn_rate_locked())
+     << ", \"window\": {\"good\": " << window_good << ", \"bad\": "
+     << window_bad << "},\n";
+  os << "  \"service\": {\"queue_depth\": " << queue_depth_
+     << ", \"queue_age_rounds\": " << queue_age_rounds_
+     << ", \"healthy_shards\": " << healthy_shards_ << "},\n";
+  os << "  \"tenants\": [";
+  bool first_tenant = true;
+  for (const auto& [id, tenant] : tenants_) {
+    if (!first_tenant) os << ",";
+    first_tenant = false;
+    os << "\n    {\"tenant\": " << id << ", \"requests\": " << tenant.requests
+       << ", \"ok\": " << tenant.ok << ", \"expired\": " << tenant.expired
+       << ", \"failed\": " << tenant.failed
+       << ", \"rejected\": " << tenant.rejected
+       << ", \"deadline_miss\": " << tenant.deadline_miss
+       << ", \"bus_commands\": " << tenant.bus_commands
+       << ", \"bus_slots\": " << tenant.bus_slots
+       << ",\n     \"latency_virtual_us\": {";
+    const HistogramStats h = snapshot_of(tenant.latency);
+    os << "\"count\": " << h.count << ", \"sum\": " << json_num(h.sum)
+       << ", \"p50\": " << json_num(quantile_edge(h, 0.50))
+       << ", \"p99\": " << json_num(quantile_edge(h, 0.99))
+       << ",\n      \"bounds\": [";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << json_num(h.bounds[i]);
+    }
+    os << "],\n      \"counts\": [";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << h.counts[i];
+    }
+    os << "],\n      \"exemplars\": [";
+    bool first_exemplar = true;
+    for (std::size_t i = 0; i < h.exemplars.size(); ++i) {
+      if (h.exemplars[i].id == 0) continue;
+      if (!first_exemplar) os << ", ";
+      first_exemplar = false;
+      const double le =
+          i < h.bounds.size() ? h.bounds[i] : h.bounds.back();
+      os << "{\"le\": " << json_num(le)
+         << ", \"request_id\": " << h.exemplars[i].id
+         << ", \"value\": " << json_num(h.exemplars[i].value) << "}";
+    }
+    os << "]}}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+std::string SloRegistry::render_snapshot_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return render_locked();
+}
+
+void SloRegistry::write_snapshot() const {
+  if (!enabled()) return;
+  const std::string rendered = render_snapshot_json();
+  const std::filesystem::path dir(output_dir());
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  std::ofstream out(dir / "snapshot.json",
+                    std::ios::binary | std::ios::trunc);
+  out << rendered;
+}
+
+void SloRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  config_ = SloConfig::from_env();
+  tenants_.clear();
+  window_.assign(config_.window, Cell{});
+  window_next_ = 0;
+  window_filled_ = 0;
+  current_ = Cell{};
+  sealed_ = 0;
+  last_periodic_write_ms_ = -1;
+  queue_depth_ = 0;
+  queue_age_rounds_ = 0;
+  healthy_shards_ = 0;
+}
+
+}  // namespace simra::obs

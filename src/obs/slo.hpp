@@ -1,0 +1,147 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace simra::obs {
+
+class Histogram;
+
+/// SLO accounting knobs, read once from the `SIMRA_SLO_*` /
+/// `SIMRA_SNAPSHOT*` surface (documented in the README).
+struct SloConfig {
+  /// Fraction of non-rejected requests that must be "good" (delivered ok
+  /// and inside their deadline). SIMRA_SLO_TARGET, default 0.999.
+  double objective = 0.999;
+  /// Rolling burn-rate window, in sealed (shard, batch) boundaries.
+  /// SIMRA_SLO_WINDOW, default 64.
+  std::size_t window = 64;
+  /// Whether the periodic snapshot.json is written at all (the final
+  /// flush still writes one). SIMRA_SNAPSHOT, default on.
+  bool snapshot = true;
+  /// Sealed batches between periodic snapshot.json rewrites (0 disables
+  /// the periodic writes). SIMRA_SNAPSHOT_EVERY, default 64.
+  std::size_t snapshot_every = 64;
+  /// Minimum wall-clock milliseconds between periodic snapshot.json
+  /// rewrites (0 disables the throttle). The periodic file serves live
+  /// monitoring (`simra_top --watch`), which reads at human cadence —
+  /// without this floor a fast run rewrites the file hundreds of times a
+  /// second, and the render + filesystem churn dominates the tracing
+  /// cost. Only the *write-out* is wall-clock paced: its contents are
+  /// always the state sealed at a deterministic (shard, batch) boundary,
+  /// and the final flush rewrite is unconditional, so the flushed
+  /// artifact stays byte-identical at any SIMRA_THREADS.
+  /// SIMRA_SNAPSHOT_MIN_MS, default 100.
+  std::size_t snapshot_min_ms = 100;
+
+  static SloConfig from_env();
+};
+
+/// Terminal state of one delivered request, as the SLO layer sees it.
+/// Rejected requests (client errors: invalid ops, admission failures) are
+/// excluded from the good/bad ratio; expiries, failures, and ok-but-late
+/// deliveries burn the error budget.
+enum class SloOutcome : std::uint8_t { kOk, kExpired, kFailed, kRejected };
+
+/// Per-tenant service-level accounting, fed by the serve scheduler in
+/// deterministic delivery order and sealed at (shard, batch) boundaries.
+/// All latencies are *virtual* shard-clock microseconds, so every number
+/// here — including the rolling burn rate and the rendered snapshot — is
+/// byte-identical at any SIMRA_THREADS.
+///
+/// Tenants live in a std::map, so iteration (and therefore rendering)
+/// order is by tenant id regardless of first-delivery order. A mutex
+/// guards all state: the writer is the single scheduler thread, the lock
+/// only serializes it against concurrent render/flush callers.
+class SloRegistry {
+ public:
+  static SloRegistry& instance();
+
+  const SloConfig& config() const noexcept { return config_; }
+
+  /// Records one delivered request. `latency_virtual_us` is the request's
+  /// residency on its executing shard (routed -> reply, virtual clock);
+  /// only kOk deliveries contribute to the latency histogram (with the
+  /// request id as the exemplar). `deadline_miss` marks an ok delivery
+  /// that landed past its deadline — it burns budget without failing.
+  void observe_delivery(std::uint32_t tenant, std::uint64_t request_id,
+                        double latency_virtual_us, SloOutcome outcome,
+                        bool deadline_miss);
+
+  /// Adds one request's share of the fused program's command bus (from
+  /// the slot->request attribution table) to its tenant's totals.
+  void add_bus_usage(std::uint32_t tenant, std::uint64_t commands,
+                     std::uint64_t slots);
+
+  /// Seals the current accumulation cell at a (shard, batch) boundary:
+  /// pushes it into the rolling window, refreshes the burn-rate gauge,
+  /// and — every `snapshot_every` seals — rewrites snapshot.json.
+  void seal_batch();
+
+  /// Queue gauges, mirrored into snapshot.json (set each pump round).
+  void set_queue_state(std::size_t depth, std::size_t age_rounds,
+                       std::size_t healthy_shards);
+
+  /// (bad requests / window requests) / (1 - objective) over the sealed
+  /// rolling window — > 1 means the error budget burns faster than the
+  /// objective allows. 0 while the window is empty.
+  double burn_rate() const;
+
+  std::uint64_t sealed_batches() const;
+  bool has_data() const;
+
+  /// The full SLO snapshot as deterministic JSON (schema
+  /// docs/schema/snapshot.schema.json).
+  std::string render_snapshot_json() const;
+
+  /// Renders and writes output_dir()/snapshot.json (no-op when the obs
+  /// layer is disabled).
+  void write_snapshot() const;
+
+  /// Test hook: drops all accounting and re-reads the env config.
+  void reset();
+
+ private:
+  SloRegistry();
+
+  struct Tenant {
+    std::uint64_t requests = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t deadline_miss = 0;
+    std::uint64_t bus_commands = 0;
+    std::uint64_t bus_slots = 0;
+    Histogram* latency = nullptr;  ///< registry-owned, never null.
+  };
+  struct Cell {
+    std::uint64_t good = 0;
+    std::uint64_t bad = 0;
+  };
+
+  Tenant& tenant_locked(std::uint32_t id);
+  double burn_rate_locked() const;
+  std::string render_locked() const;
+
+  mutable std::mutex mutex_;
+  SloConfig config_;
+  std::map<std::uint32_t, Tenant> tenants_;
+  std::vector<Cell> window_;  ///< ring of the last `window` sealed cells.
+  std::size_t window_next_ = 0;
+  std::size_t window_filled_ = 0;
+  Cell current_;
+  std::uint64_t sealed_ = 0;
+  /// Wall clock of the last periodic write (steady, ms); -1 = none yet.
+  /// Session start counts as a write, so short runs skip the periodic
+  /// rewrites entirely and rely on the final flush.
+  std::int64_t last_periodic_write_ms_ = -1;
+  std::size_t queue_depth_ = 0;
+  std::size_t queue_age_rounds_ = 0;
+  std::size_t healthy_shards_ = 0;
+};
+
+}  // namespace simra::obs

@@ -36,7 +36,11 @@ void render_fields(std::ostringstream& os, const Fields& fields) {
 TaskBuffer::TaskBuffer(std::uint32_t track, std::string label,
                        std::size_t capacity)
     : track_(track), label_(std::move(label)), ring_capacity_(capacity) {
-  ring_.reserve(std::min<std::size_t>(ring_capacity_, 1024));
+  // Start small and let push_back grow geometrically: serving batches
+  // record tens of commands, and a buffer is created per batch, so a
+  // large up-front reservation would dominate the cost of tracing there.
+  // Long chip tasks amortize the handful of regrows over seconds of work.
+  ring_.reserve(std::min<std::size_t>(ring_capacity_, 128));
 }
 
 void TaskBuffer::record_command(const CommandSpan& span) {
@@ -54,6 +58,22 @@ void TaskBuffer::add_span(RichSpan span) {
     return;
   }
   spans_.push_back(std::move(span));
+}
+
+void TaskBuffer::add_compact(const CompactSpan& span) {
+  if (compact_.size() >= kRichSpanCap) {
+    ++events_dropped_;
+    return;
+  }
+  compact_.push_back(span);
+}
+
+void TaskBuffer::add_request(const RequestTrace& request) {
+  if (requests_.size() >= kRichSpanCap) {
+    ++events_dropped_;
+    return;
+  }
+  requests_.push_back(request);
 }
 
 void TaskBuffer::add_event(std::string type, Fields fields) {
@@ -74,6 +94,17 @@ void TaskBuffer::absorb(const TaskBuffer& child, double ts_offset_ns) {
     span.ts_ns += ts_offset_ns;
     add_span(std::move(span));
   }
+  for (CompactSpan span : child.compact_spans()) {
+    span.ts_ns += ts_offset_ns;
+    add_compact(span);
+  }
+  for (RequestTrace request : child.requests()) {
+    request.routed_ns += ts_offset_ns;
+    request.batch_start_ns += ts_offset_ns;
+    request.exec_start_ns += ts_offset_ns;
+    request.exec_end_ns += ts_offset_ns;
+    add_request(request);
+  }
   for (const Event& event : child.events()) add_event(event.type, event.fields);
   events_dropped_ += child.events_dropped();
 }
@@ -83,6 +114,9 @@ double TaskBuffer::end_ns() const {
   for (const CommandSpan& c : ring_)
     end = std::max(end, c.ts_ns + static_cast<double>(c.dur_ns));
   for (const RichSpan& s : spans_) end = std::max(end, s.ts_ns + s.dur_ns);
+  for (const CompactSpan& s : compact_)
+    end = std::max(end, s.ts_ns + s.dur_ns);
+  for (const RequestTrace& r : requests_) end = std::max(end, r.exec_end_ns);
   return end;
 }
 
@@ -210,6 +244,10 @@ std::string Log::render_trace_json() const {
         end_ns = std::max(end_ns, c.ts_ns + static_cast<double>(c.dur_ns));
       for (const RichSpan& s : chunk->spans())
         end_ns = std::max(end_ns, s.ts_ns + s.dur_ns);
+      for (const CompactSpan& s : chunk->compact_spans())
+        end_ns = std::max(end_ns, s.ts_ns + s.dur_ns);
+      for (const RequestTrace& r : chunk->requests())
+        end_ns = std::max(end_ns, r.exec_end_ns);
       std::ostringstream task;
       task << R"({"name":"chip_task )" << json_escape(chunk->label())
            << R"(","cat":"charz","ph":"X","ts":0,"dur":)" << us(end_ns)
@@ -249,6 +287,71 @@ std::string Log::render_trace_json() const {
       if (!rendered.empty()) rendered.erase(0, 1);  // leading comma.
       span << rendered << "}}";
       emit(span.str());
+    }
+    for (const CompactSpan& s : chunk->compact_spans()) {
+      std::ostringstream span;
+      span << R"({"name":")" << s.name;
+      if (s.name_id != 0) span << s.name_id;
+      span << R"(","cat":")" << s.cat << "\",";
+      if (s.dur_ns > 0.0) {
+        span << R"("ph":"X","ts":)" << us(s.ts_ns) << R"(,"dur":)"
+             << us(s.dur_ns);
+      } else {
+        span << R"("ph":"i","s":"g","ts":)" << us(s.ts_ns);
+      }
+      span << R"(,"pid":)" << pid << R"(,"tid":)" << tid << R"(,"args":{)";
+      bool first_arg = true;
+      for (const CompactSpan::Arg& arg : s.args) {
+        if (arg.key == nullptr) break;
+        if (!first_arg) span << ",";
+        first_arg = false;
+        span << "\"" << arg.key << "\":\"";
+        if (arg.text != nullptr)
+          span << json_escape(arg.text);
+        else
+          span << arg.num;
+        span << "\"";
+      }
+      span << "}}";
+      emit(span.str());
+    }
+    // Request span trees, expanded from their fixed-size records: the
+    // parent "req <id>" span then its three phase children, each in the
+    // same X/instant form the compact renderer uses.
+    const auto emit_phase = [&](const RequestTrace& r, const char* name,
+                                double ts, double end) {
+      const double dur = std::max(end - ts, 0.0);
+      std::ostringstream span;
+      span << R"({"name":")" << name << R"(","cat":"serve.request",)";
+      if (dur > 0.0) {
+        span << R"("ph":"X","ts":)" << us(ts) << R"(,"dur":)" << us(dur);
+      } else {
+        span << R"("ph":"i","s":"g","ts":)" << us(ts);
+      }
+      span << R"(,"pid":)" << pid << R"(,"tid":)" << tid
+           << R"(,"args":{"req":")" << r.id << "\"}}";
+      emit(span.str());
+    };
+    for (const RequestTrace& r : chunk->requests()) {
+      const double dur = std::max(r.exec_end_ns - r.routed_ns, 0.0);
+      std::ostringstream span;
+      span << R"({"name":"req )" << r.id << R"(","cat":"serve.request",)";
+      if (dur > 0.0) {
+        span << R"("ph":"X","ts":)" << us(r.routed_ns) << R"(,"dur":)"
+             << us(dur);
+      } else {
+        span << R"("ph":"i","s":"g","ts":)" << us(r.routed_ns);
+      }
+      span << R"(,"pid":)" << pid << R"(,"tid":)" << tid
+           << R"(,"args":{"op":")" << r.op << R"(","tenant":")" << r.tenant
+           << R"(","status":")" << r.status << R"(","batch":")" << r.batch
+           << R"(","attempts":")" << r.attempts << R"(","reroutes":")"
+           << r.reroutes << R"(","wait_rounds":")" << r.wait_rounds
+           << R"(","commands":")" << r.commands << "\"}}";
+      emit(span.str());
+      emit_phase(r, "queue_wait", r.routed_ns, r.batch_start_ns);
+      emit_phase(r, "batch_wait", r.batch_start_ns, r.exec_start_ns);
+      emit_phase(r, "execute", r.exec_start_ns, r.exec_end_ns);
     }
   }
   os << "\n]\n}\n";

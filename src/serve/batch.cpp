@@ -142,6 +142,7 @@ Program BatchCompiler::fuse(const std::string& name,
     FusedExtent extent;
     Range range;
     range.first_cmd = fused.commands().size();
+    extent.first_command = range.first_cmd;
     bool first = true;
     for (const Program& segment : compiled.segments) {
       // The previous segment's trailing tRP already separates the PRE
@@ -159,6 +160,7 @@ Program BatchCompiler::fuse(const std::string& name,
       fused.append(segment);
     }
     extent.end_ns = fused.duration_ns();
+    extent.command_count = fused.commands().size() - range.first_cmd;
     range.last_cmd =
         fused.commands().empty() ? 0 : fused.commands().size() - 1;
     range.end_slots = fused.extent_slots();

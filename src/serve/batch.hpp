@@ -24,10 +24,16 @@ struct CompiledRequest {
 };
 
 /// Per-request placement inside a fused batch program, in the fused
-/// program's slot timeline (relative nanoseconds from batch start).
+/// program's slot timeline (relative nanoseconds from batch start), plus
+/// the slot->request attribution: this request owns the half-open command
+/// range [first_command, first_command + command_count) of the fused
+/// program. Slot compaction moves slots but never reorders or drops
+/// commands, so the command range survives SIMRA_OPT=on unchanged.
 struct FusedExtent {
   double start_ns = 0.0;
   double end_ns = 0.0;
+  std::size_t first_command = 0;
+  std::size_t command_count = 0;
 };
 
 /// Compiles requests into command programs and fuses a batch of them into

@@ -8,6 +8,7 @@
 
 #include "common/env.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 
 namespace simra::serve {
@@ -37,6 +38,7 @@ std::vector<dram::VendorProfile> profiles_from_env() {
 
 struct ServeMetrics {
   obs::Gauge& queue_depth;
+  obs::Gauge& queue_age_rounds;
   obs::Gauge& healthy_shards;
   obs::Histogram& batch_size;
   obs::Histogram& batch_virtual_us;
@@ -46,6 +48,7 @@ struct ServeMetrics {
   prof::Counter& failed;
   prof::Counter& rejected;
   prof::Counter& rerouted;
+  prof::Counter& deadline_miss;
   prof::Counter& batches;
   prof::Counter& batch_retries;
 
@@ -53,6 +56,7 @@ struct ServeMetrics {
     auto& reg = obs::MetricsRegistry::instance();
     static ServeMetrics metrics{
         reg.gauge("serve/queue_depth"),
+        reg.gauge("serve/queue_age_rounds"),
         reg.gauge("serve/healthy_shards"),
         reg.histogram("serve/batch_size",
                       {1, 2, 4, 8, 16, 32, 64, 128, 256}),
@@ -65,6 +69,7 @@ struct ServeMetrics {
         reg.counter("serve/responses_failed"),
         reg.counter("serve/responses_rejected"),
         reg.counter("serve/reroutes"),
+        reg.counter("serve/deadline_miss"),
         reg.counter("serve/batches"),
         reg.counter("serve/batch_retries"),
     };
@@ -136,6 +141,36 @@ Service::Service(ServiceConfig config)
   batch_seq_.assign(config_.shards, 0);
   pool_ = std::make_unique<charz::WorkStealingPool>(
       charz::detail::pool_workers(config_.shards));
+
+  // Record the *resolved* serving configuration in the run manifest —
+  // env-derived knobs appear in the manifest's env surface only when set,
+  // so defaults would otherwise be invisible in serving artifacts.
+  const auto field = [](const char* key, std::size_t value) {
+    obs::set_manifest_field(key, std::to_string(value));
+  };
+  field("serve.shards", config_.shards);
+  field("serve.max_batch", config_.max_batch);
+  field("serve.queue_capacity", config_.queue_capacity);
+  field("serve.max_in_flight", config_.max_in_flight);
+  field("serve.tenant_quota", config_.tenant_quota);
+  field("serve.group_size", config_.group_size);
+  field("serve.max_reroutes", config_.max_reroutes);
+  obs::set_manifest_field("serve.seed", std::to_string(config_.seed));
+  obs::set_manifest_field("serve.steer", config_.steer_groups ? "1" : "0");
+  std::string vendors;
+  for (const dram::VendorProfile& profile : config_.profiles) {
+    if (!vendors.empty()) vendors += ",";
+    vendors += profile.short_name;
+    vendors += ':';
+    vendors += profile.die_revision;
+  }
+  obs::set_manifest_field("serve.vendors", vendors);
+  const obs::SloConfig& slo = obs::SloRegistry::instance().config();
+  std::ostringstream objective;
+  objective << slo.objective;
+  obs::set_manifest_field("slo.objective", objective.str());
+  field("slo.window_batches", slo.window);
+  field("snapshot.every", slo.snapshot ? slo.snapshot_every : 0);
 }
 
 Service::~Service() { stop(); }
@@ -195,20 +230,30 @@ void Service::record_batch_metrics(const BatchOutcome& outcome,
 std::size_t Service::pump() {
   std::vector<BatchItem> pending = std::move(backlog_);
   backlog_.clear();
+  // Carried-over items (reroutes) have waited one more scheduler round.
+  unsigned max_wait_rounds = 0;
+  for (BatchItem& item : pending) {
+    item.trace.wait_rounds += 1;
+    max_wait_rounds = std::max(max_wait_rounds, item.trace.wait_rounds);
+  }
   Submission submission;
   while (queue_.try_pop(submission))
     pending.push_back(BatchItem{std::move(submission.request),
-                                submission.ticket, 0});
+                                submission.ticket, 0, TraceContext{}});
   if (pending.empty()) return 0;
 
   ServeMetrics& m = ServeMetrics::instance();
   m.queue_depth.set(static_cast<double>(pending.size()));
+  m.queue_age_rounds.set(static_cast<double>(max_wait_rounds));
 
   std::vector<std::size_t> healthy;
   healthy.reserve(shards_.size());
   for (std::size_t i = 0; i < shards_.size(); ++i)
     if (!shards_[i]->quarantined()) healthy.push_back(i);
   m.healthy_shards.set(static_cast<double>(healthy.size()));
+
+  obs::SloRegistry& slo = obs::SloRegistry::instance();
+  slo.set_queue_state(pending.size(), max_wait_rounds, healthy.size());
 
   std::size_t delivered = 0;
 
@@ -224,6 +269,12 @@ std::size_t Service::pump() {
       response.error = "no healthy shards";
       stats_.failed += 1;
       m.failed.add_count(1);
+      slo.observe_delivery(item.request.tenant, item.request.id, 0.0,
+                           obs::SloOutcome::kFailed, false);
+      obs::emit_event("serve.request.failed",
+                      {{"request", std::to_string(item.request.id)},
+                       {"tenant", std::to_string(item.request.tenant)},
+                       {"error", "no healthy shards"}});
       deliver(item, std::move(response));
       ++delivered;
       continue;
@@ -238,10 +289,19 @@ std::size_t Service::pump() {
       response.shard = static_cast<std::uint32_t>(si);
       stats_.expired += 1;
       m.expired.add_count(1);
+      slo.observe_delivery(item.request.tenant, item.request.id, 0.0,
+                           obs::SloOutcome::kExpired, false);
+      obs::emit_event("serve.request.expired",
+                      {{"request", std::to_string(item.request.id)},
+                       {"tenant", std::to_string(item.request.tenant)},
+                       {"shard", std::to_string(si)},
+                       {"wait_rounds",
+                        std::to_string(item.trace.wait_rounds)}});
       deliver(item, std::move(response));
       ++delivered;
       continue;
     }
+    item.trace.routed_clock_ns = shards_[si]->clock_ns();
     per_shard[si].push_back(std::move(item));
   }
 
@@ -297,6 +357,8 @@ std::size_t Service::pump() {
         if (outcome.rejected[j]) {
           stats_.rejected_invalid += 1;
           m.rejected.add_count(1);
+          slo.observe_delivery(item.request.tenant, item.request.id, 0.0,
+                               obs::SloOutcome::kRejected, false);
           deliver(item, std::move(response));
           ++delivered;
           continue;
@@ -304,6 +366,21 @@ std::size_t Service::pump() {
         if (outcome.succeeded) {
           m.request_virtual_us.observe(
               (response.virtual_ns - outcome.start_clock_ns) / 1000.0);
+          // Residency on the executing shard: routed -> reply, virtual
+          // clock. An ok reply past its deadline burns SLO budget as a
+          // deadline miss without failing the request.
+          const double latency_us =
+              (response.virtual_ns - item.trace.routed_clock_ns) / 1000.0;
+          const bool deadline_miss =
+              item.request.deadline_ns > 0.0 &&
+              response.virtual_ns > item.request.deadline_ns;
+          if (deadline_miss) {
+            stats_.deadline_miss += 1;
+            m.deadline_miss.add_count(1);
+          }
+          slo.observe_delivery(item.request.tenant, item.request.id,
+                               latency_us, obs::SloOutcome::kOk,
+                               deadline_miss);
           stats_.ok += 1;
           m.ok.add_count(1);
           deliver(item, std::move(response));
@@ -316,16 +393,32 @@ std::size_t Service::pump() {
           response.attempts = outcome.attempts;
           stats_.failed += 1;
           m.failed.add_count(1);
+          slo.observe_delivery(item.request.tenant, item.request.id, 0.0,
+                               obs::SloOutcome::kFailed, false);
+          obs::emit_event("serve.request.failed",
+                          {{"request", std::to_string(item.request.id)},
+                           {"tenant", std::to_string(item.request.tenant)},
+                           {"shard", std::to_string(si)},
+                           {"attempts", std::to_string(outcome.attempts)},
+                           {"error", outcome.error}});
           deliver(item, std::move(response));
           ++delivered;
         } else {
           item.reroutes += 1;
           stats_.rerouted += 1;
           m.rerouted.add_count(1);
+          obs::emit_event("serve.request.rerouted",
+                          {{"request", std::to_string(item.request.id)},
+                           {"tenant", std::to_string(item.request.tenant)},
+                           {"from_shard", std::to_string(si)},
+                           {"reroutes", std::to_string(item.reroutes)}});
           backlog_.push_back(std::move(item));
         }
       }
       offset += size;
+      // Seal the SLO window at this (shard, batch) boundary — the same
+      // deterministic order the obs chunks were just submitted in.
+      slo.seal_batch();
       if (!outcome.succeeded && !shards_[si]->quarantined()) {
         shards_[si]->quarantine(outcome.error);
         stats_.quarantined_shards += 1;

@@ -48,6 +48,7 @@ struct ServeStats {
   std::uint64_t ok = 0;
   std::uint64_t expired = 0;
   std::uint64_t failed = 0;
+  std::uint64_t deadline_miss = 0;  ///< ok deliveries past their deadline.
   std::uint64_t rerouted = 0;
   std::uint64_t batches = 0;
   std::uint64_t batch_attempts = 0;

@@ -1,13 +1,17 @@
 #include "serve/shard.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <optional>
 #include <stdexcept>
 #include <thread>
 
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "verify/dataflow.hpp"
 #include "verify/lint.hpp"
+#include "verify/occupancy.hpp"
 #include "verify/optimizer.hpp"
 
 namespace simra::serve {
@@ -110,14 +114,34 @@ void Shard::finalize_responses(std::span<const BatchItem> batch,
       next_read += cr.reads;
     }
     if (outcome.buffer) {
-      obs::RichSpan span;
-      span.name = "req " + std::to_string(response.id);
-      span.cat = "serve";
-      span.ts_ns = extent.start_ns;
-      span.dur_ns = extent.end_ns - extent.start_ns;
-      span.args = {{"op", to_string(batch[i].request.op)},
-                   {"tenant", std::to_string(batch[i].request.tenant)}};
-      outcome.buffer->add_span(std::move(span));
+      // The per-request span tree, all on the shard's virtual clock:
+      //   req <id>                [routed ............... extent.end)
+      //     queue_wait            [routed ........ batch start)
+      //     batch_wait            [batch start ... extent.start)
+      //     execute               [extent.start .. extent.end)
+      // queue_wait covers rounds spent behind earlier batches of this
+      // shard; batch_wait covers compile, group profiling, failed
+      // attempts, and earlier requests inside the fused program. Perfetto
+      // nests the children by timestamp containment on the shard track.
+      // One fixed-size record per request (expanded to spans at flush):
+      // this runs once per served request, so recording must neither
+      // allocate nor fault in more retained pages than it has to.
+      const TraceContext& tc = batch[i].trace;
+      obs::RequestTrace rt;
+      rt.id = response.id;
+      rt.batch = batch_seq;
+      rt.routed_ns = std::min(tc.routed_clock_ns, extent.start_ns);
+      rt.batch_start_ns = outcome.start_clock_ns;
+      rt.exec_start_ns = extent.start_ns;
+      rt.exec_end_ns = extent.end_ns;
+      rt.op = to_string(batch[i].request.op);
+      rt.status = "ok";
+      rt.tenant = batch[i].request.tenant;
+      rt.attempts = attempts;
+      rt.reroutes = batch[i].reroutes;
+      rt.wait_rounds = tc.wait_rounds;
+      rt.commands = static_cast<std::uint32_t>(extent.command_count);
+      outcome.buffer->add_request(rt);
     }
     ++live;
   }
@@ -148,6 +172,59 @@ BatchOutcome Shard::execute(std::span<const BatchItem> batch,
 
   std::vector<FusedExtent> extents;
   const bender::Program fused = compiler_.fuse(label, compiled, &extents);
+  const double compile_end_ns = clock_ns();
+
+  // Slot->request attribution: which command range of the fused program
+  // each live request owns. Drives the per-tenant bus accounting, the
+  // per-batch attribution event, and finding->request mapping below.
+  std::vector<verify::RequestSlice> slices;
+  slices.reserve(compiled.size());
+  {
+    std::size_t live = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (outcome.rejected[i]) continue;
+      verify::RequestSlice slice;
+      slice.request_id = batch[i].request.id;
+      slice.tenant = batch[i].request.tenant;
+      slice.first_command = extents[live].first_command;
+      slice.command_count = extents[live].command_count;
+      slices.push_back(slice);
+      ++live;
+    }
+  }
+  for (const verify::RequestOccupancy& ro :
+       verify::occupancy_by_request(fused, slices))
+    obs::SloRegistry::instance().add_bus_usage(
+        ro.slice.tenant, ro.slice.command_count, ro.span_slots);
+  if (outcome.buffer) {
+    // Compile covers validation, group profiling (which runs real trials
+    // on the chip, advancing its clock), and fusion.
+    obs::CompactSpan compile_span;
+    compile_span.name = "compile";
+    compile_span.cat = "serve.batch";
+    compile_span.ts_ns = outcome.start_clock_ns;
+    compile_span.dur_ns = std::max(compile_end_ns - outcome.start_clock_ns,
+                                   0.0);
+    compile_span.args[0] = {"batch", batch_seq, nullptr};
+    compile_span.args[1] = {"requests", compiled.size(), nullptr};
+    outcome.buffer->add_compact(compile_span);
+    std::string table;
+    table.reserve(slices.size() * 16);
+    char entry[96];
+    for (const verify::RequestSlice& slice : slices) {
+      if (!table.empty()) table += ';';
+      std::snprintf(entry, sizeof entry, "%llu:%zu:%zu:%u",
+                    static_cast<unsigned long long>(slice.request_id),
+                    slice.first_command, slice.command_count, slice.tenant);
+      table += entry;
+    }
+    outcome.buffer->add_event(
+        "serve.batch.slots",
+        {{"shard", std::to_string(index_)},
+         {"batch", std::to_string(batch_seq)},
+         {"commands", std::to_string(fused.commands().size())},
+         {"table", std::move(table)}});
+  }
 
   // Cross-check the fused batch's many-row activations against the
   // groups this shard actually profiled (§8.1 steering): any APA outside
@@ -168,6 +245,23 @@ BatchOutcome Shard::execute(std::span<const BatchItem> batch,
             .counter("serve.batch.reliability_findings")
             .add_count(findings.size());
         verify::report_lint_findings(label, findings);
+        // Attribute each finding to the request (and tenant) whose
+        // command range covers it, so a reliability excursion inside a
+        // fused batch names the request that caused it.
+        if (outcome.buffer) {
+          for (const verify::Finding& finding : findings) {
+            const verify::RequestSlice* slice =
+                verify::slice_for_command(slices, finding.command_index);
+            if (slice == nullptr) continue;
+            outcome.buffer->add_event(
+                "serve.lint.request",
+                {{"request", std::to_string(slice->request_id)},
+                 {"tenant", std::to_string(slice->tenant)},
+                 {"command_index", std::to_string(finding.command_index)},
+                 {"slot", std::to_string(finding.slot)},
+                 {"message", finding.message()}});
+          }
+        }
       }
     }
   }
@@ -225,13 +319,24 @@ BatchOutcome Shard::execute(std::span<const BatchItem> batch,
       break;
     }
     outcome.error = attempt_error;
-    if (outcome.buffer)
+    if (outcome.buffer) {
       outcome.buffer->add_event(
           "serve.batch.attempt_failed",
           {{"shard", std::to_string(index_)},
            {"batch", std::to_string(batch_seq)},
            {"attempt", std::to_string(attempt)},
            {"error", attempt_error}});
+      // The failed attempt as a span, so a request's retries are visible
+      // on the shard track right before its successful execute window.
+      obs::RichSpan retry;
+      retry.name = "retry " + std::to_string(attempt);
+      retry.cat = "serve.batch";
+      retry.ts_ns = attempt_start;
+      retry.dur_ns = std::max(clock_ns() - attempt_start, 0.0);
+      retry.args = {{"batch", std::to_string(batch_seq)},
+                    {"error", attempt_error}};
+      outcome.buffer->add_span(std::move(retry));
+    }
   }
   outcome.end_clock_ns = clock_ns();
   if (outcome.buffer) {

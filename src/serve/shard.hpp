@@ -20,12 +20,23 @@
 
 namespace simra::serve {
 
+/// Request-scoped trace state threaded from admission through routing,
+/// batching, execution, and delivery. Timestamps are virtual shard-clock
+/// nanoseconds — pure functions of the submission order — so the span
+/// trees built from them are byte-identical at any SIMRA_THREADS.
+struct TraceContext {
+  unsigned wait_rounds = 0;      ///< pump rounds spent queued or backlogged.
+  double routed_clock_ns = 0.0;  ///< executing shard's clock at routing.
+};
+
 /// One queued request bound to its completion ticket, with the reroute
-/// count the service uses to bound cross-shard retries.
+/// count the service uses to bound cross-shard retries and the trace
+/// context its span tree is anchored on.
 struct BatchItem {
   Request request;
   Ticket* ticket = nullptr;
   unsigned reroutes = 0;
+  TraceContext trace;
 };
 
 /// What one fused batch execution produced. `responses` is parallel to

@@ -47,6 +47,39 @@ OccupancyStats occupancy(const bender::Program& program,
   return stats;
 }
 
+std::vector<RequestOccupancy> occupancy_by_request(
+    const bender::Program& program, const std::vector<RequestSlice>& slices) {
+  const auto& commands = program.commands();
+  const double total =
+      commands.empty() ? 0.0 : static_cast<double>(commands.size());
+  std::vector<RequestOccupancy> out;
+  out.reserve(slices.size());
+  for (const RequestSlice& slice : slices) {
+    RequestOccupancy ro;
+    ro.slice = slice;
+    const std::size_t first = slice.first_command;
+    const std::size_t count = slice.command_count;
+    if (count > 0 && first < commands.size() &&
+        first + count <= commands.size()) {
+      ro.span_slots =
+          commands[first + count - 1].slot - commands[first].slot + 1;
+      if (total > 0.0)
+        ro.bus_share = static_cast<double>(count) / total;
+    }
+    out.push_back(ro);
+  }
+  return out;
+}
+
+const RequestSlice* slice_for_command(const std::vector<RequestSlice>& slices,
+                                      std::size_t command_index) {
+  for (const RequestSlice& slice : slices)
+    if (command_index >= slice.first_command &&
+        command_index < slice.first_command + slice.command_count)
+      return &slice;
+  return nullptr;
+}
+
 void export_occupancy_metrics(const OccupancyStats& stats,
                               const std::string& program_name) {
   auto& registry = obs::MetricsRegistry::instance();

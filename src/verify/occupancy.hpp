@@ -42,6 +42,36 @@ struct OccupancyStats {
 OccupancyStats occupancy(const bender::Program& program,
                          const RuleTable& table);
 
+/// One request's command range on a fused batch program — the serving
+/// layer's slot->request attribution table (see serve::FusedExtent).
+struct RequestSlice {
+  std::uint64_t request_id = 0;
+  std::uint32_t tenant = 0;
+  std::size_t first_command = 0;
+  std::size_t command_count = 0;
+};
+
+/// Per-request share of one fused program's command bus: the request's
+/// own command count, the slot span its commands occupy (first..last
+/// issued slot, inclusive), and its fraction of the program's total
+/// issued commands. Lets Limitation 2 accounting — and any finding with a
+/// command_index — be broken down per request and tenant.
+struct RequestOccupancy {
+  RequestSlice slice;
+  std::uint64_t span_slots = 0;
+  double bus_share = 0.0;
+};
+
+/// Slices one program's timeline by the attribution table. Slices whose
+/// range falls outside the program (e.g. an empty request) report zero.
+std::vector<RequestOccupancy> occupancy_by_request(
+    const bender::Program& program, const std::vector<RequestSlice>& slices);
+
+/// Maps a finding's command index to the owning slice, or nullptr when no
+/// slice covers it (e.g. a rank-wide REF appended outside any request).
+const RequestSlice* slice_for_command(const std::vector<RequestSlice>& slices,
+                                      std::size_t command_index);
+
 /// Publishes one program's occupancy into the simra::obs registry
 /// (counters `verify.occupancy.*`, gauge `verify.occupancy.utilization`,
 /// histogram `verify.occupancy.bank_parallelism`) and emits a

@@ -18,6 +18,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "serve/service.hpp"
 #include "serve/workload.hpp"
@@ -34,6 +35,7 @@ struct RunResult {
   std::string events;
   std::string trace;
   std::string metrics;
+  std::string snapshot;  ///< the SLO snapshot.json rendering.
 };
 
 /// Canonical rendering of the serve/* metrics (calls, gauge values, full
@@ -114,6 +116,7 @@ RunResult run_fixed_workload(const char* threads) {
   result.events = obs::Log::instance().render_events_jsonl();
   result.trace = obs::Log::instance().render_trace_json();
   result.metrics = render_serve_metrics();
+  result.snapshot = obs::SloRegistry::instance().render_snapshot_json();
   return result;
 }
 
@@ -134,12 +137,33 @@ TEST_F(ServeDeterminism, CleanServeArtifactsAreByteIdenticalAcrossThreads) {
   EXPECT_EQ(serial.events, parallel.events);
   EXPECT_EQ(serial.trace, parallel.trace);
   EXPECT_EQ(serial.metrics, parallel.metrics);
+  EXPECT_EQ(serial.snapshot, parallel.snapshot);
 
   // Sanity: the artifacts actually carry serving content.
   EXPECT_NE(serial.trace.find("serve.s0.b0"), std::string::npos);
-  EXPECT_NE(serial.trace.find("\"cat\":\"serve\""), std::string::npos);
+  EXPECT_NE(serial.trace.find("\"cat\":\"serve.request\""), std::string::npos);
   EXPECT_NE(serial.metrics.find("serve/batches"), std::string::npos);
   EXPECT_NE(serial.responses.find("ok"), std::string::npos);
+
+  // The per-request span tree is complete: parent req span plus its
+  // queue-wait / batch-wait / execute children, all on virtual clocks.
+  EXPECT_NE(serial.trace.find("\"name\":\"req "), std::string::npos);
+  EXPECT_NE(serial.trace.find("\"name\":\"queue_wait\""), std::string::npos);
+  EXPECT_NE(serial.trace.find("\"name\":\"batch_wait\""), std::string::npos);
+  EXPECT_NE(serial.trace.find("\"name\":\"execute\""), std::string::npos);
+  EXPECT_NE(serial.trace.find("\"name\":\"compile\""), std::string::npos);
+  EXPECT_NE(serial.trace.find("\"wait_rounds\""), std::string::npos);
+
+  // The slot->request attribution table rides in each fused batch.
+  EXPECT_NE(serial.events.find("serve.batch.slots"), std::string::npos);
+
+  // Per-tenant SLO surface: latency histograms with exemplars in the
+  // metrics registry, tenants + burn rate in the snapshot.
+  EXPECT_NE(serial.metrics.find("/latency_virtual_us"), std::string::npos);
+  EXPECT_NE(serial.snapshot.find("\"tenants\""), std::string::npos);
+  EXPECT_NE(serial.snapshot.find("\"burn_rate\""), std::string::npos);
+  EXPECT_NE(serial.snapshot.find("\"request_id\""), std::string::npos);
+  EXPECT_NE(serial.snapshot.find("\"bus_commands\""), std::string::npos);
 }
 
 TEST_F(ServeDeterminism, FaultInjectedServeArtifactsAreByteIdentical) {
@@ -151,11 +175,20 @@ TEST_F(ServeDeterminism, FaultInjectedServeArtifactsAreByteIdentical) {
   EXPECT_EQ(serial.events, parallel.events);
   EXPECT_EQ(serial.trace, parallel.trace);
   EXPECT_EQ(serial.metrics, parallel.metrics);
+  EXPECT_EQ(serial.snapshot, parallel.snapshot);
 
   // The injected degradation is visible, deterministically.
   EXPECT_NE(serial.events.find("serve.shard.quarantined"), std::string::npos);
   EXPECT_NE(serial.events.find("serve.batch.attempt_failed"),
             std::string::npos);
+
+  // So is the request-scoped view of it: rerouted requests announce
+  // themselves, and the failed attempt appears as a retry span on the
+  // shard track.
+  EXPECT_NE(serial.events.find("serve.request.rerouted"), std::string::npos);
+  EXPECT_NE(serial.trace.find("\"name\":\"retry "), std::string::npos);
+  // Rerouted requests carry their journey in the parent span args.
+  EXPECT_NE(serial.trace.find("\"reroutes\":\"1\""), std::string::npos);
 }
 
 TEST_F(ServeDeterminism, RepeatedIdenticalRunsAreByteIdentical) {
@@ -165,6 +198,7 @@ TEST_F(ServeDeterminism, RepeatedIdenticalRunsAreByteIdentical) {
   EXPECT_EQ(first.events, second.events);
   EXPECT_EQ(first.trace, second.trace);
   EXPECT_EQ(first.metrics, second.metrics);
+  EXPECT_EQ(first.snapshot, second.snapshot);
 }
 
 }  // namespace

@@ -4,13 +4,15 @@ and optionally gates on a minimum sustained throughput. Standard library
 only, so CI needs no extra packages.
 
 Usage: check_bench_serve.py BENCH_serve.json [--min-ops-per-sec N]
-       [--require-clients N]
+       [--require-clients N] [--max-p50-us N] [--max-p99-us N]
 
 Checks: the schema version is the one this checker understands, every run
 entry carries the full field set with sane values, the coverage
 accounting is consistent (ops == recorded latencies == delivered work),
-and — when gating — the highest-concurrency run sustains the floor.
-Exits non-zero with a pointed message on the first problem.
+and — when gating — the highest-concurrency run sustains the throughput
+floor and stays under the latency ceilings. Latency gates apply to the
+freshest (non-baseline when present) highest-concurrency run. Exits
+non-zero with a pointed message on the first problem.
 """
 
 import argparse
@@ -24,6 +26,7 @@ _REQUIRED = {
     "plan": str,
     "threads": int,
     "clients": int,
+    "baseline": bool,
     "ops": int,
     "seconds": float,
     "ops_per_sec": float,
@@ -55,6 +58,9 @@ def check_run(run, index):
         if kind is float:
             if not isinstance(value, (int, float)) or isinstance(value, bool):
                 fail(f"{where}.{field}: expected number, got {value!r}")
+        elif kind is bool:
+            if not isinstance(value, bool):
+                fail(f"{where}.{field}: expected bool, got {value!r}")
         elif not isinstance(value, kind) or isinstance(value, bool):
             fail(f"{where}.{field}: expected {kind.__name__}, got {value!r}")
     if run["mode"] != "closed_loop":
@@ -84,6 +90,10 @@ def main():
     parser.add_argument("--min-ops-per-sec", type=float, default=0.0)
     parser.add_argument("--require-clients", type=int, default=0,
                         help="fail unless a run at this client count exists")
+    parser.add_argument("--max-p50-us", type=float, default=0.0,
+                        help="fail when the gated run's p50 exceeds this")
+    parser.add_argument("--max-p99-us", type=float, default=0.0,
+                        help="fail when the gated run's p99 exceeds this")
     args = parser.parse_args()
 
     try:
@@ -104,12 +114,24 @@ def main():
         if not any(r["clients"] == args.require_clients for r in runs):
             fail(f"no run at clients={args.require_clients}")
 
+    # Gates apply to the freshest high-concurrency point: prefer the
+    # non-baseline run at the highest client count (the run CI just
+    # produced), falling back to baselines when that's all there is.
+    fresh = [r for r in runs if not r["baseline"]] or runs
+    gated = max(fresh, key=lambda r: r["clients"])
     if args.min_ops_per_sec > 0:
-        best = max(runs, key=lambda r: r["clients"])
-        if best["ops_per_sec"] < args.min_ops_per_sec:
-            fail(f"throughput gate: {best['ops_per_sec']:.0f} ops/s at "
-                 f"clients={best['clients']} below the "
+        if gated["ops_per_sec"] < args.min_ops_per_sec:
+            fail(f"throughput gate: {gated['ops_per_sec']:.0f} ops/s at "
+                 f"clients={gated['clients']} below the "
                  f"{args.min_ops_per_sec:.0f} ops/s floor")
+    if args.max_p50_us > 0 and gated["p50_us"] > args.max_p50_us:
+        fail(f"latency gate: p50 {gated['p50_us']:.1f} us at "
+             f"clients={gated['clients']} above the "
+             f"{args.max_p50_us:.1f} us ceiling")
+    if args.max_p99_us > 0 and gated["p99_us"] > args.max_p99_us:
+        fail(f"latency gate: p99 {gated['p99_us']:.1f} us at "
+             f"clients={gated['clients']} above the "
+             f"{args.max_p99_us:.1f} us ceiling")
 
     print(f"check_bench_serve: {args.path} ok — {len(runs)} runs, best "
           f"{max(r['ops_per_sec'] for r in runs):.0f} ops/s")

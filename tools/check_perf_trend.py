@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Continuous perf-regression detection over the repo's bench records.
+Standard library only, so CI needs no extra packages.
+
+Usage: check_perf_trend.py [--harness BENCH_harness.json]
+       [--serve BENCH_serve.json] [--max-regress-pct N]
+       [--serve-max-regress-pct N]
+
+Both bench files follow keep-and-replace: entries marked
+`"baseline": true` are pinned reference points that fresh runs never
+overwrite, while `"baseline": false` entries are the latest measurement
+of each point. This tool pairs every fresh entry with its baseline —
+figures match on (figure, plan, threads), serve runs on (mode, plan,
+clients) ignoring threads (the serve scheduler is thread-count
+invariant; worker count only moves wall-clock a little) — and fails
+when a throughput metric regressed by more than the threshold:
+
+  figures:  instances_per_sec
+  serve:    ops_per_sec
+
+Wall-clock in CI is noisy, so the default threshold is deliberately
+loose (30%): the gate catches real cliffs (an accidental O(n^2), a lost
+vectorization), not jitter. Points with no baseline are reported and
+skipped; when several entries share a key the last one wins (the files
+are append-ordered).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"check_perf_trend: {path}: {err}", file=sys.stderr)
+        sys.exit(1)
+
+
+def split_by_baseline(entries, key_of):
+    """Last-wins maps of key -> entry for baselines and fresh runs."""
+    baselines, fresh = {}, {}
+    for entry in entries:
+        (baselines if entry.get("baseline") else fresh)[key_of(entry)] = entry
+    return baselines, fresh
+
+
+def check_metric(label, key, baseline, current, metric, max_regress_pct):
+    """Returns a failure line when `metric` (higher is better) regressed
+    past the threshold, else None; prints the comparison either way."""
+    base = baseline.get(metric, 0.0)
+    cur = current.get(metric, 0.0)
+    if base <= 0:
+        print(f"  {label} {key}: baseline {metric} is {base}; skipped")
+        return None
+    delta_pct = (cur / base - 1.0) * 100.0
+    verdict = "ok"
+    failure = None
+    if delta_pct < -max_regress_pct:
+        verdict = "REGRESSED"
+        failure = (f"{label} {key}: {metric} {cur:.3f} vs baseline "
+                   f"{base:.3f} ({delta_pct:+.1f}% < -{max_regress_pct:.0f}%)")
+    print(f"  {label} {key}: {metric} {cur:.3f} vs {base:.3f} "
+          f"({delta_pct:+.1f}%) {verdict}")
+    return failure
+
+
+def check_section(label, entries, key_of, metric, max_regress_pct):
+    baselines, fresh = split_by_baseline(entries, key_of)
+    failures = []
+    compared = 0
+    for key, current in sorted(fresh.items()):
+        if key not in baselines:
+            print(f"  {label} {key}: no baseline entry; skipped")
+            continue
+        compared += 1
+        failure = check_metric(label, key, baselines[key], current, metric,
+                               max_regress_pct)
+        if failure:
+            failures.append(failure)
+    if compared == 0:
+        print(f"  {label}: nothing to compare "
+              f"({len(baselines)} baselines, {len(fresh)} fresh)")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--harness", default="BENCH_harness.json")
+    parser.add_argument("--serve", default="BENCH_serve.json")
+    parser.add_argument("--max-regress-pct", type=float, default=30.0,
+                        help="fail when a figure's throughput drops more")
+    parser.add_argument("--serve-max-regress-pct", type=float, default=0.0,
+                        help="serve threshold (defaults to --max-regress-pct)")
+    args = parser.parse_args()
+    serve_threshold = args.serve_max_regress_pct or args.max_regress_pct
+
+    failures = []
+
+    harness = load(args.harness)
+    print(f"check_perf_trend: figures ({args.harness}, "
+          f"threshold {args.max_regress_pct:.0f}%)")
+    failures += check_section(
+        "figure", harness.get("figures", []),
+        lambda e: (e.get("figure"), e.get("plan"), e.get("threads")),
+        "instances_per_sec", args.max_regress_pct)
+
+    serve = load(args.serve)
+    print(f"check_perf_trend: serve ({args.serve}, "
+          f"threshold {serve_threshold:.0f}%)")
+    failures += check_section(
+        "serve", serve.get("runs", []),
+        lambda e: (e.get("mode"), e.get("plan"), e.get("clients")),
+        "ops_per_sec", serve_threshold)
+
+    if failures:
+        print("check_perf_trend: FAIL", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        sys.exit(1)
+    print("check_perf_trend: ok")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Renders the serving layer's SLO snapshot (snapshot.json) as a
+top(1)-style text dashboard. Standard library only.
+
+Usage: simra_top.py [SNAPSHOT] [--watch SECONDS]
+
+SNAPSHOT defaults to obs/snapshot.json (the periodic file the service
+writes every SIMRA_SNAPSHOT_EVERY sealed batches when SIMRA_TRACE=1).
+With --watch the screen refreshes until interrupted, re-reading the file
+each tick — point it at a live run's obs directory.
+
+The burn rate is the rolling-window bad fraction divided by the error
+budget (1 - objective): 1.0 means the service is burning budget exactly
+at the objective; sustained values above 1 mean the SLO will be missed.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+
+def render(snapshot):
+    lines = []
+    slo = snapshot["slo"]
+    service = snapshot["service"]
+    window = snapshot["window"]
+    burn = snapshot["burn_rate"]
+    gauge = "OK" if burn <= 1.0 else "BURNING"
+    lines.append(
+        f"SLO {slo['objective']:.4f} over {slo['window_batches']} batches"
+        f" — burn rate {burn:.3f} [{gauge}]"
+        f"  (window good {window['good']} / bad {window['bad']},"
+        f" {snapshot['sealed_batches']} batches sealed)")
+    lines.append(
+        f"service: queue depth {service['queue_depth']}, queue age "
+        f"{service['queue_age_rounds']} rounds, "
+        f"{service['healthy_shards']} healthy shards")
+    lines.append("")
+
+    header = (f"{'tenant':>6} {'reqs':>8} {'ok':>8} {'exp':>6} {'fail':>6} "
+              f"{'rej':>6} {'miss':>6} {'p50us':>9} {'p99us':>9} "
+              f"{'bus_cmd':>9} {'bus_slot':>10}  exemplar")
+    lines.append(header)
+    lines.append("-" * len(header))
+    total_cmds = sum(t["bus_commands"] for t in snapshot["tenants"]) or 1
+    for tenant in snapshot["tenants"]:
+        hist = tenant["latency_virtual_us"]
+        exemplars = hist["exemplars"]
+        # The slowest retained exemplar is the most useful trace handle:
+        # "go look at req N" for the worst bucket this tenant landed in.
+        worst = max(exemplars, key=lambda e: e["value"], default=None)
+        exemplar = (f"req {worst['request_id']} @ {worst['value']:.1f}us"
+                    if worst else "-")
+        share = 100.0 * tenant["bus_commands"] / total_cmds
+        lines.append(
+            f"{tenant['tenant']:>6} {tenant['requests']:>8} "
+            f"{tenant['ok']:>8} {tenant['expired']:>6} "
+            f"{tenant['failed']:>6} {tenant['rejected']:>6} "
+            f"{tenant['deadline_miss']:>6} {hist['p50']:>9.1f} "
+            f"{hist['p99']:>9.1f} {tenant['bus_commands']:>9} "
+            f"{tenant['bus_slots']:>10}  {exemplar} ({share:.0f}% bus)")
+    return "\n".join(lines)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("snapshot", nargs="?", default="obs/snapshot.json")
+    parser.add_argument("--watch", type=float, default=0.0,
+                        help="refresh every N seconds until interrupted")
+    args = parser.parse_args()
+
+    while True:
+        try:
+            with open(args.snapshot, encoding="utf-8") as handle:
+                snapshot = json.load(handle)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"simra_top: {args.snapshot}: {err}", file=sys.stderr)
+            if not args.watch:
+                sys.exit(1)
+            time.sleep(args.watch)
+            continue
+        body = render(snapshot)
+        if args.watch:
+            print("\x1b[2J\x1b[H" + body, flush=True)
+            try:
+                time.sleep(args.watch)
+            except KeyboardInterrupt:
+                return
+        else:
+            print(body)
+            return
+
+
+if __name__ == "__main__":
+    main()

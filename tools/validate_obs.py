@@ -74,6 +74,8 @@ def main():
 
     trace_schema = load("trace.schema.json")
     events_schema = load("events.schema.json")
+    span_schema = load("request_span.schema.json")
+    snapshot_schema = load("snapshot.schema.json")
 
     trace_path = os.path.join(args.obs_dir, "trace.json")
     with open(trace_path) as f:
@@ -83,6 +85,42 @@ def main():
         fail(f"{trace_path}: " + "; ".join(errors[:5]))
     print(f"validate_obs: {trace_path}: "
           f"{len(trace['traceEvents'])} trace events OK")
+
+    # Request-scoped spans: every cat=serve.request event matches the span
+    # schema, and every parent "req <id>" span has a complete phase tree
+    # (children reference it via args.req and nest inside it on the
+    # virtual clock — the containment Perfetto uses to draw the tree).
+    spans = [e for e in trace["traceEvents"]
+             if e.get("cat") == "serve.request"]
+    if spans:
+        parents = {}
+        for i, span in enumerate(spans):
+            errors = check(span, span_schema, f"trace.request_span[{i}]")
+            if errors:
+                fail(f"{trace_path}: " + "; ".join(errors[:5]))
+            if span["name"].startswith("req "):
+                parents[span["name"].split(" ", 1)[1]] = span
+        children = {}
+        for span in spans:
+            req = span["args"].get("req")
+            if req is None:
+                continue
+            if req not in parents:
+                fail(f"{trace_path}: child span {span['name']!r} references "
+                     f"unknown request {req}")
+            parent = parents[req]
+            eps = 1e-6
+            if (span["ts"] < parent["ts"] - eps or
+                    span["ts"] + span.get("dur", 0.0) >
+                    parent["ts"] + parent.get("dur", 0.0) + eps):
+                fail(f"{trace_path}: span {span['name']!r} of req {req} "
+                     f"escapes its parent extent")
+            children.setdefault(req, set()).add(span["name"])
+        for req, parent in parents.items():
+            if "execute" not in children.get(req, set()):
+                fail(f"{trace_path}: req {req} has no execute child span")
+        print(f"validate_obs: {trace_path}: {len(parents)} request span "
+              f"trees OK ({len(spans) - len(parents)} phase spans)")
 
     events_path = os.path.join(args.obs_dir, "events.jsonl")
     manifest_schema = trace_schema["properties"]["manifest"]
@@ -111,6 +149,28 @@ def main():
     if "host" not in manifest:
         fail(f"{manifest_path}: missing the non-deterministic host section")
     print(f"validate_obs: {manifest_path}: OK")
+
+    # snapshot.json only exists for runs that exercised the serving layer
+    # (SloRegistry has data); validate it when present.
+    snapshot_path = os.path.join(args.obs_dir, "snapshot.json")
+    if os.path.exists(snapshot_path):
+        with open(snapshot_path) as f:
+            snapshot = json.load(f)
+        errors = check(snapshot, snapshot_schema, "snapshot")
+        if errors:
+            fail(f"{snapshot_path}: " + "; ".join(errors[:5]))
+        for t, tenant in enumerate(snapshot["tenants"]):
+            hist = tenant["latency_virtual_us"]
+            if len(hist["counts"]) != len(hist["bounds"]) + 1:
+                fail(f"{snapshot_path}: tenants[{t}] bucket counts must be "
+                     f"bounds+1 (overflow bucket)")
+            if sum(hist["counts"]) != hist["count"]:
+                fail(f"{snapshot_path}: tenants[{t}] bucket sum "
+                     f"{sum(hist['counts'])} != count {hist['count']}")
+        print(f"validate_obs: {snapshot_path}: "
+              f"{len(snapshot['tenants'])} tenants OK")
+    else:
+        print(f"validate_obs: {snapshot_path}: absent (no serving run)")
     print("validate_obs: PASS")
 
 
